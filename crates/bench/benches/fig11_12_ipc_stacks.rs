@@ -1,0 +1,34 @@
+//! Experiments E-F11 / E-F12: regenerate Figures 11 and 12 (per-thread IPC for
+//! MLP-intensive and mixed ILP/MLP two-thread workloads under each policy).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::{measure_scale, report_scale, workloads_per_group};
+use smt_core::experiments::policies::ipc_stacks;
+use smt_core::workloads::WorkloadGroup;
+
+fn print_stacks(title: &str, group: WorkloadGroup) {
+    let stacks = ipc_stacks(report_scale(), group, workloads_per_group()).expect("ipc stacks");
+    println!("\n=== {title} (regenerated) ===");
+    for stack in &stacks {
+        println!("{}:", stack.workload);
+        for (policy, ipcs) in &stack.per_policy {
+            let parts: Vec<String> = ipcs.iter().map(|v| format!("{v:.2}")).collect();
+            println!("  {:<26} {}", policy.name(), parts.join(" / "));
+        }
+    }
+}
+
+fn bench_fig11_12(c: &mut Criterion) {
+    print_stacks("Figure 11: MLP-intensive per-thread IPC", WorkloadGroup::MlpIntensive);
+    print_stacks("Figure 12: mixed ILP/MLP per-thread IPC", WorkloadGroup::Mixed);
+
+    let mut group = c.benchmark_group("fig11_12");
+    group.sample_size(10);
+    group.bench_function("ipc_stack_one_mlp_workload", |b| {
+        b.iter(|| ipc_stacks(measure_scale(), WorkloadGroup::MlpIntensive, 1).expect("stacks"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11_12);
+criterion_main!(benches);

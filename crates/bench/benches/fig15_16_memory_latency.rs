@@ -1,0 +1,22 @@
+//! Experiments E-F15 / E-F16: regenerate Figures 15 and 16 (STP and ANTT versus
+//! main-memory access latency, relative to ICOUNT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::{measure_scale, report_scale};
+use smt_core::experiments::sweeps::{format_sweep, memory_latency_sweep};
+
+fn bench_fig15_16(c: &mut Criterion) {
+    let points = memory_latency_sweep(&[200, 400, 600, 800], report_scale()).expect("latency sweep");
+    println!("\n=== Figures 15/16 (regenerated): memory-latency sweep ===\n");
+    println!("{}", format_sweep(&points, "mem-lat"));
+
+    let mut group = c.benchmark_group("fig15_16");
+    group.sample_size(10);
+    group.bench_function("latency_point_600", |b| {
+        b.iter(|| memory_latency_sweep(&[600], measure_scale()).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig15_16);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Experiments E-F17 / E-F18: regenerate Figures 17 and 18 (STP and ANTT versus
+//! processor window size, relative to ICOUNT).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::{measure_scale, report_scale};
+use smt_core::experiments::sweeps::{format_sweep, window_size_sweep};
+
+fn bench_fig17_18(c: &mut Criterion) {
+    let points = window_size_sweep(&[128, 256, 512, 1024], report_scale()).expect("window sweep");
+    println!("\n=== Figures 17/18 (regenerated): window-size sweep ===\n");
+    println!("{}", format_sweep(&points, "rob"));
+
+    let mut group = c.benchmark_group("fig17_18");
+    group.sample_size(10);
+    group.bench_function("window_point_512", |b| {
+        b.iter(|| window_size_sweep(&[512], measure_scale()).expect("sweep"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig17_18);
+criterion_main!(benches);

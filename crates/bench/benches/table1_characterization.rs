@@ -1,0 +1,22 @@
+//! Experiment E-T1 / E-F1: regenerate Table I and Figure 1 (per-benchmark
+//! long-latency load rate, MLP, MLP impact and ILP/MLP classification) and
+//! benchmark the per-benchmark characterization run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use smt_bench::{measure_scale, report_scale};
+use smt_core::experiments::characterization::{characterize, format_table1, table1};
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = table1(report_scale()).expect("Table I characterization");
+    println!("\n=== Table I / Figure 1 (regenerated) ===\n{}", format_table1(&rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("characterize_mcf", |b| {
+        b.iter(|| characterize("mcf", measure_scale()).expect("characterize"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

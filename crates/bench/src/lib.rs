@@ -1,0 +1,49 @@
+//! Shared helpers for the Criterion benchmark harness.
+//!
+//! Every bench target in `benches/` regenerates one table or figure of the paper
+//! (see `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for recorded
+//! paper-versus-measured values). Each bench prints the regenerated rows once
+//! during setup and then measures the runtime of a reduced-size version of the
+//! experiment so `cargo bench` both reproduces the numbers and tracks simulator
+//! performance.
+
+use smt_core::runner::RunScale;
+
+/// Scale used for the *printed* (reported) experiment output.
+///
+/// Controlled by the `SMT_BENCH_INSTRUCTIONS` environment variable (instructions
+/// per thread, default 20 000) so `cargo bench` can regenerate higher-fidelity
+/// numbers when more time is available.
+pub fn report_scale() -> RunScale {
+    let instructions = std::env::var("SMT_BENCH_INSTRUCTIONS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20_000);
+    RunScale::standard().with_instructions(instructions)
+}
+
+/// Scale used inside the Criterion measurement loop (kept small so iterations
+/// finish quickly).
+pub fn measure_scale() -> RunScale {
+    RunScale::tiny()
+}
+
+/// How many workloads per group the policy-comparison benches simulate.
+pub fn workloads_per_group() -> usize {
+    std::env::var("SMT_BENCH_WORKLOADS_PER_GROUP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_are_sane() {
+        assert!(report_scale().instructions_per_thread >= 1_000);
+        assert!(measure_scale().instructions_per_thread <= report_scale().instructions_per_thread);
+        assert!(workloads_per_group() >= 1);
+    }
+}

@@ -1,0 +1,122 @@
+//! Set-associative branch target buffer.
+
+#[derive(Clone, Copy, Debug, Default)]
+struct BtbEntry {
+    valid: bool,
+    tag: u64,
+    target: u64,
+    last_used: u64,
+}
+
+/// A set-associative, LRU-replaced branch target buffer.
+///
+/// # Example
+///
+/// ```
+/// use smt_branch::BranchTargetBuffer;
+/// let mut btb = BranchTargetBuffer::new(256, 4);
+/// btb.insert(0x400, 0x800);
+/// assert_eq!(btb.lookup(0x400), Some(0x800));
+/// assert_eq!(btb.lookup(0x404), None);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BranchTargetBuffer {
+    sets: Vec<Vec<BtbEntry>>,
+    tick: u64,
+}
+
+impl BranchTargetBuffer {
+    /// Creates a BTB with `entries` total entries organised as `assoc`-way sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `assoc` is zero, `assoc` does not divide `entries`,
+    /// or the resulting set count is not a power of two.
+    pub fn new(entries: u32, assoc: u32) -> Self {
+        assert!(entries > 0 && assoc > 0, "BTB sizes must be non-zero");
+        assert!(entries % assoc == 0, "associativity must divide entry count");
+        let sets = entries / assoc;
+        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        BranchTargetBuffer {
+            sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
+            tick: 0,
+        }
+    }
+
+    fn set_and_tag(&self, pc: u64) -> (usize, u64) {
+        let idx = pc >> 2;
+        let set = (idx as usize) & (self.sets.len() - 1);
+        (set, idx >> self.sets.len().trailing_zeros())
+    }
+
+    /// Looks up a predicted target for the branch at `pc`.
+    pub fn lookup(&mut self, pc: u64) -> Option<u64> {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        for e in &mut self.sets[set] {
+            if e.valid && e.tag == tag {
+                e.last_used = tick;
+                return Some(e.target);
+            }
+        }
+        None
+    }
+
+    /// Installs (or refreshes) the target of a taken branch.
+    pub fn insert(&mut self, pc: u64, target: u64) {
+        self.tick += 1;
+        let tick = self.tick;
+        let (set, tag) = self.set_and_tag(pc);
+        let ways = &mut self.sets[set];
+        if let Some(e) = ways.iter_mut().find(|e| e.valid && e.tag == tag) {
+            e.target = target;
+            e.last_used = tick;
+            return;
+        }
+        let victim = ways
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .expect("BTB set has at least one way");
+        *victim = BtbEntry {
+            valid: true,
+            tag,
+            target,
+            last_used: tick,
+        };
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_lookup_roundtrip() {
+        let mut btb = BranchTargetBuffer::new(64, 4);
+        btb.insert(0x1000, 0x2000);
+        assert_eq!(btb.lookup(0x1000), Some(0x2000));
+        btb.insert(0x1000, 0x3000);
+        assert_eq!(btb.lookup(0x1000), Some(0x3000));
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut btb = BranchTargetBuffer::new(4, 2); // 2 sets, 2 ways
+        // PCs mapping to set 0: idx multiples of 2 → pc multiples of 8 with (pc>>2)&1==0.
+        let pcs = [0x0u64, 0x8, 0x10];
+        btb.insert(pcs[0], 0xa0);
+        btb.insert(pcs[1], 0xa1);
+        assert!(btb.lookup(pcs[0]).is_some()); // refresh pcs[0]
+        btb.insert(pcs[2], 0xa2); // evicts pcs[1]
+        assert!(btb.lookup(pcs[0]).is_some());
+        assert!(btb.lookup(pcs[1]).is_none());
+        assert!(btb.lookup(pcs[2]).is_some());
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_geometry_rejected() {
+        let _ = BranchTargetBuffer::new(10, 4);
+    }
+}

@@ -1,0 +1,22 @@
+//! Experiment runners: one module per table/figure of the paper's evaluation.
+//!
+//! Every runner takes a [`crate::runner::RunScale`] so the same code powers the
+//! fast regression tests, the examples, and the Criterion benchmark harness that
+//! regenerates the paper's numbers (see `EXPERIMENTS.md`).
+
+pub mod characterization;
+pub mod policies;
+pub mod predictors;
+pub mod sweeps;
+
+pub use characterization::{characterize, format_table1, table1, Table1Row};
+pub use policies::{
+    alternative_policies, format_group_summaries, four_thread_comparison, ipc_stacks,
+    partitioning_comparison, policy_comparison, policy_comparison_two_thread, GroupSummary,
+    IpcStack, PolicyComparison, ALTERNATIVE_POLICIES,
+};
+pub use predictors::{
+    figure4, figure5, figure6, figure7, figure8, predictor_characterization, MlpDistanceCdf,
+    PredictorAccuracyRow, PrefetchRow,
+};
+pub use sweeps::{format_sweep, memory_latency_sweep, window_size_sweep, SweepPoint};

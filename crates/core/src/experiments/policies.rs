@@ -1,0 +1,343 @@
+//! Fetch-policy comparison experiments: Figures 9–14 (main comparison and IPC
+//! stacks), Figures 20/21 (alternative MLP-aware policies) and Figures 22/23
+//! (static partitioning and DCRA).
+
+use smt_types::config::FetchPolicyKind;
+use smt_types::{SimError, SmtConfig};
+
+use crate::metrics;
+use crate::runner::{evaluate_workload_with, RunScale, StReferenceCache, WorkloadResult};
+use crate::workloads::{four_thread_workloads, two_thread_workloads, Workload, WorkloadGroup};
+
+/// Aggregated result of running one fetch policy over a set of workloads.
+#[derive(Clone, Debug)]
+pub struct PolicyComparison {
+    /// The policy evaluated.
+    pub policy: FetchPolicyKind,
+    /// One result per workload.
+    pub per_workload: Vec<WorkloadResult>,
+    /// Harmonic-mean STP across the workloads (higher is better).
+    pub avg_stp: f64,
+    /// Arithmetic-mean ANTT across the workloads (lower is better).
+    pub avg_antt: f64,
+}
+
+/// Results for one workload group (ILP-, MLP-intensive, or mixed), all policies.
+#[derive(Clone, Debug)]
+pub struct GroupSummary {
+    /// The workload group.
+    pub group: WorkloadGroup,
+    /// One aggregate per policy, in the order the policies were requested.
+    pub policies: Vec<PolicyComparison>,
+}
+
+impl GroupSummary {
+    /// Looks up the aggregate for one policy.
+    pub fn policy(&self, kind: FetchPolicyKind) -> Option<&PolicyComparison> {
+        self.policies.iter().find(|p| p.policy == kind)
+    }
+}
+
+/// Runs `policies` over `workloads` on `config`, reusing one single-threaded
+/// reference cache across all runs.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn policy_comparison(
+    policies: &[FetchPolicyKind],
+    workloads: &[Workload],
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<Vec<PolicyComparison>, SimError> {
+    let mut cache = StReferenceCache::new();
+    let mut out = Vec::with_capacity(policies.len());
+    for &policy in policies {
+        let mut per_workload = Vec::with_capacity(workloads.len());
+        for workload in workloads {
+            let mut cfg = config.clone();
+            cfg.num_threads = workload.num_threads();
+            let result =
+                evaluate_workload_with(&workload.benchmarks, policy, &cfg, scale, &mut cache)?;
+            per_workload.push(result);
+        }
+        let stps: Vec<f64> = per_workload.iter().map(|r| r.stp).collect();
+        let antts: Vec<f64> = per_workload.iter().map(|r| r.antt).collect();
+        out.push(PolicyComparison {
+            policy,
+            avg_stp: metrics::harmonic_mean(&stps),
+            avg_antt: metrics::arithmetic_mean(&antts),
+            per_workload,
+        });
+    }
+    Ok(out)
+}
+
+/// Selects up to `per_group` workloads of each group from the Table II two-thread
+/// workloads (`usize::MAX` for the full table).
+pub fn two_thread_selection(per_group: usize) -> Vec<Workload> {
+    let mut out = Vec::new();
+    for group in [
+        WorkloadGroup::IlpIntensive,
+        WorkloadGroup::MlpIntensive,
+        WorkloadGroup::Mixed,
+    ] {
+        out.extend(
+            two_thread_workloads()
+                .into_iter()
+                .filter(|w| w.group == group)
+                .take(per_group),
+        );
+    }
+    out
+}
+
+/// Figures 9 and 10: STP and ANTT of the six main fetch policies over the
+/// two-thread workloads, grouped into ILP-intensive, MLP-intensive and mixed
+/// groups. `per_group` limits how many Table II workloads per group are run.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn policy_comparison_two_thread(
+    scale: RunScale,
+    per_group: usize,
+) -> Result<Vec<GroupSummary>, SimError> {
+    let config = SmtConfig::baseline(2);
+    let mut out = Vec::new();
+    for group in [
+        WorkloadGroup::IlpIntensive,
+        WorkloadGroup::MlpIntensive,
+        WorkloadGroup::Mixed,
+    ] {
+        let workloads: Vec<Workload> = two_thread_workloads()
+            .into_iter()
+            .filter(|w| w.group == group)
+            .take(per_group)
+            .collect();
+        let policies = policy_comparison(
+            &FetchPolicyKind::MAIN_COMPARISON,
+            &workloads,
+            &config,
+            scale,
+        )?;
+        out.push(GroupSummary { group, policies });
+    }
+    Ok(out)
+}
+
+/// Figures 13 and 14: STP and ANTT of the main fetch policies over the four-thread
+/// workloads of Table III. `limit` bounds how many of the 30 workloads are run.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn four_thread_comparison(scale: RunScale, limit: usize) -> Result<Vec<PolicyComparison>, SimError> {
+    let config = SmtConfig::baseline(4);
+    let workloads: Vec<Workload> = four_thread_workloads().into_iter().take(limit).collect();
+    policy_comparison(&FetchPolicyKind::MAIN_COMPARISON, &workloads, &config, scale)
+}
+
+/// Per-thread IPC values for one workload under several policies (Figures 11/12).
+#[derive(Clone, Debug)]
+pub struct IpcStack {
+    /// Workload name.
+    pub workload: String,
+    /// `(policy, per-thread IPC)` pairs.
+    pub per_policy: Vec<(FetchPolicyKind, Vec<f64>)>,
+}
+
+/// Figures 11 and 12: per-thread IPC stacks for the two-thread workloads of one
+/// group under the main fetch policies.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn ipc_stacks(
+    scale: RunScale,
+    group: WorkloadGroup,
+    per_group: usize,
+) -> Result<Vec<IpcStack>, SimError> {
+    let config = SmtConfig::baseline(2);
+    let workloads: Vec<Workload> = two_thread_workloads()
+        .into_iter()
+        .filter(|w| w.group == group)
+        .take(per_group)
+        .collect();
+    let comparisons = policy_comparison(
+        &FetchPolicyKind::MAIN_COMPARISON,
+        &workloads,
+        &config,
+        scale,
+    )?;
+    let mut stacks: Vec<IpcStack> = workloads
+        .iter()
+        .map(|w| IpcStack {
+            workload: w.name(),
+            per_policy: Vec::new(),
+        })
+        .collect();
+    for comparison in &comparisons {
+        for (i, result) in comparison.per_workload.iter().enumerate() {
+            stacks[i]
+                .per_policy
+                .push((comparison.policy, result.per_thread_ipc.clone()));
+        }
+    }
+    Ok(stacks)
+}
+
+/// The five alternative policies of Figures 20/21: (a) flush, (b) MLP distance +
+/// flush, (c) binary MLP + flush, (d) MLP distance + flush at resource stall,
+/// (e) binary MLP + flush at resource stall.
+pub const ALTERNATIVE_POLICIES: [FetchPolicyKind; 5] = [
+    FetchPolicyKind::Flush,
+    FetchPolicyKind::MlpFlush,
+    FetchPolicyKind::MlpBinaryFlush,
+    FetchPolicyKind::MlpDistanceFlushAtStall,
+    FetchPolicyKind::MlpBinaryFlushAtStall,
+];
+
+/// Figures 20 and 21: the alternative MLP-aware flush policies over the two-thread
+/// workload groups.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn alternative_policies(scale: RunScale, per_group: usize) -> Result<Vec<GroupSummary>, SimError> {
+    let config = SmtConfig::baseline(2);
+    let mut out = Vec::new();
+    for group in [
+        WorkloadGroup::IlpIntensive,
+        WorkloadGroup::MlpIntensive,
+        WorkloadGroup::Mixed,
+    ] {
+        let workloads: Vec<Workload> = two_thread_workloads()
+            .into_iter()
+            .filter(|w| w.group == group)
+            .take(per_group)
+            .collect();
+        let policies = policy_comparison(&ALTERNATIVE_POLICIES, &workloads, &config, scale)?;
+        out.push(GroupSummary { group, policies });
+    }
+    Ok(out)
+}
+
+/// Figures 22 and 23: MLP-aware flush versus static partitioning and DCRA, on both
+/// the two-thread and four-thread workloads.
+///
+/// Returns `(two_thread_groups, four_thread)` aggregates.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+#[allow(clippy::type_complexity)]
+pub fn partitioning_comparison(
+    scale: RunScale,
+    per_group: usize,
+    four_thread_limit: usize,
+) -> Result<(Vec<GroupSummary>, Vec<PolicyComparison>), SimError> {
+    let policies = [
+        FetchPolicyKind::MlpFlush,
+        FetchPolicyKind::StaticPartition,
+        FetchPolicyKind::Dcra,
+    ];
+    let config2 = SmtConfig::baseline(2);
+    let mut two_thread = Vec::new();
+    for group in [
+        WorkloadGroup::IlpIntensive,
+        WorkloadGroup::MlpIntensive,
+        WorkloadGroup::Mixed,
+    ] {
+        let workloads: Vec<Workload> = two_thread_workloads()
+            .into_iter()
+            .filter(|w| w.group == group)
+            .take(per_group)
+            .collect();
+        let comparisons = policy_comparison(&policies, &workloads, &config2, scale)?;
+        two_thread.push(GroupSummary {
+            group,
+            policies: comparisons,
+        });
+    }
+    let config4 = SmtConfig::baseline(4);
+    let workloads4: Vec<Workload> = four_thread_workloads()
+        .into_iter()
+        .take(four_thread_limit)
+        .collect();
+    let four_thread = policy_comparison(&policies, &workloads4, &config4, scale)?;
+    Ok((two_thread, four_thread))
+}
+
+/// Formats a set of group summaries as an aligned STP/ANTT text table.
+pub fn format_group_summaries(groups: &[GroupSummary]) -> String {
+    let mut out = String::new();
+    for summary in groups {
+        out.push_str(&format!("== {} workloads ==\n", summary.group.label()));
+        out.push_str("policy                      STP      ANTT\n");
+        for p in &summary.policies {
+            out.push_str(&format!(
+                "{:<26} {:>6.3}  {:>8.3}\n",
+                p.policy.name(),
+                p.avg_stp,
+                p.avg_antt
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_flush_beats_icount_on_mlp_intensive_workload() {
+        let config = SmtConfig::baseline(2);
+        let workloads = vec![Workload::new(vec!["mcf", "swim"]).unwrap()];
+        let results = policy_comparison(
+            &[FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+            &workloads,
+            &config,
+            RunScale::test(),
+        )
+        .unwrap();
+        let icount = &results[0];
+        let mlp_flush = &results[1];
+        assert!(
+            mlp_flush.avg_stp >= icount.avg_stp * 0.98,
+            "MLP-aware flush STP {} should not trail ICOUNT {} on an MLP-intensive mix",
+            mlp_flush.avg_stp,
+            icount.avg_stp
+        );
+    }
+
+    #[test]
+    fn two_thread_selection_respects_per_group_limit() {
+        let sel = two_thread_selection(2);
+        assert_eq!(sel.len(), 6);
+        let sel = two_thread_selection(usize::MAX);
+        assert_eq!(sel.len(), 36);
+    }
+
+    #[test]
+    fn ipc_stacks_have_one_entry_per_policy() {
+        let stacks = ipc_stacks(RunScale::tiny(), WorkloadGroup::MlpIntensive, 1).unwrap();
+        assert_eq!(stacks.len(), 1);
+        assert_eq!(stacks[0].per_policy.len(), FetchPolicyKind::MAIN_COMPARISON.len());
+        for (_, ipcs) in &stacks[0].per_policy {
+            assert_eq!(ipcs.len(), 2);
+            assert!(ipcs.iter().all(|&v| v > 0.0));
+        }
+    }
+
+    #[test]
+    fn format_output_mentions_every_policy() {
+        let groups = policy_comparison_two_thread(RunScale::tiny(), 1).unwrap();
+        let text = format_group_summaries(&groups);
+        for p in FetchPolicyKind::MAIN_COMPARISON {
+            assert!(text.contains(p.name()), "missing {}", p.name());
+        }
+        assert!(text.contains("== MLP workloads =="));
+    }
+}

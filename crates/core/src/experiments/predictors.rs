@@ -1,0 +1,234 @@
+//! Figures 4–8: predictor and prefetcher characterization on single-threaded runs.
+
+use smt_trace::spec;
+use smt_types::{SimError, SmtConfig};
+
+use crate::runner::{run_single_thread, RunScale};
+
+/// One benchmark's predictor accuracy measurements (drives Figures 6, 7 and 8).
+#[derive(Clone, Debug)]
+pub struct PredictorAccuracyRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Long-latency load predictor accuracy over all loads (Figure 6).
+    pub lll_accuracy: f64,
+    /// Long-latency load predictor accuracy over actual misses only.
+    pub lll_miss_accuracy: f64,
+    /// Binary MLP prediction: fraction of true positives.
+    pub mlp_true_positive: f64,
+    /// Binary MLP prediction: fraction of true negatives.
+    pub mlp_true_negative: f64,
+    /// Binary MLP prediction: fraction of false positives.
+    pub mlp_false_positive: f64,
+    /// Binary MLP prediction: fraction of false negatives.
+    pub mlp_false_negative: f64,
+    /// MLP-distance "far enough" accuracy (Figure 8).
+    pub mlp_distance_accuracy: f64,
+}
+
+/// One benchmark's prefetcher sensitivity (Figure 5).
+#[derive(Clone, Debug)]
+pub struct PrefetchRow {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Single-thread IPC without the hardware prefetcher.
+    pub ipc_without_prefetch: f64,
+    /// Single-thread IPC with the Table IV stream-buffer prefetcher.
+    pub ipc_with_prefetch: f64,
+}
+
+impl PrefetchRow {
+    /// Speedup of enabling the prefetcher.
+    pub fn speedup(&self) -> f64 {
+        if self.ipc_without_prefetch == 0.0 {
+            1.0
+        } else {
+            self.ipc_with_prefetch / self.ipc_without_prefetch
+        }
+    }
+}
+
+/// One benchmark's predicted-MLP-distance CDF (Figure 4).
+#[derive(Clone, Debug)]
+pub struct MlpDistanceCdf {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// `(distance upper bound, cumulative fraction)` points.
+    pub cdf: Vec<(u32, f64)>,
+}
+
+impl MlpDistanceCdf {
+    /// Fraction of predicted MLP distances at or below `distance` instructions.
+    pub fn fraction_within(&self, distance: u32) -> f64 {
+        let mut last = 0.0;
+        for &(bound, fraction) in &self.cdf {
+            if bound > distance {
+                return last;
+            }
+            last = fraction;
+        }
+        last
+    }
+}
+
+/// Figure 4: cumulative distribution of the predicted MLP distance for the six
+/// most MLP-intensive programs, on the 256-entry ROB / 128-entry LLSR baseline.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure4(scale: RunScale) -> Result<Vec<MlpDistanceCdf>, SimError> {
+    // The paper's Figure 4 characterizes a 256-entry ROB processor with a
+    // 128-entry LLSR; the runs are single threaded, so pin the LLSR length.
+    let mut config = SmtConfig::baseline(1);
+    config.llsr_length_override = Some(128);
+    let mut out = Vec::new();
+    for name in spec::figure4_benchmarks() {
+        let stats = run_single_thread(name, &config, scale)?;
+        out.push(MlpDistanceCdf {
+            benchmark: name.to_string(),
+            cdf: stats.threads[0].mlp_distance_cdf(),
+        });
+    }
+    Ok(out)
+}
+
+/// Figure 5: single-thread IPC with and without the hardware prefetcher, for all
+/// 26 benchmarks.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure5(scale: RunScale) -> Result<Vec<PrefetchRow>, SimError> {
+    let mut rows = Vec::new();
+    for profile in spec::all_benchmarks() {
+        let without = run_single_thread(
+            &profile.name,
+            &SmtConfig::baseline(1).with_prefetcher(false),
+            scale,
+        )?;
+        let with = run_single_thread(
+            &profile.name,
+            &SmtConfig::baseline(1).with_prefetcher(true),
+            scale,
+        )?;
+        rows.push(PrefetchRow {
+            benchmark: profile.name.clone(),
+            ipc_without_prefetch: without.threads[0].ipc(without.cycles),
+            ipc_with_prefetch: with.threads[0].ipc(with.cycles),
+        });
+    }
+    Ok(rows)
+}
+
+/// Shared single-threaded run behind Figures 6–8.
+///
+/// Like the Table I characterization, the predictors are evaluated on the raw
+/// miss stream (hardware prefetcher disabled): with the prefetcher enabled most
+/// strided misses disappear and the remaining ones are, by construction, the
+/// unpredictable residue.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn predictor_characterization(scale: RunScale) -> Result<Vec<PredictorAccuracyRow>, SimError> {
+    let config = SmtConfig::baseline(1).with_prefetcher(false);
+    let mut rows = Vec::new();
+    for profile in spec::all_benchmarks() {
+        let stats = run_single_thread(&profile.name, &config, scale)?;
+        let t = &stats.threads[0];
+        let mlp_total = (t.mlp_pred_true_positive
+            + t.mlp_pred_true_negative
+            + t.mlp_pred_false_positive
+            + t.mlp_pred_false_negative)
+            .max(1) as f64;
+        rows.push(PredictorAccuracyRow {
+            benchmark: profile.name.clone(),
+            lll_accuracy: t.lll_predictor_accuracy(),
+            lll_miss_accuracy: t.lll_predictor_miss_accuracy(),
+            mlp_true_positive: t.mlp_pred_true_positive as f64 / mlp_total,
+            mlp_true_negative: t.mlp_pred_true_negative as f64 / mlp_total,
+            mlp_false_positive: t.mlp_pred_false_positive as f64 / mlp_total,
+            mlp_false_negative: t.mlp_pred_false_negative as f64 / mlp_total,
+            mlp_distance_accuracy: t.mlp_distance_accuracy(),
+        });
+    }
+    Ok(rows)
+}
+
+/// Figure 6: long-latency load predictor accuracy per benchmark.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure6(scale: RunScale) -> Result<Vec<PredictorAccuracyRow>, SimError> {
+    predictor_characterization(scale)
+}
+
+/// Figure 7: binary MLP prediction outcome fractions per benchmark.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure7(scale: RunScale) -> Result<Vec<PredictorAccuracyRow>, SimError> {
+    predictor_characterization(scale)
+}
+
+/// Figure 8: MLP-distance "far enough" prediction accuracy per benchmark.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn figure8(scale: RunScale) -> Result<Vec<PredictorAccuracyRow>, SimError> {
+    predictor_characterization(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lll_predictor_is_accurate_on_memory_intensive_benchmark() {
+        let config = SmtConfig::baseline(1).with_prefetcher(false);
+        let stats = run_single_thread("swim", &config, RunScale::test()).unwrap();
+        let acc = stats.threads[0].lll_predictor_accuracy();
+        assert!(acc > 0.90, "swim long-latency predictor accuracy {acc}");
+    }
+
+    #[test]
+    fn figure4_cdf_reaches_one_and_orders_lucas_before_mcf() {
+        let cdfs = figure4(RunScale::test()).unwrap();
+        assert_eq!(cdfs.len(), 6);
+        let lucas = cdfs.iter().find(|c| c.benchmark == "lucas").unwrap();
+        let mcf = cdfs.iter().find(|c| c.benchmark == "mcf").unwrap();
+        assert!(!lucas.cdf.is_empty() && !mcf.cdf.is_empty());
+        assert!((lucas.cdf.last().unwrap().1 - 1.0).abs() < 1e-9);
+        // lucas exposes its MLP over short distances, mcf over long distances
+        // (Section 4.2): at 48 instructions lucas has seen most of its MLP.
+        assert!(
+            lucas.fraction_within(48) > mcf.fraction_within(48),
+            "lucas {} vs mcf {}",
+            lucas.fraction_within(48),
+            mcf.fraction_within(48)
+        );
+    }
+
+    #[test]
+    fn prefetcher_speeds_up_strided_benchmark() {
+        let rows = figure5(RunScale::test()).unwrap();
+        assert_eq!(rows.len(), 26);
+        let swim = rows.iter().find(|r| r.benchmark == "swim").unwrap();
+        assert!(
+            swim.speedup() > 1.05,
+            "swim should benefit from prefetching, speedup {}",
+            swim.speedup()
+        );
+        let mcf = rows.iter().find(|r| r.benchmark == "mcf").unwrap();
+        assert!(
+            swim.speedup() > mcf.speedup(),
+            "strided swim ({}) should gain more than pointer-chasing mcf ({})",
+            swim.speedup(),
+            mcf.speedup()
+        );
+    }
+}

@@ -1,0 +1,130 @@
+//! Microarchitecture sweeps (Section 6.4): main-memory latency (Figures 15/16) and
+//! processor window size (Figures 17/18).
+
+use smt_types::config::FetchPolicyKind;
+use smt_types::{SimError, SmtConfig};
+
+use crate::experiments::policies::{policy_comparison, PolicyComparison};
+use crate::runner::RunScale;
+use crate::workloads::representative_two_thread_workloads;
+
+/// The aggregate results of all policies at one parameter value of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepPoint {
+    /// The swept parameter value (memory latency in cycles, or ROB entries).
+    pub parameter: u64,
+    /// One aggregate per policy.
+    pub policies: Vec<PolicyComparison>,
+}
+
+impl SweepPoint {
+    /// STP of `policy` normalized to ICOUNT at the same parameter value, as the
+    /// paper plots it.
+    pub fn stp_relative_to_icount(&self, policy: FetchPolicyKind) -> Option<f64> {
+        let icount = self.policies.iter().find(|p| p.policy == FetchPolicyKind::Icount)?;
+        let target = self.policies.iter().find(|p| p.policy == policy)?;
+        Some(target.avg_stp / icount.avg_stp)
+    }
+
+    /// ANTT of `policy` normalized to ICOUNT at the same parameter value.
+    pub fn antt_relative_to_icount(&self, policy: FetchPolicyKind) -> Option<f64> {
+        let icount = self.policies.iter().find(|p| p.policy == FetchPolicyKind::Icount)?;
+        let target = self.policies.iter().find(|p| p.policy == policy)?;
+        Some(target.avg_antt / icount.avg_antt)
+    }
+}
+
+/// Figures 15 and 16: sweep the main-memory access latency (the paper uses 200,
+/// 400, 600 and 800 cycles) over a representative set of two-thread workloads.
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn memory_latency_sweep(latencies: &[u64], scale: RunScale) -> Result<Vec<SweepPoint>, SimError> {
+    let workloads = representative_two_thread_workloads();
+    let mut points = Vec::with_capacity(latencies.len());
+    for &latency in latencies {
+        let config = SmtConfig::baseline(2).with_memory_latency(latency);
+        let policies = policy_comparison(
+            &FetchPolicyKind::MAIN_COMPARISON,
+            &workloads,
+            &config,
+            scale,
+        )?;
+        points.push(SweepPoint {
+            parameter: latency,
+            policies,
+        });
+    }
+    Ok(points)
+}
+
+/// Figures 17 and 18: sweep the window size (ROB 128–1024 with the LSQ, issue
+/// queues and rename registers scaled proportionally, Section 6.4.2).
+///
+/// # Errors
+///
+/// Propagates simulation errors.
+pub fn window_size_sweep(rob_sizes: &[u32], scale: RunScale) -> Result<Vec<SweepPoint>, SimError> {
+    let workloads = representative_two_thread_workloads();
+    let mut points = Vec::with_capacity(rob_sizes.len());
+    for &rob in rob_sizes {
+        let config = SmtConfig::baseline(2).with_window_size(rob);
+        let policies = policy_comparison(
+            &FetchPolicyKind::MAIN_COMPARISON,
+            &workloads,
+            &config,
+            scale,
+        )?;
+        points.push(SweepPoint {
+            parameter: rob as u64,
+            policies,
+        });
+    }
+    Ok(points)
+}
+
+/// Formats a sweep as a text table of STP and ANTT relative to ICOUNT.
+pub fn format_sweep(points: &[SweepPoint], parameter_name: &str) -> String {
+    let mut out = format!("{parameter_name:>10}  policy                      STP/ICOUNT  ANTT/ICOUNT\n");
+    for point in points {
+        for p in &point.policies {
+            out.push_str(&format!(
+                "{:>10}  {:<26} {:>10.3}  {:>11.3}\n",
+                point.parameter,
+                p.policy.name(),
+                point.stp_relative_to_icount(p.policy).unwrap_or(f64::NAN),
+                point.antt_relative_to_icount(p.policy).unwrap_or(f64::NAN),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn memory_latency_sweep_produces_points() {
+        let points = memory_latency_sweep(&[200, 600], RunScale::tiny()).unwrap();
+        assert_eq!(points.len(), 2);
+        for point in &points {
+            assert_eq!(point.policies.len(), FetchPolicyKind::MAIN_COMPARISON.len());
+            let rel = point.stp_relative_to_icount(FetchPolicyKind::MlpFlush).unwrap();
+            assert!(rel > 0.5 && rel < 2.0, "relative STP {rel} out of range");
+        }
+        let text = format_sweep(&points, "mem-lat");
+        assert!(text.contains("mlp-flush"));
+    }
+
+    #[test]
+    fn window_sweep_scales_configuration() {
+        let points = window_size_sweep(&[128], RunScale::tiny()).unwrap();
+        assert_eq!(points.len(), 1);
+        assert_eq!(points[0].parameter, 128);
+        assert!(points[0]
+            .antt_relative_to_icount(FetchPolicyKind::Flush)
+            .is_some());
+    }
+}

@@ -1,0 +1,42 @@
+//! `smt-core`: the SMT processor simulator, system-level metrics, workload
+//! definitions and experiment runners reproducing "A Memory-Level Parallelism
+//! Aware Fetch Policy for SMT Processors" (Eyerman & Eeckhout, HPCA 2007 / TACO
+//! 2009).
+//!
+//! The crate is organised as:
+//!
+//! * [`pipeline`] — the cycle-level SMT out-of-order pipeline (SMTSIM substitute),
+//! * [`metrics`] — STP, ANTT and averaging helpers (Section 5),
+//! * [`workloads`] — the two-thread and four-thread multiprogram workloads of
+//!   Tables II and III,
+//! * [`runner`] — high-level helpers that run single-threaded reference and
+//!   multithreaded workloads and combine them into STP/ANTT results,
+//! * [`experiments`] — one runner per table/figure of the evaluation section.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use smt_core::runner::{self, RunScale};
+//! use smt_types::config::FetchPolicyKind;
+//!
+//! # fn main() -> Result<(), smt_types::SimError> {
+//! // Compare ICOUNT and MLP-aware flush on one MLP-intensive two-thread workload.
+//! let scale = RunScale::tiny();
+//! let icount = runner::evaluate_workload(&["mcf", "swim"], FetchPolicyKind::Icount, scale)?;
+//! let mlp = runner::evaluate_workload(&["mcf", "swim"], FetchPolicyKind::MlpFlush, scale)?;
+//! assert!(icount.stp > 0.0 && mlp.stp > 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod pipeline;
+pub mod runner;
+pub mod workloads;
+
+pub use pipeline::{SimOptions, SmtSimulator};
+pub use runner::{evaluate_workload, RunScale, WorkloadResult};

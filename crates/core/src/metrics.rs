@@ -1,0 +1,141 @@
+//! System-level multiprogram performance metrics (Section 5 of the paper).
+//!
+//! * **STP** (system throughput) is the sum over programs of
+//!   `CPI_single_thread / CPI_multi_thread` — identical to weighted speedup.
+//!   Higher is better.
+//! * **ANTT** (average normalized turnaround time) is the arithmetic mean of
+//!   `CPI_multi_thread / CPI_single_thread` — the reciprocal of the hmean metric.
+//!   Lower is better.
+//!
+//! When averaging across workloads the paper follows John [2006]: harmonic mean
+//! for STP, arithmetic mean for ANTT.
+
+/// System throughput (weighted speedup) from per-program single-threaded and
+/// multithreaded CPIs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty, or if any CPI is not
+/// strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::metrics::stp;
+/// // Two programs, each running at exactly half its single-threaded speed.
+/// assert!((stp(&[1.0, 2.0], &[2.0, 4.0]) - 1.0).abs() < 1e-12);
+/// ```
+pub fn stp(single_thread_cpi: &[f64], multi_thread_cpi: &[f64]) -> f64 {
+    validate(single_thread_cpi, multi_thread_cpi);
+    single_thread_cpi
+        .iter()
+        .zip(multi_thread_cpi)
+        .map(|(st, mt)| st / mt)
+        .sum()
+}
+
+/// Average normalized turnaround time from per-program single-threaded and
+/// multithreaded CPIs.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty, or if any CPI is not
+/// strictly positive.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::metrics::antt;
+/// assert!((antt(&[1.0, 1.0], &[2.0, 4.0]) - 3.0).abs() < 1e-12);
+/// ```
+pub fn antt(single_thread_cpi: &[f64], multi_thread_cpi: &[f64]) -> f64 {
+    validate(single_thread_cpi, multi_thread_cpi);
+    let n = single_thread_cpi.len() as f64;
+    single_thread_cpi
+        .iter()
+        .zip(multi_thread_cpi)
+        .map(|(st, mt)| mt / st)
+        .sum::<f64>()
+        / n
+}
+
+fn validate(st: &[f64], mt: &[f64]) {
+    assert_eq!(st.len(), mt.len(), "CPI vectors must have the same length");
+    assert!(!st.is_empty(), "CPI vectors must not be empty");
+    assert!(
+        st.iter().chain(mt.iter()).all(|&c| c.is_finite() && c > 0.0),
+        "CPIs must be positive and finite"
+    );
+}
+
+/// Harmonic mean (used to average STP across workloads).
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains non-positive entries.
+pub fn harmonic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "cannot average an empty set");
+    assert!(values.iter().all(|&v| v > 0.0), "harmonic mean needs positive values");
+    values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
+}
+
+/// Arithmetic mean (used to average ANTT across workloads).
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn arithmetic_mean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "cannot average an empty set");
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stp_is_weighted_speedup() {
+        // Program 0 runs at full speed, program 1 at a third of its ST speed.
+        let v = stp(&[2.0, 3.0], &[2.0, 9.0]);
+        assert!((v - (1.0 + 1.0 / 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn antt_is_mean_slowdown() {
+        let v = antt(&[2.0, 3.0], &[2.0, 9.0]);
+        assert!((v - (1.0 + 3.0) / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_sharing_bounds() {
+        // n programs all running at single-threaded speed: STP = n, ANTT = 1.
+        let st = [1.5, 0.8, 2.0, 1.1];
+        assert!((stp(&st, &st) - 4.0).abs() < 1e-12);
+        assert!((antt(&st, &st) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn means() {
+        assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
+        assert!((arithmetic_mean(&[1.0, 2.0, 4.0]) - 7.0 / 3.0).abs() < 1e-12);
+        assert!(harmonic_mean(&[2.0, 2.0]) <= arithmetic_mean(&[2.0, 2.0]) + 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = stp(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_positive_cpi_panics() {
+        let _ = antt(&[0.0, 1.0], &[1.0, 1.0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_mean_panics() {
+        let _ = harmonic_mean(&[]);
+    }
+}

@@ -1,0 +1,869 @@
+//! The cycle-level SMT out-of-order pipeline (the SMTSIM substitute).
+//!
+//! The simulator is trace driven: each hardware thread pulls [`smt_types::TraceOp`]
+//! records from a [`smt_trace::TraceSource`] and moves them through a
+//! fetch → (14-stage front end) → dispatch → issue → execute → commit pipeline with
+//! the shared resources of Table IV (256-entry ROB, 128-entry LSQ, 64-entry issue
+//! queues, 100+100 rename registers, 4-wide everywhere). The fetch stage is driven
+//! by an [`smt_fetch::FetchPolicy`]; loads access the [`smt_mem::MemoryHierarchy`];
+//! long-latency loads feed the LLSR/MLP predictors of [`smt_predictors`].
+
+mod thread;
+
+
+use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
+use smt_mem::{AccessLevel, MemoryHierarchy, WriteBuffer};
+use smt_predictors::LongLatencyPredictor;
+use smt_trace::TraceSource;
+use smt_types::{MachineStats, OpKind, SeqNum, SimError, SmtConfig, SmtSnapshot, ThreadId};
+
+use thread::{InFlight, PendingMlpEval, RefetchEntry, ThreadContext};
+
+/// Run-length options for a simulation.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SimOptions {
+    /// Stop once any thread has committed this many instructions (the paper stops
+    /// at 200 M; the default here is sized for laptop-scale runs).
+    pub max_instructions_per_thread: u64,
+    /// Instructions each thread commits before measurement starts. The warm-up
+    /// phase fills caches, TLBs and predictors (the paper's SimPoints serve the
+    /// same purpose) and is excluded from all reported statistics.
+    pub warmup_instructions_per_thread: u64,
+    /// Hard safety limit on simulated cycles.
+    pub max_cycles: u64,
+}
+
+impl Default for SimOptions {
+    fn default() -> Self {
+        SimOptions {
+            max_instructions_per_thread: 50_000,
+            warmup_instructions_per_thread: 5_000,
+            max_cycles: 50_000_000,
+        }
+    }
+}
+
+impl SimOptions {
+    /// Options that stop after `instructions` committed instructions on any thread,
+    /// after a proportional warm-up.
+    pub fn with_instructions(instructions: u64) -> Self {
+        SimOptions {
+            max_instructions_per_thread: instructions,
+            warmup_instructions_per_thread: (instructions / 4).clamp(500, 20_000),
+            ..Self::default()
+        }
+    }
+
+    /// Options with an explicit warm-up length.
+    pub fn with_warmup(mut self, warmup: u64) -> Self {
+        self.warmup_instructions_per_thread = warmup;
+        self
+    }
+}
+
+/// The SMT processor simulator.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::pipeline::{SimOptions, SmtSimulator};
+/// use smt_trace::{spec, SyntheticTraceGenerator};
+/// use smt_types::SmtConfig;
+///
+/// # fn main() -> Result<(), smt_types::SimError> {
+/// let cfg = SmtConfig::baseline(2);
+/// let t0 = SyntheticTraceGenerator::new(spec::benchmark("mcf")?, 1);
+/// let t1 = SyntheticTraceGenerator::new(spec::benchmark("gcc")?, 2);
+/// let mut sim = SmtSimulator::new(cfg, vec![Box::new(t0), Box::new(t1)])?;
+/// let stats = sim.run(SimOptions::with_instructions(2_000));
+/// assert!(stats.cycles > 0);
+/// assert!(stats.threads[0].committed_instructions >= 2_000
+///     || stats.threads[1].committed_instructions >= 2_000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SmtSimulator {
+    config: SmtConfig,
+    policy: Box<dyn FetchPolicy>,
+    mem: MemoryHierarchy,
+    write_buffer: WriteBuffer,
+    threads: Vec<ThreadContext>,
+    stats: MachineStats,
+    cycle: u64,
+    stats_cycle_base: u64,
+    rotate: usize,
+    frontend_capacity: u32,
+}
+
+impl SmtSimulator {
+    /// Builds a simulator for `config` running one trace source per hardware
+    /// thread, using the fetch policy named in the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration does not validate
+    /// and [`SimError::InvalidWorkload`] if the number of traces does not match
+    /// `config.num_threads`.
+    pub fn new(config: SmtConfig, traces: Vec<Box<dyn TraceSource>>) -> Result<Self, SimError> {
+        let policy = build_policy(config.fetch_policy, &config);
+        Self::with_policy(config, traces, policy)
+    }
+
+    /// Builds a simulator with an explicitly provided fetch policy (used to test
+    /// custom policies against the built-in ones).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmtSimulator::new`].
+    pub fn with_policy(
+        config: SmtConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        policy: Box<dyn FetchPolicy>,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if traces.len() != config.num_threads {
+            return Err(SimError::invalid_workload(format!(
+                "expected {} trace sources, got {}",
+                config.num_threads,
+                traces.len()
+            )));
+        }
+        let mem = MemoryHierarchy::new(&config);
+        // Stores retire from the write buffer at L1 store-port speed; the buffer
+        // exists to absorb commit bursts (Section 5), not to throttle throughput.
+        let write_buffer = WriteBuffer::new(
+            config.write_buffer_entries as usize,
+            config.l1d.latency.max(1),
+        );
+        let threads = traces
+            .into_iter()
+            .map(|t| ThreadContext::new(&config, t))
+            .collect();
+        let frontend_capacity = config.frontend_depth * config.fetch_width;
+        Ok(SmtSimulator {
+            stats: MachineStats::new(config.num_threads),
+            config,
+            policy,
+            mem,
+            write_buffer,
+            threads,
+            cycle: 0,
+            stats_cycle_base: 0,
+            rotate: 0,
+            frontend_capacity,
+        })
+    }
+
+    /// The configuration the simulator was built with.
+    pub fn config(&self) -> &SmtConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &MachineStats {
+        &self.stats
+    }
+
+    /// Runs the warm-up phase followed by the measured phase, stopping the
+    /// measured phase once any thread has committed the instruction budget (the
+    /// paper's stop criterion) or the cycle limit is hit, and returns the
+    /// statistics of the measured phase.
+    pub fn run(&mut self, options: SimOptions) -> MachineStats {
+        self.warm_up(options.warmup_instructions_per_thread, options.max_cycles);
+        let baselines: Vec<u64> = self.threads.iter().map(|t| t.committed).collect();
+        while self.cycle < options.max_cycles {
+            if self
+                .threads
+                .iter()
+                .zip(&baselines)
+                .any(|(t, &base)| t.committed - base >= options.max_instructions_per_thread)
+            {
+                break;
+            }
+            self.step();
+        }
+        self.stats.cycles = self.cycle - self.stats_cycle_base;
+        self.stats.clone()
+    }
+
+    /// Runs until every thread has committed `instructions` further instructions,
+    /// then clears all statistics (microarchitectural state — caches, TLBs,
+    /// predictors, stream buffers — stays warm). A zero-length warm-up is a no-op.
+    pub fn warm_up(&mut self, instructions: u64, max_cycles: u64) {
+        if instructions == 0 {
+            return;
+        }
+        let targets: Vec<u64> = self.threads.iter().map(|t| t.committed + instructions).collect();
+        while self.cycle < max_cycles
+            && self
+                .threads
+                .iter()
+                .zip(&targets)
+                .any(|(t, &target)| t.committed < target)
+        {
+            self.step();
+        }
+        self.reset_stats();
+    }
+
+    /// Zeroes all statistics counters without disturbing microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        self.stats = MachineStats::new(self.threads.len());
+        self.stats_cycle_base = self.cycle;
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        let snapshot = self.build_snapshot();
+        let caps = self.policy.resource_caps(&snapshot, &self.config);
+        self.commit_phase();
+        self.writeback_phase();
+        self.issue_phase();
+        self.dispatch_phase(&snapshot, caps.as_deref());
+        self.fetch_phase(&snapshot);
+        self.account_mlp();
+        self.cycle += 1;
+        self.rotate = (self.rotate + 1) % self.threads.len();
+        self.stats.cycles = self.cycle - self.stats_cycle_base;
+    }
+
+    // ------------------------------------------------------------------ snapshot
+
+    fn build_snapshot(&self) -> SmtSnapshot {
+        let mut snap = SmtSnapshot::new(self.threads.len());
+        snap.cycle = self.cycle;
+        for (i, ctx) in self.threads.iter().enumerate() {
+            let t = &mut snap.threads[i];
+            t.active = ctx.active;
+            t.icount = ctx.occ.icount;
+            t.rob_occupancy = ctx.occ.rob;
+            t.lsq_occupancy = ctx.occ.lsq;
+            t.iq_int_occupancy = ctx.occ.iq_int;
+            t.iq_fp_occupancy = ctx.occ.iq_fp;
+            t.rename_int_used = ctx.occ.rename_int;
+            t.rename_fp_used = ctx.occ.rename_fp;
+            t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
+            t.outstanding_l1d_misses = ctx.outstanding_l1d;
+            t.oldest_lll_cycle = ctx.oldest_lll_cycle();
+            snap.rob_total_occupancy += ctx.occ.rob;
+            snap.lsq_total_occupancy += ctx.occ.lsq;
+            snap.iq_int_total_occupancy += ctx.occ.iq_int;
+            snap.iq_fp_total_occupancy += ctx.occ.iq_fp;
+            snap.rename_int_total_used += ctx.occ.rename_int;
+            snap.rename_fp_total_used += ctx.occ.rename_fp;
+        }
+        snap
+    }
+
+    // ------------------------------------------------------------------ commit
+
+    fn commit_phase(&mut self) {
+        let cycle = self.cycle;
+        let commit_width = self.config.commit_width;
+        for ti in 0..self.threads.len() {
+            let mut done = 0;
+            while done < commit_width {
+                let ctx = &mut self.threads[ti];
+                let Some(head) = ctx.window.front() else { break };
+                if !(head.dispatched && head.issued && head.completed) {
+                    break;
+                }
+                if head.op.kind == OpKind::Store && !self.write_buffer.try_push(cycle) {
+                    // Commit blocks when the write buffer is full (Section 5).
+                    break;
+                }
+                let head = ctx.window.pop_front().expect("head exists");
+                ctx.occ.rob -= 1;
+                if head.uses_lsq {
+                    ctx.occ.lsq -= 1;
+                }
+                if head.has_dest {
+                    if head.dest_fp {
+                        ctx.occ.rename_fp -= 1;
+                    } else {
+                        ctx.occ.rename_int -= 1;
+                    }
+                }
+                ctx.committed += 1;
+                let thread_id = ThreadId::new(ti);
+                if head.op.kind == OpKind::Store {
+                    if let Some(addr) = head.op.addr() {
+                        self.mem.store_access(thread_id, addr, cycle);
+                    }
+                }
+                let tstats = self.stats.thread_mut(thread_id);
+                tstats.committed_instructions += 1;
+                match head.op.kind {
+                    OpKind::Load => tstats.loads += 1,
+                    OpKind::Store => tstats.stores += 1,
+                    OpKind::Branch => tstats.branches += 1,
+                    _ => {}
+                }
+                // Feed the LLSR and, when a long-latency load leaves the window,
+                // train the MLP predictors and score the earlier prediction.
+                let is_lll_load = head.is_long_latency && head.op.kind == OpKind::Load;
+                if is_lll_load {
+                    ctx.pending_mlp_evals.push_back(PendingMlpEval {
+                        pc: head.op.pc,
+                        predicted_distance: head.predicted_mlp_distance,
+                    });
+                }
+                if let Some(obs) = ctx.llsr.commit(head.op.pc, is_lll_load) {
+                    ctx.mlp_predictor.update(obs.pc, obs.mlp_distance);
+                    ctx.binary_mlp_predictor.update(obs.pc, obs.mlp_distance > 0);
+                    if let Some(eval) = ctx.pending_mlp_evals.pop_front() {
+                        debug_assert_eq!(eval.pc, obs.pc, "LLSR and prediction FIFOs diverged");
+                        let tstats = self.stats.thread_mut(thread_id);
+                        let predicted_mlp = eval.predicted_distance > 0;
+                        let actual_mlp = obs.mlp_distance > 0;
+                        match (predicted_mlp, actual_mlp) {
+                            (true, true) => tstats.mlp_pred_true_positive += 1,
+                            (false, false) => tstats.mlp_pred_true_negative += 1,
+                            (true, false) => tstats.mlp_pred_false_positive += 1,
+                            (false, true) => tstats.mlp_pred_false_negative += 1,
+                        }
+                        tstats.mlp_distance_total += 1;
+                        if eval.predicted_distance >= obs.mlp_distance {
+                            tstats.mlp_distance_far_enough += 1;
+                        }
+                    }
+                }
+                done += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ writeback
+
+    fn writeback_phase(&mut self) {
+        let cycle = self.cycle;
+        for ti in 0..self.threads.len() {
+            let thread_id = ThreadId::new(ti);
+            let mut mispredict_at: Option<u64> = None;
+            {
+                let ctx = &mut self.threads[ti];
+                for idx in 0..ctx.window.len() {
+                    let inst = &mut ctx.window[idx];
+                    if !inst.issued || inst.completed || inst.done_at > cycle {
+                        continue;
+                    }
+                    inst.completed = true;
+                    let seq = inst.seq;
+                    let was_lll = inst.is_long_latency;
+                    let was_l1_miss = inst.l1_missed;
+                    let mispredicted_branch = inst.op.kind == OpKind::Branch && inst.mispredicted;
+                    if was_l1_miss && ctx.outstanding_l1d > 0 {
+                        ctx.outstanding_l1d -= 1;
+                    }
+                    if was_lll && ctx.outstanding_lll.remove(&seq).is_some() {
+                        self.policy.on_long_latency_resolved(thread_id, SeqNum(seq));
+                    }
+                    if mispredicted_branch {
+                        mispredict_at = Some(mispredict_at.map_or(seq, |s: u64| s.min(seq)));
+                    }
+                }
+            }
+            if let Some(seq) = mispredict_at {
+                self.stats.thread_mut(thread_id).branch_mispredictions += 1;
+                self.squash(ti, seq, SquashCause::BranchMisprediction);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ issue
+
+    fn issue_phase(&mut self) {
+        let cycle = self.cycle;
+        let mut remaining = self.config.issue_width;
+        let mut int_units = self.config.int_alus;
+        let mut ldst_units = self.config.ldst_units;
+        let mut fp_units = self.config.fp_units;
+        let num_threads = self.threads.len();
+        let mut flushes: Vec<FlushRequest> = Vec::new();
+
+        for offset in 0..num_threads {
+            if remaining == 0 {
+                break;
+            }
+            let ti = (self.rotate + offset) % num_threads;
+            let thread_id = ThreadId::new(ti);
+            let mut idx = 0;
+            while remaining > 0 && idx < self.threads[ti].window.len() {
+                let (seq, op, ready, predicted_lll) = {
+                    let ctx = &self.threads[ti];
+                    let inst = &ctx.window[idx];
+                    if !inst.dispatched || inst.issued {
+                        if !inst.dispatched {
+                            // In-order dispatch: everything beyond is undispatched.
+                            break;
+                        }
+                        idx += 1;
+                        continue;
+                    }
+                    let ready = Self::deps_ready(ctx, inst);
+                    (inst.seq, inst.op, ready, inst.predicted_lll)
+                };
+                if !ready {
+                    idx += 1;
+                    continue;
+                }
+                // Functional-unit availability.
+                let unit = match op.kind {
+                    OpKind::Load | OpKind::Store => &mut ldst_units,
+                    k if k.is_fp() => &mut fp_units,
+                    _ => &mut int_units,
+                };
+                if *unit == 0 {
+                    idx += 1;
+                    continue;
+                }
+                *unit -= 1;
+                remaining -= 1;
+
+                let mut done_at = cycle + op.kind.exec_latency();
+                let mut detected_lll = false;
+                let mut l1_missed = false;
+                let mut detection_distance = 0;
+                let mut detection_has_mlp = false;
+
+                if op.kind == OpKind::Load {
+                    let addr = op.addr().unwrap_or(0);
+                    let access = self.mem.load_access(thread_id, op.pc, addr, cycle);
+                    done_at = access.completion_cycle().max(cycle + 1);
+                    l1_missed = access.l1_miss;
+                    let tstats = self.stats.thread_mut(thread_id);
+                    if access.l1_miss {
+                        tstats.l1d_load_misses += 1;
+                    }
+                    if access.l2_miss {
+                        tstats.l2_load_misses += 1;
+                    }
+                    if access.level == AccessLevel::Memory {
+                        tstats.l3_load_misses += 1;
+                    }
+                    if access.dtlb_miss {
+                        tstats.dtlb_misses += 1;
+                    }
+                    if access.prefetch_hit {
+                        tstats.prefetch_hits += 1;
+                    }
+                    // Score and train the long-latency load predictor (Figure 6).
+                    tstats.lll_pred_total += 1;
+                    if predicted_lll == access.long_latency {
+                        tstats.lll_pred_correct += 1;
+                    }
+                    if access.long_latency {
+                        tstats.lll_pred_miss_total += 1;
+                        if predicted_lll {
+                            tstats.lll_pred_miss_correct += 1;
+                        }
+                        tstats.long_latency_loads += 1;
+                        detected_lll = true;
+                    }
+                    let ctx = &mut self.threads[ti];
+                    ctx.lll_predictor.update(op.pc, access.long_latency);
+                    if access.long_latency {
+                        detection_distance = ctx.mlp_predictor.predict(op.pc);
+                        detection_has_mlp = ctx.binary_mlp_predictor.predict(op.pc);
+                        ctx.outstanding_lll.insert(seq, cycle);
+                        self.stats
+                            .thread_mut(thread_id)
+                            .record_mlp_distance(detection_distance);
+                    }
+                    if access.l1_miss {
+                        ctx.outstanding_l1d += 1;
+                    }
+                } else if op.kind == OpKind::Store {
+                    done_at = cycle + 1;
+                }
+
+                {
+                    let ctx = &mut self.threads[ti];
+                    let inst = &mut ctx.window[idx];
+                    inst.issued = true;
+                    inst.completed = false;
+                    inst.done_at = done_at;
+                    inst.l1_missed = l1_missed;
+                    if detected_lll {
+                        inst.is_long_latency = true;
+                        inst.predicted_mlp_distance = detection_distance;
+                        inst.predicted_has_mlp = detection_has_mlp;
+                    }
+                    if inst.uses_fp_iq {
+                        ctx.occ.iq_fp -= 1;
+                    } else {
+                        ctx.occ.iq_int -= 1;
+                    }
+                    ctx.occ.icount -= 1;
+                }
+
+                if op.kind == OpKind::Load {
+                    let latest = SeqNum(self.threads[ti].latest_fetched_seq);
+                    if detected_lll {
+                        if let Some(req) = self.policy.on_long_latency_detected(
+                            thread_id,
+                            op.pc,
+                            SeqNum(seq),
+                            latest,
+                            detection_distance,
+                            detection_has_mlp,
+                        ) {
+                            flushes.push(req);
+                        }
+                    } else {
+                        self.policy.on_load_executed_hit(thread_id, op.pc, SeqNum(seq));
+                    }
+                }
+                idx += 1;
+            }
+        }
+
+        for req in flushes {
+            self.apply_flush(req);
+        }
+    }
+
+    fn deps_ready(ctx: &ThreadContext, inst: &InFlight) -> bool {
+        for dep in inst.src_dep_seqs() {
+            let Some(producer_seq) = dep else { continue };
+            match ctx.window.binary_search_by(|probe| probe.seq.cmp(&producer_seq)) {
+                Ok(pos) => {
+                    if !ctx.window[pos].completed {
+                        return false;
+                    }
+                }
+                Err(_) => {
+                    // Producer already committed or was squashed: value available.
+                }
+            }
+        }
+        true
+    }
+
+    // ------------------------------------------------------------------ dispatch
+
+    fn dispatch_phase(&mut self, snapshot: &SmtSnapshot, caps: Option<&[ResourceCaps]>) {
+        let cycle = self.cycle;
+        let cfg = &self.config;
+        let mut remaining = cfg.dispatch_width;
+        let mut rob_total: u32 = self.threads.iter().map(|t| t.occ.rob).sum();
+        let mut lsq_total: u32 = self.threads.iter().map(|t| t.occ.lsq).sum();
+        let mut iq_int_total: u32 = self.threads.iter().map(|t| t.occ.iq_int).sum();
+        let mut iq_fp_total: u32 = self.threads.iter().map(|t| t.occ.iq_fp).sum();
+        let mut ren_int_total: u32 = self.threads.iter().map(|t| t.occ.rename_int).sum();
+        let mut ren_fp_total: u32 = self.threads.iter().map(|t| t.occ.rename_fp).sum();
+        let mut shared_blocked = false;
+        let num_threads = self.threads.len();
+
+        for offset in 0..num_threads {
+            if remaining == 0 {
+                break;
+            }
+            let ti = (self.rotate + offset) % num_threads;
+            let thread_id = ThreadId::new(ti);
+            loop {
+                if remaining == 0 {
+                    break;
+                }
+                let ctx = &self.threads[ti];
+                if ctx.occ.frontend == 0 {
+                    break;
+                }
+                let idx = ctx.window.len() - ctx.occ.frontend as usize;
+                let inst = &ctx.window[idx];
+                if inst.frontend_ready_at > cycle {
+                    break;
+                }
+                let op = inst.op;
+                let uses_lsq = op.kind.is_mem();
+                let uses_fp_iq = op.kind.is_fp();
+                let has_dest = matches!(
+                    op.kind,
+                    OpKind::IntAlu | OpKind::IntMul | OpKind::FpOp | OpKind::FpLong | OpKind::Load
+                );
+                let dest_fp = op.kind.is_fp();
+
+                // Shared-resource availability (ROB, LSQ, IQs, rename registers).
+                let shared_ok = rob_total < cfg.rob_size
+                    && (!uses_lsq || lsq_total < cfg.lsq_size)
+                    && (uses_fp_iq && iq_fp_total < cfg.iq_fp_size
+                        || !uses_fp_iq && iq_int_total < cfg.iq_int_size)
+                    && (!has_dest
+                        || (dest_fp && ren_fp_total < cfg.rename_fp
+                            || !dest_fp && ren_int_total < cfg.rename_int));
+                if !shared_ok {
+                    shared_blocked = true;
+                    break;
+                }
+
+                // Per-thread caps from explicit resource-management policies.
+                if let Some(caps) = caps {
+                    let cap = &caps[ti];
+                    let occ = &ctx.occ;
+                    let cap_ok = cap.rob.map_or(true, |c| occ.rob < c)
+                        && (!uses_lsq || cap.lsq.map_or(true, |c| occ.lsq < c))
+                        && (uses_fp_iq && cap.iq_fp.map_or(true, |c| occ.iq_fp < c)
+                            || !uses_fp_iq && cap.iq_int.map_or(true, |c| occ.iq_int < c))
+                        && (!has_dest
+                            || (dest_fp && cap.rename_fp.map_or(true, |c| occ.rename_fp < c)
+                                || !dest_fp && cap.rename_int.map_or(true, |c| occ.rename_int < c)));
+                    if !cap_ok {
+                        break;
+                    }
+                }
+
+                // Allocate and mark dispatched.
+                let ctx = &mut self.threads[ti];
+                let inst = &mut ctx.window[idx];
+                inst.dispatched = true;
+                inst.uses_lsq = uses_lsq;
+                inst.uses_fp_iq = uses_fp_iq;
+                inst.has_dest = has_dest;
+                inst.dest_fp = dest_fp;
+                let seq = inst.seq;
+                let pc = inst.op.pc;
+                ctx.occ.frontend -= 1;
+                ctx.occ.rob += 1;
+                rob_total += 1;
+                if uses_lsq {
+                    ctx.occ.lsq += 1;
+                    lsq_total += 1;
+                }
+                if uses_fp_iq {
+                    ctx.occ.iq_fp += 1;
+                    iq_fp_total += 1;
+                } else {
+                    ctx.occ.iq_int += 1;
+                    iq_int_total += 1;
+                }
+                if has_dest {
+                    if dest_fp {
+                        ctx.occ.rename_fp += 1;
+                        ren_fp_total += 1;
+                    } else {
+                        ctx.occ.rename_int += 1;
+                        ren_int_total += 1;
+                    }
+                }
+                remaining -= 1;
+
+                // Front-end long-latency / MLP prediction for loads.
+                if op.kind == OpKind::Load {
+                    let (lll, distance, has_mlp) = ctx.predict_load(pc);
+                    let inst = &mut ctx.window[idx];
+                    inst.predicted_lll = lll;
+                    inst.predicted_mlp_distance = distance;
+                    inst.predicted_has_mlp = has_mlp;
+                    self.policy
+                        .on_load_predicted(thread_id, pc, SeqNum(seq), lll, distance, has_mlp);
+                }
+            }
+        }
+
+        if shared_blocked {
+            let mut stalled_snapshot = snapshot.clone();
+            stalled_snapshot.resource_stalled = true;
+            // Refresh the outstanding-load view so the policy sees current state.
+            for (i, ctx) in self.threads.iter().enumerate() {
+                stalled_snapshot.threads[i].outstanding_long_latency_loads =
+                    ctx.outstanding_lll.len() as u32;
+                stalled_snapshot.threads[i].oldest_lll_cycle = ctx.oldest_lll_cycle();
+            }
+            let requests = self.policy.on_resource_stall(&stalled_snapshot);
+            for req in requests {
+                self.apply_flush(req);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ fetch
+
+    fn fetch_phase(&mut self, snapshot: &SmtSnapshot) {
+        let cycle = self.cycle;
+        let priority = self.policy.fetch_priority(snapshot);
+        // Account gated cycles for active threads the policy excluded.
+        for ti in 0..self.threads.len() {
+            let t = ThreadId::new(ti);
+            if self.threads[ti].active && !priority.contains(&t) {
+                self.stats.thread_mut(t).fetch_gated_cycles += 1;
+            }
+        }
+        let mut budget = self.config.fetch_width;
+        let mut threads_used = 0;
+        for &t in &priority {
+            if budget == 0 || threads_used >= self.config.fetch_threads_per_cycle {
+                break;
+            }
+            let ti = t.index();
+            if !self.threads[ti].active {
+                continue;
+            }
+            if self.threads[ti].occ.frontend >= self.frontend_capacity {
+                continue;
+            }
+            let mut fetched_here = 0;
+            while budget > 0
+                && fetched_here < self.config.fetch_width
+                && self.threads[ti].occ.frontend < self.frontend_capacity
+            {
+                let ctx = &mut self.threads[ti];
+                let (op, replay) = ctx.pull_op();
+                let seq = ctx.next_seq;
+                ctx.next_seq += 1;
+                ctx.latest_fetched_seq = seq;
+                let mut mispredicted = false;
+                let mut predicted_taken = false;
+                if let Some(entry) = replay {
+                    // Re-fetch of a squashed instruction: replay the original
+                    // prediction outcome; the predictor was already trained.
+                    mispredicted = entry.mispredicted;
+                    predicted_taken = entry.predicted_taken;
+                } else if let (OpKind::Branch, Some(info)) = (op.kind, op.branch) {
+                    // First fetch of this dynamic branch: predict and train at the
+                    // same global-history point, exactly once per dynamic branch.
+                    let pred = ctx.branch_predictor.predict(op.pc);
+                    mispredicted = ctx
+                        .branch_predictor
+                        .update(op.pc, info.taken, info.target, pred);
+                    predicted_taken = pred.taken;
+                }
+                ctx.window.push_back(InFlight {
+                    seq,
+                    op,
+                    frontend_ready_at: cycle + self.config.frontend_depth as u64,
+                    dispatched: false,
+                    issued: false,
+                    completed: false,
+                    done_at: u64::MAX,
+                    uses_fp_iq: false,
+                    uses_lsq: false,
+                    has_dest: false,
+                    dest_fp: false,
+                    predicted_lll: false,
+                    predicted_mlp_distance: 0,
+                    predicted_has_mlp: false,
+                    is_long_latency: false,
+                    l1_missed: false,
+                    mispredicted,
+                    predicted_taken,
+                });
+                ctx.occ.frontend += 1;
+                ctx.occ.icount += 1;
+                self.stats.thread_mut(t).fetched_instructions += 1;
+                self.policy.on_fetch(t, SeqNum(seq));
+                budget -= 1;
+                fetched_here += 1;
+                if predicted_taken {
+                    // The fetch group ends at a predicted-taken branch.
+                    break;
+                }
+            }
+            if fetched_here > 0 {
+                threads_used += 1;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------ squash / flush
+
+    fn apply_flush(&mut self, request: FlushRequest) {
+        let ti = request.thread.index();
+        if ti >= self.threads.len() {
+            return;
+        }
+        let squashed = self.squash(ti, request.keep_up_to.0, SquashCause::PolicyFlush);
+        if squashed > 0 {
+            self.stats.thread_mut(request.thread).policy_flushes += 1;
+        }
+    }
+
+    /// Removes every instruction of thread `ti` with a sequence number greater than
+    /// `keep_up_to`, returning how many were squashed. Squashed operations are
+    /// queued for re-fetch in program order.
+    fn squash(&mut self, ti: usize, keep_up_to: u64, cause: SquashCause) -> u64 {
+        let thread_id = ThreadId::new(ti);
+        let mut squashed = 0;
+        {
+            let ctx = &mut self.threads[ti];
+            while let Some(back) = ctx.window.back() {
+                if back.seq <= keep_up_to {
+                    break;
+                }
+                let inst = ctx.window.pop_back().expect("back exists");
+                if inst.dispatched {
+                    ctx.occ.rob -= 1;
+                    if inst.uses_lsq {
+                        ctx.occ.lsq -= 1;
+                    }
+                    if !inst.issued {
+                        if inst.uses_fp_iq {
+                            ctx.occ.iq_fp -= 1;
+                        } else {
+                            ctx.occ.iq_int -= 1;
+                        }
+                        ctx.occ.icount -= 1;
+                    }
+                    if inst.has_dest {
+                        if inst.dest_fp {
+                            ctx.occ.rename_fp -= 1;
+                        } else {
+                            ctx.occ.rename_int -= 1;
+                        }
+                    }
+                    if inst.issued && !inst.completed {
+                        if inst.is_long_latency {
+                            ctx.outstanding_lll.remove(&inst.seq);
+                        }
+                        if inst.l1_missed && ctx.outstanding_l1d > 0 {
+                            ctx.outstanding_l1d -= 1;
+                        }
+                    }
+                } else {
+                    ctx.occ.frontend -= 1;
+                    ctx.occ.icount -= 1;
+                }
+                ctx.refetch.push_front(RefetchEntry {
+                    op: inst.op,
+                    mispredicted: inst.mispredicted,
+                    predicted_taken: inst.predicted_taken,
+                });
+                squashed += 1;
+            }
+            ctx.latest_fetched_seq = ctx.latest_fetched_seq.min(keep_up_to);
+        }
+        if squashed > 0 {
+            let tstats = self.stats.thread_mut(thread_id);
+            match cause {
+                SquashCause::BranchMisprediction => tstats.squashed_by_branch += squashed,
+                SquashCause::PolicyFlush => tstats.squashed_by_policy += squashed,
+            }
+            self.policy.on_squash(thread_id, SeqNum(keep_up_to));
+        }
+        squashed
+    }
+
+    // ------------------------------------------------------------------ accounting
+
+    fn account_mlp(&mut self) {
+        for ti in 0..self.threads.len() {
+            let outstanding = self.threads[ti].outstanding_lll.len() as u64;
+            if outstanding > 0 {
+                let tstats = self.stats.thread_mut(ThreadId::new(ti));
+                tstats.mlp_cycles += 1;
+                tstats.mlp_outstanding_sum += outstanding;
+            }
+        }
+    }
+}
+
+/// Why a range of instructions was squashed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SquashCause {
+    BranchMisprediction,
+    PolicyFlush,
+}

@@ -1,0 +1,194 @@
+//! Per-thread pipeline state.
+
+use std::collections::{HashMap, VecDeque};
+
+use smt_branch::BranchPredictor;
+use smt_predictors::{BinaryMlpPredictor, Llsr, LongLatencyPredictor, MissPatternPredictor, MlpDistancePredictor};
+use smt_trace::TraceSource;
+use smt_types::{SmtConfig, TraceOp};
+
+/// One instruction in flight, from fetch to commit.
+#[derive(Clone, Debug)]
+pub(crate) struct InFlight {
+    /// Per-thread dynamic sequence number (re-fetched instructions get new numbers).
+    pub seq: u64,
+    /// The trace operation.
+    pub op: TraceOp,
+    /// Cycle at which the instruction has traversed the front end and may dispatch.
+    pub frontend_ready_at: u64,
+    /// Whether the instruction has been renamed/dispatched into the backend.
+    pub dispatched: bool,
+    /// Whether the instruction has issued to a functional unit.
+    pub issued: bool,
+    /// Whether execution has completed (result available).
+    pub completed: bool,
+    /// Cycle at which execution completes (valid once issued).
+    pub done_at: u64,
+    /// Whether the instruction occupies the floating-point issue queue.
+    pub uses_fp_iq: bool,
+    /// Whether the instruction occupies a load/store queue entry.
+    pub uses_lsq: bool,
+    /// Whether the instruction allocates a rename register (and of which class).
+    pub has_dest: bool,
+    /// Destination register class is floating point.
+    pub dest_fp: bool,
+    /// Front-end long-latency prediction (loads only).
+    pub predicted_lll: bool,
+    /// Front-end / detection-time MLP distance prediction.
+    pub predicted_mlp_distance: u32,
+    /// Binary MLP prediction.
+    pub predicted_has_mlp: bool,
+    /// Whether the load was detected to be long latency at execute.
+    pub is_long_latency: bool,
+    /// Whether the load missed in the L1 data cache (DCRA's signal).
+    pub l1_missed: bool,
+    /// Whether the branch was mispredicted (squash + redirect at completion).
+    pub mispredicted: bool,
+    /// Whether the branch was predicted taken at fetch (ends the fetch group).
+    pub predicted_taken: bool,
+}
+
+impl InFlight {
+    /// Sequence numbers of the producers of this instruction's source operands
+    /// (`None` when the operand has no in-window producer).
+    pub fn src_dep_seqs(&self) -> [Option<u64>; 2] {
+        let mut out = [None, None];
+        for (i, dep) in self.op.src_deps.iter().enumerate() {
+            if let Some(distance) = dep {
+                let d = *distance as u64;
+                if d < self.seq {
+                    out[i] = Some(self.seq - d);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Occupancy counters for one thread (shared-resource accounting is the sum over
+/// threads).
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct Occupancy {
+    pub rob: u32,
+    pub lsq: u32,
+    pub iq_int: u32,
+    pub iq_fp: u32,
+    pub rename_int: u32,
+    pub rename_fp: u32,
+    /// ICOUNT contribution: instructions fetched but not yet issued.
+    pub icount: u32,
+    /// Instructions fetched but not yet dispatched (front-end buffer occupancy).
+    pub frontend: u32,
+}
+
+/// A pending MLP-prediction evaluation: the prediction made when the load executed,
+/// waiting for the LLSR to produce the actual MLP distance at window exit.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct PendingMlpEval {
+    pub pc: u64,
+    pub predicted_distance: u32,
+}
+
+/// A squashed instruction waiting to be re-fetched, together with the branch
+/// prediction outcome recorded at its first fetch (re-fetches replay that outcome
+/// instead of re-querying the predictor, so the predictor sees every dynamic
+/// branch exactly once, in trace order).
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RefetchEntry {
+    pub op: TraceOp,
+    pub mispredicted: bool,
+    pub predicted_taken: bool,
+}
+
+/// All per-thread pipeline state.
+pub(crate) struct ThreadContext {
+    /// The workload being executed.
+    pub trace: Box<dyn TraceSource>,
+    /// Instructions squashed from the pipeline that must be re-fetched, in order.
+    pub refetch: VecDeque<RefetchEntry>,
+    /// In-flight instructions in program order (front-end buffer + ROB).
+    pub window: VecDeque<InFlight>,
+    /// Next sequence number to assign at fetch.
+    pub next_seq: u64,
+    /// Youngest sequence number fetched so far.
+    pub latest_fetched_seq: u64,
+    /// Occupancy counters.
+    pub occ: Occupancy,
+    /// Committed instruction count.
+    pub committed: u64,
+    /// Outstanding long-latency loads: seq -> cycle at which the miss was detected.
+    pub outstanding_lll: HashMap<u64, u64>,
+    /// Outstanding L1 data-cache misses (count), the DCRA memory-intensity signal.
+    pub outstanding_l1d: u32,
+    /// Per-thread branch predictor.
+    pub branch_predictor: BranchPredictor,
+    /// Long-latency load predictor (miss pattern predictor).
+    pub lll_predictor: MissPatternPredictor,
+    /// MLP distance predictor.
+    pub mlp_predictor: MlpDistancePredictor,
+    /// Binary MLP predictor (Section 6.5 alternatives).
+    pub binary_mlp_predictor: BinaryMlpPredictor,
+    /// Long-latency shift register observing the commit stream.
+    pub llsr: Llsr,
+    /// Predictions awaiting their LLSR ground truth, in commit order.
+    pub pending_mlp_evals: VecDeque<PendingMlpEval>,
+    /// Whether the thread is still running (has not reached its instruction budget).
+    pub active: bool,
+}
+
+impl ThreadContext {
+    /// Creates the per-thread state for `config`, pulling instructions from `trace`.
+    pub fn new(config: &SmtConfig, trace: Box<dyn TraceSource>) -> Self {
+        ThreadContext {
+            trace,
+            refetch: VecDeque::new(),
+            window: VecDeque::new(),
+            next_seq: 1,
+            latest_fetched_seq: 0,
+            occ: Occupancy::default(),
+            committed: 0,
+            outstanding_lll: HashMap::new(),
+            outstanding_l1d: 0,
+            branch_predictor: BranchPredictor::new(
+                config.gshare_entries,
+                config.btb_entries,
+                config.btb_assoc,
+            ),
+            lll_predictor: MissPatternPredictor::new(config.lll_predictor_entries),
+            mlp_predictor: MlpDistancePredictor::new(
+                config.mlp_predictor_entries,
+                config.llsr_length(),
+            ),
+            binary_mlp_predictor: BinaryMlpPredictor::new(config.mlp_predictor_entries),
+            llsr: Llsr::new(config.llsr_length() as usize),
+            pending_mlp_evals: VecDeque::new(),
+            active: true,
+        }
+    }
+
+    /// Next instruction to fetch: a previously squashed instruction (with its
+    /// recorded branch-prediction outcome) if any, otherwise a fresh one from the
+    /// trace.
+    pub fn pull_op(&mut self) -> (TraceOp, Option<RefetchEntry>) {
+        if let Some(entry) = self.refetch.pop_front() {
+            (entry.op, Some(entry))
+        } else {
+            (self.trace.next_op(), None)
+        }
+    }
+
+    /// Cycle at which the oldest currently outstanding long-latency load was
+    /// detected (for the COT rule).
+    pub fn oldest_lll_cycle(&self) -> Option<u64> {
+        self.outstanding_lll.values().copied().min()
+    }
+
+    /// The predictor front end consults for a load: returns
+    /// `(predicted_long_latency, predicted_mlp_distance, predicted_has_mlp)`.
+    pub fn predict_load(&mut self, pc: u64) -> (bool, u32, bool) {
+        let lll = self.lll_predictor.predict(pc);
+        let distance = self.mlp_predictor.predict(pc);
+        let has_mlp = self.binary_mlp_predictor.predict(pc);
+        (lll, distance, has_mlp)
+    }
+}

@@ -1,0 +1,434 @@
+//! High-level run helpers: single-threaded references, multiprogram runs, and
+//! STP/ANTT evaluation following the paper's methodology (Section 5).
+//!
+//! The paper stops a multiprogram simulation when the first program reaches its
+//! instruction budget; each co-runner has then executed `x_i` instructions and its
+//! single-threaded CPI is taken *at the same instruction count* `x_i`. The
+//! [`StReferenceCache`] records a cycles-per-instructions curve for each benchmark
+//! so those per-`x_i` reference CPIs do not require a fresh simulation per policy.
+
+use std::collections::HashMap;
+
+use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
+use smt_types::config::FetchPolicyKind;
+use smt_types::{MachineStats, SimError, SmtConfig};
+
+use crate::metrics;
+use crate::pipeline::{SimOptions, SmtSimulator};
+
+/// How large a simulation to run; all experiment runners take one of these so the
+/// same code scales from unit-test sized runs to paper-scale runs.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RunScale {
+    /// Instruction budget per thread (the multiprogram run stops when the first
+    /// thread reaches it).
+    pub instructions_per_thread: u64,
+    /// Warm-up instructions per thread, excluded from all statistics.
+    pub warmup_instructions: u64,
+    /// Base random seed for the synthetic trace generators.
+    pub seed: u64,
+}
+
+impl RunScale {
+    /// Very small runs for doctests and smoke tests (2 K instructions).
+    pub fn tiny() -> Self {
+        RunScale {
+            instructions_per_thread: 2_000,
+            warmup_instructions: 1_000,
+            seed: 42,
+        }
+    }
+
+    /// Unit-test sized runs (10 K instructions).
+    pub fn test() -> Self {
+        RunScale {
+            instructions_per_thread: 10_000,
+            warmup_instructions: 4_000,
+            seed: 42,
+        }
+    }
+
+    /// Default experiment scale (60 K instructions per thread).
+    pub fn standard() -> Self {
+        RunScale {
+            instructions_per_thread: 60_000,
+            warmup_instructions: 10_000,
+            seed: 42,
+        }
+    }
+
+    /// Larger runs for the benchmark harness (150 K instructions per thread).
+    pub fn full() -> Self {
+        RunScale {
+            instructions_per_thread: 150_000,
+            warmup_instructions: 20_000,
+            seed: 42,
+        }
+    }
+
+    /// Returns a copy with a different instruction budget.
+    pub fn with_instructions(mut self, instructions: u64) -> Self {
+        self.instructions_per_thread = instructions;
+        self
+    }
+
+    /// The [`SimOptions`] equivalent of this scale.
+    pub fn sim_options(&self) -> SimOptions {
+        SimOptions {
+            max_instructions_per_thread: self.instructions_per_thread,
+            warmup_instructions_per_thread: self.warmup_instructions,
+            ..SimOptions::default()
+        }
+    }
+}
+
+impl Default for RunScale {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Deterministic per-benchmark seed so single-threaded and multithreaded runs of
+/// the same benchmark replay the same instruction stream.
+fn benchmark_seed(name: &str, base: u64) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ base;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Builds the trace source for one benchmark.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] for names outside Table I.
+pub fn build_trace(benchmark: &str, scale: RunScale) -> Result<Box<dyn TraceSource>, SimError> {
+    let profile = spec::benchmark(benchmark)?;
+    Ok(Box::new(SyntheticTraceGenerator::new(
+        profile,
+        benchmark_seed(benchmark, scale.seed),
+    )))
+}
+
+/// Runs one benchmark alone on the single-threaded baseline configuration derived
+/// from `config` and returns its statistics.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] for unknown benchmarks or
+/// [`SimError::InvalidConfig`] if the derived configuration is invalid.
+pub fn run_single_thread(
+    benchmark: &str,
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<MachineStats, SimError> {
+    let mut st_config = config.clone();
+    st_config.num_threads = 1;
+    st_config.fetch_policy = FetchPolicyKind::Icount;
+    let trace = build_trace(benchmark, scale)?;
+    let mut sim = SmtSimulator::new(st_config, vec![trace])?;
+    Ok(sim.run(scale.sim_options()))
+}
+
+/// Runs a multiprogram workload under `policy` and returns the raw machine
+/// statistics (no single-threaded normalization).
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid configurations.
+pub fn run_multiprogram(
+    benchmarks: &[&str],
+    policy: FetchPolicyKind,
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<MachineStats, SimError> {
+    let mut mt_config = config.clone();
+    mt_config.num_threads = benchmarks.len();
+    mt_config.fetch_policy = policy;
+    let traces = benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sim = SmtSimulator::new(mt_config, traces)?;
+    Ok(sim.run(scale.sim_options()))
+}
+
+/// A cycles-versus-instructions curve recorded from a single-threaded run.
+#[derive(Clone, Debug)]
+struct StCurve {
+    interval: u64,
+    /// `cycles[i]` = cycle count when `(i + 1) * interval` instructions had
+    /// committed.
+    cycles: Vec<u64>,
+    /// Total instructions the curve covers.
+    total_instructions: u64,
+    /// Total cycles of the recorded run.
+    total_cycles: u64,
+}
+
+impl StCurve {
+    /// Single-threaded CPI after `instructions` committed instructions.
+    fn cpi_at(&self, instructions: u64) -> f64 {
+        if instructions == 0 {
+            return 1.0;
+        }
+        let idx = instructions / self.interval;
+        let cycles = if idx == 0 {
+            // Scale the first checkpoint linearly below one interval.
+            let first = *self.cycles.first().unwrap_or(&self.total_cycles);
+            (first as f64 * instructions as f64 / self.interval as f64).max(1.0) as u64
+        } else if (idx as usize) <= self.cycles.len() {
+            self.cycles[(idx as usize) - 1]
+        } else {
+            self.total_cycles
+        };
+        cycles as f64 / instructions.min(self.total_instructions).max(1) as f64
+    }
+}
+
+/// Cache of single-threaded reference curves keyed by benchmark and the
+/// configuration parameters that affect single-threaded timing.
+#[derive(Default)]
+pub struct StReferenceCache {
+    curves: HashMap<(String, ConfigKey), StCurve>,
+}
+
+/// The configuration fields that change single-threaded behaviour (sweep knobs).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct ConfigKey {
+    memory_latency: u64,
+    rob_size: u32,
+    lsq_size: u32,
+    iq_int: u32,
+    rename_int: u32,
+    prefetcher: bool,
+    serialize: bool,
+    instructions: u64,
+    seed: u64,
+}
+
+impl ConfigKey {
+    fn new(config: &SmtConfig, scale: RunScale) -> Self {
+        ConfigKey {
+            memory_latency: config.memory_latency,
+            rob_size: config.rob_size,
+            lsq_size: config.lsq_size,
+            iq_int: config.iq_int_size,
+            rename_int: config.rename_int,
+            prefetcher: config.prefetcher.enabled,
+            serialize: config.serialize_long_latency_loads,
+            instructions: scale.instructions_per_thread,
+            seed: scale.seed,
+        }
+    }
+}
+
+impl StReferenceCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Single-threaded CPI of `benchmark` after `instructions` instructions on the
+    /// single-threaded version of `config`, simulating (and caching) the reference
+    /// run on first use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation construction errors.
+    pub fn st_cpi(
+        &mut self,
+        benchmark: &str,
+        config: &SmtConfig,
+        scale: RunScale,
+        instructions: u64,
+    ) -> Result<f64, SimError> {
+        let key = (benchmark.to_string(), ConfigKey::new(config, scale));
+        if !self.curves.contains_key(&key) {
+            let curve = record_st_curve(benchmark, config, scale)?;
+            self.curves.insert(key.clone(), curve);
+        }
+        Ok(self.curves[&key].cpi_at(instructions))
+    }
+}
+
+fn record_st_curve(benchmark: &str, config: &SmtConfig, scale: RunScale) -> Result<StCurve, SimError> {
+    let mut st_config = config.clone();
+    st_config.num_threads = 1;
+    st_config.fetch_policy = FetchPolicyKind::Icount;
+    let trace = build_trace(benchmark, scale)?;
+    let mut sim = SmtSimulator::new(st_config, vec![trace])?;
+    let max_cycles = SimOptions::default().max_cycles;
+    sim.warm_up(scale.warmup_instructions, max_cycles);
+    let interval = (scale.instructions_per_thread / 64).max(256);
+    let mut cycles = Vec::new();
+    let mut next_checkpoint = interval;
+    let budget = scale.instructions_per_thread;
+    while sim.stats().threads[0].committed_instructions < budget && sim.cycle() < max_cycles {
+        sim.step();
+        let committed = sim.stats().threads[0].committed_instructions;
+        while committed >= next_checkpoint {
+            cycles.push(sim.stats().cycles);
+            next_checkpoint += interval;
+        }
+    }
+    Ok(StCurve {
+        interval,
+        cycles,
+        total_instructions: sim.stats().threads[0].committed_instructions,
+        total_cycles: sim.stats().cycles,
+    })
+}
+
+/// The STP/ANTT outcome of running one multiprogram workload under one policy.
+#[derive(Clone, Debug)]
+pub struct WorkloadResult {
+    /// Workload name (benchmarks joined with dashes).
+    pub workload: String,
+    /// The fetch policy evaluated.
+    pub policy: FetchPolicyKind,
+    /// System throughput (higher is better).
+    pub stp: f64,
+    /// Average normalized turnaround time (lower is better).
+    pub antt: f64,
+    /// Per-thread IPC in the multithreaded run.
+    pub per_thread_ipc: Vec<f64>,
+    /// Per-thread single-threaded reference IPC at the same instruction counts.
+    pub per_thread_st_ipc: Vec<f64>,
+    /// Raw multithreaded statistics.
+    pub mt_stats: MachineStats,
+}
+
+/// Evaluates one workload under one policy on the baseline configuration.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid configurations.
+pub fn evaluate_workload(
+    benchmarks: &[&str],
+    policy: FetchPolicyKind,
+    scale: RunScale,
+) -> Result<WorkloadResult, SimError> {
+    let config = SmtConfig::baseline(benchmarks.len());
+    let mut cache = StReferenceCache::new();
+    evaluate_workload_with(benchmarks, policy, &config, scale, &mut cache)
+}
+
+/// Evaluates one workload under one policy on an explicit configuration, reusing
+/// `cache` for the single-threaded reference runs.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid configurations.
+pub fn evaluate_workload_with(
+    benchmarks: &[&str],
+    policy: FetchPolicyKind,
+    config: &SmtConfig,
+    scale: RunScale,
+    cache: &mut StReferenceCache,
+) -> Result<WorkloadResult, SimError> {
+    let mt_stats = run_multiprogram(benchmarks, policy, config, scale)?;
+    let mut st_cpis = Vec::with_capacity(benchmarks.len());
+    let mut mt_cpis = Vec::with_capacity(benchmarks.len());
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        let committed = mt_stats.threads[i].committed_instructions.max(1);
+        let mt_cpi = mt_stats.cycles as f64 / committed as f64;
+        let st_cpi = cache.st_cpi(benchmark, config, scale, committed)?;
+        st_cpis.push(st_cpi);
+        mt_cpis.push(mt_cpi);
+    }
+    Ok(WorkloadResult {
+        workload: benchmarks.join("-"),
+        policy,
+        stp: metrics::stp(&st_cpis, &mt_cpis),
+        antt: metrics::antt(&st_cpis, &mt_cpis),
+        per_thread_ipc: mt_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_thread_st_ipc: st_cpis.iter().map(|c| 1.0 / c).collect(),
+        mt_stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_thread_run_completes_budget() {
+        let scale = RunScale::tiny();
+        let cfg = SmtConfig::baseline(1);
+        let stats = run_single_thread("gcc", &cfg, scale).unwrap();
+        assert!(stats.threads[0].committed_instructions >= scale.instructions_per_thread);
+        assert!(stats.cycles > 0);
+        let ipc = stats.threads[0].ipc(stats.cycles);
+        assert!(ipc > 0.1 && ipc <= 4.0, "IPC {ipc} out of range");
+    }
+
+    #[test]
+    fn mlp_intensive_benchmark_has_lower_ipc_than_ilp() {
+        let scale = RunScale::test();
+        let cfg = SmtConfig::baseline(1);
+        let gcc = run_single_thread("gcc", &cfg, scale).unwrap();
+        let mcf = run_single_thread("mcf", &cfg, scale).unwrap();
+        let gcc_ipc = gcc.threads[0].ipc(gcc.cycles);
+        let mcf_ipc = mcf.threads[0].ipc(mcf.cycles);
+        assert!(
+            mcf_ipc < gcc_ipc,
+            "mcf (memory bound, {mcf_ipc}) should be slower than gcc ({gcc_ipc})"
+        );
+    }
+
+    #[test]
+    fn multiprogram_run_stops_at_first_thread_budget() {
+        let scale = RunScale::tiny();
+        let cfg = SmtConfig::baseline(2);
+        let stats = run_multiprogram(&["gcc", "gap"], FetchPolicyKind::Icount, &cfg, scale).unwrap();
+        let max = stats
+            .threads
+            .iter()
+            .map(|t| t.committed_instructions)
+            .max()
+            .unwrap();
+        assert!(max >= scale.instructions_per_thread);
+    }
+
+    #[test]
+    fn evaluate_workload_produces_sane_metrics() {
+        let r = evaluate_workload(&["gcc", "gap"], FetchPolicyKind::Icount, RunScale::tiny()).unwrap();
+        assert!(r.stp > 0.2 && r.stp <= 2.0 + 1e-9, "STP {} out of range", r.stp);
+        assert!(r.antt >= 0.9, "ANTT {} should show some slowdown", r.antt);
+        assert_eq!(r.per_thread_ipc.len(), 2);
+        assert_eq!(r.workload, "gcc-gap");
+    }
+
+    #[test]
+    fn st_cache_reuses_reference_runs() {
+        let mut cache = StReferenceCache::new();
+        let cfg = SmtConfig::baseline(2);
+        let scale = RunScale::tiny();
+        let a = cache.st_cpi("gcc", &cfg, scale, 1_000).unwrap();
+        let b = cache.st_cpi("gcc", &cfg, scale, 1_000).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(cache.curves.len(), 1);
+        let c = cache.st_cpi("gcc", &cfg, scale, 2_000).unwrap();
+        assert!(c > 0.0);
+        assert_eq!(cache.curves.len(), 1);
+    }
+
+    #[test]
+    fn st_curve_interpolation_is_monotone_enough() {
+        let curve = StCurve {
+            interval: 100,
+            cycles: vec![150, 320, 470, 640],
+            total_instructions: 400,
+            total_cycles: 640,
+        };
+        assert!((curve.cpi_at(100) - 1.5).abs() < 1e-12);
+        assert!((curve.cpi_at(200) - 1.6).abs() < 1e-12);
+        assert!((curve.cpi_at(400) - 1.6).abs() < 1e-12);
+        // Beyond the recorded range we fall back to the final totals.
+        assert!(curve.cpi_at(800) > 0.0);
+        assert!(curve.cpi_at(0) > 0.0);
+    }
+}

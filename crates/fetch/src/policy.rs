@@ -1,0 +1,223 @@
+//! The [`FetchPolicy`] trait and shared helpers.
+
+use smt_types::config::{FetchPolicyKind, SmtConfig};
+use smt_types::{SeqNum, SmtSnapshot, ThreadId};
+
+/// A request by the fetch policy to squash the youngest instructions of a thread.
+///
+/// Every in-flight instruction of `thread` with a sequence number strictly greater
+/// than `keep_up_to` is removed from the pipeline and will be refetched later.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct FlushRequest {
+    /// Thread to flush.
+    pub thread: ThreadId,
+    /// Youngest sequence number to keep.
+    pub keep_up_to: SeqNum,
+}
+
+/// Per-thread occupancy caps imposed by explicit resource-management policies.
+///
+/// `None` in a field means "no cap" for that resource.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ResourceCaps {
+    /// Maximum reorder-buffer entries the thread may occupy.
+    pub rob: Option<u32>,
+    /// Maximum load/store-queue entries.
+    pub lsq: Option<u32>,
+    /// Maximum integer issue-queue entries.
+    pub iq_int: Option<u32>,
+    /// Maximum floating-point issue-queue entries.
+    pub iq_fp: Option<u32>,
+    /// Maximum integer rename registers.
+    pub rename_int: Option<u32>,
+    /// Maximum floating-point rename registers.
+    pub rename_fp: Option<u32>,
+}
+
+/// The interface between the SMT pipeline and a fetch policy.
+///
+/// The pipeline owns all predictors (long-latency load predictor, MLP distance
+/// predictor, LLSR); policies receive the relevant predictions inside the event
+/// callbacks and only keep the decision state they need. All callbacks have no-op
+/// defaults so simple policies (ICOUNT) only implement [`fetch_priority`].
+///
+/// [`fetch_priority`]: FetchPolicy::fetch_priority
+pub trait FetchPolicy: Send {
+    /// Which policy this is (used for reporting).
+    fn kind(&self) -> FetchPolicyKind;
+
+    /// Returns the threads allowed to fetch this cycle, most-preferred first.
+    /// Threads not in the list are fetch gated this cycle.
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId>;
+
+    /// An instruction with sequence number `seq` was fetched for `thread`.
+    fn on_fetch(&mut self, thread: ThreadId, seq: SeqNum) {
+        let _ = (thread, seq);
+    }
+
+    /// A load reached the front-end predictors. `predicted_long_latency` is the
+    /// miss-pattern predictor's verdict; `predicted_mlp_distance` /
+    /// `predicted_has_mlp` come from the MLP predictors.
+    fn on_load_predicted(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        seq: SeqNum,
+        predicted_long_latency: bool,
+        predicted_mlp_distance: u32,
+        predicted_has_mlp: bool,
+    ) {
+        let _ = (thread, pc, seq, predicted_long_latency, predicted_mlp_distance, predicted_has_mlp);
+    }
+
+    /// A load executed and turned out *not* to be long latency.
+    fn on_load_executed_hit(&mut self, thread: ThreadId, pc: u64, seq: SeqNum) {
+        let _ = (thread, pc, seq);
+    }
+
+    /// A long-latency load (L3 or D-TLB miss) was detected at execute.
+    ///
+    /// `latest_fetched_seq` is the youngest instruction fetched so far for the
+    /// thread, which flush-style policies compare against `seq +
+    /// predicted_mlp_distance` to decide whether to flush. Returns an optional
+    /// flush request.
+    fn on_long_latency_detected(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        seq: SeqNum,
+        latest_fetched_seq: SeqNum,
+        predicted_mlp_distance: u32,
+        predicted_has_mlp: bool,
+    ) -> Option<FlushRequest> {
+        let _ = (thread, pc, seq, latest_fetched_seq, predicted_mlp_distance, predicted_has_mlp);
+        None
+    }
+
+    /// The data of a previously detected long-latency load returned from memory.
+    fn on_long_latency_resolved(&mut self, thread: ThreadId, seq: SeqNum) {
+        let _ = (thread, seq);
+    }
+
+    /// Dispatch was blocked this cycle because a shared resource (ROB, issue queue,
+    /// LSQ or rename registers) is exhausted. Flush-at-resource-stall policies
+    /// react to this; others ignore it.
+    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
+        let _ = snapshot;
+        Vec::new()
+    }
+
+    /// Instructions of `thread` younger than `keep_up_to` were squashed (by a
+    /// branch misprediction or a policy flush); policies drop any per-seq state.
+    fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
+        let _ = (thread, keep_up_to);
+    }
+
+    /// Per-thread occupancy caps for explicit resource management policies.
+    fn resource_caps(&mut self, snapshot: &SmtSnapshot, config: &SmtConfig) -> Option<Vec<ResourceCaps>> {
+        let _ = (snapshot, config);
+        None
+    }
+
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// Orders all threads by ascending ICOUNT (ties broken by thread id) — the
+/// ICOUNT 2.4 priority rule every policy falls back to.
+pub fn icount_order(snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    let mut order: Vec<ThreadId> = ThreadId::all(snapshot.num_threads()).collect();
+    order.sort_by_key(|t| (snapshot.thread(*t).icount, t.index()));
+    order
+}
+
+/// Applies gating with the continue-oldest-thread exemption: returns the ICOUNT
+/// ordering of threads, with gated threads removed — unless *every* active thread
+/// is both gated and stalled on a long-latency load, in which case the thread
+/// whose long-latency load is oldest is re-admitted (COT, Cazorla et al. 2004a).
+pub fn gated_icount_order(snapshot: &SmtSnapshot, gated: impl Fn(ThreadId) -> bool) -> Vec<ThreadId> {
+    let order = icount_order(snapshot);
+    let allowed: Vec<ThreadId> = order.iter().copied().filter(|t| !gated(*t)).collect();
+    if !allowed.is_empty() {
+        return allowed;
+    }
+    if snapshot.all_active_threads_stalled_on_memory() {
+        if let Some(cot) = snapshot.oldest_memory_stalled_thread() {
+            return vec![cot];
+        }
+    }
+    // Nothing is allowed and the COT rule does not apply (e.g. gated for other
+    // reasons): fall back to plain ICOUNT so the machine never deadlocks.
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snapshot_with_icounts(icounts: &[u32]) -> SmtSnapshot {
+        let mut s = SmtSnapshot::new(icounts.len());
+        for (i, &c) in icounts.iter().enumerate() {
+            s.threads[i].icount = c;
+            s.threads[i].active = true;
+        }
+        s
+    }
+
+    #[test]
+    fn icount_order_prefers_emptier_threads() {
+        let s = snapshot_with_icounts(&[10, 3, 7]);
+        let order = icount_order(&s);
+        assert_eq!(
+            order.iter().map(|t| t.index()).collect::<Vec<_>>(),
+            vec![1, 2, 0]
+        );
+    }
+
+    #[test]
+    fn icount_order_breaks_ties_by_id() {
+        let s = snapshot_with_icounts(&[5, 5]);
+        let order = icount_order(&s);
+        assert_eq!(order[0].index(), 0);
+    }
+
+    #[test]
+    fn gating_removes_threads() {
+        let s = snapshot_with_icounts(&[5, 2]);
+        let order = gated_icount_order(&s, |t| t.index() == 1);
+        assert_eq!(order.len(), 1);
+        assert_eq!(order[0].index(), 0);
+    }
+
+    #[test]
+    fn cot_readmits_oldest_stalled_thread_when_all_gated() {
+        let mut s = snapshot_with_icounts(&[5, 2]);
+        s.threads[0].outstanding_long_latency_loads = 1;
+        s.threads[0].oldest_lll_cycle = Some(50);
+        s.threads[1].outstanding_long_latency_loads = 1;
+        s.threads[1].oldest_lll_cycle = Some(80);
+        let order = gated_icount_order(&s, |_| true);
+        assert_eq!(order, vec![ThreadId::new(0)]);
+    }
+
+    #[test]
+    fn all_gated_without_memory_stall_falls_back_to_icount() {
+        let s = snapshot_with_icounts(&[5, 2]);
+        let order = gated_icount_order(&s, |_| true);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].index(), 1);
+    }
+
+    #[test]
+    fn flush_request_and_caps_are_plain_data() {
+        let r = FlushRequest {
+            thread: ThreadId::new(1),
+            keep_up_to: SeqNum(42),
+        };
+        assert_eq!(r.thread.index(), 1);
+        let caps = ResourceCaps::default();
+        assert!(caps.rob.is_none());
+    }
+}

@@ -1,0 +1,160 @@
+//! Miss status handling registers (MSHRs).
+//!
+//! MSHRs are what make memory-level parallelism possible in hardware: each
+//! outstanding cache-line miss occupies one MSHR, later accesses to the same line
+//! merge into the existing entry, and independent misses proceed in parallel as
+//! long as free MSHRs remain. The paper assumes the processor has enough MSHRs for
+//! the ROB-limited MLP; the default configuration provides 32 per thread.
+
+use std::collections::HashMap;
+
+use smt_types::ThreadId;
+
+/// Outcome of presenting a miss to the MSHR file.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MshrOutcome {
+    /// A new MSHR was allocated; the miss proceeds to the next memory level.
+    Allocated,
+    /// The line is already outstanding; this access merges and completes at the
+    /// contained cycle.
+    Merged(u64),
+    /// No MSHR is free; the access must serialize behind the returned completion
+    /// cycle of the soonest-finishing outstanding miss.
+    Full(u64),
+}
+
+/// A per-thread file of miss status handling registers.
+///
+/// # Example
+///
+/// ```
+/// use smt_mem::MshrFile;
+/// use smt_types::ThreadId;
+///
+/// let mut mshrs = MshrFile::new(2, 4);
+/// let t = ThreadId::new(0);
+/// assert!(matches!(mshrs.request(t, 0x1000, 100, 450), smt_mem::mshr::MshrOutcome::Allocated));
+/// // A second access to the same line merges with the outstanding miss.
+/// assert!(matches!(mshrs.request(t, 0x1000, 120, 470), smt_mem::mshr::MshrOutcome::Merged(450)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrFile {
+    capacity: usize,
+    outstanding: Vec<HashMap<u64, u64>>,
+}
+
+impl MshrFile {
+    /// Creates an MSHR file with `capacity` entries for each of `num_threads`
+    /// threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(num_threads: usize, capacity: usize) -> Self {
+        assert!(capacity > 0, "MSHR capacity must be non-zero");
+        MshrFile {
+            capacity,
+            outstanding: vec![HashMap::new(); num_threads],
+        }
+    }
+
+    /// Presents a miss for the cache line containing `line_addr` at `now`; if a new
+    /// entry is allocated it will complete at `completion`.
+    pub fn request(
+        &mut self,
+        thread: ThreadId,
+        line_addr: u64,
+        now: u64,
+        completion: u64,
+    ) -> MshrOutcome {
+        self.retire_completed(thread, now);
+        let map = &mut self.outstanding[thread.index()];
+        if let Some(&done) = map.get(&line_addr) {
+            return MshrOutcome::Merged(done);
+        }
+        if map.len() >= self.capacity {
+            let soonest = *map.values().min().expect("full MSHR file is non-empty");
+            return MshrOutcome::Full(soonest);
+        }
+        map.insert(line_addr, completion);
+        MshrOutcome::Allocated
+    }
+
+    /// Removes entries whose miss has completed by `now`.
+    pub fn retire_completed(&mut self, thread: ThreadId, now: u64) {
+        self.outstanding[thread.index()].retain(|_, &mut done| done > now);
+    }
+
+    /// Number of misses outstanding for `thread` at `now`.
+    pub fn outstanding_count(&mut self, thread: ThreadId, now: u64) -> usize {
+        self.retire_completed(thread, now);
+        self.outstanding[thread.index()].len()
+    }
+
+    /// Completion cycle of the latest-finishing outstanding miss, if any.
+    pub fn latest_completion(&self, thread: ThreadId) -> Option<u64> {
+        self.outstanding[thread.index()].values().copied().max()
+    }
+
+    /// Clears all outstanding state (between runs).
+    pub fn reset(&mut self) {
+        for map in &mut self.outstanding {
+            map.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocate_merge_full() {
+        let mut m = MshrFile::new(1, 2);
+        let t = ThreadId::new(0);
+        assert_eq!(m.request(t, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.request(t, 0x40, 10, 360), MshrOutcome::Merged(350));
+        assert_eq!(m.request(t, 0x80, 10, 360), MshrOutcome::Allocated);
+        assert_eq!(m.request(t, 0xc0, 20, 370), MshrOutcome::Full(350));
+    }
+
+    #[test]
+    fn completed_entries_retire() {
+        let mut m = MshrFile::new(1, 1);
+        let t = ThreadId::new(0);
+        assert_eq!(m.request(t, 0x40, 0, 100), MshrOutcome::Allocated);
+        // At cycle 100 the miss is done, so a new miss can allocate.
+        assert_eq!(m.request(t, 0x80, 100, 450), MshrOutcome::Allocated);
+        assert_eq!(m.outstanding_count(t, 100), 1);
+        assert_eq!(m.outstanding_count(t, 450), 0);
+    }
+
+    #[test]
+    fn threads_are_independent() {
+        let mut m = MshrFile::new(2, 1);
+        let t0 = ThreadId::new(0);
+        let t1 = ThreadId::new(1);
+        assert_eq!(m.request(t0, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.request(t1, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.outstanding_count(t0, 10), 1);
+        assert_eq!(m.outstanding_count(t1, 10), 1);
+    }
+
+    #[test]
+    fn latest_completion_tracks_max() {
+        let mut m = MshrFile::new(1, 4);
+        let t = ThreadId::new(0);
+        m.request(t, 0x40, 0, 350);
+        m.request(t, 0x80, 5, 500);
+        m.request(t, 0xc0, 7, 420);
+        assert_eq!(m.latest_completion(t), Some(500));
+        m.reset();
+        assert_eq!(m.latest_completion(t), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_rejected() {
+        let _ = MshrFile::new(1, 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Fully-associative translation lookaside buffer with LRU replacement.
+
+use smt_types::config::TlbConfig;
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TlbEntry {
+    valid: bool,
+    vpn: u64,
+    last_used: u64,
+}
+
+/// A fully-associative TLB, as configured in Table IV (128-entry I-TLB, 512-entry
+/// D-TLB, 8 KB pages).
+///
+/// A D-TLB miss is one of the two events the paper counts as a *long-latency load*
+/// (the other being an L3 load miss).
+///
+/// # Example
+///
+/// ```
+/// use smt_mem::Tlb;
+/// use smt_types::config::TlbConfig;
+///
+/// let mut tlb = Tlb::new(&TlbConfig { entries: 4, page_bytes: 8192, miss_penalty: 350 });
+/// assert!(!tlb.access(0x0));          // cold miss, entry installed
+/// assert!(tlb.access(0x1fff));        // same 8 KB page
+/// assert!(!tlb.access(0x2000));       // next page
+/// ```
+#[derive(Clone, Debug)]
+pub struct Tlb {
+    entries: Vec<TlbEntry>,
+    page_shift: u32,
+    miss_penalty: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl Tlb {
+    /// Builds a TLB from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero or the page size is not a power of two.
+    pub fn new(config: &TlbConfig) -> Self {
+        assert!(config.entries > 0, "TLB needs at least one entry");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        Tlb {
+            entries: vec![TlbEntry::default(); config.entries as usize],
+            page_shift: config.page_bytes.trailing_zeros(),
+            miss_penalty: config.miss_penalty,
+            tick: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Penalty in cycles charged for a miss (a page-table walk to memory).
+    pub fn miss_penalty(&self) -> u64 {
+        self.miss_penalty
+    }
+
+    /// Translates `addr`; returns `true` on a hit. On a miss the translation is
+    /// installed (hardware page walk), evicting the LRU entry.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.tick += 1;
+        let tick = self.tick;
+        let vpn = addr >> self.page_shift;
+        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+            e.last_used = tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        let victim = self
+            .entries
+            .iter_mut()
+            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+            .expect("TLB has at least one entry");
+        victim.valid = true;
+        victim.vpn = vpn;
+        victim.last_used = tick;
+        false
+    }
+
+    /// Checks for a translation without installing or touching LRU state.
+    pub fn probe(&self, addr: u64) -> bool {
+        let vpn = addr >> self.page_shift;
+        self.entries.iter().any(|e| e.valid && e.vpn == vpn)
+    }
+
+    /// Number of hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates every translation.
+    pub fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Tlb {
+        Tlb::new(&TlbConfig {
+            entries: 2,
+            page_bytes: 4096,
+            miss_penalty: 350,
+        })
+    }
+
+    #[test]
+    fn hit_after_install() {
+        let mut t = tiny();
+        assert!(!t.access(0x1000));
+        assert!(t.access(0x1abc));
+        assert_eq!(t.hits(), 1);
+        assert_eq!(t.misses(), 1);
+    }
+
+    #[test]
+    fn lru_eviction() {
+        let mut t = tiny();
+        t.access(0x0000); // page 0
+        t.access(0x1000); // page 1
+        t.access(0x0000); // refresh page 0
+        t.access(0x2000); // evicts page 1
+        assert!(t.probe(0x0000));
+        assert!(!t.probe(0x1000));
+        assert!(t.probe(0x2000));
+    }
+
+    #[test]
+    fn probe_is_side_effect_free() {
+        let mut t = tiny();
+        t.access(0x0);
+        let hits = t.hits();
+        let misses = t.misses();
+        assert!(t.probe(0x0));
+        assert!(!t.probe(0x5000));
+        assert_eq!(t.hits(), hits);
+        assert_eq!(t.misses(), misses);
+        assert!(!t.probe(0x5000)); // probe of a missing page must not install it
+    }
+
+    #[test]
+    fn flush_all_clears() {
+        let mut t = tiny();
+        t.access(0x0);
+        t.flush_all();
+        assert!(!t.probe(0x0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_entries_rejected() {
+        let _ = Tlb::new(&TlbConfig {
+            entries: 0,
+            page_bytes: 4096,
+            miss_penalty: 1,
+        });
+    }
+}

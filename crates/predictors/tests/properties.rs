@@ -1,0 +1,78 @@
+//! Property-based tests for the predictor data structures.
+
+use proptest::prelude::*;
+
+use smt_predictors::{Llsr, LongLatencyPredictor, MissPatternPredictor, MlpDistancePredictor};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The LLSR produces exactly one observation per long-latency load once that
+    /// load has fallen out of the window, and every reported distance is bounded
+    /// by the window length.
+    #[test]
+    fn llsr_observation_count_and_bounds(
+        capacity in 1usize..64,
+        commits in prop::collection::vec(any::<bool>(), 1..400),
+    ) {
+        let mut llsr = Llsr::new(capacity);
+        let mut observations = 0usize;
+        for (i, &is_lll) in commits.iter().enumerate() {
+            if let Some(obs) = llsr.commit(0x40 + 4 * i as u64, is_lll) {
+                observations += 1;
+                prop_assert!(obs.mlp_distance as usize <= capacity);
+            }
+        }
+        // Only long-latency loads that have exited the window can have produced an
+        // observation: the last `capacity` commits are still inside.
+        let exited = commits.len().saturating_sub(capacity);
+        let expected: usize = commits[..exited].iter().filter(|&&b| b).count();
+        prop_assert_eq!(observations, expected);
+    }
+
+    /// The MLP distance predictor is a last-value predictor clamped to its maximum
+    /// distance.
+    #[test]
+    fn mlp_distance_predictor_is_clamped_last_value(
+        entries in 1u32..512,
+        max_distance in 1u32..512,
+        updates in prop::collection::vec((any::<u64>(), 0u32..2048), 1..200),
+    ) {
+        let mut predictor = MlpDistancePredictor::new(entries, max_distance);
+        for (pc, distance) in &updates {
+            predictor.update(*pc, *distance);
+            prop_assert_eq!(predictor.predict(*pc), (*distance).min(max_distance));
+        }
+    }
+
+    /// The miss pattern predictor perfectly captures strictly periodic miss
+    /// behaviour once trained, for any period that fits in its counters.
+    #[test]
+    fn miss_pattern_predictor_learns_any_period(period in 1usize..50) {
+        let mut predictor = MissPatternPredictor::new(2048);
+        let total = period * 20;
+        let mut wrong_late = 0;
+        for i in 0..total {
+            let is_miss = i % period == period - 1;
+            let predicted = predictor.predict(0x1234);
+            if i > period * 3 && predicted != is_miss {
+                wrong_late += 1;
+            }
+            predictor.update(0x1234, is_miss);
+        }
+        prop_assert_eq!(wrong_late, 0, "period {} not learned", period);
+    }
+
+    /// Predictions never panic for arbitrary PCs (indexing is always in bounds).
+    #[test]
+    fn predictors_accept_arbitrary_pcs(pcs in prop::collection::vec(any::<u64>(), 1..100)) {
+        let mut miss = MissPatternPredictor::new(128);
+        let mut distance = MlpDistancePredictor::new(128, 64);
+        for pc in pcs {
+            let _ = miss.predict(pc);
+            miss.update(pc, pc % 3 == 0);
+            let _ = distance.predict(pc);
+            distance.update(pc, (pc % 100) as u32);
+        }
+    }
+}

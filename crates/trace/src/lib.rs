@@ -1,0 +1,65 @@
+//! Synthetic SPEC CPU2000 workload models and trace generation.
+//!
+//! The paper evaluates on SPEC CPU2000 binaries compiled for Alpha and simulated
+//! with SMTSIM over SimPoint regions. Neither the binaries, the inputs, nor an
+//! Alpha functional front end can be redistributed, so this crate substitutes a
+//! *parametric workload model* per benchmark (see `DESIGN.md` §4):
+//!
+//! * [`profile::BenchmarkProfile`] captures the characteristics that matter to an
+//!   SMT fetch policy study — long-latency-load rate, MLP burst size and span,
+//!   prefetch friendliness, instruction mix, branch behaviour and ILP;
+//! * [`spec`] instantiates one profile per SPEC CPU2000 benchmark, calibrated to
+//!   Table I of the paper;
+//! * [`generator::SyntheticTraceGenerator`] turns a profile into a deterministic
+//!   instruction stream ([`TraceSource`]) whose loads really hit or miss in the
+//!   simulated cache hierarchy with the intended pattern.
+//!
+//! # Example
+//!
+//! ```
+//! use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
+//!
+//! let profile = spec::benchmark("mcf").expect("mcf is a SPEC CPU2000 benchmark");
+//! let mut gen = SyntheticTraceGenerator::new(profile.clone(), 42);
+//! let op = gen.next_op();
+//! assert!(op.is_well_formed());
+//! assert_eq!(gen.name(), "mcf");
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod generator;
+pub mod profile;
+pub mod scripted;
+pub mod spec;
+
+pub use generator::SyntheticTraceGenerator;
+pub use profile::{BenchmarkProfile, WorkloadClass};
+pub use scripted::ScriptedTrace;
+
+use smt_types::TraceOp;
+
+/// A source of dynamic instructions for one hardware thread.
+///
+/// The pipeline pulls instructions one at a time; the source must be
+/// deterministic for a given construction seed so that single-threaded and
+/// multi-threaded runs of the same benchmark see the same instruction stream
+/// (required for the STP/ANTT normalization).
+pub trait TraceSource {
+    /// Produces the next dynamic instruction.
+    fn next_op(&mut self) -> TraceOp;
+
+    /// Short name of the workload (benchmark name).
+    fn name(&self) -> &str;
+}
+
+impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
+    fn next_op(&mut self) -> TraceOp {
+        (**self).next_op()
+    }
+
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}

@@ -1,0 +1,212 @@
+//! Parametric benchmark workload models.
+
+use serde::{Deserialize, Serialize};
+
+/// Classification of a benchmark used throughout the evaluation (rightmost column
+/// of Table I): MLP-intensive benchmarks are those whose measured MLP impact on
+/// single-thread performance exceeds 10%.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum WorkloadClass {
+    /// ILP-intensive: little to gain from memory-level parallelism.
+    Ilp,
+    /// MLP-intensive: overlapping long-latency loads matter for performance.
+    Mlp,
+}
+
+impl WorkloadClass {
+    /// Short label used in result tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            WorkloadClass::Ilp => "ILP",
+            WorkloadClass::Mlp => "MLP",
+        }
+    }
+}
+
+/// A parametric model of one benchmark's dynamic behaviour.
+///
+/// The fields are the knobs of the synthetic trace generator; `spec::benchmark`
+/// provides instances calibrated against Table I of the paper.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct BenchmarkProfile {
+    /// Benchmark name (e.g. `"mcf"`).
+    pub name: String,
+    /// Reference input name, for documentation parity with Table I.
+    pub input: String,
+    /// ILP/MLP classification from Table I.
+    pub class: WorkloadClass,
+    /// Target long-latency loads per 1000 instructions (Table I "LLL" column),
+    /// measured on a prefetcher-less 256-entry ROB processor.
+    pub lll_per_kinst: f64,
+    /// Target memory-level parallelism (Table I "MLP" column): average burst size
+    /// of independent long-latency loads.
+    pub target_mlp: f64,
+    /// Span, in dynamic instructions, over which a burst of independent
+    /// long-latency loads is spread. Large values (mcf, fma3d) put the MLP far down
+    /// the instruction stream; small values (lucas) keep it close.
+    pub burst_span: u32,
+    /// Fraction of long-latency load streams that follow a regular stride and are
+    /// therefore coverable by the stream-buffer prefetcher.
+    pub prefetch_friendliness: f64,
+    /// Fraction of instructions that are loads.
+    pub load_fraction: f64,
+    /// Fraction of instructions that are stores.
+    pub store_fraction: f64,
+    /// Fraction of instructions that are branches.
+    pub branch_fraction: f64,
+    /// Fraction of the remaining (computational) instructions that are floating
+    /// point.
+    pub fp_fraction: f64,
+    /// Probability that a conditional branch is taken.
+    pub branch_taken_rate: f64,
+    /// Probability that a branch outcome is effectively random (not capturable by
+    /// the gshare predictor); models the benchmark's branch misprediction rate.
+    pub branch_randomness: f64,
+    /// Mean producer-consumer dependency distance in instructions; smaller values
+    /// mean longer dependence chains and lower ILP.
+    pub dep_distance_mean: f64,
+    /// Number of distinct static loads/stores (code footprint knob for the
+    /// predictor tables).
+    pub static_mem_pcs: u32,
+    /// Cache-resident working-set size of the "hit" access stream, in 64-byte
+    /// lines.
+    pub hot_working_set_lines: u32,
+    /// Fraction of hit-stream accesses that go to an L2/L3-resident (but not
+    /// L1-resident) region, generating intermediate-latency misses.
+    pub l2_fraction: f64,
+}
+
+impl BenchmarkProfile {
+    /// Checks that all fractions are sane and the profile can drive the generator.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the first problem found.
+    pub fn validate(&self) -> Result<(), String> {
+        let fractions = [
+            ("load_fraction", self.load_fraction),
+            ("store_fraction", self.store_fraction),
+            ("branch_fraction", self.branch_fraction),
+            ("fp_fraction", self.fp_fraction),
+            ("branch_taken_rate", self.branch_taken_rate),
+            ("branch_randomness", self.branch_randomness),
+            ("prefetch_friendliness", self.prefetch_friendliness),
+            ("l2_fraction", self.l2_fraction),
+        ];
+        for (name, value) in fractions {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("{name} must be within [0, 1], got {value}"));
+            }
+        }
+        if self.load_fraction + self.store_fraction + self.branch_fraction >= 1.0 {
+            return Err("load + store + branch fractions must leave room for ALU ops".into());
+        }
+        if self.name.is_empty() {
+            return Err("benchmark name must not be empty".into());
+        }
+        if self.lll_per_kinst < 0.0 || self.lll_per_kinst > 1000.0 {
+            return Err("lll_per_kinst must be within [0, 1000]".into());
+        }
+        if self.target_mlp < 1.0 {
+            return Err("target MLP is defined as ≥ 1".into());
+        }
+        if self.burst_span == 0 {
+            return Err("burst span must be non-zero".into());
+        }
+        if self.dep_distance_mean < 1.0 {
+            return Err("dependency distance mean must be ≥ 1".into());
+        }
+        // Bursts of `target_mlp` misses are spread over `burst_span` instructions
+        // and separated by at least one span, so the achievable long-latency load
+        // rate is bounded by mlp / (span + 1) per instruction.
+        let max_rate = 1000.0 * self.target_mlp / (self.burst_span as f64 + 1.0);
+        if self.lll_per_kinst > max_rate {
+            return Err(format!(
+                "lll_per_kinst {} is not achievable with MLP {} over a {}-instruction burst span (max {:.1})",
+                self.lll_per_kinst, self.target_mlp, self.burst_span, max_rate
+            ));
+        }
+        if self.hot_working_set_lines == 0 || self.static_mem_pcs == 0 {
+            return Err("working set and static PC counts must be non-zero".into());
+        }
+        Ok(())
+    }
+
+    /// Whether the benchmark is MLP-intensive per Table I.
+    pub fn is_mlp_intensive(&self) -> bool {
+        self.class == WorkloadClass::Mlp
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchmarkProfile {
+        BenchmarkProfile {
+            name: "sample".into(),
+            input: "ref".into(),
+            class: WorkloadClass::Mlp,
+            lll_per_kinst: 10.0,
+            target_mlp: 4.0,
+            burst_span: 96,
+            prefetch_friendliness: 0.5,
+            load_fraction: 0.25,
+            store_fraction: 0.1,
+            branch_fraction: 0.12,
+            fp_fraction: 0.4,
+            branch_taken_rate: 0.6,
+            branch_randomness: 0.05,
+            dep_distance_mean: 6.0,
+            static_mem_pcs: 64,
+            hot_working_set_lines: 256,
+            l2_fraction: 0.02,
+        }
+    }
+
+    #[test]
+    fn sample_profile_validates() {
+        assert!(sample().validate().is_ok());
+        assert!(sample().is_mlp_intensive());
+    }
+
+    #[test]
+    fn bad_fraction_rejected() {
+        let mut p = sample();
+        p.load_fraction = 1.5;
+        assert!(p.validate().is_err());
+        let mut p = sample();
+        p.load_fraction = 0.5;
+        p.store_fraction = 0.3;
+        p.branch_fraction = 0.3;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn unachievable_miss_rate_rejected() {
+        let mut p = sample();
+        p.lll_per_kinst = 500.0;
+        p.target_mlp = 1.0;
+        p.burst_span = 100;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn bad_mlp_and_span_rejected() {
+        let mut p = sample();
+        p.target_mlp = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = sample();
+        p.burst_span = 0;
+        assert!(p.validate().is_err());
+        let mut p = sample();
+        p.dep_distance_mean = 0.0;
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn class_labels() {
+        assert_eq!(WorkloadClass::Ilp.label(), "ILP");
+        assert_eq!(WorkloadClass::Mlp.label(), "MLP");
+    }
+}

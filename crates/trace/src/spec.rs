@@ -1,0 +1,199 @@
+//! SPEC CPU2000 benchmark profiles calibrated against Table I of the paper.
+//!
+//! Each entry records the reference input, the ILP/MLP classification, the
+//! long-latency-load rate and the MLP the paper measured, plus generator knobs
+//! (burst span, prefetch friendliness, instruction mix) chosen so that the
+//! synthetic traces reproduce the qualitative behaviour of each benchmark: the
+//! miss-burst structure the fetch policies react to, the MLP-distance CDF shape of
+//! Figure 4, and the prefetcher sensitivity of Figure 5.
+
+use crate::profile::{BenchmarkProfile, WorkloadClass};
+use smt_types::SimError;
+
+/// Integer-benchmark defaults for the instruction mix.
+fn int_profile(
+    name: &str,
+    input: &str,
+    class: WorkloadClass,
+    lll: f64,
+    mlp: f64,
+    burst_span: u32,
+    prefetch: f64,
+    branch_randomness: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: name.into(),
+        input: input.into(),
+        class,
+        lll_per_kinst: lll,
+        target_mlp: mlp,
+        burst_span,
+        prefetch_friendliness: prefetch,
+        load_fraction: 0.26,
+        store_fraction: 0.12,
+        branch_fraction: 0.16,
+        fp_fraction: 0.02,
+        branch_taken_rate: 0.62,
+        branch_randomness,
+        dep_distance_mean: 4.5,
+        static_mem_pcs: 96,
+        hot_working_set_lines: 384,
+        l2_fraction: 0.003,
+    }
+}
+
+/// Floating-point-benchmark defaults for the instruction mix.
+fn fp_profile(
+    name: &str,
+    input: &str,
+    class: WorkloadClass,
+    lll: f64,
+    mlp: f64,
+    burst_span: u32,
+    prefetch: f64,
+) -> BenchmarkProfile {
+    BenchmarkProfile {
+        name: name.into(),
+        input: input.into(),
+        class,
+        lll_per_kinst: lll,
+        target_mlp: mlp,
+        burst_span,
+        prefetch_friendliness: prefetch,
+        load_fraction: 0.30,
+        store_fraction: 0.10,
+        branch_fraction: 0.05,
+        fp_fraction: 0.55,
+        branch_taken_rate: 0.80,
+        branch_randomness: 0.01,
+        dep_distance_mean: 7.0,
+        static_mem_pcs: 64,
+        hot_working_set_lines: 512,
+        l2_fraction: 0.008,
+    }
+}
+
+/// Returns the full list of the 26 SPEC CPU2000 benchmarks of Table I, in the
+/// order the paper lists them (integer benchmarks first, then floating point).
+pub fn all_benchmarks() -> Vec<BenchmarkProfile> {
+    use WorkloadClass::{Ilp, Mlp};
+    vec![
+        // --- SPECint2000 -----------------------------------------------------
+        int_profile("bzip2", "program", Ilp, 0.14, 1.00, 48, 0.80, 0.04),
+        int_profile("crafty", "ref", Ilp, 0.08, 1.34, 48, 0.30, 0.08),
+        int_profile("eon", "rushmeier", Ilp, 0.01, 1.83, 48, 0.40, 0.05),
+        int_profile("gap", "ref", Ilp, 0.36, 1.02, 48, 0.40, 0.05),
+        int_profile("gcc", "166", Ilp, 0.01, 1.70, 48, 0.35, 0.07),
+        int_profile("gzip", "graphic", Ilp, 0.08, 1.81, 48, 0.70, 0.06),
+        int_profile("mcf", "ref", Mlp, 17.36, 5.17, 118, 0.05, 0.08),
+        int_profile("parser", "ref", Ilp, 0.14, 1.24, 48, 0.30, 0.07),
+        int_profile("perlbmk", "makerand", Ilp, 0.30, 1.00, 48, 0.35, 0.05),
+        int_profile("twolf", "ref", Ilp, 0.10, 1.37, 48, 0.25, 0.08),
+        int_profile("vortex", "ref2", Ilp, 0.39, 1.06, 48, 0.40, 0.04),
+        int_profile("vpr", "route", Ilp, 0.09, 1.43, 48, 0.30, 0.07),
+        // --- SPECfp2000 ------------------------------------------------------
+        fp_profile("ammp", "ref", Mlp, 1.71, 3.94, 72, 0.30),
+        fp_profile("applu", "ref", Mlp, 14.24, 4.26, 64, 0.90),
+        fp_profile("apsi", "ref", Mlp, 0.78, 6.15, 90, 0.60),
+        fp_profile("art", "ref-110", Ilp, 0.19, 8.58, 100, 0.70),
+        fp_profile("equake", "ref", Mlp, 24.60, 2.69, 88, 0.60),
+        fp_profile("facerec", "ref", Ilp, 0.41, 1.51, 56, 0.60),
+        fp_profile("fma3d", "ref", Mlp, 17.67, 6.27, 116, 0.50),
+        fp_profile("galgel", "ref", Mlp, 0.24, 3.84, 72, 0.70),
+        fp_profile("lucas", "ref", Mlp, 10.63, 2.15, 34, 0.85),
+        fp_profile("mesa", "ref", Mlp, 0.45, 2.88, 64, 0.50),
+        fp_profile("mgrid", "ref", Mlp, 6.04, 1.76, 52, 0.90),
+        fp_profile("sixtrack", "ref", Ilp, 0.10, 2.61, 64, 0.50),
+        fp_profile("swim", "ref", Mlp, 15.08, 3.66, 70, 0.90),
+        fp_profile("wupwise", "ref", Mlp, 2.00, 2.20, 60, 0.60),
+    ]
+}
+
+/// Looks up one benchmark profile by name.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] when the name is not one of the 26
+/// SPEC CPU2000 benchmarks of Table I.
+pub fn benchmark(name: &str) -> Result<BenchmarkProfile, SimError> {
+    all_benchmarks()
+        .into_iter()
+        .find(|b| b.name == name)
+        .ok_or_else(|| SimError::UnknownBenchmark { name: name.into() })
+}
+
+/// The six most MLP-intensive programs used in Figure 4 (MLP-distance CDFs).
+pub fn figure4_benchmarks() -> Vec<&'static str> {
+    vec!["mcf", "applu", "equake", "fma3d", "lucas", "swim"]
+}
+
+/// Names of all MLP-intensive benchmarks (Table I classification).
+pub fn mlp_intensive_benchmarks() -> Vec<String> {
+    all_benchmarks()
+        .into_iter()
+        .filter(|b| b.class == WorkloadClass::Mlp)
+        .map(|b| b.name)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_all_26_benchmarks() {
+        let all = all_benchmarks();
+        assert_eq!(all.len(), 26);
+        let names: std::collections::HashSet<_> = all.iter().map(|b| b.name.clone()).collect();
+        assert_eq!(names.len(), 26, "benchmark names must be unique");
+    }
+
+    #[test]
+    fn every_profile_validates() {
+        for b in all_benchmarks() {
+            b.validate().unwrap_or_else(|e| panic!("{}: {e}", b.name));
+        }
+    }
+
+    #[test]
+    fn table1_classification_matches_paper() {
+        let mlp = mlp_intensive_benchmarks();
+        for expected in [
+            "mcf", "ammp", "applu", "apsi", "equake", "fma3d", "galgel", "lucas", "mesa",
+            "mgrid", "swim", "wupwise",
+        ] {
+            assert!(mlp.iter().any(|n| n == expected), "{expected} should be MLP-intensive");
+        }
+        assert_eq!(mlp.len(), 12);
+        for ilp in ["bzip2", "gap", "perlbmk", "art", "facerec", "sixtrack"] {
+            assert!(!mlp.iter().any(|n| n == ilp), "{ilp} should be ILP-intensive");
+        }
+    }
+
+    #[test]
+    fn table1_headline_numbers_match() {
+        let mcf = benchmark("mcf").unwrap();
+        assert!((mcf.lll_per_kinst - 17.36).abs() < 1e-9);
+        assert!((mcf.target_mlp - 5.17).abs() < 1e-9);
+        let fma3d = benchmark("fma3d").unwrap();
+        assert!((fma3d.target_mlp - 6.27).abs() < 1e-9);
+        let bzip2 = benchmark("bzip2").unwrap();
+        assert!((bzip2.target_mlp - 1.00).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unknown_benchmark_is_an_error() {
+        assert!(benchmark("quake3").is_err());
+    }
+
+    #[test]
+    fn figure4_set_is_mlp_intensive_with_expected_spans() {
+        let lucas = benchmark("lucas").unwrap();
+        let mcf = benchmark("mcf").unwrap();
+        assert!(lucas.burst_span < 40, "lucas exposes its MLP over short distances");
+        assert!(mcf.burst_span > 100, "mcf exposes its MLP over long distances");
+        for name in figure4_benchmarks() {
+            assert!(benchmark(name).unwrap().is_mlp_intensive());
+        }
+    }
+}

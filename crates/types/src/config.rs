@@ -1,0 +1,532 @@
+//! Simulated processor configuration (Table IV of the paper).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Geometry and latency of one cache level.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Associativity (number of ways per set).
+    pub associativity: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Access latency in cycles (added on a hit at this level).
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero sized fields). Use
+    /// [`CacheConfig::validate`] to check fallibly.
+    pub fn num_sets(&self) -> u64 {
+        self.validate().expect("invalid cache geometry");
+        self.size_bytes / (self.associativity as u64 * self.line_bytes as u64)
+    }
+
+    /// Checks that the geometry is internally consistent.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if any field is zero, the capacity is not
+    /// a multiple of `associativity * line_bytes`, or the resulting set count is not
+    /// a power of two.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.size_bytes == 0 || self.associativity == 0 || self.line_bytes == 0 {
+            return Err(SimError::invalid_config("cache geometry fields must be non-zero"));
+        }
+        let way_bytes = self.associativity as u64 * self.line_bytes as u64;
+        if self.size_bytes % way_bytes != 0 {
+            return Err(SimError::invalid_config(
+                "cache size must be a multiple of associativity * line size",
+            ));
+        }
+        let sets = self.size_bytes / way_bytes;
+        if !sets.is_power_of_two() {
+            return Err(SimError::invalid_config("cache set count must be a power of two"));
+        }
+        if !self.line_bytes.is_power_of_two() {
+            return Err(SimError::invalid_config("cache line size must be a power of two"));
+        }
+        Ok(())
+    }
+}
+
+/// TLB geometry (fully associative in the baseline).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct TlbConfig {
+    /// Number of entries.
+    pub entries: u32,
+    /// Page size in bytes.
+    pub page_bytes: u64,
+    /// Penalty (cycles) of a TLB miss; the paper treats a D-TLB miss as a
+    /// long-latency event comparable to a memory access.
+    pub miss_penalty: u64,
+}
+
+/// Hardware stream-buffer prefetcher configuration (Sherwood et al. style).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub struct PrefetcherConfig {
+    /// Whether the prefetcher is enabled (the Figure 5 experiment turns it off).
+    pub enabled: bool,
+    /// Number of stream buffers.
+    pub stream_buffers: u32,
+    /// Entries (prefetched lines) per stream buffer.
+    pub entries_per_buffer: u32,
+    /// Number of entries in the PC-indexed stride predictor that guides allocation.
+    pub stride_table_entries: u32,
+    /// Confidence threshold (consecutive identical strides) before a stream buffer
+    /// is allocated.
+    pub confidence_threshold: u8,
+}
+
+impl Default for PrefetcherConfig {
+    fn default() -> Self {
+        PrefetcherConfig {
+            enabled: true,
+            stream_buffers: 8,
+            entries_per_buffer: 8,
+            stride_table_entries: 2048,
+            confidence_threshold: 2,
+        }
+    }
+}
+
+/// Which SMT fetch policy drives the front end.
+///
+/// The first six correspond to the policies compared in Section 6.3; the
+/// remaining variants cover the Section 6.5 alternatives and the Section 6.6
+/// explicit resource-management schemes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+pub enum FetchPolicyKind {
+    /// ICOUNT 2.4 (Tullsen et al. 1996) — the baseline.
+    Icount,
+    /// Fetch stall on a *detected* long-latency load (Tullsen & Brown 2001).
+    Stall,
+    /// Fetch stall on a *predicted* long-latency load (Cazorla et al. 2004a).
+    PredictiveStall,
+    /// Flush past a detected long-latency load (Tullsen & Brown 2001, "TM/next").
+    Flush,
+    /// MLP-aware stall fetch: predict the load and its MLP distance, stall after
+    /// fetching that many more instructions (this paper).
+    MlpStall,
+    /// MLP-aware flush: detect the load, predict the MLP distance, flush or keep
+    /// fetching up to that distance (this paper — the headline policy).
+    MlpFlush,
+    /// Section 6.5 alternative (c): binary MLP predictor + flush.
+    MlpBinaryFlush,
+    /// Section 6.5 alternative (d): MLP distance + flush at resource stall.
+    MlpDistanceFlushAtStall,
+    /// Section 6.5 alternative (e): binary MLP predictor + flush at resource stall.
+    MlpBinaryFlushAtStall,
+    /// Static partitioning of buffer resources (Raasch & Reinhardt style).
+    StaticPartition,
+    /// Dynamically controlled resource allocation (Cazorla et al. 2004b).
+    Dcra,
+}
+
+impl FetchPolicyKind {
+    /// All policies evaluated in the main comparison (Figures 9–14).
+    pub const MAIN_COMPARISON: [FetchPolicyKind; 6] = [
+        FetchPolicyKind::Icount,
+        FetchPolicyKind::Stall,
+        FetchPolicyKind::PredictiveStall,
+        FetchPolicyKind::MlpStall,
+        FetchPolicyKind::Flush,
+        FetchPolicyKind::MlpFlush,
+    ];
+
+    /// Short machine-readable name used in result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            FetchPolicyKind::Icount => "icount",
+            FetchPolicyKind::Stall => "stall",
+            FetchPolicyKind::PredictiveStall => "pstall",
+            FetchPolicyKind::Flush => "flush",
+            FetchPolicyKind::MlpStall => "mlp-stall",
+            FetchPolicyKind::MlpFlush => "mlp-flush",
+            FetchPolicyKind::MlpBinaryFlush => "mlp-binary-flush",
+            FetchPolicyKind::MlpDistanceFlushAtStall => "mlp-dist-flush-at-stall",
+            FetchPolicyKind::MlpBinaryFlushAtStall => "mlp-binary-flush-at-stall",
+            FetchPolicyKind::StaticPartition => "static-partition",
+            FetchPolicyKind::Dcra => "dcra",
+        }
+    }
+}
+
+/// Full SMT processor configuration, defaulting to Table IV of the paper.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+pub struct SmtConfig {
+    /// Number of hardware threads.
+    pub num_threads: usize,
+    /// Fetch policy driving the front end.
+    pub fetch_policy: FetchPolicyKind,
+    /// Instructions fetched per cycle (total across threads). ICOUNT 2.4 = 4.
+    pub fetch_width: u32,
+    /// Maximum number of threads fetched from in one cycle. ICOUNT 2.4 = 2.
+    pub fetch_threads_per_cycle: u32,
+    /// Decode/rename/dispatch width per cycle.
+    pub dispatch_width: u32,
+    /// Issue width per cycle.
+    pub issue_width: u32,
+    /// Commit width per cycle.
+    pub commit_width: u32,
+    /// Front-end depth in stages (fetch to dispatch); Table IV: 14-stage pipeline.
+    pub frontend_depth: u32,
+    /// Shared reorder buffer capacity.
+    pub rob_size: u32,
+    /// Shared load/store queue capacity.
+    pub lsq_size: u32,
+    /// Integer issue-queue capacity.
+    pub iq_int_size: u32,
+    /// Floating-point issue-queue capacity.
+    pub iq_fp_size: u32,
+    /// Integer rename registers (beyond architected state).
+    pub rename_int: u32,
+    /// Floating-point rename registers.
+    pub rename_fp: u32,
+    /// Number of integer ALUs.
+    pub int_alus: u32,
+    /// Number of load/store units.
+    pub ldst_units: u32,
+    /// Number of floating-point units.
+    pub fp_units: u32,
+    /// Branch misprediction penalty in cycles.
+    pub branch_penalty: u64,
+    /// gshare branch predictor entries.
+    pub gshare_entries: u32,
+    /// Branch target buffer entries.
+    pub btb_entries: u32,
+    /// Branch target buffer associativity.
+    pub btb_assoc: u32,
+    /// Write buffer entries (stores drain here at commit).
+    pub write_buffer_entries: u32,
+    /// L1 instruction cache.
+    pub l1i: CacheConfig,
+    /// L1 data cache.
+    pub l1d: CacheConfig,
+    /// Unified L2 cache.
+    pub l2: CacheConfig,
+    /// Unified L3 cache.
+    pub l3: CacheConfig,
+    /// Instruction TLB.
+    pub itlb: TlbConfig,
+    /// Data TLB.
+    pub dtlb: TlbConfig,
+    /// Main memory access latency in cycles (Figure 15/16 sweeps this 200–800).
+    pub memory_latency: u64,
+    /// Number of outstanding misses supported per thread (MSHR-style limit). The
+    /// paper assumes enough MSHRs to expose the ROB-limited MLP; 32 is ample.
+    pub max_outstanding_misses: u32,
+    /// Hardware prefetcher configuration.
+    pub prefetcher: PrefetcherConfig,
+    /// When `true`, independent long-latency loads are artificially serialized
+    /// (used only by the Table I "MLP impact" characterization experiment).
+    pub serialize_long_latency_loads: bool,
+    /// Long-latency load predictor table entries (per thread).
+    pub lll_predictor_entries: u32,
+    /// MLP distance predictor table entries (per thread).
+    pub mlp_predictor_entries: u32,
+    /// Optional explicit LLSR length; when `None` the paper's sizing of
+    /// `ROB size / number of threads` is used.
+    pub llsr_length_override: Option<u32>,
+}
+
+impl SmtConfig {
+    /// The baseline Table IV configuration for `num_threads` hardware threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_threads` is zero or exceeds [`crate::ThreadId::MAX_THREADS`].
+    pub fn baseline(num_threads: usize) -> Self {
+        assert!(
+            num_threads >= 1 && num_threads <= crate::ThreadId::MAX_THREADS,
+            "unsupported thread count {num_threads}"
+        );
+        SmtConfig {
+            num_threads,
+            fetch_policy: FetchPolicyKind::Icount,
+            fetch_width: 4,
+            fetch_threads_per_cycle: 2,
+            dispatch_width: 4,
+            issue_width: 4,
+            commit_width: 4,
+            frontend_depth: 14,
+            rob_size: 256,
+            lsq_size: 128,
+            iq_int_size: 64,
+            iq_fp_size: 64,
+            rename_int: 100,
+            rename_fp: 100,
+            int_alus: 4,
+            ldst_units: 2,
+            fp_units: 2,
+            branch_penalty: 11,
+            gshare_entries: 2048,
+            btb_entries: 256,
+            btb_assoc: 4,
+            write_buffer_entries: 8,
+            l1i: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency: 1,
+            },
+            l1d: CacheConfig {
+                size_bytes: 64 * 1024,
+                associativity: 2,
+                line_bytes: 64,
+                latency: 2,
+            },
+            l2: CacheConfig {
+                size_bytes: 512 * 1024,
+                associativity: 8,
+                line_bytes: 64,
+                latency: 11,
+            },
+            l3: CacheConfig {
+                size_bytes: 4 * 1024 * 1024,
+                associativity: 16,
+                line_bytes: 64,
+                latency: 35,
+            },
+            itlb: TlbConfig {
+                entries: 128,
+                page_bytes: 8 * 1024,
+                miss_penalty: 350,
+            },
+            dtlb: TlbConfig {
+                entries: 512,
+                page_bytes: 8 * 1024,
+                miss_penalty: 350,
+            },
+            memory_latency: 350,
+            max_outstanding_misses: 32,
+            prefetcher: PrefetcherConfig::default(),
+            serialize_long_latency_loads: false,
+            lll_predictor_entries: 2048,
+            mlp_predictor_entries: 2048,
+            llsr_length_override: None,
+        }
+    }
+
+    /// Baseline single-thread configuration (used for the single-threaded CPI runs
+    /// that normalize STP and ANTT).
+    pub fn single_thread() -> Self {
+        Self::baseline(1)
+    }
+
+    /// Returns a copy with the given fetch policy.
+    pub fn with_policy(mut self, policy: FetchPolicyKind) -> Self {
+        self.fetch_policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given main-memory latency (Figures 15/16).
+    pub fn with_memory_latency(mut self, latency: u64) -> Self {
+        self.memory_latency = latency;
+        self
+    }
+
+    /// Returns a copy with the prefetcher enabled or disabled (Figure 5).
+    pub fn with_prefetcher(mut self, enabled: bool) -> Self {
+        self.prefetcher.enabled = enabled;
+        self
+    }
+
+    /// Scales the window resources for the Figure 17/18 experiment: ROB size `rob`,
+    /// with the load/store queue, issue queues and rename registers scaled
+    /// proportionally exactly as in Section 6.4.2 (ROB 128/256/512/1024 ↔ LSQ
+    /// 64/128/256/512 ↔ IQ 32/64/128/256 ↔ 50/100/200/400 registers).
+    pub fn with_window_size(mut self, rob: u32) -> Self {
+        let scale = rob as f64 / 256.0;
+        self.rob_size = rob;
+        self.lsq_size = ((128.0 * scale).round() as u32).max(2);
+        self.iq_int_size = ((64.0 * scale).round() as u32).max(2);
+        self.iq_fp_size = ((64.0 * scale).round() as u32).max(2);
+        self.rename_int = ((100.0 * scale).round() as u32).max(2);
+        self.rename_fp = ((100.0 * scale).round() as u32).max(2);
+        self
+    }
+
+    /// Per-thread long-latency shift register length: ROB entries divided by the
+    /// number of threads (Section 4.2), unless explicitly overridden.
+    pub fn llsr_length(&self) -> u32 {
+        self.llsr_length_override
+            .unwrap_or(self.rob_size / self.num_threads as u32)
+            .max(1)
+    }
+
+    /// Checks the whole configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when widths, resource sizes, or cache
+    /// geometries are degenerate.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.num_threads == 0 || self.num_threads > crate::ThreadId::MAX_THREADS {
+            return Err(SimError::invalid_config("unsupported number of threads"));
+        }
+        if self.fetch_width == 0 || self.dispatch_width == 0 || self.issue_width == 0 {
+            return Err(SimError::invalid_config("pipeline widths must be non-zero"));
+        }
+        if self.fetch_threads_per_cycle == 0 {
+            return Err(SimError::invalid_config(
+                "must fetch from at least one thread per cycle",
+            ));
+        }
+        if self.rob_size < self.num_threads as u32 {
+            return Err(SimError::invalid_config("ROB smaller than thread count"));
+        }
+        if self.lsq_size == 0 || self.iq_int_size == 0 || self.iq_fp_size == 0 {
+            return Err(SimError::invalid_config("queue sizes must be non-zero"));
+        }
+        if self.int_alus == 0 || self.ldst_units == 0 || self.fp_units == 0 {
+            return Err(SimError::invalid_config("functional unit counts must be non-zero"));
+        }
+        if self.max_outstanding_misses == 0 {
+            return Err(SimError::invalid_config("need at least one MSHR"));
+        }
+        for cache in [&self.l1i, &self.l1d, &self.l2, &self.l3] {
+            cache.validate()?;
+        }
+        if self.dtlb.entries == 0 || self.itlb.entries == 0 {
+            return Err(SimError::invalid_config("TLBs must have entries"));
+        }
+        if !self.dtlb.page_bytes.is_power_of_two() || !self.itlb.page_bytes.is_power_of_two() {
+            return Err(SimError::invalid_config("page size must be a power of two"));
+        }
+        if self.memory_latency == 0 {
+            return Err(SimError::invalid_config("memory latency must be non-zero"));
+        }
+        Ok(())
+    }
+}
+
+impl Default for SmtConfig {
+    fn default() -> Self {
+        Self::baseline(2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_matches_table_iv() {
+        let c = SmtConfig::baseline(2);
+        assert_eq!(c.rob_size, 256);
+        assert_eq!(c.lsq_size, 128);
+        assert_eq!(c.iq_int_size, 64);
+        assert_eq!(c.rename_int, 100);
+        assert_eq!(c.int_alus, 4);
+        assert_eq!(c.ldst_units, 2);
+        assert_eq!(c.fp_units, 2);
+        assert_eq!(c.branch_penalty, 11);
+        assert_eq!(c.memory_latency, 350);
+        assert_eq!(c.l3.size_bytes, 4 * 1024 * 1024);
+        assert_eq!(c.l2.latency, 11);
+        assert_eq!(c.l3.latency, 35);
+        assert_eq!(c.write_buffer_entries, 8);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn llsr_length_is_rob_over_threads() {
+        assert_eq!(SmtConfig::baseline(2).llsr_length(), 128);
+        assert_eq!(SmtConfig::baseline(4).llsr_length(), 64);
+        assert_eq!(SmtConfig::baseline(1).llsr_length(), 256);
+        let mut c = SmtConfig::baseline(1);
+        c.llsr_length_override = Some(128);
+        assert_eq!(c.llsr_length(), 128);
+    }
+
+    #[test]
+    fn window_scaling_matches_section_642() {
+        let c = SmtConfig::baseline(2).with_window_size(1024);
+        assert_eq!(c.rob_size, 1024);
+        assert_eq!(c.lsq_size, 512);
+        assert_eq!(c.iq_int_size, 256);
+        assert_eq!(c.rename_int, 400);
+        let c = SmtConfig::baseline(2).with_window_size(128);
+        assert_eq!(c.lsq_size, 64);
+        assert_eq!(c.iq_fp_size, 32);
+        assert_eq!(c.rename_fp, 50);
+    }
+
+    #[test]
+    fn cache_geometry_validation() {
+        let good = CacheConfig {
+            size_bytes: 64 * 1024,
+            associativity: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        assert!(good.validate().is_ok());
+        assert_eq!(good.num_sets(), 512);
+        let bad = CacheConfig {
+            size_bytes: 60 * 1024,
+            associativity: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        assert!(bad.validate().is_err());
+        let zero = CacheConfig {
+            size_bytes: 0,
+            associativity: 2,
+            line_bytes: 64,
+            latency: 1,
+        };
+        assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SmtConfig::baseline(2);
+        c.issue_width = 0;
+        assert!(c.validate().is_err());
+        let mut c = SmtConfig::baseline(2);
+        c.max_outstanding_misses = 0;
+        assert!(c.validate().is_err());
+        let mut c = SmtConfig::baseline(2);
+        c.memory_latency = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_style_helpers() {
+        let c = SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::MlpFlush)
+            .with_memory_latency(800)
+            .with_prefetcher(false);
+        assert_eq!(c.fetch_policy, FetchPolicyKind::MlpFlush);
+        assert_eq!(c.memory_latency, 800);
+        assert!(!c.prefetcher.enabled);
+    }
+
+    #[test]
+    fn policy_names_are_unique() {
+        use std::collections::HashSet;
+        let all = [
+            FetchPolicyKind::Icount,
+            FetchPolicyKind::Stall,
+            FetchPolicyKind::PredictiveStall,
+            FetchPolicyKind::Flush,
+            FetchPolicyKind::MlpStall,
+            FetchPolicyKind::MlpFlush,
+            FetchPolicyKind::MlpBinaryFlush,
+            FetchPolicyKind::MlpDistanceFlushAtStall,
+            FetchPolicyKind::MlpBinaryFlushAtStall,
+            FetchPolicyKind::StaticPartition,
+            FetchPolicyKind::Dcra,
+        ];
+        let names: HashSet<_> = all.iter().map(|p| p.name()).collect();
+        assert_eq!(names.len(), all.len());
+    }
+}

@@ -1,0 +1,39 @@
+//! Common vocabulary types for the MLP-aware SMT fetch-policy reproduction.
+//!
+//! This crate defines the shared, dependency-free building blocks used by every
+//! other crate in the workspace:
+//!
+//! * [`ThreadId`] and sequence-number newtypes ([`ids`]),
+//! * the trace-level instruction representation ([`op::TraceOp`]),
+//! * the simulated processor configuration ([`config::SmtConfig`], Table IV of the
+//!   paper),
+//! * per-thread and machine-wide statistics ([`stats`]),
+//! * the read-only pipeline snapshot handed to fetch policies ([`snapshot`]),
+//! * error types ([`error`]).
+//!
+//! # Example
+//!
+//! ```
+//! use smt_types::config::SmtConfig;
+//!
+//! let cfg = SmtConfig::baseline(2);
+//! assert_eq!(cfg.rob_size, 256);
+//! assert_eq!(cfg.num_threads, 2);
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+pub mod config;
+pub mod error;
+pub mod ids;
+pub mod op;
+pub mod snapshot;
+pub mod stats;
+
+pub use config::SmtConfig;
+pub use error::SimError;
+pub use ids::{SeqNum, ThreadId};
+pub use op::{BranchInfo, MemInfo, OpKind, TraceOp};
+pub use snapshot::{SmtSnapshot, ThreadSnapshot};
+pub use stats::{MachineStats, ThreadStats};

@@ -1,0 +1,35 @@
+//! Reproduces the shape of Figures 9/10 (two-thread) and 13/14 (four-thread):
+//! STP and ANTT of the six main SMT fetch policies over the paper's workload
+//! groups.
+//!
+//! ```text
+//! cargo run --release --example policy_comparison -- [workloads-per-group] [instructions]
+//! ```
+//!
+//! The first argument limits how many Table II workloads per group are simulated
+//! (default 3); the second sets the instruction budget per thread (default 60000).
+
+use smt_core::experiments::policies::{
+    format_group_summaries, four_thread_comparison, policy_comparison_two_thread,
+};
+use smt_core::runner::RunScale;
+use smt_types::SimError;
+
+fn main() -> Result<(), SimError> {
+    let mut args = std::env::args().skip(1);
+    let per_group: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
+    let instructions: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60_000);
+    let scale = RunScale::standard().with_instructions(instructions);
+
+    println!("== Figures 9/10: two-thread workloads ({per_group} per group, {instructions} instructions) ==\n");
+    let groups = policy_comparison_two_thread(scale, per_group)?;
+    println!("{}", format_group_summaries(&groups));
+
+    println!("== Figures 13/14: four-thread workloads ==\n");
+    let four = four_thread_comparison(scale, per_group * 2)?;
+    println!("policy                      STP      ANTT");
+    for p in &four {
+        println!("{:<26} {:>6.3}  {:>8.3}", p.policy.name(), p.avg_stp, p.avg_antt);
+    }
+    Ok(())
+}

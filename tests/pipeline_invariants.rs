@@ -1,0 +1,243 @@
+//! Pipeline invariant tests built on scripted traces, so specific
+//! microarchitectural situations can be constructed deterministically.
+
+use smt_core::pipeline::{SimOptions, SmtSimulator};
+use smt_trace::{ScriptedTrace, TraceSource};
+use smt_types::config::FetchPolicyKind;
+use smt_types::{SmtConfig, TraceOp};
+
+/// Builds a looping trace with one long-latency load (fresh address every
+/// iteration) followed by `alu_per_iter` ALU instructions.
+fn memory_bound_loop(misses_per_iter: usize, alu_per_iter: usize) -> Vec<TraceOp> {
+    let mut ops = Vec::new();
+    for m in 0..misses_per_iter {
+        ops.push(TraceOp::load(0x9000 + 8 * m as u64, 0));
+    }
+    for i in 0..alu_per_iter {
+        ops.push(TraceOp::int_alu(0x100 + 4 * i as u64));
+    }
+    ops
+}
+
+/// A trace source that turns the placeholder load addresses of
+/// [`memory_bound_loop`] into ever-increasing (never cached) addresses.
+struct FreshMissTrace {
+    inner: smt_trace::scripted::LoopingTrace,
+    next_line: u64,
+}
+
+impl FreshMissTrace {
+    fn new(ops: Vec<TraceOp>) -> Self {
+        FreshMissTrace {
+            inner: ScriptedTrace::looping("fresh-miss", ops),
+            next_line: 0,
+        }
+    }
+}
+
+impl TraceSource for FreshMissTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let mut op = self.inner.next_op();
+        if let Some(mem) = op.mem.as_mut() {
+            self.next_line += 1;
+            mem.addr = 0x4000_0000 + self.next_line * 64;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        "fresh-miss"
+    }
+}
+
+fn cpu_bound_trace() -> Box<dyn TraceSource> {
+    Box::new(ScriptedTrace::looping(
+        "cpu-bound",
+        (0..64).map(|i| TraceOp::int_alu(0x2000 + 4 * i)).collect(),
+    ))
+}
+
+fn run(config: SmtConfig, traces: Vec<Box<dyn TraceSource>>, instructions: u64) -> smt_types::MachineStats {
+    let mut sim = SmtSimulator::new(config, traces).unwrap();
+    sim.run(SimOptions {
+        max_instructions_per_thread: instructions,
+        warmup_instructions_per_thread: 200,
+        max_cycles: 10_000_000,
+    })
+}
+
+#[test]
+fn single_thread_alu_loop_approaches_machine_width() {
+    let cfg = SmtConfig::baseline(1);
+    let stats = run(cfg, vec![cpu_bound_trace()], 20_000);
+    let ipc = stats.threads[0].ipc(stats.cycles);
+    assert!(ipc > 2.0, "independent ALU loop should run near machine width, got {ipc}");
+    assert!(ipc <= 4.0 + 1e-9);
+}
+
+#[test]
+fn dependent_chain_runs_at_one_ipc() {
+    let cfg = SmtConfig::baseline(1);
+    let ops: Vec<TraceOp> = (0..64)
+        .map(|i| TraceOp::int_alu(0x3000 + 4 * i).with_dep(1))
+        .collect();
+    let stats = run(
+        cfg,
+        vec![Box::new(ScriptedTrace::looping("chain", ops))],
+        10_000,
+    );
+    let ipc = stats.threads[0].ipc(stats.cycles);
+    assert!(
+        ipc > 0.7 && ipc < 1.3,
+        "a serial dependence chain should run at ~1 IPC, got {ipc}"
+    );
+}
+
+#[test]
+fn memory_bound_thread_exposes_mlp() {
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    // Four independent misses close together each iteration: MLP should be ~4.
+    let stats = run(
+        cfg,
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(4, 60)))],
+        20_000,
+    );
+    let t = &stats.threads[0];
+    assert!(t.long_latency_loads > 100, "expected many long-latency loads");
+    assert!(
+        t.measured_mlp() > 2.5,
+        "four independent misses per iteration should overlap, MLP = {}",
+        t.measured_mlp()
+    );
+}
+
+#[test]
+fn isolated_misses_have_no_mlp() {
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    // One miss every ~300 instructions: far beyond the ROB, so no overlap.
+    let stats = run(
+        cfg,
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(1, 300)))],
+        20_000,
+    );
+    let t = &stats.threads[0];
+    assert!(t.long_latency_loads > 20);
+    assert!(
+        t.measured_mlp() < 1.3,
+        "isolated misses must not overlap, MLP = {}",
+        t.measured_mlp()
+    );
+}
+
+#[test]
+fn memory_bound_thread_hurts_coscheduled_ilp_thread_under_icount() {
+    // Under ICOUNT the memory-bound thread clogs shared resources; under the
+    // flush policy the ILP thread should do clearly better.
+    let mk_traces = || -> Vec<Box<dyn TraceSource>> {
+        vec![
+            Box::new(FreshMissTrace::new(memory_bound_loop(2, 30))),
+            cpu_bound_trace(),
+        ]
+    };
+    let icount = run(
+        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Icount).with_prefetcher(false),
+        mk_traces(),
+        20_000,
+    );
+    let flush = run(
+        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Flush).with_prefetcher(false),
+        mk_traces(),
+        20_000,
+    );
+    let ilp_ipc_icount = icount.threads[1].ipc(icount.cycles);
+    let ilp_ipc_flush = flush.threads[1].ipc(flush.cycles);
+    assert!(
+        ilp_ipc_flush > ilp_ipc_icount * 1.2,
+        "flushing the stalled thread should help the ILP thread: {ilp_ipc_flush} vs {ilp_ipc_icount}"
+    );
+}
+
+#[test]
+fn mlp_aware_flush_preserves_memory_thread_mlp_better_than_flush() {
+    let mk_traces = || -> Vec<Box<dyn TraceSource>> {
+        vec![
+            Box::new(FreshMissTrace::new(memory_bound_loop(4, 40))),
+            cpu_bound_trace(),
+        ]
+    };
+    let flush = run(
+        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Flush).with_prefetcher(false),
+        mk_traces(),
+        20_000,
+    );
+    let mlp_flush = run(
+        SmtConfig::baseline(2).with_policy(FetchPolicyKind::MlpFlush).with_prefetcher(false),
+        mk_traces(),
+        20_000,
+    );
+    let mem_mlp_flush = flush.threads[0].measured_mlp();
+    let mem_mlp_mlpflush = mlp_flush.threads[0].measured_mlp();
+    assert!(
+        mem_mlp_mlpflush >= mem_mlp_flush,
+        "MLP-aware flush should preserve at least as much MLP ({mem_mlp_mlpflush}) as flush ({mem_mlp_flush})"
+    );
+    let mem_ipc_flush = flush.threads[0].ipc(flush.cycles);
+    let mem_ipc_mlpflush = mlp_flush.threads[0].ipc(mlp_flush.cycles);
+    assert!(
+        mem_ipc_mlpflush >= mem_ipc_flush * 0.95,
+        "MLP-aware flush should not slow the memory-bound thread down: {mem_ipc_mlpflush} vs {mem_ipc_flush}"
+    );
+}
+
+#[test]
+fn fetched_accounts_for_committed_and_squashed() {
+    let cfg = SmtConfig::baseline(2)
+        .with_policy(FetchPolicyKind::MlpFlush)
+        .with_prefetcher(false);
+    let traces: Vec<Box<dyn TraceSource>> = vec![
+        Box::new(FreshMissTrace::new(memory_bound_loop(3, 50))),
+        cpu_bound_trace(),
+    ];
+    let stats = run(cfg, traces, 10_000);
+    for t in &stats.threads {
+        assert!(
+            t.fetched_instructions + 512
+                >= t.committed_instructions + t.squashed_by_branch + t.squashed_by_policy,
+            "fetch/commit/squash accounting is inconsistent: {t:?}"
+        );
+    }
+}
+
+#[test]
+fn window_sweep_improves_single_thread_memory_performance() {
+    // A larger window exposes more MLP for a memory-bound thread.
+    let small = run(
+        SmtConfig::baseline(1).with_window_size(128).with_prefetcher(false),
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(6, 120)))],
+        15_000,
+    );
+    let large = run(
+        SmtConfig::baseline(1).with_window_size(1024).with_prefetcher(false),
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(6, 120)))],
+        15_000,
+    );
+    assert!(
+        large.threads[0].ipc(large.cycles) > small.threads[0].ipc(small.cycles),
+        "a bigger window should help a memory-bound loop"
+    );
+}
+
+#[test]
+fn higher_memory_latency_slows_memory_bound_threads() {
+    let fast = run(
+        SmtConfig::baseline(1).with_memory_latency(200).with_prefetcher(false),
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(2, 60)))],
+        15_000,
+    );
+    let slow = run(
+        SmtConfig::baseline(1).with_memory_latency(800).with_prefetcher(false),
+        vec![Box::new(FreshMissTrace::new(memory_bound_loop(2, 60)))],
+        15_000,
+    );
+    assert!(slow.cycles > fast.cycles, "800-cycle memory must be slower than 200-cycle memory");
+}

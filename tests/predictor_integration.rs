@@ -1,0 +1,108 @@
+//! Integration tests for the predictor stack (long-latency load predictor, LLSR,
+//! MLP distance predictor) measured through full pipeline runs — the Figures 6, 7
+//! and 8 claims at unit-test scale.
+
+use smt_core::experiments::predictors::{figure4, predictor_characterization};
+use smt_core::runner::{run_single_thread, RunScale};
+use smt_types::SmtConfig;
+
+#[test]
+fn long_latency_predictor_accuracy_is_high_across_memory_benchmarks() {
+    // Figure 6: "no less than 94%, average 99.4%". At unit-test scale we require a
+    // slightly looser floor but the same character. Predictors are characterized
+    // on the raw miss stream (prefetcher off), as in the Table I setup.
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    for name in ["swim", "equake", "applu", "lucas", "mcf"] {
+        let stats = run_single_thread(name, &cfg, RunScale::test()).unwrap();
+        let acc = stats.threads[0].lll_predictor_accuracy();
+        assert!(acc > 0.90, "{name}: long-latency predictor accuracy {acc}");
+    }
+}
+
+#[test]
+fn miss_prediction_accuracy_is_reasonable_for_memory_intensive_benchmarks() {
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    for name in ["swim", "equake", "applu"] {
+        let stats = run_single_thread(name, &cfg, RunScale::test()).unwrap();
+        let acc = stats.threads[0].lll_predictor_miss_accuracy();
+        assert!(
+            acc > 0.5,
+            "{name}: accuracy over actual misses is only {acc}"
+        );
+    }
+}
+
+#[test]
+fn mlp_predictor_classifies_mlp_correctly_most_of_the_time() {
+    // Figure 7: average binary MLP prediction accuracy 91.5%.
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    for name in ["swim", "fma3d", "mcf"] {
+        let stats = run_single_thread(name, &cfg, RunScale::test()).unwrap();
+        let acc = stats.threads[0].mlp_predictor_accuracy();
+        assert!(acc > 0.6, "{name}: binary MLP prediction accuracy {acc}");
+    }
+}
+
+#[test]
+fn mlp_distance_predictions_are_far_enough_most_of_the_time() {
+    // Figure 8: the paper reports 87.8% on real SPEC traces. The synthetic miss
+    // streams have more cross-burst irregularity inside the LLSR window, so the
+    // bound here is looser (see EXPERIMENTS.md); the property that most
+    // predictions cover the actual distance for the most regular benchmarks still
+    // holds.
+    let cfg = SmtConfig::baseline(1).with_prefetcher(false);
+    for name in ["swim", "fma3d", "equake"] {
+        let stats = run_single_thread(name, &cfg, RunScale::test()).unwrap();
+        let acc = stats.threads[0].mlp_distance_accuracy();
+        assert!(acc > 0.40, "{name}: far-enough accuracy {acc}");
+    }
+}
+
+#[test]
+fn characterization_rows_cover_all_benchmarks_with_valid_fractions() {
+    let rows = predictor_characterization(RunScale::tiny()).unwrap();
+    assert_eq!(rows.len(), 26);
+    for row in &rows {
+        let total = row.mlp_true_positive
+            + row.mlp_true_negative
+            + row.mlp_false_positive
+            + row.mlp_false_negative;
+        assert!(
+            total <= 1.0 + 1e-9,
+            "{}: MLP outcome fractions sum to {total}",
+            row.benchmark
+        );
+        assert!(row.lll_accuracy >= 0.0 && row.lll_accuracy <= 1.0);
+        assert!(row.mlp_distance_accuracy >= 0.0 && row.mlp_distance_accuracy <= 1.0);
+    }
+}
+
+#[test]
+fn figure4_cdfs_are_monotone_and_complete() {
+    let cdfs = figure4(RunScale::test()).unwrap();
+    assert_eq!(cdfs.len(), 6);
+    for cdf in &cdfs {
+        assert!(!cdf.cdf.is_empty(), "{} produced no MLP-distance observations", cdf.benchmark);
+        let mut last = 0.0;
+        for &(_, fraction) in &cdf.cdf {
+            assert!(fraction >= last - 1e-12, "{}: CDF must be monotone", cdf.benchmark);
+            last = fraction;
+        }
+        assert!((last - 1.0).abs() < 1e-9, "{}: CDF must reach 1.0", cdf.benchmark);
+    }
+}
+
+#[test]
+fn mlp_distances_respect_the_llsr_bound() {
+    // Predicted MLP distances are clamped at the LLSR length (ROB / threads).
+    let cfg = SmtConfig::baseline(1);
+    let stats = run_single_thread("fma3d", &cfg, RunScale::test()).unwrap();
+    let hist = &stats.threads[0].mlp_distance_histogram;
+    assert!(!hist.is_empty());
+    let max_bin_bound =
+        hist.len() as u32 * smt_types::ThreadStats::MLP_HIST_BIN;
+    assert!(
+        max_bin_bound <= 256 + smt_types::ThreadStats::MLP_HIST_BIN,
+        "predicted distances exceed the LLSR bound: up to {max_bin_bound}"
+    );
+}

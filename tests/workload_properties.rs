@@ -1,0 +1,165 @@
+//! Property-based tests (proptest) spanning the trace generator, the workload
+//! tables, and the metrics, run through the public APIs of the workspace crates.
+
+use proptest::prelude::*;
+
+use smt_core::metrics::{antt, arithmetic_mean, harmonic_mean, stp};
+use smt_core::workloads::{two_thread_workloads, Workload};
+use smt_trace::{spec, BenchmarkProfile, SyntheticTraceGenerator, TraceSource, WorkloadClass};
+use smt_types::OpKind;
+
+fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
+    (
+        0.0f64..40.0,          // lll_per_kinst
+        1.0f64..8.0,           // target_mlp
+        8u32..200,             // burst_span
+        0.0f64..1.0,           // prefetch_friendliness
+        0.05f64..0.35,         // load_fraction
+        0.02f64..0.2,          // store_fraction
+        0.02f64..0.25,         // branch_fraction
+        0.0f64..0.8,           // fp_fraction
+        1.5f64..12.0,          // dep_distance_mean
+    )
+        .prop_map(
+            |(lll, mlp, span, pf, loads, stores, branches, fp, dep)| BenchmarkProfile {
+                name: "synthetic".into(),
+                input: "prop".into(),
+                class: WorkloadClass::Mlp,
+                lll_per_kinst: lll,
+                target_mlp: mlp,
+                burst_span: span,
+                prefetch_friendliness: pf,
+                load_fraction: loads,
+                store_fraction: stores,
+                branch_fraction: branches,
+                fp_fraction: fp,
+                branch_taken_rate: 0.6,
+                branch_randomness: 0.05,
+                dep_distance_mean: dep,
+                static_mem_pcs: 64,
+                hot_working_set_lines: 256,
+                l2_fraction: 0.01,
+            },
+        )
+        .prop_filter("profile must be internally consistent and achievable", |p| {
+            p.validate().is_ok()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every operation produced by any valid profile is well formed and memory
+    /// operations always carry addresses.
+    #[test]
+    fn generator_ops_are_always_well_formed(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let mut generator = SyntheticTraceGenerator::new(profile, seed);
+        for _ in 0..2_000 {
+            let op = generator.next_op();
+            prop_assert!(op.is_well_formed());
+            if op.kind.is_mem() {
+                prop_assert!(op.addr().is_some());
+            }
+            for dep in op.src_deps.iter().flatten() {
+                prop_assert!(*dep > 0 && *dep <= 64);
+            }
+        }
+    }
+
+    /// Generators are reproducible: the same profile and seed give the same stream.
+    #[test]
+    fn generator_is_deterministic(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let mut a = SyntheticTraceGenerator::new(profile.clone(), seed);
+        let mut b = SyntheticTraceGenerator::new(profile, seed);
+        for _ in 0..500 {
+            prop_assert_eq!(a.next_op(), b.next_op());
+        }
+    }
+
+    /// The long-run long-latency-load rate tracks the profile's target within a
+    /// factor of two (the intent; prefetching later removes some of them).
+    #[test]
+    fn generator_miss_rate_tracks_profile(mut profile in arbitrary_profile(), seed in any::<u64>()) {
+        profile.lll_per_kinst = profile.lll_per_kinst.max(2.0);
+        let target = profile.lll_per_kinst;
+        let mut generator = SyntheticTraceGenerator::new(profile, seed);
+        let n = 60_000u64;
+        for _ in 0..n {
+            let _ = generator.next_op();
+        }
+        let rate = generator.emitted_long_latency() as f64 * 1000.0 / n as f64;
+        prop_assert!(rate > target * 0.5 && rate < target * 2.0,
+            "rate {} vs target {}", rate, target);
+    }
+
+    /// The instruction mix follows the profile fractions.
+    #[test]
+    fn generator_mix_tracks_profile(profile in arbitrary_profile(), seed in any::<u64>()) {
+        let expected_loads = profile.load_fraction;
+        let expected_branches = profile.branch_fraction;
+        let mut generator = SyntheticTraceGenerator::new(profile, seed);
+        let n = 20_000;
+        let ops: Vec<_> = (0..n).map(|_| generator.next_op()).collect();
+        let loads = ops.iter().filter(|o| o.kind == OpKind::Load).count() as f64 / n as f64;
+        let branches = ops.iter().filter(|o| o.kind == OpKind::Branch).count() as f64 / n as f64;
+        prop_assert!((loads - expected_loads).abs() < 0.08, "loads {} vs {}", loads, expected_loads);
+        prop_assert!((branches - expected_branches).abs() < 0.06, "branches {} vs {}", branches, expected_branches);
+    }
+
+    /// STP and ANTT are bounded by the number of programs and never negative; a
+    /// workload where nothing slows down has STP = n and ANTT = 1.
+    #[test]
+    fn stp_antt_bounds(st in prop::collection::vec(0.2f64..10.0, 1..6),
+                       slowdowns in prop::collection::vec(1.0f64..20.0, 1..6)) {
+        let n = st.len().min(slowdowns.len());
+        let st = &st[..n];
+        let mt: Vec<f64> = st.iter().zip(&slowdowns[..n]).map(|(c, s)| c * s).collect();
+        let throughput = stp(st, &mt);
+        let turnaround = antt(st, &mt);
+        prop_assert!(throughput > 0.0 && throughput <= n as f64 + 1e-9);
+        prop_assert!(turnaround >= 1.0 - 1e-9);
+        let ideal = stp(st, st);
+        prop_assert!((ideal - n as f64).abs() < 1e-9);
+        prop_assert!((antt(st, st) - 1.0).abs() < 1e-9);
+    }
+
+    /// The harmonic mean never exceeds the arithmetic mean.
+    #[test]
+    fn mean_inequality(values in prop::collection::vec(0.01f64..100.0, 1..12)) {
+        prop_assert!(harmonic_mean(&values) <= arithmetic_mean(&values) + 1e-9);
+    }
+
+    /// Any subset of Table I benchmarks forms a valid workload whose group is
+    /// consistent with its MLP membership count.
+    #[test]
+    fn workload_classification_is_consistent(indices in prop::collection::vec(0usize..26, 1..5)) {
+        let all = spec::all_benchmarks();
+        let names: Vec<&'static str> = indices
+            .iter()
+            .map(|&i| {
+                let name = all[i].name.clone();
+                // Leak is fine in a test context; Workload requires 'static names.
+                Box::leak(name.into_boxed_str()) as &'static str
+            })
+            .collect();
+        let workload = Workload::new(names).unwrap();
+        let mlp = workload.mlp_count();
+        match workload.group {
+            smt_core::workloads::WorkloadGroup::IlpIntensive => prop_assert_eq!(mlp, 0),
+            smt_core::workloads::WorkloadGroup::MlpIntensive =>
+                prop_assert_eq!(mlp, workload.num_threads()),
+            smt_core::workloads::WorkloadGroup::Mixed => {
+                prop_assert!(mlp > 0 && mlp < workload.num_threads());
+            }
+        }
+    }
+}
+
+#[test]
+fn every_table_ii_workload_uses_table_i_benchmarks() {
+    for w in two_thread_workloads() {
+        for b in &w.benchmarks {
+            assert!(spec::benchmark(b).is_ok(), "{b} is not a Table I benchmark");
+        }
+    }
+}
