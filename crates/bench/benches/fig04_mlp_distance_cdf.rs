@@ -1,29 +1,22 @@
-//! Experiment E-F4: regenerate Figure 4 (cumulative distribution of the predicted
-//! MLP distance for the six most MLP-intensive programs).
+//! Experiment E-F4: regenerate Figure 4 (predicted MLP-distance CDFs) via the
+//! `fig04_mlp_distance_cdf` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::predictors::figure4;
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_fig04(c: &mut Criterion) {
-    let cdfs = figure4(report_scale()).expect("figure 4");
-    println!("\n=== Figure 4 (regenerated): fraction of predicted MLP distances within N instructions ===");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6}", "benchmark", "<=32", "<=64", "<=96", "<=128");
-    for cdf in &cdfs {
-        println!(
-            "{:<10} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
-            cdf.benchmark,
-            cdf.fraction_within(32) * 100.0,
-            cdf.fraction_within(64) * 100.0,
-            cdf.fraction_within(96) * 100.0,
-            cdf.fraction_within(128) * 100.0
-        );
-    }
+    report(
+        "Figure 4 (regenerated): predicted MLP-distance CDFs",
+        registry_spec("fig04_mlp_distance_cdf"),
+        usize::MAX,
+    );
 
+    let spec = measured(registry_spec("fig04_mlp_distance_cdf"));
     let mut group = c.benchmark_group("fig04");
     group.sample_size(10);
     group.bench_function("mlp_distance_cdf", |b| {
-        b.iter(|| figure4(measure_scale()).expect("figure 4"))
+        b.iter(|| engine::run_spec(&spec).expect("figure 4"))
     });
     group.finish();
 }

@@ -1,35 +1,32 @@
-//! Experiment E-F5: regenerate Figure 5 (single-thread IPC with and without the
-//! stream-buffer hardware prefetcher).
+//! Experiment E-F5: regenerate Figure 5 (single-thread IPC with and without
+//! the hardware prefetcher) via the `fig05_prefetcher` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::predictors::figure5;
-use smt_core::runner::run_single_thread;
-use smt_types::SmtConfig;
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_fig05(c: &mut Criterion) {
-    let rows = figure5(report_scale()).expect("figure 5");
-    println!("\n=== Figure 5 (regenerated): IPC without / with hardware prefetching ===");
-    println!("{:<10} {:>8} {:>8} {:>9}", "benchmark", "no-pf", "with-pf", "speedup");
-    for row in &rows {
-        println!(
-            "{:<10} {:>8.3} {:>8.3} {:>8.1}%",
-            row.benchmark,
-            row.ipc_without_prefetch,
-            row.ipc_with_prefetch,
-            (row.speedup() - 1.0) * 100.0
-        );
-    }
-    let mean: f64 =
-        rows.len() as f64 / rows.iter().map(|r| 1.0 / r.speedup()).sum::<f64>();
-    println!("harmonic-mean speedup: {:.1}% (paper: 20.2%)", (mean - 1.0) * 100.0);
+    let regenerated = report(
+        "Figure 5 (regenerated): prefetcher impact",
+        registry_spec("fig05_prefetcher"),
+        usize::MAX,
+    );
+    let speedups: Vec<f64> = regenerated
+        .bench_rows
+        .iter()
+        .filter_map(|r| r.prefetch_speedup)
+        .collect();
+    let mean: f64 = speedups.len() as f64 / speedups.iter().map(|s| 1.0 / s).sum::<f64>();
+    println!(
+        "harmonic-mean speedup: {:.1}% (paper: 20.2%)",
+        (mean - 1.0) * 100.0
+    );
 
+    let spec = measured(registry_spec("fig05_prefetcher"));
     let mut group = c.benchmark_group("fig05");
     group.sample_size(10);
-    group.bench_function("swim_with_prefetcher", |b| {
-        b.iter(|| {
-            run_single_thread("swim", &SmtConfig::baseline(1), measure_scale()).expect("run")
-        })
+    group.bench_function("prefetcher_impact_one_per_class", |b| {
+        b.iter(|| engine::run_spec(&spec).expect("figure 5"))
     });
     group.finish();
 }

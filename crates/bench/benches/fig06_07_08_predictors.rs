@@ -1,39 +1,23 @@
-//! Experiments E-F6, E-F7, E-F8: regenerate Figures 6 (long-latency load predictor
-//! accuracy), 7 (binary MLP prediction outcomes) and 8 (MLP-distance "far enough"
-//! accuracy).
+//! Experiments E-F6/E-F7/E-F8: regenerate Figures 6-8 (long-latency load,
+//! binary MLP, and MLP-distance predictor accuracies) via the
+//! `fig06_08_predictor_accuracy` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::predictors::predictor_characterization;
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_fig06_07_08(c: &mut Criterion) {
-    let rows = predictor_characterization(report_scale()).expect("predictor characterization");
-    println!("\n=== Figures 6/7/8 (regenerated): predictor accuracy per benchmark ===");
-    println!(
-        "{:<10} {:>8} {:>8} {:>8} {:>8} {:>8} {:>10}",
-        "benchmark", "LLL-acc", "TP", "TN", "FP", "FN", "far-enough"
+    report(
+        "Figures 6-8 (regenerated): predictor accuracies",
+        registry_spec("fig06_08_predictor_accuracy"),
+        usize::MAX,
     );
-    for r in &rows {
-        println!(
-            "{:<10} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}% {:>9.1}%",
-            r.benchmark,
-            r.lll_accuracy * 100.0,
-            r.mlp_true_positive * 100.0,
-            r.mlp_true_negative * 100.0,
-            r.mlp_false_positive * 100.0,
-            r.mlp_false_negative * 100.0,
-            r.mlp_distance_accuracy * 100.0
-        );
-    }
-    let avg_lll = rows.iter().map(|r| r.lll_accuracy).sum::<f64>() / rows.len() as f64;
-    let avg_far = rows.iter().map(|r| r.mlp_distance_accuracy).sum::<f64>() / rows.len() as f64;
-    println!("average LLL-predictor accuracy: {:.1}% (paper: 99.4%)", avg_lll * 100.0);
-    println!("average far-enough accuracy:    {:.1}% (paper: 87.8%)", avg_far * 100.0);
 
+    let spec = measured(registry_spec("fig06_08_predictor_accuracy"));
     let mut group = c.benchmark_group("fig06_07_08");
     group.sample_size(10);
     group.bench_function("predictor_characterization", |b| {
-        b.iter(|| predictor_characterization(measure_scale()).expect("characterization"))
+        b.iter(|| engine::run_spec(&spec).expect("characterization"))
     });
     group.finish();
 }

@@ -1,20 +1,23 @@
-//! Experiments E-F9 / E-F10: regenerate Figures 9 and 10 (STP and ANTT of the six
-//! main fetch policies over the two-thread workload groups of Table II).
+//! Experiments E-F9/E-F10: regenerate Figures 9 and 10 (STP and ANTT of the
+//! six main fetch policies over the Table II two-thread workloads) via the
+//! `fig09_two_thread_policies` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale, workloads_per_group};
-use smt_core::experiments::policies::{format_group_summaries, policy_comparison_two_thread};
+use smt_bench::{measured, registry_spec, report, workloads_per_group};
+use smt_core::experiments::engine;
 
 fn bench_fig09_10(c: &mut Criterion) {
-    let groups = policy_comparison_two_thread(report_scale(), workloads_per_group())
-        .expect("two-thread policy comparison");
-    println!("\n=== Figures 9/10 (regenerated): two-thread STP / ANTT ===\n");
-    println!("{}", format_group_summaries(&groups));
+    report(
+        "Figures 9/10 (regenerated): two-thread STP / ANTT",
+        registry_spec("fig09_two_thread_policies"),
+        workloads_per_group(),
+    );
 
+    let spec = measured(registry_spec("fig09_two_thread_policies"));
     let mut group = c.benchmark_group("fig09_10");
     group.sample_size(10);
     group.bench_function("two_thread_one_workload_per_group", |b| {
-        b.iter(|| policy_comparison_two_thread(measure_scale(), 1).expect("comparison"))
+        b.iter(|| engine::run_spec(&spec).expect("comparison"))
     });
     group.finish();
 }

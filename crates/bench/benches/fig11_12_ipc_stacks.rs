@@ -1,31 +1,47 @@
-//! Experiments E-F11 / E-F12: regenerate Figures 11 and 12 (per-thread IPC for
-//! MLP-intensive and mixed ILP/MLP two-thread workloads under each policy).
+//! Experiments E-F11/E-F12: regenerate Figures 11 and 12 (per-thread IPC
+//! stacks). The stacks are the `per_thread_ipc` columns of the
+//! `fig09_two_thread_policies` grid cells, so this bench runs that spec
+//! restricted to the MLP-intensive group.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale, workloads_per_group};
-use smt_core::experiments::policies::ipc_stacks;
-use smt_core::workloads::WorkloadGroup;
+use smt_bench::{measured, registry_spec, report_scale};
+use smt_core::experiments::{engine, ExperimentSpec};
+use smt_core::workloads::{two_thread_group, WorkloadGroup};
 
-fn print_stacks(title: &str, group: WorkloadGroup) {
-    let stacks = ipc_stacks(report_scale(), group, workloads_per_group()).expect("ipc stacks");
-    println!("\n=== {title} (regenerated) ===");
-    for stack in &stacks {
-        println!("{}:", stack.workload);
-        for (policy, ipcs) in &stack.per_policy {
-            let parts: Vec<String> = ipcs.iter().map(|v| format!("{v:.2}")).collect();
-            println!("  {:<26} {}", policy.name(), parts.join(" / "));
-        }
-    }
+/// The fig09 spec restricted to `limit` MLP-intensive workloads.
+fn mlp_only_spec(limit: usize) -> ExperimentSpec {
+    let mut spec = registry_spec("fig09_two_thread_policies");
+    spec.workloads = two_thread_group(WorkloadGroup::MlpIntensive)
+        .into_iter()
+        .take(limit)
+        .map(|w| w.benchmarks)
+        .collect();
+    spec
 }
 
 fn bench_fig11_12(c: &mut Criterion) {
-    print_stacks("Figure 11: MLP-intensive per-thread IPC", WorkloadGroup::MlpIntensive);
-    print_stacks("Figure 12: mixed ILP/MLP per-thread IPC", WorkloadGroup::Mixed);
+    let spec = mlp_only_spec(2).with_scale(report_scale());
+    let regenerated = engine::run_spec(&spec).expect("ipc stacks");
+    println!("\n=== Figures 11/12 (regenerated): per-thread IPC stacks ===\n");
+    for cell in &regenerated.policy_cells {
+        let ipcs: Vec<String> = cell
+            .per_thread_ipc
+            .iter()
+            .map(|v| format!("{v:.3}"))
+            .collect();
+        println!(
+            "{:<16} {:<26} {}",
+            cell.workload,
+            cell.policy.name(),
+            ipcs.join(" / ")
+        );
+    }
 
+    let spec = measured(mlp_only_spec(1));
     let mut group = c.benchmark_group("fig11_12");
     group.sample_size(10);
     group.bench_function("ipc_stack_one_mlp_workload", |b| {
-        b.iter(|| ipc_stacks(measure_scale(), WorkloadGroup::MlpIntensive, 1).expect("stacks"))
+        b.iter(|| engine::run_spec(&spec).expect("stacks"))
     });
     group.finish();
 }

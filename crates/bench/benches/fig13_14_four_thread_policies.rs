@@ -1,23 +1,23 @@
-//! Experiments E-F13 / E-F14: regenerate Figures 13 and 14 (STP and ANTT of the
-//! main fetch policies over the four-thread workloads of Table III).
+//! Experiments E-F13/E-F14: regenerate Figures 13 and 14 (STP and ANTT of the
+//! main fetch policies over the Table III four-thread workloads) via the
+//! `fig13_four_thread_policies` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale, workloads_per_group};
-use smt_core::experiments::policies::four_thread_comparison;
+use smt_bench::{measured, registry_spec, report, workloads_per_group};
+use smt_core::experiments::engine;
 
 fn bench_fig13_14(c: &mut Criterion) {
-    let limit = workloads_per_group() * 3;
-    let results = four_thread_comparison(report_scale(), limit).expect("four-thread comparison");
-    println!("\n=== Figures 13/14 (regenerated): four-thread STP / ANTT ({limit} workloads) ===");
-    println!("policy                      STP      ANTT");
-    for p in &results {
-        println!("{:<26} {:>6.3}  {:>8.3}", p.policy.name(), p.avg_stp, p.avg_antt);
-    }
+    report(
+        "Figures 13/14 (regenerated): four-thread STP / ANTT",
+        registry_spec("fig13_four_thread_policies"),
+        workloads_per_group(),
+    );
 
+    let spec = measured(registry_spec("fig13_four_thread_policies")).with_workload_limit(1);
     let mut group = c.benchmark_group("fig13_14");
     group.sample_size(10);
     group.bench_function("four_thread_one_workload", |b| {
-        b.iter(|| four_thread_comparison(measure_scale(), 1).expect("comparison"))
+        b.iter(|| engine::run_spec(&spec).expect("comparison"))
     });
     group.finish();
 }

@@ -1,19 +1,24 @@
-//! Experiments E-F15 / E-F16: regenerate Figures 15 and 16 (STP and ANTT versus
-//! main-memory access latency, relative to ICOUNT).
+//! Experiments E-F15/E-F16: regenerate Figures 15 and 16 (STP and ANTT as the
+//! main-memory latency sweeps 200-800 cycles) via the
+//! `fig15_memory_latency_sweep` registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::sweeps::{format_sweep, memory_latency_sweep};
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_fig15_16(c: &mut Criterion) {
-    let points = memory_latency_sweep(&[200, 400, 600, 800], report_scale()).expect("latency sweep");
-    println!("\n=== Figures 15/16 (regenerated): memory-latency sweep ===\n");
-    println!("{}", format_sweep(&points, "mem-lat"));
+    report(
+        "Figures 15/16 (regenerated): memory latency sweep",
+        registry_spec("fig15_memory_latency_sweep"),
+        usize::MAX,
+    );
 
+    let mut spec = measured(registry_spec("fig15_memory_latency_sweep"));
+    spec.sweep.as_mut().expect("fig15 sweeps").values = vec![600];
     let mut group = c.benchmark_group("fig15_16");
     group.sample_size(10);
     group.bench_function("latency_point_600", |b| {
-        b.iter(|| memory_latency_sweep(&[600], measure_scale()).expect("sweep"))
+        b.iter(|| engine::run_spec(&spec).expect("sweep"))
     });
     group.finish();
 }

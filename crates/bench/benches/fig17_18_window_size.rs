@@ -1,19 +1,24 @@
-//! Experiments E-F17 / E-F18: regenerate Figures 17 and 18 (STP and ANTT versus
-//! processor window size, relative to ICOUNT).
+//! Experiments E-F17/E-F18: regenerate Figures 17 and 18 (STP and ANTT as the
+//! window size sweeps 128-1024 ROB entries) via the `fig17_window_size_sweep`
+//! registry spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::sweeps::{format_sweep, window_size_sweep};
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_fig17_18(c: &mut Criterion) {
-    let points = window_size_sweep(&[128, 256, 512, 1024], report_scale()).expect("window sweep");
-    println!("\n=== Figures 17/18 (regenerated): window-size sweep ===\n");
-    println!("{}", format_sweep(&points, "rob"));
+    report(
+        "Figures 17/18 (regenerated): window size sweep",
+        registry_spec("fig17_window_size_sweep"),
+        usize::MAX,
+    );
 
+    let mut spec = measured(registry_spec("fig17_window_size_sweep"));
+    spec.sweep.as_mut().expect("fig17 sweeps").values = vec![512];
     let mut group = c.benchmark_group("fig17_18");
     group.sample_size(10);
     group.bench_function("window_point_512", |b| {
-        b.iter(|| window_size_sweep(&[512], measure_scale()).expect("sweep"))
+        b.iter(|| engine::run_spec(&spec).expect("sweep"))
     });
     group.finish();
 }

@@ -1,20 +1,23 @@
-//! Experiments E-F20 / E-F21: regenerate Figures 20 and 21 (the five alternative
-//! MLP-aware flush policies of Section 6.5).
+//! Experiments E-F20/E-F21: regenerate Figures 20 and 21 (the alternative
+//! MLP-aware flush policies) via the `fig20_alternative_policies` registry
+//! spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale, workloads_per_group};
-use smt_core::experiments::policies::{alternative_policies, format_group_summaries};
+use smt_bench::{measured, registry_spec, report, workloads_per_group};
+use smt_core::experiments::engine;
 
 fn bench_fig20_21(c: &mut Criterion) {
-    let groups =
-        alternative_policies(report_scale(), workloads_per_group()).expect("alternative policies");
-    println!("\n=== Figures 20/21 (regenerated): alternative MLP-aware policies ===\n");
-    println!("{}", format_group_summaries(&groups));
+    report(
+        "Figures 20/21 (regenerated): alternative MLP-aware policies",
+        registry_spec("fig20_alternative_policies"),
+        workloads_per_group(),
+    );
 
+    let spec = measured(registry_spec("fig20_alternative_policies"));
     let mut group = c.benchmark_group("fig20_21");
     group.sample_size(10);
     group.bench_function("alternatives_one_workload_per_group", |b| {
-        b.iter(|| alternative_policies(measure_scale(), 1).expect("alternatives"))
+        b.iter(|| engine::run_spec(&spec).expect("alternatives"))
     });
     group.finish();
 }

@@ -1,26 +1,28 @@
-//! Experiments E-F22 / E-F23: regenerate Figures 22 and 23 (MLP-aware flush versus
-//! static resource partitioning and DCRA, on two- and four-thread workloads).
+//! Experiments E-F22/E-F23: regenerate Figures 22 and 23 (MLP-aware flush
+//! versus static partitioning and DCRA) via the two `fig22_partitioning_*`
+//! registry specs.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale, workloads_per_group};
-use smt_core::experiments::policies::{format_group_summaries, partitioning_comparison};
+use smt_bench::{measured, registry_spec, report, workloads_per_group};
+use smt_core::experiments::engine;
 
 fn bench_fig22_23(c: &mut Criterion) {
-    let (two_thread, four_thread) =
-        partitioning_comparison(report_scale(), workloads_per_group(), workloads_per_group() * 2)
-            .expect("partitioning comparison");
-    println!("\n=== Figures 22/23 (regenerated): MLP-aware flush vs static partitioning vs DCRA ===\n");
-    println!("{}", format_group_summaries(&two_thread));
-    println!("-- four-thread workloads --");
-    println!("policy                      STP      ANTT");
-    for p in &four_thread {
-        println!("{:<26} {:>6.3}  {:>8.3}", p.policy.name(), p.avg_stp, p.avg_antt);
-    }
+    report(
+        "Figures 22/23 (regenerated): two-thread partitioning comparison",
+        registry_spec("fig22_partitioning_two_thread"),
+        workloads_per_group(),
+    );
+    report(
+        "Figures 22/23 (regenerated): four-thread partitioning comparison",
+        registry_spec("fig22_partitioning_four_thread"),
+        workloads_per_group(),
+    );
 
+    let spec = measured(registry_spec("fig22_partitioning_two_thread"));
     let mut group = c.benchmark_group("fig22_23");
     group.sample_size(10);
     group.bench_function("partitioning_one_workload_per_group", |b| {
-        b.iter(|| partitioning_comparison(measure_scale(), 1, 1).expect("partitioning"))
+        b.iter(|| engine::run_spec(&spec).expect("partitioning"))
     });
     group.finish();
 }

@@ -1,19 +1,23 @@
-//! Experiment E-T1 / E-F1: regenerate Table I and Figure 1 (per-benchmark
-//! long-latency load rate, MLP, MLP impact and ILP/MLP classification) and
-//! benchmark the per-benchmark characterization run.
+//! Experiment E-T1: regenerate Table I / Figure 1 (per-benchmark long-latency
+//! load rate, MLP, and MLP impact) via the `table1_characterization` registry
+//! spec.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use smt_bench::{measure_scale, report_scale};
-use smt_core::experiments::characterization::{characterize, format_table1, table1};
+use smt_bench::{measured, registry_spec, report};
+use smt_core::experiments::engine;
 
 fn bench_table1(c: &mut Criterion) {
-    let rows = table1(report_scale()).expect("Table I characterization");
-    println!("\n=== Table I / Figure 1 (regenerated) ===\n{}", format_table1(&rows));
+    report(
+        "Table I (regenerated): MLP characterization",
+        registry_spec("table1_characterization"),
+        usize::MAX,
+    );
 
+    let spec = measured(registry_spec("table1_characterization"));
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);
-    group.bench_function("characterize_mcf", |b| {
-        b.iter(|| characterize("mcf", measure_scale()).expect("characterize"))
+    group.bench_function("characterize_one_per_class", |b| {
+        b.iter(|| engine::run_spec(&spec).expect("characterization"))
     });
     group.finish();
 }

@@ -1,12 +1,14 @@
 //! Shared helpers for the Criterion benchmark harness.
 //!
-//! Every bench target in `benches/` regenerates one table or figure of the paper
-//! (see `DESIGN.md` §3 for the experiment index and `EXPERIMENTS.md` for recorded
-//! paper-versus-measured values). Each bench prints the regenerated rows once
-//! during setup and then measures the runtime of a reduced-size version of the
-//! experiment so `cargo bench` both reproduces the numbers and tracks simulator
-//! performance.
+//! Every bench target in `benches/` regenerates one table or figure of the
+//! paper by running its [`smt_core::experiments::ExperimentRegistry`] spec
+//! (see `EXPERIMENTS.md` for the experiment index and recorded
+//! paper-versus-measured values). Each bench prints the regenerated report
+//! once during setup and then measures the runtime of a reduced-size version
+//! of the same spec, so `cargo bench` both reproduces the numbers and tracks
+//! simulator performance.
 
+use smt_core::experiments::{engine, ExperimentRegistry, ExperimentReport, ExperimentSpec};
 use smt_core::runner::RunScale;
 
 /// Scale used for the *printed* (reported) experiment output.
@@ -36,6 +38,34 @@ pub fn workloads_per_group() -> usize {
         .unwrap_or(2)
 }
 
+/// Fetches a registry spec by name, panicking with a clear message if the
+/// registry and the bench harness ever drift apart.
+pub fn registry_spec(name: &str) -> ExperimentSpec {
+    ExperimentRegistry::builtin()
+        .get(name)
+        .unwrap_or_else(|| panic!("registry entry `{name}` missing"))
+        .clone()
+}
+
+/// Runs `spec` at the reporting scale, limited to `per_group` workloads per
+/// group, and prints the regenerated report under `header`.
+pub fn report(header: &str, spec: ExperimentSpec, per_group: usize) -> ExperimentReport {
+    let spec = spec
+        .with_scale(report_scale())
+        .with_workload_limit_per_group(per_group)
+        .expect("registry workloads are valid");
+    let report = engine::run_spec(&spec).expect("experiment run");
+    println!("\n=== {header} ===\n{}", report.format_text());
+    report
+}
+
+/// The reduced-size version of `spec` measured inside the Criterion loop.
+pub fn measured(spec: ExperimentSpec) -> ExperimentSpec {
+    spec.with_scale(measure_scale())
+        .with_workload_limit_per_group(1)
+        .expect("registry workloads are valid")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -45,5 +75,13 @@ mod tests {
         assert!(report_scale().instructions_per_thread >= 1_000);
         assert!(measure_scale().instructions_per_thread <= report_scale().instructions_per_thread);
         assert!(workloads_per_group() >= 1);
+    }
+
+    #[test]
+    fn registry_spec_panics_helpfully_on_drift() {
+        let spec = registry_spec("fig09_two_thread_policies");
+        assert_eq!(spec.name, "fig09_two_thread_policies");
+        let measured = measured(spec);
+        assert_eq!(measured.scale, measure_scale());
     }
 }

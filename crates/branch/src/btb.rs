@@ -34,9 +34,15 @@ impl BranchTargetBuffer {
     /// or the resulting set count is not a power of two.
     pub fn new(entries: u32, assoc: u32) -> Self {
         assert!(entries > 0 && assoc > 0, "BTB sizes must be non-zero");
-        assert!(entries % assoc == 0, "associativity must divide entry count");
+        assert!(
+            entries.is_multiple_of(assoc),
+            "associativity must divide entry count"
+        );
         let sets = entries / assoc;
-        assert!(sets.is_power_of_two(), "BTB set count must be a power of two");
+        assert!(
+            sets.is_power_of_two(),
+            "BTB set count must be a power of two"
+        );
         BranchTargetBuffer {
             sets: vec![vec![BtbEntry::default(); assoc as usize]; sets as usize],
             tick: 0,
@@ -103,7 +109,7 @@ mod tests {
     #[test]
     fn lru_eviction_within_set() {
         let mut btb = BranchTargetBuffer::new(4, 2); // 2 sets, 2 ways
-        // PCs mapping to set 0: idx multiples of 2 → pc multiples of 8 with (pc>>2)&1==0.
+                                                     // PCs mapping to set 0: idx multiples of 2 → pc multiples of 8 with (pc>>2)&1==0.
         let pcs = [0x0u64, 0x8, 0x10];
         btb.insert(pcs[0], 0xa0);
         btb.insert(pcs[1], 0xa1);

@@ -26,7 +26,10 @@ impl Gshare {
     /// Panics if `entries` is zero or not a power of two.
     pub fn new(entries: u32) -> Self {
         assert!(entries > 0, "gshare needs at least one entry");
-        assert!(entries.is_power_of_two(), "gshare entries must be a power of two");
+        assert!(
+            entries.is_power_of_two(),
+            "gshare entries must be a power of two"
+        );
         Gshare {
             counters: vec![1; entries as usize], // weakly not-taken
             history: 0,

@@ -1,0 +1,308 @@
+//! Hand-rolled argument parsing for `smt-cli` (no external CLI crate in this
+//! offline workspace).
+
+use smt_core::runner::RunScale;
+
+/// Output format for `run`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum OutputFormat {
+    /// Aligned human-readable text (default for stdout).
+    #[default]
+    Text,
+    /// Pretty-printed JSON.
+    Json,
+    /// TOML.
+    Toml,
+}
+
+impl OutputFormat {
+    /// Parses a `--format` value.
+    pub fn from_name(name: &str) -> Option<OutputFormat> {
+        match name {
+            "text" => Some(OutputFormat::Text),
+            "json" => Some(OutputFormat::Json),
+            "toml" => Some(OutputFormat::Toml),
+            _ => None,
+        }
+    }
+
+    /// Infers a format from an output file extension.
+    pub fn from_path(path: &str) -> Option<OutputFormat> {
+        let ext = path.rsplit('.').next()?;
+        match ext {
+            "json" => Some(OutputFormat::Json),
+            "toml" => Some(OutputFormat::Toml),
+            "txt" | "text" => Some(OutputFormat::Text),
+            _ => None,
+        }
+    }
+}
+
+/// Parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// `smt-cli list`
+    List,
+    /// `smt-cli describe <name>`
+    Describe {
+        /// Registry entry to describe.
+        name: String,
+    },
+    /// `smt-cli run <name|spec.toml> [flags]`
+    Run(RunArgs),
+    /// `smt-cli help` / `--help`
+    Help,
+}
+
+/// Flags of the `run` subcommand.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunArgs {
+    /// Registry name or path to a TOML spec file.
+    pub target: String,
+    /// `--scale <tiny|test|standard|full>`: overrides the spec's run scale.
+    pub scale: Option<RunScale>,
+    /// `--instructions <n>`: overrides the instruction budget per thread.
+    pub instructions: Option<u64>,
+    /// `--per-group <n>`: keeps at most n workloads per ILP/MLP/MIX group.
+    pub per_group: Option<usize>,
+    /// `--limit <n>`: keeps at most the first n workloads.
+    pub limit: Option<usize>,
+    /// `--threads <n>`: engine worker threads (default: machine parallelism).
+    pub threads: Option<usize>,
+    /// `--serial`: shorthand for `--threads 1`.
+    pub serial: bool,
+    /// `--out <path>`: also write the report to a file (format from the
+    /// extension unless `--format` is given).
+    pub out: Option<String>,
+    /// `--format <text|json|toml>`: stdout (and `--out`) format.
+    pub format: Option<OutputFormat>,
+    /// `--quiet`: suppress the text report on stdout when `--out` is given.
+    pub quiet: bool,
+}
+
+impl RunArgs {
+    fn new(target: String) -> Self {
+        RunArgs {
+            target,
+            scale: None,
+            instructions: None,
+            per_group: None,
+            limit: None,
+            threads: None,
+            serial: false,
+            out: None,
+            format: None,
+            quiet: false,
+        }
+    }
+}
+
+/// Parses the command line (without the program name).
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown commands, unknown flags, or
+/// malformed flag values.
+pub fn parse(args: &[String]) -> Result<Command, String> {
+    let mut iter = args.iter();
+    let command = match iter.next() {
+        None => return Ok(Command::Help),
+        Some(c) => c.as_str(),
+    };
+    match command {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            if let Some(extra) = iter.next() {
+                return Err(format!("`list` takes no arguments, got `{extra}`"));
+            }
+            Ok(Command::List)
+        }
+        "describe" => {
+            let name = iter
+                .next()
+                .ok_or_else(|| "`describe` needs an experiment name".to_string())?
+                .clone();
+            if let Some(extra) = iter.next() {
+                return Err(format!("`describe` takes one argument, got `{extra}`"));
+            }
+            Ok(Command::Describe { name })
+        }
+        "run" => {
+            let target = iter
+                .next()
+                .ok_or_else(|| "`run` needs an experiment name or a spec.toml path".to_string())?
+                .clone();
+            let mut run = RunArgs::new(target);
+            while let Some(flag) = iter.next() {
+                let mut value_for = |flag: &str| {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| format!("`{flag}` needs a value"))
+                };
+                match flag.as_str() {
+                    "--scale" => {
+                        let value = value_for("--scale")?;
+                        run.scale = Some(RunScale::named(&value).ok_or_else(|| {
+                            format!(
+                                "unknown scale `{value}`, expected one of: {}",
+                                RunScale::NAMES.join(", ")
+                            )
+                        })?);
+                    }
+                    "--instructions" => {
+                        let value = value_for("--instructions")?;
+                        run.instructions = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid instruction count `{value}`"))?,
+                        );
+                    }
+                    "--per-group" => {
+                        let value = value_for("--per-group")?;
+                        run.per_group = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid per-group limit `{value}`"))?,
+                        );
+                    }
+                    "--limit" => {
+                        let value = value_for("--limit")?;
+                        run.limit = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid workload limit `{value}`"))?,
+                        );
+                    }
+                    "--threads" => {
+                        let value = value_for("--threads")?;
+                        let threads: usize = value
+                            .parse()
+                            .map_err(|_| format!("invalid thread count `{value}`"))?;
+                        if threads == 0 {
+                            return Err("`--threads` must be at least 1".to_string());
+                        }
+                        run.threads = Some(threads);
+                    }
+                    "--serial" => run.serial = true,
+                    "--out" => run.out = Some(value_for("--out")?),
+                    "--format" => {
+                        let value = value_for("--format")?;
+                        run.format = Some(OutputFormat::from_name(&value).ok_or_else(|| {
+                            format!("unknown format `{value}`, expected text, json or toml")
+                        })?);
+                    }
+                    "--quiet" | "-q" => run.quiet = true,
+                    other => return Err(format!("unknown flag `{other}` for `run`")),
+                }
+            }
+            Ok(Command::Run(run))
+        }
+        other => Err(format!("unknown command `{other}`; try `smt-cli help`")),
+    }
+}
+
+/// The help text.
+pub const HELP: &str = "\
+smt-cli - run the paper's experiments (and your own) from the command line
+
+USAGE:
+    smt-cli list
+        List every registered experiment with its paper reference.
+
+    smt-cli describe <name>
+        Print an experiment's full spec as TOML (copy, edit, and run it).
+
+    smt-cli run <name|spec.toml> [flags]
+        Run a registered experiment or a TOML spec file.
+
+RUN FLAGS:
+    --scale <tiny|test|standard|full>   Override the spec's run scale
+    --instructions <n>                  Override instructions per thread
+    --per-group <n>     Keep at most n workloads per ILP/MLP/MIX group
+    --limit <n>         Keep at most the first n workloads
+    --threads <n>       Engine worker threads (default: all cores)
+    --serial            Same as --threads 1
+    --out <path>        Also write the report to a file (.json/.toml/.txt)
+    --format <f>        Force text, json or toml output
+    --quiet             With --out: suppress the stdout report
+
+EXAMPLES:
+    smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
+    smt-cli run fig15_memory_latency_sweep --per-group 1 --scale tiny
+    smt-cli describe fig09_two_thread_policies > my_experiment.toml
+    smt-cli run my_experiment.toml --threads 8
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_ok(args: &[&str]) -> Command {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    fn parse_err(args: &[&str]) -> String {
+        parse(&args.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap_err()
+    }
+
+    #[test]
+    fn top_level_commands() {
+        assert_eq!(parse_ok(&[]), Command::Help);
+        assert_eq!(parse_ok(&["help"]), Command::Help);
+        assert_eq!(parse_ok(&["list"]), Command::List);
+        assert_eq!(
+            parse_ok(&["describe", "fig09_two_thread_policies"]),
+            Command::Describe {
+                name: "fig09_two_thread_policies".to_string()
+            }
+        );
+    }
+
+    #[test]
+    fn run_flags_parse() {
+        let command = parse_ok(&[
+            "run",
+            "fig09_two_thread_policies",
+            "--scale",
+            "test",
+            "--per-group",
+            "2",
+            "--threads",
+            "4",
+            "--out",
+            "/tmp/r.json",
+        ]);
+        let Command::Run(run) = command else {
+            panic!("expected run");
+        };
+        assert_eq!(run.target, "fig09_two_thread_policies");
+        assert_eq!(run.scale, Some(RunScale::test()));
+        assert_eq!(run.per_group, Some(2));
+        assert_eq!(run.threads, Some(4));
+        assert_eq!(run.out.as_deref(), Some("/tmp/r.json"));
+        assert!(!run.serial && !run.quiet);
+    }
+
+    #[test]
+    fn run_errors_are_helpful() {
+        assert!(parse_err(&["run"]).contains("needs an experiment name"));
+        assert!(parse_err(&["run", "x", "--scale", "huge"]).contains("tiny"));
+        assert!(parse_err(&["run", "x", "--threads", "0"]).contains("at least 1"));
+        assert!(parse_err(&["run", "x", "--warp"]).contains("--warp"));
+        assert!(parse_err(&["frobnicate"]).contains("frobnicate"));
+        assert!(parse_err(&["list", "extra"]).contains("takes no arguments"));
+    }
+
+    #[test]
+    fn formats_from_name_and_path() {
+        assert_eq!(OutputFormat::from_name("json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_name("yaml"), None);
+        assert_eq!(OutputFormat::from_path("r.json"), Some(OutputFormat::Json));
+        assert_eq!(OutputFormat::from_path("r.toml"), Some(OutputFormat::Toml));
+        assert_eq!(
+            OutputFormat::from_path("report.txt"),
+            Some(OutputFormat::Text)
+        );
+        assert_eq!(OutputFormat::from_path("noext"), None);
+    }
+}

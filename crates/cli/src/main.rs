@@ -1,0 +1,213 @@
+//! `smt-cli`: list, describe and run experiments from the command line.
+//!
+//! Every scenario the experiment registry knows — and any user-authored TOML
+//! spec — is runnable and diffable without writing Rust:
+//!
+//! ```text
+//! smt-cli list
+//! smt-cli describe fig09_two_thread_policies
+//! smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
+//! smt-cli run my_experiment.toml --threads 8
+//! ```
+
+mod args;
+
+use std::process::ExitCode;
+
+use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec};
+use smt_types::SimError;
+
+use args::{Command, OutputFormat, RunArgs};
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let command = match args::parse(&raw) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    match dispatch(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn dispatch(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            print!("{}", args::HELP);
+            Ok(())
+        }
+        Command::List => list(),
+        Command::Describe { name } => describe(&name),
+        Command::Run(run) => execute(run),
+    }
+}
+
+fn list() -> Result<(), String> {
+    let registry = ExperimentRegistry::builtin();
+    println!(
+        "{:<32} {:<16} {:<18} {:>8} {:>9}",
+        "name", "paper", "kind", "policies", "workloads"
+    );
+    for spec in registry.specs() {
+        println!(
+            "{:<32} {:<16} {:<18} {:>8} {:>9}",
+            spec.name,
+            spec.paper_ref,
+            spec.kind.name(),
+            spec.policies.len(),
+            spec.workloads.len()
+        );
+    }
+    println!("\nrun one with: smt-cli run <name> --scale test");
+    Ok(())
+}
+
+fn describe(name: &str) -> Result<(), String> {
+    let registry = ExperimentRegistry::builtin();
+    let spec = registry
+        .get(name)
+        .ok_or_else(|| unknown_experiment(&registry, name))?;
+    let text = toml::to_string(spec).map_err(|e| e.to_string())?;
+    print!("{text}");
+    Ok(())
+}
+
+fn unknown_experiment(registry: &ExperimentRegistry, name: &str) -> String {
+    format!(
+        "unknown experiment `{name}`; registered experiments:\n  {}",
+        registry.names().join("\n  ")
+    )
+}
+
+/// Resolves the run target: a registry name, or a path to a TOML spec file.
+fn load_spec(target: &str) -> Result<ExperimentSpec, String> {
+    let registry = ExperimentRegistry::builtin();
+    if let Some(spec) = registry.get(target) {
+        return Ok(spec.clone());
+    }
+    let looks_like_path =
+        target.ends_with(".toml") || target.contains('/') || target.contains('\\');
+    if !looks_like_path {
+        return Err(unknown_experiment(&registry, target));
+    }
+    let text = std::fs::read_to_string(target)
+        .map_err(|e| format!("cannot read spec file `{target}`: {e}"))?;
+    let spec: ExperimentSpec = toml::from_str(&text)
+        .map_err(|e| SimError::invalid_config(format!("spec file `{target}`: {e}")).to_string())?;
+    Ok(spec)
+}
+
+fn execute(run: RunArgs) -> Result<(), String> {
+    let mut spec = load_spec(&run.target)?;
+    if let Some(scale) = run.scale {
+        spec = spec.with_scale(scale);
+    }
+    if let Some(instructions) = run.instructions {
+        spec.scale = spec.scale.with_instructions(instructions);
+    }
+    if let Some(per_group) = run.per_group {
+        spec = spec
+            .with_workload_limit_per_group(per_group)
+            .map_err(|e| e.to_string())?;
+    }
+    if let Some(limit) = run.limit {
+        spec = spec.with_workload_limit(limit);
+    }
+    spec.validate().map_err(|e| e.to_string())?;
+    let threads = if run.serial {
+        1
+    } else {
+        run.threads.unwrap_or_else(engine::default_parallelism)
+    };
+
+    eprintln!(
+        "running `{}`: {} policies x {} workloads x {} sweep points at {} instructions/thread \
+         on {} threads...",
+        spec.name,
+        spec.policies.len().max(1),
+        spec.workloads.len(),
+        spec.sweep_points().len(),
+        spec.scale.instructions_per_thread,
+        threads
+    );
+    let report = engine::run_spec_with_threads(&spec, threads).map_err(|e| e.to_string())?;
+
+    let stdout_format = run.format.unwrap_or(OutputFormat::Text);
+    if let Some(path) = &run.out {
+        let file_format = run
+            .format
+            .or_else(|| OutputFormat::from_path(path))
+            .unwrap_or(OutputFormat::Json);
+        let payload = render(&report, file_format)?;
+        std::fs::write(path, payload).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        eprintln!("report written to {path}");
+        if !run.quiet {
+            print!("{}", render(&report, stdout_format)?);
+        }
+    } else {
+        print!("{}", render(&report, stdout_format)?);
+    }
+    Ok(())
+}
+
+fn render(
+    report: &smt_core::experiments::ExperimentReport,
+    format: OutputFormat,
+) -> Result<String, String> {
+    match format {
+        OutputFormat::Text => Ok(report.format_text()),
+        OutputFormat::Json => report
+            .to_json()
+            .map(|s| s + "\n")
+            .map_err(|e| e.to_string()),
+        OutputFormat::Toml => report.to_toml().map_err(|e| e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_spec_resolves_registry_names() {
+        let spec = load_spec("fig09_two_thread_policies").unwrap();
+        assert_eq!(spec.name, "fig09_two_thread_policies");
+    }
+
+    #[test]
+    fn load_spec_rejects_unknown_names_with_listing() {
+        let err = load_spec("fig99_warp").unwrap_err();
+        assert!(err.contains("fig99_warp"));
+        assert!(err.contains("fig09_two_thread_policies"));
+    }
+
+    #[test]
+    fn load_spec_reads_toml_files() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("smt_cli_test_spec.toml");
+        let registry = ExperimentRegistry::builtin();
+        let spec = registry.get("fig04_mlp_distance_cdf").unwrap();
+        std::fs::write(&path, toml::to_string(spec).unwrap()).unwrap();
+        let loaded = load_spec(path.to_str().unwrap()).unwrap();
+        assert_eq!(&loaded, spec);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_spec_reports_malformed_files_as_invalid_config() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("smt_cli_bad_spec.toml");
+        std::fs::write(&path, "name = \"x\"\nbad_field = 1\n").unwrap();
+        let err = load_spec(path.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("invalid configuration"), "{err}");
+        assert!(err.contains("bad_field"), "{err}");
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -123,7 +123,11 @@ mod tests {
     #[test]
     fn mcf_is_characterized_as_mlp_intensive() {
         let row = characterize("mcf", RunScale::test()).unwrap();
-        assert!(row.lll_per_kinst > 5.0, "mcf LLL/1K = {}", row.lll_per_kinst);
+        assert!(
+            row.lll_per_kinst > 5.0,
+            "mcf LLL/1K = {}",
+            row.lll_per_kinst
+        );
         assert!(row.mlp > 1.5, "mcf MLP = {}", row.mlp);
         assert!(row.mlp_impact > 0.10, "mcf MLP impact = {}", row.mlp_impact);
         assert_eq!(row.measured_class, WorkloadClass::Mlp);
@@ -137,8 +141,16 @@ mod tests {
         // ordering against a genuinely MLP-intensive benchmark is what matters.
         let bzip2 = characterize("bzip2", RunScale::test()).unwrap();
         let mcf = characterize("mcf", RunScale::test()).unwrap();
-        assert!(bzip2.lll_per_kinst < 2.0, "bzip2 LLL/1K = {}", bzip2.lll_per_kinst);
-        assert!(bzip2.mlp_impact < 0.20, "bzip2 MLP impact = {}", bzip2.mlp_impact);
+        assert!(
+            bzip2.lll_per_kinst < 2.0,
+            "bzip2 LLL/1K = {}",
+            bzip2.lll_per_kinst
+        );
+        assert!(
+            bzip2.mlp_impact < 0.20,
+            "bzip2 MLP impact = {}",
+            bzip2.mlp_impact
+        );
         assert!(
             bzip2.mlp_impact < mcf.mlp_impact,
             "bzip2 ({}) should be far less MLP sensitive than mcf ({})",

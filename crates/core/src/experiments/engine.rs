@@ -1,0 +1,382 @@
+//! Parallel execution engine for [`ExperimentSpec`]s.
+//!
+//! The engine expands a spec into its grid of independent cells
+//! (sweep point × policy × workload for policy grids; one benchmark per cell
+//! for single-thread kinds), runs the cells across OS threads with a shared
+//! [`StReferenceCache`] (each single-threaded reference curve is simulated
+//! exactly once, no matter how many cells need it), and assembles a uniform
+//! [`ExperimentReport`]. Results are deterministic and independent of the
+//! thread count: every cell's simulations are self-contained and seeded by
+//! the spec's [`crate::runner::RunScale::seed`].
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use smt_types::config::FetchPolicyKind;
+use smt_types::{SimError, SmtConfig};
+
+use crate::experiments::characterization;
+use crate::experiments::report::{empty_report, BenchRow, ExperimentReport, PolicyCell};
+use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
+use crate::runner::{
+    evaluate_workload_with, run_single_thread, RunScale, StReferenceCache, WorkloadResult,
+};
+use crate::workloads::Workload;
+
+/// Number of worker threads the engine uses by default: the `SMT_THREADS`
+/// environment variable when set, otherwise the machine's available
+/// parallelism.
+pub fn default_parallelism() -> usize {
+    if let Ok(text) = std::env::var("SMT_THREADS") {
+        if let Ok(threads) = text.parse::<usize>() {
+            if threads >= 1 {
+                return threads;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Runs `f` over every item on up to `threads` OS threads, returning results
+/// in item order. Items are claimed from a shared atomic counter, so uneven
+/// cell costs balance across workers.
+pub(crate) fn parallel_map<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    f: impl Fn(&T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let result = f(&items[i]);
+                *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock poisoned")
+                .expect("every slot is filled before the scope ends")
+        })
+        .collect()
+}
+
+/// Runs a policy × workload grid on one configuration, sharing `cache`
+/// across all cells, and returns results as `grid[policy][workload]`.
+///
+/// This is the primitive behind both the legacy
+/// [`crate::experiments::policies::policy_comparison`] entry point and the
+/// spec engine; with `threads == 1` it reproduces the historical serial
+/// behaviour exactly.
+///
+/// # Errors
+///
+/// Returns the first simulation error encountered, if any.
+pub fn run_policy_grid(
+    policies: &[FetchPolicyKind],
+    workloads: &[Workload],
+    config: &SmtConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+    threads: usize,
+) -> Result<Vec<Vec<WorkloadResult>>, SimError> {
+    let mut tasks: Vec<(FetchPolicyKind, &Workload)> = Vec::new();
+    for &policy in policies {
+        for workload in workloads {
+            tasks.push((policy, workload));
+        }
+    }
+    let outcomes = parallel_map(&tasks, threads, |(policy, workload)| {
+        let mut cell_config = config.clone();
+        cell_config.num_threads = workload.num_threads();
+        evaluate_workload_with(&workload.benchmarks, *policy, &cell_config, scale, cache)
+    });
+    let mut grid: Vec<Vec<WorkloadResult>> = Vec::with_capacity(policies.len());
+    let mut outcomes = outcomes.into_iter();
+    for _ in policies {
+        let mut row = Vec::with_capacity(workloads.len());
+        for _ in workloads {
+            row.push(outcomes.next().expect("one outcome per task")?);
+        }
+        grid.push(row);
+    }
+    Ok(grid)
+}
+
+/// Runs an experiment spec with the default thread count.
+///
+/// # Errors
+///
+/// Returns a validation error before anything is simulated, or the first
+/// simulation error encountered.
+pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentReport, SimError> {
+    run_spec_with_threads(spec, default_parallelism())
+}
+
+/// Runs an experiment spec on exactly `threads` worker threads.
+///
+/// # Errors
+///
+/// Returns a validation error before anything is simulated, or the first
+/// simulation error encountered.
+pub fn run_spec_with_threads(
+    spec: &ExperimentSpec,
+    threads: usize,
+) -> Result<ExperimentReport, SimError> {
+    spec.validate()?;
+    let threads = threads.max(1);
+    let start = Instant::now();
+    let cache = StReferenceCache::new();
+    let mut report = empty_report(spec, threads);
+    if spec.kind.is_single_thread() {
+        report.bench_rows = run_bench_rows(spec, threads)?;
+    } else {
+        let (cells, summaries) = run_grid_cells(spec, threads, &cache)?;
+        report.policy_cells = cells;
+        report.summaries = summaries;
+    }
+    report.reference_runs = cache.reference_runs();
+    report.wall_ms = start.elapsed().as_millis() as u64;
+    Ok(report)
+}
+
+type GridOutcome = (Vec<PolicyCell>, Vec<crate::experiments::report::SummaryRow>);
+
+fn run_grid_cells(
+    spec: &ExperimentSpec,
+    threads: usize,
+    cache: &StReferenceCache,
+) -> Result<GridOutcome, SimError> {
+    let workloads: Vec<Workload> = spec
+        .workloads
+        .iter()
+        .map(|benchmarks| Workload::new(benchmarks.clone()))
+        .collect::<Result<_, _>>()?;
+    let sweep_points = spec.sweep_points();
+    let mut tasks: Vec<(Option<u64>, FetchPolicyKind, &Workload)> = Vec::new();
+    for &point in &sweep_points {
+        for &policy in &spec.policies {
+            for workload in &workloads {
+                tasks.push((point, policy, workload));
+            }
+        }
+    }
+    let outcomes = parallel_map(&tasks, threads, |&(point, policy, workload)| {
+        let config = spec.config_for(workload.num_threads(), point);
+        evaluate_workload_with(&workload.benchmarks, policy, &config, spec.scale, cache)
+    });
+    let mut cells = Vec::with_capacity(tasks.len());
+    for ((point, _, workload), outcome) in tasks.iter().zip(outcomes) {
+        let result = outcome?;
+        cells.push(ExperimentReport::cell_from_result(
+            &result,
+            &workload.benchmarks,
+            workload.group.label(),
+            *point,
+        ));
+    }
+    let summaries = ExperimentReport::summarize(&cells, &spec.policies, &sweep_points);
+    Ok((cells, summaries))
+}
+
+fn run_bench_rows(spec: &ExperimentSpec, threads: usize) -> Result<Vec<BenchRow>, SimError> {
+    let benchmarks: Vec<&String> = spec.workloads.iter().map(|w| &w[0]).collect();
+    let kind = spec.kind;
+    let scale = spec.scale;
+    let outcomes = parallel_map(&benchmarks, threads, |benchmark| {
+        bench_row(kind, benchmark, scale)
+    });
+    outcomes.into_iter().collect()
+}
+
+/// Produces one single-thread characterization row. Each kind replicates the
+/// exact configuration of its legacy `experiments::*` counterpart so that
+/// registry specs and legacy entry points agree bit-for-bit.
+fn bench_row(kind: ExperimentKind, benchmark: &str, scale: RunScale) -> Result<BenchRow, SimError> {
+    match kind {
+        ExperimentKind::Characterization => {
+            let row = characterization::characterize(benchmark, scale)?;
+            Ok(BenchRow {
+                benchmark: row.benchmark,
+                ipc: row.ipc,
+                lll_per_kinst: Some(row.lll_per_kinst),
+                mlp: Some(row.mlp),
+                mlp_impact: Some(row.mlp_impact),
+                class: Some(row.measured_class.label().to_string()),
+                paper_class: Some(row.paper_class.label().to_string()),
+                ..BenchRow::default()
+            })
+        }
+        ExperimentKind::PrefetcherImpact => {
+            let without = run_single_thread(
+                benchmark,
+                &SmtConfig::baseline(1).with_prefetcher(false),
+                scale,
+            )?;
+            let with = run_single_thread(
+                benchmark,
+                &SmtConfig::baseline(1).with_prefetcher(true),
+                scale,
+            )?;
+            let ipc_without = without.threads[0].ipc(without.cycles);
+            let ipc_with = with.threads[0].ipc(with.cycles);
+            Ok(BenchRow {
+                benchmark: benchmark.to_string(),
+                ipc: ipc_with,
+                ipc_without_prefetch: Some(ipc_without),
+                prefetch_speedup: Some(if ipc_without == 0.0 {
+                    1.0
+                } else {
+                    ipc_with / ipc_without
+                }),
+                ..BenchRow::default()
+            })
+        }
+        ExperimentKind::PredictorAccuracy => {
+            let config = SmtConfig::baseline(1).with_prefetcher(false);
+            let stats = run_single_thread(benchmark, &config, scale)?;
+            let t = &stats.threads[0];
+            Ok(BenchRow {
+                benchmark: benchmark.to_string(),
+                ipc: t.ipc(stats.cycles),
+                lll_accuracy: Some(t.lll_predictor_accuracy()),
+                lll_miss_accuracy: Some(t.lll_predictor_miss_accuracy()),
+                mlp_accuracy: Some(t.mlp_predictor_accuracy()),
+                mlp_distance_accuracy: Some(t.mlp_distance_accuracy()),
+                ..BenchRow::default()
+            })
+        }
+        ExperimentKind::MlpDistanceCdf => {
+            // The paper's Figure 4 characterizes a 256-entry ROB processor
+            // with a 128-entry LLSR (matching `experiments::figure4`).
+            let mut config = SmtConfig::baseline(1);
+            config.llsr_length_override = Some(128);
+            let stats = run_single_thread(benchmark, &config, scale)?;
+            let t = &stats.threads[0];
+            Ok(BenchRow {
+                benchmark: benchmark.to_string(),
+                ipc: t.ipc(stats.cycles),
+                mlp_distance_cdf: Some(t.mlp_distance_cdf()),
+                ..BenchRow::default()
+            })
+        }
+        ExperimentKind::PolicyGrid => {
+            Err(SimError::internal("policy grids do not produce bench rows"))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::spec::{SweepParameter, SweepSpec};
+
+    fn tiny_grid_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "engine-test".to_string(),
+            title: "engine test".to_string(),
+            paper_ref: String::new(),
+            kind: ExperimentKind::PolicyGrid,
+            policies: vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+            workloads: vec![
+                vec!["mcf".to_string(), "swim".to_string()],
+                vec!["gcc".to_string(), "gap".to_string()],
+            ],
+            sweep: None,
+            overrides: None,
+            scale: RunScale::tiny(),
+        }
+    }
+
+    #[test]
+    fn parallel_map_preserves_order_and_covers_all_items() {
+        let items: Vec<u64> = (0..57).collect();
+        let doubled = parallel_map(&items, 4, |&x| x * 2);
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+        let serial = parallel_map(&items, 1, |&x| x * 2);
+        assert_eq!(serial, doubled);
+    }
+
+    #[test]
+    fn spec_results_are_thread_count_invariant() {
+        let spec = tiny_grid_spec();
+        let serial = run_spec_with_threads(&spec, 1).unwrap();
+        let parallel = run_spec_with_threads(&spec, 4).unwrap();
+        assert_eq!(serial.policy_cells, parallel.policy_cells);
+        assert_eq!(serial.summaries, parallel.summaries);
+        assert_eq!(serial.reference_runs, parallel.reference_runs);
+    }
+
+    #[test]
+    fn grid_report_has_expected_shape() {
+        let spec = tiny_grid_spec();
+        let report = run_spec_with_threads(&spec, 2).unwrap();
+        // 2 policies x 2 workloads.
+        assert_eq!(report.policy_cells.len(), 4);
+        assert!(report.bench_rows.is_empty());
+        // Reference runs: one per distinct benchmark (config identical across
+        // policies).
+        assert_eq!(report.reference_runs, 4);
+        assert!(report.summaries.iter().any(|s| s.group.is_none()));
+        for cell in &report.policy_cells {
+            assert!(cell.stp > 0.0 && cell.antt > 0.0);
+        }
+    }
+
+    #[test]
+    fn sweep_produces_cells_per_point() {
+        let mut spec = tiny_grid_spec();
+        spec.policies = vec![FetchPolicyKind::Icount];
+        spec.workloads = vec![vec!["mcf".to_string(), "swim".to_string()]];
+        spec.sweep = Some(SweepSpec {
+            parameter: SweepParameter::MemoryLatency,
+            values: vec![200, 800],
+        });
+        let report = run_spec_with_threads(&spec, 2).unwrap();
+        assert_eq!(report.policy_cells.len(), 2);
+        assert_eq!(report.policy_cells[0].parameter, Some(200));
+        assert_eq!(report.policy_cells[1].parameter, Some(800));
+        // Different memory latencies need distinct reference curves.
+        assert_eq!(report.reference_runs, 4);
+    }
+
+    #[test]
+    fn single_thread_spec_produces_bench_rows() {
+        let spec = ExperimentSpec {
+            name: "char-test".to_string(),
+            title: "characterization test".to_string(),
+            paper_ref: String::new(),
+            kind: ExperimentKind::Characterization,
+            policies: vec![],
+            workloads: vec![vec!["mcf".to_string()], vec!["gcc".to_string()]],
+            sweep: None,
+            overrides: None,
+            scale: RunScale::tiny(),
+        };
+        let report = run_spec_with_threads(&spec, 2).unwrap();
+        assert_eq!(report.bench_rows.len(), 2);
+        assert!(report.policy_cells.is_empty());
+        assert_eq!(report.bench_rows[0].benchmark, "mcf");
+        assert!(report.bench_rows[0].lll_per_kinst.unwrap() > 0.0);
+    }
+
+    #[test]
+    fn invalid_spec_is_rejected_before_running() {
+        let mut spec = tiny_grid_spec();
+        spec.policies.clear();
+        assert!(run_spec(&spec).is_err());
+    }
+}

@@ -5,8 +5,9 @@
 use smt_types::config::FetchPolicyKind;
 use smt_types::{SimError, SmtConfig};
 
+use crate::experiments::engine;
 use crate::metrics;
-use crate::runner::{evaluate_workload_with, RunScale, StReferenceCache, WorkloadResult};
+use crate::runner::{RunScale, StReferenceCache, WorkloadResult};
 use crate::workloads::{four_thread_workloads, two_thread_workloads, Workload, WorkloadGroup};
 
 /// Aggregated result of running one fetch policy over a set of workloads.
@@ -41,6 +42,11 @@ impl GroupSummary {
 /// Runs `policies` over `workloads` on `config`, reusing one single-threaded
 /// reference cache across all runs.
 ///
+/// The grid is executed by the parallel experiment engine
+/// ([`engine::run_policy_grid`]) across [`engine::default_parallelism`]
+/// worker threads; results are deterministic and identical to the historical
+/// serial evaluation order.
+///
 /// # Errors
 ///
 /// Propagates simulation errors.
@@ -50,17 +56,17 @@ pub fn policy_comparison(
     config: &SmtConfig,
     scale: RunScale,
 ) -> Result<Vec<PolicyComparison>, SimError> {
-    let mut cache = StReferenceCache::new();
+    let cache = StReferenceCache::new();
+    let grid = engine::run_policy_grid(
+        policies,
+        workloads,
+        config,
+        scale,
+        &cache,
+        engine::default_parallelism(),
+    )?;
     let mut out = Vec::with_capacity(policies.len());
-    for &policy in policies {
-        let mut per_workload = Vec::with_capacity(workloads.len());
-        for workload in workloads {
-            let mut cfg = config.clone();
-            cfg.num_threads = workload.num_threads();
-            let result =
-                evaluate_workload_with(&workload.benchmarks, policy, &cfg, scale, &mut cache)?;
-            per_workload.push(result);
-        }
+    for (&policy, per_workload) in policies.iter().zip(grid) {
         let stps: Vec<f64> = per_workload.iter().map(|r| r.stp).collect();
         let antts: Vec<f64> = per_workload.iter().map(|r| r.antt).collect();
         out.push(PolicyComparison {
@@ -132,10 +138,18 @@ pub fn policy_comparison_two_thread(
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn four_thread_comparison(scale: RunScale, limit: usize) -> Result<Vec<PolicyComparison>, SimError> {
+pub fn four_thread_comparison(
+    scale: RunScale,
+    limit: usize,
+) -> Result<Vec<PolicyComparison>, SimError> {
     let config = SmtConfig::baseline(4);
     let workloads: Vec<Workload> = four_thread_workloads().into_iter().take(limit).collect();
-    policy_comparison(&FetchPolicyKind::MAIN_COMPARISON, &workloads, &config, scale)
+    policy_comparison(
+        &FetchPolicyKind::MAIN_COMPARISON,
+        &workloads,
+        &config,
+        scale,
+    )
 }
 
 /// Per-thread IPC values for one workload under several policies (Figures 11/12).
@@ -204,7 +218,10 @@ pub const ALTERNATIVE_POLICIES: [FetchPolicyKind; 5] = [
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn alternative_policies(scale: RunScale, per_group: usize) -> Result<Vec<GroupSummary>, SimError> {
+pub fn alternative_policies(
+    scale: RunScale,
+    per_group: usize,
+) -> Result<Vec<GroupSummary>, SimError> {
     let config = SmtConfig::baseline(2);
     let mut out = Vec::new();
     for group in [
@@ -324,7 +341,10 @@ mod tests {
     fn ipc_stacks_have_one_entry_per_policy() {
         let stacks = ipc_stacks(RunScale::tiny(), WorkloadGroup::MlpIntensive, 1).unwrap();
         assert_eq!(stacks.len(), 1);
-        assert_eq!(stacks[0].per_policy.len(), FetchPolicyKind::MAIN_COMPARISON.len());
+        assert_eq!(
+            stacks[0].per_policy.len(),
+            FetchPolicyKind::MAIN_COMPARISON.len()
+        );
         for (_, ipcs) in &stacks[0].per_policy {
             assert_eq!(ipcs.len(), 2);
             assert!(ipcs.iter().all(|&v| v > 0.0));

@@ -60,14 +60,7 @@ pub struct MlpDistanceCdf {
 impl MlpDistanceCdf {
     /// Fraction of predicted MLP distances at or below `distance` instructions.
     pub fn fraction_within(&self, distance: u32) -> f64 {
-        let mut last = 0.0;
-        for &(bound, fraction) in &self.cdf {
-            if bound > distance {
-                return last;
-            }
-            last = fraction;
-        }
-        last
+        crate::metrics::cdf_fraction_within(&self.cdf, distance)
     }
 }
 

@@ -1,0 +1,264 @@
+//! The named registry of built-in experiments.
+//!
+//! Every table and figure of the paper's evaluation section is exposed as an
+//! introspectable [`ExperimentSpec`] keyed by a stable name
+//! (`table1_characterization`, `fig09_two_thread_policies`, …). The CLI
+//! (`smt-cli list | describe | run`) and the bench harness drive experiments
+//! exclusively through this registry; `EXPERIMENTS.md` documents each entry.
+
+use smt_trace::spec as trace_spec;
+use smt_types::config::FetchPolicyKind;
+
+use crate::experiments::policies::ALTERNATIVE_POLICIES;
+use crate::experiments::spec::{ExperimentKind, ExperimentSpec, SweepParameter, SweepSpec};
+use crate::runner::RunScale;
+use crate::workloads::{
+    four_thread_workloads, representative_two_thread_workloads, two_thread_workloads, Workload,
+};
+
+/// A named collection of ready-to-run experiment specs.
+#[derive(Clone, Debug)]
+pub struct ExperimentRegistry {
+    specs: Vec<ExperimentSpec>,
+}
+
+impl ExperimentRegistry {
+    /// Builds the registry of all built-in (paper) experiments, at the
+    /// default [`RunScale::standard`] scale.
+    pub fn builtin() -> Self {
+        let two_thread = workload_names(&two_thread_workloads());
+        let four_thread = workload_names(&four_thread_workloads());
+        let representative = workload_names(&representative_two_thread_workloads());
+        let all_benchmarks: Vec<Vec<String>> = trace_spec::all_benchmarks()
+            .into_iter()
+            .map(|profile| vec![profile.name])
+            .collect();
+        let figure4: Vec<Vec<String>> = trace_spec::figure4_benchmarks()
+            .into_iter()
+            .map(|name| vec![name.to_string()])
+            .collect();
+        let partitioning = vec![
+            FetchPolicyKind::MlpFlush,
+            FetchPolicyKind::StaticPartition,
+            FetchPolicyKind::Dcra,
+        ];
+
+        let specs = vec![
+            single_thread(
+                "table1_characterization",
+                "Per-benchmark MLP characterization: long-latency loads per 1K instructions, \
+                 MLP, and MLP impact",
+                "Table I / Figure 1",
+                ExperimentKind::Characterization,
+                all_benchmarks.clone(),
+            ),
+            single_thread(
+                "fig04_mlp_distance_cdf",
+                "Predicted MLP-distance CDFs for the six most MLP-intensive benchmarks",
+                "Figure 4",
+                ExperimentKind::MlpDistanceCdf,
+                figure4,
+            ),
+            single_thread(
+                "fig05_prefetcher",
+                "Single-thread IPC with and without the stream-buffer prefetcher",
+                "Figure 5",
+                ExperimentKind::PrefetcherImpact,
+                all_benchmarks.clone(),
+            ),
+            single_thread(
+                "fig06_08_predictor_accuracy",
+                "Long-latency load, binary MLP, and MLP-distance predictor accuracies",
+                "Figures 6-8",
+                ExperimentKind::PredictorAccuracy,
+                all_benchmarks,
+            ),
+            grid(
+                "fig09_two_thread_policies",
+                "STP and ANTT of the six main fetch policies over the Table II two-thread \
+                 workloads (per-thread IPCs give Figures 11/12)",
+                "Figures 9-12",
+                FetchPolicyKind::MAIN_COMPARISON.to_vec(),
+                two_thread.clone(),
+                None,
+            ),
+            grid(
+                "fig13_four_thread_policies",
+                "STP and ANTT of the six main fetch policies over the Table III four-thread \
+                 workloads",
+                "Figures 13/14",
+                FetchPolicyKind::MAIN_COMPARISON.to_vec(),
+                four_thread.clone(),
+                None,
+            ),
+            grid(
+                "fig15_memory_latency_sweep",
+                "Main-memory latency sweep (200-800 cycles) over representative two-thread \
+                 workloads",
+                "Figures 15/16",
+                FetchPolicyKind::MAIN_COMPARISON.to_vec(),
+                representative.clone(),
+                Some(SweepSpec {
+                    parameter: SweepParameter::MemoryLatency,
+                    values: vec![200, 400, 600, 800],
+                }),
+            ),
+            grid(
+                "fig17_window_size_sweep",
+                "Window size sweep (128-1024 ROB entries, resources scaled proportionally) \
+                 over representative two-thread workloads",
+                "Figures 17/18",
+                FetchPolicyKind::MAIN_COMPARISON.to_vec(),
+                representative,
+                Some(SweepSpec {
+                    parameter: SweepParameter::WindowSize,
+                    values: vec![128, 256, 512, 1024],
+                }),
+            ),
+            grid(
+                "fig20_alternative_policies",
+                "The five alternative MLP-aware flush policies over the Table II two-thread \
+                 workloads",
+                "Figures 20/21",
+                ALTERNATIVE_POLICIES.to_vec(),
+                two_thread.clone(),
+                None,
+            ),
+            grid(
+                "fig22_partitioning_two_thread",
+                "MLP-aware flush versus static partitioning and DCRA, two-thread workloads",
+                "Figures 22/23",
+                partitioning.clone(),
+                two_thread,
+                None,
+            ),
+            grid(
+                "fig22_partitioning_four_thread",
+                "MLP-aware flush versus static partitioning and DCRA, four-thread workloads",
+                "Figures 22/23",
+                partitioning,
+                four_thread,
+                None,
+            ),
+        ];
+        ExperimentRegistry { specs }
+    }
+
+    /// The specs in registration (paper) order.
+    pub fn specs(&self) -> &[ExperimentSpec] {
+        &self.specs
+    }
+
+    /// The registered names, in registration order.
+    pub fn names(&self) -> Vec<&str> {
+        self.specs.iter().map(|s| s.name.as_str()).collect()
+    }
+
+    /// Looks up one spec by name.
+    pub fn get(&self, name: &str) -> Option<&ExperimentSpec> {
+        self.specs.iter().find(|s| s.name == name)
+    }
+}
+
+impl Default for ExperimentRegistry {
+    fn default() -> Self {
+        Self::builtin()
+    }
+}
+
+fn workload_names(workloads: &[Workload]) -> Vec<Vec<String>> {
+    workloads.iter().map(|w| w.benchmarks.clone()).collect()
+}
+
+fn single_thread(
+    name: &str,
+    title: &str,
+    paper_ref: &str,
+    kind: ExperimentKind,
+    workloads: Vec<Vec<String>>,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        name: name.to_string(),
+        title: title.to_string(),
+        paper_ref: paper_ref.to_string(),
+        kind,
+        policies: Vec::new(),
+        workloads,
+        sweep: None,
+        overrides: None,
+        scale: RunScale::standard(),
+    }
+}
+
+fn grid(
+    name: &str,
+    title: &str,
+    paper_ref: &str,
+    policies: Vec<FetchPolicyKind>,
+    workloads: Vec<Vec<String>>,
+    sweep: Option<SweepSpec>,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        name: name.to_string(),
+        title: title.to_string(),
+        paper_ref: paper_ref.to_string(),
+        kind: ExperimentKind::PolicyGrid,
+        policies,
+        workloads,
+        sweep,
+        overrides: None,
+        scale: RunScale::standard(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_builtin_spec_validates() {
+        let registry = ExperimentRegistry::builtin();
+        assert!(registry.specs().len() >= 10);
+        for spec in registry.specs() {
+            spec.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_lookup_works() {
+        let registry = ExperimentRegistry::builtin();
+        let names = registry.names();
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+        let fig09 = registry.get("fig09_two_thread_policies").unwrap();
+        assert_eq!(fig09.workloads.len(), 36);
+        assert_eq!(fig09.policies.len(), 6);
+        assert!(registry.get("fig99_imaginary").is_none());
+    }
+
+    #[test]
+    fn every_builtin_spec_round_trips_through_toml() {
+        for spec in ExperimentRegistry::builtin().specs() {
+            let text = toml::to_string(spec).unwrap();
+            let back: ExperimentSpec =
+                toml::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(&back, spec, "{} did not round-trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn sweeps_cover_the_paper_parameter_values() {
+        let registry = ExperimentRegistry::builtin();
+        let latency = registry.get("fig15_memory_latency_sweep").unwrap();
+        assert_eq!(
+            latency.sweep.as_ref().unwrap().values,
+            vec![200, 400, 600, 800]
+        );
+        let window = registry.get("fig17_window_size_sweep").unwrap();
+        assert_eq!(
+            window.sweep.as_ref().unwrap().values,
+            vec![128, 256, 512, 1024]
+        );
+    }
+}

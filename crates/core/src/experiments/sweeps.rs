@@ -21,14 +21,20 @@ impl SweepPoint {
     /// STP of `policy` normalized to ICOUNT at the same parameter value, as the
     /// paper plots it.
     pub fn stp_relative_to_icount(&self, policy: FetchPolicyKind) -> Option<f64> {
-        let icount = self.policies.iter().find(|p| p.policy == FetchPolicyKind::Icount)?;
+        let icount = self
+            .policies
+            .iter()
+            .find(|p| p.policy == FetchPolicyKind::Icount)?;
         let target = self.policies.iter().find(|p| p.policy == policy)?;
         Some(target.avg_stp / icount.avg_stp)
     }
 
     /// ANTT of `policy` normalized to ICOUNT at the same parameter value.
     pub fn antt_relative_to_icount(&self, policy: FetchPolicyKind) -> Option<f64> {
-        let icount = self.policies.iter().find(|p| p.policy == FetchPolicyKind::Icount)?;
+        let icount = self
+            .policies
+            .iter()
+            .find(|p| p.policy == FetchPolicyKind::Icount)?;
         let target = self.policies.iter().find(|p| p.policy == policy)?;
         Some(target.avg_antt / icount.avg_antt)
     }
@@ -40,7 +46,10 @@ impl SweepPoint {
 /// # Errors
 ///
 /// Propagates simulation errors.
-pub fn memory_latency_sweep(latencies: &[u64], scale: RunScale) -> Result<Vec<SweepPoint>, SimError> {
+pub fn memory_latency_sweep(
+    latencies: &[u64],
+    scale: RunScale,
+) -> Result<Vec<SweepPoint>, SimError> {
     let workloads = representative_two_thread_workloads();
     let mut points = Vec::with_capacity(latencies.len());
     for &latency in latencies {
@@ -86,7 +95,8 @@ pub fn window_size_sweep(rob_sizes: &[u32], scale: RunScale) -> Result<Vec<Sweep
 
 /// Formats a sweep as a text table of STP and ANTT relative to ICOUNT.
 pub fn format_sweep(points: &[SweepPoint], parameter_name: &str) -> String {
-    let mut out = format!("{parameter_name:>10}  policy                      STP/ICOUNT  ANTT/ICOUNT\n");
+    let mut out =
+        format!("{parameter_name:>10}  policy                      STP/ICOUNT  ANTT/ICOUNT\n");
     for point in points {
         for p in &point.policies {
             out.push_str(&format!(
@@ -111,7 +121,9 @@ mod tests {
         assert_eq!(points.len(), 2);
         for point in &points {
             assert_eq!(point.policies.len(), FetchPolicyKind::MAIN_COMPARISON.len());
-            let rel = point.stp_relative_to_icount(FetchPolicyKind::MlpFlush).unwrap();
+            let rel = point
+                .stp_relative_to_icount(FetchPolicyKind::MlpFlush)
+                .unwrap();
             assert!(rel > 0.5 && rel < 2.0, "relative STP {rel} out of range");
         }
         let text = format_sweep(&points, "mem-lat");

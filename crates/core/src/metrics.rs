@@ -63,9 +63,25 @@ fn validate(st: &[f64], mt: &[f64]) {
     assert_eq!(st.len(), mt.len(), "CPI vectors must have the same length");
     assert!(!st.is_empty(), "CPI vectors must not be empty");
     assert!(
-        st.iter().chain(mt.iter()).all(|&c| c.is_finite() && c > 0.0),
+        st.iter()
+            .chain(mt.iter())
+            .all(|&c| c.is_finite() && c > 0.0),
         "CPIs must be positive and finite"
     );
+}
+
+/// Fraction of observations at or below `threshold` in a cumulative
+/// distribution given as `(upper bound, cumulative fraction)` points sorted by
+/// bound (the Figure 4 MLP-distance CDF representation).
+pub fn cdf_fraction_within(cdf: &[(u32, f64)], threshold: u32) -> f64 {
+    let mut last = 0.0;
+    for &(bound, fraction) in cdf {
+        if bound > threshold {
+            return last;
+        }
+        last = fraction;
+    }
+    last
 }
 
 /// Harmonic mean (used to average STP across workloads).
@@ -75,7 +91,10 @@ fn validate(st: &[f64], mt: &[f64]) {
 /// Panics if `values` is empty or contains non-positive entries.
 pub fn harmonic_mean(values: &[f64]) -> f64 {
     assert!(!values.is_empty(), "cannot average an empty set");
-    assert!(values.iter().all(|&v| v > 0.0), "harmonic mean needs positive values");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "harmonic mean needs positive values"
+    );
     values.len() as f64 / values.iter().map(|v| 1.0 / v).sum::<f64>()
 }
 

@@ -10,7 +10,6 @@
 
 mod thread;
 
-
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
 use smt_mem::{AccessLevel, MemoryHierarchy, WriteBuffer};
 use smt_predictors::LongLatencyPredictor;
@@ -198,7 +197,11 @@ impl SmtSimulator {
         if instructions == 0 {
             return;
         }
-        let targets: Vec<u64> = self.threads.iter().map(|t| t.committed + instructions).collect();
+        let targets: Vec<u64> = self
+            .threads
+            .iter()
+            .map(|t| t.committed + instructions)
+            .collect();
         while self.cycle < max_cycles
             && self
                 .threads
@@ -269,7 +272,9 @@ impl SmtSimulator {
             let mut done = 0;
             while done < commit_width {
                 let ctx = &mut self.threads[ti];
-                let Some(head) = ctx.window.front() else { break };
+                let Some(head) = ctx.window.front() else {
+                    break;
+                };
                 if !(head.dispatched && head.issued && head.completed) {
                     break;
                 }
@@ -315,7 +320,8 @@ impl SmtSimulator {
                 }
                 if let Some(obs) = ctx.llsr.commit(head.op.pc, is_lll_load) {
                     ctx.mlp_predictor.update(obs.pc, obs.mlp_distance);
-                    ctx.binary_mlp_predictor.update(obs.pc, obs.mlp_distance > 0);
+                    ctx.binary_mlp_predictor
+                        .update(obs.pc, obs.mlp_distance > 0);
                     if let Some(eval) = ctx.pending_mlp_evals.pop_front() {
                         debug_assert_eq!(eval.pc, obs.pc, "LLSR and prediction FIFOs diverged");
                         let tstats = self.stats.thread_mut(thread_id);
@@ -516,7 +522,8 @@ impl SmtSimulator {
                             flushes.push(req);
                         }
                     } else {
-                        self.policy.on_load_executed_hit(thread_id, op.pc, SeqNum(seq));
+                        self.policy
+                            .on_load_executed_hit(thread_id, op.pc, SeqNum(seq));
                     }
                 }
                 idx += 1;
@@ -531,7 +538,10 @@ impl SmtSimulator {
     fn deps_ready(ctx: &ThreadContext, inst: &InFlight) -> bool {
         for dep in inst.src_dep_seqs() {
             let Some(producer_seq) = dep else { continue };
-            match ctx.window.binary_search_by(|probe| probe.seq.cmp(&producer_seq)) {
+            match ctx
+                .window
+                .binary_search_by(|probe| probe.seq.cmp(&producer_seq))
+            {
                 Ok(pos) => {
                     if !ctx.window[pos].completed {
                         return false;
@@ -605,13 +615,13 @@ impl SmtSimulator {
                 if let Some(caps) = caps {
                     let cap = &caps[ti];
                     let occ = &ctx.occ;
-                    let cap_ok = cap.rob.map_or(true, |c| occ.rob < c)
-                        && (!uses_lsq || cap.lsq.map_or(true, |c| occ.lsq < c))
-                        && (uses_fp_iq && cap.iq_fp.map_or(true, |c| occ.iq_fp < c)
-                            || !uses_fp_iq && cap.iq_int.map_or(true, |c| occ.iq_int < c))
+                    let cap_ok = cap.rob.is_none_or(|c| occ.rob < c)
+                        && (!uses_lsq || cap.lsq.is_none_or(|c| occ.lsq < c))
+                        && (uses_fp_iq && cap.iq_fp.is_none_or(|c| occ.iq_fp < c)
+                            || !uses_fp_iq && cap.iq_int.is_none_or(|c| occ.iq_int < c))
                         && (!has_dest
-                            || (dest_fp && cap.rename_fp.map_or(true, |c| occ.rename_fp < c)
-                                || !dest_fp && cap.rename_int.map_or(true, |c| occ.rename_int < c)));
+                            || (dest_fp && cap.rename_fp.is_none_or(|c| occ.rename_fp < c)
+                                || !dest_fp && cap.rename_int.is_none_or(|c| occ.rename_int < c)));
                     if !cap_ok {
                         break;
                     }
@@ -659,8 +669,14 @@ impl SmtSimulator {
                     inst.predicted_lll = lll;
                     inst.predicted_mlp_distance = distance;
                     inst.predicted_has_mlp = has_mlp;
-                    self.policy
-                        .on_load_predicted(thread_id, pc, SeqNum(seq), lll, distance, has_mlp);
+                    self.policy.on_load_predicted(
+                        thread_id,
+                        pc,
+                        SeqNum(seq),
+                        lll,
+                        distance,
+                        has_mlp,
+                    );
                 }
             }
         }
@@ -727,9 +743,9 @@ impl SmtSimulator {
                     // First fetch of this dynamic branch: predict and train at the
                     // same global-history point, exactly once per dynamic branch.
                     let pred = ctx.branch_predictor.predict(op.pc);
-                    mispredicted = ctx
-                        .branch_predictor
-                        .update(op.pc, info.taken, info.target, pred);
+                    mispredicted =
+                        ctx.branch_predictor
+                            .update(op.pc, info.taken, info.target, pred);
                     predicted_taken = pred.taken;
                 }
                 ctx.window.push_back(InFlight {

@@ -3,7 +3,9 @@
 use std::collections::{HashMap, VecDeque};
 
 use smt_branch::BranchPredictor;
-use smt_predictors::{BinaryMlpPredictor, Llsr, LongLatencyPredictor, MissPatternPredictor, MlpDistancePredictor};
+use smt_predictors::{
+    BinaryMlpPredictor, Llsr, LongLatencyPredictor, MissPatternPredictor, MlpDistancePredictor,
+};
 use smt_trace::TraceSource;
 use smt_types::{SmtConfig, TraceOp};
 

@@ -8,7 +8,10 @@
 //! so those per-`x_i` reference CPIs do not require a fresh simulation per policy.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
+use serde::{Deserialize, Serialize};
 use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
 use smt_types::config::FetchPolicyKind;
 use smt_types::{MachineStats, SimError, SmtConfig};
@@ -18,7 +21,8 @@ use crate::pipeline::{SimOptions, SmtSimulator};
 
 /// How large a simulation to run; all experiment runners take one of these so the
 /// same code scales from unit-test sized runs to paper-scale runs.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct RunScale {
     /// Instruction budget per thread (the multiprogram run stops when the first
     /// thread reaches it).
@@ -70,6 +74,34 @@ impl RunScale {
     pub fn with_instructions(mut self, instructions: u64) -> Self {
         self.instructions_per_thread = instructions;
         self
+    }
+
+    /// The preset names accepted by [`RunScale::named`] (CLI `--scale` values).
+    pub const NAMES: [&'static str; 4] = ["tiny", "test", "standard", "full"];
+
+    /// Looks up a preset scale by name.
+    pub fn named(name: &str) -> Option<RunScale> {
+        match name {
+            "tiny" => Some(Self::tiny()),
+            "test" => Some(Self::test()),
+            "standard" => Some(Self::standard()),
+            "full" => Some(Self::full()),
+            _ => None,
+        }
+    }
+
+    /// Checks the scale for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a zero instruction budget.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.instructions_per_thread == 0 {
+            return Err(SimError::invalid_config(
+                "scale: instructions_per_thread must be non-zero",
+            ));
+        }
+        Ok(())
     }
 
     /// The [`SimOptions`] equivalent of this scale.
@@ -190,38 +222,40 @@ impl StCurve {
 
 /// Cache of single-threaded reference curves keyed by benchmark and the
 /// configuration parameters that affect single-threaded timing.
+///
+/// The cache is `Send + Sync` and designed to be shared across the worker
+/// threads of the parallel experiment engine: each distinct
+/// `(benchmark, configuration)` reference run is simulated **exactly once**
+/// no matter how many threads ask for it concurrently. Internally the key map
+/// is guarded by a mutex that is only held while looking up or inserting an
+/// entry's [`OnceLock`] cell; the (expensive) reference simulation itself runs
+/// outside the map lock, so threads needing different references never
+/// serialize on each other.
 #[derive(Default)]
 pub struct StReferenceCache {
-    curves: HashMap<(String, ConfigKey), StCurve>,
+    #[allow(clippy::type_complexity)]
+    curves: Mutex<HashMap<(String, ConfigKey), Arc<OnceLock<Result<StCurve, SimError>>>>>,
+    reference_runs: AtomicU64,
 }
 
-/// The configuration fields that change single-threaded behaviour (sweep knobs).
+/// Cache key: the *full* configuration normalized exactly as
+/// [`record_st_curve`] normalizes it (one thread, ICOUNT fetch), plus the run
+/// scale. Keying on the whole configuration rather than a hand-picked field
+/// subset guarantees that any knob affecting single-threaded timing —
+/// including ones added later — separates cache entries instead of silently
+/// aliasing them.
 #[derive(Clone, PartialEq, Eq, Hash, Debug)]
 struct ConfigKey {
-    memory_latency: u64,
-    rob_size: u32,
-    lsq_size: u32,
-    iq_int: u32,
-    rename_int: u32,
-    prefetcher: bool,
-    serialize: bool,
-    instructions: u64,
-    seed: u64,
+    st_config: SmtConfig,
+    scale: RunScale,
 }
 
 impl ConfigKey {
     fn new(config: &SmtConfig, scale: RunScale) -> Self {
-        ConfigKey {
-            memory_latency: config.memory_latency,
-            rob_size: config.rob_size,
-            lsq_size: config.lsq_size,
-            iq_int: config.iq_int_size,
-            rename_int: config.rename_int,
-            prefetcher: config.prefetcher.enabled,
-            serialize: config.serialize_long_latency_loads,
-            instructions: scale.instructions_per_thread,
-            seed: scale.seed,
-        }
+        let mut st_config = config.clone();
+        st_config.num_threads = 1;
+        st_config.fetch_policy = FetchPolicyKind::Icount;
+        ConfigKey { st_config, scale }
     }
 }
 
@@ -233,28 +267,60 @@ impl StReferenceCache {
 
     /// Single-threaded CPI of `benchmark` after `instructions` instructions on the
     /// single-threaded version of `config`, simulating (and caching) the reference
-    /// run on first use.
+    /// run on first use. Concurrent callers asking for the same reference block
+    /// until the one elected simulation finishes.
     ///
     /// # Errors
     ///
     /// Propagates simulation construction errors.
     pub fn st_cpi(
-        &mut self,
+        &self,
         benchmark: &str,
         config: &SmtConfig,
         scale: RunScale,
         instructions: u64,
     ) -> Result<f64, SimError> {
         let key = (benchmark.to_string(), ConfigKey::new(config, scale));
-        if !self.curves.contains_key(&key) {
-            let curve = record_st_curve(benchmark, config, scale)?;
-            self.curves.insert(key.clone(), curve);
+        let cell = {
+            let mut curves = self.curves.lock().expect("reference cache lock poisoned");
+            Arc::clone(curves.entry(key).or_default())
+        };
+        let outcome = cell.get_or_init(|| {
+            self.reference_runs.fetch_add(1, Ordering::Relaxed);
+            record_st_curve(benchmark, config, scale)
+        });
+        match outcome {
+            Ok(curve) => Ok(curve.cpi_at(instructions)),
+            Err(e) => Err(e.clone()),
         }
-        Ok(self.curves[&key].cpi_at(instructions))
+    }
+
+    /// Number of reference simulations actually performed (as opposed to
+    /// cache hits). With correct exactly-once sharing this equals
+    /// [`StReferenceCache::len`] even under concurrency.
+    pub fn reference_runs(&self) -> u64 {
+        self.reference_runs.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct `(benchmark, configuration)` references requested.
+    pub fn len(&self) -> usize {
+        self.curves
+            .lock()
+            .expect("reference cache lock poisoned")
+            .len()
+    }
+
+    /// Whether no reference has been requested yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
-fn record_st_curve(benchmark: &str, config: &SmtConfig, scale: RunScale) -> Result<StCurve, SimError> {
+fn record_st_curve(
+    benchmark: &str,
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<StCurve, SimError> {
     let mut st_config = config.clone();
     st_config.num_threads = 1;
     st_config.fetch_policy = FetchPolicyKind::Icount;
@@ -283,7 +349,8 @@ fn record_st_curve(benchmark: &str, config: &SmtConfig, scale: RunScale) -> Resu
 }
 
 /// The STP/ANTT outcome of running one multiprogram workload under one policy.
-#[derive(Clone, Debug)]
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct WorkloadResult {
     /// Workload name (benchmarks joined with dashes).
     pub workload: String,
@@ -312,24 +379,25 @@ pub fn evaluate_workload(
     scale: RunScale,
 ) -> Result<WorkloadResult, SimError> {
     let config = SmtConfig::baseline(benchmarks.len());
-    let mut cache = StReferenceCache::new();
-    evaluate_workload_with(benchmarks, policy, &config, scale, &mut cache)
+    let cache = StReferenceCache::new();
+    evaluate_workload_with(benchmarks, policy, &config, scale, &cache)
 }
 
 /// Evaluates one workload under one policy on an explicit configuration, reusing
-/// `cache` for the single-threaded reference runs.
+/// the shared `cache` for the single-threaded reference runs.
 ///
 /// # Errors
 ///
 /// Returns an error for unknown benchmarks or invalid configurations.
-pub fn evaluate_workload_with(
-    benchmarks: &[&str],
+pub fn evaluate_workload_with<S: AsRef<str>>(
+    benchmarks: &[S],
     policy: FetchPolicyKind,
     config: &SmtConfig,
     scale: RunScale,
-    cache: &mut StReferenceCache,
+    cache: &StReferenceCache,
 ) -> Result<WorkloadResult, SimError> {
-    let mt_stats = run_multiprogram(benchmarks, policy, config, scale)?;
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let mt_stats = run_multiprogram(&benchmarks, policy, config, scale)?;
     let mut st_cpis = Vec::with_capacity(benchmarks.len());
     let mut mt_cpis = Vec::with_capacity(benchmarks.len());
     for (i, benchmark) in benchmarks.iter().enumerate() {
@@ -383,7 +451,8 @@ mod tests {
     fn multiprogram_run_stops_at_first_thread_budget() {
         let scale = RunScale::tiny();
         let cfg = SmtConfig::baseline(2);
-        let stats = run_multiprogram(&["gcc", "gap"], FetchPolicyKind::Icount, &cfg, scale).unwrap();
+        let stats =
+            run_multiprogram(&["gcc", "gap"], FetchPolicyKind::Icount, &cfg, scale).unwrap();
         let max = stats
             .threads
             .iter()
@@ -395,8 +464,13 @@ mod tests {
 
     #[test]
     fn evaluate_workload_produces_sane_metrics() {
-        let r = evaluate_workload(&["gcc", "gap"], FetchPolicyKind::Icount, RunScale::tiny()).unwrap();
-        assert!(r.stp > 0.2 && r.stp <= 2.0 + 1e-9, "STP {} out of range", r.stp);
+        let r =
+            evaluate_workload(&["gcc", "gap"], FetchPolicyKind::Icount, RunScale::tiny()).unwrap();
+        assert!(
+            r.stp > 0.2 && r.stp <= 2.0 + 1e-9,
+            "STP {} out of range",
+            r.stp
+        );
         assert!(r.antt >= 0.9, "ANTT {} should show some slowdown", r.antt);
         assert_eq!(r.per_thread_ipc.len(), 2);
         assert_eq!(r.workload, "gcc-gap");
@@ -404,16 +478,57 @@ mod tests {
 
     #[test]
     fn st_cache_reuses_reference_runs() {
-        let mut cache = StReferenceCache::new();
+        let cache = StReferenceCache::new();
         let cfg = SmtConfig::baseline(2);
         let scale = RunScale::tiny();
         let a = cache.st_cpi("gcc", &cfg, scale, 1_000).unwrap();
         let b = cache.st_cpi("gcc", &cfg, scale, 1_000).unwrap();
         assert_eq!(a, b);
-        assert_eq!(cache.curves.len(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.reference_runs(), 1);
         let c = cache.st_cpi("gcc", &cfg, scale, 2_000).unwrap();
         assert!(c > 0.0);
-        assert_eq!(cache.curves.len(), 1);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.reference_runs(), 1);
+    }
+
+    #[test]
+    fn st_cache_separates_any_config_or_scale_difference() {
+        // The key is the full normalized config + scale, so knobs outside the
+        // classic sweep set (fetch width, MSHRs, warm-up) must not alias.
+        let cache = StReferenceCache::new();
+        let scale = RunScale::tiny();
+        let baseline = SmtConfig::baseline(2);
+        let mut narrow_fetch = baseline.clone();
+        narrow_fetch.fetch_width = 2;
+        let mut few_mshrs = baseline.clone();
+        few_mshrs.max_outstanding_misses = 1;
+        let mut long_warmup = scale;
+        long_warmup.warmup_instructions += 500;
+        cache.st_cpi("gcc", &baseline, scale, 1_000).unwrap();
+        cache.st_cpi("gcc", &narrow_fetch, scale, 1_000).unwrap();
+        cache.st_cpi("gcc", &few_mshrs, scale, 1_000).unwrap();
+        cache.st_cpi("gcc", &baseline, long_warmup, 1_000).unwrap();
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.reference_runs(), 4);
+        // Differences the single-thread normalization erases (thread count,
+        // fetch policy) do share an entry.
+        let four_thread = SmtConfig::baseline(4).with_policy(FetchPolicyKind::MlpFlush);
+        cache.st_cpi("gcc", &four_thread, scale, 1_000).unwrap();
+        assert_eq!(cache.len(), 4);
+    }
+
+    #[test]
+    fn run_scale_serde_round_trips_and_validates() {
+        use serde::{Deserialize as _, Serialize as _};
+        let scale = RunScale::test();
+        let round = RunScale::deserialize(&scale.serialize()).unwrap();
+        assert_eq!(round, scale);
+        assert!(RunScale::named("full").is_some());
+        assert!(RunScale::named("galactic").is_none());
+        let mut zero = RunScale::tiny();
+        zero.instructions_per_thread = 0;
+        assert!(zero.validate().is_err());
     }
 
     #[test]

@@ -30,7 +30,7 @@ impl WorkloadGroup {
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct Workload {
     /// Benchmarks, one per hardware thread.
-    pub benchmarks: Vec<&'static str>,
+    pub benchmarks: Vec<String>,
     /// Category per Tables II/III.
     pub group: WorkloadGroup,
 }
@@ -42,9 +42,12 @@ impl Workload {
     ///
     /// Returns [`SimError::UnknownBenchmark`] if any name is not a Table I
     /// benchmark, or [`SimError::InvalidWorkload`] if the list is empty.
-    pub fn new(benchmarks: Vec<&'static str>) -> Result<Self, SimError> {
+    pub fn new<S: Into<String>>(benchmarks: Vec<S>) -> Result<Self, SimError> {
+        let benchmarks: Vec<String> = benchmarks.into_iter().map(Into::into).collect();
         if benchmarks.is_empty() {
-            return Err(SimError::invalid_workload("workload needs at least one benchmark"));
+            return Err(SimError::invalid_workload(
+                "workload needs at least one benchmark",
+            ));
         }
         let mut mlp_count = 0;
         for name in &benchmarks {
@@ -214,14 +217,23 @@ mod tests {
         let all = two_thread_workloads();
         assert_eq!(all.len(), 36);
         assert_eq!(
-            all.iter().filter(|w| w.group == WorkloadGroup::IlpIntensive).count(),
+            all.iter()
+                .filter(|w| w.group == WorkloadGroup::IlpIntensive)
+                .count(),
             6
         );
         assert_eq!(
-            all.iter().filter(|w| w.group == WorkloadGroup::MlpIntensive).count(),
+            all.iter()
+                .filter(|w| w.group == WorkloadGroup::MlpIntensive)
+                .count(),
             12
         );
-        assert_eq!(all.iter().filter(|w| w.group == WorkloadGroup::Mixed).count(), 18);
+        assert_eq!(
+            all.iter()
+                .filter(|w| w.group == WorkloadGroup::Mixed)
+                .count(),
+            18
+        );
         for w in &all {
             assert_eq!(w.num_threads(), 2);
         }
@@ -255,7 +267,7 @@ mod tests {
     #[test]
     fn unknown_benchmark_rejected() {
         assert!(Workload::new(vec!["notabenchmark", "gcc"]).is_err());
-        assert!(Workload::new(vec![]).is_err());
+        assert!(Workload::new(Vec::<String>::new()).is_err());
     }
 
     #[test]

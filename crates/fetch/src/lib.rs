@@ -56,7 +56,9 @@ pub mod partition;
 pub mod policy;
 pub mod stall;
 
-pub use alternatives::{MlpBinaryFlushAtStallPolicy, MlpBinaryFlushPolicy, MlpDistanceFlushAtStallPolicy};
+pub use alternatives::{
+    MlpBinaryFlushAtStallPolicy, MlpBinaryFlushPolicy, MlpDistanceFlushAtStallPolicy,
+};
 pub use flush::FlushPolicy;
 pub use icount::IcountPolicy;
 pub use mlp::{MlpFlushPolicy, MlpStallPolicy};
@@ -82,7 +84,9 @@ pub fn build_policy(kind: FetchPolicyKind, config: &SmtConfig) -> Box<dyn FetchP
         FetchPolicyKind::MlpBinaryFlushAtStall => {
             Box::new(MlpBinaryFlushAtStallPolicy::new(config.num_threads))
         }
-        FetchPolicyKind::StaticPartition => Box::new(StaticPartitionPolicy::new(config.num_threads)),
+        FetchPolicyKind::StaticPartition => {
+            Box::new(StaticPartitionPolicy::new(config.num_threads))
+        }
         FetchPolicyKind::Dcra => Box::new(DcraPolicy::new(config.num_threads)),
     }
 }

@@ -300,8 +300,10 @@ mod tests {
             t.outstanding_long_latency_loads = 1;
             t.oldest_lll_cycle = Some(10 + i as u64);
         }
-        let _ = p.on_long_latency_detected(ThreadId::new(0), 0x40, SeqNum(10), SeqNum(10), 0, false);
-        let _ = p.on_long_latency_detected(ThreadId::new(1), 0x44, SeqNum(10), SeqNum(10), 0, false);
+        let _ =
+            p.on_long_latency_detected(ThreadId::new(0), 0x40, SeqNum(10), SeqNum(10), 0, false);
+        let _ =
+            p.on_long_latency_detected(ThreadId::new(1), 0x44, SeqNum(10), SeqNum(10), 0, false);
         p.on_fetch(ThreadId::new(0), SeqNum(10));
         p.on_fetch(ThreadId::new(1), SeqNum(10));
         assert_eq!(p.fetch_priority(&s), vec![ThreadId::new(0)]);

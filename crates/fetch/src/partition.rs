@@ -30,7 +30,11 @@ impl FetchPolicy for StaticPartitionPolicy {
         icount_order(snapshot)
     }
 
-    fn resource_caps(&mut self, _snapshot: &SmtSnapshot, config: &SmtConfig) -> Option<Vec<ResourceCaps>> {
+    fn resource_caps(
+        &mut self,
+        _snapshot: &SmtSnapshot,
+        config: &SmtConfig,
+    ) -> Option<Vec<ResourceCaps>> {
         let n = self.num_threads as u32;
         let caps = ResourceCaps {
             rob: Some((config.rob_size / n).max(1)),
@@ -98,7 +102,11 @@ impl FetchPolicy for DcraPolicy {
         icount_order(snapshot)
     }
 
-    fn resource_caps(&mut self, snapshot: &SmtSnapshot, config: &SmtConfig) -> Option<Vec<ResourceCaps>> {
+    fn resource_caps(
+        &mut self,
+        snapshot: &SmtSnapshot,
+        config: &SmtConfig,
+    ) -> Option<Vec<ResourceCaps>> {
         let slow_flags: Vec<bool> = snapshot
             .threads
             .iter()

@@ -67,7 +67,14 @@ pub trait FetchPolicy: Send {
         predicted_mlp_distance: u32,
         predicted_has_mlp: bool,
     ) {
-        let _ = (thread, pc, seq, predicted_long_latency, predicted_mlp_distance, predicted_has_mlp);
+        let _ = (
+            thread,
+            pc,
+            seq,
+            predicted_long_latency,
+            predicted_mlp_distance,
+            predicted_has_mlp,
+        );
     }
 
     /// A load executed and turned out *not* to be long latency.
@@ -90,7 +97,14 @@ pub trait FetchPolicy: Send {
         predicted_mlp_distance: u32,
         predicted_has_mlp: bool,
     ) -> Option<FlushRequest> {
-        let _ = (thread, pc, seq, latest_fetched_seq, predicted_mlp_distance, predicted_has_mlp);
+        let _ = (
+            thread,
+            pc,
+            seq,
+            latest_fetched_seq,
+            predicted_mlp_distance,
+            predicted_has_mlp,
+        );
         None
     }
 
@@ -114,7 +128,11 @@ pub trait FetchPolicy: Send {
     }
 
     /// Per-thread occupancy caps for explicit resource management policies.
-    fn resource_caps(&mut self, snapshot: &SmtSnapshot, config: &SmtConfig) -> Option<Vec<ResourceCaps>> {
+    fn resource_caps(
+        &mut self,
+        snapshot: &SmtSnapshot,
+        config: &SmtConfig,
+    ) -> Option<Vec<ResourceCaps>> {
         let _ = (snapshot, config);
         None
     }
@@ -137,7 +155,10 @@ pub fn icount_order(snapshot: &SmtSnapshot) -> Vec<ThreadId> {
 /// ordering of threads, with gated threads removed — unless *every* active thread
 /// is both gated and stalled on a long-latency load, in which case the thread
 /// whose long-latency load is oldest is re-admitted (COT, Cazorla et al. 2004a).
-pub fn gated_icount_order(snapshot: &SmtSnapshot, gated: impl Fn(ThreadId) -> bool) -> Vec<ThreadId> {
+pub fn gated_icount_order(
+    snapshot: &SmtSnapshot,
+    gated: impl Fn(ThreadId) -> bool,
+) -> Vec<ThreadId> {
     let order = icount_order(snapshot);
     let allowed: Vec<ThreadId> = order.iter().copied().filter(|t| !gated(*t)).collect();
     if !allowed.is_empty() {

@@ -157,6 +157,9 @@ mod tests {
     #[test]
     fn kinds_and_names() {
         assert_eq!(StallPolicy::detected(2).kind(), FetchPolicyKind::Stall);
-        assert_eq!(StallPolicy::predictive(2).kind(), FetchPolicyKind::PredictiveStall);
+        assert_eq!(
+            StallPolicy::predictive(2).kind(),
+            FetchPolicyKind::PredictiveStall
+        );
     }
 }

@@ -84,8 +84,12 @@ impl MemoryHierarchy {
             l1d: SetAssocCache::new(&config.l1d),
             l2: SetAssocCache::new(&config.l2),
             l3: SetAssocCache::new(&config.l3),
-            itlb: (0..config.num_threads).map(|_| Tlb::new(&config.itlb)).collect(),
-            dtlb: (0..config.num_threads).map(|_| Tlb::new(&config.dtlb)).collect(),
+            itlb: (0..config.num_threads)
+                .map(|_| Tlb::new(&config.itlb))
+                .collect(),
+            dtlb: (0..config.num_threads)
+                .map(|_| Tlb::new(&config.dtlb))
+                .collect(),
             prefetcher: StreamBufferPrefetcher::new(
                 config.prefetcher,
                 config.l1d.line_bytes as u64,
@@ -107,7 +111,13 @@ impl MemoryHierarchy {
 
     /// Performs a data load issued by the static load at `pc` at `cycle` and
     /// returns its timing/classification.
-    pub fn load_access(&mut self, thread: ThreadId, pc: u64, addr: u64, cycle: u64) -> LoadAccessResult {
+    pub fn load_access(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        addr: u64,
+        cycle: u64,
+    ) -> LoadAccessResult {
         let paddr = self.physical(thread, addr);
         let mut latency = 0u64;
         let dtlb_hit = self.dtlb[thread.index()].access(paddr);
@@ -185,7 +195,11 @@ impl MemoryHierarchy {
     /// "MLP impact" characterization: when enabled, a long-latency load cannot begin
     /// its memory access before the previous long-latency load of the same thread
     /// has completed.
-    fn finish_serialized(&mut self, thread: ThreadId, mut result: LoadAccessResult) -> LoadAccessResult {
+    fn finish_serialized(
+        &mut self,
+        thread: ThreadId,
+        mut result: LoadAccessResult,
+    ) -> LoadAccessResult {
         if result.long_latency {
             if self.serialize_long_latency {
                 let prev = self.last_lll_completion[thread.index()];
@@ -373,7 +387,10 @@ mod tests {
                 prefetch_hits += 1;
             }
         }
-        assert!(prefetch_hits > 10, "stream should be prefetched, got {prefetch_hits}");
+        assert!(
+            prefetch_hits > 10,
+            "stream should be prefetched, got {prefetch_hits}"
+        );
     }
 
     #[test]

@@ -71,7 +71,10 @@ impl StreamBufferPrefetcher {
         if config.enabled {
             assert!(config.stream_buffers > 0, "prefetcher needs stream buffers");
             assert!(config.entries_per_buffer > 0, "stream buffers need entries");
-            assert!(config.stride_table_entries > 0, "stride table needs entries");
+            assert!(
+                config.stride_table_entries > 0,
+                "stride table needs entries"
+            );
         }
         StreamBufferPrefetcher {
             stride_table: vec![StrideEntry::default(); config.stride_table_entries.max(1) as usize],
@@ -254,11 +257,13 @@ mod tests {
 
     #[test]
     fn disabled_prefetcher_is_inert() {
-        let mut cfg = PrefetcherConfig::default();
-        cfg.enabled = false;
+        let cfg = PrefetcherConfig {
+            enabled: false,
+            ..PrefetcherConfig::default()
+        };
         let mut p = StreamBufferPrefetcher::new(cfg, 64, 350);
         let t = ThreadId::new(0);
-        p.train(t, 0x10, 0x1000, );
+        p.train(t, 0x10, 0x1000);
         p.on_demand_miss(t, 0x10, 0x1000, 0);
         assert!(p.probe(t, 0x1040, 10).is_none());
         assert_eq!(p.prefetches_issued(), 0);

@@ -41,10 +41,12 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
-pub mod llsr;
 pub mod lll;
+pub mod llsr;
 pub mod mlp;
 
-pub use lll::{LastValuePredictor, LongLatencyPredictor, MissPatternPredictor, TwoBitMissPredictor};
+pub use lll::{
+    LastValuePredictor, LongLatencyPredictor, MissPatternPredictor, TwoBitMissPredictor,
+};
 pub use llsr::{Llsr, MlpObservation};
 pub use mlp::{BinaryMlpPredictor, MlpDistancePredictor};

@@ -52,7 +52,10 @@ impl MissPatternPredictor {
     /// Panics if `entries` is zero or `counter_bits` is zero or greater than 8.
     pub fn with_counter_bits(entries: u32, counter_bits: u32) -> Self {
         assert!(entries > 0, "predictor needs at least one entry");
-        assert!(counter_bits > 0 && counter_bits <= 8, "counter bits must be in 1..=8");
+        assert!(
+            counter_bits > 0 && counter_bits <= 8,
+            "counter bits must be in 1..=8"
+        );
         MissPatternPredictor {
             period: vec![0; entries as usize],
             since_last: vec![0; entries as usize],
@@ -184,7 +187,12 @@ mod tests {
 
     /// Feeds a periodic hit/miss pattern (period `period`, one miss per period) and
     /// returns the prediction accuracy over the last `eval` references.
-    fn run_periodic<P: LongLatencyPredictor>(p: &mut P, period: usize, total: usize, eval: usize) -> f64 {
+    fn run_periodic<P: LongLatencyPredictor>(
+        p: &mut P,
+        period: usize,
+        total: usize,
+        eval: usize,
+    ) -> f64 {
         let mut correct = 0;
         for i in 0..total {
             let actual_miss = i % period == period - 1;
@@ -201,7 +209,10 @@ mod tests {
     fn miss_pattern_learns_periodic_misses() {
         let mut p = MissPatternPredictor::new(2048);
         let acc = run_periodic(&mut p, 10, 500, 300);
-        assert!(acc > 0.95, "miss pattern predictor should nail periodic misses, got {acc}");
+        assert!(
+            acc > 0.95,
+            "miss pattern predictor should nail periodic misses, got {acc}"
+        );
     }
 
     #[test]
@@ -210,7 +221,10 @@ mod tests {
         let mut lv = LastValuePredictor::new(2048);
         let acc_mp = run_periodic(&mut mp, 8, 400, 300);
         let acc_lv = run_periodic(&mut lv, 8, 400, 300);
-        assert!(acc_mp > acc_lv, "miss pattern {acc_mp} should beat last value {acc_lv}");
+        assert!(
+            acc_mp > acc_lv,
+            "miss pattern {acc_mp} should beat last value {acc_lv}"
+        );
     }
 
     #[test]
@@ -229,7 +243,7 @@ mod tests {
         p.update(0x40, true);
         assert!(p.predict(0x40));
         p.update(0x40, true); // saturate at strongly-miss
-        // One hit does not flip a strongly-miss counter.
+                              // One hit does not flip a strongly-miss counter.
         p.update(0x40, false);
         assert!(p.predict(0x40));
         p.update(0x40, false);
@@ -262,7 +276,10 @@ mod tests {
         }
         // Exactly one stale "miss" prediction fires (at the learned run length);
         // after that the predictor returns to predicting hits.
-        assert!(wrong <= 1, "isolated miss poisoned the entry: {wrong} wrong predictions");
+        assert!(
+            wrong <= 1,
+            "isolated miss poisoned the entry: {wrong} wrong predictions"
+        );
     }
 
     #[test]

@@ -152,8 +152,8 @@ mod tests {
         }
         let obs = llsr.commit(0x100, false).unwrap();
         assert_eq!(obs.mlp_distance, 5); // positions: 2 and 5 after the head
-        // Keep committing until the next long-latency load (position 2 originally)
-        // reaches the head; its own distance is 3 (the load originally at pos 5).
+                                         // Keep committing until the next long-latency load (position 2 originally)
+                                         // reaches the head; its own distance is 3 (the load originally at pos 5).
         let mut next = None;
         for i in 0..2u64 {
             next = llsr.commit(0x200 + 4 * i, false);

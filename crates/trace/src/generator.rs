@@ -188,7 +188,7 @@ impl SyntheticTraceGenerator {
     fn dep_distance(&mut self) -> u32 {
         let mean = self.profile.dep_distance_mean;
         let d = self.rng.gen_range(1.0..(2.0 * mean).max(2.0));
-        d.round().max(1.0).min(48.0) as u32
+        d.round().clamp(1.0, 48.0) as u32
     }
 
     fn hit_load(&mut self) -> TraceOp {
@@ -200,7 +200,9 @@ impl SyntheticTraceGenerator {
     }
 
     fn store(&mut self) -> TraceOp {
-        let slot = self.rng.gen_range(0..(self.profile.static_mem_pcs as u64 / 2).max(1));
+        let slot = self
+            .rng
+            .gen_range(0..(self.profile.static_mem_pcs as u64 / 2).max(1));
         let pc = CODE_STORE_BASE + slot * 8;
         let addr = self.hot_address();
         let dep = self.dep_distance();
@@ -366,7 +368,10 @@ mod tests {
         let bf = branches as f64 / ops.len() as f64;
         assert!((lf - p.load_fraction).abs() < 0.05, "load fraction {lf}");
         assert!((sf - p.store_fraction).abs() < 0.05, "store fraction {sf}");
-        assert!((bf - p.branch_fraction).abs() < 0.05, "branch fraction {bf}");
+        assert!(
+            (bf - p.branch_fraction).abs() < 0.05,
+            "branch fraction {bf}"
+        );
     }
 
     #[test]
@@ -394,7 +399,10 @@ mod tests {
             let _ = g.next_op();
         }
         let rate = g.emitted_long_latency() as f64 * 1000.0 / n as f64;
-        assert!(rate < 0.5, "gcc should have almost no long-latency loads, got {rate}");
+        assert!(
+            rate < 0.5,
+            "gcc should have almost no long-latency loads, got {rate}"
+        );
     }
 
     #[test]
@@ -404,7 +412,11 @@ mod tests {
         for _ in 0..100_000 {
             let op = g.next_op();
             if op.kind == OpKind::Load && op.pc >= CODE_MISSLOAD_BASE {
-                assert_eq!(op.src_deps, [None, None], "delinquent loads must be independent");
+                assert_eq!(
+                    op.src_deps,
+                    [None, None],
+                    "delinquent loads must be independent"
+                );
                 seen += 1;
             }
         }

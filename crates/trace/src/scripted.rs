@@ -125,7 +125,10 @@ mod tests {
 
     #[test]
     fn looping_trace_repeats() {
-        let mut t = ScriptedTrace::looping("loop", vec![TraceOp::int_alu(0x4), TraceOp::branch(0x8, true, 0x4)]);
+        let mut t = ScriptedTrace::looping(
+            "loop",
+            vec![TraceOp::int_alu(0x4), TraceOp::branch(0x8, true, 0x4)],
+        );
         let first: Vec<_> = (0..4).map(|_| t.next_op().pc).collect();
         assert_eq!(first, vec![0x4, 0x8, 0x4, 0x8]);
         assert_eq!(t.name(), "loop");

@@ -11,6 +11,7 @@ use crate::profile::{BenchmarkProfile, WorkloadClass};
 use smt_types::SimError;
 
 /// Integer-benchmark defaults for the instruction mix.
+#[allow(clippy::too_many_arguments)]
 fn int_profile(
     name: &str,
     input: &str,
@@ -159,14 +160,20 @@ mod tests {
     fn table1_classification_matches_paper() {
         let mlp = mlp_intensive_benchmarks();
         for expected in [
-            "mcf", "ammp", "applu", "apsi", "equake", "fma3d", "galgel", "lucas", "mesa",
-            "mgrid", "swim", "wupwise",
+            "mcf", "ammp", "applu", "apsi", "equake", "fma3d", "galgel", "lucas", "mesa", "mgrid",
+            "swim", "wupwise",
         ] {
-            assert!(mlp.iter().any(|n| n == expected), "{expected} should be MLP-intensive");
+            assert!(
+                mlp.iter().any(|n| n == expected),
+                "{expected} should be MLP-intensive"
+            );
         }
         assert_eq!(mlp.len(), 12);
         for ilp in ["bzip2", "gap", "perlbmk", "art", "facerec", "sixtrack"] {
-            assert!(!mlp.iter().any(|n| n == ilp), "{ilp} should be ILP-intensive");
+            assert!(
+                !mlp.iter().any(|n| n == ilp),
+                "{ilp} should be ILP-intensive"
+            );
         }
     }
 
@@ -190,8 +197,14 @@ mod tests {
     fn figure4_set_is_mlp_intensive_with_expected_spans() {
         let lucas = benchmark("lucas").unwrap();
         let mcf = benchmark("mcf").unwrap();
-        assert!(lucas.burst_span < 40, "lucas exposes its MLP over short distances");
-        assert!(mcf.burst_span > 100, "mcf exposes its MLP over long distances");
+        assert!(
+            lucas.burst_span < 40,
+            "lucas exposes its MLP over short distances"
+        );
+        assert!(
+            mcf.burst_span > 100,
+            "mcf exposes its MLP over long distances"
+        );
         for name in figure4_benchmarks() {
             assert!(benchmark(name).unwrap().is_mlp_intensive());
         }

@@ -5,7 +5,8 @@ use serde::{Deserialize, Serialize};
 use crate::error::SimError;
 
 /// Geometry and latency of one cache level.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -38,27 +39,34 @@ impl CacheConfig {
     /// a power of two.
     pub fn validate(&self) -> Result<(), SimError> {
         if self.size_bytes == 0 || self.associativity == 0 || self.line_bytes == 0 {
-            return Err(SimError::invalid_config("cache geometry fields must be non-zero"));
+            return Err(SimError::invalid_config(
+                "cache geometry fields must be non-zero",
+            ));
         }
         let way_bytes = self.associativity as u64 * self.line_bytes as u64;
-        if self.size_bytes % way_bytes != 0 {
+        if !self.size_bytes.is_multiple_of(way_bytes) {
             return Err(SimError::invalid_config(
                 "cache size must be a multiple of associativity * line size",
             ));
         }
         let sets = self.size_bytes / way_bytes;
         if !sets.is_power_of_two() {
-            return Err(SimError::invalid_config("cache set count must be a power of two"));
+            return Err(SimError::invalid_config(
+                "cache set count must be a power of two",
+            ));
         }
         if !self.line_bytes.is_power_of_two() {
-            return Err(SimError::invalid_config("cache line size must be a power of two"));
+            return Err(SimError::invalid_config(
+                "cache line size must be a power of two",
+            ));
         }
         Ok(())
     }
 }
 
 /// TLB geometry (fully associative in the baseline).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct TlbConfig {
     /// Number of entries.
     pub entries: u32,
@@ -70,7 +78,8 @@ pub struct TlbConfig {
 }
 
 /// Hardware stream-buffer prefetcher configuration (Sherwood et al. style).
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct PrefetcherConfig {
     /// Whether the prefetcher is enabled (the Figure 5 experiment turns it off).
     pub enabled: bool,
@@ -102,7 +111,10 @@ impl Default for PrefetcherConfig {
 /// The first six correspond to the policies compared in Section 6.3; the
 /// remaining variants cover the Section 6.5 alternatives and the Section 6.6
 /// explicit resource-management schemes.
-#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+///
+/// Serializes as the short machine-readable [`FetchPolicyKind::name`]
+/// (e.g. `"mlp-flush"`), which is also what spec files and the CLI accept.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum FetchPolicyKind {
     /// ICOUNT 2.4 (Tullsen et al. 1996) — the baseline.
     Icount,
@@ -131,6 +143,21 @@ pub enum FetchPolicyKind {
 }
 
 impl FetchPolicyKind {
+    /// Every implemented fetch policy, in presentation order.
+    pub const ALL: [FetchPolicyKind; 11] = [
+        FetchPolicyKind::Icount,
+        FetchPolicyKind::Stall,
+        FetchPolicyKind::PredictiveStall,
+        FetchPolicyKind::Flush,
+        FetchPolicyKind::MlpStall,
+        FetchPolicyKind::MlpFlush,
+        FetchPolicyKind::MlpBinaryFlush,
+        FetchPolicyKind::MlpDistanceFlushAtStall,
+        FetchPolicyKind::MlpBinaryFlushAtStall,
+        FetchPolicyKind::StaticPartition,
+        FetchPolicyKind::Dcra,
+    ];
+
     /// All policies evaluated in the main comparison (Figures 9–14).
     pub const MAIN_COMPARISON: [FetchPolicyKind; 6] = [
         FetchPolicyKind::Icount,
@@ -157,10 +184,18 @@ impl FetchPolicyKind {
             FetchPolicyKind::Dcra => "dcra",
         }
     }
+
+    /// Parses a [`FetchPolicyKind::name`] string back into a policy.
+    pub fn from_name(name: &str) -> Option<FetchPolicyKind> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
 }
 
+serde::named_enum_serde!(FetchPolicyKind, "fetch policy");
+
 /// Full SMT processor configuration, defaulting to Table IV of the paper.
-#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SmtConfig {
     /// Number of hardware threads.
     pub num_threads: usize,
@@ -245,7 +280,7 @@ impl SmtConfig {
     /// Panics if `num_threads` is zero or exceeds [`crate::ThreadId::MAX_THREADS`].
     pub fn baseline(num_threads: usize) -> Self {
         assert!(
-            num_threads >= 1 && num_threads <= crate::ThreadId::MAX_THREADS,
+            (1..=crate::ThreadId::MAX_THREADS).contains(&num_threads),
             "unsupported thread count {num_threads}"
         );
         SmtConfig {
@@ -387,7 +422,9 @@ impl SmtConfig {
             return Err(SimError::invalid_config("queue sizes must be non-zero"));
         }
         if self.int_alus == 0 || self.ldst_units == 0 || self.fp_units == 0 {
-            return Err(SimError::invalid_config("functional unit counts must be non-zero"));
+            return Err(SimError::invalid_config(
+                "functional unit counts must be non-zero",
+            ));
         }
         if self.max_outstanding_misses == 0 {
             return Err(SimError::invalid_config("need at least one MSHR"));
@@ -528,5 +565,48 @@ mod tests {
         ];
         let names: HashSet<_> = all.iter().map(|p| p.name()).collect();
         assert_eq!(names.len(), all.len());
+    }
+
+    #[test]
+    fn policy_serde_uses_short_names() {
+        for policy in FetchPolicyKind::ALL {
+            let value = policy.serialize();
+            assert_eq!(value, serde::Value::Str(policy.name().to_string()));
+            assert_eq!(FetchPolicyKind::deserialize(&value).unwrap(), policy);
+            assert_eq!(FetchPolicyKind::from_name(policy.name()), Some(policy));
+        }
+        let err = FetchPolicyKind::deserialize(&serde::Value::Str("warp-drive".into()))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("warp-drive") && err.contains("mlp-flush"),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn config_serde_round_trips() {
+        let config = SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::MlpFlush)
+            .with_memory_latency(600);
+        let round = SmtConfig::deserialize(&config.serialize()).unwrap();
+        assert_eq!(round, config);
+    }
+
+    #[test]
+    fn unknown_config_fields_rejected_by_name() {
+        let mut value = SmtConfig::baseline(2).serialize();
+        if let serde::Value::Map(entries) = &mut value {
+            entries.push(("robb_size".to_string(), serde::Value::Int(64)));
+        }
+        let err = SmtConfig::deserialize(&value).unwrap_err().to_string();
+        assert!(
+            err.contains("robb_size"),
+            "error should name the field: {err}"
+        );
+        assert!(
+            err.contains("SmtConfig"),
+            "error should name the container: {err}"
+        );
     }
 }

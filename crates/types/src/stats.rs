@@ -305,6 +305,9 @@ impl MachineStats {
 
 #[cfg(test)]
 mod tests {
+    // The tests intentionally build up sparse counter records field by field.
+    #![allow(clippy::field_reassign_with_default)]
+
     use super::*;
 
     #[test]

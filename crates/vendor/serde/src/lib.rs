@@ -1,0 +1,496 @@
+//! Offline, API-compatible subset of `serde`.
+//!
+//! This workspace builds without network access, so instead of the real
+//! `serde` a small self-describing data model is vendored: types serialize
+//! into a [`Value`] tree and deserialize back out of one. The companion
+//! `serde_derive` crate provides `#[derive(Serialize, Deserialize)]` for
+//! structs with named fields and for enums with unit variants, including
+//! support for the `#[serde(deny_unknown_fields)]` container attribute.
+//! `serde_json` and `toml` (also vendored) turn [`Value`] trees into their
+//! respective text formats.
+//!
+//! Differences from real serde that matter to users of this workspace:
+//!
+//! * `Option` fields serialize to nothing when `None` and default to `None`
+//!   when missing (i.e. they behave as `skip_serializing_if = "Option::is_none"`
+//!   plus `default`), which keeps TOML output valid.
+//! * Unknown fields are only rejected for containers annotated with
+//!   `#[serde(deny_unknown_fields)]`, matching serde's semantics.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// A self-describing value: the intermediate representation between Rust
+/// types and text formats (JSON, TOML).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`None`, JSON `null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer. Integers representable as `i64` always use this
+    /// variant (the canonical form); see [`Value::UInt`].
+    Int(i64),
+    /// An unsigned integer above `i64::MAX`; only produced for such values,
+    /// so every integer has exactly one representation.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered map with string keys (field order is preserved).
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Returns `true` for [`Value::Null`].
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in a map's entries (first match wins).
+    pub fn map_get<'a>(entries: &'a [(String, Value)], key: &str) -> Option<&'a Value> {
+        entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Human-readable name of the value's type, for error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::Str(_) => "a string",
+            Value::Seq(_) => "a sequence",
+            Value::Map(_) => "a map",
+        }
+    }
+}
+
+/// Serialization/deserialization error with a dotted field path for context.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error from a message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Error for a required field that is absent.
+    pub fn missing_field(field: &str, container: &str) -> Self {
+        Error::custom(format!("missing field `{field}` in `{container}`"))
+    }
+
+    /// Error for a field the container does not declare
+    /// (`#[serde(deny_unknown_fields)]`).
+    pub fn unknown_field(field: &str, container: &str, expected: &[&str]) -> Self {
+        Error::custom(format!(
+            "unknown field `{field}` in `{container}`, expected one of: {}",
+            expected.join(", ")
+        ))
+    }
+
+    /// Prefixes the message with a field name, building a dotted path as the
+    /// error propagates outward (e.g. `l2.size_bytes: ...`).
+    pub fn in_field(self, field: &str) -> Self {
+        Error {
+            message: format!("{field}: {}", self.message),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types that can be turned into a [`Value`] tree.
+pub trait Serialize {
+    /// Serializes `self` into a [`Value`].
+    fn serialize(&self) -> Value;
+}
+
+/// Types that can be reconstructed from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Deserializes an instance from `value`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] describing the first mismatch between `value`
+    /// and the expected shape, with a dotted field path.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
+}
+
+/// Implements [`Serialize`]/[`Deserialize`] for a unit enum following this
+/// workspace's named-enum convention: an inherent `name(self) -> &'static str`,
+/// `from_name(&str) -> Option<Self>`, and an `ALL` array of every variant.
+/// Values serialize as the short name string; unknown names produce an error
+/// listing the valid ones. `$what` is the human-readable noun used in error
+/// messages (e.g. `"fetch policy"`).
+#[macro_export]
+macro_rules! named_enum_serde {
+    ($ty:ty, $what:expr) => {
+        impl $crate::Serialize for $ty {
+            fn serialize(&self) -> $crate::Value {
+                $crate::Value::Str(self.name().to_string())
+            }
+        }
+
+        impl $crate::Deserialize for $ty {
+            fn deserialize(value: &$crate::Value) -> ::std::result::Result<Self, $crate::Error> {
+                let text = match value {
+                    $crate::Value::Str(s) => s.as_str(),
+                    other => {
+                        return ::std::result::Result::Err($crate::Error::custom(format!(
+                            "invalid type: expected a {} name string, found {}",
+                            $what,
+                            other.type_name()
+                        )))
+                    }
+                };
+                <$ty>::from_name(text).ok_or_else(|| {
+                    let names: ::std::vec::Vec<&str> =
+                        <$ty>::ALL.iter().map(|v| v.name()).collect();
+                    $crate::Error::custom(format!(
+                        "unknown {} `{text}`, expected one of: {}",
+                        $what,
+                        names.join(", ")
+                    ))
+                })
+            }
+        }
+    };
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::custom(format!(
+                "invalid type: expected a boolean, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+macro_rules! impl_int_deserialize {
+    ($t:ty) => {
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                match value {
+                    Value::Int(i) => <$t>::try_from(*i).map_err(|_| {
+                        Error::custom(format!("integer {i} out of range for {}", stringify!($t)))
+                    }),
+                    Value::UInt(u) => <$t>::try_from(*u).map_err(|_| {
+                        Error::custom(format!("integer {u} out of range for {}", stringify!($t)))
+                    }),
+                    other => Err(Error::custom(format!(
+                        "invalid type: expected an integer, found {}",
+                        other.type_name()
+                    ))),
+                }
+            }
+        }
+    };
+}
+
+macro_rules! impl_signed_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+        impl_int_deserialize!($t);
+    )*};
+}
+
+macro_rules! impl_unsigned_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                // Canonical form: Int whenever the value fits, UInt above
+                // i64::MAX (matching what the JSON/TOML parsers produce).
+                match i64::try_from(*self) {
+                    Ok(i) => Value::Int(i),
+                    Err(_) => Value::UInt(*self as u64),
+                }
+            }
+        }
+        impl_int_deserialize!($t);
+    )*};
+}
+
+impl_signed_int!(i8, i16, i32, i64, isize);
+impl_unsigned_int!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::UInt(u) => Ok(*u as f64),
+            other => Err(Error::custom(format!(
+                "invalid type: expected a number, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        f64::deserialize(value).map(|f| f as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(Error::custom(format!(
+                "invalid type: expected a string, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Seq(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, v)| T::deserialize(v).map_err(|e| e.in_field(&format!("[{i}]"))))
+                .collect(),
+            other => Err(Error::custom(format!(
+                "invalid type: expected a sequence, found {}",
+                other.type_name()
+            ))),
+        }
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::deserialize(value)?;
+        let got = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected an array of length {N}, found {got}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                let items = value.as_seq().ok_or_else(|| {
+                    Error::custom(format!(
+                        "invalid type: expected a {LEN}-element sequence, found {}",
+                        value.type_name()
+                    ))
+                })?;
+                if items.len() != LEN {
+                    return Err(Error::custom(format!(
+                        "expected a {LEN}-element sequence, found {} elements",
+                        items.len()
+                    )));
+                }
+                Ok(($($name::deserialize(&items[$idx])
+                    .map_err(|e| e.in_field(&format!("[{}]", $idx)))?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::deserialize(&42u32.serialize()).unwrap(), 42);
+        assert!(bool::deserialize(&true.serialize()).unwrap());
+        assert_eq!(f64::deserialize(&1.5f64.serialize()).unwrap(), 1.5);
+        assert_eq!(
+            String::deserialize(&"hi".to_string().serialize()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_none_is_null_and_defaults() {
+        let none: Option<u32> = None;
+        assert!(none.serialize().is_null());
+        assert_eq!(Option::<u32>::deserialize(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::deserialize(&Value::Int(3)).unwrap(), Some(3));
+    }
+
+    #[test]
+    fn vec_and_array_round_trip() {
+        let v = vec![1u64, 2, 3];
+        assert_eq!(Vec::<u64>::deserialize(&v.serialize()).unwrap(), v);
+        let a: [Option<u32>; 2] = [Some(7), None];
+        assert_eq!(<[Option<u32>; 2]>::deserialize(&a.serialize()).unwrap(), a);
+        assert!(<[u32; 2]>::deserialize(&vec![1u32].serialize()).is_err());
+    }
+
+    #[test]
+    fn tuple_round_trip() {
+        let t = (8u32, 0.25f64);
+        assert_eq!(<(u32, f64)>::deserialize(&t.serialize()).unwrap(), t);
+    }
+
+    #[test]
+    fn out_of_range_int_rejected() {
+        assert!(u8::deserialize(&Value::Int(300)).is_err());
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+        assert!(i64::deserialize(&Value::UInt(u64::MAX)).is_err());
+    }
+
+    #[test]
+    fn large_unsigned_values_round_trip_without_panicking() {
+        assert_eq!(u64::MAX.serialize(), Value::UInt(u64::MAX));
+        assert_eq!(u64::deserialize(&Value::UInt(u64::MAX)).unwrap(), u64::MAX);
+        // Values fitting i64 keep the canonical Int form.
+        assert_eq!(5u64.serialize(), Value::Int(5));
+        assert_eq!((i64::MAX as u64).serialize(), Value::Int(i64::MAX));
+        assert_eq!(
+            f64::deserialize(&Value::UInt(u64::MAX)).unwrap(),
+            u64::MAX as f64
+        );
+    }
+
+    #[test]
+    fn error_paths_accumulate() {
+        let e = Error::custom("boom").in_field("size_bytes").in_field("l2");
+        assert_eq!(e.to_string(), "l2: size_bytes: boom");
+    }
+}

@@ -1,0 +1,365 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored offline serde subset.
+//!
+//! Supports exactly the shapes this workspace uses:
+//!
+//! * structs with named fields (any field type implementing the traits;
+//!   `Option<...>` fields are skipped when `None` and default to `None` when
+//!   missing),
+//! * enums whose variants are all unit variants (serialized as the variant
+//!   name string),
+//! * the `#[serde(deny_unknown_fields)]` container attribute.
+//!
+//! Generics, tuple structs, and data-carrying enum variants are rejected with
+//! a compile error. The implementation hand-parses the derive input token
+//! stream (no `syn`/`quote` available offline) and emits the impl as source
+//! text.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Field {
+    name: String,
+    optional: bool,
+}
+
+enum Body {
+    Struct(Vec<Field>),
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    deny_unknown_fields: bool,
+    body: Body,
+}
+
+/// Derives the vendored `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_serialize(&item).parse().expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+/// Derives the vendored `serde::Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => gen_deserialize(&item)
+            .parse()
+            .expect("generated impl parses"),
+        Err(msg) => compile_error(&msg),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("error tokens parse")
+}
+
+/// Scans one outer attribute group (the `[...]` after `#`) for
+/// `serde(deny_unknown_fields)`.
+fn attr_denies_unknown_fields(group: &proc_macro::Group) -> bool {
+    let mut tokens = group.stream().into_iter();
+    match tokens.next() {
+        Some(TokenTree::Ident(ident)) if ident.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.next() {
+        Some(TokenTree::Group(inner)) => inner
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(i) if i.to_string() == "deny_unknown_fields")),
+        _ => false,
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let mut tokens = input.into_iter().peekable();
+    let mut deny_unknown_fields = false;
+    let mut is_enum = false;
+
+    // Outer attributes, visibility, then the `struct` / `enum` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    deny_unknown_fields |= attr_denies_unknown_fields(&g);
+                }
+                _ => return Err("malformed attribute".into()),
+            },
+            Some(TokenTree::Ident(ident)) => match ident.to_string().as_str() {
+                "pub" => {
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                "struct" => break,
+                "enum" => {
+                    is_enum = true;
+                    break;
+                }
+                other => return Err(format!("unexpected token `{other}` before struct/enum")),
+            },
+            Some(other) => return Err(format!("unexpected token `{other}` before struct/enum")),
+            None => return Err("expected a struct or enum".into()),
+        }
+    }
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(ident)) => ident.to_string(),
+        _ => return Err("expected the type name".into()),
+    };
+
+    let body_group = match tokens.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            return Err(format!("cannot derive for generic type `{name}`"))
+        }
+        _ => {
+            return Err(format!(
+                "cannot derive for `{name}`: only brace-bodied structs and enums are supported"
+            ))
+        }
+    };
+
+    let body = if is_enum {
+        Body::Enum(parse_variants(body_group.stream(), &name)?)
+    } else {
+        Body::Struct(parse_fields(body_group.stream(), &name)?)
+    };
+
+    Ok(Item {
+        name,
+        deny_unknown_fields,
+        body,
+    })
+}
+
+fn parse_fields(stream: TokenStream, container: &str) -> Result<Vec<Field>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        // Attributes and visibility before the field name.
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                    match tokens.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                        _ => return Err(format!("malformed field attribute in `{container}`")),
+                    }
+                }
+                Some(TokenTree::Ident(ident)) if ident.to_string() == "pub" => {
+                    tokens.next();
+                    if matches!(tokens.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                    {
+                        tokens.next();
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "expected a field name in `{container}`, found `{other}`"
+                ))
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => {
+                return Err(format!(
+                    "expected `:` after field `{name}` in `{container}` (tuple structs unsupported)"
+                ))
+            }
+        }
+        // Consume the type tokens up to the next comma at angle-bracket depth 0.
+        let mut first_type_token: Option<String> = None;
+        let mut angle_depth: i32 = 0;
+        loop {
+            match tokens.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' && angle_depth == 0 => {
+                    tokens.next();
+                    break;
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                    angle_depth += 1;
+                    tokens.next();
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                    angle_depth -= 1;
+                    tokens.next();
+                }
+                Some(tt) => {
+                    if first_type_token.is_none() {
+                        first_type_token = Some(tt.to_string());
+                    }
+                    tokens.next();
+                }
+                None => break,
+            }
+        }
+        let optional = first_type_token.as_deref() == Some("Option");
+        fields.push(Field { name, optional });
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream, container: &str) -> Result<Vec<String>, String> {
+    let mut tokens = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        // Attributes before the variant name.
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+                _ => return Err(format!("malformed variant attribute in `{container}`")),
+            }
+        }
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(ident)) => ident.to_string(),
+            None => break,
+            Some(other) => {
+                return Err(format!(
+                    "expected a variant name in `{container}`, found `{other}`"
+                ))
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "cannot derive for `{container}`: variant `{name}` carries data \
+                     (only unit variants are supported)"
+                ))
+            }
+            Some(other) => {
+                return Err(format!(
+                    "unexpected token `{other}` after variant `{name}` in `{container}`"
+                ))
+            }
+        }
+        variants.push(name);
+    }
+    Ok(variants)
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Serialize for {name} {{\n    fn serialize(&self) -> ::serde::Value {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            out.push_str(
+                "        let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> \
+                 = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                let fname = &f.name;
+                out.push_str(&format!(
+                    "        {{ let v = ::serde::Serialize::serialize(&self.{fname}); \
+                     if !v.is_null() {{ fields.push((\"{fname}\".to_string(), v)); }} }}\n"
+                ));
+            }
+            out.push_str("        ::serde::Value::Map(fields)\n");
+        }
+        Body::Enum(variants) => {
+            out.push_str("        match self {\n");
+            for v in variants {
+                out.push_str(&format!(
+                    "            {name}::{v} => ::serde::Value::Str(\"{v}\".to_string()),\n"
+                ));
+            }
+            out.push_str("        }\n");
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let mut out = String::new();
+    out.push_str(&format!(
+        "impl ::serde::Deserialize for {name} {{\n    fn deserialize(value: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n"
+    ));
+    match &item.body {
+        Body::Struct(fields) => {
+            let field_list = fields
+                .iter()
+                .map(|f| format!("\"{}\"", f.name))
+                .collect::<Vec<_>>()
+                .join(", ");
+            out.push_str(&format!(
+                "        const FIELDS: &[&str] = &[{field_list}];\n        let map = match value \
+                 {{ ::serde::Value::Map(m) => m, other => return \
+                 ::std::result::Result::Err(::serde::Error::custom(format!(\"invalid type: \
+                 expected a map for `{name}`, found {{}}\", other.type_name()))) }};\n"
+            ));
+            if item.deny_unknown_fields {
+                out.push_str(&format!(
+                    "        for (k, _) in map.iter() {{\n            if \
+                     !FIELDS.contains(&k.as_str()) {{\n                return \
+                     ::std::result::Result::Err(::serde::Error::unknown_field(k, \"{name}\", \
+                     FIELDS));\n            }}\n        }}\n"
+                ));
+            } else {
+                out.push_str("        let _ = FIELDS;\n");
+            }
+            out.push_str(&format!("        ::std::result::Result::Ok({name} {{\n"));
+            for f in fields {
+                let fname = &f.name;
+                let missing = if f.optional {
+                    "::std::default::Default::default()".to_string()
+                } else {
+                    format!(
+                        "return ::std::result::Result::Err(::serde::Error::missing_field(\
+                         \"{fname}\", \"{name}\"))"
+                    )
+                };
+                out.push_str(&format!(
+                    "            {fname}: match ::serde::Value::map_get(map, \"{fname}\") {{\n    \
+                     ::std::option::Option::Some(v) => \
+                     ::serde::Deserialize::deserialize(v).map_err(|e| e.in_field(\"{fname}\"))?,\n \
+                     ::std::option::Option::None => {missing},\n            }},\n"
+                ));
+            }
+            out.push_str("        })\n");
+        }
+        Body::Enum(variants) => {
+            let expected = variants.join(", ");
+            out.push_str(&format!(
+                "        let s = match value {{ ::serde::Value::Str(s) => s.as_str(), other => \
+                 return ::std::result::Result::Err(::serde::Error::custom(format!(\"invalid \
+                 type: expected a string for enum `{name}`, found {{}}\", \
+                 other.type_name()))) }};\n        match s {{\n"
+            ));
+            for v in variants {
+                out.push_str(&format!(
+                    "            \"{v}\" => ::std::result::Result::Ok({name}::{v}),\n"
+                ));
+            }
+            out.push_str(&format!(
+                "            other => \
+                 ::std::result::Result::Err(::serde::Error::custom(format!(\"unknown variant \
+                 `{{other}}` for `{name}`, expected one of: {expected}\"))),\n        }}\n"
+            ));
+        }
+    }
+    out.push_str("    }\n}\n");
+    out
+}

@@ -1,0 +1,465 @@
+//! Offline, API-compatible subset of `serde_json` built on the vendored
+//! [`serde::Value`] tree: [`to_string`], [`to_string_pretty`], [`from_str`],
+//! [`to_value`] and [`from_value`].
+//!
+//! Non-finite floats serialize as `null` (real serde_json errors instead);
+//! the reports produced by this workspace only contain finite values.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the value shapes this workspace produces; the `Result`
+/// mirrors the real serde_json signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, 2-space-indented JSON.
+///
+/// # Errors
+///
+/// Never fails for the value shapes this workspace produces.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.serialize(), Some(2), 0);
+    Ok(out)
+}
+
+/// Converts any serializable value into a [`Value`] tree.
+pub fn to_value<T: Serialize + ?Sized>(value: &T) -> Value {
+    value.serialize()
+}
+
+/// Reconstructs `T` from a [`Value`] tree.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::deserialize(value)
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error or shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::custom(format!(
+            "trailing characters at byte {} of JSON input",
+            parser.pos
+        )));
+    }
+    T::deserialize(&value)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let mut s = format!("{f}");
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    s.push_str(".0");
+                }
+                out.push_str(&s);
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_json_string(out, s),
+        Value::Seq(items) => write_items(
+            out,
+            items.iter(),
+            items.len(),
+            indent,
+            depth,
+            '[',
+            ']',
+            |out, item, indent, depth| {
+                write_value(out, item, indent, depth);
+            },
+        ),
+        Value::Map(entries) => write_items(
+            out,
+            entries.iter(),
+            entries.len(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |out, (key, item), indent, depth| {
+                write_json_string(out, key);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, item, indent, depth);
+            },
+        ),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn write_items<I: Iterator>(
+    out: &mut String,
+    items: I,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut write_item: impl FnMut(&mut String, I::Item, Option<usize>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.push_str(&" ".repeat(width * (depth + 1)));
+        }
+        write_item(out, item, indent, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.push_str(&" ".repeat(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b' ' || b == b'\t' || b == b'\n' || b == b'\r' {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {} of JSON input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(b) if b == b'-' || b.is_ascii_digit() => self.parse_number(),
+            other => Err(Error::custom(format!(
+                "unexpected {} at byte {} of JSON input",
+                other.map_or("end of input".to_string(), |b| format!("`{}`", b as char)),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, keyword: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(keyword.as_bytes()) {
+            self.pos += keyword.len();
+            Ok(value)
+        } else {
+            Err(Error::custom(format!(
+                "invalid literal at byte {} of JSON input",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid UTF-8 in number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("invalid number `{text}`")))
+        } else {
+            // Positive integers above i64::MAX become the UInt variant, so the
+            // full u64 range round-trips.
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<u64>().map(Value::UInt))
+                .map_err(|_| Error::custom(format!("invalid integer `{text}`")))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let code = self.parse_unicode_escape()?;
+                            out.push(code);
+                            continue;
+                        }
+                        _ => return Err(Error::custom("invalid escape in JSON string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in JSON string"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+                None => return Err(Error::custom("unterminated JSON string")),
+            }
+        }
+    }
+
+    fn parse_unicode_escape(&mut self) -> Result<char, Error> {
+        // Called with `u` under the cursor.
+        self.pos += 1;
+        let code = self.parse_hex4()?;
+        if (0xD800..0xDC00).contains(&code) {
+            // High surrogate: require a following `\uXXXX` low surrogate.
+            if self.peek() == Some(b'\\') {
+                self.pos += 1;
+                if self.peek() == Some(b'u') {
+                    self.pos += 1;
+                    let low = self.parse_hex4()?;
+                    let combined = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+                    return char::from_u32(combined)
+                        .ok_or_else(|| Error::custom("invalid surrogate pair"));
+                }
+            }
+            return Err(Error::custom("unpaired surrogate in JSON string"));
+        }
+        char::from_u32(code).ok_or_else(|| Error::custom("invalid unicode escape"))
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(Error::custom("truncated unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| Error::custom("invalid unicode escape"))?;
+        let code =
+            u32::from_str_radix(hex, 16).map_err(|_| Error::custom("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(code)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {} of JSON input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {} of JSON input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_round_trips_through_text() {
+        let value = Value::Map(vec![
+            ("name".to_string(), Value::Str("fig09".to_string())),
+            ("stp".to_string(), Value::Float(1.5)),
+            ("count".to_string(), Value::Int(-3)),
+            ("ok".to_string(), Value::Bool(true)),
+            (
+                "items".to_string(),
+                Value::Seq(vec![Value::Int(1), Value::Null]),
+            ),
+        ]);
+        for text in [
+            to_string(&value).unwrap(),
+            to_string_pretty(&value).unwrap(),
+        ] {
+            let back: Value = from_str(&text).unwrap();
+            assert_eq!(back, value);
+        }
+    }
+
+    #[test]
+    fn large_unsigned_integers_round_trip() {
+        let text = to_string(&u64::MAX).unwrap();
+        assert_eq!(text, u64::MAX.to_string());
+        let back: u64 = from_str(&text).unwrap();
+        assert_eq!(back, u64::MAX);
+    }
+
+    #[test]
+    fn floats_keep_a_decimal_point() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&0.5f64).unwrap(), "0.5");
+        let back: f64 = from_str("2.0").unwrap();
+        assert_eq!(back, 2.0);
+    }
+
+    #[test]
+    fn strings_escape_and_unescape() {
+        let s = "a\"b\\c\nd\tе".to_string();
+        let text = to_string(&s).unwrap();
+        let back: String = from_str(&text).unwrap();
+        assert_eq!(back, s);
+        let unicode: String = from_str("\"\\u0041\\ud83d\\ude00\"").unwrap();
+        assert_eq!(unicode, "A\u{1F600}");
+    }
+
+    #[test]
+    fn syntax_errors_are_reported() {
+        assert!(from_str::<Value>("{\"a\": }").is_err());
+        assert!(from_str::<Value>("[1, 2").is_err());
+        assert!(from_str::<Value>("true false").is_err());
+        assert!(from_str::<Value>("nul").is_err());
+    }
+
+    #[test]
+    fn empty_containers() {
+        assert_eq!(from_str::<Value>("[]").unwrap(), Value::Seq(vec![]));
+        assert_eq!(from_str::<Value>("{}").unwrap(), Value::Map(vec![]));
+        assert_eq!(to_string(&Value::Seq(vec![])).unwrap(), "[]");
+    }
+}

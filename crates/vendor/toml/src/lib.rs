@@ -1,0 +1,798 @@
+//! Offline, API-compatible subset of the `toml` crate built on the vendored
+//! [`serde::Value`] tree: [`to_string`], [`to_string_pretty`] and
+//! [`from_str`].
+//!
+//! The supported TOML subset covers what this workspace's experiment specs
+//! and reports need: `[table]` and `[[array-of-tables]]` headers with dotted
+//! keys, `key = value` pairs (dotted keys allowed), basic and literal
+//! strings, integers (with `_` separators), floats, booleans, (possibly
+//! multiline) arrays, inline tables, and `#` comments. Datetimes and
+//! multiline strings are not supported.
+
+pub use serde::Error;
+use serde::{Deserialize, Serialize, Value};
+
+/// Serializes `value` (which must serialize to a map) as TOML.
+///
+/// # Errors
+///
+/// Returns an [`Error`] if the root is not a map, since TOML documents are
+/// tables at the top level.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let tree = value.serialize();
+    let entries = match &tree {
+        Value::Map(entries) => entries,
+        other => {
+            return Err(Error::custom(format!(
+                "TOML documents must be maps at the top level, found {}",
+                other.type_name()
+            )))
+        }
+    };
+    let mut out = String::new();
+    write_table(&mut out, &[], entries);
+    Ok(out)
+}
+
+/// Alias of [`to_string`]; the output is already human-oriented.
+///
+/// # Errors
+///
+/// Same as [`to_string`].
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string(value)
+}
+
+/// Parses TOML text into `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] describing the first syntax error or shape mismatch.
+pub fn from_str<T: Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse_document(input)?;
+    T::deserialize(&value)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// True for values that must be written as `[section]` / `[[section]]`
+/// headers rather than inline.
+fn is_table_like(value: &Value) -> bool {
+    match value {
+        Value::Map(_) => true,
+        Value::Seq(items) => !items.is_empty() && items.iter().all(|v| matches!(v, Value::Map(_))),
+        _ => false,
+    }
+}
+
+fn write_table(out: &mut String, path: &[String], entries: &[(String, Value)]) {
+    for (key, value) in entries {
+        if value.is_null() || is_table_like(value) {
+            continue;
+        }
+        out.push_str(&format!("{} = {}\n", format_key(key), format_inline(value)));
+    }
+    for (key, value) in entries {
+        let mut child_path = path.to_vec();
+        child_path.push(key.clone());
+        match value {
+            Value::Map(child) => {
+                out.push('\n');
+                out.push_str(&format!("[{}]\n", format_path(&child_path)));
+                write_table(out, &child_path, child);
+            }
+            Value::Seq(items) if is_table_like(value) => {
+                for item in items {
+                    let child = item.as_map().expect("is_table_like guarantees maps");
+                    out.push('\n');
+                    out.push_str(&format!("[[{}]]\n", format_path(&child_path)));
+                    write_table(out, &child_path, child);
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+fn format_path(path: &[String]) -> String {
+    path.iter()
+        .map(|p| format_key(p))
+        .collect::<Vec<_>>()
+        .join(".")
+}
+
+fn format_key(key: &str) -> String {
+    let bare = !key.is_empty()
+        && key
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-');
+    if bare {
+        key.to_string()
+    } else {
+        format_toml_string(key)
+    }
+}
+
+fn format_inline(value: &Value) -> String {
+    match value {
+        Value::Null => "\"\"".to_string(), // unreachable: nulls are skipped
+        Value::Bool(b) => b.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::UInt(u) => u.to_string(),
+        Value::Float(f) => {
+            if f.is_finite() {
+                let mut s = format!("{f}");
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    s.push_str(".0");
+                }
+                s
+            } else if f.is_nan() {
+                "nan".to_string()
+            } else if *f > 0.0 {
+                "inf".to_string()
+            } else {
+                "-inf".to_string()
+            }
+        }
+        Value::Str(s) => format_toml_string(s),
+        Value::Seq(items) => {
+            let inner = items
+                .iter()
+                .map(format_inline)
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("[{inner}]")
+        }
+        Value::Map(entries) => {
+            let inner = entries
+                .iter()
+                .filter(|(_, v)| !v.is_null())
+                .map(|(k, v)| format!("{} = {}", format_key(k), format_inline(v)))
+                .collect::<Vec<_>>()
+                .join(", ");
+            format!("{{ {inner} }}")
+        }
+    }
+}
+
+fn format_toml_string(s: &str) -> String {
+    let mut out = String::from("\"");
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+/// One segment of the current table path: key name plus, for array-of-tables
+/// segments, the index of the element being filled.
+#[derive(Clone, Debug)]
+struct PathSeg {
+    key: String,
+    index: Option<usize>,
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+fn parse_document(input: &str) -> Result<Value, Error> {
+    let mut root = Value::Map(Vec::new());
+    let mut current: Vec<PathSeg> = Vec::new();
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    loop {
+        parser.skip_trivia();
+        match parser.peek() {
+            None => break,
+            Some(b'[') => {
+                parser.pos += 1;
+                let array_of_tables = parser.peek() == Some(b'[');
+                if array_of_tables {
+                    parser.pos += 1;
+                }
+                let keys = parser.parse_dotted_key()?;
+                parser.expect(b']')?;
+                if array_of_tables {
+                    parser.expect(b']')?;
+                }
+                parser.expect_line_end()?;
+                current = enter_table(&mut root, &keys, array_of_tables)?;
+            }
+            Some(_) => {
+                let keys = parser.parse_dotted_key()?;
+                parser.expect(b'=')?;
+                parser.skip_spaces();
+                let value = parser.parse_value()?;
+                parser.expect_line_end()?;
+                let table = resolve_mut(&mut root, &current);
+                insert_at(table, &keys, value)?;
+            }
+        }
+    }
+    Ok(root)
+}
+
+/// Walks `path` from the root and returns the entries of the table it names.
+fn resolve_mut<'a>(root: &'a mut Value, path: &[PathSeg]) -> &'a mut Vec<(String, Value)> {
+    let mut node = root;
+    for seg in path {
+        let map = match node {
+            Value::Map(entries) => entries,
+            _ => unreachable!("path segments always name tables"),
+        };
+        let idx = map
+            .iter()
+            .position(|(k, _)| *k == seg.key)
+            .expect("path was created by enter_table");
+        node = &mut map[idx].1;
+        if let Some(i) = seg.index {
+            node = match node {
+                Value::Seq(items) => &mut items[i],
+                _ => unreachable!("indexed segments always name arrays of tables"),
+            };
+        }
+    }
+    match node {
+        Value::Map(entries) => entries,
+        _ => unreachable!("path always ends at a table"),
+    }
+}
+
+/// Creates (or finds) the table named by `keys`, appending a fresh element
+/// when the final segment is an `[[array-of-tables]]` header.
+fn enter_table(
+    root: &mut Value,
+    keys: &[String],
+    array_of_tables: bool,
+) -> Result<Vec<PathSeg>, Error> {
+    let mut path: Vec<PathSeg> = Vec::new();
+    for (depth, key) in keys.iter().enumerate() {
+        let last = depth == keys.len() - 1;
+        let entries = resolve_mut(root, &path);
+        let existing = entries.iter().position(|(k, _)| k == key);
+        let idx = match existing {
+            Some(i) => i,
+            None => {
+                let fresh = if last && array_of_tables {
+                    Value::Seq(Vec::new())
+                } else {
+                    Value::Map(Vec::new())
+                };
+                entries.push((key.clone(), fresh));
+                entries.len() - 1
+            }
+        };
+        let node = &mut entries[idx].1;
+        if last && array_of_tables {
+            match node {
+                // Only genuine arrays of tables may be extended; a scalar
+                // array under the same key is a redefinition error.
+                Value::Seq(items) if items.iter().all(|v| matches!(v, Value::Map(_))) => {
+                    items.push(Value::Map(Vec::new()));
+                    path.push(PathSeg {
+                        key: key.clone(),
+                        index: Some(items.len() - 1),
+                    });
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "cannot redefine key `{key}` as an array of tables"
+                    )))
+                }
+            }
+        } else {
+            match node {
+                Value::Map(_) => path.push(PathSeg {
+                    key: key.clone(),
+                    index: None,
+                }),
+                // Intermediate segment naming an array of tables: descend
+                // into its most recent element (which must be a table — a
+                // scalar array cannot hold sub-tables).
+                Value::Seq(items) if matches!(items.last(), Some(Value::Map(_))) => {
+                    path.push(PathSeg {
+                        key: key.clone(),
+                        index: Some(items.len() - 1),
+                    });
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "key `{key}` is already defined as a non-table value"
+                    )))
+                }
+            }
+        }
+    }
+    Ok(path)
+}
+
+fn insert_at(table: &mut Vec<(String, Value)>, keys: &[String], value: Value) -> Result<(), Error> {
+    if keys.len() == 1 {
+        if table.iter().any(|(k, _)| *k == keys[0]) {
+            return Err(Error::custom(format!("duplicate key `{}`", keys[0])));
+        }
+        table.push((keys[0].clone(), value));
+        return Ok(());
+    }
+    let key = &keys[0];
+    let idx = match table.iter().position(|(k, _)| k == key) {
+        Some(i) => i,
+        None => {
+            table.push((key.clone(), Value::Map(Vec::new())));
+            table.len() - 1
+        }
+    };
+    match &mut table[idx].1 {
+        Value::Map(child) => insert_at(child, &keys[1..], value),
+        _ => Err(Error::custom(format!(
+            "dotted key `{key}` conflicts with an existing non-table value"
+        ))),
+    }
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    /// Skips spaces and tabs on the current line.
+    fn skip_spaces(&mut self) {
+        while matches!(self.peek(), Some(b' ') | Some(b'\t')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips whitespace, newlines and comments.
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\n') | Some(b'\r') => self.pos += 1,
+                Some(b'#') => {
+                    while !matches!(self.peek(), None | Some(b'\n')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        self.skip_spaces();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::custom(format!(
+                "expected `{}` at byte {} of TOML input",
+                b as char, self.pos
+            )))
+        }
+    }
+
+    /// Consumes the rest of the line, which may only hold a comment.
+    fn expect_line_end(&mut self) -> Result<(), Error> {
+        self.skip_spaces();
+        match self.peek() {
+            None | Some(b'\n') => Ok(()),
+            Some(b'\r') => Ok(()),
+            Some(b'#') => {
+                while !matches!(self.peek(), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                Ok(())
+            }
+            Some(other) => Err(Error::custom(format!(
+                "unexpected `{}` after value at byte {} of TOML input",
+                other as char, self.pos
+            ))),
+        }
+    }
+
+    fn parse_dotted_key(&mut self) -> Result<Vec<String>, Error> {
+        let mut keys = Vec::new();
+        loop {
+            self.skip_spaces();
+            keys.push(self.parse_key_segment()?);
+            self.skip_spaces();
+            if self.peek() == Some(b'.') {
+                self.pos += 1;
+            } else {
+                return Ok(keys);
+            }
+        }
+    }
+
+    fn parse_key_segment(&mut self) -> Result<String, Error> {
+        match self.peek() {
+            Some(b'"') => self.parse_basic_string(),
+            Some(b'\'') => self.parse_literal_string(),
+            Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-' => {
+                let start = self.pos;
+                while matches!(self.peek(), Some(b) if b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+                {
+                    self.pos += 1;
+                }
+                Ok(std::str::from_utf8(&self.bytes[start..self.pos])
+                    .expect("bare keys are ASCII")
+                    .to_string())
+            }
+            _ => Err(Error::custom(format!(
+                "expected a key at byte {} of TOML input",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_spaces();
+        match self.peek() {
+            Some(b'"') => Ok(Value::Str(self.parse_basic_string()?)),
+            Some(b'\'') => Ok(Value::Str(self.parse_literal_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_inline_table(),
+            Some(b't') | Some(b'f') => self.parse_bool(),
+            // `i`/`n` start the unsigned `inf`/`nan` float keywords.
+            Some(b) if b == b'-' || b == b'+' || b == b'i' || b == b'n' || b.is_ascii_digit() => {
+                self.parse_number()
+            }
+            other => Err(Error::custom(format!(
+                "unexpected {} at byte {} of TOML input",
+                other.map_or("end of input".to_string(), |b| format!("`{}`", b as char)),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_bool(&mut self) -> Result<Value, Error> {
+        for (text, value) in [("true", true), ("false", false)] {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                return Ok(Value::Bool(value));
+            }
+        }
+        Err(Error::custom(format!(
+            "invalid literal at byte {} of TOML input",
+            self.pos
+        )))
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+            self.pos += 1;
+        }
+        // `inf` / `nan` after an optional sign.
+        for (text, value) in [("inf", f64::INFINITY), ("nan", f64::NAN)] {
+            if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+                self.pos += text.len();
+                let negative = self.bytes[start] == b'-';
+                return Ok(Value::Float(if negative { -value } else { value }));
+            }
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => self.pos += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.pos += 1;
+                    if matches!(self.peek(), Some(b'-') | Some(b'+')) {
+                        self.pos += 1;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let text: String = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid UTF-8 in number"))?
+            .chars()
+            .filter(|&c| c != '_')
+            .collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error::custom(format!("invalid float `{text}`")))
+        } else {
+            // Positive integers above i64::MAX become the UInt variant, so the
+            // full u64 range round-trips.
+            text.parse::<i64>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<u64>().map(Value::UInt))
+                .map_err(|_| Error::custom(format!("invalid integer `{text}`")))
+        }
+    }
+
+    fn parse_basic_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // opening quote
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') | Some(b'U') => {
+                            let long = self.peek() == Some(b'U');
+                            self.pos += 1;
+                            let len = if long { 8 } else { 4 };
+                            let end = self.pos + len;
+                            if end > self.bytes.len() {
+                                return Err(Error::custom("truncated unicode escape"));
+                            }
+                            let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+                                .map_err(|_| Error::custom("invalid unicode escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| Error::custom("invalid unicode escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid unicode escape"))?,
+                            );
+                            self.pos = end;
+                            continue;
+                        }
+                        _ => return Err(Error::custom("invalid escape in TOML string")),
+                    }
+                    self.pos += 1;
+                }
+                Some(b'\n') | None => return Err(Error::custom("unterminated TOML string")),
+                Some(_) => {
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::custom("invalid UTF-8 in TOML string"))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_literal_string(&mut self) -> Result<String, Error> {
+        self.pos += 1; // opening quote
+        let start = self.pos;
+        while !matches!(self.peek(), Some(b'\'') | Some(b'\n') | None) {
+            self.pos += 1;
+        }
+        if self.peek() != Some(b'\'') {
+            return Err(Error::custom("unterminated TOML literal string"));
+        }
+        let out = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid UTF-8 in TOML string"))?
+            .to_string();
+        self.pos += 1;
+        Ok(out)
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // `[`
+        let mut items = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Seq(items));
+            }
+            items.push(self.parse_value()?);
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `]` at byte {} of TOML input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_inline_table(&mut self) -> Result<Value, Error> {
+        self.pos += 1; // `{`
+        let mut entries = Vec::new();
+        loop {
+            self.skip_trivia();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Map(entries));
+            }
+            let keys = self.parse_dotted_key()?;
+            self.expect(b'=')?;
+            self.skip_spaces();
+            let value = self.parse_value()?;
+            insert_at(&mut entries, &keys, value)?;
+            self.skip_trivia();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => {
+                    return Err(Error::custom(format!(
+                        "expected `,` or `}}` at byte {} of TOML input",
+                        self.pos
+                    )))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Value {
+        parse_document(s).unwrap()
+    }
+
+    fn get<'a>(v: &'a Value, key: &str) -> &'a Value {
+        Value::map_get(v.as_map().unwrap(), key).unwrap()
+    }
+
+    #[test]
+    fn scalars_and_types() {
+        let doc = parse("name = \"fig09\"\ncount = 1_000\nratio = 2.5\nenabled = true\nneg = -3\n");
+        assert_eq!(get(&doc, "name"), &Value::Str("fig09".to_string()));
+        assert_eq!(get(&doc, "count"), &Value::Int(1000));
+        assert_eq!(get(&doc, "ratio"), &Value::Float(2.5));
+        assert_eq!(get(&doc, "enabled"), &Value::Bool(true));
+        assert_eq!(get(&doc, "neg"), &Value::Int(-3));
+    }
+
+    #[test]
+    fn tables_and_dotted_keys() {
+        let doc = parse("[scale]\ninstructions = 2000\n[config.l2]\nlatency = 11\n");
+        let scale = get(&doc, "scale");
+        assert_eq!(get(scale, "instructions"), &Value::Int(2000));
+        let l2 = get(get(&doc, "config"), "l2");
+        assert_eq!(get(l2, "latency"), &Value::Int(11));
+        let doc = parse("a.b = 3\n");
+        assert_eq!(get(get(&doc, "a"), "b"), &Value::Int(3));
+    }
+
+    #[test]
+    fn arrays_including_nested_and_multiline() {
+        let doc = parse("w = [[\"mcf\", \"swim\"], [\"gcc\"]]\nv = [\n  1,\n  2, # comment\n]\n");
+        let w = get(&doc, "w").as_seq().unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(
+            w[0],
+            Value::Seq(vec![
+                Value::Str("mcf".to_string()),
+                Value::Str("swim".to_string())
+            ])
+        );
+        assert_eq!(
+            get(&doc, "v"),
+            &Value::Seq(vec![Value::Int(1), Value::Int(2)])
+        );
+    }
+
+    #[test]
+    fn array_of_tables() {
+        let doc = parse("[[run]]\nname = \"a\"\n[[run]]\nname = \"b\"\n");
+        let runs = get(&doc, "run").as_seq().unwrap();
+        assert_eq!(runs.len(), 2);
+        assert_eq!(get(&runs[1], "name"), &Value::Str("b".to_string()));
+    }
+
+    #[test]
+    fn inline_tables_and_comments() {
+        let doc = parse("# header\npoint = { x = 1, y = 2 } # trailing\n");
+        let p = get(&doc, "point");
+        assert_eq!(get(p, "x"), &Value::Int(1));
+        assert_eq!(get(p, "y"), &Value::Int(2));
+    }
+
+    #[test]
+    fn round_trip_through_writer() {
+        let original = Value::Map(vec![
+            ("name".to_string(), Value::Str("spec".to_string())),
+            (
+                "workloads".to_string(),
+                Value::Seq(vec![Value::Seq(vec![
+                    Value::Str("mcf".to_string()),
+                    Value::Str("swim".to_string()),
+                ])]),
+            ),
+            (
+                "scale".to_string(),
+                Value::Map(vec![
+                    ("instructions".to_string(), Value::Int(2000)),
+                    ("ratio".to_string(), Value::Float(1.0)),
+                ]),
+            ),
+            (
+                "runs".to_string(),
+                Value::Seq(vec![
+                    Value::Map(vec![("id".to_string(), Value::Int(1))]),
+                    Value::Map(vec![("id".to_string(), Value::Int(2))]),
+                ]),
+            ),
+        ]);
+        let text = to_string(&original).unwrap();
+        let back = parse(&text);
+        assert_eq!(back, original);
+    }
+
+    #[test]
+    fn table_headers_under_non_table_values_error_cleanly() {
+        // Header path traversing a scalar array must error, not panic.
+        assert!(parse_document("x = [1]\n[x.y]\nz = 1\n").is_err());
+        assert!(parse_document("x = [1]\n[[x.y]]\nz = 1\n").is_err());
+        // Appending array-of-tables entries to a scalar array likewise.
+        assert!(parse_document("x = [1]\n[[x]]\nz = 1\n").is_err());
+        assert!(parse_document("x = 1\n[x]\ny = 2\n").is_err());
+    }
+
+    #[test]
+    fn large_unsigned_integers_round_trip() {
+        let original = Value::Map(vec![("seed".to_string(), Value::UInt(u64::MAX))]);
+        let text = to_string(&original).unwrap();
+        assert_eq!(parse(&text), original);
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let doc = parse("a = inf\nb = -inf\nc = nan\nd = +inf\n");
+        assert_eq!(get(&doc, "a"), &Value::Float(f64::INFINITY));
+        assert_eq!(get(&doc, "b"), &Value::Float(f64::NEG_INFINITY));
+        assert!(matches!(get(&doc, "c"), Value::Float(f) if f.is_nan()));
+        assert_eq!(get(&doc, "d"), &Value::Float(f64::INFINITY));
+        // Writer output parses back.
+        let original = Value::Map(vec![
+            ("up".to_string(), Value::Float(f64::INFINITY)),
+            ("down".to_string(), Value::Float(f64::NEG_INFINITY)),
+        ]);
+        let text = to_string(&original).unwrap();
+        assert_eq!(parse(&text), original);
+        assert!(parse_document("x = indigo\n").is_err());
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(parse_document("a = ").is_err());
+        assert!(parse_document("a = 1\na = 2\n").is_err());
+        assert!(parse_document("a = 1 b = 2\n").is_err());
+        assert!(parse_document("[t\nx = 1\n").is_err());
+    }
+
+    #[test]
+    fn duplicate_table_headers_merge() {
+        let doc = parse("[a]\nx = 1\n[b]\ny = 2\n[a]\nz = 3\n");
+        let a = get(&doc, "a");
+        assert_eq!(get(a, "x"), &Value::Int(1));
+        assert_eq!(get(a, "z"), &Value::Int(3));
+    }
+}

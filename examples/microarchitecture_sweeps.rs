@@ -1,15 +1,13 @@
-//! Reproduces the microarchitecture sensitivity studies of Section 6.4: STP and
-//! ANTT (relative to ICOUNT) as the main-memory latency is swept from 200 to 800
-//! cycles (Figures 15/16) and as the window size is swept from a 128-entry to a
-//! 1024-entry ROB (Figures 17/18), plus the Section 6.5 alternative policies and
-//! the Section 6.6 comparison against static partitioning and DCRA.
+//! Reproduces the microarchitecture sensitivity studies of Section 6.4 — the
+//! memory-latency sweep (Figures 15/16) and window-size sweep (Figures 17/18)
+//! — plus the Section 6.5 alternative policies and the Section 6.6 comparison
+//! against static partitioning and DCRA, by running their registry specs.
 //!
 //! ```text
 //! cargo run --release --example microarchitecture_sweeps -- [instructions]
 //! ```
 
-use smt_core::experiments::policies::{alternative_policies, format_group_summaries, partitioning_comparison};
-use smt_core::experiments::sweeps::{format_sweep, memory_latency_sweep, window_size_sweep};
+use smt_core::experiments::{engine, ExperimentRegistry};
 use smt_core::runner::RunScale;
 use smt_types::SimError;
 
@@ -19,26 +17,24 @@ fn main() -> Result<(), SimError> {
         .and_then(|a| a.parse().ok())
         .unwrap_or(40_000);
     let scale = RunScale::standard().with_instructions(instructions);
+    let registry = ExperimentRegistry::builtin();
 
-    println!("== Figures 15/16: memory latency sweep (relative to ICOUNT) ==\n");
-    let points = memory_latency_sweep(&[200, 400, 600, 800], scale)?;
-    println!("{}", format_sweep(&points, "mem-lat"));
-
-    println!("== Figures 17/18: window size sweep (relative to ICOUNT) ==\n");
-    let points = window_size_sweep(&[128, 256, 512, 1024], scale)?;
-    println!("{}", format_sweep(&points, "rob"));
-
-    println!("== Figures 20/21: alternative MLP-aware flush policies ==\n");
-    let groups = alternative_policies(scale, 2)?;
-    println!("{}", format_group_summaries(&groups));
-
-    println!("== Figures 22/23: MLP-aware flush vs. static partitioning vs. DCRA ==\n");
-    let (two_thread, four_thread) = partitioning_comparison(scale, 2, 4)?;
-    println!("{}", format_group_summaries(&two_thread));
-    println!("-- four-thread workloads --");
-    println!("policy                      STP      ANTT");
-    for p in &four_thread {
-        println!("{:<26} {:>6.3}  {:>8.3}", p.policy.name(), p.avg_stp, p.avg_antt);
+    for (name, per_group) in [
+        ("fig15_memory_latency_sweep", usize::MAX),
+        ("fig17_window_size_sweep", usize::MAX),
+        ("fig20_alternative_policies", 2),
+        ("fig22_partitioning_two_thread", 2),
+        ("fig22_partitioning_four_thread", 4),
+    ] {
+        let spec = registry
+            .get(name)
+            .expect("registry entry")
+            .clone()
+            .with_scale(scale)
+            .with_workload_limit_per_group(per_group)?;
+        let report = engine::run_spec(&spec)?;
+        println!("== {} ({}) ==\n", spec.title, spec.paper_ref);
+        println!("{}", report.format_text());
     }
     Ok(())
 }

@@ -1,13 +1,12 @@
-//! Reproduces the workload-characterization artifacts of the paper: Table I /
-//! Figure 1 (long-latency load rate, MLP, MLP impact per benchmark), Figure 4
-//! (predicted MLP-distance CDFs) and Figure 5 (prefetcher sensitivity).
+//! Reproduces the workload-characterization artifacts of the paper — Table I /
+//! Figure 1, Figure 4 (MLP-distance CDFs), Figure 5 (prefetcher sensitivity)
+//! and Figures 6-8 (predictor accuracy) — by running their registry specs.
 //!
 //! ```text
 //! cargo run --release --example mlp_characterization -- [instructions]
 //! ```
 
-use smt_core::experiments::characterization::{format_table1, table1};
-use smt_core::experiments::predictors::{figure4, figure5, figure6};
+use smt_core::experiments::{engine, ExperimentRegistry};
 use smt_core::runner::RunScale;
 use smt_types::SimError;
 
@@ -17,50 +16,22 @@ fn main() -> Result<(), SimError> {
         .and_then(|a| a.parse().ok())
         .unwrap_or(40_000);
     let scale = RunScale::standard().with_instructions(instructions);
+    let registry = ExperimentRegistry::builtin();
 
-    println!("== Table I / Figure 1: per-benchmark MLP characterization ==\n");
-    let rows = table1(scale)?;
-    println!("{}", format_table1(&rows));
-
-    println!("== Figure 4: predicted MLP-distance CDFs (fraction of predictions ≤ distance) ==\n");
-    println!("{:<10} {:>6} {:>6} {:>6} {:>6}", "benchmark", "≤32", "≤64", "≤96", "≤128");
-    for cdf in figure4(scale)? {
-        println!(
-            "{:<10} {:>5.0}% {:>5.0}% {:>5.0}% {:>5.0}%",
-            cdf.benchmark,
-            cdf.fraction_within(32) * 100.0,
-            cdf.fraction_within(64) * 100.0,
-            cdf.fraction_within(96) * 100.0,
-            cdf.fraction_within(128) * 100.0,
-        );
-    }
-
-    println!("\n== Figure 5: single-thread IPC with and without the hardware prefetcher ==\n");
-    println!("{:<10} {:>8} {:>8} {:>8}", "benchmark", "no-pf", "with-pf", "speedup");
-    for row in figure5(scale)? {
-        println!(
-            "{:<10} {:>8.3} {:>8.3} {:>7.1}%",
-            row.benchmark,
-            row.ipc_without_prefetch,
-            row.ipc_with_prefetch,
-            (row.speedup() - 1.0) * 100.0
-        );
-    }
-
-    println!("\n== Figures 6-8: predictor accuracy ==\n");
-    println!(
-        "{:<10} {:>8} {:>10} {:>10} {:>10}",
-        "benchmark", "LLL-acc", "MLP-acc", "far-enough", "false-neg"
-    );
-    for row in figure6(scale)? {
-        println!(
-            "{:<10} {:>7.1}% {:>9.1}% {:>9.1}% {:>9.1}%",
-            row.benchmark,
-            row.lll_accuracy * 100.0,
-            (row.mlp_true_positive + row.mlp_true_negative) * 100.0,
-            row.mlp_distance_accuracy * 100.0,
-            row.mlp_false_negative * 100.0
-        );
+    for name in [
+        "table1_characterization",
+        "fig04_mlp_distance_cdf",
+        "fig05_prefetcher",
+        "fig06_08_predictor_accuracy",
+    ] {
+        let spec = registry
+            .get(name)
+            .expect("registry entry")
+            .clone()
+            .with_scale(scale);
+        let report = engine::run_spec(&spec)?;
+        println!("== {} ({}) ==\n", spec.title, spec.paper_ref);
+        println!("{}", report.format_text());
     }
     Ok(())
 }

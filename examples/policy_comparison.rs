@@ -1,6 +1,6 @@
-//! Reproduces the shape of Figures 9/10 (two-thread) and 13/14 (four-thread):
-//! STP and ANTT of the six main SMT fetch policies over the paper's workload
-//! groups.
+//! Reproduces the shape of Figures 9/10 (two-thread) and 13/14 (four-thread)
+//! by running the registry specs `fig09_two_thread_policies` and
+//! `fig13_four_thread_policies` through the parallel experiment engine.
 //!
 //! ```text
 //! cargo run --release --example policy_comparison -- [workloads-per-group] [instructions]
@@ -9,9 +9,7 @@
 //! The first argument limits how many Table II workloads per group are simulated
 //! (default 3); the second sets the instruction budget per thread (default 60000).
 
-use smt_core::experiments::policies::{
-    format_group_summaries, four_thread_comparison, policy_comparison_two_thread,
-};
+use smt_core::experiments::{engine, ExperimentRegistry};
 use smt_core::runner::RunScale;
 use smt_types::SimError;
 
@@ -20,16 +18,26 @@ fn main() -> Result<(), SimError> {
     let per_group: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(3);
     let instructions: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(60_000);
     let scale = RunScale::standard().with_instructions(instructions);
+    let registry = ExperimentRegistry::builtin();
 
-    println!("== Figures 9/10: two-thread workloads ({per_group} per group, {instructions} instructions) ==\n");
-    let groups = policy_comparison_two_thread(scale, per_group)?;
-    println!("{}", format_group_summaries(&groups));
+    println!(
+        "== Figures 9/10: two-thread workloads ({per_group} per group, {instructions} instructions) ==\n"
+    );
+    let fig09 = registry
+        .get("fig09_two_thread_policies")
+        .expect("registry entry")
+        .clone()
+        .with_scale(scale)
+        .with_workload_limit_per_group(per_group)?;
+    println!("{}", engine::run_spec(&fig09)?.format_text());
 
     println!("== Figures 13/14: four-thread workloads ==\n");
-    let four = four_thread_comparison(scale, per_group * 2)?;
-    println!("policy                      STP      ANTT");
-    for p in &four {
-        println!("{:<26} {:>6.3}  {:>8.3}", p.policy.name(), p.avg_stp, p.avg_antt);
-    }
+    let fig13 = registry
+        .get("fig13_four_thread_policies")
+        .expect("registry entry")
+        .clone()
+        .with_scale(scale)
+        .with_workload_limit(per_group * 2);
+    println!("{}", engine::run_spec(&fig13)?.format_text());
     Ok(())
 }

@@ -1,10 +1,12 @@
 //! Quickstart: simulate one MLP-intensive two-thread workload under ICOUNT and
-//! under the paper's MLP-aware flush policy, and print STP/ANTT for both.
+//! under the paper's MLP-aware flush policy, print STP/ANTT for both, then run
+//! the same comparison through the declarative experiment API.
 //!
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
 
+use smt_core::experiments::{engine, ExperimentKind, ExperimentSpec};
 use smt_core::runner::{evaluate_workload, RunScale};
 use smt_types::config::FetchPolicyKind;
 use smt_types::SimError;
@@ -14,8 +16,14 @@ fn main() -> Result<(), SimError> {
     let workload = ["mcf", "swim"];
 
     println!("workload: {}", workload.join("-"));
-    println!("scale: {} instructions per thread ({} warm-up)\n", scale.instructions_per_thread, scale.warmup_instructions);
-    println!("{:<12} {:>8} {:>8} {:>18}", "policy", "STP", "ANTT", "per-thread IPC");
+    println!(
+        "scale: {} instructions per thread ({} warm-up)\n",
+        scale.instructions_per_thread, scale.warmup_instructions
+    );
+    println!(
+        "{:<12} {:>8} {:>8} {:>18}",
+        "policy", "STP", "ANTT", "per-thread IPC"
+    );
 
     for policy in [
         FetchPolicyKind::Icount,
@@ -24,7 +32,11 @@ fn main() -> Result<(), SimError> {
         FetchPolicyKind::MlpFlush,
     ] {
         let result = evaluate_workload(&workload, policy, scale)?;
-        let ipcs: Vec<String> = result.per_thread_ipc.iter().map(|v| format!("{v:.2}")).collect();
+        let ipcs: Vec<String> = result
+            .per_thread_ipc
+            .iter()
+            .map(|v| format!("{v:.2}"))
+            .collect();
         println!(
             "{:<12} {:>8.3} {:>8.3} {:>18}",
             policy.name(),
@@ -36,5 +48,28 @@ fn main() -> Result<(), SimError> {
 
     println!("\nHigher STP and lower ANTT are better; the MLP-aware flush policy should");
     println!("improve both relative to ICOUNT and improve ANTT relative to plain flush.");
+
+    // The same comparison as a declarative spec: serializable, validatable,
+    // and executed in parallel by the experiment engine. `smt-cli run` drives
+    // exactly this path from TOML files.
+    let spec = ExperimentSpec {
+        name: "quickstart".to_string(),
+        title: "ICOUNT vs MLP-aware flush on mcf-swim".to_string(),
+        paper_ref: String::new(),
+        kind: ExperimentKind::PolicyGrid,
+        policies: vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+        workloads: vec![workload.iter().map(|s| s.to_string()).collect()],
+        sweep: None,
+        overrides: None,
+        scale,
+    };
+    let report = engine::run_spec(&spec)?;
+    println!(
+        "\nThe declarative engine agrees ({} reference runs, {} worker threads):\n",
+        report.reference_runs, report.threads_used
+    );
+    println!("{}", report.format_text());
+    println!("Spec as TOML (pipe into a file and `smt-cli run` it):\n");
+    println!("{}", toml::to_string(&spec).expect("spec serializes"));
     Ok(())
 }

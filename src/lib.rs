@@ -1,0 +1,12 @@
+//! Workspace umbrella crate for the HPCA 2007 "MLP-aware fetch policy"
+//! reproduction.
+//!
+//! The actual functionality lives in the `crates/` members; this crate hosts
+//! the repository-level `examples/` and `tests/` and re-exports the crates
+//! they exercise.
+
+#![deny(missing_docs)]
+
+pub use smt_core as core;
+pub use smt_trace as trace;
+pub use smt_types as types;

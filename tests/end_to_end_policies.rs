@@ -41,7 +41,11 @@ fn every_policy_completes_an_mlp_intensive_workload() {
         );
         assert!(stats.cycles > 0);
         for t in &stats.threads {
-            assert!(t.committed_instructions > 0, "{}: a thread starved", policy.name());
+            assert!(
+                t.committed_instructions > 0,
+                "{}: a thread starved",
+                policy.name()
+            );
         }
     }
 }
@@ -138,20 +142,29 @@ fn stp_and_antt_are_within_theoretical_bounds() {
     for policy in [FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush] {
         let r = evaluate_workload(&["swim", "twolf"], policy, scale()).unwrap();
         assert!(r.stp > 0.0 && r.stp <= 2.05, "STP {} out of bounds", r.stp);
-        assert!(r.antt >= 0.85, "ANTT {} below the no-slowdown bound", r.antt);
+        assert!(
+            r.antt >= 0.85,
+            "ANTT {} below the no-slowdown bound",
+            r.antt
+        );
     }
 }
 
 #[test]
 fn flush_policies_actually_flush_and_refetch() {
     let cfg = SmtConfig::baseline(2);
-    let stats = run_multiprogram(&["mcf", "equake"], FetchPolicyKind::Flush, &cfg, scale()).unwrap();
+    let stats =
+        run_multiprogram(&["mcf", "equake"], FetchPolicyKind::Flush, &cfg, scale()).unwrap();
     let squashes: u64 = stats.threads.iter().map(|t| t.squashed_by_policy).sum();
     let flushes: u64 = stats.threads.iter().map(|t| t.policy_flushes).sum();
-    assert!(flushes > 0, "the flush policy never flushed on an MLP-heavy mix");
+    assert!(
+        flushes > 0,
+        "the flush policy never flushed on an MLP-heavy mix"
+    );
     assert!(squashes > 0);
     // ICOUNT never flushes.
-    let stats = run_multiprogram(&["mcf", "equake"], FetchPolicyKind::Icount, &cfg, scale()).unwrap();
+    let stats =
+        run_multiprogram(&["mcf", "equake"], FetchPolicyKind::Icount, &cfg, scale()).unwrap();
     let squashes: u64 = stats.threads.iter().map(|t| t.squashed_by_policy).sum();
     assert_eq!(squashes, 0);
 }

@@ -1,0 +1,295 @@
+//! Integration tests of the declarative experiment API: registry
+//! completeness against the legacy `experiments::*` entry points, spec
+//! serialization round-trips, and exactly-once semantics of the shared
+//! single-threaded reference cache under concurrency.
+
+use smt_core::experiments::policies::{
+    alternative_policies, four_thread_comparison, ipc_stacks, partitioning_comparison,
+    policy_comparison_two_thread, GroupSummary,
+};
+use smt_core::experiments::predictors::{figure4, figure5, predictor_characterization};
+use smt_core::experiments::sweeps::memory_latency_sweep;
+use smt_core::experiments::{
+    characterization, engine, ExperimentRegistry, ExperimentReport, ExperimentSpec, SummaryRow,
+};
+use smt_core::runner::{RunScale, StReferenceCache};
+use smt_core::workloads::WorkloadGroup;
+use smt_types::config::FetchPolicyKind;
+use smt_types::SmtConfig;
+
+const TOLERANCE: f64 = 1e-12;
+
+fn scale() -> RunScale {
+    RunScale::tiny()
+}
+
+fn spec(name: &str) -> ExperimentSpec {
+    ExperimentRegistry::builtin()
+        .get(name)
+        .unwrap_or_else(|| panic!("registry entry `{name}` missing"))
+        .clone()
+        .with_scale(scale())
+}
+
+fn summary<'a>(
+    report: &'a ExperimentReport,
+    policy: FetchPolicyKind,
+    group: Option<&str>,
+    parameter: Option<u64>,
+) -> &'a SummaryRow {
+    report
+        .summaries
+        .iter()
+        .find(|row| {
+            row.policy == policy && row.group.as_deref() == group && row.parameter == parameter
+        })
+        .unwrap_or_else(|| panic!("no summary for {policy:?} {group:?} {parameter:?}"))
+}
+
+fn assert_group_summaries_match(report: &ExperimentReport, legacy: &[GroupSummary]) {
+    for legacy_group in legacy {
+        for comparison in &legacy_group.policies {
+            let row = summary(
+                report,
+                comparison.policy,
+                Some(legacy_group.group.label()),
+                None,
+            );
+            assert!(
+                (row.avg_stp - comparison.avg_stp).abs() < TOLERANCE,
+                "{:?}/{}: engine STP {} vs legacy {}",
+                comparison.policy,
+                legacy_group.group.label(),
+                row.avg_stp,
+                comparison.avg_stp
+            );
+            assert!(
+                (row.avg_antt - comparison.avg_antt).abs() < TOLERANCE,
+                "{:?}/{}: engine ANTT {} vs legacy {}",
+                comparison.policy,
+                legacy_group.group.label(),
+                row.avg_antt,
+                comparison.avg_antt
+            );
+        }
+    }
+}
+
+#[test]
+fn fig09_spec_matches_legacy_two_thread_comparison() {
+    let report = engine::run_spec(
+        &spec("fig09_two_thread_policies")
+            .with_workload_limit_per_group(1)
+            .unwrap(),
+    )
+    .unwrap();
+    let legacy = policy_comparison_two_thread(scale(), 1).unwrap();
+    assert_group_summaries_match(&report, &legacy);
+}
+
+#[test]
+fn fig09_cells_reproduce_legacy_ipc_stacks() {
+    let mut fig09 = spec("fig09_two_thread_policies");
+    // Keep only the first MLP-intensive workload, matching
+    // ipc_stacks(scale, MlpIntensive, 1).
+    fig09.workloads = vec![vec!["apsi".to_string(), "mesa".to_string()]];
+    let report = engine::run_spec(&fig09).unwrap();
+    let stacks = ipc_stacks(scale(), WorkloadGroup::MlpIntensive, 1).unwrap();
+    assert_eq!(stacks.len(), 1);
+    assert_eq!(stacks[0].workload, "apsi-mesa");
+    for (policy, legacy_ipcs) in &stacks[0].per_policy {
+        let cell = report
+            .policy_cells
+            .iter()
+            .find(|c| c.policy == *policy)
+            .unwrap();
+        assert_eq!(&cell.per_thread_ipc, legacy_ipcs, "{policy:?}");
+    }
+}
+
+#[test]
+fn fig13_spec_matches_legacy_four_thread_comparison() {
+    let report =
+        engine::run_spec(&spec("fig13_four_thread_policies").with_workload_limit(2)).unwrap();
+    let legacy = four_thread_comparison(scale(), 2).unwrap();
+    for comparison in &legacy {
+        // The overall aggregate (group = None) is the legacy semantics.
+        let row = summary(&report, comparison.policy, None, None);
+        assert_eq!(row.workloads, 2);
+        assert!((row.avg_stp - comparison.avg_stp).abs() < TOLERANCE);
+        assert!((row.avg_antt - comparison.avg_antt).abs() < TOLERANCE);
+    }
+}
+
+#[test]
+fn fig15_spec_matches_legacy_memory_latency_sweep() {
+    let mut sweep_spec = spec("fig15_memory_latency_sweep");
+    sweep_spec.sweep.as_mut().unwrap().values = vec![200];
+    let report = engine::run_spec(&sweep_spec).unwrap();
+    let legacy = memory_latency_sweep(&[200], scale()).unwrap();
+    assert_eq!(legacy.len(), 1);
+    for comparison in &legacy[0].policies {
+        let row = summary(&report, comparison.policy, None, Some(200));
+        assert!((row.avg_stp - comparison.avg_stp).abs() < TOLERANCE);
+        assert!((row.avg_antt - comparison.avg_antt).abs() < TOLERANCE);
+    }
+}
+
+#[test]
+fn fig20_spec_matches_legacy_alternative_policies() {
+    let report = engine::run_spec(
+        &spec("fig20_alternative_policies")
+            .with_workload_limit_per_group(1)
+            .unwrap(),
+    )
+    .unwrap();
+    let legacy = alternative_policies(scale(), 1).unwrap();
+    assert_group_summaries_match(&report, &legacy);
+}
+
+#[test]
+fn fig22_specs_match_legacy_partitioning_comparison() {
+    let two = engine::run_spec(
+        &spec("fig22_partitioning_two_thread")
+            .with_workload_limit_per_group(1)
+            .unwrap(),
+    )
+    .unwrap();
+    let four =
+        engine::run_spec(&spec("fig22_partitioning_four_thread").with_workload_limit(1)).unwrap();
+    let (legacy_two, legacy_four) = partitioning_comparison(scale(), 1, 1).unwrap();
+    assert_group_summaries_match(&two, &legacy_two);
+    for comparison in &legacy_four {
+        let row = summary(&four, comparison.policy, None, None);
+        assert!((row.avg_stp - comparison.avg_stp).abs() < TOLERANCE);
+    }
+}
+
+#[test]
+fn table1_spec_matches_legacy_characterization() {
+    let mut characterization_spec = spec("table1_characterization");
+    characterization_spec.workloads = vec![vec!["mcf".to_string()], vec!["bzip2".to_string()]];
+    let report = engine::run_spec(&characterization_spec).unwrap();
+    for row in &report.bench_rows {
+        let legacy = characterization::characterize(&row.benchmark, scale()).unwrap();
+        assert_eq!(
+            row.lll_per_kinst,
+            Some(legacy.lll_per_kinst),
+            "{}",
+            row.benchmark
+        );
+        assert_eq!(row.mlp, Some(legacy.mlp));
+        assert_eq!(row.mlp_impact, Some(legacy.mlp_impact));
+        assert_eq!(row.class.as_deref(), Some(legacy.measured_class.label()));
+        assert_eq!(row.ipc, legacy.ipc);
+    }
+}
+
+#[test]
+fn fig04_and_fig05_specs_match_legacy_rows() {
+    let mut cdf_spec = spec("fig04_mlp_distance_cdf");
+    cdf_spec.workloads.truncate(2);
+    let report = engine::run_spec(&cdf_spec).unwrap();
+    let legacy = figure4(scale()).unwrap();
+    for row in &report.bench_rows {
+        let legacy_row = legacy
+            .iter()
+            .find(|c| c.benchmark == row.benchmark)
+            .unwrap();
+        assert_eq!(row.mlp_distance_cdf.as_ref().unwrap(), &legacy_row.cdf);
+    }
+
+    let mut prefetch_spec = spec("fig05_prefetcher");
+    prefetch_spec.workloads = vec![vec!["swim".to_string()]];
+    let report = engine::run_spec(&prefetch_spec).unwrap();
+    let legacy = figure5(scale()).unwrap();
+    let legacy_row = legacy.iter().find(|r| r.benchmark == "swim").unwrap();
+    assert_eq!(report.bench_rows[0].ipc, legacy_row.ipc_with_prefetch);
+    assert_eq!(
+        report.bench_rows[0].ipc_without_prefetch,
+        Some(legacy_row.ipc_without_prefetch)
+    );
+}
+
+#[test]
+fn fig06_08_spec_matches_legacy_predictor_characterization() {
+    let mut predictor_spec = spec("fig06_08_predictor_accuracy");
+    predictor_spec.workloads = vec![vec!["swim".to_string()], vec!["mcf".to_string()]];
+    let report = engine::run_spec(&predictor_spec).unwrap();
+    let legacy = predictor_characterization(scale()).unwrap();
+    for row in &report.bench_rows {
+        let legacy_row = legacy
+            .iter()
+            .find(|r| r.benchmark == row.benchmark)
+            .unwrap();
+        assert_eq!(row.lll_accuracy, Some(legacy_row.lll_accuracy));
+        assert_eq!(row.lll_miss_accuracy, Some(legacy_row.lll_miss_accuracy));
+        let legacy_mlp_accuracy = legacy_row.mlp_true_positive + legacy_row.mlp_true_negative;
+        assert!((row.mlp_accuracy.unwrap() - legacy_mlp_accuracy).abs() < TOLERANCE);
+        assert_eq!(
+            row.mlp_distance_accuracy,
+            Some(legacy_row.mlp_distance_accuracy)
+        );
+    }
+}
+
+#[test]
+fn report_round_trips_through_json_and_toml() {
+    let report = engine::run_spec(
+        &spec("fig09_two_thread_policies")
+            .with_workload_limit_per_group(1)
+            .unwrap(),
+    )
+    .unwrap();
+    let json = report.to_json().unwrap();
+    let from_json: ExperimentReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(from_json, report);
+    let toml_text = report.to_toml().unwrap();
+    let from_toml: ExperimentReport = toml::from_str(&toml_text).unwrap();
+    assert_eq!(from_toml, report);
+}
+
+#[test]
+fn shared_reference_cache_simulates_each_reference_exactly_once() {
+    let cache = StReferenceCache::new();
+    let run_scale = scale();
+    let baseline = SmtConfig::baseline(2);
+    let slow_memory = baseline.clone().with_memory_latency(600);
+    // 4 benchmarks x 2 configurations = 8 distinct references.
+    let benchmarks = ["mcf", "swim", "gcc", "gap"];
+    let configs = [&baseline, &slow_memory];
+    std::thread::scope(|scope| {
+        for worker in 0..8 {
+            let cache = &cache;
+            let configs = &configs;
+            scope.spawn(move || {
+                // Each worker asks for every reference, in a different order.
+                for step in 0..benchmarks.len() * configs.len() {
+                    let index = (step + worker) % (benchmarks.len() * configs.len());
+                    let benchmark = benchmarks[index % benchmarks.len()];
+                    let config = configs[index / benchmarks.len()];
+                    let cpi = cache.st_cpi(benchmark, config, run_scale, 1_000).unwrap();
+                    assert!(cpi > 0.0);
+                }
+            });
+        }
+    });
+    assert_eq!(cache.len(), 8, "8 distinct references should be cached");
+    assert_eq!(
+        cache.reference_runs(),
+        8,
+        "every reference must be simulated exactly once across 8 threads"
+    );
+}
+
+#[test]
+fn engine_results_do_not_depend_on_thread_count() {
+    let grid_spec = spec("fig09_two_thread_policies")
+        .with_workload_limit_per_group(1)
+        .unwrap();
+    let serial = engine::run_spec_with_threads(&grid_spec, 1).unwrap();
+    let parallel = engine::run_spec_with_threads(&grid_spec, 8).unwrap();
+    assert_eq!(serial.policy_cells, parallel.policy_cells);
+    assert_eq!(serial.summaries, parallel.summaries);
+    assert_eq!(serial.reference_runs, parallel.reference_runs);
+}

@@ -19,7 +19,12 @@ fn stp_and_antt_agree_with_manual_computation() {
 fn single_thread_execution_is_an_upper_bound_for_per_thread_ipc() {
     // Running together can never make an individual program faster than running
     // alone by more than measurement noise (cache warm-up differences).
-    let r = evaluate_workload(&["swim", "twolf"], FetchPolicyKind::Icount, RunScale::test()).unwrap();
+    let r = evaluate_workload(
+        &["swim", "twolf"],
+        FetchPolicyKind::Icount,
+        RunScale::test(),
+    )
+    .unwrap();
     for (mt, st) in r.per_thread_ipc.iter().zip(&r.per_thread_st_ipc) {
         assert!(
             mt <= &(st * 1.15),
@@ -52,9 +57,19 @@ fn st_reference_runs_are_policy_independent() {
     // policy stops its co-runners at different instruction counts, the reference
     // CPIs are sampled at different points of the same curve; they must still be
     // positive and of the same magnitude.
-    let icount = evaluate_workload(&["swim", "twolf"], FetchPolicyKind::Icount, RunScale::test()).unwrap();
-    let flush = evaluate_workload(&["swim", "twolf"], FetchPolicyKind::Flush, RunScale::test()).unwrap();
-    for (a, b) in icount.per_thread_st_ipc.iter().zip(&flush.per_thread_st_ipc) {
+    let icount = evaluate_workload(
+        &["swim", "twolf"],
+        FetchPolicyKind::Icount,
+        RunScale::test(),
+    )
+    .unwrap();
+    let flush =
+        evaluate_workload(&["swim", "twolf"], FetchPolicyKind::Flush, RunScale::test()).unwrap();
+    for (a, b) in icount
+        .per_thread_st_ipc
+        .iter()
+        .zip(&flush.per_thread_st_ipc)
+    {
         assert!(a > &0.0 && b > &0.0);
         let ratio = (a / b).max(b / a);
         assert!(ratio < 2.0, "ST references diverged: {a} vs {b}");

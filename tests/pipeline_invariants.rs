@@ -57,7 +57,11 @@ fn cpu_bound_trace() -> Box<dyn TraceSource> {
     ))
 }
 
-fn run(config: SmtConfig, traces: Vec<Box<dyn TraceSource>>, instructions: u64) -> smt_types::MachineStats {
+fn run(
+    config: SmtConfig,
+    traces: Vec<Box<dyn TraceSource>>,
+    instructions: u64,
+) -> smt_types::MachineStats {
     let mut sim = SmtSimulator::new(config, traces).unwrap();
     sim.run(SimOptions {
         max_instructions_per_thread: instructions,
@@ -71,7 +75,10 @@ fn single_thread_alu_loop_approaches_machine_width() {
     let cfg = SmtConfig::baseline(1);
     let stats = run(cfg, vec![cpu_bound_trace()], 20_000);
     let ipc = stats.threads[0].ipc(stats.cycles);
-    assert!(ipc > 2.0, "independent ALU loop should run near machine width, got {ipc}");
+    assert!(
+        ipc > 2.0,
+        "independent ALU loop should run near machine width, got {ipc}"
+    );
     assert!(ipc <= 4.0 + 1e-9);
 }
 
@@ -103,7 +110,10 @@ fn memory_bound_thread_exposes_mlp() {
         20_000,
     );
     let t = &stats.threads[0];
-    assert!(t.long_latency_loads > 100, "expected many long-latency loads");
+    assert!(
+        t.long_latency_loads > 100,
+        "expected many long-latency loads"
+    );
     assert!(
         t.measured_mlp() > 2.5,
         "four independent misses per iteration should overlap, MLP = {}",
@@ -140,12 +150,16 @@ fn memory_bound_thread_hurts_coscheduled_ilp_thread_under_icount() {
         ]
     };
     let icount = run(
-        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Icount).with_prefetcher(false),
+        SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::Icount)
+            .with_prefetcher(false),
         mk_traces(),
         20_000,
     );
     let flush = run(
-        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Flush).with_prefetcher(false),
+        SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::Flush)
+            .with_prefetcher(false),
         mk_traces(),
         20_000,
     );
@@ -166,12 +180,16 @@ fn mlp_aware_flush_preserves_memory_thread_mlp_better_than_flush() {
         ]
     };
     let flush = run(
-        SmtConfig::baseline(2).with_policy(FetchPolicyKind::Flush).with_prefetcher(false),
+        SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::Flush)
+            .with_prefetcher(false),
         mk_traces(),
         20_000,
     );
     let mlp_flush = run(
-        SmtConfig::baseline(2).with_policy(FetchPolicyKind::MlpFlush).with_prefetcher(false),
+        SmtConfig::baseline(2)
+            .with_policy(FetchPolicyKind::MlpFlush)
+            .with_prefetcher(false),
         mk_traces(),
         20_000,
     );
@@ -212,12 +230,16 @@ fn fetched_accounts_for_committed_and_squashed() {
 fn window_sweep_improves_single_thread_memory_performance() {
     // A larger window exposes more MLP for a memory-bound thread.
     let small = run(
-        SmtConfig::baseline(1).with_window_size(128).with_prefetcher(false),
+        SmtConfig::baseline(1)
+            .with_window_size(128)
+            .with_prefetcher(false),
         vec![Box::new(FreshMissTrace::new(memory_bound_loop(6, 120)))],
         15_000,
     );
     let large = run(
-        SmtConfig::baseline(1).with_window_size(1024).with_prefetcher(false),
+        SmtConfig::baseline(1)
+            .with_window_size(1024)
+            .with_prefetcher(false),
         vec![Box::new(FreshMissTrace::new(memory_bound_loop(6, 120)))],
         15_000,
     );
@@ -230,14 +252,21 @@ fn window_sweep_improves_single_thread_memory_performance() {
 #[test]
 fn higher_memory_latency_slows_memory_bound_threads() {
     let fast = run(
-        SmtConfig::baseline(1).with_memory_latency(200).with_prefetcher(false),
+        SmtConfig::baseline(1)
+            .with_memory_latency(200)
+            .with_prefetcher(false),
         vec![Box::new(FreshMissTrace::new(memory_bound_loop(2, 60)))],
         15_000,
     );
     let slow = run(
-        SmtConfig::baseline(1).with_memory_latency(800).with_prefetcher(false),
+        SmtConfig::baseline(1)
+            .with_memory_latency(800)
+            .with_prefetcher(false),
         vec![Box::new(FreshMissTrace::new(memory_bound_loop(2, 60)))],
         15_000,
     );
-    assert!(slow.cycles > fast.cycles, "800-cycle memory must be slower than 200-cycle memory");
+    assert!(
+        slow.cycles > fast.cycles,
+        "800-cycle memory must be slower than 200-cycle memory"
+    );
 }

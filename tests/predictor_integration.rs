@@ -82,13 +82,25 @@ fn figure4_cdfs_are_monotone_and_complete() {
     let cdfs = figure4(RunScale::test()).unwrap();
     assert_eq!(cdfs.len(), 6);
     for cdf in &cdfs {
-        assert!(!cdf.cdf.is_empty(), "{} produced no MLP-distance observations", cdf.benchmark);
+        assert!(
+            !cdf.cdf.is_empty(),
+            "{} produced no MLP-distance observations",
+            cdf.benchmark
+        );
         let mut last = 0.0;
         for &(_, fraction) in &cdf.cdf {
-            assert!(fraction >= last - 1e-12, "{}: CDF must be monotone", cdf.benchmark);
+            assert!(
+                fraction >= last - 1e-12,
+                "{}: CDF must be monotone",
+                cdf.benchmark
+            );
             last = fraction;
         }
-        assert!((last - 1.0).abs() < 1e-9, "{}: CDF must reach 1.0", cdf.benchmark);
+        assert!(
+            (last - 1.0).abs() < 1e-9,
+            "{}: CDF must reach 1.0",
+            cdf.benchmark
+        );
     }
 }
 
@@ -99,8 +111,7 @@ fn mlp_distances_respect_the_llsr_bound() {
     let stats = run_single_thread("fma3d", &cfg, RunScale::test()).unwrap();
     let hist = &stats.threads[0].mlp_distance_histogram;
     assert!(!hist.is_empty());
-    let max_bin_bound =
-        hist.len() as u32 * smt_types::ThreadStats::MLP_HIST_BIN;
+    let max_bin_bound = hist.len() as u32 * smt_types::ThreadStats::MLP_HIST_BIN;
     assert!(
         max_bin_bound <= 256 + smt_types::ThreadStats::MLP_HIST_BIN,
         "predicted distances exceed the LLSR bound: up to {max_bin_bound}"

@@ -10,15 +10,15 @@ use smt_types::OpKind;
 
 fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
     (
-        0.0f64..40.0,          // lll_per_kinst
-        1.0f64..8.0,           // target_mlp
-        8u32..200,             // burst_span
-        0.0f64..1.0,           // prefetch_friendliness
-        0.05f64..0.35,         // load_fraction
-        0.02f64..0.2,          // store_fraction
-        0.02f64..0.25,         // branch_fraction
-        0.0f64..0.8,           // fp_fraction
-        1.5f64..12.0,          // dep_distance_mean
+        0.0f64..40.0,  // lll_per_kinst
+        1.0f64..8.0,   // target_mlp
+        8u32..200,     // burst_span
+        0.0f64..1.0,   // prefetch_friendliness
+        0.05f64..0.35, // load_fraction
+        0.02f64..0.2,  // store_fraction
+        0.02f64..0.25, // branch_fraction
+        0.0f64..0.8,   // fp_fraction
+        1.5f64..12.0,  // dep_distance_mean
     )
         .prop_map(
             |(lll, mlp, span, pf, loads, stores, branches, fp, dep)| BenchmarkProfile {
@@ -41,9 +41,10 @@ fn arbitrary_profile() -> impl Strategy<Value = BenchmarkProfile> {
                 l2_fraction: 0.01,
             },
         )
-        .prop_filter("profile must be internally consistent and achievable", |p| {
-            p.validate().is_ok()
-        })
+        .prop_filter(
+            "profile must be internally consistent and achievable",
+            |p| p.validate().is_ok(),
+        )
 }
 
 proptest! {
