@@ -1,0 +1,37 @@
+//! Simulator-throughput bench: times the `smt-cli bench` scenario matrix's
+//! headline 4-thread baseline cell (and the 2-thread MLP cell) through the
+//! [`smt_core::throughput`] harness, so `cargo bench` tracks raw sims/sec
+//! alongside the figure-regeneration benches.
+
+use criterion::{black_box, criterion_group, criterion_main, BatchSize, Criterion};
+use smt_core::throughput::{prepare_scenario, scenario_matrix, BenchOptions, BASELINE_SCENARIO};
+
+fn bench_throughput(c: &mut Criterion) {
+    let opts = BenchOptions {
+        instructions_per_thread: 5_000,
+        runs: 1,
+        quick: true,
+    };
+    let matrix = scenario_matrix();
+    let mut group = c.benchmark_group("throughput");
+    group.sample_size(10);
+    for name in [BASELINE_SCENARIO, "2t_mlp_mlpflush"] {
+        let scenario = matrix
+            .iter()
+            .find(|s| s.name == name)
+            .expect("scenario matrix entry");
+        group.bench_function(name, |b| {
+            // Trace and simulator construction stay outside the timed region so
+            // the sample is the cycle loop alone, matching the cycles/s metric.
+            b.iter_batched(
+                || prepare_scenario(scenario, &opts).expect("scenario prepares"),
+                |(mut sim, options)| black_box(sim.run(options)),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_throughput);
+criterion_main!(benches);

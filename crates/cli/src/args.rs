@@ -50,8 +50,28 @@ pub enum Command {
     },
     /// `smt-cli run <name|spec.toml> [flags]`
     Run(RunArgs),
+    /// `smt-cli bench [flags]`
+    Bench(BenchArgs),
     /// `smt-cli help` / `--help`
     Help,
+}
+
+/// Flags of the `bench` subcommand.
+#[derive(Clone, PartialEq, Debug, Default)]
+pub struct BenchArgs {
+    /// `--quick`: reduced-size smoke run (CI).
+    pub quick: bool,
+    /// `--instructions <n>`: overrides the per-thread instruction budget.
+    pub instructions: Option<u64>,
+    /// `--runs <n>`: timed repetitions per scenario (best one is kept).
+    pub runs: Option<u32>,
+    /// `--out <path>`: where to write the JSON report
+    /// (default `BENCH_throughput.json`).
+    pub out: Option<String>,
+    /// `--baseline <path>`: earlier report to compare against.
+    pub baseline: Option<String>,
+    /// `--quiet`: suppress the stdout table.
+    pub quiet: bool,
 }
 
 /// Flags of the `run` subcommand.
@@ -197,6 +217,44 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Run(run))
         }
+        "bench" => {
+            let mut bench = BenchArgs::default();
+            while let Some(flag) = iter.next() {
+                let mut value_for = |flag: &str| {
+                    iter.next()
+                        .cloned()
+                        .ok_or_else(|| format!("`{flag}` needs a value"))
+                };
+                match flag.as_str() {
+                    "--quick" => bench.quick = true,
+                    "--instructions" => {
+                        let value = value_for("--instructions")?;
+                        let instructions: u64 = value
+                            .parse()
+                            .map_err(|_| format!("invalid instruction count `{value}`"))?;
+                        if instructions == 0 {
+                            return Err("`--instructions` must be at least 1".to_string());
+                        }
+                        bench.instructions = Some(instructions);
+                    }
+                    "--runs" => {
+                        let value = value_for("--runs")?;
+                        let runs: u32 = value
+                            .parse()
+                            .map_err(|_| format!("invalid run count `{value}`"))?;
+                        if runs == 0 {
+                            return Err("`--runs` must be at least 1".to_string());
+                        }
+                        bench.runs = Some(runs);
+                    }
+                    "--out" => bench.out = Some(value_for("--out")?),
+                    "--baseline" => bench.baseline = Some(value_for("--baseline")?),
+                    "--quiet" | "-q" => bench.quiet = true,
+                    other => return Err(format!("unknown flag `{other}` for `bench`")),
+                }
+            }
+            Ok(Command::Bench(bench))
+        }
         other => Err(format!("unknown command `{other}`; try `smt-cli help`")),
     }
 }
@@ -215,6 +273,18 @@ USAGE:
     smt-cli run <name|spec.toml> [flags]
         Run a registered experiment or a TOML spec file.
 
+    smt-cli bench [flags]
+        Time the fixed throughput scenario matrix (1T/2T/4T, ILP/MLP mixes,
+        ICOUNT + MLP-aware flush) and write BENCH_throughput.json.
+
+BENCH FLAGS:
+    --quick             Reduced-size smoke run (CI)
+    --instructions <n>  Instructions per thread (default 30000; 3000 with --quick)
+    --runs <n>          Timed repetitions per scenario (default 3; 1 with --quick)
+    --out <path>        Report path (default BENCH_throughput.json)
+    --baseline <path>   Compare against an earlier report and print speedups
+    --quiet             Suppress the stdout table
+
 RUN FLAGS:
     --scale <tiny|test|standard|full>   Override the spec's run scale
     --instructions <n>                  Override instructions per thread
@@ -231,6 +301,8 @@ EXAMPLES:
     smt-cli run fig15_memory_latency_sweep --per-group 1 --scale tiny
     smt-cli describe fig09_two_thread_policies > my_experiment.toml
     smt-cli run my_experiment.toml --threads 8
+    smt-cli bench --out BENCH_throughput.json
+    smt-cli bench --quick --baseline BENCH_throughput.json --out /tmp/now.json
 ";
 
 #[cfg(test)]
@@ -291,6 +363,40 @@ mod tests {
         assert!(parse_err(&["run", "x", "--warp"]).contains("--warp"));
         assert!(parse_err(&["frobnicate"]).contains("frobnicate"));
         assert!(parse_err(&["list", "extra"]).contains("takes no arguments"));
+    }
+
+    #[test]
+    fn bench_flags_parse() {
+        assert_eq!(parse_ok(&["bench"]), Command::Bench(BenchArgs::default()));
+        let command = parse_ok(&[
+            "bench",
+            "--quick",
+            "--instructions",
+            "5000",
+            "--runs",
+            "2",
+            "--out",
+            "/tmp/b.json",
+            "--baseline",
+            "old.json",
+            "--quiet",
+        ]);
+        let Command::Bench(bench) = command else {
+            panic!("expected bench");
+        };
+        assert!(bench.quick && bench.quiet);
+        assert_eq!(bench.instructions, Some(5_000));
+        assert_eq!(bench.runs, Some(2));
+        assert_eq!(bench.out.as_deref(), Some("/tmp/b.json"));
+        assert_eq!(bench.baseline.as_deref(), Some("old.json"));
+    }
+
+    #[test]
+    fn bench_errors_are_helpful() {
+        assert!(parse_err(&["bench", "--instructions", "0"]).contains("at least 1"));
+        assert!(parse_err(&["bench", "--runs", "zero"]).contains("invalid run count"));
+        assert!(parse_err(&["bench", "--warp"]).contains("--warp"));
+        assert!(parse_err(&["bench", "--out"]).contains("needs a value"));
     }
 
     #[test]

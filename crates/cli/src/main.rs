@@ -15,9 +15,10 @@ mod args;
 use std::process::ExitCode;
 
 use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec};
+use smt_core::throughput::{self, BenchOptions, ThroughputReport, BASELINE_SCENARIO};
 use smt_types::SimError;
 
-use args::{Command, OutputFormat, RunArgs};
+use args::{BenchArgs, Command, OutputFormat, RunArgs};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +47,104 @@ fn dispatch(command: Command) -> Result<(), String> {
         Command::List => list(),
         Command::Describe { name } => describe(&name),
         Command::Run(run) => execute(run),
+        Command::Bench(bench) => execute_bench(bench),
     }
+}
+
+/// Best-effort git revision of the working tree, recorded in bench reports.
+/// A dirty tree is marked `-dirty`: the measured binary then differs from the
+/// named commit, and the report must not be mistaken for that commit's
+/// trajectory point.
+fn current_commit() -> Option<String> {
+    let output = std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()?;
+    if !output.status.success() {
+        return None;
+    }
+    let mut rev = String::from_utf8(output.stdout).ok()?.trim().to_string();
+    if rev.is_empty() {
+        return None;
+    }
+    let status = std::process::Command::new("git")
+        .args(["status", "--porcelain"])
+        .output()
+        .ok()?;
+    if status.status.success() && !status.stdout.is_empty() {
+        rev.push_str("-dirty");
+    }
+    Some(rev)
+}
+
+fn execute_bench(bench: BenchArgs) -> Result<(), String> {
+    let mut opts = if bench.quick {
+        BenchOptions::quick()
+    } else {
+        BenchOptions::standard()
+    };
+    if let Some(instructions) = bench.instructions {
+        opts.instructions_per_thread = instructions;
+    }
+    if let Some(runs) = bench.runs {
+        opts.runs = runs;
+    }
+    // Load the baseline up front: a missing or malformed file must fail before
+    // the (minutes-long) measurement, not after it.
+    let baseline = bench
+        .baseline
+        .as_deref()
+        .map(|path| -> Result<(String, ThroughputReport), String> {
+            let text = std::fs::read_to_string(path)
+                .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
+            let report = ThroughputReport::from_json(&text).map_err(|e| e.to_string())?;
+            // The matrix is static, so comparability is known now: the
+            // baseline must share at least one scenario with a usable rate.
+            let comparable = report.scenarios.iter().any(|s| {
+                s.cycles_per_second > 0.0
+                    && throughput::scenario_matrix()
+                        .iter()
+                        .any(|m| m.name == s.name)
+            });
+            if !comparable {
+                return Err(format!(
+                    "baseline `{path}` shares no comparable scenarios with the current matrix"
+                ));
+            }
+            Ok((path.to_string(), report))
+        })
+        .transpose()?;
+
+    eprintln!(
+        "benchmarking {} scenarios at {} instructions/thread, best of {} run(s)...",
+        throughput::scenario_matrix().len(),
+        opts.instructions_per_thread,
+        opts.runs
+    );
+    let report = throughput::run_matrix(&opts, current_commit()).map_err(|e| e.to_string())?;
+
+    let out = bench.out.as_deref().unwrap_or("BENCH_throughput.json");
+    let payload = report.to_json().map_err(|e| e.to_string())?;
+    std::fs::write(out, payload).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    eprintln!("report written to {out}");
+
+    if !bench.quiet {
+        print!("{}", report.format_text());
+    }
+    if let Some((path, baseline)) = &baseline {
+        let rows = report.compare(baseline);
+        println!("\nspeedup vs {path}:");
+        for row in &rows {
+            println!(
+                "{:<18} {:>10.0} -> {:>10.0} cycles/s  ({:.2}x)",
+                row.name, row.baseline_cycles_per_second, row.cycles_per_second, row.speedup
+            );
+        }
+        if let Some(headline) = report.headline_speedup(baseline) {
+            println!("headline ({BASELINE_SCENARIO}): {headline:.2}x");
+        }
+    }
+    Ok(())
 }
 
 fn list() -> Result<(), String> {

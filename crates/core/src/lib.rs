@@ -11,7 +11,9 @@
 //!   Tables II and III,
 //! * [`runner`] — high-level helpers that run single-threaded reference and
 //!   multithreaded workloads and combine them into STP/ANTT results,
-//! * [`experiments`] — one runner per table/figure of the evaluation section.
+//! * [`experiments`] — one runner per table/figure of the evaluation section,
+//! * [`throughput`] — the simulator-throughput (sims/sec) harness behind
+//!   `smt-cli bench` and `BENCH_throughput.json`.
 //!
 //! # Quickstart
 //!
@@ -36,6 +38,7 @@ pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
 pub mod runner;
+pub mod throughput;
 pub mod workloads;
 
 pub use pipeline::{SimOptions, SmtSimulator};

@@ -10,6 +10,9 @@
 
 mod thread;
 
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
 use smt_mem::{AccessLevel, MemoryHierarchy, WriteBuffer};
 use smt_predictors::LongLatencyPredictor;
@@ -17,6 +20,31 @@ use smt_trace::TraceSource;
 use smt_types::{MachineStats, OpKind, SeqNum, SimError, SmtConfig, SmtSnapshot, ThreadId};
 
 use thread::{InFlight, PendingMlpEval, RefetchEntry, ThreadContext};
+
+/// A scheduled execution-completion: instruction `seq` of `thread` finishes at
+/// `done_at`. Events are popped from a min-heap when their cycle arrives;
+/// events whose instruction was squashed in the meantime no longer match any
+/// window entry (squashed instructions are re-fetched under fresh sequence
+/// numbers) and are discarded on pop.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+struct CompletionEvent {
+    done_at: u64,
+    thread: u32,
+    seq: u64,
+}
+
+/// Machine-level occupancy of the shared buffer resources, maintained
+/// incrementally at every allocate/release instead of being recomputed from the
+/// per-thread counters each cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+struct SharedTotals {
+    rob: u32,
+    lsq: u32,
+    iq_int: u32,
+    iq_fp: u32,
+    rename_int: u32,
+    rename_fp: u32,
+}
 
 /// Run-length options for a simulation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -92,6 +120,21 @@ pub struct SmtSimulator {
     stats_cycle_base: u64,
     rotate: usize,
     frontend_capacity: u32,
+    /// Shared-resource occupancy totals, updated at every allocate/release.
+    totals: SharedTotals,
+    /// Pending execution completions, ordered by completion cycle.
+    completions: BinaryHeap<Reverse<CompletionEvent>>,
+    // Reusable per-cycle buffers: the steady-state cycle loop performs no heap
+    // allocation.
+    snapshot: SmtSnapshot,
+    priority: Vec<ThreadId>,
+    flushes: Vec<FlushRequest>,
+    caps: Vec<ResourceCaps>,
+    /// Per-thread oldest mispredicted-branch seq completing this cycle.
+    mispredicts: Vec<Option<u64>>,
+    /// Saved start-of-cycle snapshot fields overwritten for the resource-stall
+    /// policy callback, restored before fetch.
+    stall_view: Vec<(u32, Option<u64>)>,
 }
 
 impl SmtSimulator {
@@ -139,8 +182,10 @@ impl SmtSimulator {
             .map(|t| ThreadContext::new(&config, t))
             .collect();
         let frontend_capacity = config.frontend_depth * config.fetch_width;
+        let num_threads = config.num_threads;
         Ok(SmtSimulator {
-            stats: MachineStats::new(config.num_threads),
+            stats: MachineStats::new(num_threads),
+            snapshot: SmtSnapshot::new(num_threads),
             config,
             policy,
             mem,
@@ -150,6 +195,13 @@ impl SmtSimulator {
             stats_cycle_base: 0,
             rotate: 0,
             frontend_capacity,
+            totals: SharedTotals::default(),
+            completions: BinaryHeap::new(),
+            priority: Vec::with_capacity(num_threads),
+            flushes: Vec::new(),
+            caps: vec![ResourceCaps::default(); num_threads],
+            mispredicts: vec![None; num_threads],
+            stall_view: Vec::with_capacity(num_threads),
         })
     }
 
@@ -164,8 +216,18 @@ impl SmtSimulator {
     }
 
     /// Statistics accumulated so far.
+    ///
+    /// `stats().cycles` is finalized by [`SmtSimulator::run`]; while stepping
+    /// the simulator manually, read the live count from
+    /// [`SmtSimulator::measured_cycles`] instead.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
+    }
+
+    /// Cycles elapsed in the current measurement phase, i.e. since the last
+    /// statistics reset (warm-up end).
+    pub fn measured_cycles(&self) -> u64 {
+        self.cycle - self.stats_cycle_base
     }
 
     /// Runs the warm-up phase followed by the measured phase, stopping the
@@ -186,7 +248,9 @@ impl SmtSimulator {
             }
             self.step();
         }
-        self.stats.cycles = self.cycle - self.stats_cycle_base;
+        // `run` is the single writer of the aggregate cycle count; `step` only
+        // advances the raw cycle counter.
+        self.stats.cycles = self.measured_cycles();
         self.stats.clone()
     }
 
@@ -222,24 +286,42 @@ impl SmtSimulator {
 
     /// Advances the machine by one cycle.
     pub fn step(&mut self) {
-        let snapshot = self.build_snapshot();
-        let caps = self.policy.resource_caps(&snapshot, &self.config);
+        // Move the reusable buffers out of `self` for the duration of the cycle
+        // (a pointer-sized swap, not an allocation) so the phases can borrow
+        // them alongside `&mut self`.
+        let mut snapshot = std::mem::take(&mut self.snapshot);
+        self.refresh_snapshot(&mut snapshot);
+        let mut caps = std::mem::take(&mut self.caps);
+        caps.fill(ResourceCaps::default());
+        let caps_apply = self
+            .policy
+            .resource_caps(&snapshot, &self.config, &mut caps);
         self.commit_phase();
         self.writeback_phase();
         self.issue_phase();
-        self.dispatch_phase(&snapshot, caps.as_deref());
+        self.dispatch_phase(&mut snapshot, caps_apply.then_some(caps.as_slice()));
         self.fetch_phase(&snapshot);
         self.account_mlp();
         self.cycle += 1;
         self.rotate = (self.rotate + 1) % self.threads.len();
-        self.stats.cycles = self.cycle - self.stats_cycle_base;
+        self.snapshot = snapshot;
+        self.caps = caps;
+        #[cfg(debug_assertions)]
+        self.debug_check_totals();
     }
 
     // ------------------------------------------------------------------ snapshot
 
-    fn build_snapshot(&self) -> SmtSnapshot {
-        let mut snap = SmtSnapshot::new(self.threads.len());
-        snap.cycle = self.cycle;
+    /// Rewrites the reused snapshot buffer in place with the start-of-cycle
+    /// machine state (no allocation in steady state).
+    fn refresh_snapshot(&self, snap: &mut SmtSnapshot) {
+        snap.begin_cycle(self.cycle);
+        snap.rob_total_occupancy = self.totals.rob;
+        snap.lsq_total_occupancy = self.totals.lsq;
+        snap.iq_int_total_occupancy = self.totals.iq_int;
+        snap.iq_fp_total_occupancy = self.totals.iq_fp;
+        snap.rename_int_total_used = self.totals.rename_int;
+        snap.rename_fp_total_used = self.totals.rename_fp;
         for (i, ctx) in self.threads.iter().enumerate() {
             let t = &mut snap.threads[i];
             t.active = ctx.active;
@@ -253,14 +335,23 @@ impl SmtSimulator {
             t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
             t.outstanding_l1d_misses = ctx.outstanding_l1d;
             t.oldest_lll_cycle = ctx.oldest_lll_cycle();
-            snap.rob_total_occupancy += ctx.occ.rob;
-            snap.lsq_total_occupancy += ctx.occ.lsq;
-            snap.iq_int_total_occupancy += ctx.occ.iq_int;
-            snap.iq_fp_total_occupancy += ctx.occ.iq_fp;
-            snap.rename_int_total_used += ctx.occ.rename_int;
-            snap.rename_fp_total_used += ctx.occ.rename_fp;
         }
-        snap
+    }
+
+    /// Verifies (in debug builds) that the incremental shared-resource totals
+    /// agree with a from-scratch recomputation over the per-thread counters.
+    #[cfg(debug_assertions)]
+    fn debug_check_totals(&self) {
+        let mut expect = SharedTotals::default();
+        for ctx in &self.threads {
+            expect.rob += ctx.occ.rob;
+            expect.lsq += ctx.occ.lsq;
+            expect.iq_int += ctx.occ.iq_int;
+            expect.iq_fp += ctx.occ.iq_fp;
+            expect.rename_int += ctx.occ.rename_int;
+            expect.rename_fp += ctx.occ.rename_fp;
+        }
+        debug_assert_eq!(self.totals, expect, "incremental occupancy totals drifted");
     }
 
     // ------------------------------------------------------------------ commit
@@ -284,14 +375,18 @@ impl SmtSimulator {
                 }
                 let head = ctx.window.pop_front().expect("head exists");
                 ctx.occ.rob -= 1;
+                self.totals.rob -= 1;
                 if head.uses_lsq {
                     ctx.occ.lsq -= 1;
+                    self.totals.lsq -= 1;
                 }
                 if head.has_dest {
                     if head.dest_fp {
                         ctx.occ.rename_fp -= 1;
+                        self.totals.rename_fp -= 1;
                     } else {
                         ctx.occ.rename_int -= 1;
+                        self.totals.rename_int -= 1;
                     }
                 }
                 ctx.committed += 1;
@@ -346,36 +441,52 @@ impl SmtSimulator {
 
     // ------------------------------------------------------------------ writeback
 
+    /// Event-driven writeback: instead of rescanning every window entry each
+    /// cycle, pop the completion events that are due from the min-heap. Events
+    /// whose instruction was squashed while in flight find no matching sequence
+    /// number (squashed instructions are re-fetched under fresh numbers) and
+    /// are dropped.
     fn writeback_phase(&mut self) {
         let cycle = self.cycle;
-        for ti in 0..self.threads.len() {
-            let thread_id = ThreadId::new(ti);
-            let mut mispredict_at: Option<u64> = None;
-            {
-                let ctx = &mut self.threads[ti];
-                for idx in 0..ctx.window.len() {
-                    let inst = &mut ctx.window[idx];
-                    if !inst.issued || inst.completed || inst.done_at > cycle {
-                        continue;
-                    }
-                    inst.completed = true;
-                    let seq = inst.seq;
-                    let was_lll = inst.is_long_latency;
-                    let was_l1_miss = inst.l1_missed;
-                    let mispredicted_branch = inst.op.kind == OpKind::Branch && inst.mispredicted;
-                    if was_l1_miss && ctx.outstanding_l1d > 0 {
-                        ctx.outstanding_l1d -= 1;
-                    }
-                    if was_lll && ctx.outstanding_lll.remove(&seq).is_some() {
-                        self.policy.on_long_latency_resolved(thread_id, SeqNum(seq));
-                    }
-                    if mispredicted_branch {
-                        mispredict_at = Some(mispredict_at.map_or(seq, |s: u64| s.min(seq)));
-                    }
-                }
+        self.mispredicts.fill(None);
+        while let Some(&Reverse(event)) = self.completions.peek() {
+            if event.done_at > cycle {
+                break;
             }
-            if let Some(seq) = mispredict_at {
-                self.stats.thread_mut(thread_id).branch_mispredictions += 1;
+            self.completions.pop();
+            let ti = event.thread as usize;
+            let ctx = &mut self.threads[ti];
+            let Ok(idx) = ctx
+                .window
+                .binary_search_by(|probe| probe.seq.cmp(&event.seq))
+            else {
+                // Stale event: the instruction was squashed after issuing.
+                continue;
+            };
+            let inst = &mut ctx.window[idx];
+            debug_assert!(inst.issued && !inst.completed && inst.done_at == event.done_at);
+            inst.completed = true;
+            let seq = inst.seq;
+            let was_lll = inst.is_long_latency;
+            let was_l1_miss = inst.l1_missed;
+            let mispredicted_branch = inst.op.kind == OpKind::Branch && inst.mispredicted;
+            if was_l1_miss && ctx.outstanding_l1d > 0 {
+                ctx.outstanding_l1d -= 1;
+            }
+            if was_lll && ctx.outstanding_lll.remove(&seq).is_some() {
+                self.policy
+                    .on_long_latency_resolved(ThreadId::new(ti), SeqNum(seq));
+            }
+            if mispredicted_branch {
+                let oldest = &mut self.mispredicts[ti];
+                *oldest = Some(oldest.map_or(seq, |s: u64| s.min(seq)));
+            }
+        }
+        for ti in 0..self.threads.len() {
+            if let Some(seq) = self.mispredicts[ti] {
+                self.stats
+                    .thread_mut(ThreadId::new(ti))
+                    .branch_mispredictions += 1;
                 self.squash(ti, seq, SquashCause::BranchMisprediction);
             }
         }
@@ -390,7 +501,8 @@ impl SmtSimulator {
         let mut ldst_units = self.config.ldst_units;
         let mut fp_units = self.config.fp_units;
         let num_threads = self.threads.len();
-        let mut flushes: Vec<FlushRequest> = Vec::new();
+        let mut flushes = std::mem::take(&mut self.flushes);
+        flushes.clear();
 
         for offset in 0..num_threads {
             if remaining == 0 {
@@ -411,7 +523,7 @@ impl SmtSimulator {
                         idx += 1;
                         continue;
                     }
-                    let ready = Self::deps_ready(ctx, inst);
+                    let ready = Self::deps_ready(ctx, idx);
                     (inst.seq, inst.op, ready, inst.predicted_lll)
                 };
                 if !ready {
@@ -502,10 +614,17 @@ impl SmtSimulator {
                     }
                     if inst.uses_fp_iq {
                         ctx.occ.iq_fp -= 1;
+                        self.totals.iq_fp -= 1;
                     } else {
                         ctx.occ.iq_int -= 1;
+                        self.totals.iq_int -= 1;
                     }
                     ctx.occ.icount -= 1;
+                    self.completions.push(Reverse(CompletionEvent {
+                        done_at,
+                        thread: ti as u32,
+                        seq,
+                    }));
                 }
 
                 if op.kind == OpKind::Load {
@@ -530,43 +649,66 @@ impl SmtSimulator {
             }
         }
 
-        for req in flushes {
+        for req in flushes.drain(..) {
             self.apply_flush(req);
         }
+        self.flushes = flushes;
     }
 
-    fn deps_ready(ctx: &ThreadContext, inst: &InFlight) -> bool {
-        for dep in inst.src_dep_seqs() {
-            let Some(producer_seq) = dep else { continue };
-            match ctx
-                .window
-                .binary_search_by(|probe| probe.seq.cmp(&producer_seq))
-            {
-                Ok(pos) => {
-                    if !ctx.window[pos].completed {
-                        return false;
-                    }
-                }
-                Err(_) => {
-                    // Producer already committed or was squashed: value available.
-                }
+    /// Whether the source operands of the instruction at window position `idx`
+    /// are available, using the producer offsets resolved at dispatch: a live
+    /// producer sits exactly `offset` slots earlier; an offset beyond `idx`
+    /// means the producer has committed (its value is available).
+    fn deps_ready(ctx: &ThreadContext, idx: usize) -> bool {
+        for dep in ctx.window[idx].src_dep_offsets {
+            let Some(offset) = dep else { continue };
+            let offset = offset as usize;
+            if offset <= idx && !ctx.window[idx - offset].completed {
+                return false;
             }
         }
         true
     }
 
+    /// Resolves the source-operand producers of the instruction at window
+    /// position `idx` into backward slot offsets, once, at dispatch. The common
+    /// case (no squash gap in the sequence numbers between producer and
+    /// consumer) is a single O(1) probe; after a squash gap it falls back to a
+    /// binary search. A missing producer (already committed, or unreachable
+    /// across a squash) yields `None` = always ready, exactly like the
+    /// pre-resolution behaviour of searching the window at issue time.
+    fn resolve_dep_offsets(window: &VecDeque<InFlight>, idx: usize) -> [Option<u32>; 2] {
+        let inst = &window[idx];
+        let mut offsets = [None, None];
+        for (slot, dep) in inst.src_dep_seqs().into_iter().enumerate() {
+            let Some(producer_seq) = dep else { continue };
+            let distance = inst.seq - producer_seq;
+            let candidate = (idx as u64).checked_sub(distance).map(|c| c as usize);
+            let pos = match candidate {
+                Some(pos) if window[pos].seq == producer_seq => Some(pos),
+                _ => window
+                    .binary_search_by(|probe| probe.seq.cmp(&producer_seq))
+                    .ok(),
+            };
+            offsets[slot] = pos.map(|pos| (idx - pos) as u32);
+        }
+        offsets
+    }
+
     // ------------------------------------------------------------------ dispatch
 
-    fn dispatch_phase(&mut self, snapshot: &SmtSnapshot, caps: Option<&[ResourceCaps]>) {
+    fn dispatch_phase(&mut self, snapshot: &mut SmtSnapshot, caps: Option<&[ResourceCaps]>) {
         let cycle = self.cycle;
         let cfg = &self.config;
         let mut remaining = cfg.dispatch_width;
-        let mut rob_total: u32 = self.threads.iter().map(|t| t.occ.rob).sum();
-        let mut lsq_total: u32 = self.threads.iter().map(|t| t.occ.lsq).sum();
-        let mut iq_int_total: u32 = self.threads.iter().map(|t| t.occ.iq_int).sum();
-        let mut iq_fp_total: u32 = self.threads.iter().map(|t| t.occ.iq_fp).sum();
-        let mut ren_int_total: u32 = self.threads.iter().map(|t| t.occ.rename_int).sum();
-        let mut ren_fp_total: u32 = self.threads.iter().map(|t| t.occ.rename_fp).sum();
+        // Shared occupancy comes from the incrementally maintained totals; the
+        // locals track this cycle's allocations and are folded back afterwards.
+        let mut rob_total = self.totals.rob;
+        let mut lsq_total = self.totals.lsq;
+        let mut iq_int_total = self.totals.iq_int;
+        let mut iq_fp_total = self.totals.iq_fp;
+        let mut ren_int_total = self.totals.rename_int;
+        let mut ren_fp_total = self.totals.rename_fp;
         let mut shared_blocked = false;
         let num_threads = self.threads.len();
 
@@ -627,9 +769,14 @@ impl SmtSimulator {
                     }
                 }
 
+                // Resolve source-operand producers once; issue then checks
+                // readiness by window offset instead of re-searching each cycle.
+                let dep_offsets = Self::resolve_dep_offsets(&ctx.window, idx);
+
                 // Allocate and mark dispatched.
                 let ctx = &mut self.threads[ti];
                 let inst = &mut ctx.window[idx];
+                inst.src_dep_offsets = dep_offsets;
                 inst.dispatched = true;
                 inst.uses_lsq = uses_lsq;
                 inst.uses_fp_iq = uses_fp_iq;
@@ -681,19 +828,45 @@ impl SmtSimulator {
             }
         }
 
+        // Fold this cycle's allocations back into the running totals before any
+        // stall-triggered flush (whose squashes decrement them again).
+        self.totals = SharedTotals {
+            rob: rob_total,
+            lsq: lsq_total,
+            iq_int: iq_int_total,
+            iq_fp: iq_fp_total,
+            rename_int: ren_int_total,
+            rename_fp: ren_fp_total,
+        };
+
         if shared_blocked {
-            let mut stalled_snapshot = snapshot.clone();
-            stalled_snapshot.resource_stalled = true;
-            // Refresh the outstanding-load view so the policy sees current state.
+            // Flip the stall flag and refresh the outstanding-load view in
+            // place (saving the overwritten start-of-cycle values) instead of
+            // cloning the snapshot for the policy callback.
+            snapshot.resource_stalled = true;
+            let mut stall_view = std::mem::take(&mut self.stall_view);
+            stall_view.clear();
             for (i, ctx) in self.threads.iter().enumerate() {
-                stalled_snapshot.threads[i].outstanding_long_latency_loads =
-                    ctx.outstanding_lll.len() as u32;
-                stalled_snapshot.threads[i].oldest_lll_cycle = ctx.oldest_lll_cycle();
+                let t = &mut snapshot.threads[i];
+                stall_view.push((t.outstanding_long_latency_loads, t.oldest_lll_cycle));
+                t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
+                t.oldest_lll_cycle = ctx.oldest_lll_cycle();
             }
-            let requests = self.policy.on_resource_stall(&stalled_snapshot);
-            for req in requests {
+            let mut flushes = std::mem::take(&mut self.flushes);
+            flushes.clear();
+            self.policy.on_resource_stall(snapshot, &mut flushes);
+            for req in flushes.drain(..) {
                 self.apply_flush(req);
             }
+            self.flushes = flushes;
+            // Restore the start-of-cycle view: the fetch phase must see the
+            // same snapshot the pre-refactor pipeline handed it.
+            snapshot.resource_stalled = false;
+            for (i, (lll, oldest)) in stall_view.drain(..).enumerate() {
+                snapshot.threads[i].outstanding_long_latency_loads = lll;
+                snapshot.threads[i].oldest_lll_cycle = oldest;
+            }
+            self.stall_view = stall_view;
         }
     }
 
@@ -701,12 +874,18 @@ impl SmtSimulator {
 
     fn fetch_phase(&mut self, snapshot: &SmtSnapshot) {
         let cycle = self.cycle;
-        let priority = self.policy.fetch_priority(snapshot);
-        // Account gated cycles for active threads the policy excluded.
+        let mut priority = std::mem::take(&mut self.priority);
+        self.policy.fetch_priority(snapshot, &mut priority);
+        // Account gated cycles for active threads the policy excluded, via a
+        // "selected" bitmask filled in one pass over the priority list
+        // (MAX_THREADS <= 64) instead of an O(threads) scan per thread.
+        let mut selected: u64 = 0;
+        for t in &priority {
+            selected |= 1 << t.index();
+        }
         for ti in 0..self.threads.len() {
-            let t = ThreadId::new(ti);
-            if self.threads[ti].active && !priority.contains(&t) {
-                self.stats.thread_mut(t).fetch_gated_cycles += 1;
+            if self.threads[ti].active && selected & (1 << ti) == 0 {
+                self.stats.thread_mut(ThreadId::new(ti)).fetch_gated_cycles += 1;
             }
         }
         let mut budget = self.config.fetch_width;
@@ -767,6 +946,7 @@ impl SmtSimulator {
                     l1_missed: false,
                     mispredicted,
                     predicted_taken,
+                    src_dep_offsets: [None, None],
                 });
                 ctx.occ.frontend += 1;
                 ctx.occ.icount += 1;
@@ -783,6 +963,7 @@ impl SmtSimulator {
                 threads_used += 1;
             }
         }
+        self.priority = priority;
     }
 
     // ------------------------------------------------------------------ squash / flush
@@ -813,22 +994,28 @@ impl SmtSimulator {
                 let inst = ctx.window.pop_back().expect("back exists");
                 if inst.dispatched {
                     ctx.occ.rob -= 1;
+                    self.totals.rob -= 1;
                     if inst.uses_lsq {
                         ctx.occ.lsq -= 1;
+                        self.totals.lsq -= 1;
                     }
                     if !inst.issued {
                         if inst.uses_fp_iq {
                             ctx.occ.iq_fp -= 1;
+                            self.totals.iq_fp -= 1;
                         } else {
                             ctx.occ.iq_int -= 1;
+                            self.totals.iq_int -= 1;
                         }
                         ctx.occ.icount -= 1;
                     }
                     if inst.has_dest {
                         if inst.dest_fp {
                             ctx.occ.rename_fp -= 1;
+                            self.totals.rename_fp -= 1;
                         } else {
                             ctx.occ.rename_int -= 1;
+                            self.totals.rename_int -= 1;
                         }
                     }
                     if inst.issued && !inst.completed {

@@ -48,6 +48,13 @@ pub(crate) struct InFlight {
     pub mispredicted: bool,
     /// Whether the branch was predicted taken at fetch (ends the fetch group).
     pub predicted_taken: bool,
+    /// Producer positions of the source operands, resolved once at dispatch, as
+    /// backward window-slot distances from this instruction. Only front pops
+    /// (commit) and suffix pops (squash) mutate the window, so the distance to a
+    /// live producer never changes; once the producer commits, the distance
+    /// exceeds this instruction's index and the operand is known ready. `None`
+    /// means no in-window producer at dispatch time.
+    pub src_dep_offsets: [Option<u32>; 2],
 }
 
 impl InFlight {

@@ -336,7 +336,9 @@ fn record_st_curve(
         sim.step();
         let committed = sim.stats().threads[0].committed_instructions;
         while committed >= next_checkpoint {
-            cycles.push(sim.stats().cycles);
+            // `stats().cycles` is only finalized by `run()`; when stepping
+            // manually the live measured count is the source of truth.
+            cycles.push(sim.measured_cycles());
             next_checkpoint += interval;
         }
     }
@@ -344,7 +346,7 @@ fn record_st_curve(
         interval,
         cycles,
         total_instructions: sim.stats().threads[0].committed_instructions,
-        total_cycles: sim.stats().cycles,
+        total_cycles: sim.measured_cycles(),
     })
 }
 

@@ -1,0 +1,460 @@
+//! Simulator-throughput harness: a fixed scenario matrix timed in wall-clock
+//! seconds, reported as simulated cycles/sec and committed instructions/sec.
+//!
+//! The matrix covers 1-, 2- and 4-thread runs over ILP- and MLP-heavy mixes
+//! under the ICOUNT baseline and the paper's MLP-aware flush policy, so a single
+//! `smt-cli bench` run characterizes the hot path for every pipeline shape the
+//! experiments exercise. Results serialize to a stable JSON schema
+//! (`BENCH_throughput.json`) so successive commits have a perf trajectory to
+//! beat; [`ThroughputReport::compare`] diffs two reports scenario by scenario.
+
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use smt_types::config::FetchPolicyKind;
+use smt_types::{SimError, SmtConfig};
+
+use crate::pipeline::{SimOptions, SmtSimulator};
+use crate::runner::{build_trace, RunScale};
+
+/// Version of the `BENCH_throughput.json` schema. Bump only when a field is
+/// removed or changes meaning; additions keep the version.
+pub const SCHEMA_VERSION: u32 = 1;
+
+/// Name of the 4-thread baseline scenario whose cycles/sec is the headline
+/// trajectory number compared across commits.
+pub const BASELINE_SCENARIO: &str = "4t_mix_icount";
+
+/// One cell of the fixed scenario matrix.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BenchScenario {
+    /// Stable scenario identifier (`<threads>t_<mix>_<policy>`).
+    pub name: &'static str,
+    /// Benchmarks, one per hardware thread.
+    pub benchmarks: &'static [&'static str],
+    /// Fetch policy under test.
+    pub policy: FetchPolicyKind,
+}
+
+/// The fixed scenario matrix: 1T/2T/4T, ILP- and MLP-heavy mixes, ICOUNT
+/// baseline plus the MLP-aware flush policy.
+pub fn scenario_matrix() -> Vec<BenchScenario> {
+    use FetchPolicyKind::{Icount, MlpFlush};
+    vec![
+        BenchScenario {
+            name: "1t_ilp_icount",
+            benchmarks: &["gcc"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "1t_mlp_icount",
+            benchmarks: &["mcf"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "2t_ilp_icount",
+            benchmarks: &["gcc", "gap"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "2t_mlp_icount",
+            benchmarks: &["mcf", "swim"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "2t_mlp_mlpflush",
+            benchmarks: &["mcf", "swim"],
+            policy: MlpFlush,
+        },
+        BenchScenario {
+            name: "4t_ilp_icount",
+            benchmarks: &["vortex", "parser", "crafty", "twolf"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "4t_mix_icount",
+            benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
+            policy: Icount,
+        },
+        BenchScenario {
+            name: "4t_mix_mlpflush",
+            benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
+            policy: MlpFlush,
+        },
+        BenchScenario {
+            name: "4t_mlp_mlpflush",
+            benchmarks: &["applu", "galgel", "swim", "mesa"],
+            policy: MlpFlush,
+        },
+    ]
+}
+
+/// Run-length and repetition knobs for the harness.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BenchOptions {
+    /// Instruction budget per thread for every scenario (no warm-up: the whole
+    /// run is timed and counted).
+    pub instructions_per_thread: u64,
+    /// Timed repetitions per scenario; the best (lowest wall time) is reported.
+    pub runs: u32,
+    /// Whether this is a reduced-size smoke run (recorded in the report).
+    pub quick: bool,
+}
+
+impl BenchOptions {
+    /// The standard measurement configuration (30 K instructions, best of 3).
+    pub fn standard() -> Self {
+        BenchOptions {
+            instructions_per_thread: 30_000,
+            runs: 3,
+            quick: false,
+        }
+    }
+
+    /// A fast smoke configuration for CI (3 K instructions, single run).
+    pub fn quick() -> Self {
+        BenchOptions {
+            instructions_per_thread: 3_000,
+            runs: 1,
+            quick: true,
+        }
+    }
+}
+
+impl Default for BenchOptions {
+    fn default() -> Self {
+        Self::standard()
+    }
+}
+
+/// Timed result of one scenario.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ScenarioResult {
+    /// Scenario identifier from [`scenario_matrix`].
+    pub name: String,
+    /// Hardware thread count.
+    pub threads: usize,
+    /// Benchmarks, one per thread.
+    pub benchmarks: Vec<String>,
+    /// Fetch policy under test.
+    pub policy: FetchPolicyKind,
+    /// Instruction budget per thread.
+    pub instructions_per_thread: u64,
+    /// Simulated cycles of one run (identical across repetitions).
+    pub simulated_cycles: u64,
+    /// Committed instructions summed over all threads.
+    pub committed_instructions: u64,
+    /// Aggregate IPC of the simulated machine (sanity anchor for the run).
+    pub total_ipc: f64,
+    /// Best wall-clock seconds over the repetitions.
+    pub wall_seconds: f64,
+    /// Simulated cycles per wall-clock second (the headline metric).
+    pub cycles_per_second: f64,
+    /// Committed instructions per wall-clock second.
+    pub instructions_per_second: f64,
+    /// Number of timed repetitions.
+    pub runs: u32,
+}
+
+/// A full harness run: every scenario of the matrix under one [`BenchOptions`].
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ThroughputReport {
+    /// Schema version of this report ([`SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Whether this was a reduced-size smoke run.
+    pub quick: bool,
+    /// Instruction budget per thread used for every scenario.
+    pub instructions_per_thread: u64,
+    /// Timed repetitions per scenario.
+    pub runs_per_scenario: u32,
+    /// Git commit the binary was built from, when known.
+    pub commit: Option<String>,
+    /// One result per matrix scenario, in matrix order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+/// One row of a scenario-by-scenario comparison of two reports.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ScenarioSpeedup {
+    /// Scenario identifier present in both reports.
+    pub name: String,
+    /// Baseline (older report) cycles per second.
+    pub baseline_cycles_per_second: f64,
+    /// This report's cycles per second.
+    pub cycles_per_second: f64,
+    /// `cycles_per_second / baseline_cycles_per_second`.
+    pub speedup: f64,
+}
+
+impl ThroughputReport {
+    /// Serializes the report as pretty-printed JSON (the on-disk format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, SimError> {
+        serde_json::to_string_pretty(self)
+            .map(|s| s + "\n")
+            .map_err(|e| SimError::invalid_config(format!("throughput report to JSON: {e}")))
+    }
+
+    /// Parses a report from its JSON form.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] on malformed input.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        serde_json::from_str(text)
+            .map_err(|e| SimError::invalid_config(format!("throughput report from JSON: {e}")))
+    }
+
+    /// Result of the named scenario, if present.
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioResult> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+
+    /// Per-scenario speedup of `self` over `baseline` (an older report), for
+    /// every scenario name the two reports share.
+    pub fn compare(&self, baseline: &ThroughputReport) -> Vec<ScenarioSpeedup> {
+        self.scenarios
+            .iter()
+            .filter_map(|s| {
+                let base = baseline.scenario(&s.name)?;
+                if base.cycles_per_second <= 0.0 {
+                    return None;
+                }
+                Some(ScenarioSpeedup {
+                    name: s.name.clone(),
+                    baseline_cycles_per_second: base.cycles_per_second,
+                    cycles_per_second: s.cycles_per_second,
+                    speedup: s.cycles_per_second / base.cycles_per_second,
+                })
+            })
+            .collect()
+    }
+
+    /// Speedup of the headline [`BASELINE_SCENARIO`] over `baseline`, when both
+    /// reports contain it.
+    pub fn headline_speedup(&self, baseline: &ThroughputReport) -> Option<f64> {
+        self.compare(baseline)
+            .into_iter()
+            .find(|s| s.name == BASELINE_SCENARIO)
+            .map(|s| s.speedup)
+    }
+
+    /// Aligned human-readable table of the report.
+    pub fn format_text(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<18} {:>2} {:<14} {:>12} {:>12} {:>10} {:>14} {:>14}\n",
+            "scenario", "T", "policy", "cycles", "instrs", "wall s", "cycles/s", "instrs/s"
+        ));
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<18} {:>2} {:<14} {:>12} {:>12} {:>10.4} {:>14.0} {:>14.0}\n",
+                s.name,
+                s.threads,
+                s.policy.name(),
+                s.simulated_cycles,
+                s.committed_instructions,
+                s.wall_seconds,
+                s.cycles_per_second,
+                s.instructions_per_second,
+            ));
+        }
+        out
+    }
+}
+
+/// Builds a ready-to-run simulator (and its run options) for one scenario,
+/// so callers timing the hot path — [`run_scenario`], the criterion bench —
+/// can exclude trace construction from the measurement.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid configurations.
+pub fn prepare_scenario(
+    scenario: &BenchScenario,
+    opts: &BenchOptions,
+) -> Result<(SmtSimulator, SimOptions), SimError> {
+    let threads = scenario.benchmarks.len();
+    let mut config = SmtConfig::baseline(threads);
+    config.fetch_policy = scenario.policy;
+    let scale = RunScale::standard().with_instructions(opts.instructions_per_thread);
+    // No warm-up: every simulated cycle is timed and counted.
+    let options = SimOptions {
+        max_instructions_per_thread: opts.instructions_per_thread,
+        warmup_instructions_per_thread: 0,
+        ..SimOptions::default()
+    };
+    let traces = scenario
+        .benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale))
+        .collect::<Result<Vec<_>, _>>()?;
+    let sim = SmtSimulator::new(config, traces)?;
+    Ok((sim, options))
+}
+
+/// Runs one scenario: `opts.runs` timed repetitions, best wall time kept.
+/// Only [`SmtSimulator::run`] is inside the timed region; trace and simulator
+/// construction are not.
+///
+/// Repetitions must produce bit-identical [`smt_types::MachineStats`]; a
+/// mismatch means the simulator lost determinism and is reported as an error.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks, invalid configurations, or a
+/// determinism violation across repetitions.
+pub fn run_scenario(
+    scenario: &BenchScenario,
+    opts: &BenchOptions,
+) -> Result<ScenarioResult, SimError> {
+    let threads = scenario.benchmarks.len();
+    let mut best_wall = f64::INFINITY;
+    let mut reference_stats = None;
+    for _ in 0..opts.runs.max(1) {
+        let (mut sim, options) = prepare_scenario(scenario, opts)?;
+        let start = Instant::now();
+        let stats = sim.run(options);
+        let wall = start.elapsed().as_secs_f64();
+        best_wall = best_wall.min(wall);
+        match &reference_stats {
+            None => reference_stats = Some(stats),
+            Some(reference) => {
+                if *reference != stats {
+                    return Err(SimError::invalid_config(format!(
+                        "scenario `{}`: repeated runs diverged (simulator lost determinism)",
+                        scenario.name
+                    )));
+                }
+            }
+        }
+    }
+    let stats = reference_stats.expect("at least one run");
+    let committed: u64 = stats.threads.iter().map(|t| t.committed_instructions).sum();
+    let wall = best_wall.max(1e-9);
+    Ok(ScenarioResult {
+        name: scenario.name.to_string(),
+        threads,
+        benchmarks: scenario.benchmarks.iter().map(|b| b.to_string()).collect(),
+        policy: scenario.policy,
+        instructions_per_thread: opts.instructions_per_thread,
+        simulated_cycles: stats.cycles,
+        committed_instructions: committed,
+        total_ipc: stats.total_ipc(),
+        wall_seconds: best_wall,
+        cycles_per_second: stats.cycles as f64 / wall,
+        instructions_per_second: committed as f64 / wall,
+        runs: opts.runs.max(1),
+    })
+}
+
+/// Runs the whole [`scenario_matrix`] and assembles the report.
+///
+/// `commit` identifies the binary under test (normally the git revision) and is
+/// recorded verbatim.
+///
+/// # Errors
+///
+/// Propagates the first scenario failure.
+pub fn run_matrix(
+    opts: &BenchOptions,
+    commit: Option<String>,
+) -> Result<ThroughputReport, SimError> {
+    let mut scenarios = Vec::new();
+    for scenario in scenario_matrix() {
+        scenarios.push(run_scenario(&scenario, opts)?);
+    }
+    Ok(ThroughputReport {
+        schema_version: SCHEMA_VERSION,
+        quick: opts.quick,
+        instructions_per_thread: opts.instructions_per_thread,
+        runs_per_scenario: opts.runs.max(1),
+        commit,
+        scenarios,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_opts() -> BenchOptions {
+        BenchOptions {
+            instructions_per_thread: 300,
+            runs: 2,
+            quick: true,
+        }
+    }
+
+    #[test]
+    fn matrix_covers_thread_counts_and_policies() {
+        let matrix = scenario_matrix();
+        assert!(matrix.iter().any(|s| s.benchmarks.len() == 1));
+        assert!(matrix.iter().any(|s| s.benchmarks.len() == 2));
+        assert!(matrix.iter().any(|s| s.benchmarks.len() == 4));
+        assert!(matrix.iter().any(|s| s.policy == FetchPolicyKind::Icount));
+        assert!(matrix.iter().any(|s| s.policy == FetchPolicyKind::MlpFlush));
+        assert!(matrix.iter().any(|s| s.name == BASELINE_SCENARIO));
+        let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), matrix.len(), "scenario names must be unique");
+    }
+
+    #[test]
+    fn scenario_runs_and_reports_positive_rates() {
+        let scenario = BenchScenario {
+            name: "test_2t",
+            benchmarks: &["gcc", "gap"],
+            policy: FetchPolicyKind::Icount,
+        };
+        let result = run_scenario(&scenario, &tiny_opts()).unwrap();
+        assert!(result.simulated_cycles > 0);
+        assert!(result.committed_instructions >= 300);
+        assert!(result.cycles_per_second > 0.0);
+        assert!(result.instructions_per_second > 0.0);
+        assert!(result.total_ipc > 0.0);
+        assert_eq!(result.threads, 2);
+    }
+
+    #[test]
+    fn report_round_trips_through_json_and_compares() {
+        let opts = BenchOptions {
+            instructions_per_thread: 200,
+            runs: 1,
+            quick: true,
+        };
+        let mut report = ThroughputReport {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            instructions_per_thread: opts.instructions_per_thread,
+            runs_per_scenario: 1,
+            commit: Some("abc1234".to_string()),
+            scenarios: vec![run_scenario(
+                &BenchScenario {
+                    name: BASELINE_SCENARIO,
+                    benchmarks: &["gcc", "gap"],
+                    policy: FetchPolicyKind::Icount,
+                },
+                &opts,
+            )
+            .unwrap()],
+        };
+        let json = report.to_json().unwrap();
+        let parsed = ThroughputReport::from_json(&json).unwrap();
+        assert_eq!(parsed, report);
+
+        // A report twice as fast shows a 2x headline speedup.
+        let baseline = report.clone();
+        report.scenarios[0].cycles_per_second *= 2.0;
+        let speedup = report.headline_speedup(&baseline).unwrap();
+        assert!((speedup - 2.0).abs() < 1e-12);
+        assert_eq!(report.compare(&baseline).len(), 1);
+        assert!(!report.format_text().is_empty());
+    }
+}

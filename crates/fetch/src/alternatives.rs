@@ -43,9 +43,9 @@ impl FetchPolicy for MlpBinaryFlushPolicy {
         FetchPolicyKind::MlpBinaryFlush
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
         let pending = &self.pending_no_mlp;
-        gated_icount_order(snapshot, |t| !pending[t.index()].is_empty())
+        gated_icount_order(snapshot, |t| !pending[t.index()].is_empty(), priority);
     }
 
     fn on_long_latency_detected(
@@ -145,14 +145,16 @@ impl FetchPolicy for MlpDistanceFlushAtStallPolicy {
         FetchPolicyKind::MlpDistanceFlushAtStall
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
         for (i, s) in self.threads.iter_mut().enumerate() {
             s.clear_if_idle(snapshot.threads[i].outstanding_long_latency_loads);
         }
         let threads = &self.threads;
-        gated_icount_order(snapshot, |t| {
-            threads[t.index()].gated(snapshot.thread(t).outstanding_long_latency_loads, true)
-        })
+        gated_icount_order(
+            snapshot,
+            |t| threads[t.index()].gated(snapshot.thread(t).outstanding_long_latency_loads, true),
+            priority,
+        );
     }
 
     fn on_fetch(&mut self, thread: ThreadId, seq: SeqNum) {
@@ -181,32 +183,41 @@ impl FetchPolicy for MlpDistanceFlushAtStallPolicy {
         self.threads[thread.index()].pending.remove(&seq.0);
     }
 
-    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
-        let mut requests = Vec::new();
-        for (i, state) in self.threads.iter_mut().enumerate() {
-            if state.flushed_this_episode {
-                continue;
-            }
-            if snapshot.threads[i].outstanding_long_latency_loads == 0 {
-                continue;
-            }
-            if let Some(oldest) = state.oldest_pending() {
-                state.flushed_this_episode = true;
-                state.allowed_until = Some(oldest);
-                state.latest_fetched = state.latest_fetched.min(oldest);
-                requests.push(FlushRequest {
-                    thread: ThreadId::new(i),
-                    keep_up_to: SeqNum(oldest),
-                });
-            }
-        }
-        requests
+    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot, flushes: &mut Vec<FlushRequest>) {
+        stall_flush_requests(&mut self.threads, snapshot, flushes);
     }
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
         let state = &mut self.threads[thread.index()];
         state.pending.retain(|&s| s <= keep_up_to.0);
         state.latest_fetched = state.latest_fetched.min(keep_up_to.0);
+    }
+}
+
+/// Appends one flush request per thread that has an unresolved trigger and has
+/// not been flushed in the current stall episode (shared by alternatives (d)
+/// and (e)).
+fn stall_flush_requests(
+    threads: &mut [StallFlushState],
+    snapshot: &SmtSnapshot,
+    flushes: &mut Vec<FlushRequest>,
+) {
+    for (i, state) in threads.iter_mut().enumerate() {
+        if state.flushed_this_episode {
+            continue;
+        }
+        if snapshot.threads[i].outstanding_long_latency_loads == 0 {
+            continue;
+        }
+        if let Some(oldest) = state.oldest_pending() {
+            state.flushed_this_episode = true;
+            state.allowed_until = Some(oldest);
+            state.latest_fetched = state.latest_fetched.min(oldest);
+            flushes.push(FlushRequest {
+                thread: ThreadId::new(i),
+                keep_up_to: SeqNum(oldest),
+            });
+        }
     }
 }
 
@@ -230,14 +241,16 @@ impl FetchPolicy for MlpBinaryFlushAtStallPolicy {
         FetchPolicyKind::MlpBinaryFlushAtStall
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
         for (i, s) in self.threads.iter_mut().enumerate() {
             s.clear_if_idle(snapshot.threads[i].outstanding_long_latency_loads);
         }
         let threads = &self.threads;
-        gated_icount_order(snapshot, |t| {
-            threads[t.index()].gated(snapshot.thread(t).outstanding_long_latency_loads, false)
-        })
+        gated_icount_order(
+            snapshot,
+            |t| threads[t.index()].gated(snapshot.thread(t).outstanding_long_latency_loads, false),
+            priority,
+        );
     }
 
     fn on_fetch(&mut self, thread: ThreadId, seq: SeqNum) {
@@ -277,26 +290,8 @@ impl FetchPolicy for MlpBinaryFlushAtStallPolicy {
         self.threads[thread.index()].pending.remove(&seq.0);
     }
 
-    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
-        let mut requests = Vec::new();
-        for (i, state) in self.threads.iter_mut().enumerate() {
-            if state.flushed_this_episode {
-                continue;
-            }
-            if snapshot.threads[i].outstanding_long_latency_loads == 0 {
-                continue;
-            }
-            if let Some(oldest) = state.oldest_pending() {
-                state.flushed_this_episode = true;
-                state.allowed_until = Some(oldest);
-                state.latest_fetched = state.latest_fetched.min(oldest);
-                requests.push(FlushRequest {
-                    thread: ThreadId::new(i),
-                    keep_up_to: SeqNum(oldest),
-                });
-            }
-        }
-        requests
+    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot, flushes: &mut Vec<FlushRequest>) {
+        stall_flush_requests(&mut self.threads, snapshot, flushes);
     }
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
@@ -326,7 +321,7 @@ mod tests {
             .on_long_latency_detected(t0, 0x40, SeqNum(10), SeqNum(50), 30, true)
             .is_none());
         let s = active_snapshot(2);
-        assert!(p.fetch_priority(&s).contains(&t0));
+        assert!(p.fetch_priority_vec(&s).contains(&t0));
     }
 
     #[test]
@@ -338,9 +333,9 @@ mod tests {
             .expect("flush expected");
         assert_eq!(req.keep_up_to, SeqNum(10));
         let s = active_snapshot(2);
-        assert!(!p.fetch_priority(&s).contains(&t0));
+        assert!(!p.fetch_priority_vec(&s).contains(&t0));
         p.on_long_latency_resolved(t0, SeqNum(10));
-        assert!(p.fetch_priority(&s).contains(&t0));
+        assert!(p.fetch_priority_vec(&s).contains(&t0));
     }
 
     #[test]
@@ -361,18 +356,18 @@ mod tests {
         s.threads[0].outstanding_long_latency_loads = 1;
         s.threads[0].oldest_lll_cycle = Some(1);
         s.resource_stalled = true;
-        let reqs = p.on_resource_stall(&s);
+        let reqs = p.on_resource_stall_vec(&s);
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].keep_up_to, SeqNum(100));
         // Only one flush per stall episode.
-        assert!(p.on_resource_stall(&s).is_empty());
+        assert!(p.on_resource_stall_vec(&s).is_empty());
         // After the load resolves the episode resets.
         p.on_long_latency_resolved(t0, SeqNum(100));
         s.threads[0].outstanding_long_latency_loads = 0;
-        let _ = p.fetch_priority(&s);
+        let _ = p.fetch_priority_vec(&s);
         let _ = p.on_long_latency_detected(t0, 0x44, SeqNum(300), SeqNum(310), 4, true);
         s.threads[0].outstanding_long_latency_loads = 1;
-        assert_eq!(p.on_resource_stall(&s).len(), 1);
+        assert_eq!(p.on_resource_stall_vec(&s).len(), 1);
     }
 
     #[test]
@@ -384,9 +379,9 @@ mod tests {
         s.threads[0].oldest_lll_cycle = Some(1);
         let _ = p.on_long_latency_detected(t0, 0x40, SeqNum(100), SeqNum(100), 6, true);
         p.on_fetch(t0, SeqNum(103));
-        assert!(p.fetch_priority(&s).contains(&t0));
+        assert!(p.fetch_priority_vec(&s).contains(&t0));
         p.on_fetch(t0, SeqNum(106));
-        assert!(!p.fetch_priority(&s).contains(&t0));
+        assert!(!p.fetch_priority_vec(&s).contains(&t0));
     }
 
     #[test]
@@ -400,14 +395,14 @@ mod tests {
             .on_long_latency_detected(t0, 0x40, SeqNum(100), SeqNum(120), 0, true)
             .is_none());
         // MLP predicted: no gating even with the load outstanding.
-        assert!(p.fetch_priority(&s).contains(&t0));
+        assert!(p.fetch_priority_vec(&s).contains(&t0));
         // A resource stall reclaims the resources.
         s.resource_stalled = true;
-        let reqs = p.on_resource_stall(&s);
+        let reqs = p.on_resource_stall_vec(&s);
         assert_eq!(reqs.len(), 1);
         assert_eq!(reqs[0].keep_up_to, SeqNum(100));
         // After the flush the thread is gated at the trigger until resolution.
-        assert!(!p.fetch_priority(&s).contains(&t0));
+        assert!(!p.fetch_priority_vec(&s).contains(&t0));
     }
 
     #[test]
@@ -417,6 +412,6 @@ mod tests {
         let _ = p.on_long_latency_detected(t0, 0x40, SeqNum(100), SeqNum(120), 0, false);
         p.on_squash(t0, SeqNum(50));
         let s = active_snapshot(2);
-        assert!(p.fetch_priority(&s).contains(&t0));
+        assert!(p.fetch_priority_vec(&s).contains(&t0));
     }
 }

@@ -30,11 +30,13 @@ impl FetchPolicy for FlushPolicy {
         FetchPolicyKind::Flush
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
         debug_assert_eq!(snapshot.num_threads(), self.num_threads);
-        gated_icount_order(snapshot, |t| {
-            snapshot.thread(t).outstanding_long_latency_loads > 0
-        })
+        gated_icount_order(
+            snapshot,
+            |t| snapshot.thread(t).outstanding_long_latency_loads > 0,
+            priority,
+        );
     }
 
     fn on_long_latency_detected(
@@ -88,7 +90,7 @@ mod tests {
         }
         s.threads[1].outstanding_long_latency_loads = 2;
         s.threads[1].oldest_lll_cycle = Some(5);
-        assert_eq!(p.fetch_priority(&s), vec![ThreadId::new(0)]);
+        assert_eq!(p.fetch_priority_vec(&s), vec![ThreadId::new(0)]);
         assert_eq!(p.kind(), FetchPolicyKind::Flush);
     }
 }

@@ -18,7 +18,7 @@ use crate::policy::{icount_order, FetchPolicy};
 /// let mut snap = SmtSnapshot::new(2);
 /// snap.threads[0].icount = 30;
 /// snap.threads[1].icount = 5;
-/// let order = p.fetch_priority(&snap);
+/// let order = p.fetch_priority_vec(&snap);
 /// assert_eq!(order[0].index(), 1);
 /// ```
 #[derive(Clone, Debug)]
@@ -38,9 +38,9 @@ impl FetchPolicy for IcountPolicy {
         FetchPolicyKind::Icount
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
         debug_assert_eq!(snapshot.num_threads(), self.num_threads);
-        icount_order(snapshot)
+        icount_order(snapshot, priority);
     }
 }
 
@@ -56,7 +56,7 @@ mod tests {
             t.outstanding_long_latency_loads = 3;
             t.active = true;
         }
-        assert_eq!(p.fetch_priority(&snap).len(), 4);
+        assert_eq!(p.fetch_priority_vec(&snap).len(), 4);
         assert_eq!(p.kind(), FetchPolicyKind::Icount);
         assert_eq!(p.name(), "icount");
     }

@@ -41,7 +41,10 @@
 //! let cfg = SmtConfig::baseline(2).with_policy(FetchPolicyKind::MlpFlush);
 //! let mut policy = build_policy(cfg.fetch_policy, &cfg);
 //! let snapshot = SmtSnapshot::new(2);
-//! let order = policy.fetch_priority(&snapshot);
+//! // The pipeline reuses one priority buffer across cycles; `_vec` variants
+//! // allocate for convenience.
+//! let mut order = Vec::new();
+//! policy.fetch_priority(&snapshot, &mut order);
 //! assert_eq!(order.len(), 2);
 //! ```
 
@@ -113,11 +116,14 @@ mod tests {
             FetchPolicyKind::Dcra,
         ];
         let snap = SmtSnapshot::new(2);
+        let mut order = Vec::new();
         for kind in kinds {
             let mut p = build_policy(kind, &cfg);
             assert_eq!(p.kind(), kind);
-            // Every policy lets both idle threads fetch in some order.
-            assert_eq!(p.fetch_priority(&snap).len(), 2);
+            // Every policy lets both idle threads fetch in some order, and
+            // correctly clears the reused scratch buffer between calls.
+            p.fetch_priority(&snap, &mut order);
+            assert_eq!(order.len(), 2);
         }
     }
 }

@@ -26,17 +26,18 @@ impl FetchPolicy for StaticPartitionPolicy {
         FetchPolicyKind::StaticPartition
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
-        icount_order(snapshot)
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
+        icount_order(snapshot, priority);
     }
 
     fn resource_caps(
         &mut self,
         _snapshot: &SmtSnapshot,
         config: &SmtConfig,
-    ) -> Option<Vec<ResourceCaps>> {
+        caps: &mut [ResourceCaps],
+    ) -> bool {
         let n = self.num_threads as u32;
-        let caps = ResourceCaps {
+        let share = ResourceCaps {
             rob: Some((config.rob_size / n).max(1)),
             lsq: Some((config.lsq_size / n).max(1)),
             iq_int: Some((config.iq_int_size / n).max(1)),
@@ -44,7 +45,8 @@ impl FetchPolicy for StaticPartitionPolicy {
             rename_int: Some((config.rename_int / n).max(1)),
             rename_fp: Some((config.rename_fp / n).max(1)),
         };
-        Some(vec![caps; self.num_threads])
+        caps.fill(share);
+        true
     }
 }
 
@@ -98,34 +100,34 @@ impl FetchPolicy for DcraPolicy {
         FetchPolicyKind::Dcra
     }
 
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
-        icount_order(snapshot)
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>) {
+        icount_order(snapshot, priority);
     }
 
     fn resource_caps(
         &mut self,
         snapshot: &SmtSnapshot,
         config: &SmtConfig,
-    ) -> Option<Vec<ResourceCaps>> {
-        let slow_flags: Vec<bool> = snapshot
+        caps: &mut [ResourceCaps],
+    ) -> bool {
+        let slow = snapshot
             .threads
             .iter()
-            .map(|t| t.outstanding_l1d_misses > 0)
-            .collect();
-        let slow = slow_flags.iter().filter(|&&s| s).count() as u32;
+            .filter(|t| t.outstanding_l1d_misses > 0)
+            .count() as u32;
         let fast = self.num_threads as u32 - slow;
-        let caps = slow_flags
-            .iter()
-            .map(|&is_slow| ResourceCaps {
+        for (cap, thread) in caps.iter_mut().zip(&snapshot.threads) {
+            let is_slow = thread.outstanding_l1d_misses > 0;
+            *cap = ResourceCaps {
                 rob: Some(Self::share(config.rob_size, fast, slow, is_slow)),
                 lsq: Some(Self::share(config.lsq_size, fast, slow, is_slow)),
                 iq_int: Some(Self::share(config.iq_int_size, fast, slow, is_slow)),
                 iq_fp: Some(Self::share(config.iq_fp_size, fast, slow, is_slow)),
                 rename_int: Some(Self::share(config.rename_int, fast, slow, is_slow)),
                 rename_fp: Some(Self::share(config.rename_fp, fast, slow, is_slow)),
-            })
-            .collect();
-        Some(caps)
+            };
+        }
+        true
     }
 }
 
@@ -138,7 +140,7 @@ mod tests {
         let mut p = StaticPartitionPolicy::new(2);
         let cfg = SmtConfig::baseline(2);
         let snap = SmtSnapshot::new(2);
-        let caps = p.resource_caps(&snap, &cfg).unwrap();
+        let caps = p.resource_caps_vec(&snap, &cfg).unwrap();
         assert_eq!(caps.len(), 2);
         assert_eq!(caps[0].rob, Some(128));
         assert_eq!(caps[0].lsq, Some(64));
@@ -155,7 +157,7 @@ mod tests {
         let mut snap = SmtSnapshot::new(2);
         snap.threads[0].outstanding_l1d_misses = 3; // slow
         snap.threads[1].outstanding_l1d_misses = 0; // fast
-        let caps = p.resource_caps(&snap, &cfg).unwrap();
+        let caps = p.resource_caps_vec(&snap, &cfg).unwrap();
         assert!(caps[0].rob.unwrap() > caps[1].rob.unwrap());
         assert!(caps[0].rob.unwrap() > cfg.rob_size / 2);
         assert!(caps[1].rob.unwrap() <= cfg.rob_size / 2);
@@ -166,14 +168,14 @@ mod tests {
         let mut p = DcraPolicy::new(2);
         let cfg = SmtConfig::baseline(2);
         let snap = SmtSnapshot::new(2);
-        let caps = p.resource_caps(&snap, &cfg).unwrap();
+        let caps = p.resource_caps_vec(&snap, &cfg).unwrap();
         assert_eq!(caps[0].rob, Some(128));
         assert_eq!(caps[1].rob, Some(128));
         let mut snap_all_slow = SmtSnapshot::new(2);
         for t in &mut snap_all_slow.threads {
             t.outstanding_l1d_misses = 1;
         }
-        let caps = p.resource_caps(&snap_all_slow, &cfg).unwrap();
+        let caps = p.resource_caps_vec(&snap_all_slow, &cfg).unwrap();
         assert_eq!(caps[0].rob, Some(128));
     }
 
@@ -183,7 +185,7 @@ mod tests {
         let cfg = SmtConfig::baseline(4);
         let mut snap = SmtSnapshot::new(4);
         snap.threads[0].outstanding_l1d_misses = 2;
-        let caps = p.resource_caps(&snap, &cfg).unwrap();
+        let caps = p.resource_caps_vec(&snap, &cfg).unwrap();
         // The one slow thread gets more than an equal share; fast threads get less.
         assert!(caps[0].rob.unwrap() > 64);
         for c in &caps[1..] {
@@ -200,7 +202,7 @@ mod tests {
         let mut snap = SmtSnapshot::new(2);
         snap.threads[0].icount = 9;
         snap.threads[1].icount = 1;
-        assert_eq!(sp.fetch_priority(&snap)[0].index(), 1);
-        assert_eq!(dcra.fetch_priority(&snap)[0].index(), 1);
+        assert_eq!(sp.fetch_priority_vec(&snap)[0].index(), 1);
+        assert_eq!(dcra.fetch_priority_vec(&snap)[0].index(), 1);
     }
 }

@@ -41,14 +41,33 @@ pub struct ResourceCaps {
 /// callbacks and only keep the decision state they need. All callbacks have no-op
 /// defaults so simple policies (ICOUNT) only implement [`fetch_priority`].
 ///
+/// The per-cycle queries ([`fetch_priority`], [`on_resource_stall`],
+/// [`resource_caps`]) write into caller-provided scratch buffers instead of
+/// returning fresh allocations, so the pipeline's steady state is
+/// allocation-free; allocating `*_vec` convenience wrappers exist for tests and
+/// one-off callers. Within one cycle the pipeline may deliver per-thread
+/// callbacks in any thread order; policies must not rely on cross-thread
+/// ordering.
+///
 /// [`fetch_priority`]: FetchPolicy::fetch_priority
+/// [`on_resource_stall`]: FetchPolicy::on_resource_stall
+/// [`resource_caps`]: FetchPolicy::resource_caps
 pub trait FetchPolicy: Send {
     /// Which policy this is (used for reporting).
     fn kind(&self) -> FetchPolicyKind;
 
-    /// Returns the threads allowed to fetch this cycle, most-preferred first.
-    /// Threads not in the list are fetch gated this cycle.
-    fn fetch_priority(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId>;
+    /// Writes the threads allowed to fetch this cycle into `priority`,
+    /// most-preferred first (clearing whatever the buffer held). Threads not in
+    /// the list are fetch gated this cycle.
+    fn fetch_priority(&mut self, snapshot: &SmtSnapshot, priority: &mut Vec<ThreadId>);
+
+    /// Allocating convenience wrapper around [`FetchPolicy::fetch_priority`]
+    /// for tests and examples; the pipeline reuses a scratch buffer instead.
+    fn fetch_priority_vec(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
+        let mut priority = Vec::new();
+        self.fetch_priority(snapshot, &mut priority);
+        priority
+    }
 
     /// An instruction with sequence number `seq` was fetched for `thread`.
     fn on_fetch(&mut self, thread: ThreadId, seq: SeqNum) {
@@ -115,10 +134,18 @@ pub trait FetchPolicy: Send {
 
     /// Dispatch was blocked this cycle because a shared resource (ROB, issue queue,
     /// LSQ or rename registers) is exhausted. Flush-at-resource-stall policies
-    /// react to this; others ignore it.
-    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
-        let _ = snapshot;
-        Vec::new()
+    /// append their flush requests to `flushes` (the caller clears the buffer
+    /// beforehand); others leave it untouched.
+    fn on_resource_stall(&mut self, snapshot: &SmtSnapshot, flushes: &mut Vec<FlushRequest>) {
+        let _ = (snapshot, flushes);
+    }
+
+    /// Allocating convenience wrapper around [`FetchPolicy::on_resource_stall`]
+    /// for tests and examples.
+    fn on_resource_stall_vec(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
+        let mut flushes = Vec::new();
+        self.on_resource_stall(snapshot, &mut flushes);
+        flushes
     }
 
     /// Instructions of `thread` younger than `keep_up_to` were squashed (by a
@@ -128,13 +155,31 @@ pub trait FetchPolicy: Send {
     }
 
     /// Per-thread occupancy caps for explicit resource management policies.
+    ///
+    /// `caps` is a scratch slice with one entry per hardware thread, reset to
+    /// [`ResourceCaps::default`] (no caps) by the caller each cycle. Policies
+    /// that manage resources overwrite the entries and return `true`; the
+    /// default implementation returns `false`, meaning no caps apply.
     fn resource_caps(
         &mut self,
         snapshot: &SmtSnapshot,
         config: &SmtConfig,
+        caps: &mut [ResourceCaps],
+    ) -> bool {
+        let _ = (snapshot, config, caps);
+        false
+    }
+
+    /// Allocating convenience wrapper around [`FetchPolicy::resource_caps`]
+    /// for tests and examples.
+    fn resource_caps_vec(
+        &mut self,
+        snapshot: &SmtSnapshot,
+        config: &SmtConfig,
     ) -> Option<Vec<ResourceCaps>> {
-        let _ = (snapshot, config);
-        None
+        let mut caps = vec![ResourceCaps::default(); snapshot.num_threads()];
+        self.resource_caps(snapshot, config, &mut caps)
+            .then_some(caps)
     }
 
     /// Human-readable policy name.
@@ -143,35 +188,39 @@ pub trait FetchPolicy: Send {
     }
 }
 
-/// Orders all threads by ascending ICOUNT (ties broken by thread id) — the
-/// ICOUNT 2.4 priority rule every policy falls back to.
-pub fn icount_order(snapshot: &SmtSnapshot) -> Vec<ThreadId> {
-    let mut order: Vec<ThreadId> = ThreadId::all(snapshot.num_threads()).collect();
+/// Writes all threads into `order`, sorted by ascending ICOUNT (ties broken by
+/// thread id) — the ICOUNT 2.4 priority rule every policy falls back to. The
+/// buffer is cleared first and reused across cycles by the pipeline.
+pub fn icount_order(snapshot: &SmtSnapshot, order: &mut Vec<ThreadId>) {
+    order.clear();
+    order.extend(ThreadId::all(snapshot.num_threads()));
     order.sort_by_key(|t| (snapshot.thread(*t).icount, t.index()));
-    order
 }
 
-/// Applies gating with the continue-oldest-thread exemption: returns the ICOUNT
-/// ordering of threads, with gated threads removed — unless *every* active thread
-/// is both gated and stalled on a long-latency load, in which case the thread
-/// whose long-latency load is oldest is re-admitted (COT, Cazorla et al. 2004a).
+/// Applies gating with the continue-oldest-thread exemption: writes the ICOUNT
+/// ordering of threads into `order`, with gated threads removed — unless *every*
+/// active thread is both gated and stalled on a long-latency load, in which case
+/// the thread whose long-latency load is oldest is re-admitted (COT, Cazorla et
+/// al. 2004a).
 pub fn gated_icount_order(
     snapshot: &SmtSnapshot,
     gated: impl Fn(ThreadId) -> bool,
-) -> Vec<ThreadId> {
-    let order = icount_order(snapshot);
-    let allowed: Vec<ThreadId> = order.iter().copied().filter(|t| !gated(*t)).collect();
-    if !allowed.is_empty() {
-        return allowed;
+    order: &mut Vec<ThreadId>,
+) {
+    icount_order(snapshot, order);
+    if order.iter().any(|&t| !gated(t)) {
+        order.retain(|&t| !gated(t));
+        return;
     }
+    // Nothing is allowed: re-admit the continue-oldest thread when every active
+    // thread is memory-stalled; otherwise fall back to plain ICOUNT (already in
+    // `order`) so the machine never deadlocks.
     if snapshot.all_active_threads_stalled_on_memory() {
         if let Some(cot) = snapshot.oldest_memory_stalled_thread() {
-            return vec![cot];
+            order.clear();
+            order.push(cot);
         }
     }
-    // Nothing is allowed and the COT rule does not apply (e.g. gated for other
-    // reasons): fall back to plain ICOUNT so the machine never deadlocks.
-    order
 }
 
 #[cfg(test)]
@@ -187,10 +236,22 @@ mod tests {
         s
     }
 
+    fn icount_order_vec(s: &SmtSnapshot) -> Vec<ThreadId> {
+        let mut order = Vec::new();
+        icount_order(s, &mut order);
+        order
+    }
+
+    fn gated_order_vec(s: &SmtSnapshot, gated: impl Fn(ThreadId) -> bool) -> Vec<ThreadId> {
+        let mut order = Vec::new();
+        gated_icount_order(s, gated, &mut order);
+        order
+    }
+
     #[test]
     fn icount_order_prefers_emptier_threads() {
         let s = snapshot_with_icounts(&[10, 3, 7]);
-        let order = icount_order(&s);
+        let order = icount_order_vec(&s);
         assert_eq!(
             order.iter().map(|t| t.index()).collect::<Vec<_>>(),
             vec![1, 2, 0]
@@ -200,14 +261,28 @@ mod tests {
     #[test]
     fn icount_order_breaks_ties_by_id() {
         let s = snapshot_with_icounts(&[5, 5]);
-        let order = icount_order(&s);
+        let order = icount_order_vec(&s);
         assert_eq!(order[0].index(), 0);
+    }
+
+    #[test]
+    fn order_buffers_are_cleared_on_reuse() {
+        // The pipeline hands the same scratch buffer in every cycle; stale
+        // contents must never leak into the new ordering.
+        let s = snapshot_with_icounts(&[5, 2]);
+        let mut order = vec![ThreadId::new(0); 7];
+        icount_order(&s, &mut order);
+        assert_eq!(order.len(), 2);
+        order.push(ThreadId::new(0));
+        gated_icount_order(&s, |_| false, &mut order);
+        assert_eq!(order.len(), 2);
+        assert_eq!(order[0].index(), 1);
     }
 
     #[test]
     fn gating_removes_threads() {
         let s = snapshot_with_icounts(&[5, 2]);
-        let order = gated_icount_order(&s, |t| t.index() == 1);
+        let order = gated_order_vec(&s, |t| t.index() == 1);
         assert_eq!(order.len(), 1);
         assert_eq!(order[0].index(), 0);
     }
@@ -219,14 +294,14 @@ mod tests {
         s.threads[0].oldest_lll_cycle = Some(50);
         s.threads[1].outstanding_long_latency_loads = 1;
         s.threads[1].oldest_lll_cycle = Some(80);
-        let order = gated_icount_order(&s, |_| true);
+        let order = gated_order_vec(&s, |_| true);
         assert_eq!(order, vec![ThreadId::new(0)]);
     }
 
     #[test]
     fn all_gated_without_memory_stall_falls_back_to_icount() {
         let s = snapshot_with_icounts(&[5, 2]);
-        let order = gated_icount_order(&s, |_| true);
+        let order = gated_order_vec(&s, |_| true);
         assert_eq!(order.len(), 2);
         assert_eq!(order[0].index(), 1);
     }

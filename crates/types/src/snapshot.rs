@@ -92,6 +92,15 @@ impl SmtSnapshot {
         self.threads.len()
     }
 
+    /// Prepares a reused snapshot buffer for a new cycle: stamps the cycle
+    /// number and clears the per-cycle `resource_stalled` flag. The owner (the
+    /// pipeline) then rewrites every per-thread entry and occupancy total in
+    /// place, so a single snapshot allocation serves the whole simulation.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.resource_stalled = false;
+    }
+
     /// Per-thread accessor.
     ///
     /// # Panics
@@ -140,6 +149,18 @@ mod tests {
         assert_eq!(s.thread(ThreadId::new(3)).icount, 0);
         assert!(!s.all_active_threads_stalled_on_memory());
         assert!(s.oldest_memory_stalled_thread().is_none());
+    }
+
+    #[test]
+    fn begin_cycle_resets_per_cycle_state_only() {
+        let mut s = SmtSnapshot::new(2);
+        s.threads[0].icount = 7;
+        s.resource_stalled = true;
+        s.begin_cycle(42);
+        assert_eq!(s.cycle, 42);
+        assert!(!s.resource_stalled);
+        // Per-thread entries are the owner's responsibility and stay put.
+        assert_eq!(s.threads[0].icount, 7);
     }
 
     #[test]

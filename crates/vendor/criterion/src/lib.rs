@@ -120,6 +120,36 @@ impl Bencher {
             self.samples.push(start.elapsed().as_secs_f64());
         }
     }
+
+    /// Runs `setup` untimed before each sample and times only `routine` on the
+    /// value it produced, mirroring criterion's `iter_batched`. `_size` is
+    /// accepted for API parity and ignored (every batch has one element).
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // One untimed warm-up run.
+        black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.samples.push(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+/// Batch sizing hint for [`Bencher::iter_batched`]; kept for API parity with
+/// criterion, ignored by this subset.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BatchSize {
+    /// One batch per sample (the only behaviour this subset implements).
+    SmallInput,
+    /// Accepted for parity; treated as `SmallInput`.
+    LargeInput,
+    /// Accepted for parity; treated as `SmallInput`.
+    PerIteration,
 }
 
 /// Bundles bench functions into a callable group, mirroring criterion.
@@ -162,6 +192,32 @@ mod tests {
         group.finish();
         // 1 warm-up + 3 samples.
         assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample_and_times_routine() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut setups = 0;
+        let mut routines = 0;
+        group.bench_function("f", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    setups
+                },
+                |input| {
+                    routines += 1;
+                    black_box(input)
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        group.finish();
+        // 1 warm-up + 3 samples, setup and routine paired.
+        assert_eq!(setups, 4);
+        assert_eq!(routines, 4);
     }
 
     #[test]

@@ -1,0 +1,165 @@
+//! Golden-stats regression tests: pin bit-for-bit [`MachineStats`] equality
+//! against a fixture captured from the pre-optimization pipeline, across every
+//! built-in fetch policy at tiny scale on 2- and 4-thread workloads.
+//!
+//! The fixture (`tests/golden/machine_stats.json`) encodes the exact counter
+//! values of the seed simulator; any change to simulated behaviour — however
+//! small — fails these tests. Performance work on the cycle loop must keep them
+//! green. Regenerate deliberately (after an *intentional* behaviour change)
+//! with:
+//!
+//! ```text
+//! SMT_GOLDEN_REGEN=1 cargo test --test golden_stats
+//! ```
+
+use serde::{Deserialize, Serialize};
+use smt_core::runner::{self, RunScale};
+use smt_types::config::FetchPolicyKind;
+use smt_types::MachineStats;
+
+/// One pinned simulation outcome.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+struct GoldenCase {
+    policy: FetchPolicyKind,
+    benchmarks: Vec<String>,
+    stats: MachineStats,
+}
+
+fn golden_path() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join("machine_stats.json")
+}
+
+fn golden_scale() -> RunScale {
+    RunScale::tiny()
+}
+
+/// The workload mix pinned by the fixture: an MLP-heavy thread (mcf) to trigger
+/// policy flushes plus branchy integer threads (gcc, twolf) to trigger branch
+/// squashes, at both supported SMT widths.
+fn golden_workloads() -> Vec<Vec<&'static str>> {
+    vec![vec!["mcf", "gcc"], vec!["mcf", "swim", "gcc", "twolf"]]
+}
+
+fn run_all_cases() -> Vec<GoldenCase> {
+    let scale = golden_scale();
+    let mut cases = Vec::new();
+    for benchmarks in golden_workloads() {
+        for policy in FetchPolicyKind::ALL {
+            let config = smt_types::SmtConfig::baseline(benchmarks.len());
+            let stats = runner::run_multiprogram(&benchmarks, policy, &config, scale)
+                .expect("golden case runs");
+            cases.push(GoldenCase {
+                policy,
+                benchmarks: benchmarks.iter().map(|b| b.to_string()).collect(),
+                stats,
+            });
+        }
+    }
+    cases
+}
+
+#[test]
+fn machine_stats_match_golden_fixture_bit_for_bit() {
+    let cases = run_all_cases();
+    let path = golden_path();
+    if std::env::var("SMT_GOLDEN_REGEN").is_ok() {
+        let json = serde_json::to_string_pretty(&cases).expect("fixture serializes");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("fixture dir");
+        std::fs::write(&path, json + "\n").expect("fixture written");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SMT_GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    let golden: Vec<GoldenCase> = serde_json::from_str(&text).expect("fixture parses");
+    assert_eq!(
+        golden.len(),
+        cases.len(),
+        "fixture case count drifted; regenerate deliberately with SMT_GOLDEN_REGEN=1"
+    );
+    for (current, pinned) in cases.iter().zip(&golden) {
+        assert_eq!(current.policy, pinned.policy, "fixture order drifted");
+        assert_eq!(
+            current.benchmarks, pinned.benchmarks,
+            "fixture order drifted"
+        );
+        assert_eq!(
+            current.stats,
+            pinned.stats,
+            "MachineStats diverged from golden fixture for policy `{}` on {:?}",
+            current.policy.name(),
+            current.benchmarks,
+        );
+    }
+}
+
+#[test]
+fn golden_workloads_exercise_flushes_and_branch_squashes() {
+    // The fixture only pins the optimized pipeline against the seed if the
+    // pinned runs actually take the squash paths (policy flushes discarding
+    // in-flight instructions, branch mispredictions squashing mid-execution).
+    let cases = run_all_cases();
+    let total = |f: fn(&smt_types::ThreadStats) -> u64| -> u64 {
+        cases
+            .iter()
+            .flat_map(|c| c.stats.threads.iter())
+            .map(f)
+            .sum()
+    };
+    assert!(
+        total(|t| t.squashed_by_policy) > 0,
+        "no golden run triggered a policy flush"
+    );
+    assert!(
+        total(|t| t.squashed_by_branch) > 0,
+        "no golden run triggered a branch squash"
+    );
+    assert!(total(|t| t.policy_flushes) > 0);
+    assert!(total(|t| t.branch_mispredictions) > 0);
+}
+
+#[test]
+fn squash_with_pending_completion_events_is_deterministic_and_consistent() {
+    // Branch mispredictions and MLP-flush decisions squash instructions that
+    // have issued but not yet completed (long-latency loads, 12-cycle FP ops),
+    // leaving their completion events pending. The simulator must discard those
+    // stale completions: the run must terminate, commit the full budget, and be
+    // bit-for-bit reproducible.
+    let scale = golden_scale();
+    let benchmarks = ["mcf", "twolf"];
+    for policy in [
+        FetchPolicyKind::Flush,
+        FetchPolicyKind::MlpFlush,
+        FetchPolicyKind::MlpBinaryFlushAtStall,
+    ] {
+        let config = smt_types::SmtConfig::baseline(benchmarks.len());
+        let a = runner::run_multiprogram(&benchmarks, policy, &config, scale).unwrap();
+        let b = runner::run_multiprogram(&benchmarks, policy, &config, scale).unwrap();
+        assert_eq!(a, b, "{}: repeated runs diverged", policy.name());
+        let squashed: u64 = a
+            .threads
+            .iter()
+            .map(|t| t.squashed_by_policy + t.squashed_by_branch)
+            .sum();
+        assert!(squashed > 0, "{}: nothing was squashed", policy.name());
+        let committed = a
+            .threads
+            .iter()
+            .map(|t| t.committed_instructions)
+            .max()
+            .unwrap();
+        assert!(
+            committed >= scale.instructions_per_thread,
+            "{}: budget not reached under squash pressure",
+            policy.name()
+        );
+    }
+}
