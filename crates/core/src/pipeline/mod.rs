@@ -7,19 +7,27 @@
 //! queues, 100+100 rename registers, 4-wide everywhere). The fetch stage is driven
 //! by an [`smt_fetch::FetchPolicy`]; loads access the [`smt_mem::MemoryHierarchy`];
 //! long-latency loads feed the LLSR/MLP predictors of [`smt_predictors`].
+//!
+//! Per-thread in-flight instructions live in a struct-of-arrays ring buffer
+//! ([`window::OpWindow`]) so each pipeline phase streams only the columns it
+//! reads; the trace front end is refilled in batches so the `Box<dyn
+//! TraceSource>` virtual call is paid once per ~64 fetched instructions.
 
 mod thread;
+pub mod window;
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::BinaryHeap;
 
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
 use smt_mem::{AccessLevel, MemoryHierarchy, WriteBuffer};
 use smt_predictors::LongLatencyPredictor;
 use smt_trace::TraceSource;
-use smt_types::{MachineStats, OpKind, SeqNum, SimError, SmtConfig, SmtSnapshot, ThreadId};
+use smt_types::{
+    MachineStats, OpFlags, OpKind, SeqNum, SimError, SmtConfig, SmtSnapshot, ThreadId,
+};
 
-use thread::{InFlight, PendingMlpEval, RefetchEntry, ThreadContext};
+use thread::{PendingMlpEval, RefetchEntry, ThreadContext};
 
 /// A scheduled execution-completion: instruction `seq` of `thread` finishes at
 /// `done_at`. Events are popped from a min-heap when their cycle arrives;
@@ -130,6 +138,9 @@ pub struct SmtSimulator {
     priority: Vec<ThreadId>,
     flushes: Vec<FlushRequest>,
     caps: Vec<ResourceCaps>,
+    /// Ready-to-issue candidate indices of the thread currently being scanned
+    /// by the issue phase (reused scratch).
+    issue_candidates: Vec<u32>,
     /// Per-thread oldest mispredicted-branch seq completing this cycle.
     mispredicts: Vec<Option<u64>>,
     /// Saved start-of-cycle snapshot fields overwritten for the resource-stall
@@ -200,6 +211,7 @@ impl SmtSimulator {
             priority: Vec::with_capacity(num_threads),
             flushes: Vec::new(),
             caps: vec![ResourceCaps::default(); num_threads],
+            issue_candidates: Vec::with_capacity(64),
             mispredicts: vec![None; num_threads],
             stall_view: Vec::with_capacity(num_threads),
         })
@@ -339,7 +351,8 @@ impl SmtSimulator {
     }
 
     /// Verifies (in debug builds) that the incremental shared-resource totals
-    /// agree with a from-scratch recomputation over the per-thread counters.
+    /// agree with a from-scratch recomputation over the per-thread counters,
+    /// and that the window cursors agree with the occupancy counters.
     #[cfg(debug_assertions)]
     fn debug_check_totals(&self) {
         let mut expect = SharedTotals::default();
@@ -350,6 +363,11 @@ impl SmtSimulator {
             expect.iq_fp += ctx.occ.iq_fp;
             expect.rename_int += ctx.occ.rename_int;
             expect.rename_fp += ctx.occ.rename_fp;
+            debug_assert_eq!(
+                ctx.window.first_undispatched_index(),
+                ctx.window.len() - ctx.occ.frontend as usize,
+                "dispatch cursor drifted from front-end occupancy"
+            );
         }
         debug_assert_eq!(self.totals, expect, "incremental occupancy totals drifted");
     }
@@ -363,25 +381,28 @@ impl SmtSimulator {
             let mut done = 0;
             while done < commit_width {
                 let ctx = &mut self.threads[ti];
-                let Some(head) = ctx.window.front() else {
-                    break;
-                };
-                if !(head.dispatched && head.issued && head.completed) {
+                if ctx.window.is_empty() {
                     break;
                 }
-                if head.op.kind == OpKind::Store && !self.write_buffer.try_push(cycle) {
+                let flags = ctx.window.flags_at(0);
+                if !flags.commit_ready() {
+                    break;
+                }
+                let op = ctx.window.op_at(0);
+                if op.kind == OpKind::Store && !self.write_buffer.try_push(cycle) {
                     // Commit blocks when the write buffer is full (Section 5).
                     break;
                 }
-                let head = ctx.window.pop_front().expect("head exists");
+                let predicted_mlp_distance = ctx.window.predicted_mlp_distance_at(0);
+                ctx.window.pop_front();
                 ctx.occ.rob -= 1;
                 self.totals.rob -= 1;
-                if head.uses_lsq {
+                if flags.uses_lsq() {
                     ctx.occ.lsq -= 1;
                     self.totals.lsq -= 1;
                 }
-                if head.has_dest {
-                    if head.dest_fp {
+                if flags.has_dest() {
+                    if flags.dest_fp() {
                         ctx.occ.rename_fp -= 1;
                         self.totals.rename_fp -= 1;
                     } else {
@@ -391,14 +412,14 @@ impl SmtSimulator {
                 }
                 ctx.committed += 1;
                 let thread_id = ThreadId::new(ti);
-                if head.op.kind == OpKind::Store {
-                    if let Some(addr) = head.op.addr() {
+                if op.kind == OpKind::Store {
+                    if let Some(addr) = op.addr() {
                         self.mem.store_access(thread_id, addr, cycle);
                     }
                 }
                 let tstats = self.stats.thread_mut(thread_id);
                 tstats.committed_instructions += 1;
-                match head.op.kind {
+                match op.kind {
                     OpKind::Load => tstats.loads += 1,
                     OpKind::Store => tstats.stores += 1,
                     OpKind::Branch => tstats.branches += 1,
@@ -406,14 +427,14 @@ impl SmtSimulator {
                 }
                 // Feed the LLSR and, when a long-latency load leaves the window,
                 // train the MLP predictors and score the earlier prediction.
-                let is_lll_load = head.is_long_latency && head.op.kind == OpKind::Load;
+                let is_lll_load = flags.is_long_latency() && op.kind == OpKind::Load;
                 if is_lll_load {
                     ctx.pending_mlp_evals.push_back(PendingMlpEval {
-                        pc: head.op.pc,
-                        predicted_distance: head.predicted_mlp_distance,
+                        pc: op.pc,
+                        predicted_distance: predicted_mlp_distance,
                     });
                 }
-                if let Some(obs) = ctx.llsr.commit(head.op.pc, is_lll_load) {
+                if let Some(obs) = ctx.llsr.commit(op.pc, is_lll_load) {
                     ctx.mlp_predictor.update(obs.pc, obs.mlp_distance);
                     ctx.binary_mlp_predictor
                         .update(obs.pc, obs.mlp_distance > 0);
@@ -456,24 +477,24 @@ impl SmtSimulator {
             self.completions.pop();
             let ti = event.thread as usize;
             let ctx = &mut self.threads[ti];
-            let Ok(idx) = ctx
-                .window
-                .binary_search_by(|probe| probe.seq.cmp(&event.seq))
-            else {
+            let Some(idx) = ctx.window.position_of_seq(event.seq) else {
                 // Stale event: the instruction was squashed after issuing.
                 continue;
             };
-            let inst = &mut ctx.window[idx];
-            debug_assert!(inst.issued && !inst.completed && inst.done_at == event.done_at);
-            inst.completed = true;
-            let seq = inst.seq;
-            let was_lll = inst.is_long_latency;
-            let was_l1_miss = inst.l1_missed;
-            let mispredicted_branch = inst.op.kind == OpKind::Branch && inst.mispredicted;
+            let flags = ctx.window.flags_at(idx);
+            debug_assert!(
+                flags.issued() && !flags.completed() && ctx.window.done_at(idx) == event.done_at
+            );
+            ctx.window.flags_mut(idx).set_completed(true);
+            let seq = event.seq;
+            let was_lll = flags.is_long_latency();
+            let was_l1_miss = flags.l1_missed();
+            let mispredicted_branch =
+                ctx.window.op_at(idx).kind == OpKind::Branch && flags.mispredicted();
             if was_l1_miss && ctx.outstanding_l1d > 0 {
                 ctx.outstanding_l1d -= 1;
             }
-            if was_lll && ctx.outstanding_lll.remove(&seq).is_some() {
+            if was_lll && ctx.outstanding_lll.remove(seq) {
                 self.policy
                     .on_long_latency_resolved(ThreadId::new(ti), SeqNum(seq));
             }
@@ -510,26 +531,25 @@ impl SmtSimulator {
             }
             let ti = (self.rotate + offset) % num_threads;
             let thread_id = ThreadId::new(ti);
-            let mut idx = 0;
-            while remaining > 0 && idx < self.threads[ti].window.len() {
-                let (seq, op, ready, predicted_lll) = {
-                    let ctx = &self.threads[ti];
-                    let inst = &ctx.window[idx];
-                    if !inst.dispatched || inst.issued {
-                        if !inst.dispatched {
-                            // In-order dispatch: everything beyond is undispatched.
-                            break;
-                        }
-                        idx += 1;
-                        continue;
-                    }
-                    let ready = Self::deps_ready(ctx, idx);
-                    (inst.seq, inst.op, ready, inst.predicted_lll)
+            // Resume after the settled prefix of already-issued instructions,
+            // then gather this thread's ready-to-issue candidates in one tight
+            // bitmap pass instead of rescanning the (mostly issued, mostly
+            // blocked) window entry by entry.
+            let start = self.threads[ti].window.issue_scan_start();
+            let mut candidates = std::mem::take(&mut self.issue_candidates);
+            candidates.clear();
+            self.threads[ti]
+                .window
+                .collect_issue_candidates(start, &mut candidates);
+            let mut candidate_pos = 0;
+            while remaining > 0 && candidate_pos < candidates.len() {
+                let idx = candidates[candidate_pos] as usize;
+                candidate_pos += 1;
+                let (seq, op, predicted_lll) = {
+                    let window = &self.threads[ti].window;
+                    let flags = window.flags_at(idx);
+                    (window.seq_at(idx), window.op_at(idx), flags.predicted_lll())
                 };
-                if !ready {
-                    idx += 1;
-                    continue;
-                }
                 // Functional-unit availability.
                 let unit = match op.kind {
                     OpKind::Load | OpKind::Store => &mut ldst_units,
@@ -537,7 +557,6 @@ impl SmtSimulator {
                     _ => &mut int_units,
                 };
                 if *unit == 0 {
-                    idx += 1;
                     continue;
                 }
                 *unit -= 1;
@@ -602,17 +621,20 @@ impl SmtSimulator {
 
                 {
                     let ctx = &mut self.threads[ti];
-                    let inst = &mut ctx.window[idx];
-                    inst.issued = true;
-                    inst.completed = false;
-                    inst.done_at = done_at;
-                    inst.l1_missed = l1_missed;
+                    ctx.window.mark_issued(idx);
+                    let flags = ctx.window.flags_mut(idx);
+                    flags.set_l1_missed(l1_missed);
                     if detected_lll {
-                        inst.is_long_latency = true;
-                        inst.predicted_mlp_distance = detection_distance;
-                        inst.predicted_has_mlp = detection_has_mlp;
+                        flags.set_is_long_latency(true);
+                        flags.set_predicted_has_mlp(detection_has_mlp);
                     }
-                    if inst.uses_fp_iq {
+                    let uses_fp_iq = flags.uses_fp_iq();
+                    ctx.window.set_done_at(idx, done_at);
+                    if detected_lll {
+                        ctx.window
+                            .set_predicted_mlp_distance(idx, detection_distance);
+                    }
+                    if uses_fp_iq {
                         ctx.occ.iq_fp -= 1;
                         self.totals.iq_fp -= 1;
                     } else {
@@ -645,54 +667,14 @@ impl SmtSimulator {
                             .on_load_executed_hit(thread_id, op.pc, SeqNum(seq));
                     }
                 }
-                idx += 1;
             }
+            self.issue_candidates = candidates;
         }
 
         for req in flushes.drain(..) {
             self.apply_flush(req);
         }
         self.flushes = flushes;
-    }
-
-    /// Whether the source operands of the instruction at window position `idx`
-    /// are available, using the producer offsets resolved at dispatch: a live
-    /// producer sits exactly `offset` slots earlier; an offset beyond `idx`
-    /// means the producer has committed (its value is available).
-    fn deps_ready(ctx: &ThreadContext, idx: usize) -> bool {
-        for dep in ctx.window[idx].src_dep_offsets {
-            let Some(offset) = dep else { continue };
-            let offset = offset as usize;
-            if offset <= idx && !ctx.window[idx - offset].completed {
-                return false;
-            }
-        }
-        true
-    }
-
-    /// Resolves the source-operand producers of the instruction at window
-    /// position `idx` into backward slot offsets, once, at dispatch. The common
-    /// case (no squash gap in the sequence numbers between producer and
-    /// consumer) is a single O(1) probe; after a squash gap it falls back to a
-    /// binary search. A missing producer (already committed, or unreachable
-    /// across a squash) yields `None` = always ready, exactly like the
-    /// pre-resolution behaviour of searching the window at issue time.
-    fn resolve_dep_offsets(window: &VecDeque<InFlight>, idx: usize) -> [Option<u32>; 2] {
-        let inst = &window[idx];
-        let mut offsets = [None, None];
-        for (slot, dep) in inst.src_dep_seqs().into_iter().enumerate() {
-            let Some(producer_seq) = dep else { continue };
-            let distance = inst.seq - producer_seq;
-            let candidate = (idx as u64).checked_sub(distance).map(|c| c as usize);
-            let pos = match candidate {
-                Some(pos) if window[pos].seq == producer_seq => Some(pos),
-                _ => window
-                    .binary_search_by(|probe| probe.seq.cmp(&producer_seq))
-                    .ok(),
-            };
-            offsets[slot] = pos.map(|pos| (idx - pos) as u32);
-        }
-        offsets
     }
 
     // ------------------------------------------------------------------ dispatch
@@ -726,12 +708,14 @@ impl SmtSimulator {
                 if ctx.occ.frontend == 0 {
                     break;
                 }
-                let idx = ctx.window.len() - ctx.occ.frontend as usize;
-                let inst = &ctx.window[idx];
-                if inst.frontend_ready_at > cycle {
+                // The dispatch cursor is the first undispatched instruction;
+                // it coincides with `len - frontend` (checked in debug builds
+                // each cycle) but needs no recomputation.
+                let idx = ctx.window.first_undispatched_index();
+                if ctx.window.frontend_ready_at(idx) > cycle {
                     break;
                 }
-                let op = inst.op;
+                let op = ctx.window.op_at(idx);
                 let uses_lsq = op.kind.is_mem();
                 let uses_fp_iq = op.kind.is_fp();
                 let has_dest = matches!(
@@ -771,19 +755,21 @@ impl SmtSimulator {
 
                 // Resolve source-operand producers once; issue then checks
                 // readiness by window offset instead of re-searching each cycle.
-                let dep_offsets = Self::resolve_dep_offsets(&ctx.window, idx);
+                let dep_offsets = ctx.window.resolve_dep_offsets(idx);
 
                 // Allocate and mark dispatched.
                 let ctx = &mut self.threads[ti];
-                let inst = &mut ctx.window[idx];
-                inst.src_dep_offsets = dep_offsets;
-                inst.dispatched = true;
-                inst.uses_lsq = uses_lsq;
-                inst.uses_fp_iq = uses_fp_iq;
-                inst.has_dest = has_dest;
-                inst.dest_fp = dest_fp;
-                let seq = inst.seq;
-                let pc = inst.op.pc;
+                let seq = ctx.window.seq_at(idx);
+                let pc = op.pc;
+                ctx.window.set_src_dep_offsets(idx, dep_offsets);
+                ctx.window.mark_dispatched(idx);
+                {
+                    let flags = ctx.window.flags_mut(idx);
+                    flags.set_uses_lsq(uses_lsq);
+                    flags.set_uses_fp_iq(uses_fp_iq);
+                    flags.set_has_dest(has_dest);
+                    flags.set_dest_fp(dest_fp);
+                }
                 ctx.occ.frontend -= 1;
                 ctx.occ.rob += 1;
                 rob_total += 1;
@@ -812,10 +798,10 @@ impl SmtSimulator {
                 // Front-end long-latency / MLP prediction for loads.
                 if op.kind == OpKind::Load {
                     let (lll, distance, has_mlp) = ctx.predict_load(pc);
-                    let inst = &mut ctx.window[idx];
-                    inst.predicted_lll = lll;
-                    inst.predicted_mlp_distance = distance;
-                    inst.predicted_has_mlp = has_mlp;
+                    let flags = ctx.window.flags_mut(idx);
+                    flags.set_predicted_lll(lll);
+                    flags.set_predicted_has_mlp(has_mlp);
+                    ctx.window.set_predicted_mlp_distance(idx, distance);
                     self.policy.on_load_predicted(
                         thread_id,
                         pc,
@@ -890,6 +876,7 @@ impl SmtSimulator {
         }
         let mut budget = self.config.fetch_width;
         let mut threads_used = 0;
+        let frontend_ready_at = cycle + self.config.frontend_depth as u64;
         for &t in &priority {
             if budget == 0 || threads_used >= self.config.fetch_threads_per_cycle {
                 break;
@@ -927,27 +914,10 @@ impl SmtSimulator {
                             .update(op.pc, info.taken, info.target, pred);
                     predicted_taken = pred.taken;
                 }
-                ctx.window.push_back(InFlight {
-                    seq,
-                    op,
-                    frontend_ready_at: cycle + self.config.frontend_depth as u64,
-                    dispatched: false,
-                    issued: false,
-                    completed: false,
-                    done_at: u64::MAX,
-                    uses_fp_iq: false,
-                    uses_lsq: false,
-                    has_dest: false,
-                    dest_fp: false,
-                    predicted_lll: false,
-                    predicted_mlp_distance: 0,
-                    predicted_has_mlp: false,
-                    is_long_latency: false,
-                    l1_missed: false,
-                    mispredicted,
-                    predicted_taken,
-                    src_dep_offsets: [None, None],
-                });
+                let mut flags = OpFlags::default();
+                flags.set_mispredicted(mispredicted);
+                flags.set_predicted_taken(predicted_taken);
+                ctx.window.push_back(seq, op, frontend_ready_at, flags);
                 ctx.occ.frontend += 1;
                 ctx.occ.icount += 1;
                 self.stats.thread_mut(t).fetched_instructions += 1;
@@ -987,20 +957,24 @@ impl SmtSimulator {
         let mut squashed = 0;
         {
             let ctx = &mut self.threads[ti];
-            while let Some(back) = ctx.window.back() {
-                if back.seq <= keep_up_to {
+            while !ctx.window.is_empty() {
+                let last = ctx.window.len() - 1;
+                let seq = ctx.window.seq_at(last);
+                if seq <= keep_up_to {
                     break;
                 }
-                let inst = ctx.window.pop_back().expect("back exists");
-                if inst.dispatched {
+                let flags = ctx.window.flags_at(last);
+                let op = ctx.window.op_at(last);
+                ctx.window.pop_back();
+                if flags.dispatched() {
                     ctx.occ.rob -= 1;
                     self.totals.rob -= 1;
-                    if inst.uses_lsq {
+                    if flags.uses_lsq() {
                         ctx.occ.lsq -= 1;
                         self.totals.lsq -= 1;
                     }
-                    if !inst.issued {
-                        if inst.uses_fp_iq {
+                    if !flags.issued() {
+                        if flags.uses_fp_iq() {
                             ctx.occ.iq_fp -= 1;
                             self.totals.iq_fp -= 1;
                         } else {
@@ -1009,8 +983,8 @@ impl SmtSimulator {
                         }
                         ctx.occ.icount -= 1;
                     }
-                    if inst.has_dest {
-                        if inst.dest_fp {
+                    if flags.has_dest() {
+                        if flags.dest_fp() {
                             ctx.occ.rename_fp -= 1;
                             self.totals.rename_fp -= 1;
                         } else {
@@ -1018,11 +992,11 @@ impl SmtSimulator {
                             self.totals.rename_int -= 1;
                         }
                     }
-                    if inst.issued && !inst.completed {
-                        if inst.is_long_latency {
-                            ctx.outstanding_lll.remove(&inst.seq);
+                    if flags.issued() && !flags.completed() {
+                        if flags.is_long_latency() {
+                            ctx.outstanding_lll.remove(seq);
                         }
-                        if inst.l1_missed && ctx.outstanding_l1d > 0 {
+                        if flags.l1_missed() && ctx.outstanding_l1d > 0 {
                             ctx.outstanding_l1d -= 1;
                         }
                     }
@@ -1031,9 +1005,9 @@ impl SmtSimulator {
                     ctx.occ.icount -= 1;
                 }
                 ctx.refetch.push_front(RefetchEntry {
-                    op: inst.op,
-                    mispredicted: inst.mispredicted,
-                    predicted_taken: inst.predicted_taken,
+                    op,
+                    mispredicted: flags.mispredicted(),
+                    predicted_taken: flags.predicted_taken(),
                 });
                 squashed += 1;
             }

@@ -1,6 +1,6 @@
 //! Per-thread pipeline state.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use smt_branch::BranchPredictor;
 use smt_predictors::{
@@ -9,70 +9,12 @@ use smt_predictors::{
 use smt_trace::TraceSource;
 use smt_types::{SmtConfig, TraceOp};
 
-/// One instruction in flight, from fetch to commit.
-#[derive(Clone, Debug)]
-pub(crate) struct InFlight {
-    /// Per-thread dynamic sequence number (re-fetched instructions get new numbers).
-    pub seq: u64,
-    /// The trace operation.
-    pub op: TraceOp,
-    /// Cycle at which the instruction has traversed the front end and may dispatch.
-    pub frontend_ready_at: u64,
-    /// Whether the instruction has been renamed/dispatched into the backend.
-    pub dispatched: bool,
-    /// Whether the instruction has issued to a functional unit.
-    pub issued: bool,
-    /// Whether execution has completed (result available).
-    pub completed: bool,
-    /// Cycle at which execution completes (valid once issued).
-    pub done_at: u64,
-    /// Whether the instruction occupies the floating-point issue queue.
-    pub uses_fp_iq: bool,
-    /// Whether the instruction occupies a load/store queue entry.
-    pub uses_lsq: bool,
-    /// Whether the instruction allocates a rename register (and of which class).
-    pub has_dest: bool,
-    /// Destination register class is floating point.
-    pub dest_fp: bool,
-    /// Front-end long-latency prediction (loads only).
-    pub predicted_lll: bool,
-    /// Front-end / detection-time MLP distance prediction.
-    pub predicted_mlp_distance: u32,
-    /// Binary MLP prediction.
-    pub predicted_has_mlp: bool,
-    /// Whether the load was detected to be long latency at execute.
-    pub is_long_latency: bool,
-    /// Whether the load missed in the L1 data cache (DCRA's signal).
-    pub l1_missed: bool,
-    /// Whether the branch was mispredicted (squash + redirect at completion).
-    pub mispredicted: bool,
-    /// Whether the branch was predicted taken at fetch (ends the fetch group).
-    pub predicted_taken: bool,
-    /// Producer positions of the source operands, resolved once at dispatch, as
-    /// backward window-slot distances from this instruction. Only front pops
-    /// (commit) and suffix pops (squash) mutate the window, so the distance to a
-    /// live producer never changes; once the producer commits, the distance
-    /// exceeds this instruction's index and the operand is known ready. `None`
-    /// means no in-window producer at dispatch time.
-    pub src_dep_offsets: [Option<u32>; 2],
-}
+use super::window::OpWindow;
 
-impl InFlight {
-    /// Sequence numbers of the producers of this instruction's source operands
-    /// (`None` when the operand has no in-window producer).
-    pub fn src_dep_seqs(&self) -> [Option<u64>; 2] {
-        let mut out = [None, None];
-        for (i, dep) in self.op.src_deps.iter().enumerate() {
-            if let Some(distance) = dep {
-                let d = *distance as u64;
-                if d < self.seq {
-                    out[i] = Some(self.seq - d);
-                }
-            }
-        }
-        out
-    }
-}
+/// How many trace operations one [`TraceSource::refill`] call pulls. The batch
+/// amortizes the `Box<dyn TraceSource>` virtual call over ~64 fetched
+/// instructions instead of paying it once per op.
+pub(crate) const REFILL_BATCH: usize = 64;
 
 /// Occupancy counters for one thread (shared-resource accounting is the sum over
 /// threads).
@@ -98,6 +40,47 @@ pub(crate) struct PendingMlpEval {
     pub predicted_distance: u32,
 }
 
+/// The set of outstanding long-latency loads of one thread, as a flat
+/// `(seq, detection_cycle)` vector. The set is tiny (bounded by the in-flight
+/// misses the MSHRs allow), so linear search beats a hash map and — unlike a
+/// hash map, whose per-cycle iteration in the snapshot refresh walks its whole
+/// bucket array — the min-scan touches one dense allocation. All queries are
+/// order-independent (membership, count, minimum cycle), so the swap-remove
+/// keeps results deterministic.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct OutstandingLll {
+    entries: Vec<(u64, u64)>,
+}
+
+impl OutstandingLll {
+    /// Records the long-latency load `seq`, detected at `cycle`.
+    pub fn insert(&mut self, seq: u64, cycle: u64) {
+        debug_assert!(self.entries.iter().all(|&(s, _)| s != seq));
+        self.entries.push((seq, cycle));
+    }
+
+    /// Removes the load `seq`; returns whether it was outstanding.
+    pub fn remove(&mut self, seq: u64) -> bool {
+        match self.entries.iter().position(|&(s, _)| s == seq) {
+            Some(pos) => {
+                self.entries.swap_remove(pos);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Number of outstanding long-latency loads.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Detection cycle of the oldest outstanding long-latency load, if any.
+    pub fn min_cycle(&self) -> Option<u64> {
+        self.entries.iter().map(|&(_, c)| c).min()
+    }
+}
+
 /// A squashed instruction waiting to be re-fetched, together with the branch
 /// prediction outcome recorded at its first fetch (re-fetches replay that outcome
 /// instead of re-querying the predictor, so the predictor sees every dynamic
@@ -113,10 +96,15 @@ pub(crate) struct RefetchEntry {
 pub(crate) struct ThreadContext {
     /// The workload being executed.
     pub trace: Box<dyn TraceSource>,
+    /// Batched-refill buffer: trace ops pulled [`REFILL_BATCH`] at a time, so
+    /// the trace object's virtual dispatch is paid once per batch.
+    refill_buf: Vec<TraceOp>,
+    /// Next unconsumed position in `refill_buf`.
+    refill_pos: usize,
     /// Instructions squashed from the pipeline that must be re-fetched, in order.
     pub refetch: VecDeque<RefetchEntry>,
     /// In-flight instructions in program order (front-end buffer + ROB).
-    pub window: VecDeque<InFlight>,
+    pub window: OpWindow,
     /// Next sequence number to assign at fetch.
     pub next_seq: u64,
     /// Youngest sequence number fetched so far.
@@ -126,7 +114,7 @@ pub(crate) struct ThreadContext {
     /// Committed instruction count.
     pub committed: u64,
     /// Outstanding long-latency loads: seq -> cycle at which the miss was detected.
-    pub outstanding_lll: HashMap<u64, u64>,
+    pub outstanding_lll: OutstandingLll,
     /// Outstanding L1 data-cache misses (count), the DCRA memory-intensity signal.
     pub outstanding_l1d: u32,
     /// Per-thread branch predictor.
@@ -148,15 +136,21 @@ pub(crate) struct ThreadContext {
 impl ThreadContext {
     /// Creates the per-thread state for `config`, pulling instructions from `trace`.
     pub fn new(config: &SmtConfig, trace: Box<dyn TraceSource>) -> Self {
+        // The window holds the front-end buffer plus this thread's share of the
+        // (machine-wide) ROB; a thread can transiently own the whole ROB.
+        let window_capacity =
+            (config.rob_size + config.frontend_depth * config.fetch_width) as usize;
         ThreadContext {
             trace,
+            refill_buf: Vec::with_capacity(REFILL_BATCH),
+            refill_pos: 0,
             refetch: VecDeque::new(),
-            window: VecDeque::new(),
+            window: OpWindow::new(window_capacity),
             next_seq: 1,
             latest_fetched_seq: 0,
             occ: Occupancy::default(),
             committed: 0,
-            outstanding_lll: HashMap::new(),
+            outstanding_lll: OutstandingLll::default(),
             outstanding_l1d: 0,
             branch_predictor: BranchPredictor::new(
                 config.gshare_entries,
@@ -176,20 +170,33 @@ impl ThreadContext {
     }
 
     /// Next instruction to fetch: a previously squashed instruction (with its
-    /// recorded branch-prediction outcome) if any, otherwise a fresh one from the
-    /// trace.
+    /// recorded branch-prediction outcome) if any, otherwise a fresh one from
+    /// the batched refill buffer (refilled from the trace source when drained).
     pub fn pull_op(&mut self) -> (TraceOp, Option<RefetchEntry>) {
         if let Some(entry) = self.refetch.pop_front() {
-            (entry.op, Some(entry))
-        } else {
-            (self.trace.next_op(), None)
+            return (entry.op, Some(entry));
         }
+        if self.refill_pos == self.refill_buf.len() {
+            self.refill_buf.clear();
+            self.refill_pos = 0;
+            self.trace.refill(&mut self.refill_buf, REFILL_BATCH);
+            if self.refill_buf.is_empty() {
+                // A `refill` override that under-delivers (trace sources are
+                // infinite by contract, but a custom impl may not honour
+                // that): fall back to the per-op path instead of indexing an
+                // empty buffer.
+                return (self.trace.next_op(), None);
+            }
+        }
+        let op = self.refill_buf[self.refill_pos];
+        self.refill_pos += 1;
+        (op, None)
     }
 
     /// Cycle at which the oldest currently outstanding long-latency load was
     /// detected (for the COT rule).
     pub fn oldest_lll_cycle(&self) -> Option<u64> {
-        self.outstanding_lll.values().copied().min()
+        self.outstanding_lll.min_cycle()
     }
 
     /// The predictor front end consults for a load: returns

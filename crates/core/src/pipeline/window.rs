@@ -1,0 +1,604 @@
+//! Struct-of-arrays ring buffer holding one thread's in-flight instructions.
+//!
+//! The window replaces a `VecDeque` of ~100-byte AoS records with parallel
+//! columns (sequence numbers, trace ops, timestamps, dependence offsets and one
+//! packed [`OpFlags`] word per slot) over a fixed power-of-two ring, so each
+//! pipeline phase streams only the columns it actually reads: commit tests one
+//! `u16` per head entry, the issue scan walks the flags column, and writeback
+//! binary-searches the dense `seq` column. Two monotone cursors
+//! (first-undispatched, first-unissued) let dispatch and issue resume from the
+//! settled prefix instead of rescanning the window from the front each cycle.
+//!
+//! Mutation is restricted to the three pipeline-shaped operations — push at the
+//! back (fetch), pop at the front (commit), pop at the back (squash) — which is
+//! what makes the dispatch-time dependence offsets and the per-phase cursors
+//! stable.
+
+use smt_types::{OpFlags, TraceOp};
+
+/// Sentinel marking an absent source-dependence offset (the producer was
+/// outside the window at dispatch time, so the operand is always ready).
+pub const NO_DEP: u32 = u32::MAX;
+
+/// Fixed-capacity struct-of-arrays ring buffer of in-flight instructions, in
+/// program order (front = oldest).
+///
+/// Logical index 0 is the oldest instruction; [`OpWindow::push_back`] appends
+/// at fetch, [`OpWindow::pop_front`] retires at commit, [`OpWindow::pop_back`]
+/// squashes from the youngest end. Sequence numbers are strictly increasing
+/// from front to back.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::pipeline::window::OpWindow;
+/// use smt_types::{OpFlags, TraceOp};
+///
+/// let mut w = OpWindow::new(8);
+/// w.push_back(1, TraceOp::int_alu(0x40), 14, OpFlags::default());
+/// w.push_back(2, TraceOp::int_alu(0x44), 14, OpFlags::default());
+/// assert_eq!(w.len(), 2);
+/// assert_eq!(w.seq_at(0), 1);
+/// w.mark_dispatched(0);
+/// w.mark_issued(0);
+/// w.flags_mut(0).set_completed(true);
+/// w.pop_front();
+/// assert_eq!(w.seq_at(0), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct OpWindow {
+    /// Physical index of logical slot 0.
+    head: usize,
+    /// Number of live entries.
+    len: usize,
+    /// Capacity - 1; capacity is a power of two.
+    mask: usize,
+    /// Entries ever popped from the front: the global position of logical 0.
+    /// Cursors are stored in this monotone coordinate system so front pops
+    /// never invalidate them.
+    base: u64,
+    /// Global position of the oldest undispatched instruction. Everything
+    /// before it is dispatched; everything at or after it is not (dispatch is
+    /// strictly in order).
+    first_undispatched: u64,
+    /// Global position at or below which every instruction has issued. Issue
+    /// is out of order, so entries *after* this cursor may also have issued;
+    /// the cursor is a resume point, not a partition.
+    first_unissued: u64,
+    seq: Box<[u64]>,
+    op: Box<[TraceOp]>,
+    frontend_ready_at: Box<[u64]>,
+    done_at: Box<[u64]>,
+    predicted_mlp_distance: Box<[u32]>,
+    src_dep_offsets: Box<[[u32; 2]]>,
+    flags: Box<[OpFlags]>,
+    /// One bit per physical slot, set while the slot's instruction has not yet
+    /// issued. The issue-queue sizes cap unissued instructions at a small
+    /// fraction of the window, so the issue scan jumps between set bits
+    /// (`u64::trailing_zeros`) instead of stepping over the issued majority
+    /// slot by slot. Bits of dead slots are stale and masked off by the scan's
+    /// logical bounds.
+    unissued: Box<[u64]>,
+}
+
+impl OpWindow {
+    /// Creates a window able to hold at least `capacity` instructions (rounded
+    /// up to the next power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        let capacity = capacity.next_power_of_two();
+        OpWindow {
+            head: 0,
+            len: 0,
+            mask: capacity - 1,
+            base: 0,
+            first_undispatched: 0,
+            first_unissued: 0,
+            seq: vec![0; capacity].into_boxed_slice(),
+            op: vec![TraceOp::int_alu(0); capacity].into_boxed_slice(),
+            frontend_ready_at: vec![0; capacity].into_boxed_slice(),
+            done_at: vec![u64::MAX; capacity].into_boxed_slice(),
+            predicted_mlp_distance: vec![0; capacity].into_boxed_slice(),
+            src_dep_offsets: vec![[NO_DEP; 2]; capacity].into_boxed_slice(),
+            flags: vec![OpFlags::default(); capacity].into_boxed_slice(),
+            unissued: vec![0; capacity.div_ceil(64)].into_boxed_slice(),
+        }
+    }
+
+    /// Number of instructions currently in flight.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the window holds no instructions.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Total slot count (a power of two).
+    pub fn capacity(&self) -> usize {
+        self.mask + 1
+    }
+
+    #[inline(always)]
+    fn slot(&self, index: usize) -> usize {
+        debug_assert!(index < self.len, "index {index} out of {}", self.len);
+        (self.head + index) & self.mask
+    }
+
+    // ------------------------------------------------------------ mutation
+
+    /// Appends a fetched instruction at the back. `flags` carries the
+    /// fetch-time bits (branch outcome replay); all pipeline-progress bits
+    /// must be clear.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the window is full or `seq` does not exceed the youngest
+    /// in-flight sequence number.
+    #[inline]
+    pub fn push_back(&mut self, seq: u64, op: TraceOp, frontend_ready_at: u64, flags: OpFlags) {
+        assert!(self.len <= self.mask, "instruction window overflow");
+        debug_assert!(
+            !(flags.dispatched() || flags.issued() || flags.completed()),
+            "fetch-time flags must not carry pipeline progress"
+        );
+        debug_assert!(
+            self.len == 0 || self.seq_at(self.len - 1) < seq,
+            "sequence numbers must be strictly increasing"
+        );
+        let slot = (self.head + self.len) & self.mask;
+        self.seq[slot] = seq;
+        self.op[slot] = op;
+        self.frontend_ready_at[slot] = frontend_ready_at;
+        self.done_at[slot] = u64::MAX;
+        self.predicted_mlp_distance[slot] = 0;
+        self.src_dep_offsets[slot] = [NO_DEP; 2];
+        self.flags[slot] = flags;
+        self.unissued[slot / 64] |= 1 << (slot % 64);
+        self.len += 1;
+    }
+
+    /// Retires the oldest instruction (callers read its columns at logical
+    /// index 0 first).
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the window is empty.
+    #[inline]
+    pub fn pop_front(&mut self) {
+        debug_assert!(self.len > 0, "pop_front on empty window");
+        debug_assert!(
+            self.flags[self.head].issued(),
+            "pop_front may only retire issued instructions"
+        );
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+        self.base += 1;
+        // Commit only retires dispatched instructions, so the dispatch cursor
+        // can never fall behind the new front; the (lazily advanced) issue
+        // cursor may lag the front by the retired prefix and is pulled level.
+        debug_assert!(self.first_undispatched >= self.base);
+        self.first_unissued = self.first_unissued.max(self.base);
+    }
+
+    /// Squashes the youngest instruction (callers read its columns at logical
+    /// index `len() - 1` first). The dispatch/issue cursors are clamped to the
+    /// shortened window — the one sanctioned way they move backwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the window is empty.
+    #[inline]
+    pub fn pop_back(&mut self) {
+        debug_assert!(self.len > 0, "pop_back on empty window");
+        self.len -= 1;
+        let end = self.base + self.len as u64;
+        self.first_undispatched = self.first_undispatched.min(end);
+        self.first_unissued = self.first_unissued.min(end);
+    }
+
+    // ------------------------------------------------------------ cursors
+
+    /// Logical index of the oldest undispatched instruction — where the
+    /// in-order dispatch phase resumes. Equals `len()` when everything in the
+    /// window has dispatched.
+    #[inline(always)]
+    pub fn first_undispatched_index(&self) -> usize {
+        (self.first_undispatched - self.base) as usize
+    }
+
+    /// Marks the instruction at `index` dispatched and advances the dispatch
+    /// cursor past it. Dispatch is strictly in order: `index` must be exactly
+    /// [`OpWindow::first_undispatched_index`].
+    #[inline]
+    pub fn mark_dispatched(&mut self, index: usize) {
+        debug_assert_eq!(
+            index,
+            self.first_undispatched_index(),
+            "dispatch must proceed in order (cursor may never move backwards)"
+        );
+        let slot = self.slot(index);
+        debug_assert!(!self.flags[slot].dispatched());
+        self.flags[slot].set_dispatched(true);
+        self.first_undispatched += 1;
+    }
+
+    /// Advances the issue cursor past the settled prefix of issued
+    /// instructions and returns the logical index the issue scan starts from.
+    /// The cursor only ever moves forward here; `pop_back` is the only place
+    /// it can shrink.
+    #[inline]
+    pub fn issue_scan_start(&mut self) -> usize {
+        debug_assert!(self.first_unissued >= self.base);
+        while self.first_unissued < self.first_undispatched {
+            let idx = (self.first_unissued - self.base) as usize;
+            if !self.flags[self.slot(idx)].issued() {
+                break;
+            }
+            self.first_unissued += 1;
+        }
+        debug_assert!(
+            self.first_unissued <= self.first_undispatched,
+            "issue cursor overtook the dispatch cursor"
+        );
+        (self.first_unissued - self.base) as usize
+    }
+
+    /// Marks the (dispatched, unissued) instruction at logical `index` as
+    /// issued, clearing its bit in the unissued bitmap.
+    #[inline]
+    pub fn mark_issued(&mut self, index: usize) {
+        let slot = self.slot(index);
+        debug_assert!(self.flags[slot].dispatched() && !self.flags[slot].issued());
+        self.flags[slot].set_issued(true);
+        self.unissued[slot / 64] &= !(1 << (slot % 64));
+    }
+
+    /// Appends to `out` the logical index of every dispatched, unissued
+    /// instruction at or after `from` whose source operands are ready, in
+    /// program order — the issue phase's candidate list, gathered in one tight
+    /// pass over the unissued bitmap.
+    ///
+    /// Readiness is stable for the duration of an issue phase (`completed`
+    /// bits only change at writeback, and dispatch-time dependence offsets
+    /// never move), so collecting up front is equivalent to re-testing each
+    /// candidate mid-scan — while instructions that cannot issue this cycle
+    /// never leave this loop.
+    pub fn collect_issue_candidates(&self, from: usize, out: &mut Vec<u32>) {
+        let end = self.first_undispatched_index();
+        let mut idx = from;
+        while idx < end {
+            let slot = (self.head + idx) & self.mask;
+            // The physical run from `slot` is contiguous until the ring wraps
+            // or the dispatched region ends.
+            let run = (self.capacity() - slot).min(end - idx);
+            let run_end = slot + run;
+            let mut word_idx = slot / 64;
+            let mut word = self.unissued[word_idx] >> (slot % 64) << (slot % 64);
+            'words: loop {
+                while word != 0 {
+                    let bit = (word_idx * 64) + word.trailing_zeros() as usize;
+                    if bit >= run_end {
+                        break 'words;
+                    }
+                    let candidate = idx + (bit - slot);
+                    if self.deps_ready(candidate) {
+                        out.push(candidate as u32);
+                    }
+                    word &= word - 1;
+                }
+                word_idx += 1;
+                if word_idx * 64 >= run_end {
+                    break;
+                }
+                word = self.unissued[word_idx];
+            }
+            idx += run;
+        }
+    }
+
+    // ------------------------------------------------------------ lookup
+
+    /// Logical index of the in-flight instruction with sequence number `seq`,
+    /// if present. Sequence numbers are dense except across squash gaps, so
+    /// the common case is a single O(1) probe at `seq - front_seq`; the
+    /// fallback is a binary search over the (strictly increasing) sequence
+    /// column.
+    pub fn position_of_seq(&self, seq: u64) -> Option<usize> {
+        if self.len == 0 {
+            return None;
+        }
+        let front = self.seq[self.head];
+        if seq < front {
+            return None;
+        }
+        let guess = (seq - front) as usize;
+        if guess < self.len && self.seq[(self.head + guess) & self.mask] == seq {
+            return Some(guess);
+        }
+        let mut lo = 0usize;
+        let mut hi = self.len;
+        while lo < hi {
+            let mid = lo + (hi - lo) / 2;
+            let s = self.seq[(self.head + mid) & self.mask];
+            if s < seq {
+                lo = mid + 1;
+            } else if s > seq {
+                hi = mid;
+            } else {
+                return Some(mid);
+            }
+        }
+        None
+    }
+
+    // ------------------------------------------------------------ columns
+
+    /// Sequence number of the instruction at logical `index`.
+    #[inline(always)]
+    pub fn seq_at(&self, index: usize) -> u64 {
+        self.seq[self.slot(index)]
+    }
+
+    /// Trace operation of the instruction at logical `index`.
+    #[inline(always)]
+    pub fn op_at(&self, index: usize) -> TraceOp {
+        self.op[self.slot(index)]
+    }
+
+    /// Cycle at which the instruction at logical `index` has traversed the
+    /// front end and may dispatch.
+    #[inline(always)]
+    pub fn frontend_ready_at(&self, index: usize) -> u64 {
+        self.frontend_ready_at[self.slot(index)]
+    }
+
+    /// Cycle at which execution of the instruction at logical `index`
+    /// completes (valid once issued).
+    #[inline(always)]
+    pub fn done_at(&self, index: usize) -> u64 {
+        self.done_at[self.slot(index)]
+    }
+
+    /// Sets the completion cycle of the instruction at logical `index`.
+    #[inline(always)]
+    pub fn set_done_at(&mut self, index: usize, done_at: u64) {
+        let slot = self.slot(index);
+        self.done_at[slot] = done_at;
+    }
+
+    /// Predicted (or detection-time) MLP distance of the load at logical
+    /// `index`.
+    #[inline(always)]
+    pub fn predicted_mlp_distance_at(&self, index: usize) -> u32 {
+        self.predicted_mlp_distance[self.slot(index)]
+    }
+
+    /// Sets the predicted MLP distance of the load at logical `index`.
+    #[inline(always)]
+    pub fn set_predicted_mlp_distance(&mut self, index: usize, distance: u32) {
+        let slot = self.slot(index);
+        self.predicted_mlp_distance[slot] = distance;
+    }
+
+    /// Source-dependence offsets of the instruction at logical `index`
+    /// ([`NO_DEP`] = no in-window producer).
+    #[inline(always)]
+    pub fn src_dep_offsets_at(&self, index: usize) -> [u32; 2] {
+        self.src_dep_offsets[self.slot(index)]
+    }
+
+    /// Stores the dispatch-time dependence offsets of the instruction at
+    /// logical `index`.
+    #[inline(always)]
+    pub fn set_src_dep_offsets(&mut self, index: usize, offsets: [u32; 2]) {
+        let slot = self.slot(index);
+        self.src_dep_offsets[slot] = offsets;
+    }
+
+    /// Packed status flags of the instruction at logical `index`.
+    #[inline(always)]
+    pub fn flags_at(&self, index: usize) -> OpFlags {
+        self.flags[self.slot(index)]
+    }
+
+    /// Mutable access to the packed status flags at logical `index`.
+    ///
+    /// The `dispatched` bit must be set through [`OpWindow::mark_dispatched`]
+    /// so the dispatch cursor stays consistent.
+    #[inline(always)]
+    pub fn flags_mut(&mut self, index: usize) -> &mut OpFlags {
+        let slot = self.slot(index);
+        &mut self.flags[slot]
+    }
+
+    /// Whether the source operands of the instruction at logical `index` are
+    /// available, using the producer offsets resolved at dispatch: a live
+    /// producer sits exactly `offset` slots earlier; an offset beyond `index`
+    /// means the producer has committed (its value is available).
+    #[inline]
+    pub fn deps_ready(&self, index: usize) -> bool {
+        let [a, b] = self.src_dep_offsets[self.slot(index)];
+        for offset in [a, b] {
+            if offset == NO_DEP {
+                continue;
+            }
+            let offset = offset as usize;
+            if offset <= index && !self.flags[self.slot(index - offset)].completed() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Resolves the source-operand producers of the (about to dispatch)
+    /// instruction at logical `index` into backward slot offsets, once. The
+    /// common case (no squash gap in the sequence numbers between producer and
+    /// consumer) is a single O(1) probe; after a squash gap it falls back to a
+    /// binary search. A missing producer (already committed, or unreachable
+    /// across a squash) yields [`NO_DEP`] = always ready.
+    pub fn resolve_dep_offsets(&self, index: usize) -> [u32; 2] {
+        let slot = self.slot(index);
+        let seq = self.seq[slot];
+        let op = &self.op[slot];
+        let mut offsets = [NO_DEP; 2];
+        for (out, dep) in offsets.iter_mut().zip(op.src_deps) {
+            let Some(distance) = dep else { continue };
+            let distance = distance as u64;
+            if distance >= seq {
+                continue;
+            }
+            let producer_seq = seq - distance;
+            let pos = match (index as u64).checked_sub(distance) {
+                Some(pos) if self.seq_at(pos as usize) == producer_seq => Some(pos as usize),
+                _ => self.position_of_seq(producer_seq),
+            };
+            if let Some(pos) = pos {
+                *out = (index - pos) as u32;
+            }
+        }
+        offsets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn push(w: &mut OpWindow, seq: u64) {
+        w.push_back(
+            seq,
+            TraceOp::int_alu(0x40 + 4 * seq),
+            14,
+            OpFlags::default(),
+        );
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(OpWindow::new(1).capacity(), 1);
+        assert_eq!(OpWindow::new(5).capacity(), 8);
+        assert_eq!(OpWindow::new(312).capacity(), 512);
+    }
+
+    #[test]
+    fn ring_wraps_across_capacity() {
+        let mut w = OpWindow::new(4);
+        for seq in 1..=4 {
+            push(&mut w, seq);
+        }
+        // Retire two, fetch two more: the new entries reuse the freed slots.
+        w.mark_dispatched(0);
+        w.mark_dispatched(1);
+        w.mark_issued(0);
+        w.mark_issued(1);
+        w.pop_front();
+        w.pop_front();
+        push(&mut w, 5);
+        push(&mut w, 6);
+        assert_eq!(w.len(), 4);
+        let seqs: Vec<u64> = (0..w.len()).map(|i| w.seq_at(i)).collect();
+        assert_eq!(seqs, vec![3, 4, 5, 6]);
+        assert_eq!(w.position_of_seq(5), Some(2));
+        assert_eq!(w.position_of_seq(2), None);
+    }
+
+    #[test]
+    fn cursors_track_dispatch_and_issue() {
+        let mut w = OpWindow::new(8);
+        for seq in 1..=5 {
+            push(&mut w, seq);
+        }
+        assert_eq!(w.first_undispatched_index(), 0);
+        w.mark_dispatched(0);
+        w.mark_dispatched(1);
+        w.mark_dispatched(2);
+        assert_eq!(w.first_undispatched_index(), 3);
+        // Nothing issued yet: the scan starts at the front.
+        assert_eq!(w.issue_scan_start(), 0);
+        // Issue out of order: 0 and 2, leaving 1 as the resume point.
+        w.mark_issued(0);
+        w.mark_issued(2);
+        assert_eq!(w.issue_scan_start(), 1);
+        // No deps in this test, so the candidate list is the unissued
+        // dispatched set: just index 1.
+        let mut candidates = Vec::new();
+        w.collect_issue_candidates(0, &mut candidates);
+        assert_eq!(candidates, vec![1]);
+        w.mark_issued(1);
+        assert_eq!(w.issue_scan_start(), 3);
+    }
+
+    #[test]
+    fn squash_clamps_cursors() {
+        let mut w = OpWindow::new(8);
+        for seq in 1..=4 {
+            push(&mut w, seq);
+        }
+        for i in 0..4 {
+            w.mark_dispatched(i);
+            w.mark_issued(i);
+        }
+        assert_eq!(w.issue_scan_start(), 4);
+        w.pop_back();
+        w.pop_back();
+        assert_eq!(w.first_undispatched_index(), 2);
+        assert_eq!(w.issue_scan_start(), 2);
+        push(&mut w, 9);
+        assert_eq!(w.first_undispatched_index(), 2);
+        assert_eq!(w.issue_scan_start(), 2);
+    }
+
+    #[test]
+    fn dep_offsets_resolve_and_probe() {
+        let mut w = OpWindow::new(8);
+        push(&mut w, 1);
+        push(&mut w, 2);
+        let op = TraceOp::int_alu(0x100).with_dep(1).with_dep(2);
+        w.push_back(3, op, 14, OpFlags::default());
+        w.mark_dispatched(0);
+        w.mark_dispatched(1);
+        w.mark_dispatched(2);
+        let offsets = w.resolve_dep_offsets(2);
+        assert_eq!(offsets, [1, 2]);
+        w.set_src_dep_offsets(2, offsets);
+        assert!(!w.deps_ready(2));
+        w.flags_mut(0).set_completed(true);
+        w.flags_mut(1).set_completed(true);
+        assert!(w.deps_ready(2));
+    }
+
+    #[test]
+    fn committed_producer_is_always_ready() {
+        let mut w = OpWindow::new(8);
+        push(&mut w, 1);
+        w.mark_dispatched(0);
+        w.mark_issued(0);
+        w.flags_mut(0).set_completed(true);
+        w.pop_front();
+        let op = TraceOp::int_alu(0x100).with_dep(1);
+        w.push_back(2, op, 14, OpFlags::default());
+        w.mark_dispatched(0);
+        // Producer seq 1 has committed: no in-window position, offset = NO_DEP.
+        let offsets = w.resolve_dep_offsets(0);
+        assert_eq!(offsets, [NO_DEP, NO_DEP]);
+        w.set_src_dep_offsets(0, offsets);
+        assert!(w.deps_ready(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "overflow")]
+    fn overflow_panics() {
+        let mut w = OpWindow::new(2);
+        for seq in 1..=3 {
+            push(&mut w, seq);
+        }
+    }
+}

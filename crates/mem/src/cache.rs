@@ -30,7 +30,10 @@ struct Way {
 /// ```
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
-    sets: Vec<Vec<Way>>,
+    /// All ways of all sets in one flat allocation, indexed by
+    /// `set * associativity + way` — no per-set pointer chase on lookup.
+    ways: Vec<Way>,
+    associativity: usize,
     line_shift: u32,
     set_mask: u64,
     latency: u64,
@@ -49,8 +52,10 @@ impl SetAssocCache {
     pub fn new(config: &CacheConfig) -> Self {
         config.validate().expect("invalid cache configuration");
         let num_sets = config.num_sets();
+        let associativity = config.associativity as usize;
         SetAssocCache {
-            sets: vec![vec![Way::default(); config.associativity as usize]; num_sets as usize],
+            ways: vec![Way::default(); num_sets as usize * associativity],
+            associativity,
             line_shift: config.line_bytes.trailing_zeros(),
             set_mask: num_sets - 1,
             latency: config.latency,
@@ -58,6 +63,20 @@ impl SetAssocCache {
             hits: 0,
             misses: 0,
         }
+    }
+
+    /// The ways of one set, as a contiguous slice of the flat way array.
+    #[inline(always)]
+    fn set_ways(&self, set: usize) -> &[Way] {
+        let start = set * self.associativity;
+        &self.ways[start..start + self.associativity]
+    }
+
+    /// Mutable counterpart of [`SetAssocCache::set_ways`].
+    #[inline(always)]
+    fn set_ways_mut(&mut self, set: usize) -> &mut [Way] {
+        let start = set * self.associativity;
+        &mut self.ways[start..start + self.associativity]
     }
 
     /// Access latency of this level in cycles.
@@ -80,10 +99,11 @@ impl SetAssocCache {
     /// the line only once the miss returns.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
+        let tick = self.tick;
         let (set, tag) = self.index_tag(addr);
-        for way in &mut self.sets[set] {
+        for way in self.set_ways_mut(set) {
             if way.valid && way.tag == tag {
-                way.last_used = self.tick;
+                way.last_used = tick;
                 self.hits += 1;
                 return true;
             }
@@ -95,7 +115,7 @@ impl SetAssocCache {
     /// Checks for presence without touching LRU state or counters.
     pub fn probe(&self, addr: u64) -> bool {
         let (set, tag) = self.index_tag(addr);
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        self.set_ways(set).iter().any(|w| w.valid && w.tag == tag)
     }
 
     /// Installs the line containing `addr`, evicting the LRU way if needed.
@@ -103,7 +123,7 @@ impl SetAssocCache {
         self.tick += 1;
         let tick = self.tick;
         let (set, tag) = self.index_tag(addr);
-        let ways = &mut self.sets[set];
+        let ways = self.set_ways_mut(set);
         if let Some(way) = ways.iter_mut().find(|w| w.valid && w.tag == tag) {
             way.last_used = tick;
             return;
@@ -119,10 +139,8 @@ impl SetAssocCache {
 
     /// Invalidates every line (used between experiment repetitions).
     pub fn flush_all(&mut self) {
-        for set in &mut self.sets {
-            for way in set {
-                way.valid = false;
-            }
+        for way in &mut self.ways {
+            way.valid = false;
         }
     }
 

@@ -5,7 +5,7 @@ use smt_types::{SmtConfig, ThreadId};
 use crate::cache::SetAssocCache;
 use crate::mshr::{MshrFile, MshrOutcome};
 use crate::prefetch::StreamBufferPrefetcher;
-use crate::tlb::Tlb;
+use crate::tlb::TlbFile;
 
 /// Deepest level that had to service a data access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -61,8 +61,8 @@ pub struct MemoryHierarchy {
     l1d: SetAssocCache,
     l2: SetAssocCache,
     l3: SetAssocCache,
-    itlb: Vec<Tlb>,
-    dtlb: Vec<Tlb>,
+    itlb: TlbFile,
+    dtlb: TlbFile,
     prefetcher: StreamBufferPrefetcher,
     mshrs: MshrFile,
     memory_latency: u64,
@@ -84,12 +84,8 @@ impl MemoryHierarchy {
             l1d: SetAssocCache::new(&config.l1d),
             l2: SetAssocCache::new(&config.l2),
             l3: SetAssocCache::new(&config.l3),
-            itlb: (0..config.num_threads)
-                .map(|_| Tlb::new(&config.itlb))
-                .collect(),
-            dtlb: (0..config.num_threads)
-                .map(|_| Tlb::new(&config.dtlb))
-                .collect(),
+            itlb: TlbFile::new(&config.itlb, config.num_threads),
+            dtlb: TlbFile::new(&config.dtlb, config.num_threads),
             prefetcher: StreamBufferPrefetcher::new(
                 config.prefetcher,
                 config.l1d.line_bytes as u64,
@@ -120,10 +116,10 @@ impl MemoryHierarchy {
     ) -> LoadAccessResult {
         let paddr = self.physical(thread, addr);
         let mut latency = 0u64;
-        let dtlb_hit = self.dtlb[thread.index()].access(paddr);
+        let dtlb_hit = self.dtlb.access(thread.index(), paddr);
         let dtlb_miss = !dtlb_hit;
         if dtlb_miss {
-            latency += self.dtlb[thread.index()].miss_penalty();
+            latency += self.dtlb.miss_penalty();
         }
 
         // Train the stride predictor on every load, hit or miss.
@@ -219,7 +215,7 @@ impl MemoryHierarchy {
     /// latency is hidden behind the write buffer at commit).
     pub fn store_access(&mut self, thread: ThreadId, addr: u64, _cycle: u64) {
         let paddr = self.physical(thread, addr);
-        let _ = self.dtlb[thread.index()].access(paddr);
+        let _ = self.dtlb.access(thread.index(), paddr);
         if !self.l1d.access(paddr) {
             self.l1d.fill(paddr);
             self.l2.fill(paddr);
@@ -231,7 +227,7 @@ impl MemoryHierarchy {
     /// cycles (1 on an L1 I-cache hit).
     pub fn fetch_access(&mut self, thread: ThreadId, pc: u64, _cycle: u64) -> u64 {
         let paddr = self.physical(thread, pc);
-        let _ = self.itlb[thread.index()].access(paddr);
+        let _ = self.itlb.access(thread.index(), paddr);
         if self.l1i.access(paddr) {
             return self.l1i.latency();
         }
@@ -271,12 +267,8 @@ impl MemoryHierarchy {
         self.l1d.flush_all();
         self.l2.flush_all();
         self.l3.flush_all();
-        for t in &mut self.itlb {
-            t.flush_all();
-        }
-        for t in &mut self.dtlb {
-            t.flush_all();
-        }
+        self.itlb.flush_all();
+        self.dtlb.flush_all();
         self.prefetcher.reset();
         self.mshrs.reset();
         for c in &mut self.last_lll_completion {

@@ -45,5 +45,5 @@ pub use cache::SetAssocCache;
 pub use hierarchy::{AccessLevel, LoadAccessResult, MemoryHierarchy};
 pub use mshr::MshrFile;
 pub use prefetch::StreamBufferPrefetcher;
-pub use tlb::Tlb;
+pub use tlb::{Tlb, TlbFile};
 pub use write_buffer::WriteBuffer;

@@ -9,6 +9,25 @@ struct TlbEntry {
     last_used: u64,
 }
 
+/// Looks up `vpn` in `entries`, refreshing its LRU stamp on a hit or
+/// installing it over the LRU victim on a miss (the hardware page walk).
+/// Returns `true` on a hit. Shared by [`Tlb`] and [`TlbFile`] so the
+/// replacement policy cannot drift between the two.
+fn access_entries(entries: &mut [TlbEntry], tick: u64, vpn: u64) -> bool {
+    if let Some(e) = entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
+        e.last_used = tick;
+        return true;
+    }
+    let victim = entries
+        .iter_mut()
+        .min_by_key(|e| if e.valid { e.last_used } else { 0 })
+        .expect("TLB has at least one entry");
+    victim.valid = true;
+    victim.vpn = vpn;
+    victim.last_used = tick;
+    false
+}
+
 /// A fully-associative TLB, as configured in Table IV (128-entry I-TLB, 512-entry
 /// D-TLB, 8 KB pages).
 ///
@@ -67,23 +86,13 @@ impl Tlb {
     /// installed (hardware page walk), evicting the LRU entry.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let tick = self.tick;
-        let vpn = addr >> self.page_shift;
-        if let Some(e) = self.entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
-            e.last_used = tick;
+        let hit = access_entries(&mut self.entries, self.tick, addr >> self.page_shift);
+        if hit {
             self.hits += 1;
-            return true;
+        } else {
+            self.misses += 1;
         }
-        self.misses += 1;
-        let victim = self
-            .entries
-            .iter_mut()
-            .min_by_key(|e| if e.valid { e.last_used } else { 0 })
-            .expect("TLB has at least one entry");
-        victim.valid = true;
-        victim.vpn = vpn;
-        victim.last_used = tick;
-        false
+        hit
     }
 
     /// Checks for a translation without installing or touching LRU state.
@@ -103,6 +112,123 @@ impl Tlb {
     }
 
     /// Invalidates every translation.
+    pub fn flush_all(&mut self) {
+        for e in &mut self.entries {
+            e.valid = false;
+        }
+    }
+}
+
+/// The per-thread TLBs of one kind (instruction or data) for every hardware
+/// thread, stored as a single flat entry array indexed by
+/// `thread * entries_per_thread + entry`.
+///
+/// Functionally identical to a `Vec<Tlb>` — each thread's slice is searched and
+/// replaced exactly as [`Tlb`] would — but with one allocation instead of one
+/// `Vec` per thread, so hierarchy lookups don't chase a per-thread pointer.
+///
+/// # Example
+///
+/// ```
+/// use smt_mem::TlbFile;
+/// use smt_types::config::TlbConfig;
+///
+/// let cfg = TlbConfig { entries: 4, page_bytes: 8192, miss_penalty: 350 };
+/// let mut tlbs = TlbFile::new(&cfg, 2);
+/// assert!(!tlbs.access(0, 0x0));       // thread 0: cold miss, entry installed
+/// assert!(tlbs.access(0, 0x1fff));     // same 8 KB page
+/// assert!(!tlbs.access(1, 0x0));       // thread 1 has its own entries
+/// ```
+#[derive(Clone, Debug)]
+pub struct TlbFile {
+    /// All threads' entries in one flat allocation.
+    entries: Vec<TlbEntry>,
+    entries_per_thread: usize,
+    page_shift: u32,
+    miss_penalty: u64,
+    /// Per-thread LRU clocks (each thread's TLB ticks independently, exactly
+    /// like a standalone [`Tlb`]).
+    ticks: Vec<u64>,
+    hits: u64,
+    misses: u64,
+}
+
+impl TlbFile {
+    /// Builds `num_threads` TLBs of `config`'s shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the entry count is zero, the page size is not a power of two,
+    /// or `num_threads` is zero.
+    pub fn new(config: &TlbConfig, num_threads: usize) -> Self {
+        assert!(config.entries > 0, "TLB needs at least one entry");
+        assert!(
+            config.page_bytes.is_power_of_two(),
+            "page size must be a power of two"
+        );
+        assert!(num_threads > 0, "TLB file needs at least one thread");
+        let entries_per_thread = config.entries as usize;
+        TlbFile {
+            entries: vec![TlbEntry::default(); entries_per_thread * num_threads],
+            entries_per_thread,
+            page_shift: config.page_bytes.trailing_zeros(),
+            miss_penalty: config.miss_penalty,
+            ticks: vec![0; num_threads],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Penalty in cycles charged for a miss (a page-table walk to memory).
+    pub fn miss_penalty(&self) -> u64 {
+        self.miss_penalty
+    }
+
+    /// Translates `addr` for `thread`; returns `true` on a hit. On a miss the
+    /// translation is installed (hardware page walk), evicting the LRU entry
+    /// of that thread's slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn access(&mut self, thread: usize, addr: u64) -> bool {
+        self.ticks[thread] += 1;
+        let tick = self.ticks[thread];
+        let start = thread * self.entries_per_thread;
+        let slice = &mut self.entries[start..start + self.entries_per_thread];
+        let hit = access_entries(slice, tick, addr >> self.page_shift);
+        if hit {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        hit
+    }
+
+    /// Checks for a translation without installing or touching LRU state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thread` is out of range.
+    pub fn probe(&self, thread: usize, addr: u64) -> bool {
+        let vpn = addr >> self.page_shift;
+        let start = thread * self.entries_per_thread;
+        self.entries[start..start + self.entries_per_thread]
+            .iter()
+            .any(|e| e.valid && e.vpn == vpn)
+    }
+
+    /// Number of hits so far, over all threads.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of misses so far, over all threads.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Invalidates every translation of every thread.
     pub fn flush_all(&mut self) {
         for e in &mut self.entries {
             e.valid = false;
@@ -172,5 +298,60 @@ mod tests {
             page_bytes: 4096,
             miss_penalty: 1,
         });
+    }
+
+    #[test]
+    fn tlb_file_matches_vec_of_tlbs() {
+        let cfg = TlbConfig {
+            entries: 3,
+            page_bytes: 4096,
+            miss_penalty: 350,
+        };
+        let mut file = TlbFile::new(&cfg, 2);
+        let mut reference: Vec<Tlb> = (0..2).map(|_| Tlb::new(&cfg)).collect();
+        // A deterministic access pattern with reuse, eviction and cross-thread
+        // interleaving; the flat file must behave exactly like one Tlb per
+        // thread.
+        let mut x: u64 = 7;
+        for i in 0..500u64 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let thread = (i % 2) as usize;
+            let addr = (x >> 33) % 8 * 4096 + (x & 0xfff);
+            assert_eq!(
+                file.access(thread, addr),
+                reference[thread].access(addr),
+                "divergence at access {i}"
+            );
+        }
+        let reference_hits: u64 = reference.iter().map(|t| t.hits()).sum();
+        let reference_misses: u64 = reference.iter().map(|t| t.misses()).sum();
+        assert_eq!(file.hits(), reference_hits);
+        assert_eq!(file.misses(), reference_misses);
+        for page in 0..8u64 {
+            for (thread, tlb) in reference.iter().enumerate() {
+                assert_eq!(file.probe(thread, page * 4096), tlb.probe(page * 4096));
+            }
+        }
+        file.flush_all();
+        assert!(!file.probe(0, 0));
+        assert!(!file.probe(1, 0));
+    }
+
+    #[test]
+    fn tlb_file_threads_are_disjoint() {
+        let cfg = TlbConfig {
+            entries: 2,
+            page_bytes: 8192,
+            miss_penalty: 350,
+        };
+        let mut file = TlbFile::new(&cfg, 3);
+        assert!(!file.access(0, 0x0));
+        assert!(!file.access(1, 0x0));
+        assert!(file.access(0, 0x1));
+        assert!(!file.access(2, 0x0));
+        assert!(!file.probe(2, 0x4000));
+        assert_eq!(file.miss_penalty(), 350);
     }
 }

@@ -273,10 +273,11 @@ impl SyntheticTraceGenerator {
         // Independent of in-flight producers so overlapping misses really overlap.
         TraceOp::load(pc, addr)
     }
-}
 
-impl TraceSource for SyntheticTraceGenerator {
-    fn next_op(&mut self) -> TraceOp {
+    /// Generates the next dynamic instruction. This is the monomorphic core
+    /// shared by [`TraceSource::next_op`] and the natively batched
+    /// [`TraceSource::refill`].
+    fn gen_op(&mut self) -> TraceOp {
         self.seq += 1;
 
         // Miss-burst scheduling takes precedence over the background mix.
@@ -307,6 +308,21 @@ impl TraceSource for SyntheticTraceGenerator {
             self.branch()
         } else {
             self.alu()
+        }
+    }
+}
+
+impl TraceSource for SyntheticTraceGenerator {
+    fn next_op(&mut self) -> TraceOp {
+        self.gen_op()
+    }
+
+    fn refill(&mut self, buf: &mut Vec<TraceOp>, n: usize) {
+        // Native batched implementation: one virtual call fills the whole
+        // batch through the monomorphic generator core.
+        buf.reserve(n);
+        for _ in 0..n {
+            buf.push(self.gen_op());
         }
     }
 

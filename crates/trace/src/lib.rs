@@ -50,6 +50,23 @@ pub trait TraceSource {
     /// Produces the next dynamic instruction.
     fn next_op(&mut self) -> TraceOp;
 
+    /// Appends the next `n` dynamic instructions to `buf`, in stream order —
+    /// exactly the ops `n` successive [`TraceSource::next_op`] calls would
+    /// return.
+    ///
+    /// Callers that hold the source behind `Box<dyn TraceSource>` (the
+    /// pipeline's fetch stage) pull a whole batch per virtual call instead of
+    /// paying the dynamic dispatch once per instruction. The default
+    /// implementation delegates to `next_op`, so existing sources stay
+    /// correct; hot sources (e.g. [`SyntheticTraceGenerator`]) override it
+    /// with a native batched loop.
+    fn refill(&mut self, buf: &mut Vec<TraceOp>, n: usize) {
+        buf.reserve(n);
+        for _ in 0..n {
+            buf.push(self.next_op());
+        }
+    }
+
     /// Short name of the workload (benchmark name).
     fn name(&self) -> &str;
 }
@@ -57,6 +74,10 @@ pub trait TraceSource {
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
     fn next_op(&mut self) -> TraceOp {
         (**self).next_op()
+    }
+
+    fn refill(&mut self, buf: &mut Vec<TraceOp>, n: usize) {
+        (**self).refill(buf, n)
     }
 
     fn name(&self) -> &str {

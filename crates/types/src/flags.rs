@@ -1,0 +1,203 @@
+//! Packed per-instruction pipeline status flags.
+//!
+//! The pipeline's struct-of-arrays instruction window keeps all boolean
+//! per-instruction state in one 16-bit word per slot, so the phase loops that
+//! only test a flag or two (commit's `dispatched && issued && completed` check,
+//! the issue scan's `dispatched && !issued` filter) stream a dense `u16` column
+//! instead of dragging whole ~100-byte records through the cache.
+
+/// Packed boolean pipeline state of one in-flight instruction.
+///
+/// Bits are accessed through the named getter/setter pairs; the raw word is
+/// deliberately private so call sites cannot invent unnamed bits.
+///
+/// # Example
+///
+/// ```
+/// use smt_types::OpFlags;
+///
+/// let mut f = OpFlags::default();
+/// assert!(!f.dispatched());
+/// f.set_dispatched(true);
+/// f.set_issued(true);
+/// assert!(f.dispatched() && f.issued() && !f.completed());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Default)]
+pub struct OpFlags {
+    bits: u16,
+}
+
+macro_rules! op_flag {
+    ($get:ident, $set:ident, $bit:expr, $doc:expr) => {
+        #[doc = $doc]
+        #[inline(always)]
+        pub fn $get(self) -> bool {
+            self.bits & (1 << $bit) != 0
+        }
+
+        /// Sets the flag read by the getter of the same name.
+        #[inline(always)]
+        pub fn $set(&mut self, value: bool) {
+            if value {
+                self.bits |= 1 << $bit;
+            } else {
+                self.bits &= !(1 << $bit);
+            }
+        }
+    };
+}
+
+impl OpFlags {
+    op_flag!(
+        dispatched,
+        set_dispatched,
+        0,
+        "Whether the instruction has been renamed/dispatched into the backend."
+    );
+    op_flag!(
+        issued,
+        set_issued,
+        1,
+        "Whether the instruction has issued to a functional unit."
+    );
+    op_flag!(
+        completed,
+        set_completed,
+        2,
+        "Whether execution has completed (result available)."
+    );
+    op_flag!(
+        uses_fp_iq,
+        set_uses_fp_iq,
+        3,
+        "Whether the instruction occupies the floating-point issue queue."
+    );
+    op_flag!(
+        uses_lsq,
+        set_uses_lsq,
+        4,
+        "Whether the instruction occupies a load/store queue entry."
+    );
+    op_flag!(
+        has_dest,
+        set_has_dest,
+        5,
+        "Whether the instruction allocates a rename register."
+    );
+    op_flag!(
+        dest_fp,
+        set_dest_fp,
+        6,
+        "Destination register class is floating point."
+    );
+    op_flag!(
+        predicted_lll,
+        set_predicted_lll,
+        7,
+        "Front-end long-latency prediction (loads only)."
+    );
+    op_flag!(
+        predicted_has_mlp,
+        set_predicted_has_mlp,
+        8,
+        "Binary MLP prediction."
+    );
+    op_flag!(
+        is_long_latency,
+        set_is_long_latency,
+        9,
+        "Whether the load was detected to be long latency at execute."
+    );
+    op_flag!(
+        l1_missed,
+        set_l1_missed,
+        10,
+        "Whether the load missed in the L1 data cache (DCRA's signal)."
+    );
+    op_flag!(
+        mispredicted,
+        set_mispredicted,
+        11,
+        "Whether the branch was mispredicted (squash + redirect at completion)."
+    );
+    op_flag!(
+        predicted_taken,
+        set_predicted_taken,
+        12,
+        "Whether the branch was predicted taken at fetch (ends the fetch group)."
+    );
+
+    /// The commit-readiness predicate (`dispatched && issued && completed`) as a
+    /// single mask test.
+    #[inline(always)]
+    pub fn commit_ready(self) -> bool {
+        const MASK: u16 = 0b111;
+        self.bits & MASK == MASK
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_are_independent() {
+        let mut f = OpFlags::default();
+        let setters: [fn(&mut OpFlags, bool); 13] = [
+            OpFlags::set_dispatched,
+            OpFlags::set_issued,
+            OpFlags::set_completed,
+            OpFlags::set_uses_fp_iq,
+            OpFlags::set_uses_lsq,
+            OpFlags::set_has_dest,
+            OpFlags::set_dest_fp,
+            OpFlags::set_predicted_lll,
+            OpFlags::set_predicted_has_mlp,
+            OpFlags::set_is_long_latency,
+            OpFlags::set_l1_missed,
+            OpFlags::set_mispredicted,
+            OpFlags::set_predicted_taken,
+        ];
+        let getters: [fn(OpFlags) -> bool; 13] = [
+            OpFlags::dispatched,
+            OpFlags::issued,
+            OpFlags::completed,
+            OpFlags::uses_fp_iq,
+            OpFlags::uses_lsq,
+            OpFlags::has_dest,
+            OpFlags::dest_fp,
+            OpFlags::predicted_lll,
+            OpFlags::predicted_has_mlp,
+            OpFlags::is_long_latency,
+            OpFlags::l1_missed,
+            OpFlags::mispredicted,
+            OpFlags::predicted_taken,
+        ];
+        for (i, set) in setters.iter().enumerate() {
+            set(&mut f, true);
+            for (j, get) in getters.iter().enumerate() {
+                assert_eq!(get(f), j <= i, "bit {j} after setting {i}");
+            }
+        }
+        for (i, set) in setters.iter().enumerate() {
+            set(&mut f, false);
+            for (j, get) in getters.iter().enumerate() {
+                assert_eq!(get(f), j > i, "bit {j} after clearing {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn commit_ready_needs_all_three() {
+        let mut f = OpFlags::default();
+        f.set_dispatched(true);
+        f.set_issued(true);
+        assert!(!f.commit_ready());
+        f.set_completed(true);
+        assert!(f.commit_ready());
+        f.set_mispredicted(true);
+        assert!(f.commit_ready());
+        f.set_issued(false);
+        assert!(!f.commit_ready());
+    }
+}

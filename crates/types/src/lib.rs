@@ -5,6 +5,7 @@
 //!
 //! * [`ThreadId`] and sequence-number newtypes ([`ids`]),
 //! * the trace-level instruction representation ([`op::TraceOp`]),
+//! * the packed per-instruction pipeline flags ([`flags::OpFlags`]),
 //! * the simulated processor configuration ([`config::SmtConfig`], Table IV of the
 //!   paper),
 //! * per-thread and machine-wide statistics ([`stats`]),
@@ -26,6 +27,7 @@
 
 pub mod config;
 pub mod error;
+pub mod flags;
 pub mod ids;
 pub mod op;
 pub mod snapshot;
@@ -33,6 +35,7 @@ pub mod stats;
 
 pub use config::SmtConfig;
 pub use error::SimError;
+pub use flags::OpFlags;
 pub use ids::{SeqNum, ThreadId};
 pub use op::{BranchInfo, MemInfo, OpKind, TraceOp};
 pub use snapshot::{SmtSnapshot, ThreadSnapshot};
