@@ -68,8 +68,10 @@ pub struct BenchArgs {
     /// `--out <path>`: where to write the JSON report
     /// (default `BENCH_throughput.json`).
     pub out: Option<String>,
-    /// `--baseline <path>`: earlier report to compare against.
+    /// `--baseline <path>`: earlier report (or trajectory) to compare against.
     pub baseline: Option<String>,
+    /// `--cores <n>`: additionally run the chip scenario at n cores x 2 threads.
+    pub cores: Option<usize>,
     /// `--quiet`: suppress the stdout table.
     pub quiet: bool,
 }
@@ -87,6 +89,8 @@ pub struct RunArgs {
     pub per_group: Option<usize>,
     /// `--limit <n>`: keeps at most the first n workloads.
     pub limit: Option<usize>,
+    /// `--cores <n>`: overrides a chip spec's core count.
+    pub cores: Option<usize>,
     /// `--threads <n>`: engine worker threads (default: machine parallelism).
     pub threads: Option<usize>,
     /// `--serial`: shorthand for `--threads 1`.
@@ -108,6 +112,7 @@ impl RunArgs {
             instructions: None,
             per_group: None,
             limit: None,
+            cores: None,
             threads: None,
             serial: false,
             out: None,
@@ -193,6 +198,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                                 .map_err(|_| format!("invalid workload limit `{value}`"))?,
                         );
                     }
+                    "--cores" => {
+                        let value = value_for("--cores")?;
+                        let cores: usize = value
+                            .parse()
+                            .map_err(|_| format!("invalid core count `{value}`"))?;
+                        if cores == 0 {
+                            return Err("`--cores` must be at least 1".to_string());
+                        }
+                        run.cores = Some(cores);
+                    }
                     "--threads" => {
                         let value = value_for("--threads")?;
                         let threads: usize = value
@@ -247,6 +262,16 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         }
                         bench.runs = Some(runs);
                     }
+                    "--cores" => {
+                        let value = value_for("--cores")?;
+                        let cores: usize = value
+                            .parse()
+                            .map_err(|_| format!("invalid core count `{value}`"))?;
+                        if !(2..=8).contains(&cores) {
+                            return Err("`--cores` must be between 2 and 8 for bench".to_string());
+                        }
+                        bench.cores = Some(cores);
+                    }
                     "--out" => bench.out = Some(value_for("--out")?),
                     "--baseline" => bench.baseline = Some(value_for("--baseline")?),
                     "--quiet" | "-q" => bench.quiet = true,
@@ -274,15 +299,17 @@ USAGE:
         Run a registered experiment or a TOML spec file.
 
     smt-cli bench [flags]
-        Time the fixed throughput scenario matrix (1T/2T/4T, ILP/MLP mixes,
-        ICOUNT + MLP-aware flush) and write BENCH_throughput.json.
+        Time the fixed throughput scenario matrix (1T/2T/4T single-core cells
+        plus a 2-core chip cell, ILP/MLP mixes, ICOUNT + MLP-aware flush) and
+        append a dated entry to the BENCH_throughput.json trajectory.
 
 BENCH FLAGS:
     --quick             Reduced-size smoke run (CI)
     --instructions <n>  Instructions per thread (default 30000; 3000 with --quick)
     --runs <n>          Timed repetitions per scenario (default 3; 1 with --quick)
-    --out <path>        Report path (default BENCH_throughput.json)
-    --baseline <path>   Compare against an earlier report and print speedups
+    --cores <n>         Also run the chip scenario at n cores x 2 threads (2-8)
+    --out <path>        Trajectory path to append to (default BENCH_throughput.json)
+    --baseline <path>   Compare against an earlier report/trajectory, print speedups
     --quiet             Suppress the stdout table
 
 RUN FLAGS:
@@ -290,6 +317,7 @@ RUN FLAGS:
     --instructions <n>                  Override instructions per thread
     --per-group <n>     Keep at most n workloads per ILP/MLP/MIX group
     --limit <n>         Keep at most the first n workloads
+    --cores <n>         Override a chip spec's core count
     --threads <n>       Engine worker threads (default: all cores)
     --serial            Same as --threads 1
     --out <path>        Also write the report to a file (.json/.toml/.txt)
@@ -298,11 +326,12 @@ RUN FLAGS:
 
 EXAMPLES:
     smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
-    smt-cli run fig15_memory_latency_sweep --per-group 1 --scale tiny
+    smt-cli run chip_2c2t_allocation_matrix --scale tiny --limit 1
+    smt-cli run chip_2c2t_allocation_matrix --cores 4 --scale tiny
     smt-cli describe fig09_two_thread_policies > my_experiment.toml
     smt-cli run my_experiment.toml --threads 8
     smt-cli bench --out BENCH_throughput.json
-    smt-cli bench --quick --baseline BENCH_throughput.json --out /tmp/now.json
+    smt-cli bench --quick --cores 4 --baseline BENCH_throughput.json --out /tmp/now.json
 ";
 
 #[cfg(test)]
@@ -351,6 +380,7 @@ mod tests {
         assert_eq!(run.scale, Some(RunScale::test()));
         assert_eq!(run.per_group, Some(2));
         assert_eq!(run.threads, Some(4));
+        assert_eq!(run.cores, None);
         assert_eq!(run.out.as_deref(), Some("/tmp/r.json"));
         assert!(!run.serial && !run.quiet);
     }
@@ -375,6 +405,8 @@ mod tests {
             "5000",
             "--runs",
             "2",
+            "--cores",
+            "4",
             "--out",
             "/tmp/b.json",
             "--baseline",
@@ -387,8 +419,21 @@ mod tests {
         assert!(bench.quick && bench.quiet);
         assert_eq!(bench.instructions, Some(5_000));
         assert_eq!(bench.runs, Some(2));
+        assert_eq!(bench.cores, Some(4));
         assert_eq!(bench.out.as_deref(), Some("/tmp/b.json"));
         assert_eq!(bench.baseline.as_deref(), Some("old.json"));
+    }
+
+    #[test]
+    fn cores_flags_parse_and_validate() {
+        let Command::Run(run) = parse_ok(&["run", "chip_2c2t_allocation_matrix", "--cores", "4"])
+        else {
+            panic!("expected run");
+        };
+        assert_eq!(run.cores, Some(4));
+        assert!(parse_err(&["run", "x", "--cores", "0"]).contains("at least 1"));
+        assert!(parse_err(&["bench", "--cores", "1"]).contains("between 2 and 8"));
+        assert!(parse_err(&["bench", "--cores", "9"]).contains("between 2 and 8"));
     }
 
     #[test]

@@ -15,7 +15,9 @@ mod args;
 use std::process::ExitCode;
 
 use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec};
-use smt_core::throughput::{self, BenchOptions, ThroughputReport, BASELINE_SCENARIO};
+use smt_core::throughput::{
+    self, BenchOptions, ThroughputReport, ThroughputTrajectory, BASELINE_SCENARIO,
+};
 use smt_types::SimError;
 
 use args::{BenchArgs, Command, OutputFormat, RunArgs};
@@ -77,6 +79,25 @@ fn current_commit() -> Option<String> {
     Some(rev)
 }
 
+/// Today's UTC date as `YYYY-MM-DD` (Howard Hinnant's `civil_from_days`),
+/// recorded with every appended trajectory entry.
+fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
 fn execute_bench(bench: BenchArgs) -> Result<(), String> {
     let mut opts = if bench.quick {
         BenchOptions::quick()
@@ -89,15 +110,22 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
     if let Some(runs) = bench.runs {
         opts.runs = runs;
     }
+    opts.extra_chip_cores = bench.cores;
     // Load the baseline up front: a missing or malformed file must fail before
-    // the (minutes-long) measurement, not after it.
+    // the (minutes-long) measurement, not after it. Both the trajectory schema
+    // and the legacy single-report schema are accepted; the latest entry is
+    // what we compare against.
     let baseline = bench
         .baseline
         .as_deref()
         .map(|path| -> Result<(String, ThroughputReport), String> {
             let text = std::fs::read_to_string(path)
                 .map_err(|e| format!("cannot read baseline `{path}`: {e}"))?;
-            let report = ThroughputReport::from_json(&text).map_err(|e| e.to_string())?;
+            let trajectory = ThroughputTrajectory::from_json(&text).map_err(|e| e.to_string())?;
+            let report = trajectory
+                .latest()
+                .ok_or_else(|| format!("baseline `{path}` has no entries"))?
+                .clone();
             // The matrix is static, so comparability is known now: the
             // baseline must share at least one scenario with a usable rate.
             let comparable = report.scenarios.iter().any(|s| {
@@ -115,18 +143,32 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
         })
         .transpose()?;
 
+    let scenario_count = throughput::scenarios_for(&opts)
+        .map_err(|e| e.to_string())?
+        .len();
     eprintln!(
-        "benchmarking {} scenarios at {} instructions/thread, best of {} run(s)...",
-        throughput::scenario_matrix().len(),
-        opts.instructions_per_thread,
-        opts.runs
+        "benchmarking {scenario_count} scenarios at {} instructions/thread, best of {} run(s)...",
+        opts.instructions_per_thread, opts.runs
     );
     let report = throughput::run_matrix(&opts, current_commit()).map_err(|e| e.to_string())?;
 
+    // Append to the trajectory instead of overwriting it: the file keeps one
+    // dated entry per recorded run, so the perf history of earlier commits
+    // stays recoverable from the working tree.
     let out = bench.out.as_deref().unwrap_or("BENCH_throughput.json");
-    let payload = report.to_json().map_err(|e| e.to_string())?;
+    let mut trajectory = match std::fs::read_to_string(out) {
+        Ok(text) => ThroughputTrajectory::from_json(&text)
+            .map_err(|e| format!("cannot append to `{out}`: {e}"))?,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => ThroughputTrajectory::new(),
+        Err(e) => return Err(format!("cannot read `{out}`: {e}")),
+    };
+    trajectory.push(today_utc(), report.clone());
+    let payload = trajectory.to_json().map_err(|e| e.to_string())?;
     std::fs::write(out, payload).map_err(|e| format!("cannot write `{out}`: {e}"))?;
-    eprintln!("report written to {out}");
+    eprintln!(
+        "trajectory entry appended to {out} ({} entries)",
+        trajectory.entries.len()
+    );
 
     if !bench.quiet {
         print!("{}", report.format_text());
@@ -217,6 +259,18 @@ fn execute(run: RunArgs) -> Result<(), String> {
     }
     if let Some(limit) = run.limit {
         spec = spec.with_workload_limit(limit);
+    }
+    if let Some(cores) = run.cores {
+        match spec.chip.as_mut() {
+            Some(chip) => chip.num_cores = cores,
+            None => {
+                return Err(format!(
+                    "`--cores` only applies to chip_grid specs; `{}` is a `{}` experiment",
+                    spec.name,
+                    spec.kind.name()
+                ))
+            }
+        }
     }
     spec.validate().map_err(|e| e.to_string())?;
     let threads = if run.serial {

@@ -1,0 +1,302 @@
+//! The chip-level simulator: a CMP of SMT cores sharing a last-level cache
+//! and a memory bus.
+//!
+//! A [`ChipSimulator`] owns `num_cores` independent [`Core`] pipelines and
+//! one [`smt_mem::SharedLlc`]. Each chip cycle, every core advances one
+//! cycle against the shared level; cores interact *only* through LLC
+//! capacity, the LLC MSHR file, and bus bandwidth. Under the chip
+//! arbitration discipline (see [`smt_mem::shared`]) the shared level's
+//! per-cycle state is a pure function of the *set* of requests made in the
+//! cycle, so chip results are invariant to the order cores are stepped in —
+//! [`ChipSimulator::step_with_core_order`] exposes that property to tests.
+//!
+//! A one-core chip degenerates exactly to the paper's single-core machine
+//! ([`crate::pipeline::SmtSimulator`]): same discipline, same per-requester
+//! MSHRs, uncontended bus, bit-for-bit identical statistics.
+
+use smt_fetch::build_policy;
+use smt_mem::SharedLlc;
+use smt_trace::TraceSource;
+use smt_types::{ChipConfig, ChipStats, MachineStats, SimError};
+
+use crate::pipeline::{Core, SimOptions};
+
+/// The chip (CMP-of-SMT) simulator.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::chip::ChipSimulator;
+/// use smt_core::pipeline::SimOptions;
+/// use smt_trace::{spec, SyntheticTraceGenerator};
+/// use smt_types::ChipConfig;
+///
+/// # fn main() -> Result<(), smt_types::SimError> {
+/// let chip = ChipConfig::baseline(2, 2);
+/// let traces = vec![
+///     vec!["mcf", "gcc"],
+///     vec!["swim", "twolf"],
+/// ]
+/// .into_iter()
+/// .enumerate()
+/// .map(|(core, names)| {
+///     names
+///         .into_iter()
+///         .enumerate()
+///         .map(|(slot, name)| {
+///             let seed = (core * 2 + slot + 1) as u64;
+///             Box::new(SyntheticTraceGenerator::new(
+///                 spec::benchmark(name).unwrap(),
+///                 seed,
+///             )) as Box<dyn smt_trace::TraceSource>
+///         })
+///         .collect()
+/// })
+/// .collect();
+/// let mut sim = ChipSimulator::new(chip, traces)?;
+/// let stats = sim.run(SimOptions::with_instructions(1_000));
+/// assert_eq!(stats.num_cores(), 2);
+/// assert!(stats.cycles > 0);
+/// assert!(stats.total_committed() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct ChipSimulator {
+    config: ChipConfig,
+    cores: Vec<Core>,
+    shared: SharedLlc,
+    cycle: u64,
+}
+
+impl ChipSimulator {
+    /// Builds a chip for `config` running one trace source per hardware
+    /// thread of each core (`traces_per_core[core][thread]`). Every core uses
+    /// the fetch policy named in `config.core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the chip configuration does not
+    /// validate and [`SimError::InvalidWorkload`] if the trace grid does not
+    /// match the chip's core/thread geometry.
+    pub fn new(
+        config: ChipConfig,
+        traces_per_core: Vec<Vec<Box<dyn TraceSource>>>,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        if traces_per_core.len() != config.num_cores {
+            return Err(SimError::invalid_workload(format!(
+                "expected trace sources for {} cores, got {}",
+                config.num_cores,
+                traces_per_core.len()
+            )));
+        }
+        let shared = SharedLlc::for_chip(&config);
+        let mut cores = Vec::with_capacity(config.num_cores);
+        for (core_id, traces) in traces_per_core.into_iter().enumerate() {
+            let core_config = config.core.clone();
+            let policy = build_policy(core_config.fetch_policy, &core_config);
+            cores.push(Core::with_policy(core_config, traces, policy, core_id)?);
+        }
+        Ok(ChipSimulator {
+            config,
+            cores,
+            shared,
+            cycle: 0,
+        })
+    }
+
+    /// The chip configuration the simulator was built with.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Number of cores on the chip.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Current cycle count (identical across cores: they step in lockstep).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Statistics of one core accumulated so far.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn core_stats(&self, core: usize) -> &MachineStats {
+        self.cores[core].stats()
+    }
+
+    /// Cycles elapsed in the current measurement phase.
+    pub fn measured_cycles(&self) -> u64 {
+        self.cores.first().map_or(0, |c| c.measured_cycles())
+    }
+
+    /// Advances the whole chip by one cycle, stepping cores in ascending
+    /// core-id order.
+    pub fn step(&mut self) {
+        self.shared.begin_cycle(self.cycle);
+        for core in &mut self.cores {
+            core.step_against(&mut self.shared);
+        }
+        self.shared.end_cycle();
+        self.cycle += 1;
+    }
+
+    /// Advances the whole chip by one cycle, stepping cores in the given
+    /// order. Under the chip arbitration discipline the results are
+    /// independent of the order; the determinism tests step reversed against
+    /// canonical to pin that property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_cores`.
+    pub fn step_with_core_order(&mut self, order: &[usize]) {
+        assert_eq!(order.len(), self.cores.len(), "order must cover every core");
+        let mut seen = vec![false; self.cores.len()];
+        for &core in order {
+            assert!(
+                !std::mem::replace(&mut seen[core], true),
+                "core {core} stepped twice"
+            );
+        }
+        self.shared.begin_cycle(self.cycle);
+        for &core in order {
+            self.cores[core].step_against(&mut self.shared);
+        }
+        self.shared.end_cycle();
+        self.cycle += 1;
+    }
+
+    /// Committed instruction counts across the chip, in `(core, thread)` order.
+    fn committed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.cores.iter().flat_map(|c| c.committed())
+    }
+
+    /// Runs the warm-up phase followed by the measured phase, stopping the
+    /// measured phase once any thread of any core has committed the
+    /// instruction budget (the paper's stop criterion, applied chip-wide) or
+    /// the cycle limit is hit, and returns the statistics of the measured
+    /// phase.
+    pub fn run(&mut self, options: SimOptions) -> ChipStats {
+        self.warm_up(options.warmup_instructions_per_thread, options.max_cycles);
+        let baselines: Vec<u64> = self.committed().collect();
+        while self.cycle < options.max_cycles {
+            if self
+                .committed()
+                .zip(&baselines)
+                .any(|(committed, &base)| committed - base >= options.max_instructions_per_thread)
+            {
+                break;
+            }
+            self.step();
+        }
+        for core in &mut self.cores {
+            core.finalize_cycles();
+        }
+        self.chip_stats()
+    }
+
+    /// Runs until every thread of every core has committed `instructions`
+    /// further instructions, then clears all statistics (microarchitectural
+    /// state stays warm). A zero-length warm-up is a no-op.
+    pub fn warm_up(&mut self, instructions: u64, max_cycles: u64) {
+        if instructions == 0 {
+            return;
+        }
+        let targets: Vec<u64> = self.committed().map(|c| c + instructions).collect();
+        while self.cycle < max_cycles
+            && self
+                .committed()
+                .zip(&targets)
+                .any(|(committed, &target)| committed < target)
+        {
+            self.step();
+        }
+        self.reset_stats();
+    }
+
+    /// Zeroes all statistics counters on every core without disturbing
+    /// microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        for core in &mut self.cores {
+            core.reset_stats();
+        }
+    }
+
+    /// Assembles the current per-core statistics into a [`ChipStats`] record.
+    /// The chip-wide cycle count is taken from the per-core records when
+    /// finalized by [`ChipSimulator::run`], otherwise from the live measured
+    /// count.
+    pub fn chip_stats(&self) -> ChipStats {
+        let cores: Vec<MachineStats> = self.cores.iter().map(|c| c.stats().clone()).collect();
+        let cycles = cores
+            .first()
+            .map_or(0, |c| c.cycles.max(self.measured_cycles()));
+        ChipStats { cycles, cores }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::{build_trace, RunScale};
+
+    fn chip_traces(assignments: &[&[&str]], scale: RunScale) -> Vec<Vec<Box<dyn TraceSource>>> {
+        assignments
+            .iter()
+            .map(|core| {
+                core.iter()
+                    .map(|b| build_trace(b, scale).expect("known benchmark"))
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_core_chip_runs_to_budget() {
+        let scale = RunScale::tiny();
+        let chip = ChipConfig::baseline(2, 2);
+        let mut sim = ChipSimulator::new(
+            chip,
+            chip_traces(&[&["mcf", "gcc"], &["swim", "twolf"]], scale),
+        )
+        .unwrap();
+        let stats = sim.run(scale.sim_options());
+        assert_eq!(stats.num_cores(), 2);
+        assert!(stats.cycles > 0);
+        let max = stats
+            .threads()
+            .map(|t| t.committed_instructions)
+            .max()
+            .unwrap();
+        assert!(max >= scale.instructions_per_thread);
+        assert!(stats.total_ipc() > 0.0);
+    }
+
+    #[test]
+    fn chip_runs_are_reproducible() {
+        let scale = RunScale::tiny();
+        let run = || {
+            let chip = ChipConfig::baseline(2, 2)
+                .with_policy(smt_types::config::FetchPolicyKind::MlpFlush);
+            let mut sim = ChipSimulator::new(
+                chip,
+                chip_traces(&[&["mcf", "swim"], &["gcc", "twolf"]], scale),
+            )
+            .unwrap();
+            sim.run(scale.sim_options())
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn trace_grid_must_match_geometry() {
+        let scale = RunScale::tiny();
+        let chip = ChipConfig::baseline(2, 2);
+        let err = ChipSimulator::new(chip, chip_traces(&[&["mcf", "gcc"]], scale));
+        assert!(err.is_err());
+    }
+}

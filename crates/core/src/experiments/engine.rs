@@ -9,10 +9,12 @@
 //! thread count: every cell's simulations are self-contained and seeded by
 //! the spec's [`crate::runner::RunScale::seed`].
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use smt_sched::AllocationPolicyKind;
 use smt_types::config::FetchPolicyKind;
 use smt_types::{SimError, SmtConfig};
 
@@ -20,7 +22,8 @@ use crate::experiments::characterization;
 use crate::experiments::report::{empty_report, BenchRow, ExperimentReport, PolicyCell};
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::runner::{
-    evaluate_workload_with, run_single_thread, RunScale, StReferenceCache, WorkloadResult,
+    evaluate_chip_workload_with_intensities, evaluate_workload_with, mlp_intensity,
+    run_single_thread, RunScale, StReferenceCache, WorkloadResult,
 };
 use crate::workloads::Workload;
 
@@ -160,6 +163,9 @@ fn run_grid_cells(
     threads: usize,
     cache: &StReferenceCache,
 ) -> Result<GridOutcome, SimError> {
+    if spec.kind == ExperimentKind::ChipGrid {
+        return run_chip_cells(spec, threads, cache);
+    }
     let workloads: Vec<Workload> = spec
         .workloads
         .iter()
@@ -182,6 +188,85 @@ fn run_grid_cells(
     for ((point, _, workload), outcome) in tasks.iter().zip(outcomes) {
         let result = outcome?;
         cells.push(ExperimentReport::cell_from_result(
+            &result,
+            &workload.benchmarks,
+            workload.group.label(),
+            *point,
+        ));
+    }
+    let summaries = ExperimentReport::summarize(&cells, &spec.policies, &sweep_points);
+    Ok((cells, summaries))
+}
+
+/// Runs a chip-grid spec: one cell per (sweep point × fetch policy ×
+/// allocation × workload). Each distinct benchmark's MLP intensity is probed
+/// exactly once (serially, at negligible probe scale) before the cells fan
+/// out, so every cell sees identical placement inputs no matter how many
+/// engine threads run.
+fn run_chip_cells(
+    spec: &ExperimentSpec,
+    threads: usize,
+    cache: &StReferenceCache,
+) -> Result<GridOutcome, SimError> {
+    let chip_spec = spec
+        .chip
+        .as_ref()
+        .expect("validated chip grid has chip parameters");
+    let workloads: Vec<Workload> = spec
+        .workloads
+        .iter()
+        .map(|benchmarks| Workload::new(benchmarks.clone()))
+        .collect::<Result<_, _>>()?;
+    let sweep_points = spec.sweep_points();
+    // Probe each distinct benchmark once; the probe normalizes to one thread,
+    // so any workload's core configuration gives the same answer.
+    let probe_config = spec.config_for(1, None);
+    let mut intensities: HashMap<&str, f64> = HashMap::new();
+    for workload in &workloads {
+        for benchmark in &workload.benchmarks {
+            if !intensities.contains_key(benchmark.as_str()) {
+                let value = mlp_intensity(benchmark, &probe_config, spec.scale.seed)?;
+                intensities.insert(benchmark, value);
+            }
+        }
+    }
+    type ChipTask<'a> = (
+        Option<u64>,
+        FetchPolicyKind,
+        AllocationPolicyKind,
+        &'a Workload,
+    );
+    let mut tasks: Vec<ChipTask> = Vec::new();
+    for &point in &sweep_points {
+        for &policy in &spec.policies {
+            for &allocation in &chip_spec.allocations {
+                for workload in &workloads {
+                    tasks.push((point, policy, allocation, workload));
+                }
+            }
+        }
+    }
+    let outcomes = parallel_map(&tasks, threads, |&(point, policy, allocation, workload)| {
+        let chip_config = spec.chip_config_for(workload.num_threads(), point);
+        let thread_intensities: Vec<f64> = workload
+            .benchmarks
+            .iter()
+            .map(|b| intensities[b.as_str()])
+            .collect();
+        evaluate_chip_workload_with_intensities(
+            &workload.benchmarks,
+            &thread_intensities,
+            policy,
+            allocation,
+            &chip_config,
+            spec.scale,
+            cache,
+        )
+    });
+    let mut cells = Vec::with_capacity(tasks.len());
+    for ((point, _, _, workload), outcome) in tasks.iter().zip(outcomes) {
+        let result = outcome?;
+        cells.push(ExperimentReport::cell_from_chip_result(
             &result,
             &workload.benchmarks,
             workload.group.label(),
@@ -273,7 +358,7 @@ fn bench_row(kind: ExperimentKind, benchmark: &str, scale: RunScale) -> Result<B
                 ..BenchRow::default()
             })
         }
-        ExperimentKind::PolicyGrid => {
+        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid => {
             Err(SimError::internal("policy grids do not produce bench rows"))
         }
     }
@@ -297,6 +382,7 @@ mod tests {
             ],
             sweep: None,
             overrides: None,
+            chip: None,
             scale: RunScale::tiny(),
         }
     }
@@ -364,6 +450,7 @@ mod tests {
             workloads: vec![vec!["mcf".to_string()], vec!["gcc".to_string()]],
             sweep: None,
             overrides: None,
+            chip: None,
             scale: RunScale::tiny(),
         };
         let report = run_spec_with_threads(&spec, 2).unwrap();
@@ -371,6 +458,62 @@ mod tests {
         assert!(report.policy_cells.is_empty());
         assert_eq!(report.bench_rows[0].benchmark, "mcf");
         assert!(report.bench_rows[0].lll_per_kinst.unwrap() > 0.0);
+    }
+
+    fn tiny_chip_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "chip-engine-test".to_string(),
+            title: "chip engine test".to_string(),
+            paper_ref: String::new(),
+            kind: ExperimentKind::ChipGrid,
+            policies: vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+            workloads: vec![vec![
+                "mcf".to_string(),
+                "swim".to_string(),
+                "gcc".to_string(),
+                "gap".to_string(),
+            ]],
+            sweep: None,
+            overrides: None,
+            chip: Some(crate::experiments::spec::ChipSpec {
+                num_cores: 2,
+                allocations: vec![
+                    AllocationPolicyKind::RoundRobin,
+                    AllocationPolicyKind::FillFirst,
+                ],
+                bus_bytes_per_cycle: 16,
+                shared_llc: None,
+            }),
+            scale: RunScale::tiny(),
+        }
+    }
+
+    #[test]
+    fn chip_grid_produces_policy_by_allocation_cells() {
+        let report = run_spec_with_threads(&tiny_chip_spec(), 2).unwrap();
+        // 2 policies x 2 allocations x 1 workload.
+        assert_eq!(report.policy_cells.len(), 4);
+        for cell in &report.policy_cells {
+            assert!(cell.allocation.is_some());
+            assert_eq!(cell.num_cores, Some(2));
+            assert_eq!(cell.core_assignments.as_ref().unwrap().len(), 2);
+            assert_eq!(cell.per_core_ipc.as_ref().unwrap().len(), 2);
+            assert!(cell.stp > 0.0 && cell.antt > 0.0);
+        }
+        // Allocation axis shows up in the summaries.
+        assert!(report
+            .summaries
+            .iter()
+            .any(|r| r.allocation == Some(AllocationPolicyKind::FillFirst)));
+    }
+
+    #[test]
+    fn chip_grid_results_are_thread_count_invariant() {
+        let spec = tiny_chip_spec();
+        let serial = run_spec_with_threads(&spec, 1).unwrap();
+        let parallel = run_spec_with_threads(&spec, 4).unwrap();
+        assert_eq!(serial.policy_cells, parallel.policy_cells);
+        assert_eq!(serial.summaries, parallel.summaries);
     }
 
     #[test]

@@ -6,11 +6,14 @@
 //! (`smt-cli list | describe | run`) and the bench harness drive experiments
 //! exclusively through this registry; `EXPERIMENTS.md` documents each entry.
 
+use smt_sched::AllocationPolicyKind;
 use smt_trace::spec as trace_spec;
 use smt_types::config::FetchPolicyKind;
 
 use crate::experiments::policies::ALTERNATIVE_POLICIES;
-use crate::experiments::spec::{ExperimentKind, ExperimentSpec, SweepParameter, SweepSpec};
+use crate::experiments::spec::{
+    ChipSpec, ExperimentKind, ExperimentSpec, SweepParameter, SweepSpec,
+};
 use crate::runner::RunScale;
 use crate::workloads::{
     four_thread_workloads, representative_two_thread_workloads, two_thread_workloads, Workload,
@@ -140,6 +143,30 @@ impl ExperimentRegistry {
                 four_thread,
                 None,
             ),
+            chip_grid(
+                "chip_2c2t_allocation_matrix",
+                "Fetch policy x thread-to-core allocation matrix on a 2-core x 2-thread chip with a shared LLC and contended memory bus",
+                2,
+                vec![
+                    vec_of(&["mcf", "swim", "perlbmk", "mesa"]),
+                    vec_of(&["vortex", "parser", "crafty", "twolf"]),
+                    vec_of(&["applu", "galgel", "swim", "mesa"]),
+                    vec_of(&["mcf", "galgel", "vortex", "gcc"]),
+                ],
+            ),
+            chip_grid(
+                "chip_4c2t_allocation_matrix",
+                "Fetch policy x thread-to-core allocation matrix on a 4-core x 2-thread chip with a shared LLC and contended memory bus",
+                4,
+                vec![
+                    vec_of(&[
+                        "mcf", "swim", "perlbmk", "mesa", "vortex", "parser", "crafty", "twolf",
+                    ]),
+                    vec_of(&[
+                        "applu", "galgel", "swim", "mesa", "gzip", "wupwise", "apsi", "twolf",
+                    ]),
+                ],
+            ),
         ];
         ExperimentRegistry { specs }
     }
@@ -170,6 +197,37 @@ fn workload_names(workloads: &[Workload]) -> Vec<Vec<String>> {
     workloads.iter().map(|w| w.benchmarks.clone()).collect()
 }
 
+fn vec_of(benchmarks: &[&str]) -> Vec<String> {
+    benchmarks.iter().map(|b| b.to_string()).collect()
+}
+
+/// A chip-level policy x allocation matrix over the paper's two headline
+/// fetch policies and every implemented allocation policy.
+fn chip_grid(
+    name: &str,
+    title: &str,
+    num_cores: usize,
+    workloads: Vec<Vec<String>>,
+) -> ExperimentSpec {
+    ExperimentSpec {
+        name: name.to_string(),
+        title: title.to_string(),
+        paper_ref: String::new(),
+        kind: ExperimentKind::ChipGrid,
+        policies: vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+        workloads,
+        sweep: None,
+        overrides: None,
+        chip: Some(ChipSpec {
+            num_cores,
+            allocations: AllocationPolicyKind::ALL.to_vec(),
+            bus_bytes_per_cycle: 16,
+            shared_llc: None,
+        }),
+        scale: RunScale::standard(),
+    }
+}
+
 fn single_thread(
     name: &str,
     title: &str,
@@ -186,6 +244,7 @@ fn single_thread(
         workloads,
         sweep: None,
         overrides: None,
+        chip: None,
         scale: RunScale::standard(),
     }
 }
@@ -207,6 +266,7 @@ fn grid(
         workloads,
         sweep,
         overrides: None,
+        chip: None,
         scale: RunScale::standard(),
     }
 }
@@ -218,7 +278,7 @@ mod tests {
     #[test]
     fn every_builtin_spec_validates() {
         let registry = ExperimentRegistry::builtin();
-        assert!(registry.specs().len() >= 10);
+        assert!(registry.specs().len() >= 12);
         for spec in registry.specs() {
             spec.validate()
                 .unwrap_or_else(|e| panic!("{}: {e}", spec.name));
@@ -244,6 +304,25 @@ mod tests {
             let back: ExperimentSpec =
                 toml::from_str(&text).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
             assert_eq!(&back, spec, "{} did not round-trip", spec.name);
+        }
+    }
+
+    #[test]
+    fn chip_matrices_cover_policies_and_allocations() {
+        let registry = ExperimentRegistry::builtin();
+        for (name, cores, threads) in [
+            ("chip_2c2t_allocation_matrix", 2usize, 4usize),
+            ("chip_4c2t_allocation_matrix", 4, 8),
+        ] {
+            let spec = registry.get(name).unwrap();
+            assert_eq!(spec.kind, ExperimentKind::ChipGrid);
+            let chip = spec.chip.as_ref().unwrap();
+            assert_eq!(chip.num_cores, cores);
+            assert_eq!(chip.allocations.len(), AllocationPolicyKind::ALL.len());
+            assert!(chip.bus_bytes_per_cycle > 0, "chip matrices model the bus");
+            for workload in &spec.workloads {
+                assert_eq!(workload.len(), threads);
+            }
         }
     }
 

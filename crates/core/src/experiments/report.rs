@@ -6,12 +6,13 @@
 //! serialize to JSON or TOML or to pretty-print as text.
 
 use serde::{Deserialize, Serialize};
+use smt_sched::AllocationPolicyKind;
 use smt_types::config::FetchPolicyKind;
 use smt_types::SimError;
 
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::metrics;
-use crate::runner::{RunScale, WorkloadResult};
+use crate::runner::{ChipWorkloadResult, RunScale, WorkloadResult};
 
 /// One multiprogram grid cell: a (policy, workload, sweep point) evaluation.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -35,6 +36,16 @@ pub struct PolicyCell {
     pub per_thread_ipc: Vec<f64>,
     /// Per-thread single-threaded reference IPC at the same instruction counts.
     pub per_thread_st_ipc: Vec<f64>,
+    /// Chip cells: the thread-to-core allocation policy evaluated.
+    pub allocation: Option<AllocationPolicyKind>,
+    /// Chip cells: number of cores on the chip.
+    pub num_cores: Option<u64>,
+    /// Chip cells: benchmarks per core after allocation (slots joined with `+`).
+    pub core_assignments: Option<Vec<String>>,
+    /// Chip cells: aggregate IPC per core.
+    pub per_core_ipc: Option<Vec<f64>>,
+    /// Chip cells: each core's contribution to the cell STP.
+    pub per_core_stp: Option<Vec<f64>>,
 }
 
 /// Aggregate over the workloads of one (sweep point, policy, group) slice.
@@ -47,6 +58,8 @@ pub struct SummaryRow {
     pub group: Option<String>,
     /// The sweep value, when sweeping.
     pub parameter: Option<u64>,
+    /// Chip grids: the thread-to-core allocation policy aggregated.
+    pub allocation: Option<AllocationPolicyKind>,
     /// Number of workloads aggregated.
     pub workloads: u64,
     /// Harmonic-mean STP (higher is better).
@@ -135,6 +148,36 @@ impl ExperimentReport {
             antt: result.antt,
             per_thread_ipc: result.per_thread_ipc.clone(),
             per_thread_st_ipc: result.per_thread_st_ipc.clone(),
+            allocation: None,
+            num_cores: None,
+            core_assignments: None,
+            per_core_ipc: None,
+            per_core_stp: None,
+        }
+    }
+
+    /// Builds a cell from a chip-level [`ChipWorkloadResult`].
+    pub(crate) fn cell_from_chip_result(
+        result: &ChipWorkloadResult,
+        benchmarks: &[String],
+        group: &str,
+        parameter: Option<u64>,
+    ) -> PolicyCell {
+        PolicyCell {
+            policy: result.policy,
+            workload: result.workload.clone(),
+            benchmarks: benchmarks.to_vec(),
+            group: group.to_string(),
+            parameter,
+            stp: result.stp,
+            antt: result.antt,
+            per_thread_ipc: result.per_thread_ipc.clone(),
+            per_thread_st_ipc: result.per_thread_st_ipc.clone(),
+            allocation: Some(result.allocation),
+            num_cores: Some(result.num_cores),
+            core_assignments: Some(result.core_assignments.clone()),
+            per_core_ipc: Some(result.per_core_ipc.clone()),
+            per_core_stp: Some(result.per_core_stp.clone()),
         }
     }
 
@@ -158,31 +201,46 @@ impl ExperimentReport {
         // consumers can rely on its presence, matching the legacy
         // ungrouped entry points.
         groups.push(None);
+        // Chip grids add an allocation axis; classic grids have the single
+        // `None` allocation, keeping their summary rows unchanged.
+        let mut allocations: Vec<Option<AllocationPolicyKind>> = Vec::new();
+        for cell in cells {
+            if !allocations.contains(&cell.allocation) {
+                allocations.push(cell.allocation);
+            }
+        }
+        if allocations.is_empty() {
+            allocations.push(None);
+        }
         let mut rows = Vec::new();
         for &parameter in parameters {
             for &policy in policies {
-                for group in &groups {
-                    let slice: Vec<&PolicyCell> = cells
-                        .iter()
-                        .filter(|c| {
-                            c.parameter == parameter
-                                && c.policy == policy
-                                && group.as_deref().is_none_or(|g| c.group == g)
-                        })
-                        .collect();
-                    if slice.is_empty() {
-                        continue;
+                for &allocation in &allocations {
+                    for group in &groups {
+                        let slice: Vec<&PolicyCell> = cells
+                            .iter()
+                            .filter(|c| {
+                                c.parameter == parameter
+                                    && c.policy == policy
+                                    && c.allocation == allocation
+                                    && group.as_deref().is_none_or(|g| c.group == g)
+                            })
+                            .collect();
+                        if slice.is_empty() {
+                            continue;
+                        }
+                        let stps: Vec<f64> = slice.iter().map(|c| c.stp).collect();
+                        let antts: Vec<f64> = slice.iter().map(|c| c.antt).collect();
+                        rows.push(SummaryRow {
+                            policy,
+                            group: group.clone(),
+                            parameter,
+                            allocation,
+                            workloads: slice.len() as u64,
+                            avg_stp: metrics::harmonic_mean(&stps),
+                            avg_antt: metrics::arithmetic_mean(&antts),
+                        });
                     }
-                    let stps: Vec<f64> = slice.iter().map(|c| c.stp).collect();
-                    let antts: Vec<f64> = slice.iter().map(|c| c.antt).collect();
-                    rows.push(SummaryRow {
-                        policy,
-                        group: group.clone(),
-                        parameter,
-                        workloads: slice.len() as u64,
-                        avg_stp: metrics::harmonic_mean(&stps),
-                        avg_antt: metrics::arithmetic_mean(&antts),
-                    });
                 }
             }
         }
@@ -227,11 +285,25 @@ impl ExperimentReport {
             self.reference_runs,
             self.wall_ms,
         );
+        // Chip reports get an extra allocation column (and an
+        // assignments-centric cell table); the shared columns are formatted
+        // exactly once, with the chip-only segment spliced in as a
+        // pre-rendered string.
+        let chip_report = self.summaries.iter().any(|r| r.allocation.is_some())
+            || self.policy_cells.iter().any(|c| c.allocation.is_some());
         if !self.summaries.is_empty() {
-            out.push_str("\nsweep  group  policy                      STP      ANTT  workloads\n");
+            let alloc_header = if chip_report { "allocation    " } else { "" };
+            out.push_str(&format!(
+                "\nsweep  group  policy                      {alloc_header}STP      ANTT  workloads\n"
+            ));
             for row in &self.summaries {
+                let alloc_col = if chip_report {
+                    format!("{:<12}  ", row.allocation.map_or("-", |a| a.name()))
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "{:>5}  {:<5}  {:<26} {:>6.3}  {:>8.3}  {:>9}\n",
+                    "{:>5}  {:<5}  {:<26} {alloc_col}{:>6.3}  {:>8.3}  {:>9}\n",
                     row.parameter
                         .map_or_else(|| "-".to_string(), |p| p.to_string()),
                     row.group.as_deref().unwrap_or("all"),
@@ -243,20 +315,51 @@ impl ExperimentReport {
             }
         }
         if !self.policy_cells.is_empty() {
-            out.push_str("\nsweep  group  policy                      workload               STP      ANTT  per-thread IPC\n");
+            let (mid_header, ipc_header) = if chip_report {
+                ("allocation    cores -> threads            ", "per-core IPC")
+            } else {
+                ("workload            ", "per-thread IPC")
+            };
+            out.push_str(&format!(
+                "\nsweep  group  policy                      {mid_header} {:>6}  {:>8}  {ipc_header}\n",
+                "STP", "ANTT"
+            ));
             for cell in &self.policy_cells {
-                let ipcs: Vec<String> = cell
-                    .per_thread_ipc
-                    .iter()
-                    .map(|v| format!("{v:.2}"))
-                    .collect();
+                // The middle columns and the IPC breakdown are the only
+                // chip/classic differences; render them first, then emit one
+                // shared row format.
+                let (mid, ipcs) = if chip_report {
+                    let cores = cell
+                        .core_assignments
+                        .as_deref()
+                        .map_or_else(|| cell.workload.clone(), |cores| cores.join(" | "));
+                    let mid = format!(
+                        "{:<12}  {:<28}",
+                        cell.allocation.map_or("-", |a| a.name()),
+                        cores
+                    );
+                    let ipcs: Vec<String> = cell
+                        .per_core_ipc
+                        .as_deref()
+                        .unwrap_or(&[])
+                        .iter()
+                        .map(|v| format!("{v:.2}"))
+                        .collect();
+                    (mid, ipcs)
+                } else {
+                    let ipcs: Vec<String> = cell
+                        .per_thread_ipc
+                        .iter()
+                        .map(|v| format!("{v:.2}"))
+                        .collect();
+                    (format!("{:<20}", cell.workload), ipcs)
+                };
                 out.push_str(&format!(
-                    "{:>5}  {:<5}  {:<26} {:<20} {:>6.3}  {:>8.3}  {}\n",
+                    "{:>5}  {:<5}  {:<26} {mid} {:>6.3}  {:>8.3}  {}\n",
                     cell.parameter
                         .map_or_else(|| "-".to_string(), |p| p.to_string()),
                     cell.group,
                     cell.policy.name(),
-                    cell.workload,
                     cell.stp,
                     cell.antt,
                     ipcs.join(" / "),
@@ -331,7 +434,7 @@ fn format_bench_rows(kind: ExperimentKind, rows: &[BenchRow]) -> String {
                 ));
             }
         }
-        ExperimentKind::PolicyGrid => {}
+        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid => {}
     }
     out
 }
@@ -368,6 +471,26 @@ mod tests {
             antt: 2.0 / stp,
             per_thread_ipc: vec![0.5, 0.5],
             per_thread_st_ipc: vec![1.0, 1.0],
+            allocation: None,
+            num_cores: None,
+            core_assignments: None,
+            per_core_ipc: None,
+            per_core_stp: None,
+        }
+    }
+
+    fn chip_cell(
+        policy: FetchPolicyKind,
+        allocation: AllocationPolicyKind,
+        stp: f64,
+    ) -> PolicyCell {
+        PolicyCell {
+            allocation: Some(allocation),
+            num_cores: Some(2),
+            core_assignments: Some(vec!["a+b".to_string(), "c+d".to_string()]),
+            per_core_ipc: Some(vec![1.0, 0.8]),
+            per_core_stp: Some(vec![stp / 2.0, stp / 2.0]),
+            ..cell(policy, "MIX", None, stp)
         }
     }
 
@@ -413,6 +536,56 @@ mod tests {
             .find(|r| r.parameter == Some(800) && r.group.is_none())
             .unwrap();
         assert!((overall_800.avg_stp - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_summaries_split_by_allocation() {
+        use AllocationPolicyKind::{FillFirst, RoundRobin};
+        let cells = vec![
+            chip_cell(FetchPolicyKind::Icount, RoundRobin, 1.0),
+            chip_cell(FetchPolicyKind::Icount, FillFirst, 2.0),
+            chip_cell(FetchPolicyKind::MlpFlush, RoundRobin, 1.5),
+            chip_cell(FetchPolicyKind::MlpFlush, FillFirst, 2.5),
+        ];
+        let rows = ExperimentReport::summarize(
+            &cells,
+            &[FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+            &[None],
+        );
+        // 2 policies x 2 allocations x (1 group + overall).
+        assert_eq!(rows.len(), 8);
+        let ff = rows
+            .iter()
+            .find(|r| {
+                r.policy == FetchPolicyKind::Icount
+                    && r.allocation == Some(FillFirst)
+                    && r.group.is_none()
+            })
+            .unwrap();
+        assert_eq!(ff.workloads, 1);
+        assert!((ff.avg_stp - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn chip_report_text_mentions_allocation_and_assignments() {
+        let spec = crate::experiments::registry::ExperimentRegistry::builtin()
+            .get("fig09_two_thread_policies")
+            .unwrap()
+            .clone();
+        let mut report = empty_report(&spec, 1);
+        report.policy_cells = vec![chip_cell(
+            FetchPolicyKind::MlpFlush,
+            AllocationPolicyKind::MlpBalanced,
+            1.4,
+        )];
+        report.summaries = ExperimentReport::summarize(
+            &report.policy_cells,
+            &[FetchPolicyKind::MlpFlush],
+            &[None],
+        );
+        let text = report.format_text();
+        assert!(text.contains("mlp-balanced"), "{text}");
+        assert!(text.contains("a+b | c+d"), "{text}");
     }
 
     #[test]

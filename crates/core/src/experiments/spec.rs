@@ -9,9 +9,10 @@
 //! are executed by [`crate::experiments::engine::run_spec`].
 
 use serde::{Deserialize, Serialize};
+use smt_sched::AllocationPolicyKind;
 use smt_trace::spec as trace_spec;
-use smt_types::config::FetchPolicyKind;
-use smt_types::{SimError, SmtConfig};
+use smt_types::config::{BusConfig, CacheConfig, FetchPolicyKind};
+use smt_types::{ChipConfig, SimError, SmtConfig};
 
 use crate::runner::RunScale;
 use crate::workloads::{Workload, WorkloadGroup};
@@ -30,16 +31,20 @@ pub enum ExperimentKind {
     MlpDistanceCdf,
     /// Per-benchmark IPC with and without the hardware prefetcher (Figure 5).
     PrefetcherImpact,
+    /// STP/ANTT of each (fetch policy × allocation × workload) chip-level run
+    /// on a CMP of SMT cores sharing an LLC (requires [`ExperimentSpec::chip`]).
+    ChipGrid,
 }
 
 impl ExperimentKind {
     /// Every experiment kind.
-    pub const ALL: [ExperimentKind; 5] = [
+    pub const ALL: [ExperimentKind; 6] = [
         ExperimentKind::PolicyGrid,
         ExperimentKind::Characterization,
         ExperimentKind::PredictorAccuracy,
         ExperimentKind::MlpDistanceCdf,
         ExperimentKind::PrefetcherImpact,
+        ExperimentKind::ChipGrid,
     ];
 
     /// Machine-readable name used in spec files.
@@ -50,6 +55,7 @@ impl ExperimentKind {
             ExperimentKind::PredictorAccuracy => "predictor_accuracy",
             ExperimentKind::MlpDistanceCdf => "mlp_distance_cdf",
             ExperimentKind::PrefetcherImpact => "prefetcher_impact",
+            ExperimentKind::ChipGrid => "chip_grid",
         }
     }
 
@@ -61,7 +67,7 @@ impl ExperimentKind {
     /// Whether this kind runs one benchmark at a time on a single-thread
     /// configuration (no policies, no multiprogram workloads).
     pub fn is_single_thread(self) -> bool {
-        !matches!(self, ExperimentKind::PolicyGrid)
+        !matches!(self, ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid)
     }
 }
 
@@ -179,6 +185,26 @@ impl ConfigOverrides {
     }
 }
 
+/// Chip-level (CMP-of-SMT) parameters of a [`ExperimentKind::ChipGrid`]
+/// experiment.
+///
+/// Each workload of the spec is divided evenly over `num_cores` cores
+/// (`threads_per_core = workload_len / num_cores`); the grid then evaluates
+/// every fetch policy × thread-to-core allocation combination.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChipSpec {
+    /// Number of SMT cores on the chip.
+    pub num_cores: usize,
+    /// Thread-to-core allocation policies to evaluate (the second grid axis).
+    pub allocations: Vec<AllocationPolicyKind>,
+    /// Shared memory-bus bandwidth in bytes per cycle (`0` = unlimited).
+    pub bus_bytes_per_cycle: u32,
+    /// Shared LLC geometry; defaults to the Table IV L3 of the core
+    /// configuration when absent.
+    pub shared_llc: Option<CacheConfig>,
+}
+
 /// A complete, serializable description of one experiment.
 ///
 /// # Example
@@ -224,6 +250,9 @@ pub struct ExperimentSpec {
     pub sweep: Option<SweepSpec>,
     /// Optional sparse configuration overrides (policy grids only).
     pub overrides: Option<ConfigOverrides>,
+    /// Chip-level parameters (required for, and exclusive to,
+    /// [`ExperimentKind::ChipGrid`]).
+    pub chip: Option<ChipSpec>,
     /// Simulation size.
     pub scale: RunScale,
 }
@@ -249,6 +278,33 @@ impl ExperimentSpec {
             config = sweep.parameter.apply(config, value);
         }
         config
+    }
+
+    /// Builds the chip configuration for one workload of a
+    /// [`ExperimentKind::ChipGrid`] spec at one sweep point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the spec has no [`ChipSpec`] or the workload does not divide
+    /// evenly over the cores (both rejected by [`ExperimentSpec::validate`]).
+    pub fn chip_config_for(&self, workload_threads: usize, sweep_value: Option<u64>) -> ChipConfig {
+        let chip = self
+            .chip
+            .as_ref()
+            .expect("chip grid spec has chip parameters");
+        assert!(
+            chip.num_cores > 0 && workload_threads.is_multiple_of(chip.num_cores),
+            "workload must divide evenly over the cores"
+        );
+        let core = self.config_for(workload_threads / chip.num_cores, sweep_value);
+        ChipConfig {
+            num_cores: chip.num_cores,
+            shared_llc: chip.shared_llc.unwrap_or(core.l3),
+            bus: BusConfig {
+                bytes_per_cycle: chip.bus_bytes_per_cycle,
+            },
+            core,
+        }
     }
 
     /// Returns a copy with a different run scale.
@@ -308,6 +364,39 @@ impl ExperimentSpec {
         if self.workloads.is_empty() {
             return Err(invalid(name, "workloads: must not be empty"));
         }
+        // The chip table's own fields are checked before anything derived
+        // from them (like the per-workload thread limit), so a degenerate
+        // `num_cores` gets its own diagnostic instead of poisoning later
+        // arithmetic.
+        if self.kind == ExperimentKind::ChipGrid {
+            let Some(chip) = &self.chip else {
+                return Err(invalid(name, "chip: required for kind `chip_grid`"));
+            };
+            if chip.num_cores == 0 || chip.num_cores > ChipConfig::MAX_CORES {
+                return Err(invalid(
+                    name,
+                    format!(
+                        "chip.num_cores: must be between 1 and {}",
+                        ChipConfig::MAX_CORES
+                    ),
+                ));
+            }
+            if chip.allocations.is_empty() {
+                return Err(invalid(name, "chip.allocations: must not be empty"));
+            }
+        } else if self.chip.is_some() {
+            return Err(invalid(
+                name,
+                format!(
+                    "chip: only supported for kind `chip_grid`, not `{}`",
+                    self.kind.name()
+                ),
+            ));
+        }
+        let threads_limit = match &self.chip {
+            Some(chip) => chip.num_cores * smt_types::ThreadId::MAX_THREADS,
+            None => smt_types::ThreadId::MAX_THREADS,
+        };
         for (i, benchmarks) in self.workloads.iter().enumerate() {
             if benchmarks.is_empty() {
                 return Err(invalid(
@@ -315,13 +404,12 @@ impl ExperimentSpec {
                     format!("workloads[{i}]: must name at least one benchmark"),
                 ));
             }
-            if benchmarks.len() > smt_types::ThreadId::MAX_THREADS {
+            if benchmarks.len() > threads_limit {
                 return Err(invalid(
                     name,
                     format!(
-                        "workloads[{i}]: {} benchmarks exceeds the {}-thread hardware limit",
+                        "workloads[{i}]: {} benchmarks exceeds the {threads_limit}-thread hardware limit",
                         benchmarks.len(),
-                        smt_types::ThreadId::MAX_THREADS
                     ),
                 ));
             }
@@ -330,6 +418,24 @@ impl ExperimentSpec {
                     return Err(invalid(
                         name,
                         format!("workloads[{i}]: unknown benchmark `{benchmark}`"),
+                    ));
+                }
+            }
+        }
+        if let (ExperimentKind::ChipGrid, Some(chip)) = (self.kind, &self.chip) {
+            for (i, benchmarks) in self.workloads.iter().enumerate() {
+                if !benchmarks.len().is_multiple_of(chip.num_cores)
+                    || benchmarks.len() / chip.num_cores == 0
+                    || benchmarks.len() / chip.num_cores > smt_types::ThreadId::MAX_THREADS
+                {
+                    return Err(invalid(
+                        name,
+                        format!(
+                            "workloads[{i}]: {} benchmarks do not divide into {} cores of 1..={} threads",
+                            benchmarks.len(),
+                            chip.num_cores,
+                            smt_types::ThreadId::MAX_THREADS
+                        ),
                     ));
                 }
             }
@@ -380,14 +486,21 @@ impl ExperimentSpec {
         // Every configuration the grid will run must itself be valid.
         for sweep_value in self.sweep_points() {
             for (i, benchmarks) in self.workloads.iter().enumerate() {
-                let config = self.config_for(benchmarks.len(), sweep_value);
-                config.validate().map_err(|e| {
-                    let at = match sweep_value {
-                        Some(v) => format!("workloads[{i}] at sweep value {v}"),
-                        None => format!("workloads[{i}]"),
-                    };
-                    prefix_error(name, &format!("overrides ({at})"), e)
-                })?;
+                let at = || match sweep_value {
+                    Some(v) => format!("workloads[{i}] at sweep value {v}"),
+                    None => format!("workloads[{i}]"),
+                };
+                if self.kind == ExperimentKind::ChipGrid {
+                    let chip_config = self.chip_config_for(benchmarks.len(), sweep_value);
+                    chip_config
+                        .validate()
+                        .map_err(|e| prefix_error(name, &format!("chip ({})", at()), e))?;
+                } else {
+                    let config = self.config_for(benchmarks.len(), sweep_value);
+                    config
+                        .validate()
+                        .map_err(|e| prefix_error(name, &format!("overrides ({})", at()), e))?;
+                }
             }
         }
         Ok(())
@@ -424,6 +537,35 @@ mod tests {
             ],
             sweep: None,
             overrides: None,
+            chip: None,
+            scale: RunScale::tiny(),
+        }
+    }
+
+    fn sample_chip_spec() -> ExperimentSpec {
+        ExperimentSpec {
+            name: "sample-chip".to_string(),
+            title: "Sample chip grid".to_string(),
+            paper_ref: String::new(),
+            kind: ExperimentKind::ChipGrid,
+            policies: vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+            workloads: vec![vec![
+                "mcf".to_string(),
+                "swim".to_string(),
+                "gcc".to_string(),
+                "gap".to_string(),
+            ]],
+            sweep: None,
+            overrides: None,
+            chip: Some(ChipSpec {
+                num_cores: 2,
+                allocations: vec![
+                    AllocationPolicyKind::RoundRobin,
+                    AllocationPolicyKind::MlpBalanced,
+                ],
+                bus_bytes_per_cycle: 16,
+                shared_llc: None,
+            }),
             scale: RunScale::tiny(),
         }
     }
@@ -573,6 +715,60 @@ mod tests {
         let limited = spec.with_workload_limit_per_group(1).unwrap();
         assert_eq!(limited.workloads.len(), 3);
         assert_eq!(limited.workloads[0][0], "mcf");
+    }
+
+    #[test]
+    fn chip_spec_validates_and_round_trips() {
+        let spec = sample_chip_spec();
+        spec.validate().unwrap();
+        let text = toml::to_string(&spec).unwrap();
+        let back: ExperimentSpec = toml::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        let chip_config = spec.chip_config_for(4, None);
+        assert_eq!(chip_config.num_cores, 2);
+        assert_eq!(chip_config.core.num_threads, 2);
+        assert_eq!(chip_config.bus.bytes_per_cycle, 16);
+        assert_eq!(chip_config.shared_llc, chip_config.core.l3);
+    }
+
+    #[test]
+    fn chip_spec_geometry_violations_rejected() {
+        // Workload that does not divide over the cores.
+        let mut spec = sample_chip_spec();
+        spec.workloads = vec![vec![
+            "mcf".to_string(),
+            "swim".to_string(),
+            "gcc".to_string(),
+        ]];
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("divide"), "{err}");
+
+        // Chip kind without chip parameters.
+        let mut spec = sample_chip_spec();
+        spec.chip = None;
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("chip"), "{err}");
+
+        // Chip parameters on a non-chip kind.
+        let mut spec = sample_spec();
+        spec.chip = sample_chip_spec().chip;
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("chip_grid"), "{err}");
+
+        // No allocations.
+        let mut spec = sample_chip_spec();
+        spec.chip.as_mut().unwrap().allocations.clear();
+        let err = spec.validate().unwrap_err().to_string();
+        assert!(err.contains("allocations"), "{err}");
+
+        // Too many cores — and zero cores gets the same targeted
+        // diagnostic (not a derived thread-limit complaint).
+        for cores in [0usize, 99] {
+            let mut spec = sample_chip_spec();
+            spec.chip.as_mut().unwrap().num_cores = cores;
+            let err = spec.validate().unwrap_err().to_string();
+            assert!(err.contains("num_cores"), "cores={cores}: {err}");
+        }
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //! The crate is organised as:
 //!
 //! * [`pipeline`] — the cycle-level SMT out-of-order pipeline (SMTSIM substitute),
+//! * [`chip`] — the chip-level simulator: N cores in lockstep against a
+//!   shared LLC and memory bus,
 //! * [`metrics`] — STP, ANTT and averaging helpers (Section 5),
 //! * [`workloads`] — the two-thread and four-thread multiprogram workloads of
 //!   Tables II and III,
@@ -34,6 +36,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod chip;
 pub mod experiments;
 pub mod metrics;
 pub mod pipeline;
@@ -41,5 +44,6 @@ pub mod runner;
 pub mod throughput;
 pub mod workloads;
 
-pub use pipeline::{SimOptions, SmtSimulator};
+pub use chip::ChipSimulator;
+pub use pipeline::{Core, SimOptions, SmtSimulator};
 pub use runner::{evaluate_workload, RunScale, WorkloadResult};

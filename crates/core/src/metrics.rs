@@ -7,8 +7,15 @@
 //!   `CPI_multi_thread / CPI_single_thread` — the reciprocal of the hmean metric.
 //!   Lower is better.
 //!
-//! When averaging across workloads the paper follows John [2006]: harmonic mean
+//! When averaging across workloads the paper follows John (2006): harmonic mean
 //! for STP, arithmetic mean for ANTT.
+//!
+//! Chip-level runs reuse the same definitions: each thread is normalized
+//! against a run alone on one core of the chip, [`flatten_chip_stats`] turns
+//! a [`ChipStats`] record into the per-thread shape every helper here
+//! expects, and [`per_core_stp`] splits the throughput sum by core.
+
+use smt_types::{ChipStats, MachineStats};
 
 /// System throughput (weighted speedup) from per-program single-threaded and
 /// multithreaded CPIs.
@@ -84,6 +91,46 @@ pub fn cdf_fraction_within(cdf: &[(u32, f64)], threshold: u32) -> f64 {
     last
 }
 
+/// Flattens a chip run into one [`MachineStats`] whose threads are the
+/// chip's `(core, thread)` slots in canonical core-major order, so every
+/// per-thread metric helper (and report formatter) written for the
+/// single-core machine also works on chip runs.
+pub fn flatten_chip_stats(chip: &ChipStats) -> MachineStats {
+    MachineStats {
+        cycles: chip.cycles,
+        threads: chip.threads().cloned().collect(),
+    }
+}
+
+/// Per-core STP contributions of a chip run: for each core, the sum over its
+/// threads of `st_cpi / mt_cpi`, given the flattened per-thread CPI vectors
+/// in the same canonical `(core, thread)` order as
+/// [`flatten_chip_stats`]. The total STP is the sum over cores.
+///
+/// # Panics
+///
+/// Panics if the CPI slices disagree with the chip geometry or contain
+/// non-positive values.
+pub fn per_core_stp(
+    chip: &ChipStats,
+    single_thread_cpi: &[f64],
+    multi_thread_cpi: &[f64],
+) -> Vec<f64> {
+    let threads_per_core = chip.cores.first().map_or(0, |c| c.threads.len());
+    assert_eq!(
+        single_thread_cpi.len(),
+        chip.num_cores() * threads_per_core,
+        "one CPI pair per (core, thread) slot required"
+    );
+    (0..chip.num_cores())
+        .map(|core| {
+            let lo = core * threads_per_core;
+            let hi = lo + threads_per_core;
+            stp(&single_thread_cpi[lo..hi], &multi_thread_cpi[lo..hi])
+        })
+        .collect()
+}
+
 /// Harmonic mean (used to average STP across workloads).
 ///
 /// # Panics
@@ -138,6 +185,34 @@ mod tests {
         assert!((harmonic_mean(&[1.0, 2.0, 4.0]) - 3.0 / (1.0 + 0.5 + 0.25)).abs() < 1e-12);
         assert!((arithmetic_mean(&[1.0, 2.0, 4.0]) - 7.0 / 3.0).abs() < 1e-12);
         assert!(harmonic_mean(&[2.0, 2.0]) <= arithmetic_mean(&[2.0, 2.0]) + 1e-12);
+    }
+
+    #[test]
+    fn chip_flatten_and_per_core_stp() {
+        let mut chip = ChipStats::new(2, 2);
+        chip.cycles = 100;
+        chip.cores[0].threads[0].committed_instructions = 50;
+        chip.cores[1].threads[1].committed_instructions = 25;
+        let flat = flatten_chip_stats(&chip);
+        assert_eq!(flat.cycles, 100);
+        assert_eq!(flat.threads.len(), 4);
+        assert_eq!(flat.threads[0].committed_instructions, 50);
+        assert_eq!(flat.threads[3].committed_instructions, 25);
+        // Core 0's threads run at full speed, core 1's at half speed.
+        let st = [1.0, 1.0, 1.0, 1.0];
+        let mt = [1.0, 1.0, 2.0, 2.0];
+        let per_core = per_core_stp(&chip, &st, &mt);
+        assert_eq!(per_core.len(), 2);
+        assert!((per_core[0] - 2.0).abs() < 1e-12);
+        assert!((per_core[1] - 1.0).abs() < 1e-12);
+        assert!((per_core.iter().sum::<f64>() - stp(&st, &mt)).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn per_core_stp_rejects_wrong_geometry() {
+        let chip = ChipStats::new(2, 2);
+        let _ = per_core_stp(&chip, &[1.0, 1.0], &[1.0, 1.0]);
     }
 
     #[test]

@@ -20,7 +20,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
-use smt_mem::{AccessLevel, MemoryHierarchy, WriteBuffer};
+use smt_mem::{AccessLevel, CoreMemory, SharedLlc, WriteBuffer};
 use smt_predictors::LongLatencyPredictor;
 use smt_trace::TraceSource;
 use smt_types::{
@@ -96,31 +96,18 @@ impl SimOptions {
     }
 }
 
-/// The SMT processor simulator.
+/// One SMT core: the full out-of-order pipeline plus the core-private memory
+/// levels, stepping against a [`SharedLlc`] borrowed from its owner.
 ///
-/// # Example
-///
-/// ```
-/// use smt_core::pipeline::{SimOptions, SmtSimulator};
-/// use smt_trace::{spec, SyntheticTraceGenerator};
-/// use smt_types::SmtConfig;
-///
-/// # fn main() -> Result<(), smt_types::SimError> {
-/// let cfg = SmtConfig::baseline(2);
-/// let t0 = SyntheticTraceGenerator::new(spec::benchmark("mcf")?, 1);
-/// let t1 = SyntheticTraceGenerator::new(spec::benchmark("gcc")?, 2);
-/// let mut sim = SmtSimulator::new(cfg, vec![Box::new(t0), Box::new(t1)])?;
-/// let stats = sim.run(SimOptions::with_instructions(2_000));
-/// assert!(stats.cycles > 0);
-/// assert!(stats.threads[0].committed_instructions >= 2_000
-///     || stats.threads[1].committed_instructions >= 2_000);
-/// # Ok(())
-/// # }
-/// ```
-pub struct SmtSimulator {
+/// The single-core machine ([`SmtSimulator`]) owns one `Core` and one shared
+/// level; a chip ([`crate::chip::ChipSimulator`]) owns N cores stepping in
+/// lockstep against one shared level. The core never touches anything outside
+/// its own state and the borrowed shared level, which is what makes chip
+/// results independent of anything but the per-cycle shared-level discipline.
+pub struct Core {
     config: SmtConfig,
     policy: Box<dyn FetchPolicy>,
-    mem: MemoryHierarchy,
+    mem: CoreMemory,
     write_buffer: WriteBuffer,
     threads: Vec<ThreadContext>,
     stats: MachineStats,
@@ -148,30 +135,22 @@ pub struct SmtSimulator {
     stall_view: Vec<(u32, Option<u64>)>,
 }
 
-impl SmtSimulator {
-    /// Builds a simulator for `config` running one trace source per hardware
-    /// thread, using the fetch policy named in the configuration.
+impl Core {
+    /// Builds core `core_id` for `config`, running one trace source per
+    /// hardware thread under an explicitly provided fetch policy. The core id
+    /// determines the chip-wide requester ids of the core's threads (and with
+    /// them the core's disjoint physical address range).
     ///
     /// # Errors
     ///
     /// Returns [`SimError::InvalidConfig`] if the configuration does not validate
     /// and [`SimError::InvalidWorkload`] if the number of traces does not match
     /// `config.num_threads`.
-    pub fn new(config: SmtConfig, traces: Vec<Box<dyn TraceSource>>) -> Result<Self, SimError> {
-        let policy = build_policy(config.fetch_policy, &config);
-        Self::with_policy(config, traces, policy)
-    }
-
-    /// Builds a simulator with an explicitly provided fetch policy (used to test
-    /// custom policies against the built-in ones).
-    ///
-    /// # Errors
-    ///
-    /// Same as [`SmtSimulator::new`].
-    pub fn with_policy(
+    pub(crate) fn with_policy(
         config: SmtConfig,
         traces: Vec<Box<dyn TraceSource>>,
         policy: Box<dyn FetchPolicy>,
+        core_id: usize,
     ) -> Result<Self, SimError> {
         config.validate()?;
         if traces.len() != config.num_threads {
@@ -181,7 +160,7 @@ impl SmtSimulator {
                 traces.len()
             )));
         }
-        let mem = MemoryHierarchy::new(&config);
+        let mem = CoreMemory::new(&config, core_id);
         // Stores retire from the write buffer at L1 store-port speed; the buffer
         // exists to absorb commit bursts (Section 5), not to throttle throughput.
         let write_buffer = WriteBuffer::new(
@@ -194,7 +173,7 @@ impl SmtSimulator {
             .collect();
         let frontend_capacity = config.frontend_depth * config.fetch_width;
         let num_threads = config.num_threads;
-        Ok(SmtSimulator {
+        Ok(Core {
             stats: MachineStats::new(num_threads),
             snapshot: SmtSnapshot::new(num_threads),
             config,
@@ -217,7 +196,7 @@ impl SmtSimulator {
         })
     }
 
-    /// The configuration the simulator was built with.
+    /// The configuration the core was built with.
     pub fn config(&self) -> &SmtConfig {
         &self.config
     }
@@ -229,9 +208,9 @@ impl SmtSimulator {
 
     /// Statistics accumulated so far.
     ///
-    /// `stats().cycles` is finalized by [`SmtSimulator::run`]; while stepping
-    /// the simulator manually, read the live count from
-    /// [`SmtSimulator::measured_cycles`] instead.
+    /// `stats().cycles` is finalized by the owning simulator's `run`; while
+    /// stepping manually, read the live count from [`Core::measured_cycles`]
+    /// instead.
     pub fn stats(&self) -> &MachineStats {
         &self.stats
     }
@@ -242,62 +221,25 @@ impl SmtSimulator {
         self.cycle - self.stats_cycle_base
     }
 
-    /// Runs the warm-up phase followed by the measured phase, stopping the
-    /// measured phase once any thread has committed the instruction budget (the
-    /// paper's stop criterion) or the cycle limit is hit, and returns the
-    /// statistics of the measured phase.
-    pub fn run(&mut self, options: SimOptions) -> MachineStats {
-        self.warm_up(options.warmup_instructions_per_thread, options.max_cycles);
-        let baselines: Vec<u64> = self.threads.iter().map(|t| t.committed).collect();
-        while self.cycle < options.max_cycles {
-            if self
-                .threads
-                .iter()
-                .zip(&baselines)
-                .any(|(t, &base)| t.committed - base >= options.max_instructions_per_thread)
-            {
-                break;
-            }
-            self.step();
-        }
-        // `run` is the single writer of the aggregate cycle count; `step` only
-        // advances the raw cycle counter.
-        self.stats.cycles = self.measured_cycles();
-        self.stats.clone()
-    }
-
-    /// Runs until every thread has committed `instructions` further instructions,
-    /// then clears all statistics (microarchitectural state — caches, TLBs,
-    /// predictors, stream buffers — stays warm). A zero-length warm-up is a no-op.
-    pub fn warm_up(&mut self, instructions: u64, max_cycles: u64) {
-        if instructions == 0 {
-            return;
-        }
-        let targets: Vec<u64> = self
-            .threads
-            .iter()
-            .map(|t| t.committed + instructions)
-            .collect();
-        while self.cycle < max_cycles
-            && self
-                .threads
-                .iter()
-                .zip(&targets)
-                .any(|(t, &target)| t.committed < target)
-        {
-            self.step();
-        }
-        self.reset_stats();
+    /// Committed instruction count of every hardware thread, in thread order.
+    pub(crate) fn committed(&self) -> impl Iterator<Item = u64> + '_ {
+        self.threads.iter().map(|t| t.committed)
     }
 
     /// Zeroes all statistics counters without disturbing microarchitectural state.
-    pub fn reset_stats(&mut self) {
+    pub(crate) fn reset_stats(&mut self) {
         self.stats = MachineStats::new(self.threads.len());
         self.stats_cycle_base = self.cycle;
     }
 
-    /// Advances the machine by one cycle.
-    pub fn step(&mut self) {
+    /// Writes the measured cycle count into the statistics record (the owning
+    /// simulator's `run` is the single writer of the aggregate count).
+    pub(crate) fn finalize_cycles(&mut self) {
+        self.stats.cycles = self.measured_cycles();
+    }
+
+    /// Advances the core by one cycle against the given shared level.
+    pub(crate) fn step_against(&mut self, shared: &mut SharedLlc) {
         // Move the reusable buffers out of `self` for the duration of the cycle
         // (a pointer-sized swap, not an allocation) so the phases can borrow
         // them alongside `&mut self`.
@@ -308,9 +250,9 @@ impl SmtSimulator {
         let caps_apply = self
             .policy
             .resource_caps(&snapshot, &self.config, &mut caps);
-        self.commit_phase();
+        self.commit_phase(shared);
         self.writeback_phase();
-        self.issue_phase();
+        self.issue_phase(shared);
         self.dispatch_phase(&mut snapshot, caps_apply.then_some(caps.as_slice()));
         self.fetch_phase(&snapshot);
         self.account_mlp();
@@ -374,7 +316,7 @@ impl SmtSimulator {
 
     // ------------------------------------------------------------------ commit
 
-    fn commit_phase(&mut self) {
+    fn commit_phase(&mut self, shared: &mut SharedLlc) {
         let cycle = self.cycle;
         let commit_width = self.config.commit_width;
         for ti in 0..self.threads.len() {
@@ -414,7 +356,7 @@ impl SmtSimulator {
                 let thread_id = ThreadId::new(ti);
                 if op.kind == OpKind::Store {
                     if let Some(addr) = op.addr() {
-                        self.mem.store_access(thread_id, addr, cycle);
+                        self.mem.store_access(shared, thread_id, addr, cycle);
                     }
                 }
                 let tstats = self.stats.thread_mut(thread_id);
@@ -515,7 +457,7 @@ impl SmtSimulator {
 
     // ------------------------------------------------------------------ issue
 
-    fn issue_phase(&mut self) {
+    fn issue_phase(&mut self, shared: &mut SharedLlc) {
         let cycle = self.cycle;
         let mut remaining = self.config.issue_width;
         let mut int_units = self.config.int_alus;
@@ -570,7 +512,7 @@ impl SmtSimulator {
 
                 if op.kind == OpKind::Load {
                     let addr = op.addr().unwrap_or(0);
-                    let access = self.mem.load_access(thread_id, op.pc, addr, cycle);
+                    let access = self.mem.load_access(shared, thread_id, op.pc, addr, cycle);
                     done_at = access.completion_cycle().max(cycle + 1);
                     l1_missed = access.l1_miss;
                     let tstats = self.stats.thread_mut(thread_id);
@@ -1035,6 +977,145 @@ impl SmtSimulator {
                 tstats.mlp_outstanding_sum += outstanding;
             }
         }
+    }
+}
+
+/// The single-core SMT processor simulator: one [`Core`] plus an exclusively
+/// owned shared level. This is the machine of the paper; behaviour is
+/// bit-for-bit identical to the pre-chip-refactor simulator.
+///
+/// # Example
+///
+/// ```
+/// use smt_core::pipeline::{SimOptions, SmtSimulator};
+/// use smt_trace::{spec, SyntheticTraceGenerator};
+/// use smt_types::SmtConfig;
+///
+/// # fn main() -> Result<(), smt_types::SimError> {
+/// let cfg = SmtConfig::baseline(2);
+/// let t0 = SyntheticTraceGenerator::new(spec::benchmark("mcf")?, 1);
+/// let t1 = SyntheticTraceGenerator::new(spec::benchmark("gcc")?, 2);
+/// let mut sim = SmtSimulator::new(cfg, vec![Box::new(t0), Box::new(t1)])?;
+/// let stats = sim.run(SimOptions::with_instructions(2_000));
+/// assert!(stats.cycles > 0);
+/// assert!(stats.threads[0].committed_instructions >= 2_000
+///     || stats.threads[1].committed_instructions >= 2_000);
+/// # Ok(())
+/// # }
+/// ```
+pub struct SmtSimulator {
+    core: Core,
+    shared: SharedLlc,
+}
+
+impl SmtSimulator {
+    /// Builds a simulator for `config` running one trace source per hardware
+    /// thread, using the fetch policy named in the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration does not validate
+    /// and [`SimError::InvalidWorkload`] if the number of traces does not match
+    /// `config.num_threads`.
+    pub fn new(config: SmtConfig, traces: Vec<Box<dyn TraceSource>>) -> Result<Self, SimError> {
+        let policy = build_policy(config.fetch_policy, &config);
+        Self::with_policy(config, traces, policy)
+    }
+
+    /// Builds a simulator with an explicitly provided fetch policy (used to test
+    /// custom policies against the built-in ones).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmtSimulator::new`].
+    pub fn with_policy(
+        config: SmtConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        policy: Box<dyn FetchPolicy>,
+    ) -> Result<Self, SimError> {
+        config.validate()?;
+        let shared = SharedLlc::single_core(&config);
+        let core = Core::with_policy(config, traces, policy, 0)?;
+        Ok(SmtSimulator { core, shared })
+    }
+
+    /// The configuration the simulator was built with.
+    pub fn config(&self) -> &SmtConfig {
+        self.core.config()
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.core.cycle()
+    }
+
+    /// Statistics accumulated so far.
+    ///
+    /// `stats().cycles` is finalized by [`SmtSimulator::run`]; while stepping
+    /// the simulator manually, read the live count from
+    /// [`SmtSimulator::measured_cycles`] instead.
+    pub fn stats(&self) -> &MachineStats {
+        self.core.stats()
+    }
+
+    /// Cycles elapsed in the current measurement phase, i.e. since the last
+    /// statistics reset (warm-up end).
+    pub fn measured_cycles(&self) -> u64 {
+        self.core.measured_cycles()
+    }
+
+    /// Runs the warm-up phase followed by the measured phase, stopping the
+    /// measured phase once any thread has committed the instruction budget (the
+    /// paper's stop criterion) or the cycle limit is hit, and returns the
+    /// statistics of the measured phase.
+    pub fn run(&mut self, options: SimOptions) -> MachineStats {
+        self.warm_up(options.warmup_instructions_per_thread, options.max_cycles);
+        let baselines: Vec<u64> = self.core.committed().collect();
+        while self.core.cycle() < options.max_cycles {
+            if self
+                .core
+                .committed()
+                .zip(&baselines)
+                .any(|(committed, &base)| committed - base >= options.max_instructions_per_thread)
+            {
+                break;
+            }
+            self.step();
+        }
+        // `run` is the single writer of the aggregate cycle count; `step` only
+        // advances the raw cycle counter.
+        self.core.finalize_cycles();
+        self.core.stats().clone()
+    }
+
+    /// Runs until every thread has committed `instructions` further instructions,
+    /// then clears all statistics (microarchitectural state — caches, TLBs,
+    /// predictors, stream buffers — stays warm). A zero-length warm-up is a no-op.
+    pub fn warm_up(&mut self, instructions: u64, max_cycles: u64) {
+        if instructions == 0 {
+            return;
+        }
+        let targets: Vec<u64> = self.core.committed().map(|c| c + instructions).collect();
+        while self.core.cycle() < max_cycles
+            && self
+                .core
+                .committed()
+                .zip(&targets)
+                .any(|(committed, &target)| committed < target)
+        {
+            self.step();
+        }
+        self.reset_stats();
+    }
+
+    /// Zeroes all statistics counters without disturbing microarchitectural state.
+    pub fn reset_stats(&mut self) {
+        self.core.reset_stats();
+    }
+
+    /// Advances the machine by one cycle.
+    pub fn step(&mut self) {
+        self.core.step_against(&mut self.shared);
     }
 }
 

@@ -12,10 +12,12 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
+use smt_sched::{build_allocation_policy, AllocationPolicyKind, ThreadSpec};
 use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
 use smt_types::config::FetchPolicyKind;
-use smt_types::{MachineStats, SimError, SmtConfig};
+use smt_types::{ChipConfig, ChipStats, MachineStats, SimError, SmtConfig};
 
+use crate::chip::ChipSimulator;
 use crate::metrics;
 use crate::pipeline::{SimOptions, SmtSimulator};
 
@@ -420,6 +422,193 @@ pub fn evaluate_workload_with<S: AsRef<str>>(
     })
 }
 
+/// Scale of the single-thread probe runs behind [`mlp_intensity`]: long
+/// enough to warm the predictors, short enough to be negligible next to the
+/// measured runs.
+fn probe_scale(seed: u64) -> RunScale {
+    RunScale {
+        instructions_per_thread: 2_000,
+        warmup_instructions: 500,
+        seed,
+    }
+}
+
+/// Estimates a benchmark's MLP intensity — long-latency loads per
+/// kilo-instruction times measured MLP — from a short single-thread probe run
+/// on `core_config`. This is the signal
+/// [`AllocationPolicyKind::MlpBalanced`] balances across cores; it comes from
+/// the same LLSR/MLP-predictor machinery the fetch policies use.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] for unknown benchmarks.
+pub fn mlp_intensity(benchmark: &str, core_config: &SmtConfig, seed: u64) -> Result<f64, SimError> {
+    let stats = run_single_thread(benchmark, core_config, probe_scale(seed))?;
+    let t = &stats.threads[0];
+    Ok(t.lll_per_kilo_instruction() * t.measured_mlp())
+}
+
+/// The STP/ANTT outcome of running one multiprogram workload on a chip under
+/// one (fetch policy, thread-to-core allocation) pair.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChipWorkloadResult {
+    /// Workload name (benchmarks joined with dashes, in workload order).
+    pub workload: String,
+    /// The per-core fetch policy evaluated.
+    pub policy: FetchPolicyKind,
+    /// The thread-to-core allocation policy evaluated.
+    pub allocation: AllocationPolicyKind,
+    /// Number of cores on the chip.
+    pub num_cores: u64,
+    /// Benchmarks per core after allocation (slots joined with `+`).
+    pub core_assignments: Vec<String>,
+    /// System throughput (higher is better), normalized per thread against a
+    /// run alone on one core of the chip.
+    pub stp: f64,
+    /// Average normalized turnaround time (lower is better).
+    pub antt: f64,
+    /// Per-thread IPC in the chip run, in workload order.
+    pub per_thread_ipc: Vec<f64>,
+    /// Per-thread single-threaded reference IPC at the same instruction
+    /// counts, in workload order.
+    pub per_thread_st_ipc: Vec<f64>,
+    /// Aggregate IPC of each core.
+    pub per_core_ipc: Vec<f64>,
+    /// Each core's contribution to the chip STP (the weighted speedups of
+    /// its resident threads; sums to [`ChipWorkloadResult::stp`]).
+    pub per_core_stp: Vec<f64>,
+    /// Raw chip statistics.
+    pub chip_stats: ChipStats,
+}
+
+/// Evaluates one workload on a chip under one (fetch policy, allocation)
+/// pair, probing each benchmark's MLP intensity first (see
+/// [`mlp_intensity`]).
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks, invalid configurations, or a
+/// workload that does not fill the chip's `num_cores x threads_per_core`
+/// geometry.
+pub fn evaluate_chip_workload<S: AsRef<str>>(
+    benchmarks: &[S],
+    policy: FetchPolicyKind,
+    allocation: AllocationPolicyKind,
+    chip: &ChipConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<ChipWorkloadResult, SimError> {
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let intensities = benchmarks
+        .iter()
+        .map(|b| mlp_intensity(b, &chip.core, scale.seed))
+        .collect::<Result<Vec<_>, _>>()?;
+    evaluate_chip_workload_with_intensities(
+        &benchmarks,
+        &intensities,
+        policy,
+        allocation,
+        chip,
+        scale,
+        cache,
+    )
+}
+
+/// [`evaluate_chip_workload`] with precomputed per-thread MLP intensities
+/// (the parallel experiment engine probes each distinct benchmark once and
+/// shares the results across cells).
+///
+/// # Errors
+///
+/// Same as [`evaluate_chip_workload`].
+pub fn evaluate_chip_workload_with_intensities<S: AsRef<str>>(
+    benchmarks: &[S],
+    intensities: &[f64],
+    policy: FetchPolicyKind,
+    allocation: AllocationPolicyKind,
+    chip: &ChipConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<ChipWorkloadResult, SimError> {
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    if intensities.len() != benchmarks.len() {
+        return Err(SimError::invalid_workload(
+            "one MLP intensity per workload thread required",
+        ));
+    }
+    let chip_config = chip.clone().with_policy(policy);
+    let threads_per_core = chip_config.core.num_threads;
+    let specs: Vec<ThreadSpec> = benchmarks
+        .iter()
+        .zip(intensities)
+        .map(|(b, &i)| ThreadSpec::new(*b, i))
+        .collect();
+    let assignment = build_allocation_policy(allocation).allocate(
+        &specs,
+        chip_config.num_cores,
+        threads_per_core,
+    )?;
+    let traces = assignment
+        .iter()
+        .map(|slots| {
+            slots
+                .iter()
+                .map(|&ti| build_trace(benchmarks[ti], scale))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sim = ChipSimulator::new(chip_config.clone(), traces)?;
+    let chip_stats = sim.run(scale.sim_options());
+
+    // The single-threaded reference is "alone on one core of this chip": the
+    // core's private levels with the whole shared LLC to itself.
+    let mut st_config = chip_config.core.clone();
+    st_config.l3 = chip_config.shared_llc;
+
+    let n = benchmarks.len();
+    let mut st_cpis = vec![0.0f64; n];
+    let mut mt_cpis = vec![0.0f64; n];
+    // The same CPIs in canonical (core, slot) order, for the per-core split.
+    let mut st_flat = Vec::with_capacity(n);
+    let mut mt_flat = Vec::with_capacity(n);
+    for (core, slots) in assignment.iter().enumerate() {
+        for (slot, &ti) in slots.iter().enumerate() {
+            let committed = chip_stats.cores[core].threads[slot]
+                .committed_instructions
+                .max(1);
+            mt_cpis[ti] = chip_stats.cycles as f64 / committed as f64;
+            st_cpis[ti] = cache.st_cpi(benchmarks[ti], &st_config, scale, committed)?;
+            st_flat.push(st_cpis[ti]);
+            mt_flat.push(mt_cpis[ti]);
+        }
+    }
+    let core_assignments = assignment
+        .iter()
+        .map(|slots| {
+            slots
+                .iter()
+                .map(|&ti| benchmarks[ti])
+                .collect::<Vec<_>>()
+                .join("+")
+        })
+        .collect();
+    Ok(ChipWorkloadResult {
+        workload: benchmarks.join("-"),
+        policy,
+        allocation,
+        num_cores: chip_config.num_cores as u64,
+        core_assignments,
+        stp: metrics::stp(&st_cpis, &mt_cpis),
+        antt: metrics::antt(&st_cpis, &mt_cpis),
+        per_thread_ipc: mt_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_thread_st_ipc: st_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_core_ipc: chip_stats.per_core_ipc(),
+        per_core_stp: metrics::per_core_stp(&chip_stats, &st_flat, &mt_flat),
+        chip_stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -531,6 +720,87 @@ mod tests {
         let mut zero = RunScale::tiny();
         zero.instructions_per_thread = 0;
         assert!(zero.validate().is_err());
+    }
+
+    #[test]
+    fn chip_workload_evaluation_produces_sane_metrics() {
+        let chip = ChipConfig::baseline(2, 2);
+        let cache = StReferenceCache::new();
+        let r = evaluate_chip_workload(
+            &["mcf", "swim", "gcc", "gap"],
+            FetchPolicyKind::Icount,
+            AllocationPolicyKind::RoundRobin,
+            &chip,
+            RunScale::tiny(),
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(r.workload, "mcf-swim-gcc-gap");
+        assert_eq!(r.num_cores, 2);
+        assert_eq!(r.core_assignments, vec!["mcf+gcc", "swim+gap"]);
+        assert_eq!(r.per_thread_ipc.len(), 4);
+        assert_eq!(r.per_core_ipc.len(), 2);
+        assert_eq!(r.per_core_stp.len(), 2);
+        assert!(
+            (r.per_core_stp.iter().sum::<f64>() - r.stp).abs() < 1e-9,
+            "per-core STP must sum to the chip STP"
+        );
+        assert!(r.stp > 0.0 && r.stp <= 4.0 + 1e-9, "STP {}", r.stp);
+        assert!(r.antt >= 0.9, "ANTT {}", r.antt);
+        assert_eq!(r.chip_stats.num_cores(), 2);
+    }
+
+    #[test]
+    fn chip_allocation_changes_placement_not_workload() {
+        let chip = ChipConfig::baseline(2, 2);
+        let cache = StReferenceCache::new();
+        let scale = RunScale::tiny();
+        let benchmarks = ["mcf", "swim", "gcc", "gap"];
+        let rr = evaluate_chip_workload(
+            &benchmarks,
+            FetchPolicyKind::Icount,
+            AllocationPolicyKind::RoundRobin,
+            &chip,
+            scale,
+            &cache,
+        )
+        .unwrap();
+        let ff = evaluate_chip_workload(
+            &benchmarks,
+            FetchPolicyKind::Icount,
+            AllocationPolicyKind::FillFirst,
+            &chip,
+            scale,
+            &cache,
+        )
+        .unwrap();
+        let mb = evaluate_chip_workload(
+            &benchmarks,
+            FetchPolicyKind::Icount,
+            AllocationPolicyKind::MlpBalanced,
+            &chip,
+            scale,
+            &cache,
+        )
+        .unwrap();
+        assert_eq!(rr.core_assignments, vec!["mcf+gcc", "swim+gap"]);
+        assert_eq!(ff.core_assignments, vec!["mcf+swim", "gcc+gap"]);
+        // mcf and swim are the MLP monsters: balanced placement separates them.
+        assert_ne!(mb.core_assignments, ff.core_assignments);
+        for r in [&rr, &ff, &mb] {
+            assert_eq!(r.workload, "mcf-swim-gcc-gap");
+        }
+    }
+
+    #[test]
+    fn mlp_intensity_orders_memory_bound_benchmarks() {
+        let cfg = SmtConfig::baseline(1);
+        let mcf = mlp_intensity("mcf", &cfg, 42).unwrap();
+        let gcc = mlp_intensity("gcc", &cfg, 42).unwrap();
+        assert!(
+            mcf > gcc,
+            "mcf (memory bound, {mcf}) should out-rank gcc ({gcc})"
+        );
     }
 
     #[test]

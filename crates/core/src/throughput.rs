@@ -2,11 +2,14 @@
 //! seconds, reported as simulated cycles/sec and committed instructions/sec.
 //!
 //! The matrix covers 1-, 2- and 4-thread runs over ILP- and MLP-heavy mixes
-//! under the ICOUNT baseline and the paper's MLP-aware flush policy, so a single
-//! `smt-cli bench` run characterizes the hot path for every pipeline shape the
-//! experiments exercise. Results serialize to a stable JSON schema
-//! (`BENCH_throughput.json`) so successive commits have a perf trajectory to
-//! beat; [`ThroughputReport::compare`] diffs two reports scenario by scenario.
+//! under the ICOUNT baseline and the paper's MLP-aware flush policy — plus a
+//! chip-level CMP row — so a single `smt-cli bench` run characterizes the hot
+//! path for every pipeline shape the experiments exercise. Results serialize
+//! to a stable JSON schema; `BENCH_throughput.json` is an **append-only
+//! [`ThroughputTrajectory`]**: one dated [`ThroughputReport`] entry per
+//! recorded commit, so the whole perf history stays recoverable from the
+//! file. [`ThroughputReport::compare`] diffs two reports scenario by
+//! scenario; CI compares against [`ThroughputTrajectory::latest`].
 
 use std::time::Instant;
 
@@ -14,12 +17,19 @@ use serde::{Deserialize, Serialize};
 use smt_types::config::FetchPolicyKind;
 use smt_types::{SimError, SmtConfig};
 
+use crate::chip::ChipSimulator;
 use crate::pipeline::{SimOptions, SmtSimulator};
 use crate::runner::{build_trace, RunScale};
+use smt_types::{ChipConfig, MachineStats};
 
-/// Version of the `BENCH_throughput.json` schema. Bump only when a field is
-/// removed or changes meaning; additions keep the version.
+/// Version of one report's schema. Bump only when a field is removed or
+/// changes meaning; additions keep the version.
 pub const SCHEMA_VERSION: u32 = 1;
+
+/// Version of the on-disk `BENCH_throughput.json` trajectory schema
+/// (an array of dated report entries; version 1 was a single overwritten
+/// report).
+pub const TRAJECTORY_SCHEMA_VERSION: u32 = 2;
 
 /// Name of the 4-thread baseline scenario whose cycles/sec is the headline
 /// trajectory number compared across commits.
@@ -28,65 +38,115 @@ pub const BASELINE_SCENARIO: &str = "4t_mix_icount";
 /// One cell of the fixed scenario matrix.
 #[derive(Clone, PartialEq, Eq, Debug)]
 pub struct BenchScenario {
-    /// Stable scenario identifier (`<threads>t_<mix>_<policy>`).
+    /// Stable scenario identifier (`<threads>t_<mix>_<policy>`, or
+    /// `<cores>c<threads>t_<mix>_<policy>` for chip rows).
     pub name: &'static str,
-    /// Benchmarks, one per hardware thread.
+    /// Benchmarks, one per hardware thread (across all cores, core-major).
     pub benchmarks: &'static [&'static str],
     /// Fetch policy under test.
     pub policy: FetchPolicyKind,
+    /// Number of cores: 1 runs the single-core machine, >1 a chip with
+    /// `benchmarks.len() / cores` threads per core (round-robin placement by
+    /// construction of the list).
+    pub cores: usize,
+}
+
+/// The benchmark pool chip rows draw from (2 threads per core, core-major).
+const CHIP_MIX: [&str; 16] = [
+    "mcf", "swim", "perlbmk", "mesa", "vortex", "parser", "crafty", "twolf", "applu", "galgel",
+    "gzip", "wupwise", "apsi", "art", "equake", "gcc",
+];
+
+/// The chip scenario at `cores` cores x 2 threads (the `--cores` bench row).
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] when `cores` is outside `2..=8`.
+pub fn chip_scenario(cores: usize) -> Result<BenchScenario, SimError> {
+    let name = match cores {
+        2 => "2c2t_mix_icount",
+        3 => "3c2t_mix_icount",
+        4 => "4c2t_mix_icount",
+        5 => "5c2t_mix_icount",
+        6 => "6c2t_mix_icount",
+        7 => "7c2t_mix_icount",
+        8 => "8c2t_mix_icount",
+        other => {
+            return Err(SimError::invalid_config(format!(
+                "chip bench scenarios support 2..=8 cores, got {other}"
+            )))
+        }
+    };
+    Ok(BenchScenario {
+        name,
+        benchmarks: &CHIP_MIX[..cores * 2],
+        policy: FetchPolicyKind::Icount,
+        cores,
+    })
 }
 
 /// The fixed scenario matrix: 1T/2T/4T, ILP- and MLP-heavy mixes, ICOUNT
 /// baseline plus the MLP-aware flush policy.
 pub fn scenario_matrix() -> Vec<BenchScenario> {
     use FetchPolicyKind::{Icount, MlpFlush};
-    vec![
+    let mut matrix = vec![
         BenchScenario {
             name: "1t_ilp_icount",
             benchmarks: &["gcc"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "1t_mlp_icount",
             benchmarks: &["mcf"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "2t_ilp_icount",
             benchmarks: &["gcc", "gap"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "2t_mlp_icount",
             benchmarks: &["mcf", "swim"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "2t_mlp_mlpflush",
             benchmarks: &["mcf", "swim"],
             policy: MlpFlush,
+            cores: 1,
         },
         BenchScenario {
             name: "4t_ilp_icount",
             benchmarks: &["vortex", "parser", "crafty", "twolf"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "4t_mix_icount",
             benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
             policy: Icount,
+            cores: 1,
         },
         BenchScenario {
             name: "4t_mix_mlpflush",
             benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
             policy: MlpFlush,
+            cores: 1,
         },
         BenchScenario {
             name: "4t_mlp_mlpflush",
             benchmarks: &["applu", "galgel", "swim", "mesa"],
             policy: MlpFlush,
+            cores: 1,
         },
-    ]
+    ];
+    matrix.push(chip_scenario(2).expect("2-core chip scenario is always valid"));
+    matrix
 }
 
 /// Run-length and repetition knobs for the harness.
@@ -99,6 +159,9 @@ pub struct BenchOptions {
     pub runs: u32,
     /// Whether this is a reduced-size smoke run (recorded in the report).
     pub quick: bool,
+    /// Additional chip scenario at this core count (`smt-cli bench --cores`),
+    /// on top of the matrix's built-in 2-core row.
+    pub extra_chip_cores: Option<usize>,
 }
 
 impl BenchOptions {
@@ -108,6 +171,7 @@ impl BenchOptions {
             instructions_per_thread: 30_000,
             runs: 3,
             quick: false,
+            extra_chip_cores: None,
         }
     }
 
@@ -117,6 +181,7 @@ impl BenchOptions {
             instructions_per_thread: 3_000,
             runs: 1,
             quick: true,
+            extra_chip_cores: None,
         }
     }
 }
@@ -139,6 +204,8 @@ pub struct ScenarioResult {
     pub benchmarks: Vec<String>,
     /// Fetch policy under test.
     pub policy: FetchPolicyKind,
+    /// Number of cores (`None` in pre-chip reports means 1).
+    pub cores: Option<usize>,
     /// Instruction budget per thread.
     pub instructions_per_thread: u64,
     /// Simulated cycles of one run (identical across repetitions).
@@ -268,27 +335,125 @@ impl ThroughputReport {
     }
 }
 
-/// Builds a ready-to-run simulator (and its run options) for one scenario,
-/// so callers timing the hot path — [`run_scenario`], the criterion bench —
-/// can exclude trace construction from the measurement.
+/// One dated entry of the on-disk throughput trajectory.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TrajectoryEntry {
+    /// ISO-8601 date (`YYYY-MM-DD`) the entry was recorded.
+    pub date: String,
+    /// The full report measured at that point.
+    pub report: ThroughputReport,
+}
+
+/// The append-only `BENCH_throughput.json` schema: every recorded commit's
+/// report, oldest first. `smt-cli bench` appends to this file instead of
+/// overwriting it, so the perf history of the repository stays recoverable
+/// from the working tree.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ThroughputTrajectory {
+    /// Schema version of the trajectory file
+    /// ([`TRAJECTORY_SCHEMA_VERSION`]).
+    pub schema_version: u32,
+    /// Dated entries, oldest first.
+    pub entries: Vec<TrajectoryEntry>,
+}
+
+impl Default for ThroughputTrajectory {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThroughputTrajectory {
+    /// An empty trajectory.
+    pub fn new() -> Self {
+        ThroughputTrajectory {
+            schema_version: TRAJECTORY_SCHEMA_VERSION,
+            entries: Vec::new(),
+        }
+    }
+
+    /// Parses a trajectory from JSON, migrating the legacy schema (a single
+    /// overwritten [`ThroughputReport`]) into a one-entry trajectory dated
+    /// `"unknown"`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] when the text is neither a
+    /// trajectory nor a legacy report.
+    pub fn from_json(text: &str) -> Result<Self, SimError> {
+        if let Ok(trajectory) = serde_json::from_str::<ThroughputTrajectory>(text) {
+            return Ok(trajectory);
+        }
+        let legacy = ThroughputReport::from_json(text).map_err(|e| {
+            SimError::invalid_config(format!(
+                "neither a throughput trajectory nor a legacy report: {e}"
+            ))
+        })?;
+        let mut trajectory = Self::new();
+        trajectory.push("unknown", legacy);
+        Ok(trajectory)
+    }
+
+    /// Serializes the trajectory as pretty-printed JSON (the on-disk format).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if serialization fails.
+    pub fn to_json(&self) -> Result<String, SimError> {
+        serde_json::to_string_pretty(self)
+            .map(|s| s + "\n")
+            .map_err(|e| SimError::invalid_config(format!("throughput trajectory to JSON: {e}")))
+    }
+
+    /// Appends a dated entry.
+    pub fn push(&mut self, date: impl Into<String>, report: ThroughputReport) {
+        self.entries.push(TrajectoryEntry {
+            date: date.into(),
+            report,
+        });
+    }
+
+    /// The most recent entry's report, if any — what CI regressions compare
+    /// against.
+    pub fn latest(&self) -> Option<&ThroughputReport> {
+        self.entries.last().map(|e| &e.report)
+    }
+}
+
+/// Run options of a scenario measurement: no warm-up, every simulated cycle
+/// is timed and counted.
+fn scenario_options(opts: &BenchOptions) -> SimOptions {
+    SimOptions {
+        max_instructions_per_thread: opts.instructions_per_thread,
+        warmup_instructions_per_thread: 0,
+        ..SimOptions::default()
+    }
+}
+
+/// Builds a ready-to-run single-core simulator (and its run options) for one
+/// scenario, so callers timing the hot path — [`run_scenario`], the criterion
+/// bench — can exclude trace construction from the measurement.
 ///
 /// # Errors
 ///
-/// Returns an error for unknown benchmarks or invalid configurations.
+/// Returns an error for unknown benchmarks, invalid configurations, or a
+/// chip scenario (`cores > 1`; those are driven through [`run_scenario`]).
 pub fn prepare_scenario(
     scenario: &BenchScenario,
     opts: &BenchOptions,
 ) -> Result<(SmtSimulator, SimOptions), SimError> {
+    if scenario.cores > 1 {
+        return Err(SimError::invalid_config(
+            "prepare_scenario builds single-core simulators; chip scenarios run via run_scenario",
+        ));
+    }
     let threads = scenario.benchmarks.len();
     let mut config = SmtConfig::baseline(threads);
     config.fetch_policy = scenario.policy;
     let scale = RunScale::standard().with_instructions(opts.instructions_per_thread);
-    // No warm-up: every simulated cycle is timed and counted.
-    let options = SimOptions {
-        max_instructions_per_thread: opts.instructions_per_thread,
-        warmup_instructions_per_thread: 0,
-        ..SimOptions::default()
-    };
+    let options = scenario_options(opts);
     let traces = scenario
         .benchmarks
         .iter()
@@ -296,6 +461,34 @@ pub fn prepare_scenario(
         .collect::<Result<Vec<_>, _>>()?;
     let sim = SmtSimulator::new(config, traces)?;
     Ok((sim, options))
+}
+
+/// Builds a ready-to-run chip simulator for a `cores > 1` scenario,
+/// dealing the benchmark list out over the cores core-major.
+fn prepare_chip_scenario(
+    scenario: &BenchScenario,
+    opts: &BenchOptions,
+) -> Result<(ChipSimulator, SimOptions), SimError> {
+    let cores = scenario.cores;
+    if !scenario.benchmarks.len().is_multiple_of(cores) {
+        return Err(SimError::invalid_config(
+            "chip scenario benchmarks must divide evenly over the cores",
+        ));
+    }
+    let threads_per_core = scenario.benchmarks.len() / cores;
+    let config = ChipConfig::baseline(cores, threads_per_core).with_policy(scenario.policy);
+    let scale = RunScale::standard().with_instructions(opts.instructions_per_thread);
+    let traces = scenario
+        .benchmarks
+        .chunks(threads_per_core)
+        .map(|core| {
+            core.iter()
+                .map(|b| build_trace(b, scale))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let sim = ChipSimulator::new(config, traces)?;
+    Ok((sim, scenario_options(opts)))
 }
 
 /// Runs one scenario: `opts.runs` timed repetitions, best wall time kept.
@@ -315,13 +508,24 @@ pub fn run_scenario(
 ) -> Result<ScenarioResult, SimError> {
     let threads = scenario.benchmarks.len();
     let mut best_wall = f64::INFINITY;
-    let mut reference_stats = None;
+    let mut reference_stats: Option<MachineStats> = None;
     for _ in 0..opts.runs.max(1) {
-        let (mut sim, options) = prepare_scenario(scenario, opts)?;
-        let start = Instant::now();
-        let stats = sim.run(options);
-        let wall = start.elapsed().as_secs_f64();
-        best_wall = best_wall.min(wall);
+        // The timed region contains only the simulator's `run`; trace and
+        // simulator construction stay outside. Chip scenarios flatten their
+        // per-core statistics into the single-core shape for reporting.
+        let stats = if scenario.cores > 1 {
+            let (mut sim, options) = prepare_chip_scenario(scenario, opts)?;
+            let start = Instant::now();
+            let chip_stats = sim.run(options);
+            best_wall = best_wall.min(start.elapsed().as_secs_f64());
+            crate::metrics::flatten_chip_stats(&chip_stats)
+        } else {
+            let (mut sim, options) = prepare_scenario(scenario, opts)?;
+            let start = Instant::now();
+            let stats = sim.run(options);
+            best_wall = best_wall.min(start.elapsed().as_secs_f64());
+            stats
+        };
         match &reference_stats {
             None => reference_stats = Some(stats),
             Some(reference) => {
@@ -342,6 +546,7 @@ pub fn run_scenario(
         threads,
         benchmarks: scenario.benchmarks.iter().map(|b| b.to_string()).collect(),
         policy: scenario.policy,
+        cores: Some(scenario.cores),
         instructions_per_thread: opts.instructions_per_thread,
         simulated_cycles: stats.cycles,
         committed_instructions: committed,
@@ -351,6 +556,25 @@ pub fn run_scenario(
         instructions_per_second: committed as f64 / wall,
         runs: opts.runs.max(1),
     })
+}
+
+/// The exact scenario list a [`run_matrix`] call with `opts` will measure:
+/// the fixed matrix plus the `extra_chip_cores` row when it is not already a
+/// matrix member. Callers announcing the run (the CLI) derive their counts
+/// from this so the message cannot drift from what actually runs.
+///
+/// # Errors
+///
+/// Returns [`SimError::InvalidConfig`] for an unsupported extra core count.
+pub fn scenarios_for(opts: &BenchOptions) -> Result<Vec<BenchScenario>, SimError> {
+    let mut matrix = scenario_matrix();
+    if let Some(cores) = opts.extra_chip_cores {
+        let extra = chip_scenario(cores)?;
+        if !matrix.iter().any(|s| s.name == extra.name) {
+            matrix.push(extra);
+        }
+    }
+    Ok(matrix)
 }
 
 /// Runs the whole [`scenario_matrix`] and assembles the report.
@@ -365,9 +589,10 @@ pub fn run_matrix(
     opts: &BenchOptions,
     commit: Option<String>,
 ) -> Result<ThroughputReport, SimError> {
+    let matrix = scenarios_for(opts)?;
     let mut scenarios = Vec::new();
-    for scenario in scenario_matrix() {
-        scenarios.push(run_scenario(&scenario, opts)?);
+    for scenario in &matrix {
+        scenarios.push(run_scenario(scenario, opts)?);
     }
     Ok(ThroughputReport {
         schema_version: SCHEMA_VERSION,
@@ -388,6 +613,7 @@ mod tests {
             instructions_per_thread: 300,
             runs: 2,
             quick: true,
+            extra_chip_cores: None,
         }
     }
 
@@ -400,6 +626,10 @@ mod tests {
         assert!(matrix.iter().any(|s| s.policy == FetchPolicyKind::Icount));
         assert!(matrix.iter().any(|s| s.policy == FetchPolicyKind::MlpFlush));
         assert!(matrix.iter().any(|s| s.name == BASELINE_SCENARIO));
+        assert!(
+            matrix.iter().any(|s| s.cores > 1),
+            "matrix must contain a chip row"
+        );
         let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -412,6 +642,7 @@ mod tests {
             name: "test_2t",
             benchmarks: &["gcc", "gap"],
             policy: FetchPolicyKind::Icount,
+            cores: 1,
         };
         let result = run_scenario(&scenario, &tiny_opts()).unwrap();
         assert!(result.simulated_cycles > 0);
@@ -423,11 +654,67 @@ mod tests {
     }
 
     #[test]
+    fn chip_scenario_runs_and_reports() {
+        let scenario = chip_scenario(2).unwrap();
+        let result = run_scenario(&scenario, &tiny_opts()).unwrap();
+        assert_eq!(result.cores, Some(2));
+        assert_eq!(result.threads, 4);
+        assert!(result.simulated_cycles > 0);
+        assert!(result.cycles_per_second > 0.0);
+        assert!(chip_scenario(1).is_err());
+        assert!(chip_scenario(9).is_err());
+    }
+
+    #[test]
+    fn trajectory_appends_and_migrates_legacy_reports() {
+        let opts = BenchOptions {
+            instructions_per_thread: 200,
+            runs: 1,
+            quick: true,
+            extra_chip_cores: None,
+        };
+        let report = ThroughputReport {
+            schema_version: SCHEMA_VERSION,
+            quick: true,
+            instructions_per_thread: opts.instructions_per_thread,
+            runs_per_scenario: 1,
+            commit: Some("abc".to_string()),
+            scenarios: vec![run_scenario(
+                &BenchScenario {
+                    name: BASELINE_SCENARIO,
+                    benchmarks: &["gcc", "gap"],
+                    policy: FetchPolicyKind::Icount,
+                    cores: 1,
+                },
+                &opts,
+            )
+            .unwrap()],
+        };
+        // Append-only round trip.
+        let mut trajectory = ThroughputTrajectory::new();
+        trajectory.push("2026-07-01", report.clone());
+        trajectory.push("2026-07-30", report.clone());
+        let json = trajectory.to_json().unwrap();
+        let parsed = ThroughputTrajectory::from_json(&json).unwrap();
+        assert_eq!(parsed, trajectory);
+        assert_eq!(parsed.entries.len(), 2);
+        assert_eq!(parsed.latest().unwrap(), &report);
+        // A legacy single-report file migrates to a one-entry trajectory.
+        let legacy_json = report.to_json().unwrap();
+        let migrated = ThroughputTrajectory::from_json(&legacy_json).unwrap();
+        assert_eq!(migrated.entries.len(), 1);
+        assert_eq!(migrated.entries[0].date, "unknown");
+        assert_eq!(migrated.latest().unwrap(), &report);
+        assert!(ThroughputTrajectory::from_json("{]").is_err());
+    }
+
+    #[test]
     fn report_round_trips_through_json_and_compares() {
         let opts = BenchOptions {
             instructions_per_thread: 200,
             runs: 1,
             quick: true,
+            extra_chip_cores: None,
         };
         let mut report = ThroughputReport {
             schema_version: SCHEMA_VERSION,
@@ -440,6 +727,7 @@ mod tests {
                     name: BASELINE_SCENARIO,
                     benchmarks: &["gcc", "gap"],
                     policy: FetchPolicyKind::Icount,
+                    cores: 1,
                 },
                 &opts,
             )

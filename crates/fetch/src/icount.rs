@@ -18,7 +18,8 @@ use crate::policy::{icount_order, FetchPolicy};
 /// let mut snap = SmtSnapshot::new(2);
 /// snap.threads[0].icount = 30;
 /// snap.threads[1].icount = 5;
-/// let order = p.fetch_priority_vec(&snap);
+/// let mut order = Vec::new();
+/// p.fetch_priority(&snap, &mut order);
 /// assert_eq!(order[0].index(), 1);
 /// ```
 #[derive(Clone, Debug)]

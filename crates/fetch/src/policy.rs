@@ -44,8 +44,8 @@ pub struct ResourceCaps {
 /// The per-cycle queries ([`fetch_priority`], [`on_resource_stall`],
 /// [`resource_caps`]) write into caller-provided scratch buffers instead of
 /// returning fresh allocations, so the pipeline's steady state is
-/// allocation-free; allocating `*_vec` convenience wrappers exist for tests and
-/// one-off callers. Within one cycle the pipeline may deliver per-thread
+/// allocation-free; allocating `*_vec` convenience wrappers exist behind
+/// `cfg(any(test, feature = "test-util"))` for tests and one-off callers. Within one cycle the pipeline may deliver per-thread
 /// callbacks in any thread order; policies must not rely on cross-thread
 /// ordering.
 ///
@@ -63,6 +63,9 @@ pub trait FetchPolicy: Send {
 
     /// Allocating convenience wrapper around [`FetchPolicy::fetch_priority`]
     /// for tests and examples; the pipeline reuses a scratch buffer instead.
+    /// Only compiled for tests and under the `test-util` feature, so the
+    /// production build has a single, non-allocating query surface.
+    #[cfg(any(test, feature = "test-util"))]
     fn fetch_priority_vec(&mut self, snapshot: &SmtSnapshot) -> Vec<ThreadId> {
         let mut priority = Vec::new();
         self.fetch_priority(snapshot, &mut priority);
@@ -141,7 +144,9 @@ pub trait FetchPolicy: Send {
     }
 
     /// Allocating convenience wrapper around [`FetchPolicy::on_resource_stall`]
-    /// for tests and examples.
+    /// for tests and examples (see [`FetchPolicy::fetch_priority_vec`] for the
+    /// gating rationale).
+    #[cfg(any(test, feature = "test-util"))]
     fn on_resource_stall_vec(&mut self, snapshot: &SmtSnapshot) -> Vec<FlushRequest> {
         let mut flushes = Vec::new();
         self.on_resource_stall(snapshot, &mut flushes);
@@ -171,7 +176,9 @@ pub trait FetchPolicy: Send {
     }
 
     /// Allocating convenience wrapper around [`FetchPolicy::resource_caps`]
-    /// for tests and examples.
+    /// for tests and examples (see [`FetchPolicy::fetch_priority_vec`] for the
+    /// gating rationale).
+    #[cfg(any(test, feature = "test-util"))]
     fn resource_caps_vec(
         &mut self,
         snapshot: &SmtSnapshot,

@@ -1,10 +1,21 @@
-//! The composed memory hierarchy queried by the pipeline.
+//! The memory hierarchy queried by the pipeline, split into per-core private
+//! levels ([`CoreMemory`]) and the chip-shared bottom level
+//! ([`crate::shared::SharedLlc`]).
+//!
+//! [`CoreMemory`] owns everything private to one SMT core: L1I/L1D, the
+//! private L2, both TLBs, the stream-buffer prefetcher, and the per-thread
+//! long-latency serialization state. Every access that misses the private
+//! levels is presented to a [`SharedLlc`] borrowed from the caller — the
+//! single-core machine owns one exclusively (via the [`MemoryHierarchy`]
+//! facade, which preserves the pre-split API bit-for-bit), while a chip
+//! passes the same shared level to all of its cores each cycle.
 
 use smt_types::{SmtConfig, ThreadId};
 
 use crate::cache::SetAssocCache;
-use crate::mshr::{MshrFile, MshrOutcome};
+use crate::mshr::MshrOutcome;
 use crate::prefetch::StreamBufferPrefetcher;
+use crate::shared::SharedLlc;
 use crate::tlb::TlbFile;
 
 /// Deepest level that had to service a data access.
@@ -14,11 +25,11 @@ pub enum AccessLevel {
     L1,
     /// Satisfied by an in-flight or completed stream-buffer prefetch.
     Prefetch,
-    /// Unified L2 hit.
+    /// Unified (core-private) L2 hit.
     L2,
-    /// Unified L3 hit.
+    /// Shared last-level cache hit (the single-core machine's L3).
     L3,
-    /// Off-chip main memory access (an L3 miss).
+    /// Off-chip main memory access (an LLC miss).
     Memory,
 }
 
@@ -39,7 +50,7 @@ pub struct LoadAccessResult {
     pub l2_miss: bool,
     /// Whether the access was (fully or partially) covered by the prefetcher.
     pub prefetch_hit: bool,
-    /// The paper's long-latency load definition: an L3 load miss or a D-TLB miss.
+    /// The paper's long-latency load definition: an LLC load miss or a D-TLB miss.
     pub long_latency: bool,
 }
 
@@ -50,40 +61,41 @@ impl LoadAccessResult {
     }
 }
 
-/// The full data/instruction memory hierarchy of Table IV.
+/// The core-private memory levels of Table IV: L1 caches, private L2, TLBs,
+/// prefetcher, and per-thread long-latency serialization state.
 ///
-/// Caches are shared between SMT threads (so threads compete for capacity), while
-/// MSHRs, TLBs and stream buffers are effectively per thread. Thread address
-/// spaces are kept disjoint by folding the thread id into the physical address.
+/// L1/L2 capacity is shared between the SMT threads of the core (threads
+/// compete), while TLBs, MSHR slots and stream buffers are effectively per
+/// thread. Thread (and core) address spaces are kept disjoint by folding the
+/// chip-wide requester id into the physical address.
 #[derive(Clone, Debug)]
-pub struct MemoryHierarchy {
+pub struct CoreMemory {
     l1i: SetAssocCache,
     l1d: SetAssocCache,
     l2: SetAssocCache,
-    l3: SetAssocCache,
     itlb: TlbFile,
     dtlb: TlbFile,
     prefetcher: StreamBufferPrefetcher,
-    mshrs: MshrFile,
     memory_latency: u64,
     serialize_long_latency: bool,
     last_lll_completion: Vec<u64>,
     line_bytes: u64,
+    /// First chip-wide requester id of this core (`core_id * num_threads`).
+    requester_base: usize,
 }
 
-impl MemoryHierarchy {
-    /// Builds the hierarchy described by `config`.
+impl CoreMemory {
+    /// Builds the private levels of core `core_id` described by `config`.
     ///
     /// # Panics
     ///
     /// Panics if the configuration does not validate.
-    pub fn new(config: &SmtConfig) -> Self {
+    pub fn new(config: &SmtConfig, core_id: usize) -> Self {
         config.validate().expect("invalid SMT configuration");
-        MemoryHierarchy {
+        CoreMemory {
             l1i: SetAssocCache::new(&config.l1i),
             l1d: SetAssocCache::new(&config.l1d),
             l2: SetAssocCache::new(&config.l2),
-            l3: SetAssocCache::new(&config.l3),
             itlb: TlbFile::new(&config.itlb, config.num_threads),
             dtlb: TlbFile::new(&config.dtlb, config.num_threads),
             prefetcher: StreamBufferPrefetcher::new(
@@ -91,24 +103,32 @@ impl MemoryHierarchy {
                 config.l1d.line_bytes as u64,
                 config.memory_latency,
             ),
-            mshrs: MshrFile::new(config.num_threads, config.max_outstanding_misses as usize),
             memory_latency: config.memory_latency,
             serialize_long_latency: config.serialize_long_latency_loads,
             last_lll_completion: vec![0; config.num_threads],
             line_bytes: config.l1d.line_bytes as u64,
+            requester_base: core_id * config.num_threads,
         }
     }
 
-    /// Folds the thread id into the address so that thread address spaces never
-    /// alias (each synthetic benchmark has its own virtual address space).
+    /// Chip-wide requester id of `thread` on this core (MSHR slot index).
+    fn requester(&self, thread: ThreadId) -> usize {
+        self.requester_base + thread.index()
+    }
+
+    /// Folds the requester id into the address so that thread (and core)
+    /// address spaces never alias (each synthetic benchmark has its own
+    /// virtual address space).
     fn physical(&self, thread: ThreadId, addr: u64) -> u64 {
-        addr ^ ((thread.index() as u64) << 44)
+        addr ^ ((self.requester(thread) as u64) << 44)
     }
 
     /// Performs a data load issued by the static load at `pc` at `cycle` and
-    /// returns its timing/classification.
+    /// returns its timing/classification. Misses below the private L2 are
+    /// serviced by `shared`.
     pub fn load_access(
         &mut self,
+        shared: &mut SharedLlc,
         thread: ThreadId,
         pc: u64,
         addr: u64,
@@ -161,27 +181,38 @@ impl MemoryHierarchy {
         }
         result.l2_miss = true;
 
-        if self.l3.access(paddr) {
-            result.latency = latency + self.l3.latency();
+        if shared.access(paddr) {
+            result.latency = latency + shared.latency();
             result.level = AccessLevel::L3;
             self.l2.fill(paddr);
             self.l1d.fill(paddr);
             return self.finish_serialized(thread, result);
         }
 
-        // Off-chip access: a long-latency load by the paper's definition.
+        // Off-chip access: a long-latency load by the paper's definition. The
+        // transfer contends for the shared memory bus (free on the
+        // single-core machine's unlimited bus).
         result.level = AccessLevel::Memory;
         result.long_latency = true;
         let line = paddr / self.line_bytes;
-        let nominal_completion = cycle + latency + self.memory_latency;
-        let completion = match self.mshrs.request(thread, line, cycle, nominal_completion) {
-            MshrOutcome::Allocated => nominal_completion,
-            MshrOutcome::Merged(done) => done.max(cycle + self.l2.latency()),
-            MshrOutcome::Full(soonest) => soonest.max(cycle) + self.memory_latency,
-        };
+        let congestion = shared.queue_delay();
+        let nominal_completion = cycle + latency + self.memory_latency + congestion;
+        let completion =
+            match shared.mshr_request(self.requester(thread), line, cycle, nominal_completion) {
+                MshrOutcome::Allocated => {
+                    shared.register_transfer(nominal_completion);
+                    nominal_completion
+                }
+                MshrOutcome::Merged(done) => done.max(cycle + self.l2.latency()),
+                MshrOutcome::Full(soonest) => {
+                    let serialized = soonest.max(cycle) + self.memory_latency + congestion;
+                    shared.register_transfer(serialized);
+                    serialized
+                }
+            };
         result.latency = completion.saturating_sub(cycle).max(1);
         self.prefetcher.on_demand_miss(thread, pc, paddr, cycle);
-        self.l3.fill(paddr);
+        shared.fill(paddr);
         self.l2.fill(paddr);
         self.l1d.fill(paddr);
         self.finish_serialized(thread, result)
@@ -213,19 +244,31 @@ impl MemoryHierarchy {
 
     /// Performs a store for cache-content purposes (write-allocate, no timing: store
     /// latency is hidden behind the write buffer at commit).
-    pub fn store_access(&mut self, thread: ThreadId, addr: u64, _cycle: u64) {
+    pub fn store_access(
+        &mut self,
+        shared: &mut SharedLlc,
+        thread: ThreadId,
+        addr: u64,
+        _cycle: u64,
+    ) {
         let paddr = self.physical(thread, addr);
         let _ = self.dtlb.access(thread.index(), paddr);
         if !self.l1d.access(paddr) {
             self.l1d.fill(paddr);
             self.l2.fill(paddr);
-            self.l3.fill(paddr);
+            shared.fill(paddr);
         }
     }
 
     /// Instruction fetch of the line containing `pc`; returns the fetch latency in
     /// cycles (1 on an L1 I-cache hit).
-    pub fn fetch_access(&mut self, thread: ThreadId, pc: u64, _cycle: u64) -> u64 {
+    pub fn fetch_access(
+        &mut self,
+        shared: &mut SharedLlc,
+        thread: ThreadId,
+        pc: u64,
+        cycle: u64,
+    ) -> u64 {
         let paddr = self.physical(thread, pc);
         let _ = self.itlb.access(thread.index(), paddr);
         if self.l1i.access(paddr) {
@@ -235,15 +278,17 @@ impl MemoryHierarchy {
             self.l1i.fill(paddr);
             return self.l2.latency();
         }
-        if self.l3.access(paddr) {
+        if shared.access(paddr) {
             self.l2.fill(paddr);
             self.l1i.fill(paddr);
-            return self.l3.latency();
+            return shared.latency();
         }
-        self.l3.fill(paddr);
+        shared.fill(paddr);
         self.l2.fill(paddr);
         self.l1i.fill(paddr);
-        self.memory_latency
+        let latency = self.memory_latency + shared.queue_delay();
+        shared.register_transfer(cycle + latency);
+        latency
     }
 
     /// Number of data prefetches issued so far.
@@ -261,19 +306,87 @@ impl MemoryHierarchy {
         self.l1d.hit_rate()
     }
 
-    /// Clears all cache, TLB, MSHR and prefetcher state.
+    /// Clears all private cache, TLB and prefetcher state.
     pub fn reset(&mut self) {
         self.l1i.flush_all();
         self.l1d.flush_all();
         self.l2.flush_all();
-        self.l3.flush_all();
         self.itlb.flush_all();
         self.dtlb.flush_all();
         self.prefetcher.reset();
-        self.mshrs.reset();
         for c in &mut self.last_lll_completion {
             *c = 0;
         }
+    }
+}
+
+/// The fused single-core memory hierarchy of Table IV: one core's private
+/// levels plus an exclusively owned shared level. This facade preserves the
+/// pre-split API (and behaviour, bit for bit) for the single-core machine
+/// and for tests; the chip simulator composes [`CoreMemory`] and
+/// [`SharedLlc`] directly instead.
+#[derive(Clone, Debug)]
+pub struct MemoryHierarchy {
+    core: CoreMemory,
+    shared: SharedLlc,
+}
+
+impl MemoryHierarchy {
+    /// Builds the hierarchy described by `config`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn new(config: &SmtConfig) -> Self {
+        MemoryHierarchy {
+            core: CoreMemory::new(config, 0),
+            shared: SharedLlc::single_core(config),
+        }
+    }
+
+    /// Performs a data load issued by the static load at `pc` at `cycle` and
+    /// returns its timing/classification.
+    pub fn load_access(
+        &mut self,
+        thread: ThreadId,
+        pc: u64,
+        addr: u64,
+        cycle: u64,
+    ) -> LoadAccessResult {
+        self.core
+            .load_access(&mut self.shared, thread, pc, addr, cycle)
+    }
+
+    /// Performs a store for cache-content purposes.
+    pub fn store_access(&mut self, thread: ThreadId, addr: u64, cycle: u64) {
+        self.core
+            .store_access(&mut self.shared, thread, addr, cycle);
+    }
+
+    /// Instruction fetch of the line containing `pc`; returns the fetch latency.
+    pub fn fetch_access(&mut self, thread: ThreadId, pc: u64, cycle: u64) -> u64 {
+        self.core.fetch_access(&mut self.shared, thread, pc, cycle)
+    }
+
+    /// Number of data prefetches issued so far.
+    pub fn prefetches_issued(&self) -> u64 {
+        self.core.prefetches_issued()
+    }
+
+    /// Number of demand misses covered by the prefetcher so far.
+    pub fn prefetch_hits(&self) -> u64 {
+        self.core.prefetch_hits()
+    }
+
+    /// L1 data-cache hit rate so far.
+    pub fn l1d_hit_rate(&self) -> f64 {
+        self.core.l1d_hit_rate()
+    }
+
+    /// Clears all cache, TLB, MSHR and prefetcher state.
+    pub fn reset(&mut self) {
+        self.core.reset();
+        self.shared.reset();
     }
 }
 
@@ -304,7 +417,7 @@ mod tests {
     fn independent_misses_overlap_via_mshrs() {
         let mut m = hierarchy();
         let t = ThreadId::new(0);
-        // Warm the two pages so the later misses are pure L3 misses (no TLB walk).
+        // Warm the two pages so the later misses are pure LLC misses (no TLB walk).
         let w0 = m.load_access(t, 0x40, 0x1_000_000, 0);
         let w1 = m.load_access(t, 0x48, 0x2_000_000, 1);
         let start = w0.completion_cycle().max(w1.completion_cycle()) + 1;
@@ -363,6 +476,55 @@ mod tests {
         // Thread 1 touching the "same" virtual address must still be a cold miss.
         let b = m.load_access(ThreadId::new(1), 0x40, 0x500_000, a.completion_cycle() + 1);
         assert_eq!(b.level, AccessLevel::Memory);
+    }
+
+    #[test]
+    fn cores_have_disjoint_address_spaces() {
+        // Two cores sharing one LLC: the same virtual address on different
+        // cores maps to different physical lines.
+        let chip = smt_types::ChipConfig::baseline(2, 2);
+        let mut shared = SharedLlc::for_chip(&chip);
+        let mut core0 = CoreMemory::new(&chip.core, 0);
+        let mut core1 = CoreMemory::new(&chip.core, 1);
+        let t = ThreadId::new(0);
+        shared.begin_cycle(0);
+        let a = core0.load_access(&mut shared, t, 0x40, 0x500_000, 0);
+        shared.end_cycle();
+        assert_eq!(a.level, AccessLevel::Memory);
+        let start = a.completion_cycle() + 1;
+        shared.begin_cycle(start);
+        let b = core1.load_access(&mut shared, t, 0x40, 0x500_000, start);
+        shared.end_cycle();
+        assert_eq!(b.level, AccessLevel::Memory);
+    }
+
+    #[test]
+    fn bus_contention_slows_cross_core_misses() {
+        // With a contended bus, a second core's off-chip miss issued the
+        // cycle after another transfer went in flight pays queueing delay.
+        let chip = smt_types::ChipConfig::baseline(2, 2).with_bus_bytes_per_cycle(8);
+        let mut shared = SharedLlc::for_chip(&chip);
+        let mut core0 = CoreMemory::new(&chip.core, 0);
+        let mut core1 = CoreMemory::new(&chip.core, 1);
+        let t = ThreadId::new(0);
+        // Warm both pages so the timed misses below have no TLB component.
+        shared.begin_cycle(0);
+        let w0 = core0.load_access(&mut shared, t, 0x40, 0x1_000_000, 0);
+        let w1 = core1.load_access(&mut shared, t, 0x40, 0x2_000_000, 0);
+        shared.end_cycle();
+        let start = w0.completion_cycle().max(w1.completion_cycle()) + 1;
+        shared.begin_cycle(start);
+        let a = core0.load_access(&mut shared, t, 0x50, 0x1_000_100, start);
+        shared.end_cycle();
+        shared.begin_cycle(start + 1);
+        let b = core1.load_access(&mut shared, t, 0x50, 0x2_000_100, start + 1);
+        shared.end_cycle();
+        assert_eq!(a.latency, chip.core.memory_latency);
+        assert_eq!(
+            b.latency,
+            chip.core.memory_latency + chip.bus.transfer_cycles(64),
+            "second transfer should queue behind the first"
+        );
     }
 
     #[test]

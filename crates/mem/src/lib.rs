@@ -10,8 +10,11 @@
 //! * a stream-buffer hardware prefetcher guided by a PC-indexed stride predictor
 //!   with allocation confidence ([`prefetch`]),
 //! * an 8-entry write buffer drained at commit ([`write_buffer`]),
-//! * the composed [`hierarchy::MemoryHierarchy`] that the pipeline queries for load
-//!   and fetch latencies.
+//! * the chip-shared bottom level — LLC, LLC MSHRs, memory bus — with its
+//!   order-invariant multi-core arbitration discipline ([`shared`]),
+//! * the per-core private levels ([`hierarchy::CoreMemory`]) and the composed
+//!   single-core [`hierarchy::MemoryHierarchy`] facade that the pipeline
+//!   queries for load and fetch latencies.
 //!
 //! # Example
 //!
@@ -38,12 +41,14 @@ pub mod cache;
 pub mod hierarchy;
 pub mod mshr;
 pub mod prefetch;
+pub mod shared;
 pub mod tlb;
 pub mod write_buffer;
 
 pub use cache::SetAssocCache;
-pub use hierarchy::{AccessLevel, LoadAccessResult, MemoryHierarchy};
+pub use hierarchy::{AccessLevel, CoreMemory, LoadAccessResult, MemoryHierarchy};
 pub use mshr::MshrFile;
 pub use prefetch::StreamBufferPrefetcher;
+pub use shared::{MemoryBus, SharedLlc};
 pub use tlb::{Tlb, TlbFile};
 pub use write_buffer::WriteBuffer;

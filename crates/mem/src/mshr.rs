@@ -5,10 +5,13 @@
 //! merge into the existing entry, and independent misses proceed in parallel as
 //! long as free MSHRs remain. The paper assumes the processor has enough MSHRs for
 //! the ROB-limited MLP; the default configuration provides 32 per thread.
+//!
+//! Entries are tracked per *requester*: on the single-core machine a
+//! requester is a hardware thread; on a chip a requester is one `(core,
+//! thread)` slot, so the file also bounds each core's outstanding misses at
+//! the shared LLC.
 
 use std::collections::HashMap;
-
-use smt_types::ThreadId;
 
 /// Outcome of presenting a miss to the MSHR file.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -23,19 +26,17 @@ pub enum MshrOutcome {
     Full(u64),
 }
 
-/// A per-thread file of miss status handling registers.
+/// A per-requester file of miss status handling registers.
 ///
 /// # Example
 ///
 /// ```
 /// use smt_mem::MshrFile;
-/// use smt_types::ThreadId;
 ///
 /// let mut mshrs = MshrFile::new(2, 4);
-/// let t = ThreadId::new(0);
-/// assert!(matches!(mshrs.request(t, 0x1000, 100, 450), smt_mem::mshr::MshrOutcome::Allocated));
+/// assert!(matches!(mshrs.request(0, 0x1000, 100, 450), smt_mem::mshr::MshrOutcome::Allocated));
 /// // A second access to the same line merges with the outstanding miss.
-/// assert!(matches!(mshrs.request(t, 0x1000, 120, 470), smt_mem::mshr::MshrOutcome::Merged(450)));
+/// assert!(matches!(mshrs.request(0, 0x1000, 120, 470), smt_mem::mshr::MshrOutcome::Merged(450)));
 /// ```
 #[derive(Clone, Debug)]
 pub struct MshrFile {
@@ -44,17 +45,18 @@ pub struct MshrFile {
 }
 
 impl MshrFile {
-    /// Creates an MSHR file with `capacity` entries for each of `num_threads`
-    /// threads.
+    /// Creates an MSHR file with `capacity` entries for each of
+    /// `num_requesters` requesters (threads, or `(core, thread)` slots on a
+    /// chip).
     ///
     /// # Panics
     ///
     /// Panics if `capacity` is zero.
-    pub fn new(num_threads: usize, capacity: usize) -> Self {
+    pub fn new(num_requesters: usize, capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         MshrFile {
             capacity,
-            outstanding: vec![HashMap::new(); num_threads],
+            outstanding: vec![HashMap::new(); num_requesters],
         }
     }
 
@@ -62,13 +64,13 @@ impl MshrFile {
     /// entry is allocated it will complete at `completion`.
     pub fn request(
         &mut self,
-        thread: ThreadId,
+        requester: usize,
         line_addr: u64,
         now: u64,
         completion: u64,
     ) -> MshrOutcome {
-        self.retire_completed(thread, now);
-        let map = &mut self.outstanding[thread.index()];
+        self.retire_completed(requester, now);
+        let map = &mut self.outstanding[requester];
         if let Some(&done) = map.get(&line_addr) {
             return MshrOutcome::Merged(done);
         }
@@ -81,19 +83,19 @@ impl MshrFile {
     }
 
     /// Removes entries whose miss has completed by `now`.
-    pub fn retire_completed(&mut self, thread: ThreadId, now: u64) {
-        self.outstanding[thread.index()].retain(|_, &mut done| done > now);
+    pub fn retire_completed(&mut self, requester: usize, now: u64) {
+        self.outstanding[requester].retain(|_, &mut done| done > now);
     }
 
-    /// Number of misses outstanding for `thread` at `now`.
-    pub fn outstanding_count(&mut self, thread: ThreadId, now: u64) -> usize {
-        self.retire_completed(thread, now);
-        self.outstanding[thread.index()].len()
+    /// Number of misses outstanding for `requester` at `now`.
+    pub fn outstanding_count(&mut self, requester: usize, now: u64) -> usize {
+        self.retire_completed(requester, now);
+        self.outstanding[requester].len()
     }
 
     /// Completion cycle of the latest-finishing outstanding miss, if any.
-    pub fn latest_completion(&self, thread: ThreadId) -> Option<u64> {
-        self.outstanding[thread.index()].values().copied().max()
+    pub fn latest_completion(&self, requester: usize) -> Option<u64> {
+        self.outstanding[requester].values().copied().max()
     }
 
     /// Clears all outstanding state (between runs).
@@ -111,45 +113,40 @@ mod tests {
     #[test]
     fn allocate_merge_full() {
         let mut m = MshrFile::new(1, 2);
-        let t = ThreadId::new(0);
-        assert_eq!(m.request(t, 0x40, 0, 350), MshrOutcome::Allocated);
-        assert_eq!(m.request(t, 0x40, 10, 360), MshrOutcome::Merged(350));
-        assert_eq!(m.request(t, 0x80, 10, 360), MshrOutcome::Allocated);
-        assert_eq!(m.request(t, 0xc0, 20, 370), MshrOutcome::Full(350));
+        assert_eq!(m.request(0, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.request(0, 0x40, 10, 360), MshrOutcome::Merged(350));
+        assert_eq!(m.request(0, 0x80, 10, 360), MshrOutcome::Allocated);
+        assert_eq!(m.request(0, 0xc0, 20, 370), MshrOutcome::Full(350));
     }
 
     #[test]
     fn completed_entries_retire() {
         let mut m = MshrFile::new(1, 1);
-        let t = ThreadId::new(0);
-        assert_eq!(m.request(t, 0x40, 0, 100), MshrOutcome::Allocated);
+        assert_eq!(m.request(0, 0x40, 0, 100), MshrOutcome::Allocated);
         // At cycle 100 the miss is done, so a new miss can allocate.
-        assert_eq!(m.request(t, 0x80, 100, 450), MshrOutcome::Allocated);
-        assert_eq!(m.outstanding_count(t, 100), 1);
-        assert_eq!(m.outstanding_count(t, 450), 0);
+        assert_eq!(m.request(0, 0x80, 100, 450), MshrOutcome::Allocated);
+        assert_eq!(m.outstanding_count(0, 100), 1);
+        assert_eq!(m.outstanding_count(0, 450), 0);
     }
 
     #[test]
-    fn threads_are_independent() {
+    fn requesters_are_independent() {
         let mut m = MshrFile::new(2, 1);
-        let t0 = ThreadId::new(0);
-        let t1 = ThreadId::new(1);
-        assert_eq!(m.request(t0, 0x40, 0, 350), MshrOutcome::Allocated);
-        assert_eq!(m.request(t1, 0x40, 0, 350), MshrOutcome::Allocated);
-        assert_eq!(m.outstanding_count(t0, 10), 1);
-        assert_eq!(m.outstanding_count(t1, 10), 1);
+        assert_eq!(m.request(0, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.request(1, 0x40, 0, 350), MshrOutcome::Allocated);
+        assert_eq!(m.outstanding_count(0, 10), 1);
+        assert_eq!(m.outstanding_count(1, 10), 1);
     }
 
     #[test]
     fn latest_completion_tracks_max() {
         let mut m = MshrFile::new(1, 4);
-        let t = ThreadId::new(0);
-        m.request(t, 0x40, 0, 350);
-        m.request(t, 0x80, 5, 500);
-        m.request(t, 0xc0, 7, 420);
-        assert_eq!(m.latest_completion(t), Some(500));
+        m.request(0, 0x40, 0, 350);
+        m.request(0, 0x80, 5, 500);
+        m.request(0, 0xc0, 7, 420);
+        assert_eq!(m.latest_completion(0), Some(500));
         m.reset();
-        assert_eq!(m.latest_completion(t), None);
+        assert_eq!(m.latest_completion(0), None);
     }
 
     #[test]

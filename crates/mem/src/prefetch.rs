@@ -2,7 +2,7 @@
 //!
 //! The baseline processor of the paper (Table IV) includes "8 stream buffers, 8
 //! entries each, with a stride predictor" allocated using the confidence scheme of
-//! Sherwood et al. [2000]. This module reproduces that design:
+//! Sherwood et al. (2000). This module reproduces that design:
 //!
 //! * a 2K-entry, load-PC indexed stride table records the last address and stride
 //!   of each static load and a saturating confidence counter;

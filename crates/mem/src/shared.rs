@@ -1,0 +1,368 @@
+//! The chip-shared memory levels: last-level cache, LLC MSHRs, and the
+//! off-chip memory bus.
+//!
+//! On the paper's single-core machine these structures sit at the bottom of
+//! [`crate::hierarchy::MemoryHierarchy`] and are private to the one core. On
+//! a chip ([`smt_types::ChipConfig`]) every core's private levels
+//! ([`crate::hierarchy::CoreMemory`]) miss into one [`SharedLlc`]: cores
+//! compete for LLC capacity, per-`(core, thread)` MSHR slots bound each
+//! requester's outstanding misses, and the [`MemoryBus`] charges queueing
+//! delay per in-flight line transfer.
+//!
+//! # Arbitration disciplines
+//!
+//! The shared level supports two disciplines:
+//!
+//! * **Legacy (single requester domain)** — LRU is stamped with an internal
+//!   access tick and fills take effect immediately, exactly the behaviour of
+//!   the original fused hierarchy. Used by the single-core machine (and
+//!   one-core chips) so its results stay bit-for-bit identical.
+//! * **Chip arbitration** — every access of one chip cycle carries the same
+//!   LRU stamp (the cycle number), fills are staged and applied once per
+//!   cycle in a canonical order, and bus congestion is frozen at the start of
+//!   the cycle. Together with per-core-disjoint physical address spaces this
+//!   makes chip results independent of the order cores are stepped in within
+//!   a cycle.
+
+use smt_types::{ChipConfig, SmtConfig};
+
+use crate::cache::SetAssocCache;
+use crate::mshr::{MshrFile, MshrOutcome};
+
+/// The shared off-chip memory bus: each in-flight line transfer adds one bus
+/// occupancy of queueing delay to newly issued transfers.
+///
+/// The congestion seen by a request is the number of transfers in flight at
+/// the *start* of the current cycle, so same-cycle requests from different
+/// cores observe the same congestion no matter which core is serviced first.
+#[derive(Clone, Debug)]
+pub struct MemoryBus {
+    /// Cycles one line transfer occupies the bus (0 = unlimited bandwidth).
+    transfer_cycles: u64,
+    /// Completion cycles of in-flight transfers.
+    inflight: Vec<u64>,
+    /// Number of transfers in flight at the start of the current cycle.
+    frozen: u64,
+}
+
+impl MemoryBus {
+    /// Builds the bus for `config` with the chip's cache-line size.
+    pub fn new(config: smt_types::BusConfig, line_bytes: u64) -> Self {
+        MemoryBus {
+            transfer_cycles: config.transfer_cycles(line_bytes),
+            inflight: Vec::new(),
+            frozen: 0,
+        }
+    }
+
+    /// Whether the bus models any contention.
+    pub fn is_unlimited(&self) -> bool {
+        self.transfer_cycles == 0
+    }
+
+    /// Starts a new cycle: retires finished transfers and freezes the
+    /// congestion count every request of this cycle will observe.
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        if self.transfer_cycles == 0 {
+            return;
+        }
+        self.inflight.retain(|&done| done > cycle);
+        self.frozen = self.inflight.len() as u64;
+    }
+
+    /// Queueing delay (in cycles) a transfer issued this cycle pays.
+    pub fn queue_delay(&self) -> u64 {
+        self.frozen * self.transfer_cycles
+    }
+
+    /// Records a newly issued transfer completing at `completion`.
+    pub fn register(&mut self, completion: u64) {
+        if self.transfer_cycles > 0 {
+            self.inflight.push(completion);
+        }
+    }
+
+    /// Number of transfers currently tracked as in flight.
+    pub fn inflight_transfers(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Clears all in-flight state.
+    pub fn reset(&mut self) {
+        self.inflight.clear();
+        self.frozen = 0;
+    }
+}
+
+/// The shared last-level cache, its MSHR file, and the memory bus.
+#[derive(Clone, Debug)]
+pub struct SharedLlc {
+    llc: SetAssocCache,
+    mshrs: MshrFile,
+    bus: MemoryBus,
+    memory_latency: u64,
+    line_bytes: u64,
+    /// `true`: cycle-stamped, staged-fill chip arbitration; `false`: the
+    /// legacy synchronous single-core discipline.
+    chip_arbitration: bool,
+    /// Current cycle (chip arbitration only).
+    cycle: u64,
+    /// Line ids staged for fill at the end of the current cycle.
+    staged: Vec<u64>,
+}
+
+impl SharedLlc {
+    /// The shared level of the paper's single-core machine: the `config.l3`
+    /// cache, per-thread MSHRs, an uncontended bus, and the legacy
+    /// synchronous discipline.
+    pub fn single_core(config: &SmtConfig) -> Self {
+        SharedLlc {
+            llc: SetAssocCache::new(&config.l3),
+            mshrs: MshrFile::new(config.num_threads, config.max_outstanding_misses as usize),
+            bus: MemoryBus::new(
+                smt_types::BusConfig::unlimited(),
+                config.l1d.line_bytes as u64,
+            ),
+            memory_latency: config.memory_latency,
+            line_bytes: config.l1d.line_bytes as u64,
+            chip_arbitration: false,
+            cycle: 0,
+            staged: Vec::new(),
+        }
+    }
+
+    /// The shared level of a chip: the `shared_llc` cache, one MSHR slot set
+    /// per `(core, thread)` requester, the configured bus, and (for
+    /// multi-core chips) the order-invariant chip arbitration discipline.
+    ///
+    /// A one-core chip keeps the legacy discipline so that `num_cores == 1`
+    /// is bit-for-bit the single-core machine.
+    pub fn for_chip(chip: &ChipConfig) -> Self {
+        SharedLlc {
+            llc: SetAssocCache::new(&chip.shared_llc),
+            mshrs: MshrFile::new(
+                chip.total_threads(),
+                chip.core.max_outstanding_misses as usize,
+            ),
+            bus: MemoryBus::new(chip.bus, chip.core.l1d.line_bytes as u64),
+            memory_latency: chip.core.memory_latency,
+            line_bytes: chip.core.l1d.line_bytes as u64,
+            chip_arbitration: chip.num_cores > 1,
+            cycle: 0,
+            staged: Vec::new(),
+        }
+    }
+
+    /// Hit latency of the shared LLC.
+    pub fn latency(&self) -> u64 {
+        self.llc.latency()
+    }
+
+    /// Off-chip main-memory latency (excluding bus queueing).
+    pub fn memory_latency(&self) -> u64 {
+        self.memory_latency
+    }
+
+    /// Whether the chip arbitration discipline is active.
+    pub fn chip_arbitration(&self) -> bool {
+        self.chip_arbitration
+    }
+
+    /// Starts a chip cycle: freezes bus congestion and sets the LRU stamp.
+    /// The single-core pipeline never calls this (its discipline has no
+    /// per-cycle shared state).
+    pub fn begin_cycle(&mut self, cycle: u64) {
+        self.cycle = cycle;
+        self.bus.begin_cycle(cycle);
+    }
+
+    /// Ends a chip cycle: applies the staged fills in canonical (sorted line
+    /// id) order, which makes the resulting LLC state a pure function of the
+    /// *set* of lines filled this cycle rather than of core stepping order.
+    pub fn end_cycle(&mut self) {
+        if self.staged.is_empty() {
+            return;
+        }
+        let stamp = self.cycle + 1;
+        let mut staged = std::mem::take(&mut self.staged);
+        staged.sort_unstable();
+        staged.dedup();
+        for &line in &staged {
+            self.llc.fill_stamped(line * self.line_bytes, stamp);
+        }
+        staged.clear();
+        self.staged = staged;
+    }
+
+    /// Looks up `addr` in the shared LLC, returning `true` on a hit. Lines
+    /// staged for fill this cycle count as present — and as hits in the
+    /// counters — since they can only belong to the requesting core
+    /// (physical address spaces are disjoint per core). A line is never both
+    /// installed and staged, so the staged check can run first.
+    pub fn access(&mut self, addr: u64) -> bool {
+        if !self.chip_arbitration {
+            return self.llc.access(addr);
+        }
+        if self.staged.contains(&(addr / self.line_bytes)) {
+            self.llc.record_external_hit();
+            return true;
+        }
+        self.llc.access_stamped(addr, self.cycle + 1)
+    }
+
+    /// Installs (or refreshes) the line containing `addr`: immediately under
+    /// the legacy discipline, staged until [`SharedLlc::end_cycle`] under
+    /// chip arbitration.
+    pub fn fill(&mut self, addr: u64) {
+        if !self.chip_arbitration {
+            self.llc.fill(addr);
+            return;
+        }
+        if self.llc.probe(addr) {
+            // Present: refresh the stamp without staging a duplicate install.
+            self.llc.fill_stamped(addr, self.cycle + 1);
+            return;
+        }
+        let line = addr / self.line_bytes;
+        if !self.staged.contains(&line) {
+            self.staged.push(line);
+        }
+    }
+
+    /// Presents an off-chip miss to the LLC MSHR file (see
+    /// [`MshrFile::request`]).
+    pub fn mshr_request(
+        &mut self,
+        requester: usize,
+        line_addr: u64,
+        now: u64,
+        completion: u64,
+    ) -> MshrOutcome {
+        self.mshrs.request(requester, line_addr, now, completion)
+    }
+
+    /// Bus queueing delay a transfer issued this cycle pays.
+    pub fn queue_delay(&self) -> u64 {
+        self.bus.queue_delay()
+    }
+
+    /// Records a newly issued off-chip transfer completing at `completion`.
+    pub fn register_transfer(&mut self, completion: u64) {
+        self.bus.register(completion);
+    }
+
+    /// LLC hit rate so far.
+    pub fn llc_hit_rate(&self) -> f64 {
+        self.llc.hit_rate()
+    }
+
+    /// Clears all LLC, MSHR, bus and staging state.
+    pub fn reset(&mut self) {
+        self.llc.flush_all();
+        self.mshrs.reset();
+        self.bus.reset();
+        self.staged.clear();
+        self.cycle = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_types::BusConfig;
+
+    #[test]
+    fn unlimited_bus_is_free() {
+        let mut bus = MemoryBus::new(BusConfig::unlimited(), 64);
+        assert!(bus.is_unlimited());
+        bus.begin_cycle(0);
+        assert_eq!(bus.queue_delay(), 0);
+        bus.register(400);
+        assert_eq!(bus.inflight_transfers(), 0);
+    }
+
+    #[test]
+    fn contended_bus_charges_per_inflight_transfer() {
+        let mut bus = MemoryBus::new(BusConfig::contended(), 64);
+        bus.begin_cycle(0);
+        assert_eq!(bus.queue_delay(), 0);
+        bus.register(350);
+        bus.register(360);
+        // Congestion is frozen at cycle start: still free this cycle.
+        assert_eq!(bus.queue_delay(), 0);
+        bus.begin_cycle(1);
+        assert_eq!(bus.queue_delay(), 2 * 4);
+        // Finished transfers retire.
+        bus.begin_cycle(355);
+        assert_eq!(bus.queue_delay(), 4);
+        bus.begin_cycle(361);
+        assert_eq!(bus.queue_delay(), 0);
+    }
+
+    #[test]
+    fn legacy_discipline_matches_plain_cache() {
+        let config = SmtConfig::baseline(2);
+        let mut shared = SharedLlc::single_core(&config);
+        assert!(!shared.chip_arbitration());
+        assert!(!shared.access(0x40));
+        shared.fill(0x40);
+        assert!(shared.access(0x40));
+        assert_eq!(shared.latency(), config.l3.latency);
+        assert_eq!(shared.memory_latency(), config.memory_latency);
+    }
+
+    #[test]
+    fn chip_arbitration_stages_fills_until_end_of_cycle() {
+        let chip = ChipConfig::baseline(2, 2);
+        let mut shared = SharedLlc::for_chip(&chip);
+        assert!(shared.chip_arbitration());
+        shared.begin_cycle(10);
+        assert!(!shared.access(0x40));
+        shared.fill(0x40);
+        // Staged lines read as present within the cycle (and count as hits
+        // in the LLC's counters)...
+        let rate_before = shared.llc_hit_rate();
+        assert!(shared.access(0x40));
+        assert!(shared.llc_hit_rate() > rate_before);
+        shared.end_cycle();
+        // ...and are installed for later cycles.
+        shared.begin_cycle(11);
+        assert!(shared.access(0x44));
+        shared.reset();
+        shared.begin_cycle(12);
+        assert!(!shared.access(0x40));
+    }
+
+    #[test]
+    fn chip_fills_are_order_invariant_within_a_cycle() {
+        let chip = ChipConfig::baseline(2, 2);
+        let mut a = SharedLlc::for_chip(&chip);
+        let mut b = SharedLlc::for_chip(&chip);
+        // Same set of same-cycle fills, opposite arrival order.
+        let lines = [0x1_0000_0000_0040u64, 0x40, 0x2_0000_0000_0040];
+        a.begin_cycle(5);
+        b.begin_cycle(5);
+        for &l in &lines {
+            a.fill(l);
+        }
+        for &l in lines.iter().rev() {
+            b.fill(l);
+        }
+        a.end_cycle();
+        b.end_cycle();
+        a.begin_cycle(6);
+        b.begin_cycle(6);
+        for &l in &lines {
+            assert_eq!(a.access(l), b.access(l), "line {l:#x}");
+            assert!(a.access(l));
+        }
+    }
+
+    #[test]
+    fn one_core_chip_uses_legacy_discipline() {
+        let chip = ChipConfig::baseline(1, 2);
+        let shared = SharedLlc::for_chip(&chip);
+        assert!(!shared.chip_arbitration());
+        assert!(shared.bus.is_unlimited());
+    }
+}

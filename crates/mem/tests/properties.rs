@@ -69,11 +69,10 @@ proptest! {
         lines in prop::collection::vec(0u64..32, 1..100),
     ) {
         let mut mshrs = MshrFile::new(1, capacity);
-        let t = ThreadId::new(0);
         for (i, &line) in lines.iter().enumerate() {
             let now = i as u64 * 3;
-            let _ = mshrs.request(t, line, now, now + 350);
-            prop_assert!(mshrs.outstanding_count(t, now) <= capacity);
+            let _ = mshrs.request(0, line, now, now + 350);
+            prop_assert!(mshrs.outstanding_count(0, now) <= capacity);
         }
     }
 

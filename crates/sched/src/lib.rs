@@ -1,0 +1,384 @@
+//! Thread-to-core allocation policies for the chip-level simulator.
+//!
+//! When a multiprogram workload runs on a CMP of SMT cores, *which threads
+//! share a core* matters as much as the per-core fetch policy: co-located
+//! threads compete for the private L1/L2 and the core's issue bandwidth,
+//! while threads on different cores compete only for the shared LLC and the
+//! memory bus (Navarro et al., *A New Family of Thread to Core Allocation
+//! Policies for an SMT ARM Processor*). A [`ThreadAllocationPolicy`] maps the
+//! workload's threads onto cores at experiment setup:
+//!
+//! * [`RoundRobinAllocation`] — deal threads out one core at a time,
+//! * [`FillFirstAllocation`] — fill each core to capacity before the next
+//!   (cluster),
+//! * [`MlpBalancedAllocation`] — balance the threads' measured MLP intensity
+//!   across cores (greedy longest-processing-time bin balancing), so that
+//!   memory-bound threads spread out instead of saturating one core's MSHRs
+//!   while another core's sit idle. The intensity estimates come from the
+//!   simulator's per-thread MLP predictor machinery via short probe runs.
+//!
+//! All policies are deterministic: ties break on thread order and core id.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use smt_types::SimError;
+
+/// One workload thread as seen by an allocation policy.
+#[derive(Clone, PartialEq, Debug)]
+pub struct ThreadSpec {
+    /// Benchmark name (for reporting).
+    pub benchmark: String,
+    /// MLP intensity estimate: long-latency loads per kilo-instruction times
+    /// measured MLP, from a single-thread probe run. Higher means the thread
+    /// leans harder on the memory system.
+    pub mlp_intensity: f64,
+}
+
+impl ThreadSpec {
+    /// Builds a spec from a benchmark name and its MLP intensity estimate.
+    pub fn new(benchmark: impl Into<String>, mlp_intensity: f64) -> Self {
+        ThreadSpec {
+            benchmark: benchmark.into(),
+            mlp_intensity,
+        }
+    }
+}
+
+/// Which thread-to-core allocation policy to use.
+///
+/// Serializes as the short machine-readable [`AllocationPolicyKind::name`]
+/// (e.g. `"mlp-balanced"`), which is also what spec files and the CLI accept.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum AllocationPolicyKind {
+    /// Deal threads out across cores one at a time (`thread i -> core i % n`).
+    RoundRobin,
+    /// Fill each core to capacity before opening the next (cluster).
+    FillFirst,
+    /// Balance summed MLP intensity across cores (greedy, descending).
+    MlpBalanced,
+}
+
+impl AllocationPolicyKind {
+    /// Every implemented allocation policy, in presentation order.
+    pub const ALL: [AllocationPolicyKind; 3] = [
+        AllocationPolicyKind::RoundRobin,
+        AllocationPolicyKind::FillFirst,
+        AllocationPolicyKind::MlpBalanced,
+    ];
+
+    /// Short machine-readable name used in spec files and result tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            AllocationPolicyKind::RoundRobin => "round-robin",
+            AllocationPolicyKind::FillFirst => "fill-first",
+            AllocationPolicyKind::MlpBalanced => "mlp-balanced",
+        }
+    }
+
+    /// Parses a [`AllocationPolicyKind::name`] string back into a policy.
+    pub fn from_name(name: &str) -> Option<AllocationPolicyKind> {
+        Self::ALL.into_iter().find(|p| p.name() == name)
+    }
+}
+
+serde::named_enum_serde!(AllocationPolicyKind, "allocation policy");
+
+/// Maps workload threads onto the cores of a chip at experiment setup.
+///
+/// The returned assignment is `assignment[core] = thread indices`, covering
+/// every input thread exactly once with exactly `threads_per_core` threads
+/// per core (the chip's cores have a fixed SMT width).
+pub trait ThreadAllocationPolicy {
+    /// Which policy this is (used for reporting).
+    fn kind(&self) -> AllocationPolicyKind;
+
+    /// Allocates `threads` onto `num_cores` cores of `threads_per_core`
+    /// hardware threads each.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidWorkload`] when the thread count does not
+    /// equal `num_cores * threads_per_core`.
+    fn allocate(
+        &self,
+        threads: &[ThreadSpec],
+        num_cores: usize,
+        threads_per_core: usize,
+    ) -> Result<Vec<Vec<usize>>, SimError>;
+
+    /// Human-readable policy name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+fn check_geometry(
+    threads: &[ThreadSpec],
+    num_cores: usize,
+    threads_per_core: usize,
+) -> Result<(), SimError> {
+    if num_cores == 0 || threads_per_core == 0 {
+        return Err(SimError::invalid_workload(
+            "allocation needs at least one core and one thread slot per core",
+        ));
+    }
+    if threads.len() != num_cores * threads_per_core {
+        return Err(SimError::invalid_workload(format!(
+            "allocation needs exactly {} threads for {num_cores} cores x {threads_per_core} \
+             threads, got {}",
+            num_cores * threads_per_core,
+            threads.len()
+        )));
+    }
+    Ok(())
+}
+
+/// Deal threads out across cores one at a time: thread `i` goes to core
+/// `i % num_cores`. Neighbouring workload threads land on different cores.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct RoundRobinAllocation;
+
+impl ThreadAllocationPolicy for RoundRobinAllocation {
+    fn kind(&self) -> AllocationPolicyKind {
+        AllocationPolicyKind::RoundRobin
+    }
+
+    fn allocate(
+        &self,
+        threads: &[ThreadSpec],
+        num_cores: usize,
+        threads_per_core: usize,
+    ) -> Result<Vec<Vec<usize>>, SimError> {
+        check_geometry(threads, num_cores, threads_per_core)?;
+        let mut assignment = vec![Vec::with_capacity(threads_per_core); num_cores];
+        for i in 0..threads.len() {
+            assignment[i % num_cores].push(i);
+        }
+        Ok(assignment)
+    }
+}
+
+/// Fill each core to its SMT capacity before opening the next: thread `i`
+/// goes to core `i / threads_per_core`. Neighbouring workload threads cluster
+/// on the same core.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FillFirstAllocation;
+
+impl ThreadAllocationPolicy for FillFirstAllocation {
+    fn kind(&self) -> AllocationPolicyKind {
+        AllocationPolicyKind::FillFirst
+    }
+
+    fn allocate(
+        &self,
+        threads: &[ThreadSpec],
+        num_cores: usize,
+        threads_per_core: usize,
+    ) -> Result<Vec<Vec<usize>>, SimError> {
+        check_geometry(threads, num_cores, threads_per_core)?;
+        let mut assignment = vec![Vec::with_capacity(threads_per_core); num_cores];
+        for i in 0..threads.len() {
+            assignment[i / threads_per_core].push(i);
+        }
+        Ok(assignment)
+    }
+}
+
+/// Balance summed MLP intensity across cores: threads are taken in
+/// descending intensity order (ties: lower thread index first) and each is
+/// placed on the non-full core with the smallest intensity sum so far (ties:
+/// lowest core id). The classic greedy longest-processing-time heuristic,
+/// fully deterministic.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct MlpBalancedAllocation;
+
+impl ThreadAllocationPolicy for MlpBalancedAllocation {
+    fn kind(&self) -> AllocationPolicyKind {
+        AllocationPolicyKind::MlpBalanced
+    }
+
+    fn allocate(
+        &self,
+        threads: &[ThreadSpec],
+        num_cores: usize,
+        threads_per_core: usize,
+    ) -> Result<Vec<Vec<usize>>, SimError> {
+        check_geometry(threads, num_cores, threads_per_core)?;
+        let mut order: Vec<usize> = (0..threads.len()).collect();
+        // Descending intensity; equal intensities keep workload order. NaN
+        // intensities sort last (a broken probe cannot poison the layout);
+        // the NaN cases are handled explicitly so the comparator is a total
+        // order even for pathological inputs.
+        order.sort_by(|&a, &b| {
+            use std::cmp::Ordering;
+            let (ia, ib) = (threads[a].mlp_intensity, threads[b].mlp_intensity);
+            match (ia.is_nan(), ib.is_nan()) {
+                (true, true) => a.cmp(&b),
+                (true, false) => Ordering::Greater,
+                (false, true) => Ordering::Less,
+                (false, false) => ib
+                    .partial_cmp(&ia)
+                    .expect("non-NaN intensities compare")
+                    .then(a.cmp(&b)),
+            }
+        });
+        let mut assignment = vec![Vec::with_capacity(threads_per_core); num_cores];
+        let mut load = vec![0.0f64; num_cores];
+        for &thread in &order {
+            let core = (0..num_cores)
+                .filter(|&c| assignment[c].len() < threads_per_core)
+                .min_by(|&a, &b| {
+                    load[a]
+                        .partial_cmp(&load[b])
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.cmp(&b))
+                })
+                .expect("geometry check guarantees a free slot");
+            assignment[core].push(thread);
+            let intensity = threads[thread].mlp_intensity;
+            if intensity.is_finite() {
+                load[core] += intensity;
+            }
+        }
+        // Keep each core's slots in workload order so the layout (and the
+        // per-slot trace seeds derived from it) is stable.
+        for core in &mut assignment {
+            core.sort_unstable();
+        }
+        Ok(assignment)
+    }
+}
+
+/// Builds the allocation policy implementation for `kind`.
+pub fn build_allocation_policy(kind: AllocationPolicyKind) -> Box<dyn ThreadAllocationPolicy> {
+    match kind {
+        AllocationPolicyKind::RoundRobin => Box::new(RoundRobinAllocation),
+        AllocationPolicyKind::FillFirst => Box::new(FillFirstAllocation),
+        AllocationPolicyKind::MlpBalanced => Box::new(MlpBalancedAllocation),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn specs(intensities: &[f64]) -> Vec<ThreadSpec> {
+        intensities
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ThreadSpec::new(format!("bench{i}"), v))
+            .collect()
+    }
+
+    fn assert_covers_all(assignment: &[Vec<usize>], n: usize, per_core: usize) {
+        let mut seen: Vec<usize> = assignment.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..n).collect::<Vec<_>>());
+        for core in assignment {
+            assert_eq!(core.len(), per_core);
+        }
+    }
+
+    #[test]
+    fn round_robin_deals_threads_out() {
+        let a = RoundRobinAllocation
+            .allocate(&specs(&[1.0, 2.0, 3.0, 4.0]), 2, 2)
+            .unwrap();
+        assert_eq!(a, vec![vec![0, 2], vec![1, 3]]);
+        assert_covers_all(&a, 4, 2);
+    }
+
+    #[test]
+    fn fill_first_clusters_threads() {
+        let a = FillFirstAllocation
+            .allocate(&specs(&[1.0, 2.0, 3.0, 4.0]), 2, 2)
+            .unwrap();
+        assert_eq!(a, vec![vec![0, 1], vec![2, 3]]);
+        assert_covers_all(&a, 4, 2);
+    }
+
+    #[test]
+    fn mlp_balanced_splits_heavy_threads() {
+        // Two memory monsters and two light threads: each core gets one of
+        // each instead of both monsters sharing one core's MSHRs.
+        let a = MlpBalancedAllocation
+            .allocate(&specs(&[90.0, 100.0, 1.0, 2.0]), 2, 2)
+            .unwrap();
+        assert_covers_all(&a, 4, 2);
+        for core in &a {
+            assert!(
+                core.contains(&0) != core.contains(&1),
+                "heavy threads must not share a core: {a:?}"
+            );
+        }
+        // Thread 1 (heaviest) goes to core 0 first, so thread 0 lands on core 1.
+        assert!(a[0].contains(&1));
+    }
+
+    #[test]
+    fn mlp_balanced_is_deterministic_under_ties() {
+        let threads = specs(&[5.0, 5.0, 5.0, 5.0]);
+        let a = MlpBalancedAllocation.allocate(&threads, 2, 2).unwrap();
+        let b = MlpBalancedAllocation.allocate(&threads, 2, 2).unwrap();
+        assert_eq!(a, b);
+        assert_covers_all(&a, 4, 2);
+        // Ties break on thread order then core id: 0->c0, 1->c1, 2->c0, 3->c1.
+        assert_eq!(a, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn mlp_balanced_survives_nan_intensities() {
+        // NaN intensities sort last: the finite threads are placed first
+        // (heaviest to the emptiest core), the broken probes fill what is
+        // left — and the comparator stays a total order (no sort panic).
+        let a = MlpBalancedAllocation
+            .allocate(&specs(&[3.0, f64::NAN, 5.0, 1.0]), 2, 2)
+            .unwrap();
+        assert_covers_all(&a, 4, 2);
+        // Placement order: 2 (5.0) -> core0, 0 (3.0) -> core1, 3 (1.0) ->
+        // core1, 1 (NaN) -> core0.
+        assert_eq!(a, vec![vec![1, 2], vec![0, 3]]);
+        let b = MlpBalancedAllocation
+            .allocate(&specs(&[f64::NAN, 3.0, 1.0, f64::NAN]), 2, 2)
+            .unwrap();
+        assert_covers_all(&b, 4, 2);
+    }
+
+    #[test]
+    fn geometry_mismatch_rejected() {
+        for kind in AllocationPolicyKind::ALL {
+            let policy = build_allocation_policy(kind);
+            assert_eq!(policy.kind(), kind);
+            assert!(policy.allocate(&specs(&[1.0, 2.0, 3.0]), 2, 2).is_err());
+            assert!(policy.allocate(&specs(&[1.0]), 0, 2).is_err());
+        }
+    }
+
+    #[test]
+    fn single_core_allocation_is_identity() {
+        for kind in AllocationPolicyKind::ALL {
+            let a = build_allocation_policy(kind)
+                .allocate(&specs(&[3.0, 1.0]), 1, 2)
+                .unwrap();
+            assert_eq!(a, vec![vec![0, 1]], "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn names_round_trip_and_serde() {
+        use serde::{Deserialize as _, Serialize as _};
+        for kind in AllocationPolicyKind::ALL {
+            assert_eq!(AllocationPolicyKind::from_name(kind.name()), Some(kind));
+            let round = AllocationPolicyKind::deserialize(&kind.serialize()).unwrap();
+            assert_eq!(round, kind);
+        }
+        let err = AllocationPolicyKind::deserialize(&serde::Value::Str("random".into()))
+            .unwrap_err()
+            .to_string();
+        assert!(
+            err.contains("random") && err.contains("mlp-balanced"),
+            "{err}"
+        );
+    }
+}

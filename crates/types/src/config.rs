@@ -451,6 +451,170 @@ impl Default for SmtConfig {
     }
 }
 
+/// Off-chip memory-bus configuration of a chip (CMP) configuration.
+///
+/// The bus carries cache-line transfers between the shared LLC and main
+/// memory. Each transfer occupies the bus for `line_bytes / bytes_per_cycle`
+/// cycles; a request issued while other transfers are in flight pays one
+/// occupancy per in-flight transfer as queueing delay, which is how cores
+/// contend for off-chip bandwidth. `bytes_per_cycle == 0` disables the model
+/// (infinite bandwidth) — the single-core machine of the paper.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BusConfig {
+    /// Sustained bus bandwidth in bytes per cycle; `0` means unlimited.
+    pub bytes_per_cycle: u32,
+}
+
+impl BusConfig {
+    /// An unlimited (uncontended) bus: the single-core machine's memory system.
+    pub fn unlimited() -> Self {
+        BusConfig { bytes_per_cycle: 0 }
+    }
+
+    /// The default contended bus for multi-core chips: 16 bytes/cycle, i.e.
+    /// four cycles of occupancy per 64-byte line.
+    pub fn contended() -> Self {
+        BusConfig {
+            bytes_per_cycle: 16,
+        }
+    }
+
+    /// Whether the bus models contention at all.
+    pub fn is_unlimited(&self) -> bool {
+        self.bytes_per_cycle == 0
+    }
+
+    /// Cycles one transfer of `line_bytes` occupies the bus (zero when
+    /// unlimited).
+    pub fn transfer_cycles(&self, line_bytes: u64) -> u64 {
+        if self.bytes_per_cycle == 0 {
+            0
+        } else {
+            line_bytes.div_ceil(self.bytes_per_cycle as u64).max(1)
+        }
+    }
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        Self::unlimited()
+    }
+}
+
+/// Configuration of a chip multiprocessor of SMT cores sharing a last-level
+/// cache and a memory bus.
+///
+/// Each of the `num_cores` cores is an independent copy of the [`SmtConfig`]
+/// machine (private L1I/L1D/L2, TLBs, prefetcher, write buffer, predictors);
+/// the per-core `core.l3` is replaced by the chip-wide `shared_llc`, behind
+/// the shared [`BusConfig`] memory bus. With `num_cores == 1`, an unlimited
+/// bus and `shared_llc == core.l3`, the chip is exactly the paper's
+/// single-core machine.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ChipConfig {
+    /// Number of SMT cores on the chip.
+    pub num_cores: usize,
+    /// Per-core configuration (identical cores; `core.l3` describes the
+    /// shared LLC geometry only when `shared_llc` mirrors it).
+    pub core: SmtConfig,
+    /// Geometry of the shared last-level cache all cores compete for.
+    pub shared_llc: CacheConfig,
+    /// The off-chip memory bus shared by all cores.
+    pub bus: BusConfig,
+}
+
+impl ChipConfig {
+    /// Upper bound on the number of cores per chip.
+    pub const MAX_CORES: usize = 8;
+
+    /// A chip of `num_cores` Table IV baseline cores with `threads_per_core`
+    /// hardware threads each. Multi-core chips get the default contended bus;
+    /// a one-core "chip" is exactly the paper's single-core machine
+    /// (unlimited bus).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either count is zero or exceeds its supported maximum.
+    pub fn baseline(num_cores: usize, threads_per_core: usize) -> Self {
+        assert!(
+            (1..=Self::MAX_CORES).contains(&num_cores),
+            "unsupported core count {num_cores}"
+        );
+        let core = SmtConfig::baseline(threads_per_core);
+        let shared_llc = core.l3;
+        let bus = if num_cores > 1 {
+            BusConfig::contended()
+        } else {
+            BusConfig::unlimited()
+        };
+        ChipConfig {
+            num_cores,
+            core,
+            shared_llc,
+            bus,
+        }
+    }
+
+    /// Wraps an existing single-core configuration as a one-core chip that
+    /// behaves bit-for-bit like the [`SmtConfig`] machine.
+    pub fn single_core(core: SmtConfig) -> Self {
+        ChipConfig {
+            num_cores: 1,
+            shared_llc: core.l3,
+            bus: BusConfig::unlimited(),
+            core,
+        }
+    }
+
+    /// Returns a copy with the given per-core fetch policy.
+    pub fn with_policy(mut self, policy: FetchPolicyKind) -> Self {
+        self.core.fetch_policy = policy;
+        self
+    }
+
+    /// Returns a copy with the given bus bandwidth (`0` = unlimited).
+    pub fn with_bus_bytes_per_cycle(mut self, bytes_per_cycle: u32) -> Self {
+        self.bus = BusConfig { bytes_per_cycle };
+        self
+    }
+
+    /// Total hardware threads across all cores.
+    pub fn total_threads(&self) -> usize {
+        self.num_cores * self.core.num_threads
+    }
+
+    /// Checks the whole chip configuration for consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] for a degenerate core count, core
+    /// configuration, or shared-LLC geometry.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.num_cores == 0 || self.num_cores > Self::MAX_CORES {
+            return Err(SimError::invalid_config(format!(
+                "num_cores must be between 1 and {}",
+                Self::MAX_CORES
+            )));
+        }
+        self.core.validate()?;
+        self.shared_llc.validate()?;
+        if self.shared_llc.line_bytes != self.core.l1d.line_bytes {
+            return Err(SimError::invalid_config(
+                "shared LLC line size must match the core line size",
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for ChipConfig {
+    fn default() -> Self {
+        Self::baseline(2, 2)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -582,6 +746,61 @@ mod tests {
             err.contains("warp-drive") && err.contains("mlp-flush"),
             "{err}"
         );
+    }
+
+    #[test]
+    fn chip_config_baseline_and_validation() {
+        let chip = ChipConfig::baseline(2, 2);
+        assert_eq!(chip.num_cores, 2);
+        assert_eq!(chip.core.num_threads, 2);
+        assert_eq!(chip.total_threads(), 4);
+        assert_eq!(chip.shared_llc, chip.core.l3);
+        assert!(!chip.bus.is_unlimited());
+        assert!(chip.validate().is_ok());
+
+        // A one-core chip is the paper's single-core machine: uncontended bus.
+        let single = ChipConfig::baseline(1, 2);
+        assert!(single.bus.is_unlimited());
+        assert_eq!(
+            ChipConfig::single_core(SmtConfig::baseline(4)).total_threads(),
+            4
+        );
+
+        let mut bad = ChipConfig::baseline(2, 2);
+        bad.num_cores = 0;
+        assert!(bad.validate().is_err());
+        let mut bad = ChipConfig::baseline(2, 2);
+        bad.shared_llc.line_bytes = 128;
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn bus_transfer_cycles() {
+        assert_eq!(BusConfig::unlimited().transfer_cycles(64), 0);
+        assert_eq!(BusConfig::contended().transfer_cycles(64), 4);
+        assert_eq!(BusConfig { bytes_per_cycle: 8 }.transfer_cycles(64), 8);
+        assert_eq!(
+            BusConfig {
+                bytes_per_cycle: 128
+            }
+            .transfer_cycles(64),
+            1
+        );
+    }
+
+    #[test]
+    fn chip_config_serde_round_trips() {
+        let chip = ChipConfig::baseline(4, 2)
+            .with_policy(FetchPolicyKind::MlpFlush)
+            .with_bus_bytes_per_cycle(8);
+        let round = ChipConfig::deserialize(&chip.serialize()).unwrap();
+        assert_eq!(round, chip);
+        let mut value = chip.serialize();
+        if let serde::Value::Map(entries) = &mut value {
+            entries.push(("coress".to_string(), serde::Value::Int(2)));
+        }
+        let err = ChipConfig::deserialize(&value).unwrap_err().to_string();
+        assert!(err.contains("coress"), "{err}");
     }
 
     #[test]

@@ -33,10 +33,10 @@ pub mod op;
 pub mod snapshot;
 pub mod stats;
 
-pub use config::SmtConfig;
+pub use config::{BusConfig, ChipConfig, SmtConfig};
 pub use error::SimError;
 pub use flags::OpFlags;
 pub use ids::{SeqNum, ThreadId};
 pub use op::{BranchInfo, MemInfo, OpKind, TraceOp};
 pub use snapshot::{SmtSnapshot, ThreadSnapshot};
-pub use stats::{MachineStats, ThreadStats};
+pub use stats::{ChipStats, MachineStats, ThreadStats};

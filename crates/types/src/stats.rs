@@ -303,6 +303,75 @@ impl MachineStats {
     }
 }
 
+/// Statistics for a whole chip (CMP-of-SMT) run: one [`MachineStats`] per
+/// core plus the chip-wide cycle count (cores step in lockstep, so every
+/// core's cycle count equals the chip's).
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+pub struct ChipStats {
+    /// Total simulated cycles (identical across cores).
+    pub cycles: u64,
+    /// Per-core statistics, indexed by core id.
+    pub cores: Vec<MachineStats>,
+}
+
+impl ChipStats {
+    /// Creates a zeroed record for a chip of `num_cores` cores with
+    /// `threads_per_core` hardware threads each.
+    pub fn new(num_cores: usize, threads_per_core: usize) -> Self {
+        ChipStats {
+            cycles: 0,
+            cores: vec![MachineStats::new(threads_per_core); num_cores],
+        }
+    }
+
+    /// Number of cores.
+    pub fn num_cores(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Per-thread statistics in `(core, thread)` order, flattened across the
+    /// chip.
+    pub fn threads(&self) -> impl Iterator<Item = &ThreadStats> {
+        self.cores.iter().flat_map(|c| c.threads.iter())
+    }
+
+    /// Committed instructions summed over every thread of every core.
+    pub fn total_committed(&self) -> u64 {
+        self.threads().map(|t| t.committed_instructions).sum()
+    }
+
+    /// Chip-wide instructions per cycle (sum of all cores' throughput).
+    pub fn total_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.total_committed() as f64 / self.cycles as f64
+    }
+
+    /// Aggregate IPC of each core, in core order.
+    pub fn per_core_ipc(&self) -> Vec<f64> {
+        self.cores
+            .iter()
+            .map(|c| {
+                if self.cycles == 0 {
+                    0.0
+                } else {
+                    c.threads
+                        .iter()
+                        .map(|t| t.committed_instructions)
+                        .sum::<u64>() as f64
+                        / self.cycles as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Per-thread IPC in `(core, thread)` order, flattened across the chip.
+    pub fn per_thread_ipc(&self) -> Vec<f64> {
+        self.threads().map(|t| t.ipc(self.cycles)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // The tests intentionally build up sparse counter records field by field.
@@ -394,6 +463,43 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.committed_instructions, 15);
         assert_eq!(a.long_latency_loads, 3);
+    }
+
+    #[test]
+    fn chip_stats_aggregation() {
+        let mut chip = ChipStats::new(2, 2);
+        chip.cycles = 1000;
+        chip.cores[0]
+            .thread_mut(ThreadId::new(0))
+            .committed_instructions = 400;
+        chip.cores[0]
+            .thread_mut(ThreadId::new(1))
+            .committed_instructions = 100;
+        chip.cores[1]
+            .thread_mut(ThreadId::new(0))
+            .committed_instructions = 500;
+        assert_eq!(chip.num_cores(), 2);
+        assert_eq!(chip.total_committed(), 1000);
+        assert!((chip.total_ipc() - 1.0).abs() < 1e-12);
+        let per_core = chip.per_core_ipc();
+        assert!((per_core[0] - 0.5).abs() < 1e-12);
+        assert!((per_core[1] - 0.5).abs() < 1e-12);
+        let per_thread = chip.per_thread_ipc();
+        assert_eq!(per_thread.len(), 4);
+        assert!((per_thread[0] - 0.4).abs() < 1e-12);
+        assert!((per_thread[2] - 0.5).abs() < 1e-12);
+        // Zero-cycle records report zero throughput rather than dividing by 0.
+        assert_eq!(ChipStats::new(1, 1).total_ipc(), 0.0);
+        assert_eq!(ChipStats::new(1, 1).per_core_ipc(), vec![0.0]);
+    }
+
+    #[test]
+    fn chip_stats_serde_round_trips() {
+        let mut chip = ChipStats::new(2, 1);
+        chip.cycles = 7;
+        chip.cores[1].thread_mut(ThreadId::new(0)).loads = 3;
+        let round = ChipStats::deserialize(&chip.serialize()).unwrap();
+        assert_eq!(round, chip);
     }
 
     #[test]

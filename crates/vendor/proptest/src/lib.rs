@@ -230,7 +230,7 @@ pub mod prop {
         use rand::Rng as _;
         use std::ops::Range;
 
-        /// Strategy returned by [`vec`].
+        /// Strategy returned by [`vec()`].
         pub struct VecStrategy<S> {
             element: S,
             size: Range<usize>,

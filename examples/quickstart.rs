@@ -61,6 +61,7 @@ fn main() -> Result<(), SimError> {
         workloads: vec![workload.iter().map(|s| s.to_string()).collect()],
         sweep: None,
         overrides: None,
+        chip: None,
         scale,
     };
     let report = engine::run_spec(&spec)?;

@@ -1,0 +1,86 @@
+//! Property test: a one-core chip is the single-core machine.
+//!
+//! `ChipSimulator` with `num_cores == 1` must produce bit-for-bit identical
+//! [`smt_types::MachineStats`] to the pre-refactor single-core path
+//! (`SmtSimulator`) for random small configurations and workloads: same
+//! benchmarks, same fetch policy, same tweaked machine parameters, same run
+//! length. This pins the chip refactor's central invariant — the shared-LLC
+//! split, per-requester MSHRs, bus hooks and chip stepping add *zero*
+//! behavioural change until a second core exists.
+
+use proptest::prelude::*;
+use smt_core::chip::ChipSimulator;
+use smt_core::pipeline::{SimOptions, SmtSimulator};
+use smt_core::runner::{build_trace, RunScale};
+use smt_trace::TraceSource;
+use smt_types::config::FetchPolicyKind;
+use smt_types::{ChipConfig, SmtConfig};
+
+const BENCHMARKS: [&str; 6] = ["mcf", "gcc", "swim", "twolf", "gap", "mesa"];
+
+/// The fetch policies most sensitive to timing perturbations: the baseline,
+/// both headline MLP-aware policies, and a resource-partitioning scheme.
+const POLICIES: [FetchPolicyKind; 4] = [
+    FetchPolicyKind::Icount,
+    FetchPolicyKind::MlpFlush,
+    FetchPolicyKind::MlpStall,
+    FetchPolicyKind::Dcra,
+];
+
+fn traces_for(benchmarks: &[&str], scale: RunScale) -> Vec<Box<dyn TraceSource>> {
+    benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale).expect("known benchmark"))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn one_core_chip_is_the_single_core_machine(
+        bench_a in 0usize..BENCHMARKS.len(),
+        bench_b in 0usize..BENCHMARKS.len(),
+        two_threads in proptest::prelude::any::<bool>(),
+        policy_index in 0usize..POLICIES.len(),
+        memory_latency in 150u64..500,
+        rob_choice in 0usize..3,
+        mshr_cap in 4u32..32,
+        instructions in 300u64..1_200,
+        seed in 1u64..10_000,
+    ) {
+        let benchmarks: Vec<&str> = if two_threads {
+            vec![BENCHMARKS[bench_a], BENCHMARKS[bench_b]]
+        } else {
+            vec![BENCHMARKS[bench_a]]
+        };
+        let mut config = SmtConfig::baseline(benchmarks.len())
+            .with_policy(POLICIES[policy_index])
+            .with_memory_latency(memory_latency)
+            .with_window_size([128, 256, 512][rob_choice]);
+        config.max_outstanding_misses = mshr_cap;
+        let scale = RunScale {
+            instructions_per_thread: instructions,
+            warmup_instructions: instructions / 4,
+            seed,
+        };
+        let options = SimOptions {
+            max_instructions_per_thread: scale.instructions_per_thread,
+            warmup_instructions_per_thread: scale.warmup_instructions,
+            ..SimOptions::default()
+        };
+
+        let mut single = SmtSimulator::new(config.clone(), traces_for(&benchmarks, scale))
+            .expect("single-core machine builds");
+        let single_stats = single.run(options);
+
+        let chip_config = ChipConfig::single_core(config);
+        let mut chip = ChipSimulator::new(chip_config, vec![traces_for(&benchmarks, scale)])
+            .expect("one-core chip builds");
+        let chip_stats = chip.run(options);
+
+        prop_assert_eq!(chip_stats.num_cores(), 1);
+        prop_assert_eq!(chip_stats.cycles, single_stats.cycles);
+        prop_assert_eq!(&chip_stats.cores[0], &single_stats);
+    }
+}
