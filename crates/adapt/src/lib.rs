@@ -1,0 +1,484 @@
+//! Adaptive policy engine: interval-telemetry-driven fetch-policy selection.
+//!
+//! The paper's MLP-aware flush policy wins because workload behaviour is
+//! phasic — ILP-bound regions reward ICOUNT-style fairness while MLP-bound
+//! regions reward flushing past the predicted MLP distance. A
+//! [`PolicySelector`] exploits that at runtime: the pipeline divides a run
+//! into fixed-length cycle intervals, publishes each finished interval's
+//! telemetry ([`smt_types::IntervalStats`]) to the selector, and installs
+//! whatever fetch policy the selector answers with for the next interval
+//! ("Beyond Static Policies: Exploring Dynamic Policy Selection").
+//!
+//! Implemented selectors:
+//!
+//! | kind | behaviour |
+//! |------|-----------|
+//! | [`StaticSelector`] | never switches — the bit-for-bit legacy path |
+//! | [`SamplingSelector`] | set-dueling: trial each candidate per epoch, commit to the interval winner |
+//! | [`MlpThresholdSelector`] | switch ILP↔MLP candidate on measured LLL/Kinst and MLP |
+//!
+//! Selectors are deterministic functions of the interval telemetry stream:
+//! two machines fed identical telemetry make identical decisions, which is
+//! what keeps adaptive runs reproducible across repeat runs, core stepping
+//! orders and engine thread counts.
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use smt_types::adaptive::{AdaptiveConfig, IntervalStats, SelectorKind};
+use smt_types::config::FetchPolicyKind;
+
+/// Picks the fetch policy for the next interval from the telemetry of the
+/// one that just finished.
+///
+/// The pipeline calls [`PolicySelector::next_policy`] exactly once per
+/// interval boundary, in interval order, with `current` naming the policy
+/// that ran the finished interval. The returned policy must be one of the
+/// configured candidates; returning `current` means "keep going" and the
+/// pipeline performs no swap at all (the running policy instance keeps its
+/// state).
+pub trait PolicySelector: Send {
+    /// Which selector this is (used for reporting).
+    fn kind(&self) -> SelectorKind;
+
+    /// Decides the policy for the next interval.
+    fn next_policy(
+        &mut self,
+        interval: &IntervalStats,
+        current: FetchPolicyKind,
+    ) -> FetchPolicyKind;
+
+    /// Human-readable selector name.
+    fn name(&self) -> &'static str {
+        self.kind().name()
+    }
+}
+
+/// Builds the selector implementation named by `config.selector`.
+///
+/// # Panics
+///
+/// Panics if the configuration does not validate; callers are expected to
+/// run [`AdaptiveConfig::validate`] first (the pipeline and the experiment
+/// layer both do).
+pub fn build_selector(config: &AdaptiveConfig) -> Box<dyn PolicySelector> {
+    config
+        .validate()
+        .expect("adaptive configuration must validate before a selector is built");
+    match config.selector {
+        SelectorKind::Static => Box::new(StaticSelector::new(config.initial_policy())),
+        SelectorKind::Sampling => Box::new(SamplingSelector::new(
+            config.candidates.clone(),
+            config.sample_intervals,
+            config.commit_intervals,
+        )),
+        SelectorKind::MlpThreshold => {
+            // Candidate ordering carries the *initial* policy, not the
+            // selector's roles: the MLP-aware candidate is identified by
+            // classification, so `[icount, mlp-flush]` and
+            // `[mlp-flush, icount]` both toggle in the correct direction.
+            let (ilp, mlp) = if config.candidates[0].is_mlp_aware() {
+                (config.candidates[1], config.candidates[0])
+            } else {
+                (config.candidates[0], config.candidates[1])
+            };
+            Box::new(MlpThresholdSelector::new(
+                ilp,
+                mlp,
+                config.lll_per_kinst_threshold,
+                config.mlp_threshold,
+            ))
+        }
+    }
+}
+
+/// The no-op selector: always answers with the configured policy, so the
+/// pipeline never swaps and the machine is bit-for-bit the legacy static
+/// machine.
+#[derive(Clone, Debug)]
+pub struct StaticSelector {
+    policy: FetchPolicyKind,
+}
+
+impl StaticSelector {
+    /// A selector pinned to `policy`.
+    pub fn new(policy: FetchPolicyKind) -> Self {
+        StaticSelector { policy }
+    }
+}
+
+impl PolicySelector for StaticSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Static
+    }
+
+    fn next_policy(
+        &mut self,
+        _interval: &IntervalStats,
+        _current: FetchPolicyKind,
+    ) -> FetchPolicyKind {
+        self.policy
+    }
+}
+
+/// Where a [`SamplingSelector`] is in its epoch.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum SamplingPhase {
+    /// Trialling candidate `candidate`; `interval` counts the intervals the
+    /// candidate has already run in this trial.
+    Sampling { candidate: usize, interval: u64 },
+    /// Running the epoch winner; `remaining` commit intervals left.
+    Committed { winner: usize, remaining: u64 },
+}
+
+/// Set-dueling style sampling selector.
+///
+/// Each epoch starts by trialling every candidate policy for
+/// `sample_intervals` intervals, scoring each trial by the aggregate IPC of
+/// its intervals. The best-scoring candidate (ties break towards the earlier
+/// candidate) then runs for `commit_intervals` intervals before the next
+/// epoch starts. The decision depends only on the telemetry stream, so it is
+/// deterministic.
+#[derive(Clone, Debug)]
+pub struct SamplingSelector {
+    candidates: Vec<FetchPolicyKind>,
+    sample_intervals: u64,
+    commit_intervals: u64,
+    phase: SamplingPhase,
+    /// Accumulated (committed instructions, cycles) of the current epoch's
+    /// trials, one slot per candidate.
+    scores: Vec<(u64, u64)>,
+}
+
+impl SamplingSelector {
+    /// A sampling selector over `candidates` (the first candidate is the one
+    /// the machine starts on, which also runs the first trial).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty candidate list or zero interval counts.
+    pub fn new(
+        candidates: Vec<FetchPolicyKind>,
+        sample_intervals: u64,
+        commit_intervals: u64,
+    ) -> Self {
+        assert!(!candidates.is_empty(), "sampling needs candidates");
+        assert!(
+            sample_intervals > 0 && commit_intervals > 0,
+            "sampling geometry must be non-zero"
+        );
+        let scores = vec![(0, 0); candidates.len()];
+        SamplingSelector {
+            candidates,
+            sample_intervals,
+            commit_intervals,
+            phase: SamplingPhase::Sampling {
+                candidate: 0,
+                interval: 0,
+            },
+            scores,
+        }
+    }
+
+    /// Score of one candidate's trial: aggregate IPC of its sampled
+    /// intervals (0.0 when nothing was sampled).
+    fn score(&self, candidate: usize) -> f64 {
+        let (committed, cycles) = self.scores[candidate];
+        if cycles == 0 {
+            0.0
+        } else {
+            committed as f64 / cycles as f64
+        }
+    }
+}
+
+impl PolicySelector for SamplingSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::Sampling
+    }
+
+    fn next_policy(
+        &mut self,
+        interval: &IntervalStats,
+        current: FetchPolicyKind,
+    ) -> FetchPolicyKind {
+        match self.phase {
+            SamplingPhase::Sampling {
+                candidate,
+                interval: done,
+            } => {
+                // Credit the interval to the policy that *actually ran* it
+                // (the trait contract's `current`), not to the trial slot the
+                // selector believes is installed: an out-of-band
+                // `swap_policy` between boundaries must not mis-attribute a
+                // foreign policy's throughput to a candidate. In undisturbed
+                // operation `current == candidates[candidate]` and the two
+                // are identical.
+                if let Some(ran) = self.candidates.iter().position(|&c| c == current) {
+                    let slot = &mut self.scores[ran];
+                    slot.0 += interval.total_committed();
+                    slot.1 += interval.cycles;
+                }
+                let done = done + 1;
+                if done < self.sample_intervals {
+                    self.phase = SamplingPhase::Sampling {
+                        candidate,
+                        interval: done,
+                    };
+                    return self.candidates[candidate];
+                }
+                let next = candidate + 1;
+                if next < self.candidates.len() {
+                    // Trial the next candidate for the following intervals.
+                    self.phase = SamplingPhase::Sampling {
+                        candidate: next,
+                        interval: 0,
+                    };
+                    return self.candidates[next];
+                }
+                // Every candidate sampled: commit to the interval winner.
+                let winner = (0..self.candidates.len())
+                    .max_by(|&a, &b| {
+                        self.score(a)
+                            .partial_cmp(&self.score(b))
+                            .expect("scores are finite")
+                            // On a tie, prefer the earlier candidate.
+                            .then(b.cmp(&a))
+                    })
+                    .expect("at least one candidate");
+                self.phase = SamplingPhase::Committed {
+                    winner,
+                    remaining: self.commit_intervals,
+                };
+                self.candidates[winner]
+            }
+            SamplingPhase::Committed { winner, remaining } => {
+                if remaining > 1 {
+                    self.phase = SamplingPhase::Committed {
+                        winner,
+                        remaining: remaining - 1,
+                    };
+                    return self.candidates[winner];
+                }
+                // Epoch over: forget the scores and start a fresh trial round
+                // with the first candidate.
+                self.scores.fill((0, 0));
+                self.phase = SamplingPhase::Sampling {
+                    candidate: 0,
+                    interval: 0,
+                };
+                self.candidates[0]
+            }
+        }
+    }
+}
+
+/// Threshold selector over the paper's own MLP signals.
+///
+/// An interval whose machine-wide long-latency-load rate and MLP sample both
+/// clear their thresholds is memory-bound with exploitable MLP: the selector
+/// answers with the MLP-aware candidate. Otherwise it answers with the ILP
+/// candidate ("MLP Aware Scheduling Techniques in Multithreaded
+/// Processors" applies the same signals to scheduling decisions).
+#[derive(Clone, Debug)]
+pub struct MlpThresholdSelector {
+    ilp_policy: FetchPolicyKind,
+    mlp_policy: FetchPolicyKind,
+    lll_per_kinst_threshold: f64,
+    mlp_threshold: f64,
+}
+
+impl MlpThresholdSelector {
+    /// A threshold selector switching between `ilp_policy` and `mlp_policy`.
+    pub fn new(
+        ilp_policy: FetchPolicyKind,
+        mlp_policy: FetchPolicyKind,
+        lll_per_kinst_threshold: f64,
+        mlp_threshold: f64,
+    ) -> Self {
+        MlpThresholdSelector {
+            ilp_policy,
+            mlp_policy,
+            lll_per_kinst_threshold,
+            mlp_threshold,
+        }
+    }
+}
+
+impl PolicySelector for MlpThresholdSelector {
+    fn kind(&self) -> SelectorKind {
+        SelectorKind::MlpThreshold
+    }
+
+    fn next_policy(
+        &mut self,
+        interval: &IntervalStats,
+        _current: FetchPolicyKind,
+    ) -> FetchPolicyKind {
+        let memory_bound =
+            interval.total_lll_per_kilo_instruction() >= self.lll_per_kinst_threshold;
+        let has_mlp = interval.total_mlp() >= self.mlp_threshold;
+        if memory_bound && has_mlp {
+            self.mlp_policy
+        } else {
+            self.ilp_policy
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_types::adaptive::ThreadIntervalStats;
+
+    fn interval(
+        committed: u64,
+        cycles: u64,
+        lll: u64,
+        mlp_sum: u64,
+        mlp_cycles: u64,
+    ) -> IntervalStats {
+        IntervalStats {
+            cycles,
+            threads: vec![ThreadIntervalStats {
+                committed,
+                long_latency_loads: lll,
+                policy_flushes: 0,
+                mlp_outstanding_sum: mlp_sum,
+                mlp_cycles,
+            }],
+        }
+    }
+
+    fn candidates() -> Vec<FetchPolicyKind> {
+        vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush]
+    }
+
+    #[test]
+    fn static_selector_never_switches() {
+        let mut s = StaticSelector::new(FetchPolicyKind::MlpFlush);
+        assert_eq!(s.kind(), SelectorKind::Static);
+        for _ in 0..5 {
+            assert_eq!(
+                s.next_policy(&interval(10, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+                FetchPolicyKind::MlpFlush
+            );
+        }
+    }
+
+    #[test]
+    fn sampling_trials_every_candidate_then_commits_to_the_winner() {
+        let mut s = SamplingSelector::new(candidates(), 1, 3);
+        // Interval 1 ran candidate 0 (icount) at IPC 1.0; trial candidate 1 next.
+        assert_eq!(
+            s.next_policy(&interval(100, 100, 0, 0, 0), FetchPolicyKind::Icount),
+            FetchPolicyKind::MlpFlush
+        );
+        // Interval 2 ran mlp-flush at IPC 2.0: mlp-flush wins the epoch.
+        assert_eq!(
+            s.next_policy(&interval(200, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::MlpFlush
+        );
+        // Winner holds for the commit phase.
+        for _ in 0..2 {
+            assert_eq!(
+                s.next_policy(&interval(50, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+                FetchPolicyKind::MlpFlush
+            );
+        }
+        // Commit phase over: a fresh epoch starts with candidate 0 again.
+        assert_eq!(
+            s.next_policy(&interval(50, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+        // This epoch icount samples better; ties and scores reset per epoch.
+        assert_eq!(
+            s.next_policy(&interval(300, 100, 0, 0, 0), FetchPolicyKind::Icount),
+            FetchPolicyKind::MlpFlush
+        );
+        assert_eq!(
+            s.next_policy(&interval(100, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+    }
+
+    #[test]
+    fn sampling_ties_break_towards_the_earlier_candidate() {
+        let mut s = SamplingSelector::new(candidates(), 1, 2);
+        assert_eq!(
+            s.next_policy(&interval(100, 100, 0, 0, 0), FetchPolicyKind::Icount),
+            FetchPolicyKind::MlpFlush
+        );
+        // Identical IPC: the earlier candidate (icount) wins the commit.
+        assert_eq!(
+            s.next_policy(&interval(100, 100, 0, 0, 0), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+    }
+
+    #[test]
+    fn mlp_threshold_switches_on_both_signals() {
+        let mut s =
+            MlpThresholdSelector::new(FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush, 5.0, 1.5);
+        // Memory-bound with MLP: 10 LLL/Kinst, MLP 2.0.
+        assert_eq!(
+            s.next_policy(&interval(1_000, 500, 10, 100, 50), FetchPolicyKind::Icount),
+            FetchPolicyKind::MlpFlush
+        );
+        // Memory-bound without MLP: isolated misses.
+        assert_eq!(
+            s.next_policy(&interval(1_000, 500, 10, 50, 50), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+        // Compute-bound interval.
+        assert_eq!(
+            s.next_policy(&interval(1_000, 500, 1, 100, 50), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+    }
+
+    #[test]
+    fn factory_builds_every_selector() {
+        for kind in SelectorKind::ALL {
+            let config = AdaptiveConfig::new(kind, candidates());
+            let mut selector = build_selector(&config);
+            assert_eq!(selector.kind(), kind);
+            assert_eq!(selector.name(), kind.name());
+            let chosen = selector.next_policy(&interval(10, 100, 0, 0, 0), config.initial_policy());
+            assert!(config.candidates.contains(&chosen));
+        }
+    }
+
+    #[test]
+    fn mlp_threshold_roles_are_ordering_insensitive() {
+        // `[mlp-flush, icount]` starts on mlp-flush but must still treat
+        // icount as the compute-bound choice and mlp-flush as the
+        // memory-bound one — not the inverse.
+        let config = AdaptiveConfig::new(
+            SelectorKind::MlpThreshold,
+            vec![FetchPolicyKind::MlpFlush, FetchPolicyKind::Icount],
+        );
+        let mut selector = build_selector(&config);
+        // Memory-bound with MLP: the MLP-aware candidate.
+        assert_eq!(
+            selector.next_policy(
+                &interval(1_000, 500, 10, 100, 50),
+                FetchPolicyKind::MlpFlush
+            ),
+            FetchPolicyKind::MlpFlush
+        );
+        // Compute-bound: the ILP candidate.
+        assert_eq!(
+            selector.next_policy(&interval(1_000, 500, 0, 0, 0), FetchPolicyKind::MlpFlush),
+            FetchPolicyKind::Icount
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "validate")]
+    fn factory_rejects_invalid_configs() {
+        let mut config = AdaptiveConfig::new(SelectorKind::Sampling, candidates());
+        config.interval_cycles = 0;
+        let _ = build_selector(&config);
+    }
+}

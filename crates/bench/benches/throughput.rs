@@ -11,7 +11,7 @@ fn bench_throughput(c: &mut Criterion) {
         instructions_per_thread: 5_000,
         runs: 1,
         quick: true,
-        extra_chip_cores: None,
+        ..BenchOptions::quick()
     };
     let matrix = scenario_matrix();
     let mut group = c.benchmark_group("throughput");

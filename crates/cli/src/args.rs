@@ -2,6 +2,7 @@
 //! offline workspace).
 
 use smt_core::runner::RunScale;
+use smt_types::SelectorKind;
 
 /// Output format for `run`.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
@@ -72,6 +73,10 @@ pub struct BenchArgs {
     pub baseline: Option<String>,
     /// `--cores <n>`: additionally run the chip scenario at n cores x 2 threads.
     pub cores: Option<usize>,
+    /// `--selector <name>`: selector driving the adaptive matrix row.
+    pub selector: Option<SelectorKind>,
+    /// `--interval <cycles>`: interval length of the adaptive matrix row.
+    pub interval: Option<u64>,
     /// `--quiet`: suppress the stdout table.
     pub quiet: bool,
 }
@@ -91,6 +96,10 @@ pub struct RunArgs {
     pub limit: Option<usize>,
     /// `--cores <n>`: overrides a chip spec's core count.
     pub cores: Option<usize>,
+    /// `--selector <name>`: restricts an adaptive spec to one selector.
+    pub selector: Option<SelectorKind>,
+    /// `--interval <cycles>`: overrides an adaptive spec's interval length.
+    pub interval: Option<u64>,
     /// `--threads <n>`: engine worker threads (default: machine parallelism).
     pub threads: Option<usize>,
     /// `--serial`: shorthand for `--threads 1`.
@@ -113,6 +122,8 @@ impl RunArgs {
             per_group: None,
             limit: None,
             cores: None,
+            selector: None,
+            interval: None,
             threads: None,
             serial: false,
             out: None,
@@ -218,6 +229,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         }
                         run.threads = Some(threads);
                     }
+                    "--selector" => {
+                        run.selector = Some(parse_selector(&value_for("--selector")?)?);
+                    }
+                    "--interval" => {
+                        run.interval = Some(parse_interval(&value_for("--interval")?)?);
+                    }
                     "--serial" => run.serial = true,
                     "--out" => run.out = Some(value_for("--out")?),
                     "--format" => {
@@ -272,6 +289,12 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         }
                         bench.cores = Some(cores);
                     }
+                    "--selector" => {
+                        bench.selector = Some(parse_selector(&value_for("--selector")?)?);
+                    }
+                    "--interval" => {
+                        bench.interval = Some(parse_interval(&value_for("--interval")?)?);
+                    }
                     "--out" => bench.out = Some(value_for("--out")?),
                     "--baseline" => bench.baseline = Some(value_for("--baseline")?),
                     "--quiet" | "-q" => bench.quiet = true,
@@ -282,6 +305,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
         }
         other => Err(format!("unknown command `{other}`; try `smt-cli help`")),
     }
+}
+
+fn parse_selector(value: &str) -> Result<SelectorKind, String> {
+    SelectorKind::from_name(value).ok_or_else(|| {
+        let names: Vec<&str> = SelectorKind::ALL.iter().map(|s| s.name()).collect();
+        format!(
+            "unknown selector `{value}`, expected one of: {}",
+            names.join(", ")
+        )
+    })
+}
+
+fn parse_interval(value: &str) -> Result<u64, String> {
+    let interval: u64 = value
+        .parse()
+        .map_err(|_| format!("invalid interval `{value}`"))?;
+    if interval == 0 {
+        return Err("`--interval` must be at least 1 cycle".to_string());
+    }
+    Ok(interval)
 }
 
 /// The help text.
@@ -308,6 +351,8 @@ BENCH FLAGS:
     --instructions <n>  Instructions per thread (default 30000; 3000 with --quick)
     --runs <n>          Timed repetitions per scenario (default 3; 1 with --quick)
     --cores <n>         Also run the chip scenario at n cores x 2 threads (2-8)
+    --selector <s>      Selector for the adaptive row (static|sampling|mlp-threshold)
+    --interval <n>      Interval cycles for the adaptive row (default 512)
     --out <path>        Trajectory path to append to (default BENCH_throughput.json)
     --baseline <path>   Compare against an earlier report/trajectory, print speedups
     --quiet             Suppress the stdout table
@@ -318,6 +363,8 @@ RUN FLAGS:
     --per-group <n>     Keep at most n workloads per ILP/MLP/MIX group
     --limit <n>         Keep at most the first n workloads
     --cores <n>         Override a chip spec's core count
+    --selector <s>      Restrict an adaptive spec to one selector
+    --interval <n>      Override an adaptive spec's interval length (cycles)
     --threads <n>       Engine worker threads (default: all cores)
     --serial            Same as --threads 1
     --out <path>        Also write the report to a file (.json/.toml/.txt)
@@ -327,7 +374,7 @@ RUN FLAGS:
 EXAMPLES:
     smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
     smt-cli run chip_2c2t_allocation_matrix --scale tiny --limit 1
-    smt-cli run chip_2c2t_allocation_matrix --cores 4 --scale tiny
+    smt-cli run adaptive_4t --scale test --selector sampling --interval 256
     smt-cli describe fig09_two_thread_policies > my_experiment.toml
     smt-cli run my_experiment.toml --threads 8
     smt-cli bench --out BENCH_throughput.json
@@ -434,6 +481,32 @@ mod tests {
         assert!(parse_err(&["run", "x", "--cores", "0"]).contains("at least 1"));
         assert!(parse_err(&["bench", "--cores", "1"]).contains("between 2 and 8"));
         assert!(parse_err(&["bench", "--cores", "9"]).contains("between 2 and 8"));
+    }
+
+    #[test]
+    fn selector_and_interval_flags_parse_and_validate() {
+        let Command::Run(run) = parse_ok(&[
+            "run",
+            "adaptive_2t",
+            "--selector",
+            "mlp-threshold",
+            "--interval",
+            "256",
+        ]) else {
+            panic!("expected run");
+        };
+        assert_eq!(run.selector, Some(SelectorKind::MlpThreshold));
+        assert_eq!(run.interval, Some(256));
+        let Command::Bench(bench) =
+            parse_ok(&["bench", "--selector", "sampling", "--interval", "64"])
+        else {
+            panic!("expected bench");
+        };
+        assert_eq!(bench.selector, Some(SelectorKind::Sampling));
+        assert_eq!(bench.interval, Some(64));
+        assert!(parse_err(&["run", "x", "--selector", "oracle"]).contains("sampling"));
+        assert!(parse_err(&["bench", "--interval", "0"]).contains("at least 1"));
+        assert!(parse_err(&["run", "x", "--interval", "soon"]).contains("invalid interval"));
     }
 
     #[test]

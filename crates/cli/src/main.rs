@@ -111,6 +111,8 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
         opts.runs = runs;
     }
     opts.extra_chip_cores = bench.cores;
+    opts.adaptive_selector = bench.selector;
+    opts.adaptive_interval = bench.interval;
     // Load the baseline up front: a missing or malformed file must fail before
     // the (minutes-long) measurement, not after it. Both the trajectory schema
     // and the legacy single-report schema are accepted; the latest entry is
@@ -174,6 +176,11 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
         print!("{}", report.format_text());
     }
     if let Some((path, baseline)) = &baseline {
+        // Matrix drift (a freshly added or retired scenario) is a warning,
+        // not an error: the comparison simply skips unshared scenarios.
+        for warning in report.scenario_set_warnings(baseline) {
+            eprintln!("warning: {warning}");
+        }
         let rows = report.compare(baseline);
         println!("\nspeedup vs {path}:");
         for row in &rows {
@@ -272,6 +279,22 @@ fn execute(run: RunArgs) -> Result<(), String> {
             }
         }
     }
+    if run.selector.is_some() || run.interval.is_some() {
+        let Some(adaptive) = spec.adaptive.as_mut() else {
+            return Err(format!(
+                "`--selector`/`--interval` only apply to adaptive_grid specs; `{}` is a `{}` \
+                 experiment",
+                spec.name,
+                spec.kind.name()
+            ));
+        };
+        if let Some(selector) = run.selector {
+            adaptive.selectors = vec![selector];
+        }
+        if let Some(interval) = run.interval {
+            adaptive.interval_cycles = Some(interval);
+        }
+    }
     spec.validate().map_err(|e| e.to_string())?;
     let threads = if run.serial {
         1
@@ -279,11 +302,20 @@ fn execute(run: RunArgs) -> Result<(), String> {
         run.threads.unwrap_or_else(engine::default_parallelism)
     };
 
+    // The first banner axis is whatever the grid actually fans out over:
+    // selector x candidate-set for adaptive grids, policies otherwise.
+    let cell_axis = match &spec.adaptive {
+        Some(adaptive) => format!(
+            "{} selectors x {} candidate sets",
+            adaptive.selectors.len(),
+            adaptive.candidate_sets.len()
+        ),
+        None => format!("{} policies", spec.policies.len().max(1)),
+    };
     eprintln!(
-        "running `{}`: {} policies x {} workloads x {} sweep points at {} instructions/thread \
+        "running `{}`: {cell_axis} x {} workloads x {} sweep points at {} instructions/thread \
          on {} threads...",
         spec.name,
-        spec.policies.len().max(1),
         spec.workloads.len(),
         spec.sweep_points().len(),
         spec.scale.instructions_per_thread,

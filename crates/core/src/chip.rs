@@ -17,7 +17,8 @@
 use smt_fetch::build_policy;
 use smt_mem::SharedLlc;
 use smt_trace::TraceSource;
-use smt_types::{ChipConfig, ChipStats, MachineStats, SimError};
+use smt_types::config::FetchPolicyKind;
+use smt_types::{AdaptiveConfig, ChipConfig, ChipStats, MachineStats, SimError};
 
 use crate::pipeline::{Core, SimOptions};
 
@@ -103,6 +104,40 @@ impl ChipSimulator {
             shared,
             cycle: 0,
         })
+    }
+
+    /// Builds a chip whose cores are driven by the adaptive policy engine:
+    /// every core gets its *own* selector instance (selectors keep state) and
+    /// starts on `adaptive.candidates[0]`, overriding the fetch policy named
+    /// in `config.core`. Cores then switch policies independently, each on
+    /// its own interval telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`ChipSimulator::new`], plus [`SimError::InvalidConfig`] for
+    /// an invalid adaptive configuration.
+    pub fn new_adaptive(
+        config: ChipConfig,
+        traces_per_core: Vec<Vec<Box<dyn TraceSource>>>,
+        adaptive: AdaptiveConfig,
+    ) -> Result<Self, SimError> {
+        adaptive.validate()?;
+        let mut sim = Self::new(config, traces_per_core)?;
+        for core in &mut sim.cores {
+            core.set_adaptive(adaptive.clone())?;
+        }
+        Ok(sim)
+    }
+
+    /// Fraction of completed intervals each policy was installed for on one
+    /// core (see [`Core::policy_residency`]); `None` when the chip is not
+    /// adaptive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is out of range.
+    pub fn policy_residency(&self, core: usize) -> Option<Vec<(FetchPolicyKind, f64)>> {
+        self.cores[core].policy_residency()
     }
 
     /// The chip configuration the simulator was built with.

@@ -22,6 +22,7 @@ use crate::experiments::characterization;
 use crate::experiments::report::{empty_report, BenchRow, ExperimentReport, PolicyCell};
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::runner::{
+    evaluate_adaptive_chip_workload_with_intensities, evaluate_adaptive_workload,
     evaluate_chip_workload_with_intensities, evaluate_workload_with, mlp_intensity,
     run_single_thread, RunScale, StReferenceCache, WorkloadResult,
 };
@@ -166,6 +167,9 @@ fn run_grid_cells(
     if spec.kind == ExperimentKind::ChipGrid {
         return run_chip_cells(spec, threads, cache);
     }
+    if spec.kind == ExperimentKind::AdaptiveGrid {
+        return run_adaptive_cells(spec, threads, cache);
+    }
     let workloads: Vec<Workload> = spec
         .workloads
         .iter()
@@ -277,6 +281,131 @@ fn run_chip_cells(
     Ok((cells, summaries))
 }
 
+/// Runs an adaptive-grid spec: one cell per (sweep point × selector ×
+/// candidate-set × [allocation ×] workload). The allocation axis only exists
+/// when the spec lifts the grid to chip level; machine-level grids have one
+/// implicit `None` allocation. Chip grids probe each distinct benchmark's
+/// MLP intensity exactly once, like [`run_chip_cells`].
+fn run_adaptive_cells(
+    spec: &ExperimentSpec,
+    threads: usize,
+    cache: &StReferenceCache,
+) -> Result<GridOutcome, SimError> {
+    let adaptive_spec = spec
+        .adaptive
+        .as_ref()
+        .expect("validated adaptive grid has adaptive parameters");
+    let workloads: Vec<Workload> = spec
+        .workloads
+        .iter()
+        .map(|benchmarks| Workload::new(benchmarks.clone()))
+        .collect::<Result<_, _>>()?;
+    let sweep_points = spec.sweep_points();
+    // Chip-level adaptive grids need per-benchmark MLP intensities for the
+    // allocation policies; probe each distinct benchmark once, serially, so
+    // every cell sees identical placement inputs at any engine thread count.
+    let allocations: Vec<Option<AllocationPolicyKind>> = match &spec.chip {
+        Some(chip) => chip.allocations.iter().copied().map(Some).collect(),
+        None => vec![None],
+    };
+    // Only mlp-balanced placement reads the intensities; the probe runs are
+    // skipped (zero-filled) when no allocation of the spec consumes them.
+    let needs_probes = allocations
+        .iter()
+        .any(|a| matches!(a, Some(AllocationPolicyKind::MlpBalanced)));
+    let mut intensities: HashMap<&str, f64> = HashMap::new();
+    if spec.chip.is_some() {
+        let probe_config = spec.config_for(1, None);
+        for workload in &workloads {
+            for benchmark in &workload.benchmarks {
+                if !intensities.contains_key(benchmark.as_str()) {
+                    let value = if needs_probes {
+                        mlp_intensity(benchmark, &probe_config, spec.scale.seed)?
+                    } else {
+                        0.0
+                    };
+                    intensities.insert(benchmark, value);
+                }
+            }
+        }
+    }
+    type AdaptiveTask<'a> = (
+        Option<u64>,
+        smt_types::SelectorKind,
+        &'a [smt_types::config::FetchPolicyKind],
+        Option<AllocationPolicyKind>,
+        &'a Workload,
+    );
+    let mut tasks: Vec<AdaptiveTask> = Vec::new();
+    for &point in &sweep_points {
+        for &selector in &adaptive_spec.selectors {
+            for candidates in &adaptive_spec.candidate_sets {
+                for &allocation in &allocations {
+                    for workload in &workloads {
+                        tasks.push((point, selector, candidates, allocation, workload));
+                    }
+                }
+            }
+        }
+    }
+    let outcomes = parallel_map(
+        &tasks,
+        threads,
+        |&(point, selector, candidates, allocation, workload)| {
+            let adaptive = adaptive_spec.config_for(selector, candidates);
+            match allocation {
+                Some(allocation) => {
+                    let chip_config = spec.chip_config_for(workload.num_threads(), point);
+                    let thread_intensities: Vec<f64> = workload
+                        .benchmarks
+                        .iter()
+                        .map(|b| intensities[b.as_str()])
+                        .collect();
+                    evaluate_adaptive_chip_workload_with_intensities(
+                        &workload.benchmarks,
+                        &thread_intensities,
+                        &adaptive,
+                        allocation,
+                        &chip_config,
+                        spec.scale,
+                        cache,
+                    )
+                }
+                None => {
+                    let config = spec.config_for(workload.num_threads(), point);
+                    evaluate_adaptive_workload(
+                        &workload.benchmarks,
+                        &adaptive,
+                        &config,
+                        spec.scale,
+                        cache,
+                    )
+                }
+            }
+        },
+    );
+    let mut cells = Vec::with_capacity(tasks.len());
+    for ((point, _, _, _, workload), outcome) in tasks.iter().zip(outcomes) {
+        let result = outcome?;
+        cells.push(ExperimentReport::cell_from_adaptive_result(
+            &result,
+            &workload.benchmarks,
+            workload.group.label(),
+            *point,
+        ));
+    }
+    // The `policy` axis of an adaptive report is derived from the cells (the
+    // initial policy of each candidate set), in first-seen order.
+    let mut policies: Vec<smt_types::config::FetchPolicyKind> = Vec::new();
+    for cell in &cells {
+        if !policies.contains(&cell.policy) {
+            policies.push(cell.policy);
+        }
+    }
+    let summaries = ExperimentReport::summarize(&cells, &policies, &sweep_points);
+    Ok((cells, summaries))
+}
+
 fn run_bench_rows(spec: &ExperimentSpec, threads: usize) -> Result<Vec<BenchRow>, SimError> {
     let benchmarks: Vec<&String> = spec.workloads.iter().map(|w| &w[0]).collect();
     let kind = spec.kind;
@@ -358,7 +487,7 @@ fn bench_row(kind: ExperimentKind, benchmark: &str, scale: RunScale) -> Result<B
                 ..BenchRow::default()
             })
         }
-        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid => {
+        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid | ExperimentKind::AdaptiveGrid => {
             Err(SimError::internal("policy grids do not produce bench rows"))
         }
     }
@@ -383,6 +512,7 @@ mod tests {
             sweep: None,
             overrides: None,
             chip: None,
+            adaptive: None,
             scale: RunScale::tiny(),
         }
     }
@@ -451,6 +581,7 @@ mod tests {
             sweep: None,
             overrides: None,
             chip: None,
+            adaptive: None,
             scale: RunScale::tiny(),
         };
         let report = run_spec_with_threads(&spec, 2).unwrap();
@@ -484,6 +615,7 @@ mod tests {
                 bus_bytes_per_cycle: 16,
                 shared_llc: None,
             }),
+            adaptive: None,
             scale: RunScale::tiny(),
         }
     }

@@ -36,6 +36,7 @@ pub use predictors::{
 pub use registry::ExperimentRegistry;
 pub use report::{BenchRow, ExperimentReport, PolicyCell, SummaryRow};
 pub use spec::{
-    ChipSpec, ConfigOverrides, ExperimentKind, ExperimentSpec, SweepParameter, SweepSpec,
+    AdaptiveSpec, ChipSpec, ConfigOverrides, ExperimentKind, ExperimentSpec, SweepParameter,
+    SweepSpec,
 };
 pub use sweeps::{format_sweep, memory_latency_sweep, window_size_sweep, SweepPoint};

@@ -7,12 +7,13 @@
 
 use serde::{Deserialize, Serialize};
 use smt_sched::AllocationPolicyKind;
+use smt_types::adaptive::{PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
 use smt_types::SimError;
 
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::metrics;
-use crate::runner::{ChipWorkloadResult, RunScale, WorkloadResult};
+use crate::runner::{AdaptiveWorkloadResult, ChipWorkloadResult, RunScale, WorkloadResult};
 
 /// One multiprogram grid cell: a (policy, workload, sweep point) evaluation.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -46,6 +47,14 @@ pub struct PolicyCell {
     pub per_core_ipc: Option<Vec<f64>>,
     /// Chip cells: each core's contribution to the cell STP.
     pub per_core_stp: Option<Vec<f64>>,
+    /// Adaptive cells: the policy selector evaluated (`policy` then names
+    /// the *initial* policy, `candidates[0]`).
+    pub selector: Option<SelectorKind>,
+    /// Adaptive cells: the candidate policy set evaluated.
+    pub candidates: Option<Vec<FetchPolicyKind>>,
+    /// Adaptive cells: fraction of completed intervals each policy was
+    /// active.
+    pub policy_residency: Option<Vec<PolicyResidency>>,
 }
 
 /// Aggregate over the workloads of one (sweep point, policy, group) slice.
@@ -60,6 +69,10 @@ pub struct SummaryRow {
     pub parameter: Option<u64>,
     /// Chip grids: the thread-to-core allocation policy aggregated.
     pub allocation: Option<AllocationPolicyKind>,
+    /// Adaptive grids: the policy selector aggregated.
+    pub selector: Option<SelectorKind>,
+    /// Adaptive grids: the candidate policy set aggregated.
+    pub candidates: Option<Vec<FetchPolicyKind>>,
     /// Number of workloads aggregated.
     pub workloads: u64,
     /// Harmonic-mean STP (higher is better).
@@ -153,6 +166,9 @@ impl ExperimentReport {
             core_assignments: None,
             per_core_ipc: None,
             per_core_stp: None,
+            selector: None,
+            candidates: None,
+            policy_residency: None,
         }
     }
 
@@ -178,6 +194,43 @@ impl ExperimentReport {
             core_assignments: Some(result.core_assignments.clone()),
             per_core_ipc: Some(result.per_core_ipc.clone()),
             per_core_stp: Some(result.per_core_stp.clone()),
+            selector: None,
+            candidates: None,
+            policy_residency: None,
+        }
+    }
+
+    /// Builds a cell from an adaptive-engine [`AdaptiveWorkloadResult`]. The
+    /// cell's `policy` column carries the *initial* policy
+    /// (`candidates[0]`); the selector/candidates/residency columns describe
+    /// the dynamic behaviour.
+    pub(crate) fn cell_from_adaptive_result(
+        result: &AdaptiveWorkloadResult,
+        benchmarks: &[String],
+        group: &str,
+        parameter: Option<u64>,
+    ) -> PolicyCell {
+        PolicyCell {
+            policy: *result
+                .candidates
+                .first()
+                .expect("validated adaptive cell has candidates"),
+            workload: result.workload.clone(),
+            benchmarks: benchmarks.to_vec(),
+            group: group.to_string(),
+            parameter,
+            stp: result.stp,
+            antt: result.antt,
+            per_thread_ipc: result.per_thread_ipc.clone(),
+            per_thread_st_ipc: result.per_thread_st_ipc.clone(),
+            allocation: result.allocation,
+            num_cores: result.num_cores,
+            core_assignments: result.core_assignments.clone(),
+            per_core_ipc: result.per_core_ipc.clone(),
+            per_core_stp: result.per_core_stp.clone(),
+            selector: Some(result.selector),
+            candidates: Some(result.candidates.clone()),
+            policy_residency: Some(result.policy_residency.clone()),
         }
     }
 
@@ -212,34 +265,53 @@ impl ExperimentReport {
         if allocations.is_empty() {
             allocations.push(None);
         }
+        // Adaptive grids add a (selector, candidate-set) axis; classic grids
+        // have the single `None` combination, keeping their rows unchanged.
+        type SelectorCombo = (Option<SelectorKind>, Option<Vec<FetchPolicyKind>>);
+        let mut selectors: Vec<SelectorCombo> = Vec::new();
+        for cell in cells {
+            let combo = (cell.selector, cell.candidates.clone());
+            if !selectors.contains(&combo) {
+                selectors.push(combo);
+            }
+        }
+        if selectors.is_empty() {
+            selectors.push((None, None));
+        }
         let mut rows = Vec::new();
         for &parameter in parameters {
             for &policy in policies {
                 for &allocation in &allocations {
-                    for group in &groups {
-                        let slice: Vec<&PolicyCell> = cells
-                            .iter()
-                            .filter(|c| {
-                                c.parameter == parameter
-                                    && c.policy == policy
-                                    && c.allocation == allocation
-                                    && group.as_deref().is_none_or(|g| c.group == g)
-                            })
-                            .collect();
-                        if slice.is_empty() {
-                            continue;
+                    for (selector, candidates) in &selectors {
+                        for group in &groups {
+                            let slice: Vec<&PolicyCell> = cells
+                                .iter()
+                                .filter(|c| {
+                                    c.parameter == parameter
+                                        && c.policy == policy
+                                        && c.allocation == allocation
+                                        && c.selector == *selector
+                                        && c.candidates == *candidates
+                                        && group.as_deref().is_none_or(|g| c.group == g)
+                                })
+                                .collect();
+                            if slice.is_empty() {
+                                continue;
+                            }
+                            let stps: Vec<f64> = slice.iter().map(|c| c.stp).collect();
+                            let antts: Vec<f64> = slice.iter().map(|c| c.antt).collect();
+                            rows.push(SummaryRow {
+                                policy,
+                                group: group.clone(),
+                                parameter,
+                                allocation,
+                                selector: *selector,
+                                candidates: candidates.clone(),
+                                workloads: slice.len() as u64,
+                                avg_stp: metrics::harmonic_mean(&stps),
+                                avg_antt: metrics::arithmetic_mean(&antts),
+                            });
                         }
-                        let stps: Vec<f64> = slice.iter().map(|c| c.stp).collect();
-                        let antts: Vec<f64> = slice.iter().map(|c| c.antt).collect();
-                        rows.push(SummaryRow {
-                            policy,
-                            group: group.clone(),
-                            parameter,
-                            allocation,
-                            workloads: slice.len() as u64,
-                            avg_stp: metrics::harmonic_mean(&stps),
-                            avg_antt: metrics::arithmetic_mean(&antts),
-                        });
                     }
                 }
             }
@@ -291,10 +363,17 @@ impl ExperimentReport {
         // pre-rendered string.
         let chip_report = self.summaries.iter().any(|r| r.allocation.is_some())
             || self.policy_cells.iter().any(|c| c.allocation.is_some());
+        let adaptive_report = self.summaries.iter().any(|r| r.selector.is_some())
+            || self.policy_cells.iter().any(|c| c.selector.is_some());
         if !self.summaries.is_empty() {
             let alloc_header = if chip_report { "allocation    " } else { "" };
+            let selector_header = if adaptive_report {
+                "selector       "
+            } else {
+                ""
+            };
             out.push_str(&format!(
-                "\nsweep  group  policy                      {alloc_header}STP      ANTT  workloads\n"
+                "\nsweep  group  policy                      {selector_header}{alloc_header}STP      ANTT  workloads\n"
             ));
             for row in &self.summaries {
                 let alloc_col = if chip_report {
@@ -302,8 +381,13 @@ impl ExperimentReport {
                 } else {
                     String::new()
                 };
+                let selector_col = if adaptive_report {
+                    format!("{:<13}  ", row.selector.map_or("-", |s| s.name()))
+                } else {
+                    String::new()
+                };
                 out.push_str(&format!(
-                    "{:>5}  {:<5}  {:<26} {alloc_col}{:>6.3}  {:>8.3}  {:>9}\n",
+                    "{:>5}  {:<5}  {:<26} {selector_col}{alloc_col}{:>6.3}  {:>8.3}  {:>9}\n",
                     row.parameter
                         .map_or_else(|| "-".to_string(), |p| p.to_string()),
                     row.group.as_deref().unwrap_or("all"),
@@ -320,8 +404,13 @@ impl ExperimentReport {
             } else {
                 ("workload            ", "per-thread IPC")
             };
+            let selector_header = if adaptive_report {
+                "selector       "
+            } else {
+                ""
+            };
             out.push_str(&format!(
-                "\nsweep  group  policy                      {mid_header} {:>6}  {:>8}  {ipc_header}\n",
+                "\nsweep  group  policy                      {selector_header}{mid_header} {:>6}  {:>8}  {ipc_header}\n",
                 "STP", "ANTT"
             ));
             for cell in &self.policy_cells {
@@ -354,8 +443,26 @@ impl ExperimentReport {
                         .collect();
                     (format!("{:<20}", cell.workload), ipcs)
                 };
+                let selector_col = if adaptive_report {
+                    format!("{:<13}  ", cell.selector.map_or("-", |s| s.name()))
+                } else {
+                    String::new()
+                };
+                // Adaptive cells append their per-policy interval residency.
+                let residency = cell
+                    .policy_residency
+                    .as_deref()
+                    .filter(|r| !r.is_empty())
+                    .map(|records| {
+                        let parts: Vec<String> = records
+                            .iter()
+                            .map(|r| format!("{} {:.0}%", r.policy.name(), r.fraction * 100.0))
+                            .collect();
+                        format!("  [{}]", parts.join(" | "))
+                    })
+                    .unwrap_or_default();
                 out.push_str(&format!(
-                    "{:>5}  {:<5}  {:<26} {mid} {:>6.3}  {:>8.3}  {}\n",
+                    "{:>5}  {:<5}  {:<26} {selector_col}{mid} {:>6.3}  {:>8.3}  {}{residency}\n",
                     cell.parameter
                         .map_or_else(|| "-".to_string(), |p| p.to_string()),
                     cell.group,
@@ -434,7 +541,7 @@ fn format_bench_rows(kind: ExperimentKind, rows: &[BenchRow]) -> String {
                 ));
             }
         }
-        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid => {}
+        ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid | ExperimentKind::AdaptiveGrid => {}
     }
     out
 }
@@ -476,6 +583,9 @@ mod tests {
             core_assignments: None,
             per_core_ipc: None,
             per_core_stp: None,
+            selector: None,
+            candidates: None,
+            policy_residency: None,
         }
     }
 

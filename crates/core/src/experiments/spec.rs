@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 use smt_sched::AllocationPolicyKind;
 use smt_trace::spec as trace_spec;
+use smt_types::adaptive::{AdaptiveConfig, SelectorKind};
 use smt_types::config::{BusConfig, CacheConfig, FetchPolicyKind};
 use smt_types::{ChipConfig, SimError, SmtConfig};
 
@@ -34,17 +35,23 @@ pub enum ExperimentKind {
     /// STP/ANTT of each (fetch policy × allocation × workload) chip-level run
     /// on a CMP of SMT cores sharing an LLC (requires [`ExperimentSpec::chip`]).
     ChipGrid,
+    /// STP/ANTT of each (selector × candidate-set × workload) run under the
+    /// adaptive policy engine (requires [`ExperimentSpec::adaptive`]; with
+    /// [`ExperimentSpec::chip`] present, the grid runs at chip level and also
+    /// spans the chip's allocation policies).
+    AdaptiveGrid,
 }
 
 impl ExperimentKind {
     /// Every experiment kind.
-    pub const ALL: [ExperimentKind; 6] = [
+    pub const ALL: [ExperimentKind; 7] = [
         ExperimentKind::PolicyGrid,
         ExperimentKind::Characterization,
         ExperimentKind::PredictorAccuracy,
         ExperimentKind::MlpDistanceCdf,
         ExperimentKind::PrefetcherImpact,
         ExperimentKind::ChipGrid,
+        ExperimentKind::AdaptiveGrid,
     ];
 
     /// Machine-readable name used in spec files.
@@ -56,6 +63,7 @@ impl ExperimentKind {
             ExperimentKind::MlpDistanceCdf => "mlp_distance_cdf",
             ExperimentKind::PrefetcherImpact => "prefetcher_impact",
             ExperimentKind::ChipGrid => "chip_grid",
+            ExperimentKind::AdaptiveGrid => "adaptive_grid",
         }
     }
 
@@ -67,7 +75,10 @@ impl ExperimentKind {
     /// Whether this kind runs one benchmark at a time on a single-thread
     /// configuration (no policies, no multiprogram workloads).
     pub fn is_single_thread(self) -> bool {
-        !matches!(self, ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid)
+        !matches!(
+            self,
+            ExperimentKind::PolicyGrid | ExperimentKind::ChipGrid | ExperimentKind::AdaptiveGrid
+        )
     }
 }
 
@@ -205,6 +216,61 @@ pub struct ChipSpec {
     pub shared_llc: Option<CacheConfig>,
 }
 
+/// Adaptive-engine parameters of an [`ExperimentKind::AdaptiveGrid`]
+/// experiment.
+///
+/// The grid evaluates every selector × candidate-set combination on every
+/// workload. A `candidate_sets` entry is an ordered policy list: the machine
+/// starts on (and, under the static selector, never leaves) the first
+/// policy, so `[["icount", "mlp-flush"], ["mlp-flush", "icount"]]` with the
+/// `static` selector yields both static baselines inside the same report.
+/// Optional fields default to the [`AdaptiveConfig::new`] geometry.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AdaptiveSpec {
+    /// Policy selectors to evaluate (the first grid axis).
+    pub selectors: Vec<SelectorKind>,
+    /// Candidate policy sets to evaluate (the second grid axis).
+    pub candidate_sets: Vec<Vec<FetchPolicyKind>>,
+    /// Interval length in cycles between selector evaluations.
+    pub interval_cycles: Option<u64>,
+    /// Sampling selector: intervals per candidate trial.
+    pub sample_intervals: Option<u64>,
+    /// Sampling selector: intervals the epoch winner runs for.
+    pub commit_intervals: Option<u64>,
+    /// MLP-threshold selector: memory-bound LLL/Kinst threshold.
+    pub lll_per_kinst_threshold: Option<f64>,
+    /// MLP-threshold selector: exploitable-MLP threshold.
+    pub mlp_threshold: Option<f64>,
+}
+
+impl AdaptiveSpec {
+    /// Builds the [`AdaptiveConfig`] of one grid cell.
+    pub fn config_for(
+        &self,
+        selector: SelectorKind,
+        candidates: &[FetchPolicyKind],
+    ) -> AdaptiveConfig {
+        let mut config = AdaptiveConfig::new(selector, candidates.to_vec());
+        if let Some(interval) = self.interval_cycles {
+            config.interval_cycles = interval;
+        }
+        if let Some(sample) = self.sample_intervals {
+            config.sample_intervals = sample;
+        }
+        if let Some(commit) = self.commit_intervals {
+            config.commit_intervals = commit;
+        }
+        if let Some(lll) = self.lll_per_kinst_threshold {
+            config.lll_per_kinst_threshold = lll;
+        }
+        if let Some(mlp) = self.mlp_threshold {
+            config.mlp_threshold = mlp;
+        }
+        config
+    }
+}
+
 /// A complete, serializable description of one experiment.
 ///
 /// # Example
@@ -250,9 +316,13 @@ pub struct ExperimentSpec {
     pub sweep: Option<SweepSpec>,
     /// Optional sparse configuration overrides (policy grids only).
     pub overrides: Option<ConfigOverrides>,
-    /// Chip-level parameters (required for, and exclusive to,
-    /// [`ExperimentKind::ChipGrid`]).
+    /// Chip-level parameters (required for [`ExperimentKind::ChipGrid`];
+    /// optional for [`ExperimentKind::AdaptiveGrid`], lifting that grid to
+    /// chip level).
     pub chip: Option<ChipSpec>,
+    /// Adaptive-engine parameters (required for, and exclusive to,
+    /// [`ExperimentKind::AdaptiveGrid`]).
+    pub adaptive: Option<AdaptiveSpec>,
     /// Simulation size.
     pub scale: RunScale,
 }
@@ -368,10 +438,24 @@ impl ExperimentSpec {
         // from them (like the per-workload thread limit), so a degenerate
         // `num_cores` gets its own diagnostic instead of poisoning later
         // arithmetic.
-        if self.kind == ExperimentKind::ChipGrid {
-            let Some(chip) = &self.chip else {
-                return Err(invalid(name, "chip: required for kind `chip_grid`"));
-            };
+        let chip_allowed = matches!(
+            self.kind,
+            ExperimentKind::ChipGrid | ExperimentKind::AdaptiveGrid
+        );
+        if self.kind == ExperimentKind::ChipGrid && self.chip.is_none() {
+            return Err(invalid(name, "chip: required for kind `chip_grid`"));
+        }
+        if let Some(chip) = &self.chip {
+            if !chip_allowed {
+                return Err(invalid(
+                    name,
+                    format!(
+                        "chip: only supported for kinds `chip_grid` and `adaptive_grid`, \
+                         not `{}`",
+                        self.kind.name()
+                    ),
+                ));
+            }
             if chip.num_cores == 0 || chip.num_cores > ChipConfig::MAX_CORES {
                 return Err(invalid(
                     name,
@@ -384,11 +468,47 @@ impl ExperimentSpec {
             if chip.allocations.is_empty() {
                 return Err(invalid(name, "chip.allocations: must not be empty"));
             }
-        } else if self.chip.is_some() {
+        }
+        if self.kind == ExperimentKind::AdaptiveGrid {
+            let Some(adaptive) = &self.adaptive else {
+                return Err(invalid(name, "adaptive: required for kind `adaptive_grid`"));
+            };
+            if adaptive.selectors.is_empty() {
+                return Err(invalid(name, "adaptive.selectors: must not be empty"));
+            }
+            if adaptive.candidate_sets.is_empty() {
+                return Err(invalid(name, "adaptive.candidate_sets: must not be empty"));
+            }
+            // Every cell's engine configuration must itself be valid.
+            for &selector in &adaptive.selectors {
+                for (i, candidates) in adaptive.candidate_sets.iter().enumerate() {
+                    adaptive
+                        .config_for(selector, candidates)
+                        .validate()
+                        .map_err(|e| {
+                            prefix_error(
+                                name,
+                                &format!(
+                                    "adaptive (selector `{}`, candidate_sets[{i}])",
+                                    selector.name()
+                                ),
+                                e,
+                            )
+                        })?;
+                }
+            }
+            if !self.policies.is_empty() {
+                return Err(invalid(
+                    name,
+                    "policies: must be empty for kind `adaptive_grid` (the candidate sets \
+                     name the policies)",
+                ));
+            }
+        } else if self.adaptive.is_some() {
             return Err(invalid(
                 name,
                 format!(
-                    "chip: only supported for kind `chip_grid`, not `{}`",
+                    "adaptive: only supported for kind `adaptive_grid`, not `{}`",
                     self.kind.name()
                 ),
             ));
@@ -422,7 +542,7 @@ impl ExperimentSpec {
                 }
             }
         }
-        if let (ExperimentKind::ChipGrid, Some(chip)) = (self.kind, &self.chip) {
+        if let Some(chip) = self.chip.as_ref().filter(|_| chip_allowed) {
             for (i, benchmarks) in self.workloads.iter().enumerate() {
                 if !benchmarks.len().is_multiple_of(chip.num_cores)
                     || benchmarks.len() / chip.num_cores == 0
@@ -472,7 +592,7 @@ impl ExperimentSpec {
                     format!("overrides: not supported for kind `{}`", self.kind.name()),
                 ));
             }
-        } else if self.policies.is_empty() {
+        } else if self.policies.is_empty() && self.kind != ExperimentKind::AdaptiveGrid {
             return Err(invalid(
                 name,
                 "policies: must not be empty for a policy grid",
@@ -490,7 +610,7 @@ impl ExperimentSpec {
                     Some(v) => format!("workloads[{i}] at sweep value {v}"),
                     None => format!("workloads[{i}]"),
                 };
-                if self.kind == ExperimentKind::ChipGrid {
+                if self.chip.is_some() {
                     let chip_config = self.chip_config_for(benchmarks.len(), sweep_value);
                     chip_config
                         .validate()
@@ -538,6 +658,7 @@ mod tests {
             sweep: None,
             overrides: None,
             chip: None,
+            adaptive: None,
             scale: RunScale::tiny(),
         }
     }
@@ -566,6 +687,7 @@ mod tests {
                 bus_bytes_per_cycle: 16,
                 shared_llc: None,
             }),
+            adaptive: None,
             scale: RunScale::tiny(),
         }
     }

@@ -12,47 +12,42 @@
 //! ([`window::OpWindow`]) so each pipeline phase streams only the columns it
 //! reads; the trace front end is refilled in batches so the `Box<dyn
 //! TraceSource>` virtual call is paid once per ~64 fetched instructions.
+//!
+//! The pipeline is organised one phase per module, in commit-to-fetch order
+//! exactly as the per-cycle step runs them:
+//!
+//! * [`commit_phase`](self) — in-order retirement and LLSR/MLP training,
+//! * [`writeback_phase`](self) — event-driven completion (min-heap),
+//! * [`issue_phase`](self) — ready-instruction selection and memory access,
+//! * [`dispatch_phase`](self) — shared-buffer allocation and resource stalls,
+//! * [`fetch_phase`](self) — policy-prioritized instruction fetch,
+//! * `squash` — branch/flush recovery, `stats` — per-cycle accounting,
+//! * [`adaptive`] — the interval-telemetry collector and runtime
+//!   fetch-policy switching ([`Core::swap_policy`]).
 
+pub mod adaptive;
+mod commit_phase;
+mod dispatch_phase;
+mod fetch_phase;
+mod issue_phase;
+mod squash;
+mod stats;
 mod thread;
 pub mod window;
+mod writeback_phase;
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
-use smt_mem::{AccessLevel, CoreMemory, SharedLlc, WriteBuffer};
-use smt_predictors::LongLatencyPredictor;
+use smt_mem::{CoreMemory, SharedLlc, WriteBuffer};
 use smt_trace::TraceSource;
-use smt_types::{
-    MachineStats, OpFlags, OpKind, SeqNum, SimError, SmtConfig, SmtSnapshot, ThreadId,
-};
+use smt_types::{AdaptiveConfig, MachineStats, SimError, SmtConfig, SmtSnapshot, ThreadId};
 
-use thread::{PendingMlpEval, RefetchEntry, ThreadContext};
-
-/// A scheduled execution-completion: instruction `seq` of `thread` finishes at
-/// `done_at`. Events are popped from a min-heap when their cycle arrives;
-/// events whose instruction was squashed in the meantime no longer match any
-/// window entry (squashed instructions are re-fetched under fresh sequence
-/// numbers) and are discarded on pop.
-#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
-struct CompletionEvent {
-    done_at: u64,
-    thread: u32,
-    seq: u64,
-}
-
-/// Machine-level occupancy of the shared buffer resources, maintained
-/// incrementally at every allocate/release instead of being recomputed from the
-/// per-thread counters each cycle.
-#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
-struct SharedTotals {
-    rob: u32,
-    lsq: u32,
-    iq_int: u32,
-    iq_fp: u32,
-    rename_int: u32,
-    rename_fp: u32,
-}
+use adaptive::AdaptiveState;
+use stats::SharedTotals;
+use thread::ThreadContext;
+use writeback_phase::CompletionEvent;
 
 /// Run-length options for a simulation.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -119,6 +114,9 @@ pub struct Core {
     totals: SharedTotals,
     /// Pending execution completions, ordered by completion cycle.
     completions: BinaryHeap<Reverse<CompletionEvent>>,
+    /// The adaptive policy engine, when enabled: interval telemetry collector
+    /// plus the selector that picks the next interval's fetch policy.
+    adaptive: Option<AdaptiveState>,
     // Reusable per-cycle buffers: the steady-state cycle loop performs no heap
     // allocation.
     snapshot: SmtSnapshot,
@@ -187,6 +185,7 @@ impl Core {
             frontend_capacity,
             totals: SharedTotals::default(),
             completions: BinaryHeap::new(),
+            adaptive: None,
             priority: Vec::with_capacity(num_threads),
             flushes: Vec::new(),
             caps: vec![ResourceCaps::default(); num_threads],
@@ -230,6 +229,7 @@ impl Core {
     pub(crate) fn reset_stats(&mut self) {
         self.stats = MachineStats::new(self.threads.len());
         self.stats_cycle_base = self.cycle;
+        self.reset_adaptive_baselines();
     }
 
     /// Writes the measured cycle count into the statistics record (the owning
@@ -260,723 +260,13 @@ impl Core {
         self.rotate = (self.rotate + 1) % self.threads.len();
         self.snapshot = snapshot;
         self.caps = caps;
+        // The sanctioned policy-swap point: interval telemetry is published
+        // and the selector consulted only here, at end-of-cycle, after every
+        // phase has run — a pure function of core-local state, so chip
+        // results stay invariant to core stepping order.
+        self.adaptive_interval_tick();
         #[cfg(debug_assertions)]
         self.debug_check_totals();
-    }
-
-    // ------------------------------------------------------------------ snapshot
-
-    /// Rewrites the reused snapshot buffer in place with the start-of-cycle
-    /// machine state (no allocation in steady state).
-    fn refresh_snapshot(&self, snap: &mut SmtSnapshot) {
-        snap.begin_cycle(self.cycle);
-        snap.rob_total_occupancy = self.totals.rob;
-        snap.lsq_total_occupancy = self.totals.lsq;
-        snap.iq_int_total_occupancy = self.totals.iq_int;
-        snap.iq_fp_total_occupancy = self.totals.iq_fp;
-        snap.rename_int_total_used = self.totals.rename_int;
-        snap.rename_fp_total_used = self.totals.rename_fp;
-        for (i, ctx) in self.threads.iter().enumerate() {
-            let t = &mut snap.threads[i];
-            t.active = ctx.active;
-            t.icount = ctx.occ.icount;
-            t.rob_occupancy = ctx.occ.rob;
-            t.lsq_occupancy = ctx.occ.lsq;
-            t.iq_int_occupancy = ctx.occ.iq_int;
-            t.iq_fp_occupancy = ctx.occ.iq_fp;
-            t.rename_int_used = ctx.occ.rename_int;
-            t.rename_fp_used = ctx.occ.rename_fp;
-            t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
-            t.outstanding_l1d_misses = ctx.outstanding_l1d;
-            t.oldest_lll_cycle = ctx.oldest_lll_cycle();
-        }
-    }
-
-    /// Verifies (in debug builds) that the incremental shared-resource totals
-    /// agree with a from-scratch recomputation over the per-thread counters,
-    /// and that the window cursors agree with the occupancy counters.
-    #[cfg(debug_assertions)]
-    fn debug_check_totals(&self) {
-        let mut expect = SharedTotals::default();
-        for ctx in &self.threads {
-            expect.rob += ctx.occ.rob;
-            expect.lsq += ctx.occ.lsq;
-            expect.iq_int += ctx.occ.iq_int;
-            expect.iq_fp += ctx.occ.iq_fp;
-            expect.rename_int += ctx.occ.rename_int;
-            expect.rename_fp += ctx.occ.rename_fp;
-            debug_assert_eq!(
-                ctx.window.first_undispatched_index(),
-                ctx.window.len() - ctx.occ.frontend as usize,
-                "dispatch cursor drifted from front-end occupancy"
-            );
-        }
-        debug_assert_eq!(self.totals, expect, "incremental occupancy totals drifted");
-    }
-
-    // ------------------------------------------------------------------ commit
-
-    fn commit_phase(&mut self, shared: &mut SharedLlc) {
-        let cycle = self.cycle;
-        let commit_width = self.config.commit_width;
-        for ti in 0..self.threads.len() {
-            let mut done = 0;
-            while done < commit_width {
-                let ctx = &mut self.threads[ti];
-                if ctx.window.is_empty() {
-                    break;
-                }
-                let flags = ctx.window.flags_at(0);
-                if !flags.commit_ready() {
-                    break;
-                }
-                let op = ctx.window.op_at(0);
-                if op.kind == OpKind::Store && !self.write_buffer.try_push(cycle) {
-                    // Commit blocks when the write buffer is full (Section 5).
-                    break;
-                }
-                let predicted_mlp_distance = ctx.window.predicted_mlp_distance_at(0);
-                ctx.window.pop_front();
-                ctx.occ.rob -= 1;
-                self.totals.rob -= 1;
-                if flags.uses_lsq() {
-                    ctx.occ.lsq -= 1;
-                    self.totals.lsq -= 1;
-                }
-                if flags.has_dest() {
-                    if flags.dest_fp() {
-                        ctx.occ.rename_fp -= 1;
-                        self.totals.rename_fp -= 1;
-                    } else {
-                        ctx.occ.rename_int -= 1;
-                        self.totals.rename_int -= 1;
-                    }
-                }
-                ctx.committed += 1;
-                let thread_id = ThreadId::new(ti);
-                if op.kind == OpKind::Store {
-                    if let Some(addr) = op.addr() {
-                        self.mem.store_access(shared, thread_id, addr, cycle);
-                    }
-                }
-                let tstats = self.stats.thread_mut(thread_id);
-                tstats.committed_instructions += 1;
-                match op.kind {
-                    OpKind::Load => tstats.loads += 1,
-                    OpKind::Store => tstats.stores += 1,
-                    OpKind::Branch => tstats.branches += 1,
-                    _ => {}
-                }
-                // Feed the LLSR and, when a long-latency load leaves the window,
-                // train the MLP predictors and score the earlier prediction.
-                let is_lll_load = flags.is_long_latency() && op.kind == OpKind::Load;
-                if is_lll_load {
-                    ctx.pending_mlp_evals.push_back(PendingMlpEval {
-                        pc: op.pc,
-                        predicted_distance: predicted_mlp_distance,
-                    });
-                }
-                if let Some(obs) = ctx.llsr.commit(op.pc, is_lll_load) {
-                    ctx.mlp_predictor.update(obs.pc, obs.mlp_distance);
-                    ctx.binary_mlp_predictor
-                        .update(obs.pc, obs.mlp_distance > 0);
-                    if let Some(eval) = ctx.pending_mlp_evals.pop_front() {
-                        debug_assert_eq!(eval.pc, obs.pc, "LLSR and prediction FIFOs diverged");
-                        let tstats = self.stats.thread_mut(thread_id);
-                        let predicted_mlp = eval.predicted_distance > 0;
-                        let actual_mlp = obs.mlp_distance > 0;
-                        match (predicted_mlp, actual_mlp) {
-                            (true, true) => tstats.mlp_pred_true_positive += 1,
-                            (false, false) => tstats.mlp_pred_true_negative += 1,
-                            (true, false) => tstats.mlp_pred_false_positive += 1,
-                            (false, true) => tstats.mlp_pred_false_negative += 1,
-                        }
-                        tstats.mlp_distance_total += 1;
-                        if eval.predicted_distance >= obs.mlp_distance {
-                            tstats.mlp_distance_far_enough += 1;
-                        }
-                    }
-                }
-                done += 1;
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------ writeback
-
-    /// Event-driven writeback: instead of rescanning every window entry each
-    /// cycle, pop the completion events that are due from the min-heap. Events
-    /// whose instruction was squashed while in flight find no matching sequence
-    /// number (squashed instructions are re-fetched under fresh numbers) and
-    /// are dropped.
-    fn writeback_phase(&mut self) {
-        let cycle = self.cycle;
-        self.mispredicts.fill(None);
-        while let Some(&Reverse(event)) = self.completions.peek() {
-            if event.done_at > cycle {
-                break;
-            }
-            self.completions.pop();
-            let ti = event.thread as usize;
-            let ctx = &mut self.threads[ti];
-            let Some(idx) = ctx.window.position_of_seq(event.seq) else {
-                // Stale event: the instruction was squashed after issuing.
-                continue;
-            };
-            let flags = ctx.window.flags_at(idx);
-            debug_assert!(
-                flags.issued() && !flags.completed() && ctx.window.done_at(idx) == event.done_at
-            );
-            ctx.window.flags_mut(idx).set_completed(true);
-            let seq = event.seq;
-            let was_lll = flags.is_long_latency();
-            let was_l1_miss = flags.l1_missed();
-            let mispredicted_branch =
-                ctx.window.op_at(idx).kind == OpKind::Branch && flags.mispredicted();
-            if was_l1_miss && ctx.outstanding_l1d > 0 {
-                ctx.outstanding_l1d -= 1;
-            }
-            if was_lll && ctx.outstanding_lll.remove(seq) {
-                self.policy
-                    .on_long_latency_resolved(ThreadId::new(ti), SeqNum(seq));
-            }
-            if mispredicted_branch {
-                let oldest = &mut self.mispredicts[ti];
-                *oldest = Some(oldest.map_or(seq, |s: u64| s.min(seq)));
-            }
-        }
-        for ti in 0..self.threads.len() {
-            if let Some(seq) = self.mispredicts[ti] {
-                self.stats
-                    .thread_mut(ThreadId::new(ti))
-                    .branch_mispredictions += 1;
-                self.squash(ti, seq, SquashCause::BranchMisprediction);
-            }
-        }
-    }
-
-    // ------------------------------------------------------------------ issue
-
-    fn issue_phase(&mut self, shared: &mut SharedLlc) {
-        let cycle = self.cycle;
-        let mut remaining = self.config.issue_width;
-        let mut int_units = self.config.int_alus;
-        let mut ldst_units = self.config.ldst_units;
-        let mut fp_units = self.config.fp_units;
-        let num_threads = self.threads.len();
-        let mut flushes = std::mem::take(&mut self.flushes);
-        flushes.clear();
-
-        for offset in 0..num_threads {
-            if remaining == 0 {
-                break;
-            }
-            let ti = (self.rotate + offset) % num_threads;
-            let thread_id = ThreadId::new(ti);
-            // Resume after the settled prefix of already-issued instructions,
-            // then gather this thread's ready-to-issue candidates in one tight
-            // bitmap pass instead of rescanning the (mostly issued, mostly
-            // blocked) window entry by entry.
-            let start = self.threads[ti].window.issue_scan_start();
-            let mut candidates = std::mem::take(&mut self.issue_candidates);
-            candidates.clear();
-            self.threads[ti]
-                .window
-                .collect_issue_candidates(start, &mut candidates);
-            let mut candidate_pos = 0;
-            while remaining > 0 && candidate_pos < candidates.len() {
-                let idx = candidates[candidate_pos] as usize;
-                candidate_pos += 1;
-                let (seq, op, predicted_lll) = {
-                    let window = &self.threads[ti].window;
-                    let flags = window.flags_at(idx);
-                    (window.seq_at(idx), window.op_at(idx), flags.predicted_lll())
-                };
-                // Functional-unit availability.
-                let unit = match op.kind {
-                    OpKind::Load | OpKind::Store => &mut ldst_units,
-                    k if k.is_fp() => &mut fp_units,
-                    _ => &mut int_units,
-                };
-                if *unit == 0 {
-                    continue;
-                }
-                *unit -= 1;
-                remaining -= 1;
-
-                let mut done_at = cycle + op.kind.exec_latency();
-                let mut detected_lll = false;
-                let mut l1_missed = false;
-                let mut detection_distance = 0;
-                let mut detection_has_mlp = false;
-
-                if op.kind == OpKind::Load {
-                    let addr = op.addr().unwrap_or(0);
-                    let access = self.mem.load_access(shared, thread_id, op.pc, addr, cycle);
-                    done_at = access.completion_cycle().max(cycle + 1);
-                    l1_missed = access.l1_miss;
-                    let tstats = self.stats.thread_mut(thread_id);
-                    if access.l1_miss {
-                        tstats.l1d_load_misses += 1;
-                    }
-                    if access.l2_miss {
-                        tstats.l2_load_misses += 1;
-                    }
-                    if access.level == AccessLevel::Memory {
-                        tstats.l3_load_misses += 1;
-                    }
-                    if access.dtlb_miss {
-                        tstats.dtlb_misses += 1;
-                    }
-                    if access.prefetch_hit {
-                        tstats.prefetch_hits += 1;
-                    }
-                    // Score and train the long-latency load predictor (Figure 6).
-                    tstats.lll_pred_total += 1;
-                    if predicted_lll == access.long_latency {
-                        tstats.lll_pred_correct += 1;
-                    }
-                    if access.long_latency {
-                        tstats.lll_pred_miss_total += 1;
-                        if predicted_lll {
-                            tstats.lll_pred_miss_correct += 1;
-                        }
-                        tstats.long_latency_loads += 1;
-                        detected_lll = true;
-                    }
-                    let ctx = &mut self.threads[ti];
-                    ctx.lll_predictor.update(op.pc, access.long_latency);
-                    if access.long_latency {
-                        detection_distance = ctx.mlp_predictor.predict(op.pc);
-                        detection_has_mlp = ctx.binary_mlp_predictor.predict(op.pc);
-                        ctx.outstanding_lll.insert(seq, cycle);
-                        self.stats
-                            .thread_mut(thread_id)
-                            .record_mlp_distance(detection_distance);
-                    }
-                    if access.l1_miss {
-                        ctx.outstanding_l1d += 1;
-                    }
-                } else if op.kind == OpKind::Store {
-                    done_at = cycle + 1;
-                }
-
-                {
-                    let ctx = &mut self.threads[ti];
-                    ctx.window.mark_issued(idx);
-                    let flags = ctx.window.flags_mut(idx);
-                    flags.set_l1_missed(l1_missed);
-                    if detected_lll {
-                        flags.set_is_long_latency(true);
-                        flags.set_predicted_has_mlp(detection_has_mlp);
-                    }
-                    let uses_fp_iq = flags.uses_fp_iq();
-                    ctx.window.set_done_at(idx, done_at);
-                    if detected_lll {
-                        ctx.window
-                            .set_predicted_mlp_distance(idx, detection_distance);
-                    }
-                    if uses_fp_iq {
-                        ctx.occ.iq_fp -= 1;
-                        self.totals.iq_fp -= 1;
-                    } else {
-                        ctx.occ.iq_int -= 1;
-                        self.totals.iq_int -= 1;
-                    }
-                    ctx.occ.icount -= 1;
-                    self.completions.push(Reverse(CompletionEvent {
-                        done_at,
-                        thread: ti as u32,
-                        seq,
-                    }));
-                }
-
-                if op.kind == OpKind::Load {
-                    let latest = SeqNum(self.threads[ti].latest_fetched_seq);
-                    if detected_lll {
-                        if let Some(req) = self.policy.on_long_latency_detected(
-                            thread_id,
-                            op.pc,
-                            SeqNum(seq),
-                            latest,
-                            detection_distance,
-                            detection_has_mlp,
-                        ) {
-                            flushes.push(req);
-                        }
-                    } else {
-                        self.policy
-                            .on_load_executed_hit(thread_id, op.pc, SeqNum(seq));
-                    }
-                }
-            }
-            self.issue_candidates = candidates;
-        }
-
-        for req in flushes.drain(..) {
-            self.apply_flush(req);
-        }
-        self.flushes = flushes;
-    }
-
-    // ------------------------------------------------------------------ dispatch
-
-    fn dispatch_phase(&mut self, snapshot: &mut SmtSnapshot, caps: Option<&[ResourceCaps]>) {
-        let cycle = self.cycle;
-        let cfg = &self.config;
-        let mut remaining = cfg.dispatch_width;
-        // Shared occupancy comes from the incrementally maintained totals; the
-        // locals track this cycle's allocations and are folded back afterwards.
-        let mut rob_total = self.totals.rob;
-        let mut lsq_total = self.totals.lsq;
-        let mut iq_int_total = self.totals.iq_int;
-        let mut iq_fp_total = self.totals.iq_fp;
-        let mut ren_int_total = self.totals.rename_int;
-        let mut ren_fp_total = self.totals.rename_fp;
-        let mut shared_blocked = false;
-        let num_threads = self.threads.len();
-
-        for offset in 0..num_threads {
-            if remaining == 0 {
-                break;
-            }
-            let ti = (self.rotate + offset) % num_threads;
-            let thread_id = ThreadId::new(ti);
-            loop {
-                if remaining == 0 {
-                    break;
-                }
-                let ctx = &self.threads[ti];
-                if ctx.occ.frontend == 0 {
-                    break;
-                }
-                // The dispatch cursor is the first undispatched instruction;
-                // it coincides with `len - frontend` (checked in debug builds
-                // each cycle) but needs no recomputation.
-                let idx = ctx.window.first_undispatched_index();
-                if ctx.window.frontend_ready_at(idx) > cycle {
-                    break;
-                }
-                let op = ctx.window.op_at(idx);
-                let uses_lsq = op.kind.is_mem();
-                let uses_fp_iq = op.kind.is_fp();
-                let has_dest = matches!(
-                    op.kind,
-                    OpKind::IntAlu | OpKind::IntMul | OpKind::FpOp | OpKind::FpLong | OpKind::Load
-                );
-                let dest_fp = op.kind.is_fp();
-
-                // Shared-resource availability (ROB, LSQ, IQs, rename registers).
-                let shared_ok = rob_total < cfg.rob_size
-                    && (!uses_lsq || lsq_total < cfg.lsq_size)
-                    && (uses_fp_iq && iq_fp_total < cfg.iq_fp_size
-                        || !uses_fp_iq && iq_int_total < cfg.iq_int_size)
-                    && (!has_dest
-                        || (dest_fp && ren_fp_total < cfg.rename_fp
-                            || !dest_fp && ren_int_total < cfg.rename_int));
-                if !shared_ok {
-                    shared_blocked = true;
-                    break;
-                }
-
-                // Per-thread caps from explicit resource-management policies.
-                if let Some(caps) = caps {
-                    let cap = &caps[ti];
-                    let occ = &ctx.occ;
-                    let cap_ok = cap.rob.is_none_or(|c| occ.rob < c)
-                        && (!uses_lsq || cap.lsq.is_none_or(|c| occ.lsq < c))
-                        && (uses_fp_iq && cap.iq_fp.is_none_or(|c| occ.iq_fp < c)
-                            || !uses_fp_iq && cap.iq_int.is_none_or(|c| occ.iq_int < c))
-                        && (!has_dest
-                            || (dest_fp && cap.rename_fp.is_none_or(|c| occ.rename_fp < c)
-                                || !dest_fp && cap.rename_int.is_none_or(|c| occ.rename_int < c)));
-                    if !cap_ok {
-                        break;
-                    }
-                }
-
-                // Resolve source-operand producers once; issue then checks
-                // readiness by window offset instead of re-searching each cycle.
-                let dep_offsets = ctx.window.resolve_dep_offsets(idx);
-
-                // Allocate and mark dispatched.
-                let ctx = &mut self.threads[ti];
-                let seq = ctx.window.seq_at(idx);
-                let pc = op.pc;
-                ctx.window.set_src_dep_offsets(idx, dep_offsets);
-                ctx.window.mark_dispatched(idx);
-                {
-                    let flags = ctx.window.flags_mut(idx);
-                    flags.set_uses_lsq(uses_lsq);
-                    flags.set_uses_fp_iq(uses_fp_iq);
-                    flags.set_has_dest(has_dest);
-                    flags.set_dest_fp(dest_fp);
-                }
-                ctx.occ.frontend -= 1;
-                ctx.occ.rob += 1;
-                rob_total += 1;
-                if uses_lsq {
-                    ctx.occ.lsq += 1;
-                    lsq_total += 1;
-                }
-                if uses_fp_iq {
-                    ctx.occ.iq_fp += 1;
-                    iq_fp_total += 1;
-                } else {
-                    ctx.occ.iq_int += 1;
-                    iq_int_total += 1;
-                }
-                if has_dest {
-                    if dest_fp {
-                        ctx.occ.rename_fp += 1;
-                        ren_fp_total += 1;
-                    } else {
-                        ctx.occ.rename_int += 1;
-                        ren_int_total += 1;
-                    }
-                }
-                remaining -= 1;
-
-                // Front-end long-latency / MLP prediction for loads.
-                if op.kind == OpKind::Load {
-                    let (lll, distance, has_mlp) = ctx.predict_load(pc);
-                    let flags = ctx.window.flags_mut(idx);
-                    flags.set_predicted_lll(lll);
-                    flags.set_predicted_has_mlp(has_mlp);
-                    ctx.window.set_predicted_mlp_distance(idx, distance);
-                    self.policy.on_load_predicted(
-                        thread_id,
-                        pc,
-                        SeqNum(seq),
-                        lll,
-                        distance,
-                        has_mlp,
-                    );
-                }
-            }
-        }
-
-        // Fold this cycle's allocations back into the running totals before any
-        // stall-triggered flush (whose squashes decrement them again).
-        self.totals = SharedTotals {
-            rob: rob_total,
-            lsq: lsq_total,
-            iq_int: iq_int_total,
-            iq_fp: iq_fp_total,
-            rename_int: ren_int_total,
-            rename_fp: ren_fp_total,
-        };
-
-        if shared_blocked {
-            // Flip the stall flag and refresh the outstanding-load view in
-            // place (saving the overwritten start-of-cycle values) instead of
-            // cloning the snapshot for the policy callback.
-            snapshot.resource_stalled = true;
-            let mut stall_view = std::mem::take(&mut self.stall_view);
-            stall_view.clear();
-            for (i, ctx) in self.threads.iter().enumerate() {
-                let t = &mut snapshot.threads[i];
-                stall_view.push((t.outstanding_long_latency_loads, t.oldest_lll_cycle));
-                t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
-                t.oldest_lll_cycle = ctx.oldest_lll_cycle();
-            }
-            let mut flushes = std::mem::take(&mut self.flushes);
-            flushes.clear();
-            self.policy.on_resource_stall(snapshot, &mut flushes);
-            for req in flushes.drain(..) {
-                self.apply_flush(req);
-            }
-            self.flushes = flushes;
-            // Restore the start-of-cycle view: the fetch phase must see the
-            // same snapshot the pre-refactor pipeline handed it.
-            snapshot.resource_stalled = false;
-            for (i, (lll, oldest)) in stall_view.drain(..).enumerate() {
-                snapshot.threads[i].outstanding_long_latency_loads = lll;
-                snapshot.threads[i].oldest_lll_cycle = oldest;
-            }
-            self.stall_view = stall_view;
-        }
-    }
-
-    // ------------------------------------------------------------------ fetch
-
-    fn fetch_phase(&mut self, snapshot: &SmtSnapshot) {
-        let cycle = self.cycle;
-        let mut priority = std::mem::take(&mut self.priority);
-        self.policy.fetch_priority(snapshot, &mut priority);
-        // Account gated cycles for active threads the policy excluded, via a
-        // "selected" bitmask filled in one pass over the priority list
-        // (MAX_THREADS <= 64) instead of an O(threads) scan per thread.
-        let mut selected: u64 = 0;
-        for t in &priority {
-            selected |= 1 << t.index();
-        }
-        for ti in 0..self.threads.len() {
-            if self.threads[ti].active && selected & (1 << ti) == 0 {
-                self.stats.thread_mut(ThreadId::new(ti)).fetch_gated_cycles += 1;
-            }
-        }
-        let mut budget = self.config.fetch_width;
-        let mut threads_used = 0;
-        let frontend_ready_at = cycle + self.config.frontend_depth as u64;
-        for &t in &priority {
-            if budget == 0 || threads_used >= self.config.fetch_threads_per_cycle {
-                break;
-            }
-            let ti = t.index();
-            if !self.threads[ti].active {
-                continue;
-            }
-            if self.threads[ti].occ.frontend >= self.frontend_capacity {
-                continue;
-            }
-            let mut fetched_here = 0;
-            while budget > 0
-                && fetched_here < self.config.fetch_width
-                && self.threads[ti].occ.frontend < self.frontend_capacity
-            {
-                let ctx = &mut self.threads[ti];
-                let (op, replay) = ctx.pull_op();
-                let seq = ctx.next_seq;
-                ctx.next_seq += 1;
-                ctx.latest_fetched_seq = seq;
-                let mut mispredicted = false;
-                let mut predicted_taken = false;
-                if let Some(entry) = replay {
-                    // Re-fetch of a squashed instruction: replay the original
-                    // prediction outcome; the predictor was already trained.
-                    mispredicted = entry.mispredicted;
-                    predicted_taken = entry.predicted_taken;
-                } else if let (OpKind::Branch, Some(info)) = (op.kind, op.branch) {
-                    // First fetch of this dynamic branch: predict and train at the
-                    // same global-history point, exactly once per dynamic branch.
-                    let pred = ctx.branch_predictor.predict(op.pc);
-                    mispredicted =
-                        ctx.branch_predictor
-                            .update(op.pc, info.taken, info.target, pred);
-                    predicted_taken = pred.taken;
-                }
-                let mut flags = OpFlags::default();
-                flags.set_mispredicted(mispredicted);
-                flags.set_predicted_taken(predicted_taken);
-                ctx.window.push_back(seq, op, frontend_ready_at, flags);
-                ctx.occ.frontend += 1;
-                ctx.occ.icount += 1;
-                self.stats.thread_mut(t).fetched_instructions += 1;
-                self.policy.on_fetch(t, SeqNum(seq));
-                budget -= 1;
-                fetched_here += 1;
-                if predicted_taken {
-                    // The fetch group ends at a predicted-taken branch.
-                    break;
-                }
-            }
-            if fetched_here > 0 {
-                threads_used += 1;
-            }
-        }
-        self.priority = priority;
-    }
-
-    // ------------------------------------------------------------------ squash / flush
-
-    fn apply_flush(&mut self, request: FlushRequest) {
-        let ti = request.thread.index();
-        if ti >= self.threads.len() {
-            return;
-        }
-        let squashed = self.squash(ti, request.keep_up_to.0, SquashCause::PolicyFlush);
-        if squashed > 0 {
-            self.stats.thread_mut(request.thread).policy_flushes += 1;
-        }
-    }
-
-    /// Removes every instruction of thread `ti` with a sequence number greater than
-    /// `keep_up_to`, returning how many were squashed. Squashed operations are
-    /// queued for re-fetch in program order.
-    fn squash(&mut self, ti: usize, keep_up_to: u64, cause: SquashCause) -> u64 {
-        let thread_id = ThreadId::new(ti);
-        let mut squashed = 0;
-        {
-            let ctx = &mut self.threads[ti];
-            while !ctx.window.is_empty() {
-                let last = ctx.window.len() - 1;
-                let seq = ctx.window.seq_at(last);
-                if seq <= keep_up_to {
-                    break;
-                }
-                let flags = ctx.window.flags_at(last);
-                let op = ctx.window.op_at(last);
-                ctx.window.pop_back();
-                if flags.dispatched() {
-                    ctx.occ.rob -= 1;
-                    self.totals.rob -= 1;
-                    if flags.uses_lsq() {
-                        ctx.occ.lsq -= 1;
-                        self.totals.lsq -= 1;
-                    }
-                    if !flags.issued() {
-                        if flags.uses_fp_iq() {
-                            ctx.occ.iq_fp -= 1;
-                            self.totals.iq_fp -= 1;
-                        } else {
-                            ctx.occ.iq_int -= 1;
-                            self.totals.iq_int -= 1;
-                        }
-                        ctx.occ.icount -= 1;
-                    }
-                    if flags.has_dest() {
-                        if flags.dest_fp() {
-                            ctx.occ.rename_fp -= 1;
-                            self.totals.rename_fp -= 1;
-                        } else {
-                            ctx.occ.rename_int -= 1;
-                            self.totals.rename_int -= 1;
-                        }
-                    }
-                    if flags.issued() && !flags.completed() {
-                        if flags.is_long_latency() {
-                            ctx.outstanding_lll.remove(seq);
-                        }
-                        if flags.l1_missed() && ctx.outstanding_l1d > 0 {
-                            ctx.outstanding_l1d -= 1;
-                        }
-                    }
-                } else {
-                    ctx.occ.frontend -= 1;
-                    ctx.occ.icount -= 1;
-                }
-                ctx.refetch.push_front(RefetchEntry {
-                    op,
-                    mispredicted: flags.mispredicted(),
-                    predicted_taken: flags.predicted_taken(),
-                });
-                squashed += 1;
-            }
-            ctx.latest_fetched_seq = ctx.latest_fetched_seq.min(keep_up_to);
-        }
-        if squashed > 0 {
-            let tstats = self.stats.thread_mut(thread_id);
-            match cause {
-                SquashCause::BranchMisprediction => tstats.squashed_by_branch += squashed,
-                SquashCause::PolicyFlush => tstats.squashed_by_policy += squashed,
-            }
-            self.policy.on_squash(thread_id, SeqNum(keep_up_to));
-        }
-        squashed
-    }
-
-    // ------------------------------------------------------------------ accounting
-
-    fn account_mlp(&mut self) {
-        for ti in 0..self.threads.len() {
-            let outstanding = self.threads[ti].outstanding_lll.len() as u64;
-            if outstanding > 0 {
-                let tstats = self.stats.thread_mut(ThreadId::new(ti));
-                tstats.mlp_cycles += 1;
-                tstats.mlp_outstanding_sum += outstanding;
-            }
-        }
     }
 }
 
@@ -1039,6 +329,26 @@ impl SmtSimulator {
         Ok(SmtSimulator { core, shared })
     }
 
+    /// Builds a simulator driven by the adaptive policy engine: the machine
+    /// starts on `adaptive.candidates[0]` (overriding `config.fetch_policy`)
+    /// and re-evaluates the selector at every interval boundary.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`SmtSimulator::new`], plus [`SimError::InvalidConfig`] for an
+    /// invalid adaptive configuration.
+    pub fn with_adaptive(
+        config: SmtConfig,
+        traces: Vec<Box<dyn TraceSource>>,
+        adaptive: AdaptiveConfig,
+    ) -> Result<Self, SimError> {
+        adaptive.validate()?;
+        let policy = build_policy(adaptive.initial_policy(), &config);
+        let mut sim = Self::with_policy(config, traces, policy)?;
+        sim.core.set_adaptive(adaptive)?;
+        Ok(sim)
+    }
+
     /// The configuration the simulator was built with.
     pub fn config(&self) -> &SmtConfig {
         self.core.config()
@@ -1062,6 +372,18 @@ impl SmtSimulator {
     /// statistics reset (warm-up end).
     pub fn measured_cycles(&self) -> u64 {
         self.core.measured_cycles()
+    }
+
+    /// Direct access to the simulator's core (policy swapping, adaptive
+    /// residency).
+    pub fn core(&self) -> &Core {
+        &self.core
+    }
+
+    /// Replaces the running fetch policy with a freshly built `kind` policy
+    /// (see [`Core::swap_policy`]). Returns whether a swap happened.
+    pub fn swap_policy(&mut self, kind: smt_types::config::FetchPolicyKind) -> bool {
+        self.core.swap_policy(kind)
     }
 
     /// Runs the warm-up phase followed by the measured phase, stopping the
@@ -1117,11 +439,4 @@ impl SmtSimulator {
     pub fn step(&mut self) {
         self.core.step_against(&mut self.shared);
     }
-}
-
-/// Why a range of instructions was squashed.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
-enum SquashCause {
-    BranchMisprediction,
-    PolicyFlush,
 }

@@ -1,0 +1,81 @@
+//! Per-cycle accounting: the incrementally maintained shared-resource
+//! occupancy totals, the start-of-cycle snapshot refresh handed to fetch
+//! policies, and the MLP cycle accounting.
+
+use smt_types::{SmtSnapshot, ThreadId};
+
+use super::Core;
+
+/// Machine-level occupancy of the shared buffer resources, maintained
+/// incrementally at every allocate/release instead of being recomputed from the
+/// per-thread counters each cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub(super) struct SharedTotals {
+    pub(super) rob: u32,
+    pub(super) lsq: u32,
+    pub(super) iq_int: u32,
+    pub(super) iq_fp: u32,
+    pub(super) rename_int: u32,
+    pub(super) rename_fp: u32,
+}
+
+impl Core {
+    /// Rewrites the reused snapshot buffer in place with the start-of-cycle
+    /// machine state (no allocation in steady state).
+    pub(super) fn refresh_snapshot(&self, snap: &mut SmtSnapshot) {
+        snap.begin_cycle(self.cycle);
+        snap.rob_total_occupancy = self.totals.rob;
+        snap.lsq_total_occupancy = self.totals.lsq;
+        snap.iq_int_total_occupancy = self.totals.iq_int;
+        snap.iq_fp_total_occupancy = self.totals.iq_fp;
+        snap.rename_int_total_used = self.totals.rename_int;
+        snap.rename_fp_total_used = self.totals.rename_fp;
+        for (i, ctx) in self.threads.iter().enumerate() {
+            let t = &mut snap.threads[i];
+            t.active = ctx.active;
+            t.icount = ctx.occ.icount;
+            t.rob_occupancy = ctx.occ.rob;
+            t.lsq_occupancy = ctx.occ.lsq;
+            t.iq_int_occupancy = ctx.occ.iq_int;
+            t.iq_fp_occupancy = ctx.occ.iq_fp;
+            t.rename_int_used = ctx.occ.rename_int;
+            t.rename_fp_used = ctx.occ.rename_fp;
+            t.outstanding_long_latency_loads = ctx.outstanding_lll.len() as u32;
+            t.outstanding_l1d_misses = ctx.outstanding_l1d;
+            t.oldest_lll_cycle = ctx.oldest_lll_cycle();
+        }
+    }
+
+    /// Verifies (in debug builds) that the incremental shared-resource totals
+    /// agree with a from-scratch recomputation over the per-thread counters,
+    /// and that the window cursors agree with the occupancy counters.
+    #[cfg(debug_assertions)]
+    pub(super) fn debug_check_totals(&self) {
+        let mut expect = SharedTotals::default();
+        for ctx in &self.threads {
+            expect.rob += ctx.occ.rob;
+            expect.lsq += ctx.occ.lsq;
+            expect.iq_int += ctx.occ.iq_int;
+            expect.iq_fp += ctx.occ.iq_fp;
+            expect.rename_int += ctx.occ.rename_int;
+            expect.rename_fp += ctx.occ.rename_fp;
+            debug_assert_eq!(
+                ctx.window.first_undispatched_index(),
+                ctx.window.len() - ctx.occ.frontend as usize,
+                "dispatch cursor drifted from front-end occupancy"
+            );
+        }
+        debug_assert_eq!(self.totals, expect, "incremental occupancy totals drifted");
+    }
+
+    pub(super) fn account_mlp(&mut self) {
+        for ti in 0..self.threads.len() {
+            let outstanding = self.threads[ti].outstanding_lll.len() as u64;
+            if outstanding > 0 {
+                let tstats = self.stats.thread_mut(ThreadId::new(ti));
+                tstats.mlp_cycles += 1;
+                tstats.mlp_outstanding_sum += outstanding;
+            }
+        }
+    }
+}

@@ -14,6 +14,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 use serde::{Deserialize, Serialize};
 use smt_sched::{build_allocation_policy, AllocationPolicyKind, ThreadSpec};
 use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
+use smt_types::adaptive::{AdaptiveConfig, PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
 use smt_types::{ChipConfig, ChipStats, MachineStats, SimError, SmtConfig};
 
@@ -187,6 +188,63 @@ pub fn run_multiprogram(
         .collect::<Result<Vec<_>, _>>()?;
     let mut sim = SmtSimulator::new(mt_config, traces)?;
     Ok(sim.run(scale.sim_options()))
+}
+
+/// Runs a multiprogram workload under the adaptive policy engine and returns
+/// the raw machine statistics plus the per-policy interval residency of the
+/// measured phase.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid (machine or adaptive)
+/// configurations.
+pub fn run_multiprogram_adaptive(
+    benchmarks: &[&str],
+    adaptive: &AdaptiveConfig,
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<(MachineStats, Vec<PolicyResidency>), SimError> {
+    let mut mt_config = config.clone();
+    mt_config.num_threads = benchmarks.len();
+    let traces = benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sim = SmtSimulator::with_adaptive(mt_config, traces, adaptive.clone())?;
+    let stats = sim.run(scale.sim_options());
+    let residency = residency_records(
+        sim.core()
+            .policy_residency()
+            .expect("adaptive simulator reports residency"),
+    );
+    Ok((stats, residency))
+}
+
+fn residency_records(fractions: Vec<(FetchPolicyKind, f64)>) -> Vec<PolicyResidency> {
+    fractions
+        .into_iter()
+        .map(|(policy, fraction)| PolicyResidency { policy, fraction })
+        .collect()
+}
+
+/// Averages per-core residency fractions into one chip-wide record set
+/// (cores run the same number of intervals, so the unweighted mean is the
+/// interval-weighted one).
+fn merge_core_residencies(per_core: Vec<Vec<(FetchPolicyKind, f64)>>) -> Vec<PolicyResidency> {
+    let cores = per_core.len().max(1) as f64;
+    let mut merged: Vec<PolicyResidency> = Vec::new();
+    for core in per_core {
+        for (policy, fraction) in core {
+            match merged.iter_mut().find(|r| r.policy == policy) {
+                Some(r) => r.fraction += fraction / cores,
+                None => merged.push(PolicyResidency {
+                    policy,
+                    fraction: fraction / cores,
+                }),
+            }
+        }
+    }
+    merged
 }
 
 /// A cycles-versus-instructions curve recorded from a single-threaded run.
@@ -402,15 +460,7 @@ pub fn evaluate_workload_with<S: AsRef<str>>(
 ) -> Result<WorkloadResult, SimError> {
     let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
     let mt_stats = run_multiprogram(&benchmarks, policy, config, scale)?;
-    let mut st_cpis = Vec::with_capacity(benchmarks.len());
-    let mut mt_cpis = Vec::with_capacity(benchmarks.len());
-    for (i, benchmark) in benchmarks.iter().enumerate() {
-        let committed = mt_stats.threads[i].committed_instructions.max(1);
-        let mt_cpi = mt_stats.cycles as f64 / committed as f64;
-        let st_cpi = cache.st_cpi(benchmark, config, scale, committed)?;
-        st_cpis.push(st_cpi);
-        mt_cpis.push(mt_cpi);
-    }
+    let (st_cpis, mt_cpis) = st_mt_cpis(&benchmarks, &mt_stats, config, scale, cache)?;
     Ok(WorkloadResult {
         workload: benchmarks.join("-"),
         policy,
@@ -420,6 +470,26 @@ pub fn evaluate_workload_with<S: AsRef<str>>(
         per_thread_st_ipc: st_cpis.iter().map(|c| 1.0 / c).collect(),
         mt_stats,
     })
+}
+
+/// Per-thread single-threaded and multithreaded CPIs of a finished
+/// multiprogram run, in workload order (`committed.max(1)` guards threads
+/// that never retired an instruction).
+fn st_mt_cpis(
+    benchmarks: &[&str],
+    mt_stats: &MachineStats,
+    config: &SmtConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<(Vec<f64>, Vec<f64>), SimError> {
+    let mut st_cpis = Vec::with_capacity(benchmarks.len());
+    let mut mt_cpis = Vec::with_capacity(benchmarks.len());
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        let committed = mt_stats.threads[i].committed_instructions.max(1);
+        mt_cpis.push(mt_stats.cycles as f64 / committed as f64);
+        st_cpis.push(cache.st_cpi(benchmark, config, scale, committed)?);
+    }
+    Ok((st_cpis, mt_cpis))
 }
 
 /// Scale of the single-thread probe runs behind [`mlp_intensity`]: long
@@ -532,13 +602,53 @@ pub fn evaluate_chip_workload_with_intensities<S: AsRef<str>>(
     cache: &StReferenceCache,
 ) -> Result<ChipWorkloadResult, SimError> {
     let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let chip_config = chip.clone().with_policy(policy);
+    let (assignment, traces) =
+        chip_placement(&benchmarks, intensities, allocation, &chip_config, scale)?;
+    let mut sim = ChipSimulator::new(chip_config.clone(), traces)?;
+    let chip_stats = sim.run(scale.sim_options());
+    let cpis = chip_cpis(
+        &benchmarks,
+        &assignment,
+        &chip_stats,
+        &chip_config,
+        scale,
+        cache,
+    )?;
+    Ok(ChipWorkloadResult {
+        workload: benchmarks.join("-"),
+        policy,
+        allocation,
+        num_cores: chip_config.num_cores as u64,
+        core_assignments: join_core_assignments(&assignment, &benchmarks),
+        stp: metrics::stp(&cpis.st_cpis, &cpis.mt_cpis),
+        antt: metrics::antt(&cpis.st_cpis, &cpis.mt_cpis),
+        per_thread_ipc: cpis.mt_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_thread_st_ipc: cpis.st_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_core_ipc: chip_stats.per_core_ipc(),
+        per_core_stp: metrics::per_core_stp(&chip_stats, &cpis.st_flat, &cpis.mt_flat),
+        chip_stats,
+    })
+}
+
+/// A chip placement: `assignment[core] = workload thread indices`, plus the
+/// per-core trace sources in the same order.
+type ChipPlacement = (Vec<Vec<usize>>, Vec<Vec<Box<dyn TraceSource>>>);
+
+/// Allocates a chip workload's threads onto cores and builds the per-core
+/// trace sources (the placement every chip evaluation starts from).
+fn chip_placement(
+    benchmarks: &[&str],
+    intensities: &[f64],
+    allocation: AllocationPolicyKind,
+    chip_config: &ChipConfig,
+    scale: RunScale,
+) -> Result<ChipPlacement, SimError> {
     if intensities.len() != benchmarks.len() {
         return Err(SimError::invalid_workload(
             "one MLP intensity per workload thread required",
         ));
     }
-    let chip_config = chip.clone().with_policy(policy);
-    let threads_per_core = chip_config.core.num_threads;
     let specs: Vec<ThreadSpec> = benchmarks
         .iter()
         .zip(intensities)
@@ -547,7 +657,7 @@ pub fn evaluate_chip_workload_with_intensities<S: AsRef<str>>(
     let assignment = build_allocation_policy(allocation).allocate(
         &specs,
         chip_config.num_cores,
-        threads_per_core,
+        chip_config.core.num_threads,
     )?;
     let traces = assignment
         .iter()
@@ -558,32 +668,56 @@ pub fn evaluate_chip_workload_with_intensities<S: AsRef<str>>(
                 .collect::<Result<Vec<_>, _>>()
         })
         .collect::<Result<Vec<_>, _>>()?;
-    let mut sim = ChipSimulator::new(chip_config.clone(), traces)?;
-    let chip_stats = sim.run(scale.sim_options());
+    Ok((assignment, traces))
+}
 
+/// Per-thread CPIs of a finished chip run, in workload order (`st_cpis` /
+/// `mt_cpis`) and in canonical `(core, slot)` order (`st_flat` / `mt_flat`,
+/// for the per-core STP split).
+struct ChipCpis {
+    st_cpis: Vec<f64>,
+    mt_cpis: Vec<f64>,
+    st_flat: Vec<f64>,
+    mt_flat: Vec<f64>,
+}
+
+fn chip_cpis(
+    benchmarks: &[&str],
+    assignment: &[Vec<usize>],
+    chip_stats: &ChipStats,
+    chip_config: &ChipConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<ChipCpis, SimError> {
     // The single-threaded reference is "alone on one core of this chip": the
     // core's private levels with the whole shared LLC to itself.
     let mut st_config = chip_config.core.clone();
     st_config.l3 = chip_config.shared_llc;
 
     let n = benchmarks.len();
-    let mut st_cpis = vec![0.0f64; n];
-    let mut mt_cpis = vec![0.0f64; n];
-    // The same CPIs in canonical (core, slot) order, for the per-core split.
-    let mut st_flat = Vec::with_capacity(n);
-    let mut mt_flat = Vec::with_capacity(n);
+    let mut cpis = ChipCpis {
+        st_cpis: vec![0.0f64; n],
+        mt_cpis: vec![0.0f64; n],
+        st_flat: Vec::with_capacity(n),
+        mt_flat: Vec::with_capacity(n),
+    };
     for (core, slots) in assignment.iter().enumerate() {
         for (slot, &ti) in slots.iter().enumerate() {
             let committed = chip_stats.cores[core].threads[slot]
                 .committed_instructions
                 .max(1);
-            mt_cpis[ti] = chip_stats.cycles as f64 / committed as f64;
-            st_cpis[ti] = cache.st_cpi(benchmarks[ti], &st_config, scale, committed)?;
-            st_flat.push(st_cpis[ti]);
-            mt_flat.push(mt_cpis[ti]);
+            cpis.mt_cpis[ti] = chip_stats.cycles as f64 / committed as f64;
+            cpis.st_cpis[ti] = cache.st_cpi(benchmarks[ti], &st_config, scale, committed)?;
+            cpis.st_flat.push(cpis.st_cpis[ti]);
+            cpis.mt_flat.push(cpis.mt_cpis[ti]);
         }
     }
-    let core_assignments = assignment
+    Ok(cpis)
+}
+
+/// Renders a placement as per-core benchmark lists (`"mcf+gcc"`).
+fn join_core_assignments(assignment: &[Vec<usize>], benchmarks: &[&str]) -> Vec<String> {
+    assignment
         .iter()
         .map(|slots| {
             slots
@@ -592,20 +726,143 @@ pub fn evaluate_chip_workload_with_intensities<S: AsRef<str>>(
                 .collect::<Vec<_>>()
                 .join("+")
         })
-        .collect();
-    Ok(ChipWorkloadResult {
+        .collect()
+}
+
+/// The STP/ANTT outcome of running one multiprogram workload under the
+/// adaptive policy engine (machine level, or chip level when
+/// [`AdaptiveWorkloadResult::num_cores`] is set).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct AdaptiveWorkloadResult {
+    /// Workload name (benchmarks joined with dashes).
+    pub workload: String,
+    /// The policy selector evaluated.
+    pub selector: SelectorKind,
+    /// The candidate policy set evaluated (the machine starts on the first).
+    pub candidates: Vec<FetchPolicyKind>,
+    /// System throughput (higher is better).
+    pub stp: f64,
+    /// Average normalized turnaround time (lower is better).
+    pub antt: f64,
+    /// Per-thread IPC in the adaptive run (workload order).
+    pub per_thread_ipc: Vec<f64>,
+    /// Per-thread single-threaded reference IPC at the same instruction counts.
+    pub per_thread_st_ipc: Vec<f64>,
+    /// Fraction of completed intervals each policy was active (chip runs:
+    /// averaged over cores).
+    pub policy_residency: Vec<PolicyResidency>,
+    /// Chip runs: number of cores.
+    pub num_cores: Option<u64>,
+    /// Chip runs: the thread-to-core allocation policy used.
+    pub allocation: Option<AllocationPolicyKind>,
+    /// Chip runs: benchmarks per core after allocation (slots joined with `+`).
+    pub core_assignments: Option<Vec<String>>,
+    /// Chip runs: aggregate IPC of each core.
+    pub per_core_ipc: Option<Vec<f64>>,
+    /// Chip runs: each core's contribution to the chip STP.
+    pub per_core_stp: Option<Vec<f64>>,
+    /// Raw statistics of the run (chip runs: flattened to `(core, thread)`
+    /// order).
+    pub mt_stats: MachineStats,
+}
+
+/// Evaluates one workload under one adaptive-engine configuration on an
+/// explicit machine configuration, reusing the shared `cache` for the
+/// single-threaded reference runs. STP/ANTT use the same ICOUNT
+/// single-thread references as the static-policy evaluations, so adaptive
+/// and static cells of one report are directly comparable.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks or invalid configurations.
+pub fn evaluate_adaptive_workload<S: AsRef<str>>(
+    benchmarks: &[S],
+    adaptive: &AdaptiveConfig,
+    config: &SmtConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<AdaptiveWorkloadResult, SimError> {
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let (mt_stats, policy_residency) =
+        run_multiprogram_adaptive(&benchmarks, adaptive, config, scale)?;
+    let (st_cpis, mt_cpis) = st_mt_cpis(&benchmarks, &mt_stats, config, scale, cache)?;
+    Ok(AdaptiveWorkloadResult {
         workload: benchmarks.join("-"),
-        policy,
-        allocation,
-        num_cores: chip_config.num_cores as u64,
-        core_assignments,
+        selector: adaptive.selector,
+        candidates: adaptive.candidates.clone(),
         stp: metrics::stp(&st_cpis, &mt_cpis),
         antt: metrics::antt(&st_cpis, &mt_cpis),
         per_thread_ipc: mt_cpis.iter().map(|c| 1.0 / c).collect(),
         per_thread_st_ipc: st_cpis.iter().map(|c| 1.0 / c).collect(),
-        per_core_ipc: chip_stats.per_core_ipc(),
-        per_core_stp: metrics::per_core_stp(&chip_stats, &st_flat, &mt_flat),
-        chip_stats,
+        policy_residency,
+        num_cores: None,
+        allocation: None,
+        core_assignments: None,
+        per_core_ipc: None,
+        per_core_stp: None,
+        mt_stats,
+    })
+}
+
+/// Evaluates one workload on a chip whose cores run the adaptive policy
+/// engine, with precomputed per-thread MLP intensities for the allocation
+/// policy (see [`evaluate_chip_workload_with_intensities`]).
+///
+/// # Errors
+///
+/// Same as [`evaluate_chip_workload`], plus invalid adaptive configurations.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_adaptive_chip_workload_with_intensities<S: AsRef<str>>(
+    benchmarks: &[S],
+    intensities: &[f64],
+    adaptive: &AdaptiveConfig,
+    allocation: AllocationPolicyKind,
+    chip: &ChipConfig,
+    scale: RunScale,
+    cache: &StReferenceCache,
+) -> Result<AdaptiveWorkloadResult, SimError> {
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let chip_config = chip.clone();
+    let (assignment, traces) =
+        chip_placement(&benchmarks, intensities, allocation, &chip_config, scale)?;
+    let mut sim = ChipSimulator::new_adaptive(chip_config.clone(), traces, adaptive.clone())?;
+    let chip_stats = sim.run(scale.sim_options());
+    let policy_residency = merge_core_residencies(
+        (0..chip_stats.num_cores())
+            .map(|core| {
+                sim.policy_residency(core)
+                    .expect("adaptive chip reports residency")
+            })
+            .collect(),
+    );
+    let cpis = chip_cpis(
+        &benchmarks,
+        &assignment,
+        &chip_stats,
+        &chip_config,
+        scale,
+        cache,
+    )?;
+    Ok(AdaptiveWorkloadResult {
+        workload: benchmarks.join("-"),
+        selector: adaptive.selector,
+        candidates: adaptive.candidates.clone(),
+        stp: metrics::stp(&cpis.st_cpis, &cpis.mt_cpis),
+        antt: metrics::antt(&cpis.st_cpis, &cpis.mt_cpis),
+        per_thread_ipc: cpis.mt_cpis.iter().map(|c| 1.0 / c).collect(),
+        per_thread_st_ipc: cpis.st_cpis.iter().map(|c| 1.0 / c).collect(),
+        policy_residency,
+        num_cores: Some(chip_config.num_cores as u64),
+        allocation: Some(allocation),
+        core_assignments: Some(join_core_assignments(&assignment, &benchmarks)),
+        per_core_ipc: Some(chip_stats.per_core_ipc()),
+        per_core_stp: Some(metrics::per_core_stp(
+            &chip_stats,
+            &cpis.st_flat,
+            &cpis.mt_flat,
+        )),
+        mt_stats: metrics::flatten_chip_stats(&chip_stats),
     })
 }
 

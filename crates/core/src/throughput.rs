@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use serde::{Deserialize, Serialize};
+use smt_types::adaptive::{AdaptiveConfig, SelectorKind};
 use smt_types::config::FetchPolicyKind;
 use smt_types::{SimError, SmtConfig};
 
@@ -43,12 +44,16 @@ pub struct BenchScenario {
     pub name: &'static str,
     /// Benchmarks, one per hardware thread (across all cores, core-major).
     pub benchmarks: &'static [&'static str],
-    /// Fetch policy under test.
+    /// Fetch policy under test (the *initial* policy for adaptive rows).
     pub policy: FetchPolicyKind,
     /// Number of cores: 1 runs the single-core machine, >1 a chip with
     /// `benchmarks.len() / cores` threads per core (round-robin placement by
     /// construction of the list).
     pub cores: usize,
+    /// Adaptive rows: the policy selector driving runtime switching between
+    /// `policy` and the MLP-aware flush policy; `None` runs the static
+    /// machine.
+    pub selector: Option<SelectorKind>,
 }
 
 /// The benchmark pool chip rows draw from (2 threads per core, core-major).
@@ -82,7 +87,24 @@ pub fn chip_scenario(cores: usize) -> Result<BenchScenario, SimError> {
         benchmarks: &CHIP_MIX[..cores * 2],
         policy: FetchPolicyKind::Icount,
         cores,
+        selector: None,
     })
+}
+
+/// The adaptive-engine scenario: the 4-thread mix under runtime policy
+/// switching between ICOUNT and the MLP-aware flush policy, driven by
+/// `selector` at the `interval` cycle granularity (defaults:
+/// [`SelectorKind::Sampling`],
+/// [`AdaptiveConfig::DEFAULT_INTERVAL_CYCLES`]). The scenario name is stable
+/// across selectors so trajectory entries stay comparable.
+pub fn adaptive_scenario(selector: Option<SelectorKind>) -> BenchScenario {
+    BenchScenario {
+        name: "4t_mix_adaptive",
+        benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
+        policy: FetchPolicyKind::Icount,
+        cores: 1,
+        selector: Some(selector.unwrap_or(SelectorKind::Sampling)),
+    }
 }
 
 /// The fixed scenario matrix: 1T/2T/4T, ILP- and MLP-heavy mixes, ICOUNT
@@ -95,57 +117,67 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             benchmarks: &["gcc"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "1t_mlp_icount",
             benchmarks: &["mcf"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "2t_ilp_icount",
             benchmarks: &["gcc", "gap"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "2t_mlp_icount",
             benchmarks: &["mcf", "swim"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "2t_mlp_mlpflush",
             benchmarks: &["mcf", "swim"],
             policy: MlpFlush,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "4t_ilp_icount",
             benchmarks: &["vortex", "parser", "crafty", "twolf"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "4t_mix_icount",
             benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
             policy: Icount,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "4t_mix_mlpflush",
             benchmarks: &["mcf", "swim", "perlbmk", "mesa"],
             policy: MlpFlush,
             cores: 1,
+            selector: None,
         },
         BenchScenario {
             name: "4t_mlp_mlpflush",
             benchmarks: &["applu", "galgel", "swim", "mesa"],
             policy: MlpFlush,
             cores: 1,
+            selector: None,
         },
     ];
     matrix.push(chip_scenario(2).expect("2-core chip scenario is always valid"));
+    matrix.push(adaptive_scenario(None));
     matrix
 }
 
@@ -162,6 +194,12 @@ pub struct BenchOptions {
     /// Additional chip scenario at this core count (`smt-cli bench --cores`),
     /// on top of the matrix's built-in 2-core row.
     pub extra_chip_cores: Option<usize>,
+    /// Selector override for the adaptive matrix row (`smt-cli bench
+    /// --selector`); the row keeps its stable name either way.
+    pub adaptive_selector: Option<SelectorKind>,
+    /// Interval-length override in cycles for the adaptive matrix row
+    /// (`smt-cli bench --interval`).
+    pub adaptive_interval: Option<u64>,
 }
 
 impl BenchOptions {
@@ -172,6 +210,8 @@ impl BenchOptions {
             runs: 3,
             quick: false,
             extra_chip_cores: None,
+            adaptive_selector: None,
+            adaptive_interval: None,
         }
     }
 
@@ -182,6 +222,8 @@ impl BenchOptions {
             runs: 1,
             quick: true,
             extra_chip_cores: None,
+            adaptive_selector: None,
+            adaptive_interval: None,
         }
     }
 }
@@ -206,6 +248,9 @@ pub struct ScenarioResult {
     pub policy: FetchPolicyKind,
     /// Number of cores (`None` in pre-chip reports means 1).
     pub cores: Option<usize>,
+    /// Adaptive rows: the policy selector used (`None` for static rows and
+    /// pre-adaptive reports).
+    pub selector: Option<SelectorKind>,
     /// Instruction budget per thread.
     pub instructions_per_thread: u64,
     /// Simulated cycles of one run (identical across repetitions).
@@ -300,6 +345,67 @@ impl ThroughputReport {
                 })
             })
             .collect()
+    }
+
+    /// Human-readable warnings about scenarios the two reports do *not*
+    /// share — the expected situation right after a row is added to (or
+    /// retired from) the matrix. [`ThroughputReport::compare`] silently
+    /// skips such scenarios; callers (the CLI, CI) surface these warnings
+    /// instead of failing, so a matrix change never breaks the first
+    /// comparison against an older trajectory entry.
+    pub fn scenario_set_warnings(&self, baseline: &ThroughputReport) -> Vec<String> {
+        let mut warnings = Vec::new();
+        let new_only: Vec<&str> = self
+            .scenarios
+            .iter()
+            .filter(|s| baseline.scenario(&s.name).is_none())
+            .map(|s| s.name.as_str())
+            .collect();
+        if !new_only.is_empty() {
+            warnings.push(format!(
+                "scenario(s) not in the baseline (skipped in the comparison): {}",
+                new_only.join(", ")
+            ));
+        }
+        let base_only: Vec<&str> = baseline
+            .scenarios
+            .iter()
+            .filter(|s| self.scenario(&s.name).is_none())
+            .map(|s| s.name.as_str())
+            .collect();
+        if !base_only.is_empty() {
+            warnings.push(format!(
+                "baseline scenario(s) not measured in this run (skipped in the comparison): {}",
+                base_only.join(", ")
+            ));
+        }
+        // Shared scenarios that do not simulate the same machine: a selector
+        // retune (`bench --selector/--interval`) or a behaviour-changing
+        // commit makes the wall-clock ratio meaningless for that row.
+        for s in &self.scenarios {
+            let Some(base) = baseline.scenario(&s.name) else {
+                continue;
+            };
+            if s.selector != base.selector {
+                warnings.push(format!(
+                    "scenario `{}` used selector `{}` but the baseline used `{}`; \
+                     its speedup compares different machines",
+                    s.name,
+                    s.selector.map_or("none", |v| v.name()),
+                    base.selector.map_or("none", |v| v.name()),
+                ));
+            } else if s.instructions_per_thread == base.instructions_per_thread
+                && s.simulated_cycles != base.simulated_cycles
+            {
+                warnings.push(format!(
+                    "scenario `{}` simulated {} cycles but the baseline simulated {}; \
+                     the commits simulate different machines, so its speedup is not a \
+                     pure wall-clock comparison",
+                    s.name, s.simulated_cycles, base.simulated_cycles,
+                ));
+            }
+        }
+        warnings
     }
 
     /// Speedup of the headline [`BASELINE_SCENARIO`] over `baseline`, when both
@@ -459,7 +565,20 @@ pub fn prepare_scenario(
         .iter()
         .map(|b| build_trace(b, scale))
         .collect::<Result<Vec<_>, _>>()?;
-    let sim = SmtSimulator::new(config, traces)?;
+    let sim = match scenario.selector {
+        Some(selector) => {
+            // Adaptive rows switch between the scenario policy and the
+            // MLP-aware flush policy, timing the interval collector and the
+            // swap machinery alongside the pipeline.
+            let mut adaptive =
+                AdaptiveConfig::new(selector, vec![scenario.policy, FetchPolicyKind::MlpFlush]);
+            if let Some(interval) = opts.adaptive_interval {
+                adaptive.interval_cycles = interval;
+            }
+            SmtSimulator::with_adaptive(config, traces, adaptive)?
+        }
+        None => SmtSimulator::new(config, traces)?,
+    };
     Ok((sim, options))
 }
 
@@ -547,6 +666,7 @@ pub fn run_scenario(
         benchmarks: scenario.benchmarks.iter().map(|b| b.to_string()).collect(),
         policy: scenario.policy,
         cores: Some(scenario.cores),
+        selector: scenario.selector,
         instructions_per_thread: opts.instructions_per_thread,
         simulated_cycles: stats.cycles,
         committed_instructions: committed,
@@ -572,6 +692,12 @@ pub fn scenarios_for(opts: &BenchOptions) -> Result<Vec<BenchScenario>, SimError
         let extra = chip_scenario(cores)?;
         if !matrix.iter().any(|s| s.name == extra.name) {
             matrix.push(extra);
+        }
+    }
+    if let Some(selector) = opts.adaptive_selector {
+        let adaptive = adaptive_scenario(Some(selector));
+        if let Some(row) = matrix.iter_mut().find(|s| s.name == adaptive.name) {
+            *row = adaptive;
         }
     }
     Ok(matrix)
@@ -613,7 +739,7 @@ mod tests {
             instructions_per_thread: 300,
             runs: 2,
             quick: true,
-            extra_chip_cores: None,
+            ..BenchOptions::quick()
         }
     }
 
@@ -643,6 +769,7 @@ mod tests {
             benchmarks: &["gcc", "gap"],
             policy: FetchPolicyKind::Icount,
             cores: 1,
+            selector: None,
         };
         let result = run_scenario(&scenario, &tiny_opts()).unwrap();
         assert!(result.simulated_cycles > 0);
@@ -671,7 +798,7 @@ mod tests {
             instructions_per_thread: 200,
             runs: 1,
             quick: true,
-            extra_chip_cores: None,
+            ..BenchOptions::quick()
         };
         let report = ThroughputReport {
             schema_version: SCHEMA_VERSION,
@@ -685,6 +812,7 @@ mod tests {
                     benchmarks: &["gcc", "gap"],
                     policy: FetchPolicyKind::Icount,
                     cores: 1,
+                    selector: None,
                 },
                 &opts,
             )
@@ -714,7 +842,7 @@ mod tests {
             instructions_per_thread: 200,
             runs: 1,
             quick: true,
-            extra_chip_cores: None,
+            ..BenchOptions::quick()
         };
         let mut report = ThroughputReport {
             schema_version: SCHEMA_VERSION,
@@ -728,6 +856,7 @@ mod tests {
                     benchmarks: &["gcc", "gap"],
                     policy: FetchPolicyKind::Icount,
                     cores: 1,
+                    selector: None,
                 },
                 &opts,
             )

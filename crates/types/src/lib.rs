@@ -10,6 +10,8 @@
 //!   paper),
 //! * per-thread and machine-wide statistics ([`stats`]),
 //! * the read-only pipeline snapshot handed to fetch policies ([`snapshot`]),
+//! * the adaptive policy engine's configuration and interval telemetry
+//!   ([`adaptive`]),
 //! * error types ([`error`]).
 //!
 //! # Example
@@ -25,6 +27,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod adaptive;
 pub mod config;
 pub mod error;
 pub mod flags;
@@ -33,6 +36,9 @@ pub mod op;
 pub mod snapshot;
 pub mod stats;
 
+pub use adaptive::{
+    AdaptiveConfig, IntervalStats, PolicyResidency, SelectorKind, ThreadIntervalStats,
+};
 pub use config::{BusConfig, ChipConfig, SmtConfig};
 pub use error::SimError;
 pub use flags::OpFlags;

@@ -62,6 +62,7 @@ fn main() -> Result<(), SimError> {
         sweep: None,
         overrides: None,
         chip: None,
+        adaptive: None,
         scale,
     };
     let report = engine::run_spec(&spec)?;
