@@ -1,0 +1,249 @@
+//! A minimal Rust lexer for line-oriented scanning.
+//!
+//! The analyzer never parses Rust properly (no `syn`, no dependency on the
+//! compiler); it only needs source lines with comments and string-literal
+//! *contents* blanked out, so that rule patterns cannot match inside prose,
+//! plus the comment text itself (for `analyze: allow(...)` annotations) and
+//! the string-literal contents (for the registry-drift rule).
+
+/// One file, split into scannable pieces with line fidelity preserved:
+/// `code_lines[i]` corresponds exactly to source line `i + 1`.
+pub struct LexedFile {
+    /// Source lines with comments removed and string/char-literal contents
+    /// replaced by spaces (the delimiting quotes are kept).
+    pub code_lines: Vec<String>,
+    /// `(line, text)` for every line comment (`//...`, text excludes the
+    /// slashes) — the carrier for `analyze: allow(...)` annotations.
+    pub comments: Vec<(usize, String)>,
+    /// `(line, content)` for every string literal, keyed by the line the
+    /// literal *starts* on.
+    pub strings: Vec<(usize, String)>,
+}
+
+#[derive(PartialEq)]
+enum Mode {
+    Code,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Lexes `source` into [`LexedFile`]. Unterminated literals or comments simply
+/// run to end-of-file; the lexer never fails.
+pub fn lex(source: &str) -> LexedFile {
+    let chars: Vec<char> = source.chars().collect();
+    let mut code_lines = Vec::new();
+    let mut comments = Vec::new();
+    let mut strings = Vec::new();
+
+    let mut line = String::new();
+    let mut line_no = 1usize;
+    let mut comment = String::new();
+    let mut literal = String::new();
+    let mut literal_line = 0usize;
+    let mut mode = Mode::Code;
+
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\n' {
+            match mode {
+                Mode::LineComment => {
+                    comments.push((line_no, std::mem::take(&mut comment)));
+                    mode = Mode::Code;
+                }
+                Mode::Str | Mode::RawStr(_) => literal.push('\n'),
+                _ => {}
+            }
+            code_lines.push(std::mem::take(&mut line));
+            line_no += 1;
+            i += 1;
+            continue;
+        }
+        match mode {
+            Mode::Code => match c {
+                '/' if chars.get(i + 1) == Some(&'/') => {
+                    mode = Mode::LineComment;
+                    i += 2;
+                    continue;
+                }
+                '/' if chars.get(i + 1) == Some(&'*') => {
+                    mode = Mode::BlockComment(1);
+                    i += 2;
+                    continue;
+                }
+                '"' => {
+                    // A byte-string prefix (`b"`) is just an identifier char
+                    // already emitted; the quote itself starts the literal.
+                    line.push('"');
+                    literal_line = line_no;
+                    literal.clear();
+                    mode = Mode::Str;
+                }
+                'r' if is_raw_string_start(&chars, i) => {
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while chars.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    line.push('"');
+                    literal_line = line_no;
+                    literal.clear();
+                    mode = Mode::RawStr(hashes);
+                    i = j + 1; // skip past `r##...#"`
+                    continue;
+                }
+                '\'' if is_char_literal_start(&chars, i) => {
+                    line.push('\'');
+                    line.push(' ');
+                    mode = Mode::Char;
+                }
+                _ => line.push(c),
+            },
+            Mode::LineComment => comment.push(c),
+            Mode::BlockComment(depth) => {
+                if c == '*' && chars.get(i + 1) == Some(&'/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    i += 2;
+                    continue;
+                }
+                if c == '/' && chars.get(i + 1) == Some(&'*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    i += 2;
+                    continue;
+                }
+            }
+            Mode::Str => match c {
+                '\\' => {
+                    literal.push(c);
+                    if let Some(&next) = chars.get(i + 1) {
+                        literal.push(next);
+                        if next == '\n' {
+                            code_lines.push(std::mem::take(&mut line));
+                            line_no += 1;
+                        }
+                        i += 2;
+                        continue;
+                    }
+                }
+                '"' => {
+                    line.push('"');
+                    strings.push((literal_line, std::mem::take(&mut literal)));
+                    mode = Mode::Code;
+                }
+                _ => literal.push(c),
+            },
+            Mode::RawStr(hashes) => {
+                if c == '"' && (0..hashes as usize).all(|k| chars.get(i + 1 + k) == Some(&'#')) {
+                    line.push('"');
+                    strings.push((literal_line, std::mem::take(&mut literal)));
+                    mode = Mode::Code;
+                    i += 1 + hashes as usize;
+                    continue;
+                }
+                literal.push(c);
+            }
+            Mode::Char => {
+                if c == '\\' {
+                    i += 2;
+                    continue;
+                }
+                if c == '\'' {
+                    line.push('\'');
+                    mode = Mode::Code;
+                }
+            }
+        }
+        i += 1;
+    }
+    match mode {
+        Mode::LineComment => comments.push((line_no, comment)),
+        Mode::Str | Mode::RawStr(_) => strings.push((literal_line, literal)),
+        _ => {}
+    }
+    code_lines.push(line);
+    LexedFile {
+        code_lines,
+        comments,
+        strings,
+    }
+}
+
+/// `r"` / `r#"` start a raw string; `r#ident` is a raw identifier and plain
+/// `r` is an identifier character. Also require that `r` is not itself the
+/// tail of an identifier (`for"x"` cannot occur; `var"` can after macros —
+/// being conservative costs nothing).
+fn is_raw_string_start(chars: &[char], i: usize) -> bool {
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return false;
+        }
+    }
+    let mut j = i + 1;
+    while chars.get(j) == Some(&'#') {
+        j += 1;
+    }
+    chars.get(j) == Some(&'"')
+}
+
+/// Distinguishes a char literal (`'x'`, `'\n'`) from a lifetime (`'a`,
+/// `'static`): a backslash or a closing quote two characters on means a char
+/// literal.
+fn is_char_literal_start(chars: &[char], i: usize) -> bool {
+    match chars.get(i + 1) {
+        Some('\\') => true,
+        Some(_) => chars.get(i + 2) == Some(&'\''),
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strips_comments_and_strings_preserving_lines() {
+        let src = "let a = \"Vec::new()\"; // thread_rng\nlet b = 1; /* Instant */ let c = 2;\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.code_lines.len(), 3);
+        assert_eq!(lexed.code_lines[0], "let a = \"\"; ");
+        assert_eq!(lexed.code_lines[1], "let b = 1;  let c = 2;");
+        assert_eq!(lexed.comments, vec![(1, " thread_rng".to_string())]);
+        assert_eq!(lexed.strings, vec![(1, "Vec::new()".to_string())]);
+    }
+
+    #[test]
+    fn raw_strings_and_char_literals() {
+        let src = "let s = r#\"a \"quoted\" {\"#; let c = '{'; let lt: &'static str = \"x\";";
+        let lexed = lex(src);
+        assert!(
+            !lexed.code_lines[0].contains('{'),
+            "{}",
+            lexed.code_lines[0]
+        );
+        assert_eq!(lexed.strings[0].1, "a \"quoted\" {");
+        assert!(lexed.code_lines[0].contains("&'static str"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a /* x /* y */ z */ b";
+        assert_eq!(lex(src).code_lines[0], "a  b");
+    }
+
+    #[test]
+    fn multiline_strings_key_on_start_line() {
+        let src = "let s = \"one\ntwo\";\nlet t = 3;";
+        let lexed = lex(src);
+        assert_eq!(lexed.strings, vec![(1, "one\ntwo".to_string())]);
+        assert_eq!(lexed.code_lines[2], "let t = 3;");
+    }
+}

@@ -1,0 +1,87 @@
+//! `smt-analyze` — command-line front end for the workspace invariant
+//! checker.
+//!
+//! ```text
+//! cargo run -p smt-analyze -- check [--root <dir>] [--format text|json]
+//! ```
+//!
+//! Exit codes: 0 clean, 1 unsuppressed findings, 2 usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("smt-analyze: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage: smt-analyze check [--root <dir>] [--format text|json]";
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let mut root = PathBuf::from(".");
+    let mut format = Format::Text;
+    let mut command = None;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "check" if command.is_none() => command = Some("check"),
+            "--root" => {
+                root = PathBuf::from(
+                    it.next()
+                        .ok_or_else(|| "--root requires a value".to_string())?,
+                );
+            }
+            "--format" => {
+                format = match it
+                    .next()
+                    .ok_or_else(|| "--format requires a value".to_string())?
+                    .as_str()
+                {
+                    "text" => Format::Text,
+                    "json" => Format::Json,
+                    other => return Err(format!("unknown format `{other}`")),
+                };
+            }
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return Ok(true);
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    if command.is_none() {
+        return Err("missing command".to_string());
+    }
+
+    if !root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "`{}` does not look like the workspace root (no Cargo.toml); pass --root",
+            root.display()
+        ));
+    }
+    let report = smt_analyze::analyze_root(&root).map_err(|e| e.to_string())?;
+    match format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    Ok(report.is_clean())
+}
+
+enum Format {
+    Text,
+    Json,
+}

@@ -1,0 +1,17 @@
+//! Fixture: allow-annotation handling. Fed to the analyzer under a synthetic
+//! simulation crate path; never compiled into the simulator.
+
+pub struct Unit {
+    scratch: Vec<u64>,
+}
+
+impl Unit {
+    pub fn step(&mut self) {
+        // analyze: allow(hot-path-alloc) reason="grown once at first step, then reused"
+        let spill = Vec::new();
+        drop(spill);
+        self.scratch.clear(); // analyze: allow(hot-path-alloc) reason="stale: clear does not allocate"
+        let noise = vec![0u8; 4]; // line 14: unsuppressed violation
+        drop(noise);
+    }
+}

@@ -1,0 +1,26 @@
+//! Fixture: config-hygiene. Fed to the analyzer under a synthetic
+//! `crates/types/` path; never compiled into the simulator.
+
+use serde::{Deserialize, Serialize};
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Loose {
+    pub threads: usize,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct Strict {
+    pub threads: usize,
+}
+
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub enum Kind {
+    A,
+    B,
+}
+
+#[derive(Clone, Debug, Serialize)]
+pub struct SerializeOnly {
+    pub cycles: u64,
+}

@@ -1,0 +1,29 @@
+//! Fixture: determinism. Fed to the analyzer under a synthetic simulation
+//! crate path; never compiled into the simulator.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+pub struct Tracker {
+    pending: HashSet<u64>,
+    done: HashMap<u64, u64>,
+    lanes: Vec<HashSet<u64>>,
+}
+
+impl Tracker {
+    pub fn observe(&mut self, now: u64) -> u64 {
+        let started = Instant::now(); // line 15: violation (wall clock)
+        let budget = std::env::var("SIM_BUDGET"); // line 16: violation (env)
+        drop((started, budget));
+        self.pending.retain(|&s| s <= now); // line 18: violation (hash order)
+        self.lanes[0].retain(|&s| s <= now); // line 19: violation (indexed)
+        for lane in &mut self.lanes {
+            lane.clear(); // whole-Vec walk over nested sets: clean
+        }
+        self.done.values().copied().max().unwrap_or(0) // line 23: violation
+    }
+
+    pub fn lookup(&self, key: u64) -> Option<u64> {
+        self.done.get(&key).copied() // keyed access: clean
+    }
+}

@@ -1,0 +1,41 @@
+//! Fixture: hot-path-alloc. Fed to the analyzer under a synthetic
+//! `crates/core/src/pipeline/` path; never compiled into the simulator.
+
+pub struct Unit {
+    scratch: Vec<u64>,
+}
+
+impl Unit {
+    pub fn new() -> Self {
+        Unit {
+            scratch: Vec::with_capacity(64), // constructors may allocate
+        }
+    }
+
+    pub fn with_capacity(n: usize) -> Self {
+        Unit {
+            scratch: vec![0; n], // constructor family prefix: exempt
+        }
+    }
+
+    pub fn step(&mut self) {
+        let spill = Vec::new(); // line 22: violation
+        let tags: Vec<u64> = self.scratch.iter().copied().collect(); // line 23: violation
+        let label = format!("cycle"); // line 24: violation
+        drop((spill, tags, label));
+        self.scratch.clear(); // in-place reuse: clean
+    }
+
+    pub fn snapshot(&self) -> Vec<u64> {
+        self.scratch.to_vec() // line 30: violation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn allocating_in_tests_is_fine() {
+        let v = vec![1, 2, 3];
+        assert_eq!(v.len(), 3);
+    }
+}

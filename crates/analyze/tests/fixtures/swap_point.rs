@@ -1,0 +1,15 @@
+//! Fixture: swap-point. Fed to the analyzer under synthetic pipeline paths;
+//! never compiled into the simulator.
+
+pub struct Core;
+
+impl Core {
+    pub fn swap_policy(&mut self, kind: u32) -> bool {
+        let _ = kind;
+        true
+    }
+
+    pub fn sneaky_mid_cycle(&mut self) {
+        self.swap_policy(1); // line 13: violation outside the sanctioned file
+    }
+}

@@ -12,7 +12,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
-use std::time::Instant;
+use std::time::Instant; // analyze: allow(determinism) reason="harness-side wall-clock for progress reporting; never feeds simulated state"
 
 use smt_sched::AllocationPolicyKind;
 use smt_types::config::FetchPolicyKind;
@@ -32,6 +32,7 @@ use crate::workloads::Workload;
 /// environment variable when set, otherwise the machine's available
 /// parallelism.
 pub fn default_parallelism() -> usize {
+    // analyze: allow(determinism) reason="worker-pool sizing only; results are identical at any thread count"
     if let Ok(text) = std::env::var("SMT_THREADS") {
         if let Ok(threads) = text.parse::<usize>() {
             if threads >= 1 {
@@ -142,7 +143,7 @@ pub fn run_spec_with_threads(
 ) -> Result<ExperimentReport, SimError> {
     spec.validate()?;
     let threads = threads.max(1);
-    let start = Instant::now();
+    let start = Instant::now(); // analyze: allow(determinism) reason="elapsed-time reporting for the experiment harness, not simulated state"
     let cache = StReferenceCache::new();
     let mut report = empty_report(spec, threads);
     if spec.kind.is_single_thread() {

@@ -124,6 +124,7 @@ impl Core {
         let adaptive = self.adaptive.as_ref()?;
         let total: u64 = adaptive.residency.iter().map(|(_, c)| c).sum();
         if total == 0 {
+            // analyze: allow(hot-path-alloc) reason="end-of-run diagnostic, called once per simulation, not per cycle"
             return Some(vec![(self.policy.kind(), 1.0)]);
         }
         Some(
@@ -131,7 +132,7 @@ impl Core {
                 .residency
                 .iter()
                 .map(|&(p, c)| (p, c as f64 / total as f64))
-                .collect(),
+                .collect(), // analyze: allow(hot-path-alloc) reason="end-of-run diagnostic, called once per simulation, not per cycle"
         )
     }
 

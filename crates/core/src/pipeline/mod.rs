@@ -383,7 +383,7 @@ impl SmtSimulator {
     /// Replaces the running fetch policy with a freshly built `kind` policy
     /// (see [`Core::swap_policy`]). Returns whether a swap happened.
     pub fn swap_policy(&mut self, kind: smt_types::config::FetchPolicyKind) -> bool {
-        self.core.swap_policy(kind)
+        self.core.swap_policy(kind) // analyze: allow(swap-point) reason="public passthrough for tests and tooling; the cycle loop swaps only via adaptive_interval_tick"
     }
 
     /// Runs the warm-up phase followed by the measured phase, stopping the
@@ -392,6 +392,7 @@ impl SmtSimulator {
     /// statistics of the measured phase.
     pub fn run(&mut self, options: SimOptions) -> MachineStats {
         self.warm_up(options.warmup_instructions_per_thread, options.max_cycles);
+        // analyze: allow(hot-path-alloc) reason="once per run at measured-phase entry, not per cycle"
         let baselines: Vec<u64> = self.core.committed().collect();
         while self.core.cycle() < options.max_cycles {
             if self
@@ -407,7 +408,7 @@ impl SmtSimulator {
         // `run` is the single writer of the aggregate cycle count; `step` only
         // advances the raw cycle counter.
         self.core.finalize_cycles();
-        self.core.stats().clone()
+        self.core.stats().clone() // analyze: allow(hot-path-alloc) reason="once per run when returning final statistics"
     }
 
     /// Runs until every thread has committed `instructions` further instructions,
@@ -417,6 +418,7 @@ impl SmtSimulator {
         if instructions == 0 {
             return;
         }
+        // analyze: allow(hot-path-alloc) reason="once per warm-up phase, not per cycle"
         let targets: Vec<u64> = self.core.committed().map(|c| c + instructions).collect();
         while self.core.cycle() < max_cycles
             && self

@@ -54,13 +54,13 @@ pub(crate) struct OutstandingLll {
 
 impl OutstandingLll {
     /// Records the long-latency load `seq`, detected at `cycle`.
-    pub fn insert(&mut self, seq: u64, cycle: u64) {
+    pub(super) fn insert(&mut self, seq: u64, cycle: u64) {
         debug_assert!(self.entries.iter().all(|&(s, _)| s != seq));
         self.entries.push((seq, cycle));
     }
 
     /// Removes the load `seq`; returns whether it was outstanding.
-    pub fn remove(&mut self, seq: u64) -> bool {
+    pub(super) fn remove(&mut self, seq: u64) -> bool {
         match self.entries.iter().position(|&(s, _)| s == seq) {
             Some(pos) => {
                 self.entries.swap_remove(pos);
@@ -71,12 +71,12 @@ impl OutstandingLll {
     }
 
     /// Number of outstanding long-latency loads.
-    pub fn len(&self) -> usize {
+    pub(super) fn len(&self) -> usize {
         self.entries.len()
     }
 
     /// Detection cycle of the oldest outstanding long-latency load, if any.
-    pub fn min_cycle(&self) -> Option<u64> {
+    pub(super) fn min_cycle(&self) -> Option<u64> {
         self.entries.iter().map(|&(_, c)| c).min()
     }
 }
@@ -135,7 +135,7 @@ pub(crate) struct ThreadContext {
 
 impl ThreadContext {
     /// Creates the per-thread state for `config`, pulling instructions from `trace`.
-    pub fn new(config: &SmtConfig, trace: Box<dyn TraceSource>) -> Self {
+    pub(super) fn new(config: &SmtConfig, trace: Box<dyn TraceSource>) -> Self {
         // The window holds the front-end buffer plus this thread's share of the
         // (machine-wide) ROB; a thread can transiently own the whole ROB.
         let window_capacity =
@@ -172,7 +172,7 @@ impl ThreadContext {
     /// Next instruction to fetch: a previously squashed instruction (with its
     /// recorded branch-prediction outcome) if any, otherwise a fresh one from
     /// the batched refill buffer (refilled from the trace source when drained).
-    pub fn pull_op(&mut self) -> (TraceOp, Option<RefetchEntry>) {
+    pub(super) fn pull_op(&mut self) -> (TraceOp, Option<RefetchEntry>) {
         if let Some(entry) = self.refetch.pop_front() {
             return (entry.op, Some(entry));
         }
@@ -195,13 +195,13 @@ impl ThreadContext {
 
     /// Cycle at which the oldest currently outstanding long-latency load was
     /// detected (for the COT rule).
-    pub fn oldest_lll_cycle(&self) -> Option<u64> {
+    pub(super) fn oldest_lll_cycle(&self) -> Option<u64> {
         self.outstanding_lll.min_cycle()
     }
 
     /// The predictor front end consults for a load: returns
     /// `(predicted_long_latency, predicted_mlp_distance, predicted_has_mlp)`.
-    pub fn predict_load(&mut self, pc: u64) -> (bool, u32, bool) {
+    pub(super) fn predict_load(&mut self, pc: u64) -> (bool, u32, bool) {
         let lll = self.lll_predictor.predict(pc);
         let distance = self.mlp_predictor.predict(pc);
         let has_mlp = self.binary_mlp_predictor.predict(pc);

@@ -11,7 +11,7 @@
 //! file. [`ThroughputReport::compare`] diffs two reports scenario by
 //! scenario; CI compares against [`ThroughputTrajectory::latest`].
 
-use std::time::Instant;
+use std::time::Instant; // analyze: allow(determinism) reason="wall-clock timing of the benchmark harness itself, not simulated state"
 
 use serde::{Deserialize, Serialize};
 use smt_types::adaptive::{AdaptiveConfig, SelectorKind};
@@ -634,13 +634,13 @@ pub fn run_scenario(
         // per-core statistics into the single-core shape for reporting.
         let stats = if scenario.cores > 1 {
             let (mut sim, options) = prepare_chip_scenario(scenario, opts)?;
-            let start = Instant::now();
+            let start = Instant::now(); // analyze: allow(determinism) reason="wall-clock timing of the benchmark harness itself, not simulated state"
             let chip_stats = sim.run(options);
             best_wall = best_wall.min(start.elapsed().as_secs_f64());
             crate::metrics::flatten_chip_stats(&chip_stats)
         } else {
             let (mut sim, options) = prepare_scenario(scenario, opts)?;
-            let start = Instant::now();
+            let start = Instant::now(); // analyze: allow(determinism) reason="wall-clock timing of the benchmark harness itself, not simulated state"
             let stats = sim.run(options);
             best_wall = best_wall.min(start.elapsed().as_secs_f64());
             stats

@@ -1,0 +1,146 @@
+//! Counting-allocator proof of the hot-path zero-allocation invariant.
+//!
+//! The static analyzer (`smt-analyze`, rule `hot-path-alloc`) keeps
+//! allocating constructs out of the per-cycle pipeline code lexically; this
+//! test closes the loop dynamically: once a simulator is warmed past its
+//! high-water marks, stepping it must perform **zero** heap allocations,
+//! for both the single-core [`SmtSimulator`] and the chip-level
+//! [`ChipSimulator`], across the baseline and the paper's headline policy.
+//!
+//! Everything runs inside one `#[test]` function: the process-global
+//! allocation counter would otherwise be polluted by concurrently running
+//! tests.
+
+#![cfg(not(miri))]
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use smt_core::chip::ChipSimulator;
+use smt_core::pipeline::SmtSimulator;
+use smt_trace::{ScriptedTrace, TraceSource};
+use smt_types::config::FetchPolicyKind;
+use smt_types::{ChipConfig, SmtConfig, TraceOp};
+
+/// A pass-through allocator that counts allocation events (`alloc`,
+/// `realloc`); frees are not counted — the invariant under test is "no new
+/// memory is requested in the steady state".
+struct CountingAlloc;
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// A looping trace whose loads touch a fresh cache line every iteration, so
+/// misses, MSHR traffic, bus contention and stream-buffer reallocation stay
+/// active throughout the measurement window. Every [`Self::JUMP_PERIOD`]
+/// loads the stream jumps to a distant region: a perfectly regular stride
+/// would converge to full stream-buffer coverage and stop exercising
+/// prefetcher allocation; the jumps keep buffer (re)allocation live.
+struct FreshMissTrace {
+    inner: smt_trace::scripted::LoopingTrace,
+    next_line: u64,
+}
+
+impl FreshMissTrace {
+    fn new() -> Self {
+        let mut ops = Vec::new();
+        for m in 0..4u64 {
+            ops.push(TraceOp::load(0x9000 + 8 * m, 0));
+        }
+        for i in 0..24u64 {
+            ops.push(TraceOp::int_alu(0x100 + 4 * i));
+        }
+        FreshMissTrace {
+            inner: ScriptedTrace::looping("fresh-miss", ops),
+            next_line: 0,
+        }
+    }
+}
+
+impl FreshMissTrace {
+    const JUMP_PERIOD: u64 = 48;
+}
+
+impl TraceSource for FreshMissTrace {
+    fn next_op(&mut self) -> TraceOp {
+        let mut op = self.inner.next_op();
+        if let Some(mem) = op.mem.as_mut() {
+            self.next_line += 1;
+            if self.next_line.is_multiple_of(Self::JUMP_PERIOD) {
+                self.next_line += 4096;
+            }
+            mem.addr = 0x4000_0000 + self.next_line * 64;
+        }
+        op
+    }
+
+    fn name(&self) -> &str {
+        "fresh-miss"
+    }
+}
+
+fn alu_trace() -> Box<dyn TraceSource> {
+    Box::new(ScriptedTrace::looping(
+        "cpu-bound",
+        (0..64).map(|i| TraceOp::int_alu(0x2000 + 4 * i)).collect(),
+    ))
+}
+
+fn mixed_pair() -> Vec<Box<dyn TraceSource>> {
+    vec![Box::new(FreshMissTrace::new()), alu_trace()]
+}
+
+const WARMUP_CYCLES: u64 = 30_000;
+const MEASURED_CYCLES: u64 = 10_000;
+
+fn assert_zero_alloc_steady_state(label: &str, mut step: impl FnMut()) {
+    for _ in 0..WARMUP_CYCLES {
+        step();
+    }
+    let before = allocation_count();
+    for _ in 0..MEASURED_CYCLES {
+        step();
+    }
+    let delta = allocation_count() - before;
+    assert_eq!(
+        delta, 0,
+        "{label}: {delta} heap allocation(s) during {MEASURED_CYCLES} steady-state cycles \
+         (warmed {WARMUP_CYCLES} cycles)"
+    );
+}
+
+#[test]
+fn steady_state_cycle_loop_performs_no_heap_allocations() {
+    for policy in [FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush] {
+        let config = SmtConfig::baseline(2).with_policy(policy);
+        let mut sim = SmtSimulator::new(config, mixed_pair()).expect("machine builds");
+        assert_zero_alloc_steady_state(&format!("SmtSimulator/{policy:?}"), || sim.step());
+
+        let chip_config = ChipConfig::baseline(2, 2).with_policy(policy);
+        let mut chip =
+            ChipSimulator::new(chip_config, vec![mixed_pair(), mixed_pair()]).expect("chip builds");
+        assert_zero_alloc_steady_state(&format!("ChipSimulator/{policy:?}"), || chip.step());
+    }
+}

@@ -77,7 +77,7 @@ impl FetchPolicy for MlpBinaryFlushPolicy {
     }
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
-        self.pending_no_mlp[thread.index()].retain(|&s| s <= keep_up_to.0);
+        self.pending_no_mlp[thread.index()].retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
     }
 }
 
@@ -95,7 +95,7 @@ struct StallFlushState {
 
 impl StallFlushState {
     fn oldest_pending(&self) -> Option<u64> {
-        self.pending.iter().copied().min()
+        self.pending.iter().copied().min() // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
     }
 
     fn gated(&self, outstanding_lll: u32, distance_bounded: bool) -> bool {
@@ -189,7 +189,7 @@ impl FetchPolicy for MlpDistanceFlushAtStallPolicy {
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
         let state = &mut self.threads[thread.index()];
-        state.pending.retain(|&s| s <= keep_up_to.0);
+        state.pending.retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
         state.latest_fetched = state.latest_fetched.min(keep_up_to.0);
     }
 }
@@ -296,7 +296,7 @@ impl FetchPolicy for MlpBinaryFlushAtStallPolicy {
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
         let state = &mut self.threads[thread.index()];
-        state.pending.retain(|&s| s <= keep_up_to.0);
+        state.pending.retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
         state.latest_fetched = state.latest_fetched.min(keep_up_to.0);
     }
 }

@@ -107,7 +107,7 @@ impl FetchPolicy for MlpStallPolicy {
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
         let state = &mut self.threads[thread.index()];
-        state.pending.retain(|&s| s <= keep_up_to.0);
+        state.pending.retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
         state.latest_fetched = state.latest_fetched.min(keep_up_to.0);
     }
 }
@@ -187,7 +187,7 @@ impl FetchPolicy for MlpFlushPolicy {
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
         let state = &mut self.threads[thread.index()];
-        state.pending.retain(|&s| s <= keep_up_to.0);
+        state.pending.retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
         state.latest_fetched = state.latest_fetched.min(keep_up_to.0);
     }
 }

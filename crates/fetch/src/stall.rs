@@ -86,7 +86,7 @@ impl FetchPolicy for StallPolicy {
     }
 
     fn on_squash(&mut self, thread: ThreadId, keep_up_to: SeqNum) {
-        self.pending_predicted[thread.index()].retain(|&s| s <= keep_up_to.0);
+        self.pending_predicted[thread.index()].retain(|&s| s <= keep_up_to.0); // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
     }
 }
 

@@ -205,18 +205,9 @@ impl StreamBufferPrefetcher {
         let stride_lines = (entry.stride.unsigned_abs() / self.line_bytes).max(1);
         let direction = entry.stride.signum();
         let base_line = self.line_of(addr);
-        let lines: Vec<(u64, u64)> = (1..=self.config.entries_per_buffer as u64)
-            .map(|i| {
-                let offset = stride_lines * i;
-                let line = if direction >= 0 {
-                    base_line + offset
-                } else {
-                    base_line.saturating_sub(offset)
-                };
-                (line, now + self.memory_latency)
-            })
-            .collect();
-        self.issued += lines.len() as u64;
+        let entries = self.config.entries_per_buffer as u64;
+        let ready_at = now + self.memory_latency;
+        self.issued += entries;
         let victim = self
             .buffers
             .iter_mut()
@@ -224,7 +215,18 @@ impl StreamBufferPrefetcher {
             .expect("at least one stream buffer");
         victim.valid = true;
         victim.thread = thread.index();
-        victim.lines = lines;
+        // Refill the victim's line vector in place: its capacity is reused
+        // across reallocations, keeping the steady state allocation-free.
+        victim.lines.clear();
+        victim.lines.extend((1..=entries).map(|i| {
+            let offset = stride_lines * i;
+            let line = if direction >= 0 {
+                base_line + offset
+            } else {
+                base_line.saturating_sub(offset)
+            };
+            (line, ready_at)
+        }));
         victim.last_allocated = tick;
     }
 

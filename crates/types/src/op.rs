@@ -54,6 +54,7 @@ impl OpKind {
 
 /// Branch metadata attached to [`OpKind::Branch`] trace records.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct BranchInfo {
     /// Whether the branch is taken in the trace.
     pub taken: bool,
@@ -66,6 +67,7 @@ pub struct BranchInfo {
 
 /// Memory metadata attached to [`OpKind::Load`]/[`OpKind::Store`] trace records.
 #[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct MemInfo {
     /// Virtual effective address of the access.
     pub addr: u64,
@@ -90,6 +92,7 @@ impl Default for MemInfo {
 /// assert!(!op.kind.is_mem());
 /// ```
 #[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct TraceOp {
     /// Program counter of the instruction.
     pub pc: u64,

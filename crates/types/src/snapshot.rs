@@ -11,6 +11,7 @@ use crate::ids::ThreadId;
 
 /// Per-thread occupancy and status visible to the fetch policy.
 #[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ThreadSnapshot {
     /// Whether the thread still has instructions left to fetch.
     pub active: bool,
@@ -48,6 +49,7 @@ pub struct ThreadSnapshot {
 ///
 /// [`smt_fetch`]: https://docs.rs/smt-fetch
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct SmtSnapshot {
     /// Current cycle number.
     pub cycle: u64,

@@ -12,6 +12,7 @@ use crate::ids::ThreadId;
 
 /// Counters describing one hardware thread's execution.
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ThreadStats {
     /// Dynamic instructions committed.
     pub committed_instructions: u64,
@@ -254,6 +255,7 @@ impl ThreadStats {
 
 /// Statistics for a whole simulated machine run.
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct MachineStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -307,6 +309,7 @@ impl MachineStats {
 /// core plus the chip-wide cycle count (cores step in lockstep, so every
 /// core's cycle count equals the chip's).
 #[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
 pub struct ChipStats {
     /// Total simulated cycles (identical across cores).
     pub cycles: u64,
