@@ -16,7 +16,10 @@
 //!   `#[serde(deny_unknown_fields)]`;
 //! * **registry-drift** — experiment names cited in the docs exist in the
 //!   registry; bench scenario names in `BENCH_throughput.json` exist in the
-//!   throughput matrix.
+//!   throughput matrix;
+//! * **panic-policy** — no bare `unwrap()`/`expect(` in the resilient
+//!   experiment engine (`crates/core/src/experiments/`): cell failures must
+//!   surface as `Result`s so the engine can quarantine and report them.
 //!
 //! A finding is suppressed with a justified annotation on (or directly
 //! above) the offending line:

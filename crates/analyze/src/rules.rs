@@ -24,12 +24,13 @@ pub struct Finding {
 }
 
 /// The enforced rule ids, i.e. the valid arguments to `analyze: allow(...)`.
-pub const RULE_IDS: [&str; 5] = [
+pub const RULE_IDS: [&str; 6] = [
     "hot-path-alloc",
     "determinism",
     "swap-point",
     "config-hygiene",
     "registry-drift",
+    "panic-policy",
 ];
 
 /// Crates whose sources must stay deterministic: everything that executes
@@ -126,6 +127,9 @@ pub(crate) fn check_file(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding
     }
     if file.path.starts_with("crates/types/src/") {
         config_hygiene(file, raw, out);
+    }
+    if file.path.starts_with("crates/core/src/experiments/") {
+        panic_policy(file, raw, out);
     }
 }
 
@@ -479,6 +483,37 @@ fn config_hygiene(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
     }
 }
 
+/// **panic-policy** — no bare `unwrap()` / `expect(` in the resilient
+/// experiment engine. The engine's whole contract is that cell failures are
+/// caught, classified and reported as [`CellOutcome`]s rather than crashing
+/// the run, so non-test engine code must surface errors as `Result`s (or
+/// carry an `analyze: allow(panic-policy)` explaining why the panic is
+/// unreachable).
+///
+/// [`CellOutcome`]: https://docs.rs/smt-types
+fn panic_policy(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        for pat in [".unwrap()", ".expect("] {
+            if code.contains(pat) {
+                out.push(finding(
+                    file,
+                    raw,
+                    idx + 1,
+                    "panic-policy",
+                    format!(
+                        "`{pat}` can panic inside the resilient experiment engine; \
+                         propagate a `SimError` instead"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 fn matches_pattern(code: &str, pat: &str, word_boundary_before: bool) -> bool {
     let mut from = 0usize;
     while let Some(pos) = code.get(from..).and_then(|c| c.find(pat)) {
@@ -548,6 +583,21 @@ mod tests {
         let src = "fn tick(&mut self) {\n    self.swap_policy(kind);\n}\n";
         assert_eq!(run("crates/core/src/pipeline/mod.rs", src).len(), 1);
         assert!(run("crates/core/src/pipeline/adaptive.rs", src).is_empty());
+    }
+
+    #[test]
+    fn panic_policy_scoped_to_the_experiment_engine() {
+        let src =
+            "fn go() {\n    let x = compute().unwrap();\n    let y = other().expect(\"y\");\n}\n";
+        let out = run("crates/core/src/experiments/engine.rs", src);
+        assert_eq!(out.len(), 2, "{out:?}");
+        assert!(out.iter().all(|f| f.rule == "panic-policy"));
+        assert_eq!(out[0].line, 2);
+        assert_eq!(out[1].line, 3);
+        // Out of scope: the rest of smt-core, and engine test code.
+        assert!(run("crates/core/src/runner.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        compute().unwrap();\n    }\n}\n";
+        assert!(run("crates/core/src/experiments/engine.rs", test_src).is_empty());
     }
 
     #[test]

@@ -111,6 +111,14 @@ pub struct RunArgs {
     pub format: Option<OutputFormat>,
     /// `--quiet`: suppress the text report on stdout when `--out` is given.
     pub quiet: bool,
+    /// `--max-retries <n>`: retries per failing cell beyond the first attempt.
+    pub max_retries: Option<u64>,
+    /// `--cell-timeout <ms>`: wall-clock budget per cell attempt.
+    pub cell_timeout: Option<u64>,
+    /// `--fail-fast`: skip remaining cells after the first permanent failure.
+    pub fail_fast: bool,
+    /// `--fault-plan <path>`: TOML fault plan injected into the engine.
+    pub fault_plan: Option<String>,
 }
 
 impl RunArgs {
@@ -129,6 +137,10 @@ impl RunArgs {
             out: None,
             format: None,
             quiet: false,
+            max_retries: None,
+            cell_timeout: None,
+            fail_fast: false,
+            fault_plan: None,
         }
     }
 }
@@ -244,6 +256,26 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                         })?);
                     }
                     "--quiet" | "-q" => run.quiet = true,
+                    "--max-retries" => {
+                        let value = value_for("--max-retries")?;
+                        run.max_retries = Some(
+                            value
+                                .parse()
+                                .map_err(|_| format!("invalid retry count `{value}`"))?,
+                        );
+                    }
+                    "--cell-timeout" => {
+                        let value = value_for("--cell-timeout")?;
+                        let timeout: u64 = value
+                            .parse()
+                            .map_err(|_| format!("invalid cell timeout `{value}`"))?;
+                        if timeout == 0 {
+                            return Err("`--cell-timeout` must be at least 1 ms".to_string());
+                        }
+                        run.cell_timeout = Some(timeout);
+                    }
+                    "--fail-fast" => run.fail_fast = true,
+                    "--fault-plan" => run.fault_plan = Some(value_for("--fault-plan")?),
                     other => return Err(format!("unknown flag `{other}` for `run`")),
                 }
             }
@@ -370,6 +402,16 @@ RUN FLAGS:
     --out <path>        Also write the report to a file (.json/.toml/.txt)
     --format <f>        Force text, json or toml output
     --quiet             With --out: suppress the stdout report
+    --max-retries <n>   Retries per failing cell beyond the first attempt (default 1)
+    --cell-timeout <ms> Wall-clock budget per cell attempt (default: none)
+    --fail-fast         Skip remaining cells after the first permanent failure
+    --fault-plan <path> Inject a deterministic TOML fault plan (chaos testing)
+
+EXIT CODES (run):
+    0   every cell completed
+    3   degraded: some cells failed, partial report written
+    1   total failure (no cells completed, or the run could not start)
+    2   command-line or spec parse error
 
 EXAMPLES:
     smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
@@ -440,6 +482,33 @@ mod tests {
         assert!(parse_err(&["run", "x", "--warp"]).contains("--warp"));
         assert!(parse_err(&["frobnicate"]).contains("frobnicate"));
         assert!(parse_err(&["list", "extra"]).contains("takes no arguments"));
+    }
+
+    #[test]
+    fn resilience_flags_parse_and_validate() {
+        let Command::Run(run) = parse_ok(&[
+            "run",
+            "fig09_two_thread_policies",
+            "--max-retries",
+            "3",
+            "--cell-timeout",
+            "5000",
+            "--fail-fast",
+            "--fault-plan",
+            "plans/chaos_transient.toml",
+        ]) else {
+            panic!("expected run");
+        };
+        assert_eq!(run.max_retries, Some(3));
+        assert_eq!(run.cell_timeout, Some(5_000));
+        assert!(run.fail_fast);
+        assert_eq!(
+            run.fault_plan.as_deref(),
+            Some("plans/chaos_transient.toml")
+        );
+        assert!(parse_err(&["run", "x", "--cell-timeout", "0"]).contains("at least 1 ms"));
+        assert!(parse_err(&["run", "x", "--max-retries", "many"]).contains("invalid retry count"));
+        assert!(parse_err(&["run", "x", "--fault-plan"]).contains("needs a value"));
     }
 
     #[test]

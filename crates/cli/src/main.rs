@@ -9,6 +9,10 @@
 //! smt-cli run fig09_two_thread_policies --scale test --out /tmp/r.json
 //! smt-cli run my_experiment.toml --threads 8
 //! ```
+//!
+//! `run` reports partial results instead of dying with the first cell: exit
+//! code 0 means every cell completed, 3 means a degraded (partial) report,
+//! and 1 means total failure. Parse errors stay on exit code 2.
 
 mod args;
 
@@ -18,7 +22,7 @@ use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec};
 use smt_core::throughput::{
     self, BenchOptions, ThroughputReport, ThroughputTrajectory, BASELINE_SCENARIO,
 };
-use smt_types::SimError;
+use smt_types::{RunHealthStatus, SimError};
 
 use args::{BenchArgs, Command, OutputFormat, RunArgs};
 
@@ -32,7 +36,7 @@ fn main() -> ExitCode {
         }
     };
     match dispatch(command) {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(message) => {
             eprintln!("error: {message}");
             ExitCode::FAILURE
@@ -40,16 +44,16 @@ fn main() -> ExitCode {
     }
 }
 
-fn dispatch(command: Command) -> Result<(), String> {
+fn dispatch(command: Command) -> Result<ExitCode, String> {
     match command {
         Command::Help => {
             print!("{}", args::HELP);
-            Ok(())
+            Ok(ExitCode::SUCCESS)
         }
-        Command::List => list(),
-        Command::Describe { name } => describe(&name),
+        Command::List => list().map(|()| ExitCode::SUCCESS),
+        Command::Describe { name } => describe(&name).map(|()| ExitCode::SUCCESS),
         Command::Run(run) => execute(run),
-        Command::Bench(bench) => execute_bench(bench),
+        Command::Bench(bench) => execute_bench(bench).map(|()| ExitCode::SUCCESS),
     }
 }
 
@@ -166,7 +170,9 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
     };
     trajectory.push(today_utc(), report.clone());
     let payload = trajectory.to_json().map_err(|e| e.to_string())?;
-    std::fs::write(out, payload).map_err(|e| format!("cannot write `{out}`: {e}"))?;
+    // Atomic write: a crash mid-append must not truncate the perf history.
+    smt_core::artifacts::write_atomic(out, payload)
+        .map_err(|e| format!("cannot write `{out}`: {e}"))?;
     eprintln!(
         "trajectory entry appended to {out} ({} entries)",
         trajectory.entries.len()
@@ -251,7 +257,18 @@ fn load_spec(target: &str) -> Result<ExperimentSpec, String> {
     Ok(spec)
 }
 
-fn execute(run: RunArgs) -> Result<(), String> {
+/// Loads and validates a fault plan from a TOML file (`--fault-plan`).
+fn load_fault_plan(path: &str) -> Result<smt_resil::FaultPlan, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read fault plan `{path}`: {e}"))?;
+    let plan: smt_resil::FaultPlan =
+        toml::from_str(&text).map_err(|e| format!("fault plan `{path}`: {e}"))?;
+    plan.validate()
+        .map_err(|e| format!("fault plan `{path}`: {e}"))?;
+    Ok(plan)
+}
+
+fn execute(run: RunArgs) -> Result<ExitCode, String> {
     let mut spec = load_spec(&run.target)?;
     if let Some(scale) = run.scale {
         spec = spec.with_scale(scale);
@@ -302,6 +319,22 @@ fn execute(run: RunArgs) -> Result<(), String> {
         run.threads.unwrap_or_else(engine::default_parallelism)
     };
 
+    // Resilience policy: spec-level `[resilience]` settings first, command-line
+    // flags on top.
+    let mut policy = engine::RunPolicy::from_spec(&spec);
+    if let Some(retries) = run.max_retries {
+        policy.max_retries = retries;
+    }
+    if let Some(timeout) = run.cell_timeout {
+        policy.cell_timeout_ms = Some(timeout);
+    }
+    if run.fail_fast {
+        policy.fail_fast = true;
+    }
+    if let Some(path) = &run.fault_plan {
+        policy.fault_plan = Some(load_fault_plan(path)?);
+    }
+
     // The first banner axis is whatever the grid actually fans out over:
     // selector x candidate-set for adaptive grids, policies otherwise.
     let cell_axis = match &spec.adaptive {
@@ -321,7 +354,8 @@ fn execute(run: RunArgs) -> Result<(), String> {
         spec.scale.instructions_per_thread,
         threads
     );
-    let report = engine::run_spec_with_threads(&spec, threads).map_err(|e| e.to_string())?;
+    let report =
+        engine::run_spec_with_policy(&spec, threads, &policy).map_err(|e| e.to_string())?;
 
     let stdout_format = run.format.unwrap_or(OutputFormat::Text);
     if let Some(path) = &run.out {
@@ -330,7 +364,8 @@ fn execute(run: RunArgs) -> Result<(), String> {
             .or_else(|| OutputFormat::from_path(path))
             .unwrap_or(OutputFormat::Json);
         let payload = render(&report, file_format)?;
-        std::fs::write(path, payload).map_err(|e| format!("cannot write `{path}`: {e}"))?;
+        smt_core::artifacts::write_atomic(path, payload)
+            .map_err(|e| format!("cannot write `{path}`: {e}"))?;
         eprintln!("report written to {path}");
         if !run.quiet {
             print!("{}", render(&report, stdout_format)?);
@@ -338,7 +373,23 @@ fn execute(run: RunArgs) -> Result<(), String> {
     } else {
         print!("{}", render(&report, stdout_format)?);
     }
-    Ok(())
+
+    // Exit-code contract: 0 = every cell completed, 3 = degraded (partial
+    // report above is still valid), 1 = nothing completed. Reports without
+    // health (pre-resilience engine) count as complete.
+    Ok(match report.health.as_ref().map(|h| h.status) {
+        None | Some(RunHealthStatus::Complete) => ExitCode::SUCCESS,
+        Some(RunHealthStatus::Degraded) => {
+            eprintln!(
+                "warning: run degraded; partial report covers the completed cells (exit code 3)"
+            );
+            ExitCode::from(3)
+        }
+        Some(RunHealthStatus::Failed) => {
+            eprintln!("error: every cell failed; see the health section of the report");
+            ExitCode::FAILURE
+        }
+    })
 }
 
 fn render(

@@ -1,4 +1,4 @@
-//! Parallel execution engine for [`ExperimentSpec`]s.
+//! Resilient parallel execution engine for [`ExperimentSpec`]s.
 //!
 //! The engine expands a spec into its grid of independent cells
 //! (sweep point × policy × workload for policy grids; one benchmark per cell
@@ -8,15 +8,30 @@
 //! [`ExperimentReport`]. Results are deterministic and independent of the
 //! thread count: every cell's simulations are self-contained and seeded by
 //! the spec's [`crate::runner::RunScale::seed`].
+//!
+//! # Resilience
+//!
+//! Every cell runs inside an isolation boundary ([`std::panic::catch_unwind`]
+//! plus a quiet panic hook), so one panicking cell is quarantined as a
+//! [`CellOutcome`] failure while the rest of the grid keeps draining.
+//! A [`RunPolicy`] adds bounded retries with capped exponential backoff, a
+//! wall-clock watchdog deadline, a deterministic simulated-cycle deadline
+//! (via [`RunScale::max_cycles`]), optional fail-fast, and a deterministic
+//! fault-injection hook ([`smt_resil::FaultPlan`]) for chaos testing. The
+//! report degrades gracefully: completed cells are kept, failures are
+//! recorded per cell, and [`RunHealth`] classifies the whole run.
 
+use std::cell::Cell;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, Once, PoisonError};
+use std::time::Duration;
 use std::time::Instant; // analyze: allow(determinism) reason="harness-side wall-clock for progress reporting; never feeds simulated state"
 
+use smt_resil::FaultInjector;
 use smt_sched::AllocationPolicyKind;
 use smt_types::config::FetchPolicyKind;
-use smt_types::{SimError, SmtConfig};
+use smt_types::{CellError, CellOutcome, RunHealth, SimError, SmtConfig};
 
 use crate::experiments::characterization;
 use crate::experiments::report::{empty_report, BenchRow, ExperimentReport, PolicyCell};
@@ -43,6 +58,400 @@ pub fn default_parallelism() -> usize {
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
 
+/// How the engine shields a run from failing cells: retry budget, backoff
+/// shape, deadlines, fail-fast, and the optional deterministic fault plan.
+///
+/// The zero-configuration default retries each failed cell once with a few
+/// milliseconds of backoff and no deadlines — exactly the behaviour a
+/// fault-free run cannot observe, because successful cells record neither
+/// retries nor errors in the report.
+#[derive(Clone, PartialEq, Debug)]
+pub struct RunPolicy {
+    /// Retries per cell after the first attempt (`max_retries = 0` means one
+    /// attempt, no retry). Only retryable errors (panics, deadlines,
+    /// injected faults) consume the budget; deterministic simulation errors
+    /// fail immediately.
+    pub max_retries: u64,
+    /// Wall-clock budget per cell attempt, enforced by a watchdog thread.
+    /// `None` disables the wall-clock deadline.
+    pub cell_timeout_ms: Option<u64>,
+    /// Deterministic simulated-cycle budget per cell, checked inside the
+    /// simulator step loop. A cell that hits the cap before any thread
+    /// commits its instruction budget fails with a deadline error.
+    pub max_cell_cycles: Option<u64>,
+    /// Abort remaining cells after the first permanent failure. Skipped
+    /// cells are reported as failed with a `skipped` error. Which cells are
+    /// skipped depends on scheduling when `threads > 1`.
+    pub fail_fast: bool,
+    /// Base backoff before the first retry, in milliseconds.
+    pub backoff_base_ms: u64,
+    /// Upper bound on any single backoff sleep, in milliseconds.
+    pub backoff_cap_ms: u64,
+    /// Deterministic fault plan evaluated at the engine's injection points
+    /// (`cell-start`, `cell-finish`). `None` injects nothing.
+    pub fault_plan: Option<smt_resil::FaultPlan>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        RunPolicy {
+            max_retries: 1,
+            cell_timeout_ms: None,
+            max_cell_cycles: None,
+            fail_fast: false,
+            backoff_base_ms: 2,
+            backoff_cap_ms: 250,
+            fault_plan: None,
+        }
+    }
+}
+
+impl RunPolicy {
+    /// Builds the effective policy for a spec: the engine defaults with every
+    /// field the spec's optional `resilience` section sets layered on top.
+    pub fn from_spec(spec: &ExperimentSpec) -> Self {
+        let mut policy = RunPolicy::default();
+        if let Some(resilience) = &spec.resilience {
+            if let Some(v) = resilience.max_retries {
+                policy.max_retries = v;
+            }
+            if resilience.cell_timeout_ms.is_some() {
+                policy.cell_timeout_ms = resilience.cell_timeout_ms;
+            }
+            if resilience.max_cell_cycles.is_some() {
+                policy.max_cell_cycles = resilience.max_cell_cycles;
+            }
+            if let Some(v) = resilience.fail_fast {
+                policy.fail_fast = v;
+            }
+            if let Some(v) = resilience.backoff_base_ms {
+                policy.backoff_base_ms = v;
+            }
+            if let Some(v) = resilience.backoff_cap_ms {
+                policy.backoff_cap_ms = v;
+            }
+            if resilience.fault_plan.is_some() {
+                policy.fault_plan = resilience.fault_plan.clone();
+            }
+        }
+        policy
+    }
+
+    /// Total attempts per cell (the first run plus the retries).
+    pub fn max_attempts(&self) -> u64 {
+        self.max_retries.saturating_add(1)
+    }
+
+    /// Backoff before retry `attempt` (1-based) of `cell`: capped exponential
+    /// growth from [`RunPolicy::backoff_base_ms`] plus a small deterministic
+    /// per-cell jitter, so retried cells of one run do not stampede in
+    /// lockstep. A pure function of `(cell, attempt)` — never wall clock.
+    pub fn backoff_ms(&self, cell: u64, attempt: u64) -> u64 {
+        let base = self.backoff_base_ms.max(1);
+        let shift = attempt.saturating_sub(1).min(16) as u32;
+        let raw = base.saturating_mul(1u64 << shift);
+        let jitter = (cell.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 58) % base;
+        raw.saturating_add(jitter)
+            .min(self.backoff_cap_ms.max(base))
+    }
+}
+
+thread_local! {
+    /// True while the current thread is inside a cell's isolation boundary;
+    /// the quiet panic hook suppresses default panic output for such panics
+    /// because they are captured and reported as [`CellOutcome`] failures.
+    static IN_CELL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once per process) a panic hook that stays silent for panics
+/// unwinding out of an engine cell and defers to the previous hook for
+/// everything else.
+fn install_cell_panic_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if IN_CELL.with(Cell::get) {
+                return;
+            }
+            previous(info);
+        }));
+    });
+}
+
+/// Renders a panic payload as text: the common `&str`/`String` payloads
+/// verbatim, anything else as an opaque marker.
+fn panic_payload(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// Wall-clock watchdog for cell deadlines. One monitor thread owns the only
+/// [`Instant`] and publishes a millisecond clock through an atomic; workers
+/// stamp their cell's start against that clock and poll an `expired` flag.
+struct Watchdog {
+    /// Milliseconds since the monitor started, advanced only by the monitor.
+    clock_ms: AtomicU64,
+    /// Per cell: `clock_ms + 1` at attempt start, `0` when idle.
+    started: Vec<AtomicU64>,
+    /// Per cell: set by the monitor once the running attempt overruns.
+    expired: Vec<AtomicBool>,
+    /// Cells fully finished (all attempts done or skipped).
+    finished: AtomicUsize,
+    timeout_ms: u64,
+}
+
+impl Watchdog {
+    fn new(cells: usize, timeout_ms: u64) -> Self {
+        Watchdog {
+            clock_ms: AtomicU64::new(0),
+            started: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            expired: (0..cells).map(|_| AtomicBool::new(false)).collect(),
+            finished: AtomicUsize::new(0),
+            timeout_ms,
+        }
+    }
+
+    /// Stamps the start of an attempt on `cell` against the monitor's clock.
+    fn arm(&self, cell: usize) {
+        self.expired[cell].store(false, Ordering::Release);
+        let stamp = self.clock_ms.load(Ordering::Acquire) + 1;
+        self.started[cell].store(stamp, Ordering::Release);
+    }
+
+    /// Ends the attempt on `cell`; returns whether the monitor saw it overrun.
+    fn disarm(&self, cell: usize) -> bool {
+        self.started[cell].store(0, Ordering::Release);
+        self.expired[cell].swap(false, Ordering::AcqRel)
+    }
+
+    /// Marks one cell as completely finished (success, failure, or skip).
+    fn cell_done(&self) {
+        self.finished.fetch_add(1, Ordering::AcqRel);
+    }
+
+    /// Monitor loop: advances the shared clock and flags overrunning cells
+    /// until every cell is finished. This is the engine's single sanctioned
+    /// wall-clock read; simulated state never observes it.
+    fn monitor(&self) {
+        // analyze: allow(determinism) reason="wall-clock watchdog for cell deadlines; flags harness overruns only and never feeds simulated state"
+        let clock = Instant::now();
+        let poll = (self.timeout_ms / 4).clamp(1, 25);
+        while self.finished.load(Ordering::Acquire) < self.started.len() {
+            std::thread::sleep(Duration::from_millis(poll));
+            let now = clock.elapsed().as_millis() as u64;
+            self.clock_ms.store(now, Ordering::Release);
+            for cell in 0..self.started.len() {
+                let stamp = self.started[cell].load(Ordering::Acquire);
+                if stamp != 0 && now.saturating_sub(stamp - 1) > self.timeout_ms {
+                    self.expired[cell].store(true, Ordering::Release);
+                }
+            }
+        }
+    }
+}
+
+/// The terminal outcome of one cell: its result (or the error of the last
+/// attempt) and how many attempts were consumed.
+struct CellRun<R> {
+    result: Result<R, CellError>,
+    attempts: u64,
+}
+
+/// One isolated attempt of a cell: fault injection at `cell-start`, the cell
+/// body, fault injection at `cell-finish`, all under `catch_unwind` with the
+/// quiet panic hook engaged.
+fn attempt_cell<T, R>(
+    cell: u64,
+    attempt: u64,
+    item: &T,
+    injector: Option<&FaultInjector>,
+    body: &(impl Fn(&T) -> Result<R, SimError> + Sync),
+) -> Result<R, CellError> {
+    IN_CELL.with(|flag| flag.set(true));
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if let Some(injector) = injector {
+            if let Some(fault) = injector.check("cell-start", cell, attempt) {
+                fault.trigger()?;
+            }
+        }
+        let result = body(item).map_err(|e| match e {
+            SimError::DeadlineExceeded { reason } => CellError::deadline(reason),
+            other => CellError::invalid_spec(other.to_string()),
+        })?;
+        if let Some(injector) = injector {
+            if let Some(fault) = injector.check("cell-finish", cell, attempt) {
+                fault.trigger()?;
+            }
+        }
+        Ok(result)
+    }));
+    IN_CELL.with(|flag| flag.set(false));
+    match caught {
+        Ok(outcome) => outcome,
+        Err(payload) => Err(CellError::panic(panic_payload(payload))),
+    }
+}
+
+/// Runs one cell to its terminal outcome: up to [`RunPolicy::max_attempts`]
+/// isolated attempts with deterministic backoff between them, the watchdog
+/// armed around each attempt, and `post_check` validating successful results
+/// (the simulated-cycle deadline).
+fn run_one_cell<T, R>(
+    index: usize,
+    item: &T,
+    policy: &RunPolicy,
+    injector: Option<&FaultInjector>,
+    watchdog: Option<&Watchdog>,
+    body: &(impl Fn(&T) -> Result<R, SimError> + Sync),
+    post_check: &(impl Fn(&R) -> Option<CellError> + Sync),
+) -> CellRun<R> {
+    let cell = index as u64;
+    let max_attempts = policy.max_attempts();
+    let mut last_error = CellError::skipped("cell never ran");
+    for attempt in 0..max_attempts {
+        if attempt > 0 {
+            std::thread::sleep(Duration::from_millis(policy.backoff_ms(cell, attempt)));
+        }
+        if let Some(watchdog) = watchdog {
+            watchdog.arm(index);
+        }
+        let outcome = attempt_cell(cell, attempt, item, injector, body);
+        let expired = watchdog.is_some_and(|w| w.disarm(index));
+        let outcome = match outcome {
+            Ok(result) => {
+                if expired {
+                    Err(CellError::deadline(format!(
+                        "cell exceeded its {} ms wall-clock budget",
+                        policy.cell_timeout_ms.unwrap_or(0)
+                    )))
+                } else if let Some(error) = post_check(&result) {
+                    Err(error)
+                } else {
+                    Ok(result)
+                }
+            }
+            // A failed attempt keeps its own error even if it also overran.
+            Err(error) => Err(error),
+        };
+        match outcome {
+            Ok(result) => {
+                return CellRun {
+                    result: Ok(result),
+                    attempts: attempt + 1,
+                }
+            }
+            Err(error) => {
+                let retryable = error.kind.is_retryable();
+                last_error = error;
+                if !retryable {
+                    return CellRun {
+                        result: Err(last_error),
+                        attempts: attempt + 1,
+                    };
+                }
+            }
+        }
+    }
+    CellRun {
+        result: Err(last_error),
+        attempts: max_attempts,
+    }
+}
+
+/// The resilient executor: runs every item as an isolated, retried,
+/// deadline-guarded cell on up to `threads` workers, returning terminal
+/// outcomes in item order. Fault firing is a pure function of
+/// `(site, cell index, attempt)`, so outcomes are thread-count invariant
+/// (except which cells a `fail_fast` abort skips).
+fn run_cells<T: Sync, R: Send>(
+    items: &[T],
+    threads: usize,
+    policy: &RunPolicy,
+    body: impl Fn(&T) -> Result<R, SimError> + Sync,
+    post_check: impl Fn(&R) -> Option<CellError> + Sync,
+) -> Vec<CellRun<R>> {
+    install_cell_panic_hook();
+    let injector = policy.fault_plan.clone().map(FaultInjector::new);
+    let injector = injector.as_ref();
+    let watchdog = policy
+        .cell_timeout_ms
+        .map(|t| Watchdog::new(items.len(), t));
+    let watchdog = watchdog.as_ref();
+    let threads = threads.clamp(1, items.len().max(1));
+    let next = AtomicUsize::new(0);
+    let abort = AtomicBool::new(false);
+    let slots: Vec<Mutex<Option<CellRun<R>>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        if let Some(watchdog) = watchdog {
+            scope.spawn(|| watchdog.monitor());
+        }
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let run = if abort.load(Ordering::Acquire) {
+                    CellRun {
+                        result: Err(CellError::skipped(
+                            "fail-fast: an earlier cell failed permanently",
+                        )),
+                        attempts: 0,
+                    }
+                } else {
+                    let run =
+                        run_one_cell(i, &items[i], policy, injector, watchdog, &body, &post_check);
+                    if policy.fail_fast && run.result.is_err() {
+                        abort.store(true, Ordering::Release);
+                    }
+                    run
+                };
+                if let Some(watchdog) = watchdog {
+                    watchdog.cell_done();
+                }
+                // A cell that panicked on a previous holder cannot poison the
+                // slot (panics are caught inside the cell), but recover anyway
+                // rather than cascade.
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(run);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .unwrap_or_else(PoisonError::into_inner)
+                .unwrap_or_else(|| CellRun {
+                    result: Err(CellError::skipped("cell produced no result")),
+                    attempts: 0,
+                })
+        })
+        .collect()
+}
+
+/// Returns the deadline error for a multiprogram simulation that returned
+/// without any thread committing the per-thread instruction budget. The step
+/// loop's only early exit is its simulated-cycle cap, so an underrun means
+/// the cap (explicit [`RunScale::max_cycles`] or the generous
+/// [`crate::pipeline::SimOptions`] default) expired first.
+fn budget_underrun_error(scale: RunScale, max_committed: u64) -> Option<CellError> {
+    if max_committed < scale.instructions_per_thread {
+        Some(CellError::deadline(format!(
+            "simulated-cycle cap hit before any thread committed its {} instruction budget \
+             (best thread committed {max_committed})",
+            scale.instructions_per_thread
+        )))
+    } else {
+        None
+    }
+}
+
 /// Runs `f` over every item on up to `threads` OS threads, returning results
 /// in item order. Items are claimed from a shared atomic counter, so uneven
 /// cell costs balance across workers.
@@ -65,7 +474,7 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
                     break;
                 }
                 let result = f(&items[i]);
-                *slots[i].lock().expect("result slot lock poisoned") = Some(result);
+                *slots[i].lock().unwrap_or_else(PoisonError::into_inner) = Some(result);
             });
         }
     });
@@ -73,7 +482,8 @@ pub(crate) fn parallel_map<T: Sync, R: Send>(
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot lock poisoned")
+                .unwrap_or_else(PoisonError::into_inner)
+                // analyze: allow(panic-policy) reason="documented panic: a worker that panicked would have propagated through thread::scope before the slots are read"
                 .expect("every slot is filled before the scope ends")
         })
         .collect()
@@ -114,7 +524,9 @@ pub fn run_policy_grid(
     for _ in policies {
         let mut row = Vec::with_capacity(workloads.len());
         for _ in workloads {
-            row.push(outcomes.next().expect("one outcome per task")?);
+            row.push(outcomes.next().ok_or_else(|| {
+                SimError::internal("engine produced fewer outcomes than tasks")
+            })??);
         }
         grid.push(row);
     }
@@ -125,51 +537,87 @@ pub fn run_policy_grid(
 ///
 /// # Errors
 ///
-/// Returns a validation error before anything is simulated, or the first
-/// simulation error encountered.
+/// Returns a validation error before anything is simulated, or a setup error
+/// (unknown benchmark, failed placement probe). Cell-level failures do not
+/// error: they degrade the report (see [`ExperimentReport::health`]).
 pub fn run_spec(spec: &ExperimentSpec) -> Result<ExperimentReport, SimError> {
     run_spec_with_threads(spec, default_parallelism())
 }
 
-/// Runs an experiment spec on exactly `threads` worker threads.
+/// Runs an experiment spec on exactly `threads` worker threads under the
+/// resilience policy the spec itself declares ([`RunPolicy::from_spec`]).
 ///
 /// # Errors
 ///
-/// Returns a validation error before anything is simulated, or the first
-/// simulation error encountered.
+/// See [`run_spec`].
 pub fn run_spec_with_threads(
     spec: &ExperimentSpec,
     threads: usize,
 ) -> Result<ExperimentReport, SimError> {
+    run_spec_with_policy(spec, threads, &RunPolicy::from_spec(spec))
+}
+
+/// Runs an experiment spec on exactly `threads` worker threads under an
+/// explicit resilience policy (overriding whatever the spec declares).
+///
+/// # Errors
+///
+/// See [`run_spec`].
+pub fn run_spec_with_policy(
+    spec: &ExperimentSpec,
+    threads: usize,
+    policy: &RunPolicy,
+) -> Result<ExperimentReport, SimError> {
     spec.validate()?;
     let threads = threads.max(1);
     let start = Instant::now(); // analyze: allow(determinism) reason="elapsed-time reporting for the experiment harness, not simulated state"
+                                // The simulated-cycle deadline rides on the spec's scale so every
+                                // simulation a cell starts observes it inside its own step loop.
+    let mut effective = spec.clone();
+    if let Some(cap) = policy.max_cell_cycles {
+        effective.scale.max_cycles = Some(cap);
+    }
     let cache = StReferenceCache::new();
     let mut report = empty_report(spec, threads);
-    if spec.kind.is_single_thread() {
-        report.bench_rows = run_bench_rows(spec, threads)?;
+    let outcomes = if spec.kind.is_single_thread() {
+        let (rows, outcomes) = run_bench_rows(&effective, threads, policy);
+        report.bench_rows = rows;
+        outcomes
     } else {
-        let (cells, summaries) = run_grid_cells(spec, threads, &cache)?;
+        let (cells, summaries, outcomes) = run_grid_cells(&effective, threads, &cache, policy)?;
         report.policy_cells = cells;
         report.summaries = summaries;
-    }
+        outcomes
+    };
+    report.health = Some(RunHealth::from_outcomes(&outcomes));
+    report.cell_outcomes = Some(outcomes);
     report.reference_runs = cache.reference_runs();
     report.wall_ms = start.elapsed().as_millis() as u64;
     Ok(report)
 }
 
-type GridOutcome = (Vec<PolicyCell>, Vec<crate::experiments::report::SummaryRow>);
+type GridOutcome = (
+    Vec<PolicyCell>,
+    Vec<crate::experiments::report::SummaryRow>,
+    Vec<CellOutcome>,
+);
+
+/// Prefix for a sweep-point axis in a cell label.
+fn point_prefix(point: Option<u64>) -> String {
+    point.map(|p| format!("{p}/")).unwrap_or_default()
+}
 
 fn run_grid_cells(
     spec: &ExperimentSpec,
     threads: usize,
     cache: &StReferenceCache,
+    policy: &RunPolicy,
 ) -> Result<GridOutcome, SimError> {
     if spec.kind == ExperimentKind::ChipGrid {
-        return run_chip_cells(spec, threads, cache);
+        return run_chip_cells(spec, threads, cache, policy);
     }
     if spec.kind == ExperimentKind::AdaptiveGrid {
-        return run_adaptive_cells(spec, threads, cache);
+        return run_adaptive_cells(spec, threads, cache, policy);
     }
     let workloads: Vec<Workload> = spec
         .workloads
@@ -179,44 +627,85 @@ fn run_grid_cells(
     let sweep_points = spec.sweep_points();
     let mut tasks: Vec<(Option<u64>, FetchPolicyKind, &Workload)> = Vec::new();
     for &point in &sweep_points {
-        for &policy in &spec.policies {
+        for &policy_kind in &spec.policies {
             for workload in &workloads {
-                tasks.push((point, policy, workload));
+                tasks.push((point, policy_kind, workload));
             }
         }
     }
-    let outcomes = parallel_map(&tasks, threads, |&(point, policy, workload)| {
-        let config = spec.config_for(workload.num_threads(), point);
-        evaluate_workload_with(&workload.benchmarks, policy, &config, spec.scale, cache)
-    });
+    let runs = run_cells(
+        &tasks,
+        threads,
+        policy,
+        |&(point, policy_kind, workload)| {
+            let config = spec.config_for(workload.num_threads(), point);
+            evaluate_workload_with(
+                &workload.benchmarks,
+                policy_kind,
+                &config,
+                spec.scale,
+                cache,
+            )
+        },
+        |result| {
+            let max_committed = result
+                .mt_stats
+                .threads
+                .iter()
+                .map(|t| t.committed_instructions)
+                .max()
+                .unwrap_or(0);
+            budget_underrun_error(spec.scale, max_committed)
+        },
+    );
     let mut cells = Vec::with_capacity(tasks.len());
-    for ((point, _, workload), outcome) in tasks.iter().zip(outcomes) {
-        let result = outcome?;
-        cells.push(ExperimentReport::cell_from_result(
-            &result,
-            &workload.benchmarks,
-            workload.group.label(),
-            *point,
-        ));
+    let mut outcomes = Vec::with_capacity(tasks.len());
+    for (index, ((point, policy_kind, workload), run)) in tasks.iter().zip(runs).enumerate() {
+        let label = format!(
+            "{}{}/{}",
+            point_prefix(*point),
+            policy_kind.name(),
+            workload.benchmarks.join("-")
+        );
+        match run.result {
+            Ok(result) => {
+                cells.push(ExperimentReport::cell_from_result(
+                    &result,
+                    &workload.benchmarks,
+                    workload.group.label(),
+                    *point,
+                ));
+                outcomes.push(CellOutcome::success(index as u64, label));
+            }
+            Err(error) => {
+                outcomes.push(CellOutcome::failure(
+                    index as u64,
+                    label,
+                    error,
+                    run.attempts,
+                ));
+            }
+        }
     }
     let summaries = ExperimentReport::summarize(&cells, &spec.policies, &sweep_points);
-    Ok((cells, summaries))
+    Ok((cells, summaries, outcomes))
 }
 
 /// Runs a chip-grid spec: one cell per (sweep point × fetch policy ×
 /// allocation × workload). Each distinct benchmark's MLP intensity is probed
 /// exactly once (serially, at negligible probe scale) before the cells fan
 /// out, so every cell sees identical placement inputs no matter how many
-/// engine threads run.
+/// engine threads run. Probe failures are setup errors, not cell failures.
 fn run_chip_cells(
     spec: &ExperimentSpec,
     threads: usize,
     cache: &StReferenceCache,
+    policy: &RunPolicy,
 ) -> Result<GridOutcome, SimError> {
     let chip_spec = spec
         .chip
         .as_ref()
-        .expect("validated chip grid has chip parameters");
+        .ok_or_else(|| SimError::internal("validated chip grid lost its chip parameters"))?;
     let workloads: Vec<Workload> = spec
         .workloads
         .iter()
@@ -243,43 +732,79 @@ fn run_chip_cells(
     );
     let mut tasks: Vec<ChipTask> = Vec::new();
     for &point in &sweep_points {
-        for &policy in &spec.policies {
+        for &policy_kind in &spec.policies {
             for &allocation in &chip_spec.allocations {
                 for workload in &workloads {
-                    tasks.push((point, policy, allocation, workload));
+                    tasks.push((point, policy_kind, allocation, workload));
                 }
             }
         }
     }
-    let outcomes = parallel_map(&tasks, threads, |&(point, policy, allocation, workload)| {
-        let chip_config = spec.chip_config_for(workload.num_threads(), point);
-        let thread_intensities: Vec<f64> = workload
-            .benchmarks
-            .iter()
-            .map(|b| intensities[b.as_str()])
-            .collect();
-        evaluate_chip_workload_with_intensities(
-            &workload.benchmarks,
-            &thread_intensities,
-            policy,
-            allocation,
-            &chip_config,
-            spec.scale,
-            cache,
-        )
-    });
+    let runs = run_cells(
+        &tasks,
+        threads,
+        policy,
+        |&(point, policy_kind, allocation, workload)| {
+            let chip_config = spec.chip_config_for(workload.num_threads(), point);
+            let thread_intensities: Vec<f64> = workload
+                .benchmarks
+                .iter()
+                .map(|b| intensities[b.as_str()])
+                .collect();
+            evaluate_chip_workload_with_intensities(
+                &workload.benchmarks,
+                &thread_intensities,
+                policy_kind,
+                allocation,
+                &chip_config,
+                spec.scale,
+                cache,
+            )
+        },
+        |result| {
+            let max_committed = result
+                .chip_stats
+                .threads()
+                .map(|t| t.committed_instructions)
+                .max()
+                .unwrap_or(0);
+            budget_underrun_error(spec.scale, max_committed)
+        },
+    );
     let mut cells = Vec::with_capacity(tasks.len());
-    for ((point, _, _, workload), outcome) in tasks.iter().zip(outcomes) {
-        let result = outcome?;
-        cells.push(ExperimentReport::cell_from_chip_result(
-            &result,
-            &workload.benchmarks,
-            workload.group.label(),
-            *point,
-        ));
+    let mut outcomes = Vec::with_capacity(tasks.len());
+    for (index, ((point, policy_kind, allocation, workload), run)) in
+        tasks.iter().zip(runs).enumerate()
+    {
+        let label = format!(
+            "{}{}/{}/{}",
+            point_prefix(*point),
+            policy_kind.name(),
+            allocation.name(),
+            workload.benchmarks.join("-")
+        );
+        match run.result {
+            Ok(result) => {
+                cells.push(ExperimentReport::cell_from_chip_result(
+                    &result,
+                    &workload.benchmarks,
+                    workload.group.label(),
+                    *point,
+                ));
+                outcomes.push(CellOutcome::success(index as u64, label));
+            }
+            Err(error) => {
+                outcomes.push(CellOutcome::failure(
+                    index as u64,
+                    label,
+                    error,
+                    run.attempts,
+                ));
+            }
+        }
     }
     let summaries = ExperimentReport::summarize(&cells, &spec.policies, &sweep_points);
-    Ok((cells, summaries))
+    Ok((cells, summaries, outcomes))
 }
 
 /// Runs an adaptive-grid spec: one cell per (sweep point × selector ×
@@ -291,11 +816,11 @@ fn run_adaptive_cells(
     spec: &ExperimentSpec,
     threads: usize,
     cache: &StReferenceCache,
+    policy: &RunPolicy,
 ) -> Result<GridOutcome, SimError> {
-    let adaptive_spec = spec
-        .adaptive
-        .as_ref()
-        .expect("validated adaptive grid has adaptive parameters");
+    let adaptive_spec = spec.adaptive.as_ref().ok_or_else(|| {
+        SimError::internal("validated adaptive grid lost its adaptive parameters")
+    })?;
     let workloads: Vec<Workload> = spec
         .workloads
         .iter()
@@ -349,9 +874,10 @@ fn run_adaptive_cells(
             }
         }
     }
-    let outcomes = parallel_map(
+    let runs = run_cells(
         &tasks,
         threads,
+        policy,
         |&(point, selector, candidates, allocation, workload)| {
             let adaptive = adaptive_spec.config_for(selector, candidates);
             match allocation {
@@ -384,16 +910,56 @@ fn run_adaptive_cells(
                 }
             }
         },
+        |result| {
+            // Chip-level adaptive results flatten per-core stats, so this is
+            // the chip-wide best thread — conservative but never a false
+            // positive for completed runs.
+            let max_committed = result
+                .mt_stats
+                .threads
+                .iter()
+                .map(|t| t.committed_instructions)
+                .max()
+                .unwrap_or(0);
+            budget_underrun_error(spec.scale, max_committed)
+        },
     );
     let mut cells = Vec::with_capacity(tasks.len());
-    for ((point, _, _, _, workload), outcome) in tasks.iter().zip(outcomes) {
-        let result = outcome?;
-        cells.push(ExperimentReport::cell_from_adaptive_result(
-            &result,
-            &workload.benchmarks,
-            workload.group.label(),
-            *point,
-        ));
+    let mut outcomes = Vec::with_capacity(tasks.len());
+    for (index, ((point, selector, candidates, allocation, workload), run)) in
+        tasks.iter().zip(runs).enumerate()
+    {
+        let candidate_names: Vec<&str> = candidates.iter().map(|c| c.name()).collect();
+        let allocation_part = allocation
+            .map(|a| format!("{}/", a.name()))
+            .unwrap_or_default();
+        let label = format!(
+            "{}{}/{}/{}{}",
+            point_prefix(*point),
+            selector.name(),
+            candidate_names.join("+"),
+            allocation_part,
+            workload.benchmarks.join("-")
+        );
+        match run.result {
+            Ok(result) => {
+                cells.push(ExperimentReport::cell_from_adaptive_result(
+                    &result,
+                    &workload.benchmarks,
+                    workload.group.label(),
+                    *point,
+                ));
+                outcomes.push(CellOutcome::success(index as u64, label));
+            }
+            Err(error) => {
+                outcomes.push(CellOutcome::failure(
+                    index as u64,
+                    label,
+                    error,
+                    run.attempts,
+                ));
+            }
+        }
     }
     // The `policy` axis of an adaptive report is derived from the cells (the
     // initial policy of each candidate set), in first-seen order.
@@ -404,17 +970,43 @@ fn run_adaptive_cells(
         }
     }
     let summaries = ExperimentReport::summarize(&cells, &policies, &sweep_points);
-    Ok((cells, summaries))
+    Ok((cells, summaries, outcomes))
 }
 
-fn run_bench_rows(spec: &ExperimentSpec, threads: usize) -> Result<Vec<BenchRow>, SimError> {
+fn run_bench_rows(
+    spec: &ExperimentSpec,
+    threads: usize,
+    policy: &RunPolicy,
+) -> (Vec<BenchRow>, Vec<CellOutcome>) {
     let benchmarks: Vec<&String> = spec.workloads.iter().map(|w| &w[0]).collect();
     let kind = spec.kind;
     let scale = spec.scale;
-    let outcomes = parallel_map(&benchmarks, threads, |benchmark| {
-        bench_row(kind, benchmark, scale)
-    });
-    outcomes.into_iter().collect()
+    let runs = run_cells(
+        &benchmarks,
+        threads,
+        policy,
+        |benchmark| bench_row(kind, benchmark, scale),
+        |_| None,
+    );
+    let mut rows = Vec::with_capacity(benchmarks.len());
+    let mut outcomes = Vec::with_capacity(benchmarks.len());
+    for (index, (benchmark, run)) in benchmarks.iter().zip(runs).enumerate() {
+        match run.result {
+            Ok(row) => {
+                rows.push(row);
+                outcomes.push(CellOutcome::success(index as u64, (*benchmark).clone()));
+            }
+            Err(error) => {
+                outcomes.push(CellOutcome::failure(
+                    index as u64,
+                    (*benchmark).clone(),
+                    error,
+                    run.attempts,
+                ));
+            }
+        }
+    }
+    (rows, outcomes)
 }
 
 /// Produces one single-thread characterization row. Each kind replicates the
@@ -498,6 +1090,8 @@ fn bench_row(kind: ExperimentKind, benchmark: &str, scale: RunScale) -> Result<B
 mod tests {
     use super::*;
     use crate::experiments::spec::{SweepParameter, SweepSpec};
+    use smt_resil::{FaultAction, FaultPlan, FaultSpec};
+    use smt_types::{CellErrorKind, RunHealthStatus};
 
     fn tiny_grid_spec() -> ExperimentSpec {
         ExperimentSpec {
@@ -514,8 +1108,30 @@ mod tests {
             overrides: None,
             chip: None,
             adaptive: None,
+            resilience: None,
             scale: RunScale::tiny(),
         }
+    }
+
+    fn fault(site: &str, action: FaultAction) -> FaultSpec {
+        FaultSpec {
+            site: site.to_string(),
+            action,
+            cell: None,
+            hits: None,
+            delay_ms: None,
+            probability_pct: None,
+            detail: None,
+        }
+    }
+
+    /// Zeroes the only fields that legitimately differ between two runs of
+    /// the same spec (wall time and the worker-thread count), so reports can
+    /// be compared bit-for-bit.
+    fn comparable(mut report: ExperimentReport) -> ExperimentReport {
+        report.wall_ms = 0;
+        report.threads_used = 0;
+        report
     }
 
     #[test]
@@ -535,6 +1151,8 @@ mod tests {
         assert_eq!(serial.policy_cells, parallel.policy_cells);
         assert_eq!(serial.summaries, parallel.summaries);
         assert_eq!(serial.reference_runs, parallel.reference_runs);
+        assert_eq!(serial.cell_outcomes, parallel.cell_outcomes);
+        assert_eq!(serial.health, parallel.health);
     }
 
     #[test]
@@ -551,6 +1169,14 @@ mod tests {
         for cell in &report.policy_cells {
             assert!(cell.stp > 0.0 && cell.antt > 0.0);
         }
+        let health = report.health.unwrap();
+        assert_eq!(health.status, RunHealthStatus::Complete);
+        assert_eq!(health.planned_cells, 4);
+        assert_eq!(health.completed_cells, 4);
+        let outcomes = report.cell_outcomes.unwrap();
+        assert_eq!(outcomes.len(), 4);
+        assert!(outcomes.iter().all(|o| o.ok));
+        assert_eq!(outcomes[0].label, "icount/mcf-swim");
     }
 
     #[test]
@@ -583,6 +1209,7 @@ mod tests {
             overrides: None,
             chip: None,
             adaptive: None,
+            resilience: None,
             scale: RunScale::tiny(),
         };
         let report = run_spec_with_threads(&spec, 2).unwrap();
@@ -617,6 +1244,7 @@ mod tests {
                 shared_llc: None,
             }),
             adaptive: None,
+            resilience: None,
             scale: RunScale::tiny(),
         }
     }
@@ -654,5 +1282,182 @@ mod tests {
         let mut spec = tiny_grid_spec();
         spec.policies.clear();
         assert!(run_spec(&spec).is_err());
+    }
+
+    #[test]
+    fn backoff_is_deterministic_exponential_and_capped() {
+        let policy = RunPolicy {
+            backoff_base_ms: 4,
+            backoff_cap_ms: 20,
+            ..RunPolicy::default()
+        };
+        let first = policy.backoff_ms(3, 1);
+        assert_eq!(first, policy.backoff_ms(3, 1));
+        assert!(first >= 4);
+        assert!(policy.backoff_ms(3, 2) >= first);
+        // Growth saturates at the cap.
+        assert_eq!(policy.backoff_ms(3, 10), 20);
+        assert_eq!(policy.backoff_ms(3, 63), 20);
+    }
+
+    #[test]
+    fn permanently_panicking_cell_is_quarantined() {
+        let spec = tiny_grid_spec();
+        let mut panic_fault = fault("cell-start", FaultAction::Panic);
+        panic_fault.cell = Some(0);
+        panic_fault.detail = Some("chaos: engine test".to_string());
+        let policy = RunPolicy {
+            fault_plan: Some(FaultPlan {
+                seed: 7,
+                faults: vec![panic_fault],
+            }),
+            ..RunPolicy::default()
+        };
+        let report = run_spec_with_policy(&spec, 2, &policy).unwrap();
+        let health = report.health.unwrap();
+        assert_eq!(health.status, RunHealthStatus::Degraded);
+        assert_eq!(health.planned_cells, 4);
+        assert_eq!(health.completed_cells, 3);
+        assert_eq!(health.failed_cells, 1);
+        // The surviving cells are intact.
+        assert_eq!(report.policy_cells.len(), 3);
+        let outcomes = report.cell_outcomes.unwrap();
+        let failed = &outcomes[0];
+        assert!(!failed.ok);
+        let error = failed.error.as_ref().unwrap();
+        assert_eq!(error.kind, CellErrorKind::Panic);
+        assert!(error.detail.contains("chaos: engine test"));
+        // Default policy: one retry, so two attempts were consumed.
+        assert_eq!(failed.attempts, Some(2));
+    }
+
+    #[test]
+    fn transient_fault_recovers_to_bit_for_bit_parity() {
+        let spec = tiny_grid_spec();
+        let clean = comparable(run_spec_with_threads(&spec, 2).unwrap());
+        let mut transient = fault("cell-start", FaultAction::Panic);
+        transient.hits = Some(1);
+        let policy = RunPolicy {
+            backoff_base_ms: 1,
+            fault_plan: Some(FaultPlan {
+                seed: 7,
+                faults: vec![transient],
+            }),
+            ..RunPolicy::default()
+        };
+        assert!(policy
+            .fault_plan
+            .as_ref()
+            .unwrap()
+            .recovers_within(policy.max_attempts()));
+        let chaotic = comparable(run_spec_with_policy(&spec, 2, &policy).unwrap());
+        assert_eq!(clean, chaotic);
+    }
+
+    #[test]
+    fn degraded_reports_are_thread_count_invariant() {
+        let spec = tiny_grid_spec();
+        let mut broken = fault("cell-finish", FaultAction::Fail);
+        broken.cell = Some(2);
+        let policy = RunPolicy {
+            backoff_base_ms: 1,
+            fault_plan: Some(FaultPlan {
+                seed: 11,
+                faults: vec![broken],
+            }),
+            ..RunPolicy::default()
+        };
+        let serial = comparable(run_spec_with_policy(&spec, 1, &policy).unwrap());
+        let parallel = comparable(run_spec_with_policy(&spec, 4, &policy).unwrap());
+        assert_eq!(serial, parallel);
+        assert_eq!(
+            serial.health.as_ref().unwrap().status,
+            RunHealthStatus::Degraded
+        );
+        let outcome = &serial.cell_outcomes.as_ref().unwrap()[2];
+        assert_eq!(
+            outcome.error.as_ref().unwrap().kind,
+            CellErrorKind::InjectedFault
+        );
+        // Injected faults are retryable: the full attempt budget was spent.
+        assert_eq!(outcome.attempts, Some(2));
+    }
+
+    #[test]
+    fn wall_clock_deadline_fails_slow_cells() {
+        let spec = tiny_grid_spec();
+        let mut slow = fault("cell-start", FaultAction::Delay);
+        slow.cell = Some(1);
+        slow.delay_ms = Some(1200);
+        let policy = RunPolicy {
+            max_retries: 0,
+            cell_timeout_ms: Some(600),
+            fault_plan: Some(FaultPlan {
+                seed: 3,
+                faults: vec![slow],
+            }),
+            ..RunPolicy::default()
+        };
+        let report = run_spec_with_policy(&spec, 2, &policy).unwrap();
+        let outcomes = report.cell_outcomes.unwrap();
+        let failed = &outcomes[1];
+        assert!(!failed.ok);
+        assert_eq!(
+            failed.error.as_ref().unwrap().kind,
+            CellErrorKind::DeadlineExceeded
+        );
+        assert_eq!(report.health.unwrap().status, RunHealthStatus::Degraded);
+    }
+
+    #[test]
+    fn simulated_cycle_deadline_fails_every_cell_deterministically() {
+        let spec = tiny_grid_spec();
+        let policy = RunPolicy {
+            max_retries: 0,
+            max_cell_cycles: Some(10),
+            ..RunPolicy::default()
+        };
+        let serial = comparable(run_spec_with_policy(&spec, 1, &policy).unwrap());
+        let parallel = comparable(run_spec_with_policy(&spec, 4, &policy).unwrap());
+        assert_eq!(serial, parallel);
+        let health = serial.health.as_ref().unwrap();
+        assert_eq!(health.status, RunHealthStatus::Failed);
+        assert_eq!(health.failed_cells, 4);
+        for outcome in serial.cell_outcomes.as_ref().unwrap() {
+            assert_eq!(
+                outcome.error.as_ref().unwrap().kind,
+                CellErrorKind::DeadlineExceeded
+            );
+        }
+    }
+
+    #[test]
+    fn fail_fast_skips_cells_after_a_permanent_failure() {
+        let spec = tiny_grid_spec();
+        let mut broken = fault("cell-start", FaultAction::Fail);
+        broken.cell = Some(0);
+        let policy = RunPolicy {
+            max_retries: 0,
+            fail_fast: true,
+            fault_plan: Some(FaultPlan {
+                seed: 5,
+                faults: vec![broken],
+            }),
+            ..RunPolicy::default()
+        };
+        // Serial execution makes the skip set deterministic: cell 0 fails,
+        // cells 1-3 are skipped.
+        let report = run_spec_with_policy(&spec, 1, &policy).unwrap();
+        let outcomes = report.cell_outcomes.unwrap();
+        assert_eq!(
+            outcomes[0].error.as_ref().unwrap().kind,
+            CellErrorKind::InjectedFault
+        );
+        for outcome in &outcomes[1..] {
+            assert_eq!(outcome.error.as_ref().unwrap().kind, CellErrorKind::Skipped);
+            assert_eq!(outcome.attempts, Some(0));
+        }
+        assert_eq!(report.health.unwrap().status, RunHealthStatus::Failed);
+        assert!(report.policy_cells.is_empty());
     }
 }

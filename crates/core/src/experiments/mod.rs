@@ -23,7 +23,7 @@ pub mod spec;
 pub mod sweeps;
 
 pub use characterization::{characterize, format_table1, table1, Table1Row};
-pub use engine::{run_spec, run_spec_with_threads};
+pub use engine::{run_spec, run_spec_with_policy, run_spec_with_threads, RunPolicy};
 pub use policies::{
     alternative_policies, format_group_summaries, four_thread_comparison, ipc_stacks,
     partitioning_comparison, policy_comparison, policy_comparison_two_thread, GroupSummary,
@@ -36,7 +36,7 @@ pub use predictors::{
 pub use registry::ExperimentRegistry;
 pub use report::{BenchRow, ExperimentReport, PolicyCell, SummaryRow};
 pub use spec::{
-    AdaptiveSpec, ChipSpec, ConfigOverrides, ExperimentKind, ExperimentSpec, SweepParameter,
-    SweepSpec,
+    AdaptiveSpec, ChipSpec, ConfigOverrides, ExperimentKind, ExperimentSpec, ResilienceSpec,
+    SweepParameter, SweepSpec,
 };
 pub use sweeps::{format_sweep, memory_latency_sweep, window_size_sweep, SweepPoint};

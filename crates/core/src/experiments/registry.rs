@@ -257,6 +257,7 @@ fn chip_grid(
             shared_llc: None,
         }),
         adaptive: None,
+        resilience: None,
         scale: RunScale::standard(),
     }
 }
@@ -293,6 +294,7 @@ fn adaptive_grid(
             lll_per_kinst_threshold: None,
             mlp_threshold: None,
         }),
+        resilience: None,
         scale: RunScale::standard(),
     }
 }
@@ -315,6 +317,7 @@ fn single_thread(
         overrides: None,
         chip: None,
         adaptive: None,
+        resilience: None,
         scale: RunScale::standard(),
     }
 }
@@ -338,6 +341,7 @@ fn grid(
         overrides: None,
         chip: None,
         adaptive: None,
+        resilience: None,
         scale: RunScale::standard(),
     }
 }

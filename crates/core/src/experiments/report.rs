@@ -9,7 +9,7 @@ use serde::{Deserialize, Serialize};
 use smt_sched::AllocationPolicyKind;
 use smt_types::adaptive::{PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
-use smt_types::SimError;
+use smt_types::{CellOutcome, RunHealth, SimError};
 
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::metrics;
@@ -141,6 +141,12 @@ pub struct ExperimentReport {
     pub summaries: Vec<SummaryRow>,
     /// Per-benchmark rows (single-thread kinds; empty otherwise).
     pub bench_rows: Vec<BenchRow>,
+    /// Terminal outcome of every planned cell, in cell order. `None` only in
+    /// reports written before the resilient engine.
+    pub cell_outcomes: Option<Vec<CellOutcome>>,
+    /// Whole-run health classification. `None` only in reports written
+    /// before the resilient engine.
+    pub health: Option<RunHealth>,
 }
 
 impl ExperimentReport {
@@ -214,6 +220,7 @@ impl ExperimentReport {
             policy: *result
                 .candidates
                 .first()
+                // analyze: allow(panic-policy) reason="documented panic: spec validation rejects empty candidate sets before any cell is built"
                 .expect("validated adaptive cell has candidates"),
             workload: result.workload.clone(),
             benchmarks: benchmarks.to_vec(),
@@ -357,6 +364,34 @@ impl ExperimentReport {
             self.reference_runs,
             self.wall_ms,
         );
+        // Fault-free runs keep the historical text output; anything else
+        // leads with the health verdict and the failed cells.
+        if let Some(health) = &self.health {
+            if !health.is_complete() {
+                out.push_str(&format!(
+                    "health: {} ({} of {} cells completed, {} failed)\n",
+                    health.status.name(),
+                    health.completed_cells,
+                    health.planned_cells,
+                    health.failed_cells,
+                ));
+                if let Some(outcomes) = &self.cell_outcomes {
+                    for outcome in outcomes.iter().filter(|o| !o.ok) {
+                        let attempts = outcome.attempts.unwrap_or(0);
+                        let error = outcome
+                            .error
+                            .as_ref()
+                            .map_or_else(|| "unknown error".to_string(), |e| e.to_string());
+                        out.push_str(&format!(
+                            "  cell {} [{}]: {error} (after {attempts} attempt{})\n",
+                            outcome.cell,
+                            outcome.label,
+                            if attempts == 1 { "" } else { "s" },
+                        ));
+                    }
+                }
+            }
+        }
         // Chip reports get an extra allocation column (and an
         // assignments-centric cell table); the shared columns are formatted
         // exactly once, with the chip-only segment spliced in as a
@@ -560,6 +595,8 @@ pub(crate) fn empty_report(spec: &ExperimentSpec, threads: usize) -> ExperimentR
         policy_cells: Vec::new(),
         summaries: Vec::new(),
         bench_rows: Vec::new(),
+        cell_outcomes: None,
+        health: None,
     }
 }
 
@@ -729,6 +766,8 @@ mod tests {
             policy_cells: vec![cell(FetchPolicyKind::MlpFlush, "MLP", None, 1.3)],
             summaries: Vec::new(),
             bench_rows: Vec::new(),
+            cell_outcomes: None,
+            health: None,
         };
         report.summaries = ExperimentReport::summarize(
             &report.policy_cells,

@@ -9,6 +9,7 @@
 //! are executed by [`crate::experiments::engine::run_spec`].
 
 use serde::{Deserialize, Serialize};
+use smt_resil::FaultPlan;
 use smt_sched::AllocationPolicyKind;
 use smt_trace::spec as trace_spec;
 use smt_types::adaptive::{AdaptiveConfig, SelectorKind};
@@ -271,6 +272,43 @@ impl AdaptiveSpec {
     }
 }
 
+/// Resilience knobs and test hooks for the fault-tolerant engine: retry
+/// budgets, per-cell deadlines, and the deterministic fault plan the chaos
+/// harness (`smt-resil`) injects. Every field is optional; an absent field
+/// falls back to the engine default (see
+/// [`crate::experiments::engine::RunPolicy`]), and CLI flags override spec
+/// values.
+#[derive(Clone, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct ResilienceSpec {
+    /// Retries per failed cell on top of the first attempt (0 = give up
+    /// immediately).
+    pub max_retries: Option<u64>,
+    /// Wall-clock budget per cell attempt, in milliseconds; enforcement is
+    /// by the engine's watchdog thread.
+    pub cell_timeout_ms: Option<u64>,
+    /// Deterministic simulated-cycle cap per cell attempt, enforced inside
+    /// the simulator step loop; a cell whose simulation hits the cap before
+    /// completing its instruction budget fails with a deadline error.
+    pub max_cell_cycles: Option<u64>,
+    /// Stop scheduling new cells after the first permanent cell failure.
+    pub fail_fast: Option<bool>,
+    /// First-retry backoff in milliseconds (doubled per retry, capped).
+    pub backoff_base_ms: Option<u64>,
+    /// Upper bound on the per-retry backoff, in milliseconds.
+    pub backoff_cap_ms: Option<u64>,
+    /// Deterministic fault schedule injected at the engine's named
+    /// injection points (the chaos-test hook).
+    pub fault_plan: Option<FaultPlan>,
+}
+
+impl ResilienceSpec {
+    /// Whether every field is unset.
+    pub fn is_empty(&self) -> bool {
+        *self == ResilienceSpec::default()
+    }
+}
+
 /// A complete, serializable description of one experiment.
 ///
 /// # Example
@@ -323,6 +361,8 @@ pub struct ExperimentSpec {
     /// Adaptive-engine parameters (required for, and exclusive to,
     /// [`ExperimentKind::AdaptiveGrid`]).
     pub adaptive: Option<AdaptiveSpec>,
+    /// Resilience knobs and fault-injection hooks (any kind; optional).
+    pub resilience: Option<ResilienceSpec>,
     /// Simulation size.
     pub scale: RunScale,
 }
@@ -361,6 +401,7 @@ impl ExperimentSpec {
         let chip = self
             .chip
             .as_ref()
+            // analyze: allow(panic-policy) reason="documented panic: validate() guarantees chip parameters before any chip_config_for call"
             .expect("chip grid spec has chip parameters");
         assert!(
             chip.num_cores > 0 && workload_threads.is_multiple_of(chip.num_cores),
@@ -395,13 +436,14 @@ impl ExperimentSpec {
         let mut counts: Vec<(WorkloadGroup, usize)> = Vec::new();
         for benchmarks in &self.workloads {
             let group = Workload::new(benchmarks.clone())?.group;
-            let count = match counts.iter_mut().find(|(g, _)| *g == group) {
-                Some((_, count)) => count,
+            let index = match counts.iter().position(|(g, _)| *g == group) {
+                Some(index) => index,
                 None => {
                     counts.push((group, 0));
-                    &mut counts.last_mut().expect("just pushed").1
+                    counts.len() - 1
                 }
             };
+            let count = &mut counts[index].1;
             if *count < limit {
                 *count += 1;
                 kept.push(benchmarks.clone());
@@ -603,6 +645,18 @@ impl ExperimentSpec {
                 return Err(invalid(name, "sweep.values: must not be empty"));
             }
         }
+        if let Some(resilience) = &self.resilience {
+            if resilience.max_cell_cycles == Some(0) {
+                return Err(invalid(
+                    name,
+                    "resilience.max_cell_cycles: must be non-zero",
+                ));
+            }
+            if let Some(plan) = &resilience.fault_plan {
+                plan.validate()
+                    .map_err(|e| prefix_error(name, "resilience", e))?;
+            }
+        }
         // Every configuration the grid will run must itself be valid.
         for sweep_value in self.sweep_points() {
             for (i, benchmarks) in self.workloads.iter().enumerate() {
@@ -659,6 +713,7 @@ mod tests {
             overrides: None,
             chip: None,
             adaptive: None,
+            resilience: None,
             scale: RunScale::tiny(),
         }
     }
@@ -688,6 +743,7 @@ mod tests {
                 shared_llc: None,
             }),
             adaptive: None,
+            resilience: None,
             scale: RunScale::tiny(),
         }
     }

@@ -36,6 +36,7 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod artifacts;
 pub mod chip;
 pub mod experiments;
 pub mod metrics;

@@ -9,7 +9,7 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use serde::{Deserialize, Serialize};
 use smt_sched::{build_allocation_policy, AllocationPolicyKind, ThreadSpec};
@@ -34,6 +34,10 @@ pub struct RunScale {
     pub warmup_instructions: u64,
     /// Base random seed for the synthetic trace generators.
     pub seed: u64,
+    /// Optional deterministic cap on simulated cycles, checked inside the
+    /// simulator step loop (the resilient engine's simulated-time deadline).
+    /// Absent = the generous [`SimOptions`] default safety limit.
+    pub max_cycles: Option<u64>,
 }
 
 impl RunScale {
@@ -43,6 +47,7 @@ impl RunScale {
             instructions_per_thread: 2_000,
             warmup_instructions: 1_000,
             seed: 42,
+            max_cycles: None,
         }
     }
 
@@ -52,6 +57,7 @@ impl RunScale {
             instructions_per_thread: 10_000,
             warmup_instructions: 4_000,
             seed: 42,
+            max_cycles: None,
         }
     }
 
@@ -61,6 +67,7 @@ impl RunScale {
             instructions_per_thread: 60_000,
             warmup_instructions: 10_000,
             seed: 42,
+            max_cycles: None,
         }
     }
 
@@ -70,12 +77,19 @@ impl RunScale {
             instructions_per_thread: 150_000,
             warmup_instructions: 20_000,
             seed: 42,
+            max_cycles: None,
         }
     }
 
     /// Returns a copy with a different instruction budget.
     pub fn with_instructions(mut self, instructions: u64) -> Self {
         self.instructions_per_thread = instructions;
+        self
+    }
+
+    /// Returns a copy with a deterministic simulated-cycle cap.
+    pub fn with_max_cycles(mut self, max_cycles: u64) -> Self {
+        self.max_cycles = Some(max_cycles);
         self
     }
 
@@ -104,15 +118,21 @@ impl RunScale {
                 "scale: instructions_per_thread must be non-zero",
             ));
         }
+        if self.max_cycles == Some(0) {
+            return Err(SimError::invalid_config(
+                "scale: max_cycles must be non-zero when set",
+            ));
+        }
         Ok(())
     }
 
     /// The [`SimOptions`] equivalent of this scale.
     pub fn sim_options(&self) -> SimOptions {
+        let defaults = SimOptions::default();
         SimOptions {
             max_instructions_per_thread: self.instructions_per_thread,
             warmup_instructions_per_thread: self.warmup_instructions,
-            ..SimOptions::default()
+            max_cycles: self.max_cycles.unwrap_or(defaults.max_cycles),
         }
     }
 }
@@ -342,7 +362,10 @@ impl StReferenceCache {
     ) -> Result<f64, SimError> {
         let key = (benchmark.to_string(), ConfigKey::new(config, scale));
         let cell = {
-            let mut curves = self.curves.lock().expect("reference cache lock poisoned");
+            // The map lock never wraps user code, but a cell body panicking
+            // elsewhere must not cascade into "poisoned" aborts here: the
+            // map is a plain insert-only table, valid even after a panic.
+            let mut curves = self.curves.lock().unwrap_or_else(PoisonError::into_inner);
             Arc::clone(curves.entry(key).or_default())
         };
         let outcome = cell.get_or_init(|| {
@@ -366,7 +389,7 @@ impl StReferenceCache {
     pub fn len(&self) -> usize {
         self.curves
             .lock()
-            .expect("reference cache lock poisoned")
+            .unwrap_or_else(PoisonError::into_inner)
             .len()
     }
 
@@ -386,7 +409,7 @@ fn record_st_curve(
     st_config.fetch_policy = FetchPolicyKind::Icount;
     let trace = build_trace(benchmark, scale)?;
     let mut sim = SmtSimulator::new(st_config, vec![trace])?;
-    let max_cycles = SimOptions::default().max_cycles;
+    let max_cycles = scale.sim_options().max_cycles;
     sim.warm_up(scale.warmup_instructions, max_cycles);
     let interval = (scale.instructions_per_thread / 64).max(256);
     let mut cycles = Vec::new();
@@ -402,10 +425,21 @@ fn record_st_curve(
             next_checkpoint += interval;
         }
     }
+    let committed = sim.stats().threads[0].committed_instructions;
+    if committed < budget {
+        // A truncated curve would yield bogus (even zero) reference CPIs and
+        // silently corrupt STP/ANTT; fail loudly so the resilient engine can
+        // classify the cell as deadline-exceeded instead.
+        return Err(SimError::deadline_exceeded(format!(
+            "simulated-cycle cap of {max_cycles} cycles hit before the single-thread \
+             reference for '{benchmark}' committed its {budget}-instruction budget \
+             (committed {committed})"
+        )));
+    }
     Ok(StCurve {
         interval,
         cycles,
-        total_instructions: sim.stats().threads[0].committed_instructions,
+        total_instructions: committed,
         total_cycles: sim.measured_cycles(),
     })
 }
@@ -500,6 +534,7 @@ fn probe_scale(seed: u64) -> RunScale {
         instructions_per_thread: 2_000,
         warmup_instructions: 500,
         seed,
+        max_cycles: None,
     }
 }
 
@@ -879,6 +914,35 @@ mod tests {
         assert!(stats.cycles > 0);
         let ipc = stats.threads[0].ipc(stats.cycles);
         assert!(ipc > 0.1 && ipc <= 4.0, "IPC {ipc} out of range");
+    }
+
+    #[test]
+    fn st_cache_recovers_from_a_poisoned_lock() {
+        let cache = StReferenceCache::new();
+        let scale = RunScale::tiny();
+        let cfg = SmtConfig::baseline(2);
+        let before = cache
+            .st_cpi("gcc", &cfg, scale, scale.instructions_per_thread)
+            .unwrap();
+        // Poison the map mutex the way a panicking engine cell would: a
+        // thread dies while holding it.
+        let result = std::thread::scope(|scope| {
+            scope
+                .spawn(|| {
+                    let _guard = cache.curves.lock().unwrap();
+                    panic!("poison the cache lock");
+                })
+                .join()
+        });
+        assert!(result.is_err(), "the poisoning thread must have panicked");
+        // The cache keeps serving: same cached value, no new reference run.
+        let runs = cache.reference_runs();
+        let after = cache
+            .st_cpi("gcc", &cfg, scale, scale.instructions_per_thread)
+            .unwrap();
+        assert_eq!(before.to_bits(), after.to_bits());
+        assert_eq!(cache.reference_runs(), runs);
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,445 @@
+//! `smt-resil` — deterministic fault injection for the experiment engine.
+//!
+//! The resilient experiment engine in `smt-core` claims to survive panicking
+//! cells, enforce deadlines, and retry transient failures. This crate is what
+//! proves it: a [`FaultPlan`] is a serde-serializable chaos schedule that
+//! fires panics, delays, and injectable failures at named engine injection
+//! points ([`SITES`]).
+//!
+//! Everything is **deterministic**. Whether a fault fires is a pure function
+//! of the plan and the `(site, cell index, attempt)` key the engine passes to
+//! [`FaultInjector::check`] — never the wall clock, thread scheduling, or
+//! `thread_rng` (the workspace `smt-analyze` determinism rule applies in
+//! spirit here too). The plan-level seed drives an optional per-key
+//! probability gate through a counter-mode hash, so "30% of cells fail"
+//! plans still replay bit-for-bit and are invariant across engine thread
+//! counts.
+//!
+//! # Example
+//!
+//! ```
+//! use smt_resil::{FaultAction, FaultInjector, FaultPlan, FaultSpec};
+//!
+//! // Panic in cell 2 on its first attempt only, then recover.
+//! let plan = FaultPlan {
+//!     seed: 7,
+//!     faults: vec![FaultSpec {
+//!         site: "cell-start".to_string(),
+//!         action: FaultAction::Panic,
+//!         cell: Some(2),
+//!         hits: Some(1),
+//!         delay_ms: None,
+//!         probability_pct: None,
+//!         detail: None,
+//!     }],
+//! };
+//! plan.validate().unwrap();
+//! let injector = FaultInjector::new(plan);
+//! assert!(injector.check("cell-start", 2, 0).is_some());
+//! assert!(injector.check("cell-start", 2, 1).is_none()); // recovered
+//! assert!(injector.check("cell-start", 3, 0).is_none()); // other cells clean
+//! ```
+
+#![deny(missing_docs)]
+#![deny(rustdoc::broken_intra_doc_links)]
+
+use serde::{Deserialize, Serialize};
+use smt_types::resilience::CellError;
+use smt_types::SimError;
+
+/// The engine injection points a fault can name.
+///
+/// * `cell-start` — fires before a cell attempt's body runs;
+/// * `cell-finish` — fires after the body succeeded, before the result is
+///   recorded (exercises late failure of an otherwise healthy cell).
+pub const SITES: [&str; 2] = ["cell-start", "cell-finish"];
+
+/// What an armed fault does when it fires.
+///
+/// Serializes as the short machine-readable [`FaultAction::name`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultAction {
+    /// Panic with the fault's detail string (exercises `catch_unwind`
+    /// quarantine).
+    Panic,
+    /// Sleep for [`FaultSpec::delay_ms`] wall-clock milliseconds (exercises
+    /// the deadline watchdog; never changes simulation results).
+    Delay,
+    /// Return an [`CellError::injected`] failure without panicking
+    /// (exercises the retry/backoff path).
+    Fail,
+}
+
+impl FaultAction {
+    /// Every action, in presentation order.
+    pub const ALL: [FaultAction; 3] = [FaultAction::Panic, FaultAction::Delay, FaultAction::Fail];
+
+    /// Short machine-readable name used in fault-plan files.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultAction::Panic => "panic",
+            FaultAction::Delay => "delay",
+            FaultAction::Fail => "fail",
+        }
+    }
+
+    /// Parses a [`FaultAction::name`] string back into an action.
+    pub fn from_name(name: &str) -> Option<FaultAction> {
+        Self::ALL.into_iter().find(|a| a.name() == name)
+    }
+}
+
+serde::named_enum_serde!(FaultAction, "fault action");
+
+/// One scheduled fault: where it fires, what it does, and the deterministic
+/// counters that arm it.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultSpec {
+    /// Injection point name (one of [`SITES`]).
+    pub site: String,
+    /// What the fault does when it fires.
+    pub action: FaultAction,
+    /// Restrict the fault to one engine cell index; absent = every cell.
+    pub cell: Option<u64>,
+    /// Fire on the first `hits` attempts of each matching cell, then disarm
+    /// (transient-then-recover); absent = fire on every attempt (permanent).
+    pub hits: Option<u64>,
+    /// Wall-clock sleep for [`FaultAction::Delay`], in milliseconds.
+    pub delay_ms: Option<u64>,
+    /// Fire only on this percentage of `(cell, attempt)` keys, selected by a
+    /// counter-mode hash of the plan seed; absent = always fire. The
+    /// selection is deterministic and thread-count invariant.
+    pub probability_pct: Option<u64>,
+    /// Label carried into the panic payload / injected error.
+    pub detail: Option<String>,
+}
+
+impl FaultSpec {
+    /// Whether this fault is guaranteed to stop firing once a cell has made
+    /// `attempts` attempts — i.e. a retry budget of `attempts` always
+    /// recovers from it.
+    pub fn recovers_within(&self, attempts: u64) -> bool {
+        self.hits.is_some_and(|h| h < attempts)
+    }
+
+    /// The label this fault stamps on panics and injected errors.
+    fn label(&self, cell: u64, attempt: u64) -> String {
+        match &self.detail {
+            Some(d) => format!("{d} (site {}, cell {cell}, attempt {attempt})", self.site),
+            None => format!(
+                "injected {} at {} (cell {cell}, attempt {attempt})",
+                self.action.name(),
+                self.site
+            ),
+        }
+    }
+}
+
+/// A deterministic chaos schedule: a seed plus the faults it arms.
+#[derive(Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct FaultPlan {
+    /// Seed for the per-key probability gate. Plans with identical faults
+    /// but different seeds select different `(cell, attempt)` victims.
+    pub seed: u64,
+    /// The scheduled faults, checked in order; the first that fires wins.
+    pub faults: Vec<FaultSpec>,
+}
+
+impl FaultPlan {
+    /// An empty plan that never fires.
+    pub fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            faults: Vec::new(),
+        }
+    }
+
+    /// Checks the plan for unknown sites and missing action parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] naming the offending fault.
+    pub fn validate(&self) -> Result<(), SimError> {
+        for (i, fault) in self.faults.iter().enumerate() {
+            if !SITES.contains(&fault.site.as_str()) {
+                return Err(SimError::invalid_config(format!(
+                    "fault_plan.faults[{i}].site: unknown injection point `{}` (known: {})",
+                    fault.site,
+                    SITES.join(", ")
+                )));
+            }
+            if fault.action == FaultAction::Delay && fault.delay_ms.is_none() {
+                return Err(SimError::invalid_config(format!(
+                    "fault_plan.faults[{i}]: delay faults require delay_ms"
+                )));
+            }
+            if fault.hits == Some(0) {
+                return Err(SimError::invalid_config(format!(
+                    "fault_plan.faults[{i}].hits: zero hits never fires; omit the fault instead"
+                )));
+            }
+            if fault.probability_pct.is_some_and(|p| p > 100) {
+                return Err(SimError::invalid_config(format!(
+                    "fault_plan.faults[{i}].probability_pct: must be 0..=100"
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every fault in the plan is transient within a budget of
+    /// `attempts` attempts per cell — i.e. a run retrying up to that budget
+    /// is guaranteed to recover completely.
+    pub fn recovers_within(&self, attempts: u64) -> bool {
+        self.faults.iter().all(|f| f.recovers_within(attempts))
+    }
+}
+
+/// The result of a fault check that fired: what to do, fully resolved.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ArmedFault {
+    /// The action to take.
+    pub action: FaultAction,
+    /// Sleep length for [`FaultAction::Delay`].
+    pub delay_ms: u64,
+    /// Label for the panic payload / injected error.
+    pub detail: String,
+}
+
+impl ArmedFault {
+    /// Executes the fault.
+    ///
+    /// # Errors
+    ///
+    /// [`FaultAction::Fail`] returns [`CellError::injected`];
+    /// [`FaultAction::Delay`] sleeps and returns `Ok`.
+    ///
+    /// # Panics
+    ///
+    /// [`FaultAction::Panic`] panics with the fault's detail — callers run
+    /// this under `catch_unwind` (that is the point).
+    pub fn trigger(&self) -> Result<(), CellError> {
+        match self.action {
+            FaultAction::Panic => panic!("{}", self.detail),
+            FaultAction::Delay => {
+                std::thread::sleep(std::time::Duration::from_millis(self.delay_ms));
+                Ok(())
+            }
+            FaultAction::Fail => Err(CellError::injected(self.detail.clone())),
+        }
+    }
+}
+
+/// Stateless fault oracle the engine consults at each injection point.
+///
+/// `check` is a pure function of the plan and its arguments, so injection is
+/// reproducible across reruns and engine thread counts.
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+}
+
+impl FaultInjector {
+    /// Wraps a validated plan.
+    pub fn new(plan: FaultPlan) -> Self {
+        FaultInjector { plan }
+    }
+
+    /// The wrapped plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Returns the first fault armed for `(site, cell, attempt)`, if any.
+    pub fn check(&self, site: &str, cell: u64, attempt: u64) -> Option<ArmedFault> {
+        self.plan
+            .faults
+            .iter()
+            .enumerate()
+            .find(|(index, f)| {
+                f.site == site
+                    && f.cell.is_none_or(|c| c == cell)
+                    && f.hits.is_none_or(|h| attempt < h)
+                    && f.probability_pct.is_none_or(|p| {
+                        gate_hash(self.plan.seed, *index as u64, site, cell, attempt) % 100 < p
+                    })
+            })
+            .map(|(_, f)| ArmedFault {
+                action: f.action,
+                delay_ms: f.delay_ms.unwrap_or(0),
+                detail: f.label(cell, attempt),
+            })
+    }
+}
+
+/// Counter-mode hash for the probability gate: splitmix64 finalizer over the
+/// seed and the full injection key. Deterministic by construction.
+fn gate_hash(seed: u64, fault_index: u64, site: &str, cell: u64, attempt: u64) -> u64 {
+    let mut x = seed ^ 0x9e37_79b9_7f4a_7c15;
+    for b in site.bytes() {
+        x = (x ^ b as u64).wrapping_mul(0x0100_0000_01b3);
+    }
+    x ^= fault_index.wrapping_mul(0xa076_1d64_78bd_642f);
+    x ^= cell.wrapping_mul(0xe703_7ed1_a0b4_28db);
+    x ^= attempt.wrapping_mul(0x8ebc_6af0_9c88_c6e3);
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smt_types::resilience::CellErrorKind;
+
+    fn fault(site: &str, action: FaultAction) -> FaultSpec {
+        FaultSpec {
+            site: site.to_string(),
+            action,
+            cell: None,
+            hits: None,
+            delay_ms: None,
+            probability_pct: None,
+            detail: None,
+        }
+    }
+
+    #[test]
+    fn validate_rejects_unknown_site_and_bad_params() {
+        let mut plan = FaultPlan::none(1);
+        plan.faults.push(fault("warp-core", FaultAction::Panic));
+        assert!(plan.validate().is_err());
+
+        let mut plan = FaultPlan::none(1);
+        plan.faults.push(fault("cell-start", FaultAction::Delay));
+        assert!(plan.validate().is_err(), "delay without delay_ms");
+
+        let mut plan = FaultPlan::none(1);
+        let mut f = fault("cell-start", FaultAction::Fail);
+        f.hits = Some(0);
+        plan.faults.push(f);
+        assert!(plan.validate().is_err(), "zero hits");
+
+        let mut plan = FaultPlan::none(1);
+        let mut f = fault("cell-start", FaultAction::Fail);
+        f.probability_pct = Some(150);
+        plan.faults.push(f);
+        assert!(plan.validate().is_err(), "probability over 100");
+
+        let mut plan = FaultPlan::none(1);
+        let mut f = fault("cell-finish", FaultAction::Delay);
+        f.delay_ms = Some(5);
+        plan.faults.push(f);
+        plan.validate().unwrap();
+    }
+
+    #[test]
+    fn transient_faults_disarm_after_their_hits() {
+        let mut f = fault("cell-start", FaultAction::Fail);
+        f.hits = Some(2);
+        f.cell = Some(4);
+        let injector = FaultInjector::new(FaultPlan {
+            seed: 3,
+            faults: vec![f],
+        });
+        assert!(injector.check("cell-start", 4, 0).is_some());
+        assert!(injector.check("cell-start", 4, 1).is_some());
+        assert!(injector.check("cell-start", 4, 2).is_none());
+        assert!(injector.check("cell-start", 5, 0).is_none());
+        assert!(injector.check("cell-finish", 4, 0).is_none());
+        assert!(injector.plan().recovers_within(3));
+        assert!(!injector.plan().recovers_within(2));
+    }
+
+    #[test]
+    fn probability_gate_is_deterministic_and_seeded() {
+        let mut f = fault("cell-start", FaultAction::Fail);
+        f.probability_pct = Some(40);
+        let a = FaultInjector::new(FaultPlan {
+            seed: 11,
+            faults: vec![f.clone()],
+        });
+        let b = FaultInjector::new(FaultPlan {
+            seed: 11,
+            faults: vec![f.clone()],
+        });
+        let c = FaultInjector::new(FaultPlan {
+            seed: 12,
+            faults: vec![f],
+        });
+        let fire = |inj: &FaultInjector| -> Vec<bool> {
+            (0..64)
+                .map(|cell| inj.check("cell-start", cell, 0).is_some())
+                .collect()
+        };
+        assert_eq!(fire(&a), fire(&b), "same seed, same victims");
+        assert_ne!(fire(&a), fire(&c), "different seed, different victims");
+        let hits = fire(&a).iter().filter(|&&h| h).count();
+        assert!(hits > 5 && hits < 60, "40% gate fired {hits}/64 times");
+    }
+
+    #[test]
+    fn trigger_executes_the_armed_action() {
+        let armed = ArmedFault {
+            action: FaultAction::Fail,
+            delay_ms: 0,
+            detail: "injected".to_string(),
+        };
+        let err = armed.trigger().unwrap_err();
+        assert_eq!(err.kind, CellErrorKind::InjectedFault);
+
+        let armed = ArmedFault {
+            action: FaultAction::Delay,
+            delay_ms: 1,
+            detail: String::new(),
+        };
+        armed.trigger().unwrap();
+
+        let armed = ArmedFault {
+            action: FaultAction::Panic,
+            delay_ms: 0,
+            detail: "kaboom".to_string(),
+        };
+        let payload = std::panic::catch_unwind(|| armed.trigger()).unwrap_err();
+        let text = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(text.contains("kaboom"), "payload: {text}");
+    }
+
+    #[test]
+    fn plan_round_trips_through_toml() {
+        let plan = FaultPlan {
+            seed: 99,
+            faults: vec![
+                FaultSpec {
+                    site: "cell-start".to_string(),
+                    action: FaultAction::Panic,
+                    cell: Some(0),
+                    hits: Some(1),
+                    delay_ms: None,
+                    probability_pct: None,
+                    detail: Some("chaos".to_string()),
+                },
+                FaultSpec {
+                    site: "cell-finish".to_string(),
+                    action: FaultAction::Delay,
+                    cell: None,
+                    hits: None,
+                    delay_ms: Some(25),
+                    probability_pct: Some(50),
+                    detail: None,
+                },
+            ],
+        };
+        let text = toml::to_string(&plan).unwrap();
+        let back: FaultPlan = toml::from_str(&text).unwrap();
+        assert_eq!(back, plan);
+        assert!(toml::from_str::<FaultPlan>("seed = 1\nwarp = true\n").is_err());
+    }
+}

@@ -34,6 +34,12 @@ pub enum SimError {
         /// Human-readable description of the inconsistency.
         reason: String,
     },
+    /// A run hit its simulated-cycle cap before committing its instruction
+    /// budget (see `RunScale::max_cycles` in `smt-core`).
+    DeadlineExceeded {
+        /// Human-readable description of the exhausted budget.
+        reason: String,
+    },
 }
 
 impl SimError {
@@ -57,6 +63,13 @@ impl SimError {
             reason: reason.into(),
         }
     }
+
+    /// Convenience constructor for [`SimError::DeadlineExceeded`].
+    pub fn deadline_exceeded(reason: impl Into<String>) -> Self {
+        SimError::DeadlineExceeded {
+            reason: reason.into(),
+        }
+    }
 }
 
 impl fmt::Display for SimError {
@@ -66,6 +79,7 @@ impl fmt::Display for SimError {
             SimError::UnknownBenchmark { name } => write!(f, "unknown benchmark: {name}"),
             SimError::InvalidWorkload { reason } => write!(f, "invalid workload: {reason}"),
             SimError::Internal { reason } => write!(f, "internal simulator error: {reason}"),
+            SimError::DeadlineExceeded { reason } => write!(f, "deadline exceeded: {reason}"),
         }
     }
 }
@@ -96,6 +110,10 @@ mod tests {
         assert_eq!(
             SimError::internal("rob underflow").to_string(),
             "internal simulator error: rob underflow"
+        );
+        assert_eq!(
+            SimError::deadline_exceeded("cycle cap hit").to_string(),
+            "deadline exceeded: cycle cap hit"
         );
     }
 

@@ -12,7 +12,8 @@
 //! * the read-only pipeline snapshot handed to fetch policies ([`snapshot`]),
 //! * the adaptive policy engine's configuration and interval telemetry
 //!   ([`adaptive`]),
-//! * error types ([`error`]).
+//! * error types ([`error`]),
+//! * the resilient engine's failure taxonomy ([`resilience`]).
 //!
 //! # Example
 //!
@@ -33,6 +34,7 @@ pub mod error;
 pub mod flags;
 pub mod ids;
 pub mod op;
+pub mod resilience;
 pub mod snapshot;
 pub mod stats;
 
@@ -44,5 +46,6 @@ pub use error::SimError;
 pub use flags::OpFlags;
 pub use ids::{SeqNum, ThreadId};
 pub use op::{BranchInfo, MemInfo, OpKind, TraceOp};
+pub use resilience::{CellError, CellErrorKind, CellOutcome, RunHealth, RunHealthStatus};
 pub use snapshot::{SmtSnapshot, ThreadSnapshot};
 pub use stats::{ChipStats, MachineStats, ThreadStats};

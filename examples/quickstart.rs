@@ -63,6 +63,7 @@ fn main() -> Result<(), SimError> {
         overrides: None,
         chip: None,
         adaptive: None,
+        resilience: None,
         scale,
     };
     let report = engine::run_spec(&spec)?;

@@ -129,6 +129,7 @@ fn run_swap_schedule(
         instructions_per_thread: 2_000,
         warmup_instructions: 0,
         seed,
+        max_cycles: None,
     };
     let config = SmtConfig::baseline(benchmarks.len());
     let mut sim = SmtSimulator::new(config, traces_for(benchmarks, scale)).expect("machine builds");

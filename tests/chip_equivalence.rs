@@ -63,6 +63,7 @@ proptest! {
             instructions_per_thread: instructions,
             warmup_instructions: instructions / 4,
             seed,
+            max_cycles: None,
         };
         let options = SimOptions {
             max_instructions_per_thread: scale.instructions_per_thread,

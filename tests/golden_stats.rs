@@ -69,7 +69,7 @@ fn machine_stats_match_golden_fixture_bit_for_bit() {
     if std::env::var("SMT_GOLDEN_REGEN").is_ok() {
         let json = serde_json::to_string_pretty(&cases).expect("fixture serializes");
         std::fs::create_dir_all(path.parent().unwrap()).expect("fixture dir");
-        std::fs::write(&path, json + "\n").expect("fixture written");
+        smt_core::artifacts::write_atomic(&path, json + "\n").expect("fixture written");
         eprintln!("regenerated {}", path.display());
         return;
     }
