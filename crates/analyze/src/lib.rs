@@ -6,7 +6,8 @@
 //!
 //! * **hot-path-alloc** — the zero-allocation steady state of the cycle loop
 //!   (PR 2): no heap-allocating constructs in `crates/core/src/pipeline`,
-//!   `crates/fetch` or `crates/mem` outside constructors and test code;
+//!   `crates/fetch` or `crates/mem` outside constructors, checkpoint
+//!   serialization functions and test code;
 //! * **determinism** — simulation crates take no nondeterministic inputs:
 //!   no wall-clock (`Instant`/`SystemTime`), no `thread_rng`, no environment
 //!   reads, no iteration over hash-ordered containers;
@@ -19,7 +20,11 @@
 //!   throughput matrix;
 //! * **panic-policy** — no bare `unwrap()`/`expect(` in the resilient
 //!   experiment engine (`crates/core/src/experiments/`): cell failures must
-//!   surface as `Result`s so the engine can quarantine and report them.
+//!   surface as `Result`s so the engine can quarantine and report them;
+//! * **sampling-discipline** — functional fast-forward code
+//!   (`crates/core/src/pipeline/fast_forward.rs`) never touches statistics
+//!   counters or cycle accounting: warming must be invisible to everything
+//!   the measure windows report.
 //!
 //! A finding is suppressed with a justified annotation on (or directly
 //! above) the offending line:

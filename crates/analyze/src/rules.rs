@@ -24,13 +24,14 @@ pub struct Finding {
 }
 
 /// The enforced rule ids, i.e. the valid arguments to `analyze: allow(...)`.
-pub const RULE_IDS: [&str; 6] = [
+pub const RULE_IDS: [&str; 7] = [
     "hot-path-alloc",
     "determinism",
     "swap-point",
     "config-hygiene",
     "registry-drift",
     "panic-policy",
+    "sampling-discipline",
 ];
 
 /// Crates whose sources must stay deterministic: everything that executes
@@ -66,6 +67,26 @@ fn in_sim_scope(path: &str) -> bool {
 /// The one file allowed to call `swap_policy`: the end-of-cycle adaptive
 /// tick, the sanctioned swap point.
 const SWAP_POINT_FILE: &str = "crates/core/src/pipeline/adaptive.rs";
+
+/// The functional fast-forward file, where `sampling-discipline` pins that
+/// warm-state code never reaches a statistics counter or moves simulated
+/// time. If it did, sampled and exact runs would silently disagree about
+/// what was measured.
+const FAST_FORWARD_FILE: &str = "crates/core/src/pipeline/fast_forward.rs";
+
+/// Statistics and cycle-accounting constructs forbidden in functional
+/// fast-forward code. `(needle, needs_word_boundary_before)`. Assignment
+/// patterns keep their trailing space so `cycle ==` comparisons and plain
+/// `self.cycle` reads (both legal) do not match.
+const SAMPLING_PATTERNS: [(&str, bool); 7] = [
+    ("MachineStats", true),
+    (".stats", false),
+    ("measured_cycles", true),
+    ("reset_stats", true),
+    ("cycle = ", true),
+    ("cycle += ", true),
+    ("cycle -= ", true),
+];
 
 /// Allocation constructs forbidden in steady-state pipeline code. `(needle,
 /// needs_word_boundary_before)`.
@@ -114,7 +135,7 @@ const HASH_ITER_METHODS: [&str; 10] = [
     ".into_values()",
 ];
 
-/// Runs the four per-file rules over one scanned file.
+/// Runs the per-file rules over one scanned file.
 pub(crate) fn check_file(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
     if in_hot_path_scope(&file.path) {
         hot_path_alloc(file, raw, out);
@@ -130,6 +151,9 @@ pub(crate) fn check_file(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding
     }
     if file.path.starts_with("crates/core/src/experiments/") {
         panic_policy(file, raw, out);
+    }
+    if file.path == FAST_FORWARD_FILE {
+        sampling_discipline(file, raw, out);
     }
 }
 
@@ -514,6 +538,37 @@ fn panic_policy(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
     }
 }
 
+/// **sampling-discipline** — functional fast-forward code must not touch
+/// statistics or cycle accounting. The sampled/exact equivalence of the
+/// SMARTS-style engine rests on fast-forward advancing *only* warm state
+/// (caches, TLBs, predictors, LLSR): a statistics update here would count
+/// unmeasured instructions, and a cycle mutation would move simulated time
+/// during a phase that is by definition timeless. Reading the frozen cycle
+/// counter (e.g. to stamp stream-buffer availability) stays legal.
+fn sampling_discipline(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
+    for (idx, line) in file.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.as_str();
+        for (pat, word_start) in SAMPLING_PATTERNS {
+            if matches_pattern(code, pat, word_start) {
+                out.push(finding(
+                    file,
+                    raw,
+                    idx + 1,
+                    "sampling-discipline",
+                    format!(
+                        "`{}` in functional fast-forward code: warm-state \
+                         warming must not touch statistics or cycle accounting",
+                        pat.trim_end()
+                    ),
+                ));
+            }
+        }
+    }
+}
+
 fn matches_pattern(code: &str, pat: &str, word_boundary_before: bool) -> bool {
     let mut from = 0usize;
     while let Some(pos) = code.get(from..).and_then(|c| c.find(pat)) {
@@ -598,6 +653,24 @@ mod tests {
         assert!(run("crates/core/src/runner.rs", src).is_empty());
         let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        compute().unwrap();\n    }\n}\n";
         assert!(run("crates/core/src/experiments/engine.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn sampling_discipline_pins_fast_forward_purity() {
+        let src = "impl Core {\n    fn fast_forward(&mut self) {\n        let now = self.cycle;\n        self.stats.commits += 1;\n        self.cycle += 4;\n        if self.cycle == now {}\n    }\n}\n";
+        let out = run("crates/core/src/pipeline/fast_forward.rs", src);
+        let lines: Vec<usize> = out
+            .iter()
+            .filter(|f| f.rule == "sampling-discipline")
+            .map(|f| f.line)
+            .collect();
+        // Reading the frozen counter (line 3) and comparing it (line 6) are
+        // legal; the statistics update and the cycle mutation are not.
+        assert_eq!(lines, vec![4, 5], "{out:?}");
+        // Out of scope: every other pipeline file.
+        assert!(run("crates/core/src/pipeline/mod.rs", src)
+            .iter()
+            .all(|f| f.rule != "sampling-discipline"));
     }
 
     #[test]

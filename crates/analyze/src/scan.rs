@@ -4,7 +4,9 @@
 //! answer, for every line: is it inside a test region (`#[cfg(test)]` /
 //! `mod tests` / a `tests/`, `examples/` or `benches/` path), and is it inside
 //! a constructor (a function named `new`/`default`, prefixed
-//! `new_`/`with_`/`from_`/`build`, or returning `Self`)? It also resolves
+//! `new_`/`with_`/`from_`/`build`, or returning `Self`) or a checkpoint
+//! serialization function (`state`/`save_state`/`restore_state`/
+//! `checkpoint`/`restore_checkpoint`)? It also resolves
 //! `// analyze: allow(<rule>) reason="..."` annotations to the line they
 //! cover.
 
@@ -16,7 +18,8 @@ pub struct ScanLine {
     pub code: String,
     /// Inside `#[cfg(test)]` / `mod tests` / a test-only file.
     pub in_test: bool,
-    /// Inside a constructor-shaped function (allocation is sanctioned there).
+    /// Inside a constructor-shaped or checkpoint-serialization function
+    /// (allocation is sanctioned there).
     pub in_constructor: bool,
 }
 
@@ -286,6 +289,15 @@ fn is_constructor_signature(sig: &str) -> bool {
     {
         return true;
     }
+    // Checkpoint serialization runs once per warm-prefix capture or restore,
+    // never inside the cycle loop; allocation is sanctioned there like in
+    // constructors.
+    if matches!(
+        name.as_str(),
+        "state" | "save_state" | "restore_state" | "checkpoint" | "restore_checkpoint"
+    ) {
+        return true;
+    }
     match sig.rfind("->") {
         Some(arrow) => contains_word(&sig[arrow..], "Self"),
         None => false,
@@ -396,6 +408,15 @@ mod tests {
         assert!(f.lines[2].in_constructor, "fn new");
         assert!(f.lines[5].in_constructor, "-> Self");
         assert!(!f.lines[8].in_constructor, "fn step");
+    }
+
+    #[test]
+    fn checkpoint_serialization_counts_as_constructor() {
+        let src = "impl X {\n    pub fn state(&self) -> XState {\n        alloc();\n    }\n    pub fn restore_state(&mut self, s: &XState) -> Result<(), String> {\n        alloc();\n    }\n    pub fn statement(&mut self) {\n        alloc();\n    }\n}\n";
+        let f = scan("crates/x/src/lib.rs", src);
+        assert!(f.lines[2].in_constructor, "fn state");
+        assert!(f.lines[5].in_constructor, "fn restore_state");
+        assert!(!f.lines[8].in_constructor, "fn statement");
     }
 
     #[test]

@@ -89,6 +89,34 @@ fn swap_point_fires_everywhere_but_the_sanctioned_file() {
 }
 
 #[test]
+fn sampling_discipline_fires_only_in_the_fast_forward_file() {
+    let report = analyze_inputs(&[input(
+        "crates/core/src/pipeline/fast_forward.rs",
+        include_str!("fixtures/sampling_discipline.rs"),
+    )]);
+    // Plain `self.cycle` reads and `cycle ==` comparisons are legal; the
+    // allowed counter touch on line 21 is suppressed, not reported.
+    assert_eq!(
+        hits(&report),
+        vec![
+            (12, "sampling-discipline"),
+            (13, "sampling-discipline"),
+            (14, "sampling-discipline"),
+            (15, "sampling-discipline"),
+        ]
+    );
+    assert_eq!(report.suppressed.len(), 1);
+
+    let elsewhere = analyze_inputs(&[input(
+        "crates/core/src/pipeline/fake.rs",
+        include_str!("fixtures/sampling_discipline.rs"),
+    )]);
+    // Outside the fast-forward file the rule does not apply, so the allow
+    // annotation has nothing to suppress and is itself reported as stale.
+    assert_eq!(hits(&elsewhere), vec![(20, "unused-allow")]);
+}
+
+#[test]
 fn config_hygiene_flags_only_underivative_deserialize_structs() {
     let report = analyze_inputs(&[input(
         "crates/types/src/fake.rs",

@@ -1,0 +1,34 @@
+//! Fixture: sampling-discipline. Fed to the analyzer under the functional
+//! fast-forward path; never compiled. A comment naming MachineStats or
+//! writing `self.cycle = 0` is stripped before matching, so this header is
+//! not a violation.
+
+impl Core {
+    pub fn fast_forward(&mut self, budget: u64) {
+        let now = self.cycle; // line 8: plain cycle read, legal
+        if self.cycle == now {
+            return; // line 10: `cycle ==` comparison above is legal
+        }
+        self.stats.committed += budget; // line 12: statistics touch
+        self.cycle += budget; // line 13: moves simulated time
+        let snapshot = MachineStats::default(); // line 14: stats type
+        self.reset_stats(); // line 15: resets counters mid-warming
+        drop(snapshot);
+    }
+
+    pub fn sanctioned(&mut self) {
+        // analyze: allow(sampling-discipline) reason="fixture: sanctioned counter touch"
+        self.stats.committed += 1; // line 21: suppressed by the allow above
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn stats_and_cycles_in_tests_are_fine() {
+        let mut core = Core::default();
+        core.stats.committed = 0;
+        core.cycle = 7;
+        assert_eq!(core.measured_cycles, 0);
+    }
+}

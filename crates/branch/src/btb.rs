@@ -1,11 +1,37 @@
 //! Set-associative branch target buffer.
 
+use serde::{Deserialize, Serialize};
+
 #[derive(Clone, Copy, Debug, Default)]
 struct BtbEntry {
     valid: bool,
     tag: u64,
     target: u64,
     last_used: u64,
+}
+
+/// Serializable snapshot of one BTB way (for warm checkpoints).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BtbEntryState {
+    /// Whether the way holds a target.
+    pub valid: bool,
+    /// Stored tag.
+    pub tag: u64,
+    /// Predicted target PC.
+    pub target: u64,
+    /// LRU stamp.
+    pub last_used: u64,
+}
+
+/// Serializable snapshot of a [`BranchTargetBuffer`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BtbState {
+    /// All ways of all sets, flattened row-major (`set * assoc + way`).
+    pub entries: Vec<BtbEntryState>,
+    /// The LRU clock.
+    pub tick: u64,
 }
 
 /// A set-associative, LRU-replaced branch target buffer.
@@ -67,6 +93,50 @@ impl BranchTargetBuffer {
             }
         }
         None
+    }
+
+    /// Captures the BTB state for a warm checkpoint.
+    pub fn state(&self) -> BtbState {
+        BtbState {
+            entries: self
+                .sets
+                .iter()
+                .flat_map(|set| set.iter())
+                .map(|e| BtbEntryState {
+                    valid: e.valid,
+                    tag: e.tag,
+                    target: e.target,
+                    last_used: e.last_used,
+                })
+                .collect(),
+            tick: self.tick,
+        }
+    }
+
+    /// Restores a state captured with [`BranchTargetBuffer::state`]. Fails
+    /// when the geometry differs.
+    pub fn restore_state(&mut self, state: &BtbState) -> Result<(), String> {
+        let total: usize = self.sets.iter().map(|s| s.len()).sum();
+        if state.entries.len() != total {
+            return Err(format!(
+                "BTB size mismatch: state has {} ways, buffer has {total}",
+                state.entries.len()
+            ));
+        }
+        let mut it = state.entries.iter();
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                let s = it.next().expect("length checked above");
+                *way = BtbEntry {
+                    valid: s.valid,
+                    tag: s.tag,
+                    target: s.target,
+                    last_used: s.last_used,
+                };
+            }
+        }
+        self.tick = state.tick;
+        Ok(())
     }
 
     /// Installs (or refreshes) the target of a taken branch.

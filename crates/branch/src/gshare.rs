@@ -1,5 +1,17 @@
 //! gshare direction predictor (global history XOR PC indexing into 2-bit counters).
 
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a [`Gshare`] predictor (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct GshareState {
+    /// The two-bit counter table.
+    pub counters: Vec<u8>,
+    /// The global history register.
+    pub history: u64,
+}
+
 /// A gshare branch direction predictor.
 ///
 /// # Example
@@ -44,6 +56,29 @@ impl Gshare {
     /// Predicts the direction of the branch at `pc` (true = taken).
     pub fn predict(&self, pc: u64) -> bool {
         self.counters[self.index(pc)] >= 2
+    }
+
+    /// Captures the predictor state for a warm checkpoint.
+    pub fn state(&self) -> GshareState {
+        GshareState {
+            counters: self.counters.clone(),
+            history: self.history,
+        }
+    }
+
+    /// Restores a state captured with [`Gshare::state`]. Fails when the table
+    /// geometry differs.
+    pub fn restore_state(&mut self, state: &GshareState) -> Result<(), String> {
+        if state.counters.len() != self.counters.len() {
+            return Err(format!(
+                "gshare table size mismatch: state has {}, predictor has {}",
+                state.counters.len(),
+                self.counters.len()
+            ));
+        }
+        self.counters.copy_from_slice(&state.counters);
+        self.history = state.history & self.history_mask;
+        Ok(())
     }
 
     /// Updates the counter and global history with the resolved direction.

@@ -22,8 +22,24 @@
 pub mod btb;
 pub mod gshare;
 
-pub use btb::BranchTargetBuffer;
-pub use gshare::Gshare;
+pub use btb::{BranchTargetBuffer, BtbEntryState, BtbState};
+pub use gshare::{Gshare, GshareState};
+
+use serde::{Deserialize, Serialize};
+
+/// Serializable snapshot of a [`BranchPredictor`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BranchPredictorState {
+    /// Direction predictor state.
+    pub gshare: GshareState,
+    /// Target buffer state.
+    pub btb: BtbState,
+    /// Predictions made so far.
+    pub predictions: u64,
+    /// Mispredictions observed so far.
+    pub mispredictions: u64,
+}
 
 /// A direction + target prediction for one branch.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -102,6 +118,26 @@ impl BranchPredictor {
             self.mispredictions += 1;
         }
         mispredicted
+    }
+
+    /// Captures the predictor state for a warm checkpoint.
+    pub fn state(&self) -> BranchPredictorState {
+        BranchPredictorState {
+            gshare: self.gshare.state(),
+            btb: self.btb.state(),
+            predictions: self.predictions,
+            mispredictions: self.mispredictions,
+        }
+    }
+
+    /// Restores a state captured with [`BranchPredictor::state`]. Fails when
+    /// the predictor geometry differs.
+    pub fn restore_state(&mut self, state: &BranchPredictorState) -> Result<(), String> {
+        self.gshare.restore_state(&state.gshare)?;
+        self.btb.restore_state(&state.btb)?;
+        self.predictions = state.predictions;
+        self.mispredictions = state.mispredictions;
+        Ok(())
     }
 
     /// Number of predictions made.

@@ -53,8 +53,38 @@ pub enum Command {
     Run(RunArgs),
     /// `smt-cli bench [flags]`
     Bench(BenchArgs),
+    /// `smt-cli checkpoint <save|load> ...`
+    Checkpoint(CheckpointCmd),
     /// `smt-cli help` / `--help`
     Help,
+}
+
+/// The `checkpoint` subcommand: capture or inspect serialized warm
+/// checkpoints.
+#[derive(Clone, PartialEq, Debug)]
+pub enum CheckpointCmd {
+    /// `smt-cli checkpoint save <bench1,bench2,...> --out <path> [flags]`
+    Save(CheckpointSaveArgs),
+    /// `smt-cli checkpoint load <path>`
+    Load {
+        /// Checkpoint JSON file to load and validate.
+        path: String,
+    },
+}
+
+/// Flags of `checkpoint save`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CheckpointSaveArgs {
+    /// One benchmark per hardware thread (comma-separated on the command
+    /// line).
+    pub benchmarks: Vec<String>,
+    /// `--out <path>`: where to write the checkpoint JSON (required).
+    pub out: String,
+    /// `--scale <name>`: scale whose warm-up prefix and seed are captured
+    /// (default `standard`).
+    pub scale: Option<RunScale>,
+    /// `--instructions <n>`: overrides the warm-up prefix length.
+    pub instructions: Option<u64>,
 }
 
 /// Flags of the `bench` subcommand.
@@ -119,6 +149,9 @@ pub struct RunArgs {
     pub fail_fast: bool,
     /// `--fault-plan <path>`: TOML fault plan injected into the engine.
     pub fault_plan: Option<String>,
+    /// `--sampled`: run a policy grid in sampled mode (SMARTS-style
+    /// fast-forward/measure interleaving) with the default cadence.
+    pub sampled: bool,
 }
 
 impl RunArgs {
@@ -141,6 +174,7 @@ impl RunArgs {
             cell_timeout: None,
             fail_fast: false,
             fault_plan: None,
+            sampled: false,
         }
     }
 }
@@ -276,6 +310,7 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                     }
                     "--fail-fast" => run.fail_fast = true,
                     "--fault-plan" => run.fault_plan = Some(value_for("--fault-plan")?),
+                    "--sampled" => run.sampled = true,
                     other => return Err(format!("unknown flag `{other}` for `run`")),
                 }
             }
@@ -335,6 +370,83 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
             }
             Ok(Command::Bench(bench))
         }
+        "checkpoint" => {
+            let action = iter
+                .next()
+                .ok_or_else(|| "`checkpoint` needs an action: save or load".to_string())?;
+            match action.as_str() {
+                "save" => {
+                    let list = iter.next().ok_or_else(|| {
+                        "`checkpoint save` needs a comma-separated benchmark list".to_string()
+                    })?;
+                    let benchmarks: Vec<String> = list
+                        .split(',')
+                        .map(|b| b.trim().to_string())
+                        .filter(|b| !b.is_empty())
+                        .collect();
+                    if benchmarks.is_empty() {
+                        return Err(format!("no benchmarks in `{list}`"));
+                    }
+                    let mut save = CheckpointSaveArgs {
+                        benchmarks,
+                        out: String::new(),
+                        scale: None,
+                        instructions: None,
+                    };
+                    while let Some(flag) = iter.next() {
+                        let mut value_for = |flag: &str| {
+                            iter.next()
+                                .cloned()
+                                .ok_or_else(|| format!("`{flag}` needs a value"))
+                        };
+                        match flag.as_str() {
+                            "--out" => save.out = value_for("--out")?,
+                            "--scale" => {
+                                let value = value_for("--scale")?;
+                                save.scale = Some(RunScale::named(&value).ok_or_else(|| {
+                                    format!(
+                                        "unknown scale `{value}`, expected one of: {}",
+                                        RunScale::NAMES.join(", ")
+                                    )
+                                })?);
+                            }
+                            "--instructions" => {
+                                let value = value_for("--instructions")?;
+                                let instructions: u64 = value
+                                    .parse()
+                                    .map_err(|_| format!("invalid instruction count `{value}`"))?;
+                                if instructions == 0 {
+                                    return Err("`--instructions` must be at least 1".to_string());
+                                }
+                                save.instructions = Some(instructions);
+                            }
+                            other => {
+                                return Err(format!("unknown flag `{other}` for `checkpoint save`"))
+                            }
+                        }
+                    }
+                    if save.out.is_empty() {
+                        return Err("`checkpoint save` needs `--out <path>`".to_string());
+                    }
+                    Ok(Command::Checkpoint(CheckpointCmd::Save(save)))
+                }
+                "load" => {
+                    let path = iter
+                        .next()
+                        .ok_or_else(|| "`checkpoint load` needs a file path".to_string())?
+                        .clone();
+                    if let Some(extra) = iter.next() {
+                        return Err(format!(
+                            "`checkpoint load` takes one argument, got `{extra}`"
+                        ));
+                    }
+                    Ok(Command::Checkpoint(CheckpointCmd::Load { path }))
+                }
+                other => Err(format!(
+                    "unknown checkpoint action `{other}`, expected save or load"
+                )),
+            }
+        }
         other => Err(format!("unknown command `{other}`; try `smt-cli help`")),
     }
 }
@@ -378,6 +490,13 @@ USAGE:
         plus a 2-core chip cell, ILP/MLP mixes, ICOUNT + MLP-aware flush) and
         append a dated entry to the BENCH_throughput.json trajectory.
 
+    smt-cli checkpoint save <bench1,bench2,...> --out <path> [flags]
+        Functionally fast-forward a workload's warm-up prefix and write the
+        warm state (caches, TLBs, predictors, LLSR) as a checkpoint JSON.
+
+    smt-cli checkpoint load <path>
+        Load a checkpoint file, validate its schema, and print its summary.
+
 BENCH FLAGS:
     --quick             Reduced-size smoke run (CI)
     --instructions <n>  Instructions per thread (default 30000; 3000 with --quick)
@@ -406,6 +525,14 @@ RUN FLAGS:
     --cell-timeout <ms> Wall-clock budget per cell attempt (default: none)
     --fail-fast         Skip remaining cells after the first permanent failure
     --fault-plan <path> Inject a deterministic TOML fault plan (chaos testing)
+    --sampled           Sampled mode for policy grids: SMARTS-style
+                        fast-forward/measure interleaving with shared warm
+                        checkpoints and per-metric confidence intervals
+
+CHECKPOINT SAVE FLAGS:
+    --out <path>        Where to write the checkpoint JSON (required)
+    --scale <name>      Scale whose warm-up prefix and seed to capture (default standard)
+    --instructions <n>  Override the warm-up prefix length
 
 EXIT CODES (run):
     0   every cell completed
@@ -421,6 +548,10 @@ EXAMPLES:
     smt-cli run my_experiment.toml --threads 8
     smt-cli bench --out BENCH_throughput.json
     smt-cli bench --quick --cores 4 --baseline BENCH_throughput.json --out /tmp/now.json
+    smt-cli run sampled_4t_policies --scale standard
+    smt-cli run fig09_two_thread_policies --sampled --scale test
+    smt-cli checkpoint save mcf,gcc --scale test --out /tmp/warm.json
+    smt-cli checkpoint load /tmp/warm.json
 ";
 
 #[cfg(test)]
@@ -576,6 +707,58 @@ mod tests {
         assert!(parse_err(&["run", "x", "--selector", "oracle"]).contains("sampling"));
         assert!(parse_err(&["bench", "--interval", "0"]).contains("at least 1"));
         assert!(parse_err(&["run", "x", "--interval", "soon"]).contains("invalid interval"));
+    }
+
+    #[test]
+    fn sampled_flag_parses() {
+        let Command::Run(run) = parse_ok(&["run", "fig09_two_thread_policies", "--sampled"]) else {
+            panic!("expected run");
+        };
+        assert!(run.sampled);
+        let Command::Run(run) = parse_ok(&["run", "fig09_two_thread_policies"]) else {
+            panic!("expected run");
+        };
+        assert!(!run.sampled);
+    }
+
+    #[test]
+    fn checkpoint_save_parses_and_validates() {
+        let command = parse_ok(&[
+            "checkpoint",
+            "save",
+            "mcf,gcc",
+            "--scale",
+            "test",
+            "--instructions",
+            "5000",
+            "--out",
+            "/tmp/warm.json",
+        ]);
+        let Command::Checkpoint(CheckpointCmd::Save(save)) = command else {
+            panic!("expected checkpoint save");
+        };
+        assert_eq!(save.benchmarks, vec!["mcf".to_string(), "gcc".to_string()]);
+        assert_eq!(save.scale, Some(RunScale::test()));
+        assert_eq!(save.instructions, Some(5_000));
+        assert_eq!(save.out, "/tmp/warm.json");
+        assert!(parse_err(&["checkpoint"]).contains("save or load"));
+        assert!(parse_err(&["checkpoint", "save"]).contains("benchmark list"));
+        assert!(parse_err(&["checkpoint", "save", ","]).contains("no benchmarks"));
+        assert!(parse_err(&["checkpoint", "save", "mcf"]).contains("--out"));
+        assert!(parse_err(&["checkpoint", "save", "mcf", "--warp"]).contains("--warp"));
+        assert!(parse_err(&["checkpoint", "diff"]).contains("save or load"));
+    }
+
+    #[test]
+    fn checkpoint_load_parses() {
+        assert_eq!(
+            parse_ok(&["checkpoint", "load", "/tmp/warm.json"]),
+            Command::Checkpoint(CheckpointCmd::Load {
+                path: "/tmp/warm.json".to_string()
+            })
+        );
+        assert!(parse_err(&["checkpoint", "load"]).contains("file path"));
+        assert!(parse_err(&["checkpoint", "load", "a", "b"]).contains("one argument"));
     }
 
     #[test]

@@ -18,13 +18,15 @@ mod args;
 
 use std::process::ExitCode;
 
-use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec};
+use smt_core::experiments::{engine, ExperimentRegistry, ExperimentSpec, SamplingSpec};
+use smt_core::runner::{CheckpointCache, RunScale};
 use smt_core::throughput::{
     self, BenchOptions, ThroughputReport, ThroughputTrajectory, BASELINE_SCENARIO,
 };
-use smt_types::{RunHealthStatus, SimError};
+use smt_core::SimCheckpoint;
+use smt_types::{RunHealthStatus, SimError, SmtConfig};
 
-use args::{BenchArgs, Command, OutputFormat, RunArgs};
+use args::{BenchArgs, CheckpointCmd, CheckpointSaveArgs, Command, OutputFormat, RunArgs};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -54,7 +56,64 @@ fn dispatch(command: Command) -> Result<ExitCode, String> {
         Command::Describe { name } => describe(&name).map(|()| ExitCode::SUCCESS),
         Command::Run(run) => execute(run),
         Command::Bench(bench) => execute_bench(bench).map(|()| ExitCode::SUCCESS),
+        Command::Checkpoint(checkpoint) => {
+            execute_checkpoint(checkpoint).map(|()| ExitCode::SUCCESS)
+        }
     }
+}
+
+/// `checkpoint save`: functionally fast-forward the workload's warm-up prefix
+/// and serialize the warm state; `checkpoint load`: parse, validate and
+/// summarize an existing checkpoint file.
+fn execute_checkpoint(command: CheckpointCmd) -> Result<(), String> {
+    match command {
+        CheckpointCmd::Save(save) => execute_checkpoint_save(save),
+        CheckpointCmd::Load { path } => {
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("cannot read checkpoint `{path}`: {e}"))?;
+            let checkpoint: SimCheckpoint =
+                serde_json::from_str(&text).map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+            checkpoint
+                .validate()
+                .map_err(|e| format!("checkpoint `{path}`: {e}"))?;
+            let meta = &checkpoint.meta;
+            println!(
+                "checkpoint {path}\n  schema version: {}\n  benchmarks: {}\n  threads: {}\n  \
+                 warmed instructions/thread: {}\n  seed: {}",
+                meta.schema_version,
+                meta.benchmarks.join(", "),
+                meta.num_threads,
+                meta.warmed_instructions,
+                meta.seed,
+            );
+            Ok(())
+        }
+    }
+}
+
+fn execute_checkpoint_save(save: CheckpointSaveArgs) -> Result<(), String> {
+    let mut scale = save.scale.unwrap_or_else(RunScale::standard);
+    if let Some(instructions) = save.instructions {
+        scale.warmup_instructions = instructions;
+    }
+    if scale.warmup_instructions == 0 {
+        return Err("nothing to capture: the warm-up prefix is 0 instructions".to_string());
+    }
+    let benchmarks: Vec<&str> = save.benchmarks.iter().map(String::as_str).collect();
+    let config = SmtConfig::baseline(benchmarks.len());
+    eprintln!(
+        "fast-forwarding {} for {} instructions/thread...",
+        save.benchmarks.join("-"),
+        scale.warmup_instructions
+    );
+    let checkpoint = CheckpointCache::new()
+        .warmed(&benchmarks, &config, scale)
+        .map_err(|e| e.to_string())?;
+    let payload = serde_json::to_string_pretty(&checkpoint).map_err(|e| e.to_string())?;
+    smt_core::artifacts::write_atomic(&save.out, payload + "\n")
+        .map_err(|e| format!("cannot write `{}`: {e}", save.out))?;
+    eprintln!("checkpoint written to {}", save.out);
+    Ok(())
 }
 
 /// Best-effort git revision of the working tree, recorded in bench reports.
@@ -195,8 +254,12 @@ fn execute_bench(bench: BenchArgs) -> Result<(), String> {
                 row.name, row.baseline_cycles_per_second, row.cycles_per_second, row.speedup
             );
         }
-        if let Some(headline) = report.headline_speedup(baseline) {
-            println!("headline ({BASELINE_SCENARIO}): {headline:.2}x");
+        match report.headline_speedup(baseline) {
+            Some(headline) => println!("headline ({BASELINE_SCENARIO}): {headline:.2}x"),
+            None => eprintln!(
+                "warning: headline scenario `{BASELINE_SCENARIO}` is missing from this run \
+                 or the baseline; no headline speedup to report"
+            ),
         }
     }
     Ok(())
@@ -312,6 +375,9 @@ fn execute(run: RunArgs) -> Result<ExitCode, String> {
             adaptive.interval_cycles = Some(interval);
         }
     }
+    if run.sampled && spec.sampling.is_none() {
+        spec.sampling = Some(SamplingSpec::default());
+    }
     spec.validate().map_err(|e| e.to_string())?;
     let threads = if run.serial {
         1
@@ -345,9 +411,14 @@ fn execute(run: RunArgs) -> Result<ExitCode, String> {
         ),
         None => format!("{} policies", spec.policies.len().max(1)),
     };
+    let mode = if spec.sampling.is_some() {
+        " (sampled)"
+    } else {
+        ""
+    };
     eprintln!(
-        "running `{}`: {cell_axis} x {} workloads x {} sweep points at {} instructions/thread \
-         on {} threads...",
+        "running `{}`{mode}: {cell_axis} x {} workloads x {} sweep points at {} \
+         instructions/thread on {} threads...",
         spec.name,
         spec.workloads.len(),
         spec.sweep_points().len(),

@@ -210,6 +210,57 @@ impl ChipSimulator {
         self.cores.iter().flat_map(|c| c.committed())
     }
 
+    /// Functionally fast-forwards every thread of every core by
+    /// `instructions_per_thread` instructions (see
+    /// [`crate::pipeline::SmtSimulator::fast_forward`]). Cores advance in
+    /// lockstep rounds bracketed by the shared level's cycle discipline, so
+    /// under chip arbitration the resulting state is — like detailed
+    /// stepping — invariant to the order cores advance within a round.
+    pub fn fast_forward(&mut self, instructions_per_thread: u64) {
+        /// Instructions each thread advances per lockstep round.
+        const ROUND: u64 = 64;
+        let mut remaining = instructions_per_thread;
+        while remaining > 0 {
+            let chunk = remaining.min(ROUND);
+            self.shared.begin_cycle(self.cycle);
+            for core in &mut self.cores {
+                core.fast_forward_against(&mut self.shared, chunk);
+            }
+            self.shared.end_cycle();
+            remaining -= chunk;
+        }
+    }
+
+    /// Functionally fast-forwards like [`ChipSimulator::fast_forward`], but
+    /// advancing cores in the given order within every lockstep round. Under
+    /// chip arbitration the resulting state is independent of the order; the
+    /// determinism tests pin that property.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is not a permutation of `0..num_cores`.
+    pub fn fast_forward_with_core_order(&mut self, instructions_per_thread: u64, order: &[usize]) {
+        assert_eq!(order.len(), self.cores.len(), "order must cover every core");
+        let mut seen = vec![false; self.cores.len()];
+        for &core in order {
+            assert!(
+                !std::mem::replace(&mut seen[core], true),
+                "core {core} stepped twice"
+            );
+        }
+        const ROUND: u64 = 64;
+        let mut remaining = instructions_per_thread;
+        while remaining > 0 {
+            let chunk = remaining.min(ROUND);
+            self.shared.begin_cycle(self.cycle);
+            for &core in order {
+                self.cores[core].fast_forward_against(&mut self.shared, chunk);
+            }
+            self.shared.end_cycle();
+            remaining -= chunk;
+        }
+    }
+
     /// Runs the warm-up phase followed by the measured phase, stopping the
     /// measured phase once any thread of any core has committed the
     /// instruction budget (the paper's stop criterion, applied chip-wide) or

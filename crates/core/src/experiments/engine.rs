@@ -34,12 +34,14 @@ use smt_types::config::FetchPolicyKind;
 use smt_types::{CellError, CellOutcome, RunHealth, SimError, SmtConfig};
 
 use crate::experiments::characterization;
-use crate::experiments::report::{empty_report, BenchRow, ExperimentReport, PolicyCell};
+use crate::experiments::report::{
+    empty_report, BenchRow, CheckpointSummary, ExperimentReport, PolicyCell,
+};
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::runner::{
     evaluate_adaptive_chip_workload_with_intensities, evaluate_adaptive_workload,
-    evaluate_chip_workload_with_intensities, evaluate_workload_with, mlp_intensity,
-    run_single_thread, RunScale, StReferenceCache, WorkloadResult,
+    evaluate_chip_workload_with_intensities, evaluate_workload_sampled, evaluate_workload_with,
+    mlp_intensity, run_single_thread, CheckpointCache, RunScale, StReferenceCache, WorkloadResult,
 };
 use crate::workloads::Workload;
 
@@ -578,17 +580,25 @@ pub fn run_spec_with_policy(
         effective.scale.max_cycles = Some(cap);
     }
     let cache = StReferenceCache::new();
+    let checkpoints = CheckpointCache::new();
     let mut report = empty_report(spec, threads);
     let outcomes = if spec.kind.is_single_thread() {
         let (rows, outcomes) = run_bench_rows(&effective, threads, policy);
         report.bench_rows = rows;
         outcomes
     } else {
-        let (cells, summaries, outcomes) = run_grid_cells(&effective, threads, &cache, policy)?;
+        let (cells, summaries, outcomes) =
+            run_grid_cells(&effective, threads, &cache, &checkpoints, policy)?;
         report.policy_cells = cells;
         report.summaries = summaries;
         outcomes
     };
+    if spec.sampling.is_some() {
+        report.checkpoints = Some(CheckpointSummary {
+            captures: checkpoints.captures(),
+            hits: checkpoints.hits(),
+        });
+    }
     report.health = Some(RunHealth::from_outcomes(&outcomes));
     report.cell_outcomes = Some(outcomes);
     report.reference_runs = cache.reference_runs();
@@ -611,6 +621,7 @@ fn run_grid_cells(
     spec: &ExperimentSpec,
     threads: usize,
     cache: &StReferenceCache,
+    checkpoints: &CheckpointCache,
     policy: &RunPolicy,
 ) -> Result<GridOutcome, SimError> {
     if spec.kind == ExperimentKind::ChipGrid {
@@ -618,6 +629,9 @@ fn run_grid_cells(
     }
     if spec.kind == ExperimentKind::AdaptiveGrid {
         return run_adaptive_cells(spec, threads, cache, policy);
+    }
+    if spec.sampling.is_some() {
+        return run_sampled_cells(spec, threads, cache, checkpoints, policy);
     }
     let workloads: Vec<Workload> = spec
         .workloads
@@ -670,6 +684,92 @@ fn run_grid_cells(
         match run.result {
             Ok(result) => {
                 cells.push(ExperimentReport::cell_from_result(
+                    &result,
+                    &workload.benchmarks,
+                    workload.group.label(),
+                    *point,
+                ));
+                outcomes.push(CellOutcome::success(index as u64, label));
+            }
+            Err(error) => {
+                outcomes.push(CellOutcome::failure(
+                    index as u64,
+                    label,
+                    error,
+                    run.attempts,
+                ));
+            }
+        }
+    }
+    let summaries = ExperimentReport::summarize(&cells, &spec.policies, &sweep_points);
+    Ok((cells, summaries, outcomes))
+}
+
+/// Runs a sampled policy grid: the same (sweep point × policy × workload)
+/// cell lattice as the exact path, but every cell is evaluated with
+/// SMARTS-style fast-forward/measure interleaving
+/// ([`evaluate_workload_sampled`]). All cells share one [`CheckpointCache`]:
+/// the functional warm-up prefix never consults the fetch policy, so every
+/// policy of a grid restores the same per-workload warm checkpoint instead of
+/// re-simulating the prefix.
+fn run_sampled_cells(
+    spec: &ExperimentSpec,
+    threads: usize,
+    cache: &StReferenceCache,
+    checkpoints: &CheckpointCache,
+    policy: &RunPolicy,
+) -> Result<GridOutcome, SimError> {
+    let sampling = spec
+        .sampling
+        .as_ref()
+        .ok_or_else(|| SimError::internal("sampled grid lost its sampling parameters"))?
+        .config();
+    let workloads: Vec<Workload> = spec
+        .workloads
+        .iter()
+        .map(|benchmarks| Workload::new(benchmarks.clone()))
+        .collect::<Result<_, _>>()?;
+    let sweep_points = spec.sweep_points();
+    let mut tasks: Vec<(Option<u64>, FetchPolicyKind, &Workload)> = Vec::new();
+    for &point in &sweep_points {
+        for &policy_kind in &spec.policies {
+            for workload in &workloads {
+                tasks.push((point, policy_kind, workload));
+            }
+        }
+    }
+    let runs = run_cells(
+        &tasks,
+        threads,
+        policy,
+        |&(point, policy_kind, workload)| {
+            let config = spec.config_for(workload.num_threads(), point);
+            evaluate_workload_sampled(
+                &workload.benchmarks,
+                policy_kind,
+                &config,
+                spec.scale,
+                &sampling,
+                cache,
+                checkpoints,
+            )
+        },
+        // A sampled run that measured no complete window already failed with
+        // a deadline error inside the cell body; nothing extra to check here.
+        |_| None,
+    );
+    let mut cells = Vec::with_capacity(tasks.len());
+    let mut outcomes = Vec::with_capacity(tasks.len());
+    for (index, ((point, policy_kind, workload), run)) in tasks.iter().zip(runs).enumerate() {
+        let label = format!(
+            "{}{}/{}",
+            point_prefix(*point),
+            policy_kind.name(),
+            workload.benchmarks.join("-")
+        );
+        match run.result {
+            Ok(result) => {
+                cells.push(ExperimentReport::cell_from_sampled_result(
                     &result,
                     &workload.benchmarks,
                     workload.group.label(),
@@ -1089,7 +1189,7 @@ fn bench_row(kind: ExperimentKind, benchmark: &str, scale: RunScale) -> Result<B
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::experiments::spec::{SweepParameter, SweepSpec};
+    use crate::experiments::spec::{SamplingSpec, SweepParameter, SweepSpec};
     use smt_resil::{FaultAction, FaultPlan, FaultSpec};
     use smt_types::{CellErrorKind, RunHealthStatus};
 
@@ -1109,6 +1209,7 @@ mod tests {
             chip: None,
             adaptive: None,
             resilience: None,
+            sampling: None,
             scale: RunScale::tiny(),
         }
     }
@@ -1210,6 +1311,7 @@ mod tests {
             chip: None,
             adaptive: None,
             resilience: None,
+            sampling: None,
             scale: RunScale::tiny(),
         };
         let report = run_spec_with_threads(&spec, 2).unwrap();
@@ -1245,6 +1347,7 @@ mod tests {
             }),
             adaptive: None,
             resilience: None,
+            sampling: None,
             scale: RunScale::tiny(),
         }
     }
@@ -1266,6 +1369,58 @@ mod tests {
             .summaries
             .iter()
             .any(|r| r.allocation == Some(AllocationPolicyKind::FillFirst)));
+    }
+
+    /// A sampled grid small enough for tests: the `test` scale budget with a
+    /// cadence that still fits several measurement windows per cell.
+    fn tiny_sampled_spec() -> ExperimentSpec {
+        let mut spec = tiny_grid_spec();
+        spec.scale = RunScale::test();
+        spec.sampling = Some(SamplingSpec {
+            skip_instructions: Some(0),
+            ff_instructions: Some(2_000),
+            warm_instructions: Some(200),
+            measure_instructions: Some(500),
+            min_windows: Some(3),
+        });
+        spec
+    }
+
+    #[test]
+    fn sampled_grid_reports_estimates_and_shares_checkpoints() {
+        let spec = tiny_sampled_spec();
+        let report = run_spec_with_threads(&spec, 2).unwrap();
+        // 2 policies x 2 workloads, all complete.
+        assert_eq!(report.policy_cells.len(), 4);
+        assert_eq!(
+            report.health.as_ref().unwrap().status,
+            RunHealthStatus::Complete
+        );
+        for cell in &report.policy_cells {
+            let sampled = cell.sampled.as_ref().unwrap();
+            assert!(sampled.windows >= 3);
+            assert!(sampled.detailed_fraction < 0.3);
+            // The shared metric columns carry the estimate means.
+            assert_eq!(cell.stp, sampled.stp.mean);
+            assert_eq!(cell.antt, sampled.antt.mean);
+            assert!(cell.stp > 0.0 && cell.antt > 0.0);
+        }
+        // One warm checkpoint per workload: the functional warm-up prefix
+        // never consults the fetch policy, so both policies share it.
+        let checkpoints = report.checkpoints.unwrap();
+        assert_eq!(checkpoints.captures, 2);
+        assert_eq!(checkpoints.hits, 2);
+        let text = report.format_text();
+        assert!(text.contains("warm checkpoint"), "{text}");
+        assert!(text.contains("windows, STP ±"), "{text}");
+    }
+
+    #[test]
+    fn sampled_grid_results_are_thread_count_invariant() {
+        let spec = tiny_sampled_spec();
+        let serial = comparable(run_spec_with_threads(&spec, 1).unwrap());
+        let parallel = comparable(run_spec_with_threads(&spec, 4).unwrap());
+        assert_eq!(serial, parallel);
     }
 
     #[test]

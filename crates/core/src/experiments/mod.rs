@@ -37,6 +37,6 @@ pub use registry::ExperimentRegistry;
 pub use report::{BenchRow, ExperimentReport, PolicyCell, SummaryRow};
 pub use spec::{
     AdaptiveSpec, ChipSpec, ConfigOverrides, ExperimentKind, ExperimentSpec, ResilienceSpec,
-    SweepParameter, SweepSpec,
+    SamplingSpec, SweepParameter, SweepSpec,
 };
 pub use sweeps::{format_sweep, memory_latency_sweep, window_size_sweep, SweepPoint};

@@ -13,7 +13,7 @@ use smt_types::config::FetchPolicyKind;
 
 use crate::experiments::policies::ALTERNATIVE_POLICIES;
 use crate::experiments::spec::{
-    AdaptiveSpec, ChipSpec, ExperimentKind, ExperimentSpec, SweepParameter, SweepSpec,
+    AdaptiveSpec, ChipSpec, ExperimentKind, ExperimentSpec, SamplingSpec, SweepParameter, SweepSpec,
 };
 use crate::runner::RunScale;
 use crate::workloads::{
@@ -119,6 +119,20 @@ impl ExperimentRegistry {
                     values: vec![128, 256, 512, 1024],
                 }),
             ),
+            {
+                let mut spec = grid(
+                    "sampled_4t_policies",
+                    "Sampled-mode STP and ANTT of ICOUNT versus MLP-aware flush over the \
+                     Table III four-thread workloads: SMARTS-style fast-forward/measure \
+                     interleaving, shared warm checkpoints, per-metric confidence intervals",
+                    "Figures 13/14",
+                    vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+                    four_thread.clone(),
+                    None,
+                );
+                spec.sampling = Some(SamplingSpec::default());
+                spec
+            },
             grid(
                 "fig20_alternative_policies",
                 "The five alternative MLP-aware flush policies over the Table II two-thread \
@@ -258,6 +272,7 @@ fn chip_grid(
         }),
         adaptive: None,
         resilience: None,
+        sampling: None,
         scale: RunScale::standard(),
     }
 }
@@ -295,6 +310,7 @@ fn adaptive_grid(
             mlp_threshold: None,
         }),
         resilience: None,
+        sampling: None,
         scale: RunScale::standard(),
     }
 }
@@ -318,6 +334,7 @@ fn single_thread(
         chip: None,
         adaptive: None,
         resilience: None,
+        sampling: None,
         scale: RunScale::standard(),
     }
 }
@@ -342,6 +359,7 @@ fn grid(
         chip: None,
         adaptive: None,
         resilience: None,
+        sampling: None,
         scale: RunScale::standard(),
     }
 }

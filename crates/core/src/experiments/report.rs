@@ -9,11 +9,13 @@ use serde::{Deserialize, Serialize};
 use smt_sched::AllocationPolicyKind;
 use smt_types::adaptive::{PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
-use smt_types::{CellOutcome, RunHealth, SimError};
+use smt_types::{CellOutcome, MetricEstimate, RunHealth, SimError};
 
 use crate::experiments::spec::{ExperimentKind, ExperimentSpec};
 use crate::metrics;
-use crate::runner::{AdaptiveWorkloadResult, ChipWorkloadResult, RunScale, WorkloadResult};
+use crate::runner::{
+    AdaptiveWorkloadResult, ChipWorkloadResult, RunScale, SampledWorkloadResult, WorkloadResult,
+};
 
 /// One multiprogram grid cell: a (policy, workload, sweep point) evaluation.
 #[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
@@ -55,6 +57,40 @@ pub struct PolicyCell {
     /// Adaptive cells: fraction of completed intervals each policy was
     /// active.
     pub policy_residency: Option<Vec<PolicyResidency>>,
+    /// Sampled cells: the statistical pedigree of the estimates. `None` for
+    /// exact (full-detail) cells; when present, `stp`/`antt` and the IPC
+    /// columns above carry the estimate means.
+    pub sampled: Option<SampledCellStats>,
+}
+
+/// Statistical metadata of one sampled cell: how much detailed simulation
+/// backs the estimates and the 95% confidence interval of each headline
+/// metric.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SampledCellStats {
+    /// Measurement windows the estimates aggregate.
+    pub windows: u32,
+    /// Fraction of committed instructions simulated in detailed mode.
+    pub detailed_fraction: f64,
+    /// System throughput with its confidence interval.
+    pub stp: MetricEstimate,
+    /// Average normalized turnaround time with its confidence interval.
+    pub antt: MetricEstimate,
+    /// Aggregate multithreaded IPC with its confidence interval.
+    pub total_ipc: MetricEstimate,
+}
+
+/// Warm-checkpoint traffic of one sampled experiment run: how many functional
+/// fast-forward prefixes were actually simulated versus served from the
+/// shared [`crate::runner::CheckpointCache`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CheckpointSummary {
+    /// Warm checkpoints captured (distinct workload × configuration prefixes).
+    pub captures: u64,
+    /// Cell evaluations that reused an already-captured checkpoint.
+    pub hits: u64,
 }
 
 /// Aggregate over the workloads of one (sweep point, policy, group) slice.
@@ -147,6 +183,8 @@ pub struct ExperimentReport {
     /// Whole-run health classification. `None` only in reports written
     /// before the resilient engine.
     pub health: Option<RunHealth>,
+    /// Warm-checkpoint traffic; present only for sampled runs.
+    pub checkpoints: Option<CheckpointSummary>,
 }
 
 impl ExperimentReport {
@@ -175,6 +213,44 @@ impl ExperimentReport {
             selector: None,
             candidates: None,
             policy_residency: None,
+            sampled: None,
+        }
+    }
+
+    /// Builds a cell from a sampled-mode [`SampledWorkloadResult`]: the shared
+    /// metric columns carry the estimate means, and the `sampled` block keeps
+    /// the confidence intervals and detailed-simulation pedigree.
+    pub(crate) fn cell_from_sampled_result(
+        result: &SampledWorkloadResult,
+        benchmarks: &[String],
+        group: &str,
+        parameter: Option<u64>,
+    ) -> PolicyCell {
+        PolicyCell {
+            policy: result.policy,
+            workload: result.workload.clone(),
+            benchmarks: benchmarks.to_vec(),
+            group: group.to_string(),
+            parameter,
+            stp: result.stp.mean,
+            antt: result.antt.mean,
+            per_thread_ipc: result.per_thread_ipc.iter().map(|e| e.mean).collect(),
+            per_thread_st_ipc: result.per_thread_st_ipc.clone(),
+            allocation: None,
+            num_cores: None,
+            core_assignments: None,
+            per_core_ipc: None,
+            per_core_stp: None,
+            selector: None,
+            candidates: None,
+            policy_residency: None,
+            sampled: Some(SampledCellStats {
+                windows: result.windows,
+                detailed_fraction: result.detailed_fraction,
+                stp: result.stp,
+                antt: result.antt,
+                total_ipc: result.total_ipc,
+            }),
         }
     }
 
@@ -203,6 +279,7 @@ impl ExperimentReport {
             selector: None,
             candidates: None,
             policy_residency: None,
+            sampled: None,
         }
     }
 
@@ -238,6 +315,7 @@ impl ExperimentReport {
             selector: Some(result.selector),
             candidates: Some(result.candidates.clone()),
             policy_residency: Some(result.policy_residency.clone()),
+            sampled: None,
         }
     }
 
@@ -364,6 +442,14 @@ impl ExperimentReport {
             self.reference_runs,
             self.wall_ms,
         );
+        if let Some(checkpoints) = &self.checkpoints {
+            out.push_str(&format!(
+                "sampling: {} warm checkpoint{} captured, {} reused\n",
+                checkpoints.captures,
+                if checkpoints.captures == 1 { "" } else { "s" },
+                checkpoints.hits,
+            ));
+        }
         // Fault-free runs keep the historical text output; anything else
         // leads with the health verdict and the failed cells.
         if let Some(health) = &self.health {
@@ -496,8 +582,14 @@ impl ExperimentReport {
                         format!("  [{}]", parts.join(" | "))
                     })
                     .unwrap_or_default();
+                // Sampled cells append their statistical pedigree.
+                let sampled = cell
+                    .sampled
+                    .as_ref()
+                    .map(|s| format!("  [{} windows, STP ±{:.3}]", s.windows, s.stp.ci95))
+                    .unwrap_or_default();
                 out.push_str(&format!(
-                    "{:>5}  {:<5}  {:<26} {selector_col}{mid} {:>6.3}  {:>8.3}  {}{residency}\n",
+                    "{:>5}  {:<5}  {:<26} {selector_col}{mid} {:>6.3}  {:>8.3}  {}{residency}{sampled}\n",
                     cell.parameter
                         .map_or_else(|| "-".to_string(), |p| p.to_string()),
                     cell.group,
@@ -597,6 +689,7 @@ pub(crate) fn empty_report(spec: &ExperimentSpec, threads: usize) -> ExperimentR
         bench_rows: Vec::new(),
         cell_outcomes: None,
         health: None,
+        checkpoints: None,
     }
 }
 
@@ -623,6 +716,7 @@ mod tests {
             selector: None,
             candidates: None,
             policy_residency: None,
+            sampled: None,
         }
     }
 
@@ -768,6 +862,7 @@ mod tests {
             bench_rows: Vec::new(),
             cell_outcomes: None,
             health: None,
+            checkpoints: None,
         };
         report.summaries = ExperimentReport::summarize(
             &report.policy_cells,

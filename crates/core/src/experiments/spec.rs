@@ -14,7 +14,7 @@ use smt_sched::AllocationPolicyKind;
 use smt_trace::spec as trace_spec;
 use smt_types::adaptive::{AdaptiveConfig, SelectorKind};
 use smt_types::config::{BusConfig, CacheConfig, FetchPolicyKind};
-use smt_types::{ChipConfig, SimError, SmtConfig};
+use smt_types::{ChipConfig, SamplingConfig, SimError, SmtConfig};
 
 use crate::runner::RunScale;
 use crate::workloads::{Workload, WorkloadGroup};
@@ -309,6 +309,56 @@ impl ResilienceSpec {
     }
 }
 
+/// Sampled-execution cadence of a [`ExperimentKind::PolicyGrid`] experiment:
+/// when present, every grid cell runs in SMARTS-style sampled mode
+/// (`skip → ff → warm → measure` units, see
+/// [`SamplingConfig`]) instead of cycle-accurate end to end, and the report
+/// carries per-metric confidence intervals next to the point estimates.
+///
+/// Every field is optional; an absent field falls back to the
+/// [`SamplingConfig::default`] cadence. The warm prefix
+/// (`scale.warmup_instructions`) is fast-forwarded functionally once per
+/// workload and shared across the grid's cells as a serialized warm
+/// checkpoint.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SamplingSpec {
+    /// Instructions per thread consumed at raw trace speed per unit
+    /// (warm state frozen; 0 disables the skip phase).
+    pub skip_instructions: Option<u64>,
+    /// Instructions per thread fast-forwarded (functional warming) per unit.
+    pub ff_instructions: Option<u64>,
+    /// Detailed-mode pipeline warm-up instructions per measurement window.
+    pub warm_instructions: Option<u64>,
+    /// Detailed-mode instructions measured per window.
+    pub measure_instructions: Option<u64>,
+    /// Minimum number of measurement windows per run.
+    pub min_windows: Option<u32>,
+}
+
+impl SamplingSpec {
+    /// The [`SamplingConfig`] this spec resolves to (defaults filled in).
+    pub fn config(&self) -> SamplingConfig {
+        let mut config = SamplingConfig::default();
+        if let Some(skip) = self.skip_instructions {
+            config.skip_instructions = skip;
+        }
+        if let Some(ff) = self.ff_instructions {
+            config.ff_instructions = ff;
+        }
+        if let Some(warm) = self.warm_instructions {
+            config.warm_instructions = warm;
+        }
+        if let Some(measure) = self.measure_instructions {
+            config.measure_instructions = measure;
+        }
+        if let Some(min) = self.min_windows {
+            config.min_windows = min;
+        }
+        config
+    }
+}
+
 /// A complete, serializable description of one experiment.
 ///
 /// # Example
@@ -363,6 +413,10 @@ pub struct ExperimentSpec {
     pub adaptive: Option<AdaptiveSpec>,
     /// Resilience knobs and fault-injection hooks (any kind; optional).
     pub resilience: Option<ResilienceSpec>,
+    /// Sampled-execution cadence (exclusive to
+    /// [`ExperimentKind::PolicyGrid`]; optional — absent runs cycle-accurate
+    /// end to end).
+    pub sampling: Option<SamplingSpec>,
     /// Simulation size.
     pub scale: RunScale,
 }
@@ -645,6 +699,21 @@ impl ExperimentSpec {
                 return Err(invalid(name, "sweep.values: must not be empty"));
             }
         }
+        if let Some(sampling) = &self.sampling {
+            if self.kind != ExperimentKind::PolicyGrid {
+                return Err(invalid(
+                    name,
+                    format!(
+                        "sampling: only supported for kind `policy_grid`, not `{}`",
+                        self.kind.name()
+                    ),
+                ));
+            }
+            sampling
+                .config()
+                .validate()
+                .map_err(|e| prefix_error(name, "sampling", e))?;
+        }
         if let Some(resilience) = &self.resilience {
             if resilience.max_cell_cycles == Some(0) {
                 return Err(invalid(
@@ -714,6 +783,7 @@ mod tests {
             chip: None,
             adaptive: None,
             resilience: None,
+            sampling: None,
             scale: RunScale::tiny(),
         }
     }
@@ -744,6 +814,7 @@ mod tests {
             }),
             adaptive: None,
             resilience: None,
+            sampling: None,
             scale: RunScale::tiny(),
         }
     }
@@ -947,6 +1018,48 @@ mod tests {
             let err = spec.validate().unwrap_err().to_string();
             assert!(err.contains("num_cores"), "cores={cores}: {err}");
         }
+    }
+
+    #[test]
+    fn sampling_spec_validates_and_round_trips() {
+        let mut spec = sample_spec();
+        spec.sampling = Some(SamplingSpec {
+            skip_instructions: Some(10_000),
+            ff_instructions: Some(9_000),
+            warm_instructions: Some(200),
+            measure_instructions: Some(800),
+            min_windows: Some(2),
+        });
+        spec.validate().unwrap();
+        let text = toml::to_string(&spec).unwrap();
+        let back: ExperimentSpec = toml::from_str(&text).unwrap();
+        assert_eq!(back, spec);
+        let config = spec.sampling.as_ref().unwrap().config();
+        assert_eq!(config.unit_instructions(), 20_000);
+
+        // Absent fields fall back to the default cadence.
+        assert_eq!(SamplingSpec::default().config(), SamplingConfig::default());
+
+        // Sampling on a non-policy-grid kind is rejected by name.
+        let mut chip = sample_chip_spec();
+        chip.sampling = Some(SamplingSpec::default());
+        let err = chip.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("sampling") && err.contains("policy_grid"),
+            "{err}"
+        );
+
+        // A degenerate cadence is rejected through config validation.
+        let mut zero = sample_spec();
+        zero.sampling = Some(SamplingSpec {
+            measure_instructions: Some(0),
+            ..SamplingSpec::default()
+        });
+        let err = zero.validate().unwrap_err().to_string();
+        assert!(
+            err.contains("sampling") && err.contains("measure_instructions"),
+            "{err}"
+        );
     }
 
     #[test]

@@ -46,5 +46,10 @@ pub mod throughput;
 pub mod workloads;
 
 pub use chip::ChipSimulator;
+pub use pipeline::checkpoint::{SimCheckpoint, ThreadCheckpoint};
+pub use pipeline::sampling::SampledRun;
 pub use pipeline::{Core, SimOptions, SmtSimulator};
-pub use runner::{evaluate_workload, RunScale, WorkloadResult};
+pub use runner::{
+    evaluate_workload, evaluate_workload_sampled, CheckpointCache, RunScale, SampledWorkloadResult,
+    WorkloadResult,
+};

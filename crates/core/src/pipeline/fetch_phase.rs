@@ -8,6 +8,11 @@ use super::Core;
 
 impl Core {
     pub(super) fn fetch_phase(&mut self, snapshot: &SmtSnapshot) {
+        if self.fetch_frozen {
+            // The sampled loop is draining in-flight work before a
+            // fast-forward phase: nothing enters the pipeline.
+            return;
+        }
         let cycle = self.cycle;
         let mut priority = std::mem::take(&mut self.priority);
         self.policy.fetch_priority(snapshot, &mut priority);

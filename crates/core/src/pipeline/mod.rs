@@ -26,10 +26,13 @@
 //!   fetch-policy switching ([`Core::swap_policy`]).
 
 pub mod adaptive;
+pub mod checkpoint;
 mod commit_phase;
 mod dispatch_phase;
+mod fast_forward;
 mod fetch_phase;
 mod issue_phase;
+pub mod sampling;
 mod squash;
 mod stats;
 mod thread;
@@ -117,6 +120,9 @@ pub struct Core {
     /// The adaptive policy engine, when enabled: interval telemetry collector
     /// plus the selector that picks the next interval's fetch policy.
     adaptive: Option<AdaptiveState>,
+    /// When set, the fetch phase pulls nothing: the sampled loop freezes
+    /// fetch to drain in-flight work before a fast-forward phase.
+    fetch_frozen: bool,
     // Reusable per-cycle buffers: the steady-state cycle loop performs no heap
     // allocation.
     snapshot: SmtSnapshot,
@@ -186,6 +192,7 @@ impl Core {
             totals: SharedTotals::default(),
             completions: BinaryHeap::new(),
             adaptive: None,
+            fetch_frozen: false,
             priority: Vec::with_capacity(num_threads),
             flushes: Vec::new(),
             caps: vec![ResourceCaps::default(); num_threads],

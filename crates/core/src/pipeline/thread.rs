@@ -193,6 +193,20 @@ impl ThreadContext {
         (op, None)
     }
 
+    /// Trace ops pulled into the refill buffer but not yet consumed, in
+    /// stream order (captured by checkpoints so a restored thread resumes at
+    /// the exact trace position).
+    pub(super) fn pending_trace_ops(&self) -> &[TraceOp] {
+        &self.refill_buf[self.refill_pos..]
+    }
+
+    /// Replaces the refill buffer with `ops` (a checkpoint's unconsumed
+    /// suffix), to be consumed before the trace source is pulled again.
+    pub(super) fn set_pending_trace_ops(&mut self, ops: Vec<TraceOp>) {
+        self.refill_buf = ops;
+        self.refill_pos = 0;
+    }
+
     /// Cycle at which the oldest currently outstanding long-latency load was
     /// detected (for the COT rule).
     pub(super) fn oldest_lll_cycle(&self) -> Option<u64> {

@@ -16,10 +16,13 @@ use smt_sched::{build_allocation_policy, AllocationPolicyKind, ThreadSpec};
 use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
 use smt_types::adaptive::{AdaptiveConfig, PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
-use smt_types::{ChipConfig, ChipStats, MachineStats, SimError, SmtConfig};
+use smt_types::{
+    ChipConfig, ChipStats, MachineStats, MetricEstimate, SamplingConfig, SimError, SmtConfig,
+};
 
 use crate::chip::ChipSimulator;
 use crate::metrics;
+use crate::pipeline::checkpoint::SimCheckpoint;
 use crate::pipeline::{SimOptions, SmtSimulator};
 
 /// How large a simulation to run; all experiment runners take one of these so the
@@ -524,6 +527,261 @@ fn st_mt_cpis(
         st_cpis.push(cache.st_cpi(benchmark, config, scale, committed)?);
     }
     Ok((st_cpis, mt_cpis))
+}
+
+/// Cache of serialized warm checkpoints keyed by workload, configuration and
+/// warm-prefix length, shared across the worker threads of the parallel
+/// experiment engine exactly like [`StReferenceCache`]: each distinct
+/// `(workload, configuration, prefix)` warm prefix is fast-forwarded **once**
+/// and every grid cell branches from the captured [`SimCheckpoint`] instead
+/// of re-running the prefix.
+///
+/// Functional fast-forward never consults the fetch policy (it is pure warm
+/// state: caches, TLBs, predictors, LLSR), so the key normalizes the fetch
+/// policy away and all policies of a grid share one checkpoint per workload.
+#[derive(Default)]
+pub struct CheckpointCache {
+    #[allow(clippy::type_complexity)]
+    cells: Mutex<HashMap<CheckpointKey, Arc<OnceLock<Result<SimCheckpoint, SimError>>>>>,
+    captures: AtomicU64,
+    requests: AtomicU64,
+}
+
+/// Cache key: the workload's benchmarks in thread order, the full normalized
+/// configuration (fetch policy erased — fast-forward is policy-independent),
+/// the trace seed and the warm-prefix length.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+struct CheckpointKey {
+    benchmarks: Vec<String>,
+    config: SmtConfig,
+    seed: u64,
+    prefix_instructions: u64,
+}
+
+impl CheckpointCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns the warm checkpoint for `benchmarks` on `config` after
+    /// fast-forwarding `scale.warmup_instructions` per thread, capturing it on
+    /// first use. Concurrent callers asking for the same prefix block until
+    /// the one elected fast-forward finishes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation construction and checkpoint capture errors.
+    pub fn warmed(
+        &self,
+        benchmarks: &[&str],
+        config: &SmtConfig,
+        scale: RunScale,
+    ) -> Result<SimCheckpoint, SimError> {
+        let mut norm = config.clone();
+        norm.num_threads = benchmarks.len();
+        norm.fetch_policy = FetchPolicyKind::Icount;
+        let key = CheckpointKey {
+            benchmarks: benchmarks.iter().map(|b| b.to_string()).collect(),
+            config: norm.clone(),
+            seed: scale.seed,
+            prefix_instructions: scale.warmup_instructions,
+        };
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let cell = {
+            let mut cells = self.cells.lock().unwrap_or_else(PoisonError::into_inner);
+            Arc::clone(cells.entry(key).or_default())
+        };
+        let outcome = cell.get_or_init(|| {
+            self.captures.fetch_add(1, Ordering::Relaxed);
+            capture_warm_checkpoint(benchmarks, &norm, scale)
+        });
+        match outcome {
+            Ok(ck) => Ok(ck.clone()),
+            Err(e) => Err(e.clone()),
+        }
+    }
+
+    /// Number of warm prefixes actually fast-forwarded and captured.
+    pub fn captures(&self) -> u64 {
+        self.captures.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests served from an already-captured checkpoint.
+    pub fn hits(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed) - self.captures()
+    }
+}
+
+fn capture_warm_checkpoint(
+    benchmarks: &[&str],
+    config: &SmtConfig,
+    scale: RunScale,
+) -> Result<SimCheckpoint, SimError> {
+    let traces = benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sim = SmtSimulator::new(config.clone(), traces)?;
+    sim.fast_forward(scale.warmup_instructions);
+    sim.checkpoint(scale.seed)
+}
+
+/// The sampled-mode outcome of one workload × policy cell: point estimates
+/// plus per-metric 95% confidence intervals from the between-window variance.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SampledWorkloadResult {
+    /// Workload name (benchmarks joined with dashes).
+    pub workload: String,
+    /// The fetch policy evaluated.
+    pub policy: FetchPolicyKind,
+    /// System throughput estimate (ratio estimator over windows).
+    pub stp: MetricEstimate,
+    /// Average normalized turnaround time: the mean is the ratio-estimator
+    /// point estimate; the interval is indicative only (derived from
+    /// per-window ANTT samples, which are ratio-biased individually).
+    pub antt: MetricEstimate,
+    /// Aggregate (all-thread) IPC estimate.
+    pub total_ipc: MetricEstimate,
+    /// Per-thread IPC estimates, in workload order.
+    pub per_thread_ipc: Vec<MetricEstimate>,
+    /// Per-thread single-threaded reference IPC at the extrapolated
+    /// instruction counts.
+    pub per_thread_st_ipc: Vec<f64>,
+    /// Number of measurement windows that contributed samples.
+    pub windows: u32,
+    /// Fraction of the instruction budget executed in detailed mode.
+    pub detailed_fraction: f64,
+}
+
+/// Evaluates one workload under one policy in sampled mode: the warm prefix
+/// comes from the shared `checkpoints` cache, the run interleaves functional
+/// fast-forward with detailed measurement windows per `sampling`, and
+/// STP/ANTT are extrapolated with the paper's methodology at the estimated
+/// per-thread instruction counts.
+///
+/// An exact run stops when the first thread commits the budget; the sampled
+/// equivalent extrapolates each co-runner's committed count as
+/// `budget × ipc_i / max_j ipc_j` and takes the single-threaded reference
+/// CPIs at those counts from the shared `cache`, exactly as the exact
+/// evaluation does at its measured counts.
+///
+/// # Errors
+///
+/// Returns an error for unknown benchmarks, invalid configurations or
+/// cadences, and for runs that measured no window before the cycle cap.
+#[allow(clippy::too_many_arguments)]
+pub fn evaluate_workload_sampled<S: AsRef<str>>(
+    benchmarks: &[S],
+    policy: FetchPolicyKind,
+    config: &SmtConfig,
+    scale: RunScale,
+    sampling: &SamplingConfig,
+    cache: &StReferenceCache,
+    checkpoints: &CheckpointCache,
+) -> Result<SampledWorkloadResult, SimError> {
+    let benchmarks: Vec<&str> = benchmarks.iter().map(AsRef::as_ref).collect();
+    let mut mt_config = config.clone();
+    mt_config.num_threads = benchmarks.len();
+    mt_config.fetch_policy = policy;
+    let traces = benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut sim = SmtSimulator::new(mt_config, traces)?;
+    if scale.warmup_instructions > 0 {
+        let checkpoint = checkpoints.warmed(&benchmarks, config, scale)?;
+        sim.restore_checkpoint(&checkpoint)?;
+    }
+    let run = sim.run_sampled(scale.sim_options(), sampling)?;
+    if run.window_cycles.is_empty() {
+        return Err(SimError::deadline_exceeded(
+            "sampled run measured no window before the cycle cap",
+        ));
+    }
+
+    let budget = scale.instructions_per_thread;
+    let max_ipc = run
+        .estimate
+        .per_thread_ipc
+        .iter()
+        .map(|e| e.mean)
+        .fold(0.0f64, f64::max);
+    let mut per_thread_st_ipc = Vec::with_capacity(benchmarks.len());
+    let mut st_cpis = Vec::with_capacity(benchmarks.len());
+    for (i, benchmark) in benchmarks.iter().enumerate() {
+        // Extrapolated committed count when the fastest thread hits the
+        // budget (the exact run's stop criterion).
+        let ipc = run.estimate.per_thread_ipc[i].mean;
+        let extrapolated = if max_ipc > 0.0 {
+            ((budget as f64 * ipc / max_ipc) as u64).clamp(1, budget)
+        } else {
+            budget
+        };
+        let st_cpi = cache.st_cpi(benchmark, config, scale, extrapolated)?;
+        per_thread_st_ipc.push(1.0 / st_cpi);
+        st_cpis.push(st_cpi);
+    }
+
+    // STP = Σ_i (mt_ipc_i / st_ipc_i): ratio estimator over windows with the
+    // single-threaded references held fixed (Σ_w Σ_i C_iw·st_cpi_i / Σ_w T_w).
+    let stp_pairs: Vec<(f64, f64)> = run
+        .window_thread_committed
+        .iter()
+        .zip(&run.window_cycles)
+        .map(|(committed, &cycles)| {
+            let num: f64 = committed
+                .iter()
+                .zip(&st_cpis)
+                .map(|(&c, &st_cpi)| c as f64 * st_cpi)
+                .sum();
+            (num, cycles as f64)
+        })
+        .collect();
+    let stp = MetricEstimate::from_ratio(&stp_pairs);
+
+    // ANTT point estimate from the per-thread ratio estimates; the interval
+    // comes from per-window ANTT samples (indicative: per-window ratios are
+    // individually biased, but their spread bounds the between-window noise).
+    let antt_point = st_cpis
+        .iter()
+        .zip(&run.estimate.per_thread_ipc)
+        .map(|(&st_cpi, estimate)| {
+            let ipc = estimate.mean.max(f64::MIN_POSITIVE);
+            (1.0 / ipc) / st_cpi
+        })
+        .sum::<f64>()
+        / benchmarks.len() as f64;
+    let antt_samples: Vec<f64> = run
+        .window_thread_committed
+        .iter()
+        .zip(&run.window_cycles)
+        .map(|(committed, &cycles)| {
+            committed
+                .iter()
+                .zip(&st_cpis)
+                .map(|(&c, &st_cpi)| (cycles as f64 / c.max(1) as f64) / st_cpi)
+                .sum::<f64>()
+                / committed.len() as f64
+        })
+        .collect();
+    let antt = MetricEstimate {
+        mean: antt_point,
+        ci95: MetricEstimate::from_samples(&antt_samples).ci95,
+    };
+
+    Ok(SampledWorkloadResult {
+        workload: benchmarks.join("-"),
+        policy,
+        stp,
+        antt,
+        total_ipc: run.estimate.total_ipc,
+        per_thread_ipc: run.estimate.per_thread_ipc,
+        per_thread_st_ipc,
+        windows: run.estimate.windows,
+        detailed_fraction: run.estimate.detailed_fraction,
+    })
 }
 
 /// Scale of the single-thread probe runs behind [`mlp_intensity`]: long
@@ -1111,6 +1369,97 @@ mod tests {
         for r in [&rr, &ff, &mb] {
             assert_eq!(r.workload, "mcf-swim-gcc-gap");
         }
+    }
+
+    #[test]
+    fn sampled_workload_evaluation_tracks_exact_and_shares_checkpoints() {
+        let scale = RunScale {
+            instructions_per_thread: 60_000,
+            warmup_instructions: 10_000,
+            seed: 42,
+            max_cycles: None,
+        };
+        let config = SmtConfig::baseline(2);
+        let cache = StReferenceCache::new();
+        let checkpoints = CheckpointCache::new();
+        let sampling = SamplingConfig {
+            skip_instructions: 0,
+            ff_instructions: 9_000,
+            warm_instructions: 300,
+            measure_instructions: 700,
+            min_windows: 3,
+        };
+        let benchmarks = ["mcf", "gcc"];
+        let exact =
+            evaluate_workload_with(&benchmarks, FetchPolicyKind::Icount, &config, scale, &cache)
+                .unwrap();
+        let sampled = evaluate_workload_sampled(
+            &benchmarks,
+            FetchPolicyKind::Icount,
+            &config,
+            scale,
+            &sampling,
+            &cache,
+            &checkpoints,
+        )
+        .unwrap();
+        assert_eq!(sampled.workload, "mcf-gcc");
+        assert!(sampled.windows >= 3, "windows {}", sampled.windows);
+        assert!(sampled.detailed_fraction < 0.15);
+        assert_eq!(checkpoints.captures(), 1);
+
+        // The sampled estimates track the exact run within a loose band (the
+        // tight ≤2% acceptance bound is asserted at 10x budgets in
+        // crates/core/tests/sampling.rs; this short run just pins the
+        // experiment-level plumbing).
+        let exact_ipc: f64 = exact.per_thread_ipc.iter().sum();
+        let err = (sampled.total_ipc.mean - exact_ipc).abs() / exact_ipc;
+        assert!(
+            err < 0.10,
+            "sampled {} vs exact {exact_ipc}",
+            sampled.total_ipc.mean
+        );
+        assert!(
+            (sampled.stp.mean - exact.stp).abs() / exact.stp < 0.15,
+            "sampled STP {} vs exact {}",
+            sampled.stp.mean,
+            exact.stp
+        );
+        assert!(
+            (sampled.antt.mean - exact.antt).abs() / exact.antt < 0.15,
+            "sampled ANTT {} vs exact {}",
+            sampled.antt.mean,
+            exact.antt
+        );
+
+        // A second policy on the same workload branches from the shared
+        // checkpoint instead of re-running the warm prefix.
+        let flush = evaluate_workload_sampled(
+            &benchmarks,
+            FetchPolicyKind::MlpFlush,
+            &config,
+            scale,
+            &sampling,
+            &cache,
+            &checkpoints,
+        )
+        .unwrap();
+        assert_eq!(checkpoints.captures(), 1);
+        assert!(checkpoints.hits() >= 1);
+        assert_eq!(flush.policy, FetchPolicyKind::MlpFlush);
+
+        // Deterministic: re-evaluating reproduces the result bit for bit.
+        let again = evaluate_workload_sampled(
+            &benchmarks,
+            FetchPolicyKind::Icount,
+            &config,
+            scale,
+            &sampling,
+            &cache,
+            &checkpoints,
+        )
+        .unwrap();
+        assert_eq!(again, sampled);
     }
 
     #[test]

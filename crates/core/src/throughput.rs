@@ -3,8 +3,9 @@
 //!
 //! The matrix covers 1-, 2- and 4-thread runs over ILP- and MLP-heavy mixes
 //! under the ICOUNT baseline and the paper's MLP-aware flush policy — plus a
-//! chip-level CMP row — so a single `smt-cli bench` run characterizes the hot
-//! path for every pipeline shape the experiments exercise. Results serialize
+//! chip-level CMP row, an adaptive-engine row and a sampled-execution row —
+//! so a single `smt-cli bench` run characterizes the hot path for every
+//! pipeline shape the experiments exercise. Results serialize
 //! to a stable JSON schema; `BENCH_throughput.json` is an **append-only
 //! [`ThroughputTrajectory`]**: one dated [`ThroughputReport`] entry per
 //! recorded commit, so the whole perf history stays recoverable from the
@@ -19,9 +20,10 @@ use smt_types::config::FetchPolicyKind;
 use smt_types::{SimError, SmtConfig};
 
 use crate::chip::ChipSimulator;
+use crate::pipeline::sampling::SampledRun;
 use crate::pipeline::{SimOptions, SmtSimulator};
 use crate::runner::{build_trace, RunScale};
-use smt_types::{ChipConfig, MachineStats};
+use smt_types::{ChipConfig, MachineStats, SamplingConfig};
 
 /// Version of one report's schema. Bump only when a field is removed or
 /// changes meaning; additions keep the version.
@@ -35,6 +37,12 @@ pub const TRAJECTORY_SCHEMA_VERSION: u32 = 2;
 /// Name of the 4-thread baseline scenario whose cycles/sec is the headline
 /// trajectory number compared across commits.
 pub const BASELINE_SCENARIO: &str = "4t_mix_icount";
+
+/// Instruction-budget multiplier for sampled matrix rows: they run this many
+/// times the exact rows' per-thread budget, so a sampled row's wall-clock
+/// column demonstrates the fast-forward speedup side by side with the same
+/// workload measured exactly.
+pub const SAMPLED_BUDGET_MULTIPLIER: u64 = 10;
 
 /// One cell of the fixed scenario matrix.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -54,6 +62,10 @@ pub struct BenchScenario {
     /// `policy` and the MLP-aware flush policy; `None` runs the static
     /// machine.
     pub selector: Option<SelectorKind>,
+    /// Sampled rows: run through [`SmtSimulator::run_sampled`] at
+    /// [`SAMPLED_BUDGET_MULTIPLIER`] times the exact rows' instruction
+    /// budget, timing the fast-forward/measure interleaving.
+    pub sampled: bool,
 }
 
 /// The benchmark pool chip rows draw from (2 threads per core, core-major).
@@ -88,6 +100,7 @@ pub fn chip_scenario(cores: usize) -> Result<BenchScenario, SimError> {
         policy: FetchPolicyKind::Icount,
         cores,
         selector: None,
+        sampled: false,
     })
 }
 
@@ -104,6 +117,7 @@ pub fn adaptive_scenario(selector: Option<SelectorKind>) -> BenchScenario {
         policy: FetchPolicyKind::Icount,
         cores: 1,
         selector: Some(selector.unwrap_or(SelectorKind::Sampling)),
+        sampled: false,
     }
 }
 
@@ -118,6 +132,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "1t_mlp_icount",
@@ -125,6 +140,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "2t_ilp_icount",
@@ -132,6 +148,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "2t_mlp_icount",
@@ -139,6 +156,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "2t_mlp_mlpflush",
@@ -146,6 +164,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: MlpFlush,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "4t_ilp_icount",
@@ -153,6 +172,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "4t_mix_icount",
@@ -160,6 +180,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "4t_mix_mlpflush",
@@ -167,6 +188,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: MlpFlush,
             cores: 1,
             selector: None,
+            sampled: false,
         },
         BenchScenario {
             name: "4t_mlp_mlpflush",
@@ -174,6 +196,18 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             policy: MlpFlush,
             cores: 1,
             selector: None,
+            sampled: false,
+        },
+        // The same workload as `4t_mlp_mlpflush` in sampled mode at ten
+        // times the budget: its wall-clock and instrs/s columns sit next to
+        // the exact row's, making the sampling speedup a standing bench fact.
+        BenchScenario {
+            name: "4t_mlp_sampled",
+            benchmarks: &["applu", "galgel", "swim", "mesa"],
+            policy: MlpFlush,
+            cores: 1,
+            selector: None,
+            sampled: true,
         },
     ];
     matrix.push(chip_scenario(2).expect("2-core chip scenario is always valid"));
@@ -267,6 +301,12 @@ pub struct ScenarioResult {
     pub instructions_per_second: f64,
     /// Number of timed repetitions.
     pub runs: u32,
+    /// Sampled rows: measurement windows contributing to the estimates
+    /// (`None` for exact rows and pre-sampling reports).
+    pub sampled_windows: Option<u32>,
+    /// Sampled rows: fraction of each sampling unit simulated in detail
+    /// (`None` for exact rows and pre-sampling reports).
+    pub detailed_fraction: Option<f64>,
 }
 
 /// A full harness run: every scenario of the matrix under one [`BenchOptions`].
@@ -625,6 +665,9 @@ pub fn run_scenario(
     scenario: &BenchScenario,
     opts: &BenchOptions,
 ) -> Result<ScenarioResult, SimError> {
+    if scenario.sampled {
+        return run_sampled_scenario(scenario, opts);
+    }
     let threads = scenario.benchmarks.len();
     let mut best_wall = f64::INFINITY;
     let mut reference_stats: Option<MachineStats> = None;
@@ -675,6 +718,67 @@ pub fn run_scenario(
         cycles_per_second: stats.cycles as f64 / wall,
         instructions_per_second: committed as f64 / wall,
         runs: opts.runs.max(1),
+        sampled_windows: None,
+        detailed_fraction: None,
+    })
+}
+
+/// Runs a sampled scenario: the same timed-repetition protocol as
+/// [`run_scenario`], but through [`SmtSimulator::run_sampled`] at
+/// [`SAMPLED_BUDGET_MULTIPLIER`] times the exact rows' per-thread budget
+/// under the default [`SamplingConfig`]. `simulated_cycles` (and thus
+/// cycles/sec) counts only detailed cycles — the functional fast-forward
+/// phases have none — so the instructions/sec column is where the sampling
+/// speedup shows against the exact row over the same workload.
+fn run_sampled_scenario(
+    scenario: &BenchScenario,
+    opts: &BenchOptions,
+) -> Result<ScenarioResult, SimError> {
+    let threads = scenario.benchmarks.len();
+    let sampling = SamplingConfig::default();
+    let budget = opts.instructions_per_thread * SAMPLED_BUDGET_MULTIPLIER;
+    let mut best_wall = f64::INFINITY;
+    let mut reference: Option<(SampledRun, u64)> = None;
+    for _ in 0..opts.runs.max(1) {
+        let (mut sim, mut options) = prepare_scenario(scenario, opts)?;
+        options.max_instructions_per_thread = budget;
+        let start = Instant::now(); // analyze: allow(determinism) reason="wall-clock timing of the benchmark harness itself, not simulated state"
+        let run = sim.run_sampled(options, &sampling)?;
+        best_wall = best_wall.min(start.elapsed().as_secs_f64());
+        let committed: u64 = sim.core().committed().sum();
+        match &reference {
+            None => reference = Some((run, committed)),
+            Some((reference_run, reference_committed)) => {
+                if *reference_run != run || *reference_committed != committed {
+                    return Err(SimError::invalid_config(format!(
+                        "scenario `{}`: repeated sampled runs diverged \
+                         (simulator lost determinism)",
+                        scenario.name
+                    )));
+                }
+            }
+        }
+    }
+    let (run, committed) = reference.expect("at least one run");
+    let detailed_cycles: u64 = run.window_cycles.iter().sum();
+    let wall = best_wall.max(1e-9);
+    Ok(ScenarioResult {
+        name: scenario.name.to_string(),
+        threads,
+        benchmarks: scenario.benchmarks.iter().map(|b| b.to_string()).collect(),
+        policy: scenario.policy,
+        cores: Some(scenario.cores),
+        selector: scenario.selector,
+        instructions_per_thread: budget,
+        simulated_cycles: detailed_cycles,
+        committed_instructions: committed,
+        total_ipc: run.estimate.total_ipc.mean,
+        wall_seconds: best_wall,
+        cycles_per_second: detailed_cycles as f64 / wall,
+        instructions_per_second: committed as f64 / wall,
+        runs: opts.runs.max(1),
+        sampled_windows: Some(run.estimate.windows),
+        detailed_fraction: Some(run.estimate.detailed_fraction),
     })
 }
 
@@ -756,6 +860,10 @@ mod tests {
             matrix.iter().any(|s| s.cores > 1),
             "matrix must contain a chip row"
         );
+        assert!(
+            matrix.iter().any(|s| s.sampled),
+            "matrix must contain a sampled row"
+        );
         let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -770,6 +878,7 @@ mod tests {
             policy: FetchPolicyKind::Icount,
             cores: 1,
             selector: None,
+            sampled: false,
         };
         let result = run_scenario(&scenario, &tiny_opts()).unwrap();
         assert!(result.simulated_cycles > 0);
@@ -778,6 +887,26 @@ mod tests {
         assert!(result.instructions_per_second > 0.0);
         assert!(result.total_ipc > 0.0);
         assert_eq!(result.threads, 2);
+    }
+
+    #[test]
+    fn sampled_scenario_runs_at_ten_x_budget() {
+        let opts = tiny_opts();
+        let matrix = scenario_matrix();
+        let scenario = matrix.iter().find(|s| s.sampled).expect("sampled row");
+        let result = run_scenario(scenario, &opts).unwrap();
+        assert_eq!(result.name, "4t_mlp_sampled");
+        assert_eq!(
+            result.instructions_per_thread,
+            opts.instructions_per_thread * SAMPLED_BUDGET_MULTIPLIER
+        );
+        assert!(result.sampled_windows.expect("windows recorded") >= 3);
+        let fraction = result.detailed_fraction.expect("fraction recorded");
+        assert!(fraction > 0.0 && fraction < 0.3);
+        assert!(result.simulated_cycles > 0);
+        assert!(result.committed_instructions > result.instructions_per_thread);
+        assert!(result.total_ipc > 0.0);
+        assert!(result.instructions_per_second > 0.0);
     }
 
     #[test]
@@ -813,6 +942,7 @@ mod tests {
                     policy: FetchPolicyKind::Icount,
                     cores: 1,
                     selector: None,
+                    sampled: false,
                 },
                 &opts,
             )
@@ -857,6 +987,7 @@ mod tests {
                     policy: FetchPolicyKind::Icount,
                     cores: 1,
                     selector: None,
+                    sampled: false,
                 },
                 &opts,
             )

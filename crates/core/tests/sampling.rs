@@ -1,0 +1,370 @@
+//! Sampled-simulation and checkpoint correctness tests:
+//!
+//! * sampled IPC estimates stay within the 2% error bound of exact runs while
+//!   spending at most 10% of instructions in detailed mode (the wall-clock
+//!   speedup proxy — cycles simulated per instruction is deterministic where
+//!   wall-clock time is not);
+//! * checkpoint save → load → run is bit-for-bit identical to the
+//!   uninterrupted run (deterministic cases plus a property test over
+//!   fast-forward lengths and budgets);
+//! * chip fast-forward is invariant to core stepping order.
+
+use proptest::prelude::*;
+
+use smt_core::pipeline::{SimOptions, SmtSimulator};
+use smt_core::runner::{build_trace, RunScale};
+use smt_core::ChipSimulator;
+use smt_types::config::FetchPolicyKind;
+use smt_types::{ChipConfig, SamplingConfig, SmtConfig};
+
+fn build_sim(benchmarks: &[&str], policy: FetchPolicyKind, scale: RunScale) -> SmtSimulator {
+    let mut config = SmtConfig::baseline(benchmarks.len());
+    config.fetch_policy = policy;
+    let traces = benchmarks
+        .iter()
+        .map(|b| build_trace(b, scale).expect("known benchmark"))
+        .collect();
+    SmtSimulator::new(config, traces).expect("valid configuration")
+}
+
+#[test]
+fn sampled_ipc_within_two_percent_of_exact() {
+    let scale = RunScale::tiny();
+    let benchmarks = ["mcf", "gcc"];
+    let budget = 480_000;
+
+    let mut exact_sim = build_sim(&benchmarks, FetchPolicyKind::Icount, scale);
+    let exact = exact_sim.run(SimOptions {
+        max_instructions_per_thread: budget,
+        warmup_instructions_per_thread: 10_000,
+        max_cycles: 500_000_000,
+    });
+    let exact_ipc = exact.total_ipc();
+
+    let sampling = SamplingConfig::default();
+    let mut sampled_sim = build_sim(&benchmarks, FetchPolicyKind::Icount, scale);
+    let run = sampled_sim
+        .run_sampled(
+            SimOptions {
+                max_instructions_per_thread: budget,
+                warmup_instructions_per_thread: 0,
+                max_cycles: 500_000_000,
+            },
+            &sampling,
+        )
+        .expect("sampled run succeeds");
+
+    assert!(u64::from(run.estimate.windows) >= u64::from(sampling.min_windows));
+    let err = (run.estimate.total_ipc.mean - exact_ipc).abs() / exact_ipc;
+    assert!(
+        err <= 0.02,
+        "sampled IPC {} vs exact {} — relative error {:.4} exceeds 2%",
+        run.estimate.total_ipc.mean,
+        exact_ipc,
+        err
+    );
+    // The speedup target's deterministic proxy: at most 10% of instructions
+    // run in detailed mode, so sampled mode simulates ≤ ~10% of the cycles.
+    assert!(
+        run.estimate.detailed_fraction <= 0.10,
+        "detailed fraction {} exceeds 0.10",
+        run.estimate.detailed_fraction
+    );
+}
+
+#[test]
+fn sampled_reports_per_thread_estimates_with_intervals() {
+    let scale = RunScale::tiny();
+    let mut sim = build_sim(&["mcf", "swim"], FetchPolicyKind::MlpFlush, scale);
+    let run = sim
+        .run_sampled(
+            SimOptions {
+                max_instructions_per_thread: 30_000,
+                warmup_instructions_per_thread: 0,
+                max_cycles: 50_000_000,
+            },
+            &SamplingConfig::default(),
+        )
+        .expect("sampled run succeeds");
+    assert_eq!(run.estimate.per_thread_ipc.len(), 2);
+    for est in &run.estimate.per_thread_ipc {
+        assert!(est.mean > 0.0);
+        assert!(est.ci95 >= 0.0);
+    }
+    assert_eq!(run.window_cycles.len(), run.estimate.windows as usize);
+    assert_eq!(
+        run.window_thread_committed.len(),
+        run.estimate.windows as usize
+    );
+}
+
+#[test]
+fn checkpoint_requires_pure_fast_forward_boundary() {
+    let scale = RunScale::tiny();
+    let mut sim = build_sim(&["mcf", "gcc"], FetchPolicyKind::Icount, scale);
+    sim.run(SimOptions::with_instructions(1_000));
+    assert!(
+        sim.checkpoint(scale.seed).is_err(),
+        "checkpoint after a detailed run must be rejected"
+    );
+}
+
+#[test]
+fn checkpoint_restore_rejects_geometry_mismatch() {
+    let scale = RunScale::tiny();
+    let mut donor = build_sim(&["mcf", "gcc"], FetchPolicyKind::Icount, scale);
+    donor.fast_forward(5_000);
+    let ck = donor.checkpoint(scale.seed).expect("checkpointable");
+
+    let mut four_thread = build_sim(
+        &["mcf", "gcc", "swim", "twolf"],
+        FetchPolicyKind::Icount,
+        scale,
+    );
+    assert!(four_thread.restore_checkpoint(&ck).is_err());
+
+    let mut wrong_workload = build_sim(&["swim", "twolf"], FetchPolicyKind::Icount, scale);
+    assert!(wrong_workload.restore_checkpoint(&ck).is_err());
+}
+
+#[test]
+fn checkpoint_json_roundtrip_preserves_state() {
+    let scale = RunScale::tiny();
+    let mut sim = build_sim(&["mcf", "swim"], FetchPolicyKind::MlpFlush, scale);
+    sim.fast_forward(12_345);
+    let ck = sim.checkpoint(scale.seed).expect("checkpointable");
+    let json = serde_json::to_string(&ck).expect("serializes");
+    let parsed: smt_core::SimCheckpoint = serde_json::from_str(&json).expect("parses");
+    assert_eq!(ck, parsed);
+    assert_eq!(parsed.meta.benchmarks, vec!["mcf", "swim"]);
+    assert_eq!(parsed.meta.num_threads, 2);
+    assert_eq!(parsed.meta.warmed_instructions, 12_345);
+}
+
+/// The tentpole determinism property: fast-forwarding `n` instructions and
+/// running is bit-for-bit identical to fast-forwarding `n`, checkpointing,
+/// restoring into a fresh simulator (via a JSON round-trip), and running.
+fn roundtrip_case(policy: FetchPolicyKind, benchmarks: &[&str], ff: u64, budget: u64) {
+    let scale = RunScale::tiny();
+    let options = SimOptions {
+        max_instructions_per_thread: budget,
+        warmup_instructions_per_thread: 0,
+        max_cycles: 10_000_000,
+    };
+
+    let mut direct = build_sim(benchmarks, policy, scale);
+    direct.fast_forward(ff);
+    let direct_stats = direct.run(options);
+
+    let mut donor = build_sim(benchmarks, policy, scale);
+    donor.fast_forward(ff);
+    let ck = donor.checkpoint(scale.seed).expect("checkpointable");
+    let json = serde_json::to_string(&ck).expect("serializes");
+    let ck: smt_core::SimCheckpoint = serde_json::from_str(&json).expect("parses");
+
+    let mut restored = build_sim(benchmarks, policy, scale);
+    restored
+        .restore_checkpoint(&ck)
+        .expect("restore into a fresh equal-geometry simulator");
+    let restored_stats = restored.run(options);
+
+    assert_eq!(
+        direct_stats, restored_stats,
+        "restored run diverged from the uninterrupted run"
+    );
+}
+
+#[test]
+fn checkpoint_roundtrip_bit_for_bit_icount() {
+    roundtrip_case(FetchPolicyKind::Icount, &["mcf", "gcc"], 20_000, 3_000);
+}
+
+#[test]
+fn checkpoint_roundtrip_bit_for_bit_mlpflush() {
+    roundtrip_case(FetchPolicyKind::MlpFlush, &["mcf", "swim"], 20_000, 3_000);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn checkpoint_roundtrip_bit_for_bit_any_prefix(
+        ff in 1u64..30_000,
+        budget in 500u64..3_000,
+        policy_mlp in any::<bool>(),
+    ) {
+        let policy = if policy_mlp {
+            FetchPolicyKind::MlpFlush
+        } else {
+            FetchPolicyKind::Icount
+        };
+        roundtrip_case(policy, &["mcf", "twolf"], ff, budget);
+    }
+}
+
+#[test]
+fn chip_fast_forward_is_core_order_invariant() {
+    let scale = RunScale::tiny();
+    let build = || {
+        let chip = ChipConfig::baseline(2, 2);
+        let traces = vec![
+            vec![
+                build_trace("mcf", scale).unwrap(),
+                build_trace("gcc", scale).unwrap(),
+            ],
+            vec![
+                build_trace("swim", scale).unwrap(),
+                build_trace("twolf", scale).unwrap(),
+            ],
+        ];
+        ChipSimulator::new(chip, traces).expect("valid chip")
+    };
+    let options = SimOptions {
+        max_instructions_per_thread: 2_000,
+        warmup_instructions_per_thread: 0,
+        max_cycles: 10_000_000,
+    };
+
+    let mut forward = build();
+    forward.fast_forward_with_core_order(10_000, &[0, 1]);
+    let forward_stats = forward.run(options);
+
+    let mut reversed = build();
+    reversed.fast_forward_with_core_order(10_000, &[1, 0]);
+    let reversed_stats = reversed.run(options);
+
+    assert_eq!(
+        forward_stats, reversed_stats,
+        "chip fast-forward depends on core stepping order"
+    );
+}
+
+/// The headline sampled cadence for 10x-budget scenarios: a long raw-speed
+/// skip, a 44k-instruction functional-warming horizon, and a short detailed
+/// window (~1% detailed fraction, 25 windows at a 4.8M budget).
+fn ten_x_cadence() -> SamplingConfig {
+    SamplingConfig {
+        skip_instructions: 150_000,
+        ff_instructions: 44_000,
+        warm_instructions: 500,
+        measure_instructions: 1_500,
+        min_windows: 3,
+    }
+}
+
+#[test]
+fn skip_forward_freezes_warm_state_and_advances_trace() {
+    let scale = RunScale::tiny();
+    let mut sim = build_sim(&["mcf", "gcc"], FetchPolicyKind::Icount, scale);
+    sim.fast_forward(10_000);
+    let before = sim.checkpoint(scale.seed).expect("checkpointable");
+    sim.skip_forward(5_000);
+    let after = sim
+        .checkpoint(scale.seed)
+        .expect("still a pure-ff boundary");
+
+    // The trace position moved...
+    for (b, a) in before.threads.iter().zip(&after.threads) {
+        assert_eq!(a.committed, b.committed + 5_000);
+        assert_ne!(a.trace, b.trace, "trace source did not advance");
+    }
+    // ...but every warm structure is bit-for-bit frozen.
+    assert_eq!(after.memory, before.memory);
+    assert_eq!(after.shared, before.shared);
+    for (b, a) in before.threads.iter().zip(&after.threads) {
+        assert_eq!(a.branch_predictor, b.branch_predictor);
+        assert_eq!(a.lll_predictor, b.lll_predictor);
+        assert_eq!(a.mlp_predictor, b.mlp_predictor);
+        assert_eq!(a.binary_mlp_predictor, b.binary_mlp_predictor);
+        assert_eq!(a.llsr, b.llsr);
+        assert_eq!(a.pending_mlp_evals, b.pending_mlp_evals);
+    }
+}
+
+#[test]
+fn sampled_run_with_skip_phase_is_deterministic() {
+    let scale = RunScale::tiny();
+    let sampling = SamplingConfig {
+        skip_instructions: 6_000,
+        ff_instructions: 3_000,
+        warm_instructions: 300,
+        measure_instructions: 700,
+        min_windows: 3,
+    };
+    let options = SimOptions {
+        max_instructions_per_thread: 60_000,
+        warmup_instructions_per_thread: 0,
+        max_cycles: 50_000_000,
+    };
+    let run = |_: u32| {
+        let mut sim = build_sim(&["mcf", "swim"], FetchPolicyKind::MlpFlush, scale);
+        sim.run_sampled(options, &sampling)
+            .expect("sampled run succeeds")
+    };
+    let first = run(0);
+    assert!(u64::from(first.estimate.windows) >= u64::from(sampling.min_windows));
+    assert!(first.estimate.total_ipc.mean > 0.0);
+    assert_eq!(
+        first,
+        run(1),
+        "sampled run with a skip phase is not deterministic"
+    );
+}
+
+/// Release-scale acceptance check, exercised by the `sampled-smoke` CI job:
+/// on a 10x instruction budget the headline cadence stays within 2% of the
+/// exact IPC on both registry mixes and runs at >= 10x the exact
+/// simulator's wall-clock rate on the 4T headline mix.
+#[test]
+#[ignore = "release-scale acceptance check; run explicitly (sampled-smoke CI job)"]
+fn sampled_ten_x_budget_speedup_and_error() {
+    let budget = 4_800_000u64;
+    let scale = RunScale::tiny();
+    let sampling = ten_x_cadence();
+    let mixes: [&[&str]; 2] = [&["mcf", "gcc"], &["mcf", "gcc", "swim", "twolf"]];
+    for mix in mixes {
+        let mut exact_sim = build_sim(mix, FetchPolicyKind::Icount, scale);
+        let t0 = std::time::Instant::now();
+        let exact = exact_sim.run(SimOptions {
+            max_instructions_per_thread: budget,
+            warmup_instructions_per_thread: 10_000,
+            max_cycles: 500_000_000,
+        });
+        let t_exact = t0.elapsed();
+        let exact_ipc = exact.total_ipc();
+
+        let mut sampled_sim = build_sim(mix, FetchPolicyKind::Icount, scale);
+        let t0 = std::time::Instant::now();
+        let run = sampled_sim
+            .run_sampled(
+                SimOptions {
+                    max_instructions_per_thread: budget,
+                    warmup_instructions_per_thread: 0,
+                    max_cycles: 500_000_000,
+                },
+                &sampling,
+            )
+            .expect("sampled run succeeds");
+        let t_sampled = t0.elapsed();
+
+        let err = (run.estimate.total_ipc.mean - exact_ipc).abs() / exact_ipc;
+        let speedup = t_exact.as_secs_f64() / t_sampled.as_secs_f64();
+        eprintln!(
+            "{}T: exact={exact_ipc:.4} sampled={:.4} err={err:.4} windows={} speedup={speedup:.1}x",
+            mix.len(),
+            run.estimate.total_ipc.mean,
+            run.estimate.windows
+        );
+        assert!(
+            err <= 0.02,
+            "{}T mix: sampled IPC error {err:.4} exceeds 2%",
+            mix.len()
+        );
+        if mix.len() == 4 {
+            assert!(
+                speedup >= 10.0,
+                "4T mix: sampled speedup {speedup:.1}x is below the 10x target"
+            );
+        }
+    }
+}

@@ -1,6 +1,33 @@
 //! Set-associative cache tag store with LRU replacement.
 
+use serde::{Deserialize, Serialize};
 use smt_types::config::CacheConfig;
+
+/// Serializable snapshot of one cache way (for warm checkpoints).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct WayState {
+    /// Whether the way holds a line.
+    pub valid: bool,
+    /// Stored tag.
+    pub tag: u64,
+    /// LRU stamp.
+    pub last_used: u64,
+}
+
+/// Serializable snapshot of a [`SetAssocCache`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CacheState {
+    /// All ways of all sets, `set * associativity + way` order.
+    pub ways: Vec<WayState>,
+    /// The LRU clock.
+    pub tick: u64,
+    /// Lookup hits so far.
+    pub hits: u64,
+    /// Lookup misses so far.
+    pub misses: u64,
+}
 
 /// One cache way: a valid tag plus an LRU timestamp.
 #[derive(Clone, Copy, Debug, Default)]
@@ -181,6 +208,45 @@ impl SetAssocCache {
         victim.valid = true;
         victim.tag = tag;
         victim.last_used = stamp;
+    }
+
+    /// Captures the tag-store state for a warm checkpoint.
+    pub fn state(&self) -> CacheState {
+        CacheState {
+            ways: self
+                .ways
+                .iter()
+                .map(|w| WayState {
+                    valid: w.valid,
+                    tag: w.tag,
+                    last_used: w.last_used,
+                })
+                .collect(),
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores a state captured with [`SetAssocCache::state`]. Fails when
+    /// the cache geometry differs.
+    pub fn restore_state(&mut self, state: &CacheState) -> Result<(), String> {
+        if state.ways.len() != self.ways.len() {
+            return Err(format!(
+                "cache geometry mismatch: state has {} ways, cache has {}",
+                state.ways.len(),
+                self.ways.len()
+            ));
+        }
+        for (way, s) in self.ways.iter_mut().zip(state.ways.iter()) {
+            way.valid = s.valid;
+            way.tag = s.tag;
+            way.last_used = s.last_used;
+        }
+        self.tick = state.tick;
+        self.hits = state.hits;
+        self.misses = state.misses;
+        Ok(())
     }
 
     /// Invalidates every line (used between experiment repetitions).

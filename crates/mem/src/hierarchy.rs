@@ -10,13 +10,14 @@
 //! facade, which preserves the pre-split API bit-for-bit), while a chip
 //! passes the same shared level to all of its cores each cycle.
 
+use serde::{Deserialize, Serialize};
 use smt_types::{SmtConfig, ThreadId};
 
-use crate::cache::SetAssocCache;
+use crate::cache::{CacheState, SetAssocCache};
 use crate::mshr::MshrOutcome;
-use crate::prefetch::StreamBufferPrefetcher;
+use crate::prefetch::{PrefetcherState, StreamBufferPrefetcher};
 use crate::shared::SharedLlc;
-use crate::tlb::TlbFile;
+use crate::tlb::{TlbFile, TlbFileState};
 
 /// Deepest level that had to service a data access.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -59,6 +60,26 @@ impl LoadAccessResult {
     pub fn completion_cycle(&self) -> u64 {
         self.start_cycle + self.latency
     }
+}
+
+/// Serializable snapshot of a [`CoreMemory`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CoreMemoryState {
+    /// L1 instruction cache contents.
+    pub l1i: CacheState,
+    /// L1 data cache contents.
+    pub l1d: CacheState,
+    /// Private L2 contents.
+    pub l2: CacheState,
+    /// Instruction TLB contents.
+    pub itlb: TlbFileState,
+    /// Data TLB contents.
+    pub dtlb: TlbFileState,
+    /// Prefetcher stride table and stream buffers.
+    pub prefetcher: PrefetcherState,
+    /// Per-thread completion cycle of the last long-latency load.
+    pub last_lll_completion: Vec<u64>,
 }
 
 /// The core-private memory levels of Table IV: L1 caches, private L2, TLBs,
@@ -289,6 +310,90 @@ impl CoreMemory {
         let latency = self.memory_latency + shared.queue_delay();
         shared.register_transfer(cycle + latency);
         latency
+    }
+
+    /// Functional (fast-forward) data load: performs exactly the warm-state
+    /// transitions of [`CoreMemory::load_access`] — TLB installs, stride
+    /// training, fills down the hierarchy, stream-buffer consumption — but no
+    /// timing: no MSHR allocation, no bus transfers, no long-latency-load
+    /// serialization. Returns the paper's long-latency classification (LLC
+    /// load miss or D-TLB miss), which fast-forward mode uses to keep the
+    /// LLL/MLP predictors trained.
+    ///
+    /// `now` stamps stream-buffer availability times; fast-forward callers
+    /// pass their frozen cycle.
+    pub fn warm_load(
+        &mut self,
+        shared: &mut SharedLlc,
+        thread: ThreadId,
+        pc: u64,
+        addr: u64,
+        now: u64,
+    ) -> bool {
+        let paddr = self.physical(thread, addr);
+        let dtlb_miss = !self.dtlb.access(thread.index(), paddr);
+        self.prefetcher.train(thread, pc, paddr);
+        if self.l1d.access(paddr) {
+            return dtlb_miss;
+        }
+        if self.prefetcher.probe(thread, paddr, now).is_some() {
+            self.l1d.fill(paddr);
+            return dtlb_miss;
+        }
+        if self.l2.access(paddr) {
+            self.l1d.fill(paddr);
+            return dtlb_miss;
+        }
+        if shared.access(paddr) {
+            self.l2.fill(paddr);
+            self.l1d.fill(paddr);
+            return dtlb_miss;
+        }
+        self.prefetcher.on_demand_miss(thread, pc, paddr, now);
+        shared.fill(paddr);
+        self.l2.fill(paddr);
+        self.l1d.fill(paddr);
+        true
+    }
+
+    /// Functional (fast-forward) store: identical to
+    /// [`CoreMemory::store_access`], which is already timing-free.
+    pub fn warm_store(&mut self, shared: &mut SharedLlc, thread: ThreadId, addr: u64) {
+        self.store_access(shared, thread, addr, 0);
+    }
+
+    /// Captures the private-level warm state for a checkpoint.
+    pub fn state(&self) -> CoreMemoryState {
+        CoreMemoryState {
+            l1i: self.l1i.state(),
+            l1d: self.l1d.state(),
+            l2: self.l2.state(),
+            itlb: self.itlb.state(),
+            dtlb: self.dtlb.state(),
+            prefetcher: self.prefetcher.state(),
+            last_lll_completion: self.last_lll_completion.clone(),
+        }
+    }
+
+    /// Restores a state captured with [`CoreMemory::state`]. Fails when any
+    /// structure's geometry differs.
+    pub fn restore_state(&mut self, state: &CoreMemoryState) -> Result<(), String> {
+        if state.last_lll_completion.len() != self.last_lll_completion.len() {
+            return Err(format!(
+                "thread count mismatch: state has {}, core has {}",
+                state.last_lll_completion.len(),
+                self.last_lll_completion.len()
+            ));
+        }
+        self.l1i.restore_state(&state.l1i)?;
+        self.l1d.restore_state(&state.l1d)?;
+        self.l2.restore_state(&state.l2)?;
+        self.itlb.restore_state(&state.itlb)?;
+        self.dtlb.restore_state(&state.dtlb)?;
+        self.prefetcher.restore_state(&state.prefetcher)?;
+        self.last_lll_completion
+            .copy_from_slice(&state.last_lll_completion);
+        Ok(())
     }
 
     /// Number of data prefetches issued so far.

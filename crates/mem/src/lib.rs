@@ -45,10 +45,10 @@ pub mod shared;
 pub mod tlb;
 pub mod write_buffer;
 
-pub use cache::SetAssocCache;
-pub use hierarchy::{AccessLevel, CoreMemory, LoadAccessResult, MemoryHierarchy};
+pub use cache::{CacheState, SetAssocCache, WayState};
+pub use hierarchy::{AccessLevel, CoreMemory, CoreMemoryState, LoadAccessResult, MemoryHierarchy};
 pub use mshr::MshrFile;
-pub use prefetch::StreamBufferPrefetcher;
-pub use shared::{MemoryBus, SharedLlc};
-pub use tlb::{Tlb, TlbFile};
+pub use prefetch::{PrefetcherState, StreamBufferPrefetcher};
+pub use shared::{MemoryBus, SharedLlc, SharedLlcState};
+pub use tlb::{Tlb, TlbFile, TlbFileState};
 pub use write_buffer::WriteBuffer;

@@ -98,6 +98,13 @@ impl MshrFile {
         self.outstanding[requester].values().copied().max() // analyze: allow(determinism) reason="retain/min/max over a hash set is order-independent: the predicate and fold are commutative"
     }
 
+    /// Number of entries currently held across all requesters, ignoring
+    /// completion times (zero means the file is structurally empty and a
+    /// checkpoint boundary is safe).
+    pub fn total_entries(&self) -> usize {
+        self.outstanding.iter().map(|m| m.len()).sum()
+    }
+
     /// Clears all outstanding state (between runs).
     pub fn reset(&mut self) {
         for map in &mut self.outstanding {

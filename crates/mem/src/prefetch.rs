@@ -13,8 +13,56 @@
 //!   partial) remaining latency of the in-flight prefetch instead of a full memory
 //!   access.
 
+use serde::{Deserialize, Serialize};
 use smt_types::config::PrefetcherConfig;
 use smt_types::ThreadId;
+
+/// Serializable snapshot of one stride-table entry (for warm checkpoints).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct StrideEntryState {
+    /// Whether the entry is trained.
+    pub valid: bool,
+    /// Load PC tag.
+    pub tag: u64,
+    /// Last observed address.
+    pub last_addr: u64,
+    /// Learned stride in bytes.
+    pub stride: i64,
+    /// Saturating confidence counter.
+    pub confidence: u8,
+}
+
+/// Serializable snapshot of one stream buffer (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct StreamBufferState {
+    /// Whether the buffer tracks a stream.
+    pub valid: bool,
+    /// Owning thread index.
+    pub thread: u64,
+    /// `(line, available_at)` per held or in-flight line.
+    pub lines: Vec<(u64, u64)>,
+    /// Allocation stamp for LRU replacement.
+    pub last_allocated: u64,
+}
+
+/// Serializable snapshot of a [`StreamBufferPrefetcher`] (for warm
+/// checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct PrefetcherState {
+    /// Stride-table contents.
+    pub stride_table: Vec<StrideEntryState>,
+    /// Stream-buffer contents.
+    pub buffers: Vec<StreamBufferState>,
+    /// Allocation clock.
+    pub tick: u64,
+    /// Prefetches issued so far.
+    pub issued: u64,
+    /// Prefetch hits so far.
+    pub hits: u64,
+}
 
 #[derive(Clone, Copy, Debug, Default)]
 struct StrideEntry {
@@ -228,6 +276,71 @@ impl StreamBufferPrefetcher {
             (line, ready_at)
         }));
         victim.last_allocated = tick;
+    }
+
+    /// Captures the prefetcher state for a warm checkpoint.
+    pub fn state(&self) -> PrefetcherState {
+        PrefetcherState {
+            stride_table: self
+                .stride_table
+                .iter()
+                .map(|e| StrideEntryState {
+                    valid: e.valid,
+                    tag: e.tag,
+                    last_addr: e.last_addr,
+                    stride: e.stride,
+                    confidence: e.confidence,
+                })
+                .collect(),
+            buffers: self
+                .buffers
+                .iter()
+                .map(|b| StreamBufferState {
+                    valid: b.valid,
+                    thread: b.thread as u64,
+                    lines: b.lines.clone(),
+                    last_allocated: b.last_allocated,
+                })
+                .collect(),
+            tick: self.tick,
+            issued: self.issued,
+            hits: self.hits,
+        }
+    }
+
+    /// Restores a state captured with [`StreamBufferPrefetcher::state`].
+    /// Fails when the geometry differs.
+    pub fn restore_state(&mut self, state: &PrefetcherState) -> Result<(), String> {
+        if state.stride_table.len() != self.stride_table.len()
+            || state.buffers.len() != self.buffers.len()
+        {
+            return Err(format!(
+                "prefetcher geometry mismatch: state has {} stride entries / {} buffers, \
+                 prefetcher has {} / {}",
+                state.stride_table.len(),
+                state.buffers.len(),
+                self.stride_table.len(),
+                self.buffers.len()
+            ));
+        }
+        for (entry, s) in self.stride_table.iter_mut().zip(state.stride_table.iter()) {
+            entry.valid = s.valid;
+            entry.tag = s.tag;
+            entry.last_addr = s.last_addr;
+            entry.stride = s.stride;
+            entry.confidence = s.confidence;
+        }
+        for (buf, s) in self.buffers.iter_mut().zip(state.buffers.iter()) {
+            buf.valid = s.valid;
+            buf.thread = s.thread as usize;
+            buf.lines.clear();
+            buf.lines.extend(s.lines.iter().copied());
+            buf.last_allocated = s.last_allocated;
+        }
+        self.tick = state.tick;
+        self.issued = state.issued;
+        self.hits = state.hits;
+        Ok(())
     }
 
     /// Clears all prefetcher state.

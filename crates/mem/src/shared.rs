@@ -27,6 +27,9 @@
 use smt_types::{ChipConfig, SmtConfig};
 
 use crate::cache::SetAssocCache;
+use serde::{Deserialize, Serialize};
+
+use crate::cache::CacheState;
 use crate::mshr::{MshrFile, MshrOutcome};
 
 /// The shared off-chip memory bus: each in-flight line transfer adds one bus
@@ -92,6 +95,21 @@ impl MemoryBus {
         self.inflight.clear();
         self.frozen = 0;
     }
+}
+
+/// Serializable snapshot of a [`SharedLlc`] (for warm checkpoints).
+///
+/// Only the warm (cache-content) state is captured: checkpoints are taken at
+/// quiescent boundaries where no misses are outstanding, no bus transfers are
+/// in flight, and no fills are staged, so the transient timing state is
+/// structurally empty and restores to empty.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SharedLlcState {
+    /// LLC tag-store contents.
+    pub llc: CacheState,
+    /// Current cycle stamp (chip arbitration only; zero otherwise).
+    pub cycle: u64,
 }
 
 /// The shared last-level cache, its MSHR file, and the memory bus.
@@ -254,6 +272,42 @@ impl SharedLlc {
     /// LLC hit rate so far.
     pub fn llc_hit_rate(&self) -> f64 {
         self.llc.hit_rate()
+    }
+
+    /// Whether the transient timing state is structurally empty: no MSHR
+    /// entries, no in-flight bus transfers, no staged fills. Checkpoints may
+    /// only be captured when this holds.
+    pub fn is_quiescent(&self) -> bool {
+        self.mshrs.total_entries() == 0
+            && self.bus.inflight_transfers() == 0
+            && self.staged.is_empty()
+    }
+
+    /// Captures the warm state for a checkpoint. Fails unless the level is
+    /// quiescent (see [`SharedLlc::is_quiescent`]).
+    pub fn state(&self) -> Result<SharedLlcState, String> {
+        if !self.is_quiescent() {
+            return Err(
+                "shared LLC has outstanding misses, bus transfers, or staged fills; \
+                 checkpoints are only legal at quiescent boundaries"
+                    .to_string(),
+            );
+        }
+        Ok(SharedLlcState {
+            llc: self.llc.state(),
+            cycle: self.cycle,
+        })
+    }
+
+    /// Restores a state captured with [`SharedLlc::state`]; the transient
+    /// timing state (MSHRs, bus, staged fills) is reset to empty.
+    pub fn restore_state(&mut self, state: &SharedLlcState) -> Result<(), String> {
+        self.llc.restore_state(&state.llc)?;
+        self.cycle = state.cycle;
+        self.mshrs.reset();
+        self.bus.reset();
+        self.staged.clear();
+        Ok(())
     }
 
     /// Clears all LLC, MSHR, bus and staging state.

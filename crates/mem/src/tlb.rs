@@ -1,6 +1,33 @@
 //! Fully-associative translation lookaside buffer with LRU replacement.
 
+use serde::{Deserialize, Serialize};
 use smt_types::config::TlbConfig;
+
+/// Serializable snapshot of one TLB entry (for warm checkpoints).
+#[derive(Clone, Copy, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TlbEntryState {
+    /// Whether the entry holds a translation.
+    pub valid: bool,
+    /// Stored virtual page number.
+    pub vpn: u64,
+    /// LRU stamp.
+    pub last_used: u64,
+}
+
+/// Serializable snapshot of a [`TlbFile`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TlbFileState {
+    /// All threads' entries, `thread * entries_per_thread + entry` order.
+    pub entries: Vec<TlbEntryState>,
+    /// Per-thread LRU clocks.
+    pub ticks: Vec<u64>,
+    /// Hits so far.
+    pub hits: u64,
+    /// Misses so far.
+    pub misses: u64,
+}
 
 #[derive(Clone, Copy, Debug, Default)]
 struct TlbEntry {
@@ -9,11 +36,169 @@ struct TlbEntry {
     last_used: u64,
 }
 
+/// Sentinel for "no slot" in [`LruIndex`] links.
+const NO_SLOT: u32 = u32::MAX;
+
+/// Splitmix64-finalizer hasher for the vpn → slot map. Keys are single `u64`
+/// virtual page numbers hashed on the hot path of every load and store;
+/// SipHash's collision-attack resistance buys nothing against our own address
+/// stream and costs most of the lookup.
+#[derive(Clone, Copy, Default, Debug)]
+struct VpnHasher(u64);
+
+impl std::hash::Hasher for VpnHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // FNV-1a fallback for non-u64 writes (unused by the vpn map).
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, key: u64) {
+        let mut z = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        self.0 = z ^ (z >> 31);
+    }
+}
+
+/// The vpn → slot map used by [`LruIndex`].
+type VpnMap = std::collections::HashMap<u64, u32, std::hash::BuildHasherDefault<VpnHasher>>;
+
+/// O(1) recency index over one TLB's entry slice: a `vpn → slot` hash map for
+/// lookups plus an intrusive doubly-linked list ordered least- to
+/// most-recently used for victim selection.
+///
+/// This replays *exactly* the outcomes of the original linear algorithm
+/// (scan for a matching valid entry; otherwise evict the entry minimizing
+/// `if valid { last_used } else { 0 }`, first slot winning ties): invalid
+/// slots sit at the front of the list in slot order, and every use appends to
+/// the back with a fresh, strictly increasing stamp. The fully-associative
+/// D-TLB is 512 entries, so the linear scans dominated every load and store
+/// in both detailed and fast-forward mode before this index existed.
+#[derive(Clone, Debug)]
+struct LruIndex {
+    map: VpnMap,
+    prev: Vec<u32>,
+    next: Vec<u32>,
+    /// Least recently used slot (the eviction victim).
+    head: u32,
+    /// Most recently used slot.
+    tail: u32,
+}
+
+impl LruIndex {
+    /// Builds the index for `n` initially-invalid slots (list in slot order).
+    fn new(n: usize) -> Self {
+        let mut this = LruIndex {
+            map: VpnMap::with_capacity_and_hasher(n, Default::default()),
+            prev: vec![NO_SLOT; n],
+            next: vec![NO_SLOT; n],
+            head: NO_SLOT,
+            tail: NO_SLOT,
+        };
+        this.link_in_order(&(0..n as u32).collect::<Vec<_>>());
+        this
+    }
+
+    /// Relinks the list to exactly `slots` (front to back) and clears nothing
+    /// else; callers are responsible for the map.
+    fn link_in_order(&mut self, slots: &[u32]) {
+        self.head = NO_SLOT;
+        self.tail = NO_SLOT;
+        for &slot in slots {
+            self.prev[slot as usize] = self.tail;
+            self.next[slot as usize] = NO_SLOT;
+            if self.tail == NO_SLOT {
+                self.head = slot;
+            } else {
+                self.next[self.tail as usize] = slot;
+            }
+            self.tail = slot;
+        }
+    }
+
+    /// Moves `slot` to the most-recently-used end.
+    fn touch(&mut self, slot: u32) {
+        if self.tail == slot {
+            return;
+        }
+        // Unlink.
+        let (p, n) = (self.prev[slot as usize], self.next[slot as usize]);
+        if p == NO_SLOT {
+            self.head = n;
+        } else {
+            self.next[p as usize] = n;
+        }
+        if n != NO_SLOT {
+            self.prev[n as usize] = p;
+        }
+        // Append.
+        self.prev[slot as usize] = self.tail;
+        self.next[slot as usize] = NO_SLOT;
+        if self.tail != NO_SLOT {
+            self.next[self.tail as usize] = slot;
+        }
+        self.tail = slot;
+        if self.head == NO_SLOT {
+            self.head = slot;
+        }
+    }
+
+    /// Rebuilds map and list from restored entries: recency order is
+    /// `(if valid { last_used } else { 0 }, slot)` ascending, and duplicate
+    /// vpns keep first-slot-wins semantics like the original linear scan.
+    fn rebuild(&mut self, entries: &[TlbEntry]) {
+        self.map.clear();
+        // analyze: allow(hot-path-alloc) reason="once per checkpoint restore, called only from restore_state"
+        let mut slots: Vec<u32> = (0..entries.len() as u32).collect();
+        slots.sort_by_key(|&s| {
+            let e = &entries[s as usize];
+            (if e.valid { e.last_used } else { 0 }, s)
+        });
+        self.link_in_order(&slots);
+        for (slot, e) in entries.iter().enumerate() {
+            if e.valid {
+                self.map.entry(e.vpn).or_insert(slot as u32);
+            }
+        }
+    }
+}
+
 /// Looks up `vpn` in `entries`, refreshing its LRU stamp on a hit or
 /// installing it over the LRU victim on a miss (the hardware page walk).
 /// Returns `true` on a hit. Shared by [`Tlb`] and [`TlbFile`] so the
 /// replacement policy cannot drift between the two.
-fn access_entries(entries: &mut [TlbEntry], tick: u64, vpn: u64) -> bool {
+fn access_entries(entries: &mut [TlbEntry], index: &mut LruIndex, tick: u64, vpn: u64) -> bool {
+    if let Some(&slot) = index.map.get(&vpn) {
+        let e = &mut entries[slot as usize];
+        if e.valid && e.vpn == vpn {
+            e.last_used = tick;
+            index.touch(slot);
+            return true;
+        }
+    }
+    let victim = index.head;
+    let e = &mut entries[victim as usize];
+    if e.valid && index.map.get(&e.vpn) == Some(&victim) {
+        index.map.remove(&e.vpn);
+    }
+    e.valid = true;
+    e.vpn = vpn;
+    e.last_used = tick;
+    index.map.entry(vpn).or_insert(victim);
+    index.touch(victim);
+    false
+}
+
+/// The original linear-scan formulation of [`access_entries`], kept as the
+/// reference model the indexed fast path is property-tested against.
+#[cfg(test)]
+fn reference_access_entries(entries: &mut [TlbEntry], tick: u64, vpn: u64) -> bool {
     if let Some(e) = entries.iter_mut().find(|e| e.valid && e.vpn == vpn) {
         e.last_used = tick;
         return true;
@@ -48,6 +233,7 @@ fn access_entries(entries: &mut [TlbEntry], tick: u64, vpn: u64) -> bool {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     entries: Vec<TlbEntry>,
+    index: LruIndex,
     page_shift: u32,
     miss_penalty: u64,
     tick: u64,
@@ -69,6 +255,7 @@ impl Tlb {
         );
         Tlb {
             entries: vec![TlbEntry::default(); config.entries as usize],
+            index: LruIndex::new(config.entries as usize),
             page_shift: config.page_bytes.trailing_zeros(),
             miss_penalty: config.miss_penalty,
             tick: 0,
@@ -86,7 +273,12 @@ impl Tlb {
     /// installed (hardware page walk), evicting the LRU entry.
     pub fn access(&mut self, addr: u64) -> bool {
         self.tick += 1;
-        let hit = access_entries(&mut self.entries, self.tick, addr >> self.page_shift);
+        let hit = access_entries(
+            &mut self.entries,
+            &mut self.index,
+            self.tick,
+            addr >> self.page_shift,
+        );
         if hit {
             self.hits += 1;
         } else {
@@ -116,6 +308,7 @@ impl Tlb {
         for e in &mut self.entries {
             e.valid = false;
         }
+        self.index.rebuild(&self.entries);
     }
 }
 
@@ -143,6 +336,8 @@ impl Tlb {
 pub struct TlbFile {
     /// All threads' entries in one flat allocation.
     entries: Vec<TlbEntry>,
+    /// One recency index per thread, over that thread's slice.
+    indexes: Vec<LruIndex>,
     entries_per_thread: usize,
     page_shift: u32,
     miss_penalty: u64,
@@ -170,6 +365,9 @@ impl TlbFile {
         let entries_per_thread = config.entries as usize;
         TlbFile {
             entries: vec![TlbEntry::default(); entries_per_thread * num_threads],
+            indexes: (0..num_threads)
+                .map(|_| LruIndex::new(entries_per_thread))
+                .collect(),
             entries_per_thread,
             page_shift: config.page_bytes.trailing_zeros(),
             miss_penalty: config.miss_penalty,
@@ -196,7 +394,12 @@ impl TlbFile {
         let tick = self.ticks[thread];
         let start = thread * self.entries_per_thread;
         let slice = &mut self.entries[start..start + self.entries_per_thread];
-        let hit = access_entries(slice, tick, addr >> self.page_shift);
+        let hit = access_entries(
+            slice,
+            &mut self.indexes[thread],
+            tick,
+            addr >> self.page_shift,
+        );
         if hit {
             self.hits += 1;
         } else {
@@ -228,10 +431,62 @@ impl TlbFile {
         self.misses
     }
 
+    /// Captures the TLB-file state for a warm checkpoint.
+    pub fn state(&self) -> TlbFileState {
+        TlbFileState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| TlbEntryState {
+                    valid: e.valid,
+                    vpn: e.vpn,
+                    last_used: e.last_used,
+                })
+                .collect(),
+            ticks: self.ticks.clone(),
+            hits: self.hits,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores a state captured with [`TlbFile::state`]. Fails when the
+    /// geometry differs.
+    pub fn restore_state(&mut self, state: &TlbFileState) -> Result<(), String> {
+        if state.entries.len() != self.entries.len() || state.ticks.len() != self.ticks.len() {
+            return Err(format!(
+                "TLB geometry mismatch: state has {} entries / {} threads, file has {} / {}",
+                state.entries.len(),
+                state.ticks.len(),
+                self.entries.len(),
+                self.ticks.len()
+            ));
+        }
+        for (entry, s) in self.entries.iter_mut().zip(state.entries.iter()) {
+            entry.valid = s.valid;
+            entry.vpn = s.vpn;
+            entry.last_used = s.last_used;
+        }
+        self.ticks.copy_from_slice(&state.ticks);
+        self.hits = state.hits;
+        self.misses = state.misses;
+        self.rebuild_indexes();
+        Ok(())
+    }
+
     /// Invalidates every translation of every thread.
     pub fn flush_all(&mut self) {
         for e in &mut self.entries {
             e.valid = false;
+        }
+        self.rebuild_indexes();
+    }
+
+    /// Rebuilds every thread's recency index from the entry array (after a
+    /// restore or flush mutated entries behind the indexes' back).
+    fn rebuild_indexes(&mut self) {
+        for (thread, index) in self.indexes.iter_mut().enumerate() {
+            let start = thread * self.entries_per_thread;
+            index.rebuild(&self.entries[start..start + self.entries_per_thread]);
         }
     }
 }
@@ -337,6 +592,79 @@ mod tests {
         file.flush_all();
         assert!(!file.probe(0, 0));
         assert!(!file.probe(1, 0));
+    }
+
+    /// Splitmix-style deterministic pseudo-random stream for model tests.
+    fn next_rand(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        *x >> 16
+    }
+
+    #[test]
+    fn indexed_access_matches_linear_reference() {
+        // Drive the O(1) indexed path and the original linear-scan algorithm
+        // with the same access stream (heavy reuse and eviction pressure:
+        // 13 pages over 5 entries) and demand identical hit/miss outcomes and
+        // identical entry arrays after every access.
+        for seed in [1u64, 99, 123_456_789] {
+            let cfg = TlbConfig {
+                entries: 5,
+                page_bytes: 4096,
+                miss_penalty: 350,
+            };
+            let mut indexed = Tlb::new(&cfg);
+            let mut reference = vec![TlbEntry::default(); cfg.entries as usize];
+            let mut x = seed;
+            for (i, tick) in (1u64..=2_000).enumerate() {
+                let addr = next_rand(&mut x) % 13 * 4096;
+                let got = indexed.access(addr);
+                let want = reference_access_entries(&mut reference, tick, addr >> 12);
+                assert_eq!(got, want, "hit/miss divergence at access {i} (seed {seed})");
+                for (slot, (a, b)) in indexed.entries.iter().zip(&reference).enumerate() {
+                    assert_eq!(
+                        (a.valid, a.vpn, a.last_used),
+                        (b.valid, b.vpn, b.last_used),
+                        "entry divergence at access {i} slot {slot} (seed {seed})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_file_matches_reference_across_restore() {
+        // Same property at TlbFile scale, with a state()/restore_state()
+        // round-trip into a fresh file mid-stream: the rebuilt index must
+        // continue replaying the linear reference exactly.
+        let cfg = TlbConfig {
+            entries: 4,
+            page_bytes: 4096,
+            miss_penalty: 350,
+        };
+        let threads = 2usize;
+        let mut file = TlbFile::new(&cfg, threads);
+        let mut reference = vec![vec![TlbEntry::default(); cfg.entries as usize]; threads];
+        let mut ticks = vec![0u64; threads];
+        let mut x = 42u64;
+        for phase in 0..3 {
+            for i in 0..800u64 {
+                let r = next_rand(&mut x);
+                let thread = (r % threads as u64) as usize;
+                let addr = (r >> 8) % 11 * 4096;
+                ticks[thread] += 1;
+                let got = file.access(thread, addr);
+                let want =
+                    reference_access_entries(&mut reference[thread], ticks[thread], addr >> 12);
+                assert_eq!(got, want, "divergence at phase {phase} access {i}");
+            }
+            let snapshot = file.state();
+            let mut fresh = TlbFile::new(&cfg, threads);
+            fresh.restore_state(&snapshot).expect("geometry matches");
+            assert_eq!(fresh.state(), snapshot);
+            file = fresh;
+        }
     }
 
     #[test]

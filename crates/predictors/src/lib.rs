@@ -46,7 +46,8 @@ pub mod llsr;
 pub mod mlp;
 
 pub use lll::{
-    LastValuePredictor, LongLatencyPredictor, MissPatternPredictor, TwoBitMissPredictor,
+    LastValuePredictor, LongLatencyPredictor, MissPatternPredictor, MissPatternState,
+    TwoBitMissPredictor,
 };
-pub use llsr::{Llsr, MlpObservation};
-pub use mlp::{BinaryMlpPredictor, MlpDistancePredictor};
+pub use llsr::{Llsr, LlsrState, MlpObservation};
+pub use mlp::{BinaryMlpPredictor, BinaryMlpState, MlpDistancePredictor, MlpDistanceState};

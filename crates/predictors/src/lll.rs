@@ -35,6 +35,18 @@ pub struct MissPatternPredictor {
     counter_max: u8,
 }
 
+/// Serializable snapshot of a [`MissPatternPredictor`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct MissPatternState {
+    /// Learned miss periods per table entry.
+    pub period: Vec<u8>,
+    /// Accesses since the last miss per table entry.
+    pub since_last: Vec<u8>,
+    /// Whether each entry has observed a miss yet.
+    pub seen_miss: Vec<bool>,
+}
+
 impl MissPatternPredictor {
     /// Creates a predictor with `entries` table entries and 6-bit counters.
     ///
@@ -66,6 +78,33 @@ impl MissPatternPredictor {
 
     fn slot(&self, pc: u64) -> usize {
         (pc as usize / 4) % self.period.len()
+    }
+}
+
+impl MissPatternPredictor {
+    /// Captures the predictor state for a warm checkpoint.
+    pub fn state(&self) -> MissPatternState {
+        MissPatternState {
+            period: self.period.clone(),
+            since_last: self.since_last.clone(),
+            seen_miss: self.seen_miss.clone(),
+        }
+    }
+
+    /// Restores a state captured with [`MissPatternPredictor::state`]. Fails
+    /// when the table geometry differs.
+    pub fn restore_state(&mut self, state: &MissPatternState) -> Result<(), String> {
+        if state.period.len() != self.period.len() {
+            return Err(format!(
+                "miss-pattern table size mismatch: state has {}, predictor has {}",
+                state.period.len(),
+                self.period.len()
+            ));
+        }
+        self.period.copy_from_slice(&state.period);
+        self.since_last.copy_from_slice(&state.since_last);
+        self.seen_miss.copy_from_slice(&state.seen_miss);
+        Ok(())
     }
 }
 

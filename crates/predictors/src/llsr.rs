@@ -14,6 +14,15 @@
 
 use std::collections::VecDeque;
 
+/// Serializable snapshot of an [`Llsr`]'s contents (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct LlsrState {
+    /// `(pc, is_long_latency_load)` per in-flight committed instruction,
+    /// oldest first.
+    pub entries: Vec<(u64, bool)>,
+}
+
 /// One completed MLP-distance observation produced by the LLSR.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub struct MlpObservation {
@@ -106,6 +115,28 @@ impl Llsr {
     /// which cannot happen in this simulator, and between experiment runs).
     pub fn reset(&mut self) {
         self.entries.clear();
+    }
+
+    /// Captures the register contents for a warm checkpoint.
+    pub fn state(&self) -> LlsrState {
+        LlsrState {
+            entries: self.entries.iter().copied().collect(),
+        }
+    }
+
+    /// Restores a state captured with [`Llsr::state`]. Fails when the state
+    /// holds more entries than this register's capacity.
+    pub fn restore_state(&mut self, state: &LlsrState) -> Result<(), String> {
+        if state.entries.len() > self.capacity {
+            return Err(format!(
+                "LLSR state has {} entries, register capacity is {}",
+                state.entries.len(),
+                self.capacity
+            ));
+        }
+        self.entries.clear();
+        self.entries.extend(state.entries.iter().copied());
+        Ok(())
     }
 }
 

@@ -72,6 +72,29 @@ impl MlpDistancePredictor {
     pub fn reset(&mut self) {
         self.table.iter_mut().for_each(|e| *e = 0);
     }
+
+    /// Captures the predictor state for a warm checkpoint.
+    pub fn state(&self) -> MlpDistanceState {
+        MlpDistanceState {
+            table: self.table.clone(),
+            updates: self.updates,
+        }
+    }
+
+    /// Restores a state captured with [`MlpDistancePredictor::state`]. Fails
+    /// when the table geometry differs.
+    pub fn restore_state(&mut self, state: &MlpDistanceState) -> Result<(), String> {
+        if state.table.len() != self.table.len() {
+            return Err(format!(
+                "MLP distance table size mismatch: state has {}, predictor has {}",
+                state.table.len(),
+                self.table.len()
+            ));
+        }
+        self.table.copy_from_slice(&state.table);
+        self.updates = state.updates;
+        Ok(())
+    }
 }
 
 /// Binary MLP predictor used by the Section 6.5 alternatives (c) and (e): a 1-bit,
@@ -80,6 +103,24 @@ impl MlpDistancePredictor {
 #[derive(Clone, Debug)]
 pub struct BinaryMlpPredictor {
     table: Vec<bool>,
+}
+
+/// Serializable snapshot of a [`MlpDistancePredictor`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct MlpDistanceState {
+    /// Last observed MLP distance per table entry.
+    pub table: Vec<u16>,
+    /// Updates applied so far.
+    pub updates: u64,
+}
+
+/// Serializable snapshot of a [`BinaryMlpPredictor`] (for warm checkpoints).
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct BinaryMlpState {
+    /// Whether MLP was last observed, per table entry.
+    pub table: Vec<bool>,
 }
 
 impl BinaryMlpPredictor {
@@ -113,6 +154,27 @@ impl BinaryMlpPredictor {
     /// Clears all learned state.
     pub fn reset(&mut self) {
         self.table.iter_mut().for_each(|e| *e = false);
+    }
+
+    /// Captures the predictor state for a warm checkpoint.
+    pub fn state(&self) -> BinaryMlpState {
+        BinaryMlpState {
+            table: self.table.clone(),
+        }
+    }
+
+    /// Restores a state captured with [`BinaryMlpPredictor::state`]. Fails
+    /// when the table geometry differs.
+    pub fn restore_state(&mut self, state: &BinaryMlpState) -> Result<(), String> {
+        if state.table.len() != self.table.len() {
+            return Err(format!(
+                "binary MLP table size mismatch: state has {}, predictor has {}",
+                state.table.len(),
+                self.table.len()
+            ));
+        }
+        self.table.copy_from_slice(&state.table);
+        Ok(())
     }
 }
 

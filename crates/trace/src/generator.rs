@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use smt_types::{OpKind, TraceOp};
 
 use crate::profile::BenchmarkProfile;
-use crate::TraceSource;
+use crate::{TraceSource, TraceSourceState};
 
 /// Base virtual address of the hot (L1-resident) data region.
 const HOT_BASE: u64 = 0x1000_0000;
@@ -328,6 +328,58 @@ impl TraceSource for SyntheticTraceGenerator {
 
     fn name(&self) -> &str {
         &self.profile.name
+    }
+
+    fn save_state(&self) -> Option<TraceSourceState> {
+        Some(TraceSourceState {
+            name: self.profile.name.clone(),
+            rng_state: self.rng.state(),
+            seq: self.seq,
+            gap_to_next_burst: self.gap_to_next_burst,
+            burst_remaining: self.burst_remaining,
+            burst_gap: self.burst_gap,
+            next_miss_in: self.next_miss_in,
+            burst_strided: self.burst_strided,
+            burst_position: self.burst_position,
+            stride_cursors: self.stride_cursors.clone(),
+            hot_cursor: self.hot_cursor,
+            alu_pc_cursor: self.alu_pc_cursor,
+            branch_cursor: self.branch_cursor as u64,
+            branch_bias: self.branch_bias.clone(),
+            emitted_long_latency: self.emitted_long_latency,
+        })
+    }
+
+    fn restore_state(&mut self, state: &TraceSourceState) -> Result<(), String> {
+        if state.name != self.profile.name {
+            return Err(format!(
+                "trace state belongs to `{}`, target generator runs `{}`",
+                state.name, self.profile.name
+            ));
+        }
+        if state.stride_cursors.len() != self.stride_cursors.len()
+            || state.branch_bias.len() != self.branch_bias.len()
+        {
+            return Err(format!(
+                "trace state geometry mismatch for `{}` (different generator version?)",
+                state.name
+            ));
+        }
+        self.rng = StdRng::from_state(state.rng_state);
+        self.seq = state.seq;
+        self.gap_to_next_burst = state.gap_to_next_burst;
+        self.burst_remaining = state.burst_remaining;
+        self.burst_gap = state.burst_gap;
+        self.next_miss_in = state.next_miss_in;
+        self.burst_strided = state.burst_strided;
+        self.burst_position = state.burst_position;
+        self.stride_cursors.copy_from_slice(&state.stride_cursors);
+        self.hot_cursor = state.hot_cursor;
+        self.alu_pc_cursor = state.alu_pc_cursor;
+        self.branch_cursor = state.branch_cursor as usize;
+        self.branch_bias.copy_from_slice(&state.branch_bias);
+        self.emitted_long_latency = state.emitted_long_latency;
+        Ok(())
     }
 }
 

@@ -69,6 +69,62 @@ pub trait TraceSource {
 
     /// Short name of the workload (benchmark name).
     fn name(&self) -> &str;
+
+    /// Captures the source's mutable position as a serializable state record,
+    /// or `None` when the source cannot be checkpointed (e.g. scripted test
+    /// traces). Restoring the state into a freshly constructed source of the
+    /// same benchmark and seed must reproduce the remaining stream exactly.
+    fn save_state(&self) -> Option<TraceSourceState> {
+        None
+    }
+
+    /// Restores a state previously captured with [`TraceSource::save_state`].
+    /// Fails when the source does not support checkpointing or the state
+    /// belongs to a different workload.
+    fn restore_state(&mut self, _state: &TraceSourceState) -> Result<(), String> {
+        Err("this trace source does not support checkpointing".to_string())
+    }
+}
+
+/// Serializable position of a checkpointable [`TraceSource`].
+///
+/// The fields mirror the mutable cursor state of
+/// [`SyntheticTraceGenerator`]; the immutable profile is *not* captured — a
+/// restore target is constructed from the same benchmark name and seed first,
+/// then repositioned with this record.
+#[derive(Clone, PartialEq, Debug, serde::Serialize, serde::Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct TraceSourceState {
+    /// Benchmark name, checked against the restore target.
+    pub name: String,
+    /// Raw RNG state.
+    pub rng_state: [u64; 4],
+    /// Dynamic instructions generated so far.
+    pub seq: u64,
+    /// Instructions remaining until the next miss burst begins.
+    pub gap_to_next_burst: u64,
+    /// Long-latency loads still to be emitted in the current burst.
+    pub burst_remaining: u32,
+    /// Instructions between consecutive long-latency loads of the burst.
+    pub burst_gap: u32,
+    /// Countdown to the next long-latency load within the burst.
+    pub next_miss_in: u32,
+    /// Whether the current burst walks strided (prefetchable) streams.
+    pub burst_strided: bool,
+    /// Position within the current burst.
+    pub burst_position: u64,
+    /// Per-stream next-line cursors of the strided miss region.
+    pub stride_cursors: Vec<u64>,
+    /// Rotating cursor for hot loads/stores.
+    pub hot_cursor: u64,
+    /// Rotating cursor for ALU PCs.
+    pub alu_pc_cursor: u64,
+    /// Rotating cursor over the static branch pool.
+    pub branch_cursor: u64,
+    /// Fixed per-static-branch direction biases.
+    pub branch_bias: Vec<bool>,
+    /// Long-latency loads emitted so far.
+    pub emitted_long_latency: u64,
 }
 
 impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
@@ -82,5 +138,13 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
 
     fn name(&self) -> &str {
         (**self).name()
+    }
+
+    fn save_state(&self) -> Option<TraceSourceState> {
+        (**self).save_state()
+    }
+
+    fn restore_state(&mut self, state: &TraceSourceState) -> Result<(), String> {
+        (**self).restore_state(state)
     }
 }

@@ -13,7 +13,8 @@
 //! * the adaptive policy engine's configuration and interval telemetry
 //!   ([`adaptive`]),
 //! * error types ([`error`]),
-//! * the resilient engine's failure taxonomy ([`resilience`]).
+//! * the resilient engine's failure taxonomy ([`resilience`]),
+//! * the sampled-simulation cadence and estimate types ([`sampling`]).
 //!
 //! # Example
 //!
@@ -35,6 +36,7 @@ pub mod flags;
 pub mod ids;
 pub mod op;
 pub mod resilience;
+pub mod sampling;
 pub mod snapshot;
 pub mod stats;
 
@@ -47,5 +49,6 @@ pub use flags::OpFlags;
 pub use ids::{SeqNum, ThreadId};
 pub use op::{BranchInfo, MemInfo, OpKind, TraceOp};
 pub use resilience::{CellError, CellErrorKind, CellOutcome, RunHealth, RunHealthStatus};
+pub use sampling::{CheckpointMeta, MetricEstimate, SampledEstimate, SamplingConfig};
 pub use snapshot::{SmtSnapshot, ThreadSnapshot};
 pub use stats::{ChipStats, MachineStats, ThreadStats};

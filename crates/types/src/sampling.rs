@@ -1,0 +1,314 @@
+//! Sampled-simulation vocabulary: the fast-forward/measure cadence
+//! ([`SamplingConfig`]), the extrapolated per-metric estimates with
+//! confidence intervals ([`SampledEstimate`]), and the identity header of a
+//! serialized warm checkpoint ([`CheckpointMeta`]).
+//!
+//! Sampled runs interleave a cheap *functional fast-forward* (trace consumed,
+//! caches/TLBs/predictors kept warm, no cycle accounting) with short
+//! cycle-accurate *measurement windows*, in the style of SMARTS (Wunderlich
+//! et al., ISCA 2003). Each window contributes one stratified IPC sample; the
+//! run reports the window mean with a 95% confidence interval derived from
+//! the between-window variance.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SimError;
+
+/// Cadence of one sampled run, in committed instructions per thread.
+///
+/// A sampling unit is `skip → ff → warm → measure`: `skip_instructions` are
+/// consumed at raw trace speed (no state updated at all),
+/// `ff_instructions` are executed functionally (warm state — caches, TLBs,
+/// predictors — updated, no cycles), `warm_instructions` run cycle-accurately
+/// to refill the pipeline before counters are trusted, and
+/// `measure_instructions` are the measured window proper. Units repeat until
+/// the instruction budget is exhausted *and* at least `min_windows` windows
+/// were measured.
+///
+/// The skip phase is the lever for large budgets: functional warming costs
+/// several times raw trace consumption, and the warm structures only need a
+/// bounded warming horizon (`ff_instructions`) of fresh history before each
+/// window — state is frozen, not lost, across a skip. `skip_instructions: 0`
+/// recovers full SMARTS-style always-on functional warming.
+///
+/// # Example
+///
+/// ```
+/// use smt_types::sampling::SamplingConfig;
+/// let cfg = SamplingConfig::default();
+/// assert!(cfg.validate().is_ok());
+/// assert!(cfg.detailed_fraction() < 0.2);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SamplingConfig {
+    /// Instructions per thread consumed at raw trace speed per unit, with no
+    /// warm-state updates (the fastest, least accurate phase; 0 disables it).
+    pub skip_instructions: u64,
+    /// Instructions per thread fast-forwarded (functional warming) per unit.
+    pub ff_instructions: u64,
+    /// Detailed-mode instructions per thread discarded as pipeline warm-up at
+    /// the start of each measurement window.
+    pub warm_instructions: u64,
+    /// Detailed-mode instructions per thread measured per window.
+    pub measure_instructions: u64,
+    /// Minimum number of measurement windows per run (confidence floor).
+    pub min_windows: u32,
+}
+
+impl Default for SamplingConfig {
+    fn default() -> Self {
+        SamplingConfig {
+            skip_instructions: 0,
+            ff_instructions: 18_000,
+            warm_instructions: 500,
+            measure_instructions: 1_500,
+            min_windows: 3,
+        }
+    }
+}
+
+impl SamplingConfig {
+    /// Checks internal consistency.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.measure_instructions == 0 {
+            return Err(SimError::invalid_config(
+                "measure_instructions must be non-zero",
+            ));
+        }
+        if self.ff_instructions == 0 {
+            return Err(SimError::invalid_config(
+                "ff_instructions must be non-zero (use an exact run instead)",
+            ));
+        }
+        if self.min_windows == 0 {
+            return Err(SimError::invalid_config("min_windows must be at least 1"));
+        }
+        Ok(())
+    }
+
+    /// Instructions per thread consumed by one full sampling unit.
+    pub fn unit_instructions(&self) -> u64 {
+        self.skip_instructions
+            + self.ff_instructions
+            + self.warm_instructions
+            + self.measure_instructions
+    }
+
+    /// Fraction of instructions executed in detailed (cycle-accurate) mode.
+    ///
+    /// This is the deterministic speedup proxy: wall-clock gains track how few
+    /// instructions run through the full pipeline model.
+    pub fn detailed_fraction(&self) -> f64 {
+        (self.warm_instructions + self.measure_instructions) as f64
+            / self.unit_instructions() as f64
+    }
+}
+
+/// One extrapolated metric: the window mean and its 95% confidence interval.
+#[derive(Clone, Copy, PartialEq, Debug, Default, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct MetricEstimate {
+    /// Mean over measurement windows.
+    pub mean: f64,
+    /// Half-width of the 95% confidence interval (`1.96 * s / sqrt(n)`;
+    /// zero when only one window was measured).
+    pub ci95: f64,
+}
+
+impl MetricEstimate {
+    /// Builds an estimate from per-window samples. Returns a zero estimate
+    /// for an empty sample set.
+    pub fn from_samples(samples: &[f64]) -> Self {
+        if samples.is_empty() {
+            return MetricEstimate::default();
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        if samples.len() < 2 {
+            return MetricEstimate { mean, ci95: 0.0 };
+        }
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / (n - 1.0);
+        MetricEstimate {
+            mean,
+            ci95: 1.96 * (var / n).sqrt(),
+        }
+    }
+
+    /// Builds an estimate from per-window `(numerator, denominator)` pairs
+    /// using the ratio estimator `Σnum / Σden` (e.g. committed instructions
+    /// over cycles for IPC).
+    ///
+    /// Averaging per-window ratios directly is biased upward: window length
+    /// varies inversely with luck, so fast windows are over-weighted
+    /// (Jensen's inequality on `E[1/T]`). The ratio estimator weights every
+    /// denominator unit equally, matching what an exact run measures. The
+    /// confidence interval uses the standard linearized variance of a ratio
+    /// estimator over the window residuals `num_w − R·den_w`.
+    pub fn from_ratio(pairs: &[(f64, f64)]) -> Self {
+        let total_den: f64 = pairs.iter().map(|&(_, d)| d).sum();
+        if pairs.is_empty() || total_den <= 0.0 {
+            return MetricEstimate::default();
+        }
+        let total_num: f64 = pairs.iter().map(|&(n, _)| n).sum();
+        let ratio = total_num / total_den;
+        if pairs.len() < 2 {
+            return MetricEstimate {
+                mean: ratio,
+                ci95: 0.0,
+            };
+        }
+        let n = pairs.len() as f64;
+        let mean_den = total_den / n;
+        let residual_var = pairs
+            .iter()
+            .map(|&(num, den)| {
+                let e = num - ratio * den;
+                e * e
+            })
+            .sum::<f64>()
+            / (n - 1.0);
+        MetricEstimate {
+            mean: ratio,
+            ci95: 1.96 * (residual_var / n).sqrt() / mean_den,
+        }
+    }
+
+    /// Whether `value` lies within the interval widened by `slack` (an
+    /// absolute tolerance for window-count-starved runs).
+    pub fn covers(&self, value: f64, slack: f64) -> bool {
+        (value - self.mean).abs() <= self.ci95 + slack
+    }
+}
+
+/// Extrapolated estimates of one sampled run, reported alongside exact runs.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct SampledEstimate {
+    /// Number of measurement windows that contributed samples.
+    pub windows: u32,
+    /// Aggregate (all-thread) IPC estimate.
+    pub total_ipc: MetricEstimate,
+    /// Per-thread IPC estimates, indexed by thread id.
+    pub per_thread_ipc: Vec<MetricEstimate>,
+    /// Fraction of the instruction budget executed in detailed mode.
+    pub detailed_fraction: f64,
+}
+
+/// Identity header of a serialized warm checkpoint: everything needed to
+/// decide whether a checkpoint can seed a given run.
+#[derive(Clone, PartialEq, Debug, Serialize, Deserialize)]
+#[serde(deny_unknown_fields)]
+pub struct CheckpointMeta {
+    /// Checkpoint format version; readers reject other versions.
+    pub schema_version: u32,
+    /// Benchmark name per thread, in thread order.
+    pub benchmarks: Vec<String>,
+    /// Base seed the per-thread trace seeds were derived from.
+    pub seed: u64,
+    /// Number of hardware threads captured.
+    pub num_threads: u32,
+    /// Instructions per thread functionally fast-forwarded before capture.
+    pub warmed_instructions: u64,
+}
+
+impl CheckpointMeta {
+    /// Current checkpoint format version.
+    pub const SCHEMA_VERSION: u32 = 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_validates() {
+        assert!(SamplingConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn zero_fields_rejected() {
+        let c = SamplingConfig {
+            measure_instructions: 0,
+            ..SamplingConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SamplingConfig {
+            ff_instructions: 0,
+            ..SamplingConfig::default()
+        };
+        assert!(c.validate().is_err());
+        let c = SamplingConfig {
+            min_windows: 0,
+            ..SamplingConfig::default()
+        };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn detailed_fraction_matches_cadence() {
+        let c = SamplingConfig {
+            skip_instructions: 0,
+            ff_instructions: 9_000,
+            warm_instructions: 200,
+            measure_instructions: 800,
+            min_windows: 2,
+        };
+        assert_eq!(c.unit_instructions(), 10_000);
+        assert!((c.detailed_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_mean_and_ci() {
+        let e = MetricEstimate::from_samples(&[1.0, 1.0, 1.0]);
+        assert!((e.mean - 1.0).abs() < 1e-12);
+        assert_eq!(e.ci95, 0.0);
+        let e = MetricEstimate::from_samples(&[0.8, 1.2]);
+        assert!((e.mean - 1.0).abs() < 1e-12);
+        assert!(e.ci95 > 0.0);
+        assert!(e.covers(1.0, 0.0));
+        assert!(!e.covers(10.0, 0.0));
+        assert_eq!(MetricEstimate::from_samples(&[]).mean, 0.0);
+        let single = MetricEstimate::from_samples(&[2.5]);
+        assert!((single.mean - 2.5).abs() < 1e-12);
+        assert_eq!(single.ci95, 0.0);
+    }
+
+    #[test]
+    fn ratio_estimate_weights_by_denominator() {
+        // Two windows with equal instruction counts but very different cycle
+        // counts: the ratio estimator matches the pooled IPC, not the mean of
+        // per-window IPCs (which would be optimistically biased).
+        let pairs = [(1_000.0, 1_000.0), (1_000.0, 4_000.0)];
+        let e = MetricEstimate::from_ratio(&pairs);
+        assert!((e.mean - 2_000.0 / 5_000.0).abs() < 1e-12);
+        let naive = (1.0 + 0.25) / 2.0;
+        assert!(e.mean < naive);
+        assert!(e.ci95 > 0.0);
+        assert_eq!(MetricEstimate::from_ratio(&[]).mean, 0.0);
+        let single = MetricEstimate::from_ratio(&[(500.0, 1_000.0)]);
+        assert!((single.mean - 0.5).abs() < 1e-12);
+        assert_eq!(single.ci95, 0.0);
+        assert_eq!(MetricEstimate::from_ratio(&[(1.0, 0.0)]).mean, 0.0);
+    }
+
+    #[test]
+    fn sampling_config_serde_round_trip() {
+        let c = SamplingConfig::default();
+        let round = SamplingConfig::deserialize(&c.serialize()).unwrap();
+        assert_eq!(round, c);
+    }
+
+    #[test]
+    fn checkpoint_meta_round_trip() {
+        let meta = CheckpointMeta {
+            schema_version: CheckpointMeta::SCHEMA_VERSION,
+            benchmarks: vec!["mlp-friendly".into(), "ilp-bound".into()],
+            seed: 42,
+            num_threads: 2,
+            warmed_instructions: 10_000,
+        };
+        let round = CheckpointMeta::deserialize(&meta.serialize()).unwrap();
+        assert_eq!(round, meta);
+    }
+}

@@ -16,6 +16,18 @@ fn splitmix64(state: &mut u64) -> u64 {
     z ^ (z >> 31)
 }
 
+impl StdRng {
+    /// Returns the raw xoshiro256++ state (for externally managed snapshots).
+    pub fn state(&self) -> [u64; 4] {
+        self.state
+    }
+
+    /// Rebuilds a generator from a state previously returned by [`StdRng::state`].
+    pub fn from_state(state: [u64; 4]) -> Self {
+        StdRng { state }
+    }
+}
+
 impl SeedableRng for StdRng {
     fn seed_from_u64(seed: u64) -> Self {
         let mut sm = seed;

@@ -64,6 +64,7 @@ fn main() -> Result<(), SimError> {
         chip: None,
         adaptive: None,
         resilience: None,
+        sampling: None,
         scale,
     };
     let report = engine::run_spec(&spec)?;
