@@ -24,7 +24,12 @@
 //! * **sampling-discipline** — functional fast-forward code
 //!   (`crates/core/src/pipeline/fast_forward.rs`) never touches statistics
 //!   counters or cycle accounting: warming must be invisible to everything
-//!   the measure windows report.
+//!   the measure windows report;
+//! * **sync-discipline** — simulation state is single-owner: locks, atomics,
+//!   interior mutability and `unsafe` live only in the sanctioned chip
+//!   worker-pool module (`crates/core/src/chip/parallel.rs`) and the
+//!   host-side harness files, and frozen read views expose only `&self`
+//!   methods.
 //!
 //! A finding is suppressed with a justified annotation on (or directly
 //! above) the offending line:

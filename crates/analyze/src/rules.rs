@@ -24,7 +24,7 @@ pub struct Finding {
 }
 
 /// The enforced rule ids, i.e. the valid arguments to `analyze: allow(...)`.
-pub const RULE_IDS: [&str; 7] = [
+pub const RULE_IDS: [&str; 8] = [
     "hot-path-alloc",
     "determinism",
     "swap-point",
@@ -32,6 +32,7 @@ pub const RULE_IDS: [&str; 7] = [
     "registry-drift",
     "panic-policy",
     "sampling-discipline",
+    "sync-discipline",
 ];
 
 /// Crates whose sources must stay deterministic: everything that executes
@@ -121,6 +122,32 @@ const NONDETERMINISM_PATTERNS: [(&str, bool); 5] = [
     ("env::var", false),
 ];
 
+/// The one module of the simulation crates sanctioned to hold threads,
+/// locks and atomics: the chip-stepping worker pool.
+const SYNC_MODULE: &str = "crates/core/src/chip/parallel.rs";
+
+/// Host-harness files inside `smt-core` that orchestrate simulations from
+/// the *outside* (experiment thread pools, panic quarantine, bench timing)
+/// and therefore legitimately use synchronization primitives. Nothing in
+/// them executes within a simulated cycle.
+fn in_sync_harness(path: &str) -> bool {
+    path.starts_with("crates/core/src/experiments/")
+        || path == "crates/core/src/runner.rs"
+        || path == "crates/core/src/throughput.rs"
+}
+
+/// Synchronization and escape-hatch constructs forbidden in simulation code
+/// outside [`SYNC_MODULE`]. `(needle, needs_word_boundary_before)`;
+/// `Atomic` prefix-matches the whole `AtomicU8`/`AtomicU64`/`AtomicBool`
+/// family.
+const SYNC_PATTERNS: [(&str, bool); 5] = [
+    ("Mutex", true),
+    ("RwLock", true),
+    ("RefCell", true),
+    ("Atomic", true),
+    ("unsafe", true),
+];
+
 /// Method calls that observe hash-iteration order.
 const HASH_ITER_METHODS: [&str; 10] = [
     ".iter()",
@@ -154,6 +181,9 @@ pub(crate) fn check_file(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding
     }
     if file.path == FAST_FORWARD_FILE {
         sampling_discipline(file, raw, out);
+    }
+    if in_sim_scope(&file.path) && file.path != SYNC_MODULE && !in_sync_harness(&file.path) {
+        sync_discipline(file, raw, out);
     }
 }
 
@@ -569,6 +599,73 @@ fn sampling_discipline(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>)
     }
 }
 
+/// **sync-discipline** — simulation state is single-owner and stepped
+/// deterministically; threads, locks, interior mutability and `unsafe` live
+/// only in the sanctioned chip worker-pool module ([`SYNC_MODULE`]) and the
+/// host-side harness files. Additionally, frozen read views (types named
+/// `*View*`) must expose only `&self` methods: a `&mut self` method on a
+/// view would let a worker mutate what the staged chip discipline promises
+/// is frozen for the duration of the cycle.
+fn sync_discipline(file: &ScannedFile, raw: &[&str], out: &mut Vec<Finding>) {
+    // Brace depth of the body of the innermost `impl ... View ...` block, if
+    // any; while inside one, `fn` signatures taking `&mut self` are flagged.
+    let mut depth = 0usize;
+    let mut view_impl_depth: Option<usize> = None;
+    for (idx, line) in file.lines.iter().enumerate() {
+        let code = line.code.as_str();
+        if !line.in_test {
+            for (pat, word) in SYNC_PATTERNS {
+                if matches_pattern(code, pat, word) {
+                    out.push(finding(
+                        file,
+                        raw,
+                        idx + 1,
+                        "sync-discipline",
+                        format!(
+                            "`{pat}` in simulation code: synchronization primitives and \
+                             escape hatches live only in the chip worker pool ({SYNC_MODULE})"
+                        ),
+                    ));
+                }
+            }
+            if view_impl_depth.is_some()
+                && find_word(code, "fn", 0).is_some()
+                && code.contains("&mut self")
+            {
+                out.push(finding(
+                    file,
+                    raw,
+                    idx + 1,
+                    "sync-discipline",
+                    "`&mut self` method on a frozen view: intra-cycle view queries \
+                     must be read-only (`&self`)"
+                        .to_string(),
+                ));
+            }
+        }
+        if view_impl_depth.is_none()
+            && find_word(code, "impl", 0).is_some()
+            && code.contains("View")
+        {
+            // The impl body opens at the next brace depth (the `{` may sit
+            // on a later line when a `where` clause intervenes).
+            view_impl_depth = Some(depth + 1);
+        }
+        for b in code.bytes() {
+            match b {
+                b'{' => depth += 1,
+                b'}' => {
+                    depth = depth.saturating_sub(1);
+                    if view_impl_depth.is_some_and(|d| depth < d) {
+                        view_impl_depth = None;
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
 fn matches_pattern(code: &str, pat: &str, word_boundary_before: bool) -> bool {
     let mut from = 0usize;
     while let Some(pos) = code.get(from..).and_then(|c| c.find(pat)) {
@@ -671,6 +768,38 @@ mod tests {
         assert!(run("crates/core/src/pipeline/mod.rs", src)
             .iter()
             .all(|f| f.rule != "sampling-discipline"));
+    }
+
+    #[test]
+    fn sync_discipline_flags_primitives_outside_the_pool_module() {
+        let src = "use std::sync::{Mutex, RwLock};\nfn f() {\n    let c = RefCell::new(0u64);\n    let n = AtomicU64::new(0);\n    unsafe { hint::unreachable_unchecked() };\n}\n";
+        let out = run("crates/adapt/src/x.rs", src);
+        let lines: Vec<usize> = out.iter().map(|f| f.line).collect();
+        assert_eq!(lines, vec![1, 1, 3, 4, 5], "{out:?}");
+        assert!(out.iter().all(|f| f.rule == "sync-discipline"));
+        // Sanctioned: the pool module itself, the host-side harness files,
+        // non-simulation crates, and test regions.
+        assert!(run("crates/core/src/chip/parallel.rs", src).is_empty());
+        assert!(run("crates/core/src/runner.rs", src).is_empty());
+        assert!(run("crates/core/src/throughput.rs", src).is_empty());
+        assert!(run("crates/core/src/experiments/engine.rs", src).is_empty());
+        assert!(run("crates/cli/src/main.rs", src).is_empty());
+        let test_src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() {\n        let m = std::sync::Mutex::new(0);\n        let _ = m;\n    }\n}\n";
+        assert!(run("crates/adapt/src/x.rs", test_src).is_empty());
+    }
+
+    #[test]
+    fn sync_discipline_pins_frozen_views_to_shared_refs() {
+        let src = "pub struct LlcView;\nimpl LlcView {\n    pub fn probe(&self, a: u64) -> bool {\n        a == 0\n    }\n    pub fn touch(&mut self, a: u64) {\n        let _ = a;\n    }\n}\nimpl Stage {\n    pub fn apply(&mut self) {}\n}\n";
+        let out = run("crates/mem/src/x.rs", src);
+        let lines: Vec<usize> = out
+            .iter()
+            .filter(|f| f.rule == "sync-discipline")
+            .map(|f| f.line)
+            .collect();
+        // `&self` queries on the view (line 3) and `&mut self` methods on
+        // non-view impls (line 11) are legal; a mutating view method is not.
+        assert_eq!(lines, vec![6], "{out:?}");
     }
 
     #[test]

@@ -1,0 +1,277 @@
+//! The chip-stepping worker pool: the one sanctioned synchronization module
+//! of the simulation crates.
+//!
+//! Everything the simulator computes is deterministic and single-owner; the
+//! only place threads, locks, or atomics are allowed is here (the
+//! `smt-analyze` `sync-discipline` rule enforces that). The pool exists
+//! purely to spend host cores on independent work the staged chip discipline
+//! has already made commutative:
+//!
+//! * each chip cycle, every core steps against a frozen
+//!   [`smt_mem::SharedLlcView`] plus its own private [`smt_mem::CoreStage`]
+//!   (no shared mutable state, no ordering),
+//! * the main thread merges the stages back in canonical core order and
+//!   applies the staged fills ([`smt_mem::SharedLlc::end_cycle`]),
+//!
+//! so the pooled schedule produces byte-identical simulator state to the
+//! serial loop — pinned by the chip golden fixtures and the
+//! `chip_parallel_parity` proptests.
+//!
+//! # Shape of a cycle
+//!
+//! ```text
+//! main:    begin_cycle ─┐ barrier ┄┄┄┄┄┄┄┄┄┄┄┄┄┄┄ barrier ┬ merge stages
+//!                       │ (begin)                 (done)  │ end_cycle
+//! workers: ┄┄┄┄┄┄┄┄┄┄┄┄ ┘ step cores (view+stage) ┄┄┄┄┄┄┄ ┘
+//! ```
+//!
+//! Workers own a fixed partition of the cores (`index % workers`), park on
+//! the `begin` barrier between cycles, and read the shared level through an
+//! `RwLock` read guard that can never contend with the main thread's write
+//! guard (the barriers strictly alternate the two phases; the lock exists to
+//! express that protocol in safe Rust). All synchronization primitives are
+//! allocation-free after construction, so a pooled steady-state cycle loop
+//! performs no heap allocations — the same guarantee the serial loop gives.
+//!
+//! A panic on a worker is caught, parked until the barrier protocol
+//! completes the cycle, and re-raised on the main thread, so a failing core
+//! never deadlocks the pool (the experiment engine's resilience layer then
+//! handles it like any serial panic).
+
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Barrier, Mutex, MutexGuard, PoisonError, RwLock};
+
+use smt_mem::{CoreStage, SharedLlc, StagedShared};
+
+use super::{ChipExec, ChipSimulator};
+use crate::pipeline::Core;
+
+/// Step every owned core by one detailed cycle.
+const CMD_STEP: u8 = 0;
+/// Fast-forward every owned core by the broadcast chunk.
+const CMD_FF: u8 = 1;
+/// Shut down: exit the worker loop.
+const CMD_EXIT: u8 = 2;
+
+/// Locks a mutex, ignoring poisoning: a panicked cycle is re-raised on the
+/// main thread, and simulator state behind a poisoned lock is only ever
+/// observed during that unwind.
+fn lock<T: ?Sized>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shared state of one pool: the partitioned cores, the shared level, and
+/// the barrier/command protocol. Lives on the main thread's stack for the
+/// duration of one [`with_pool`] call; workers borrow it through the scope.
+struct PoolState<'env> {
+    /// One cell per core: the core and its stage buffer. Each cell is only
+    /// ever touched by its owning worker (during a cycle) or by the main
+    /// thread (between cycles); the mutexes are therefore uncontended and
+    /// exist to make that hand-off safe.
+    cells: Vec<Mutex<(&'env mut Core, &'env mut CoreStage)>>,
+    /// The shared level: read-locked by workers during a cycle (frozen
+    /// views), write-locked by the main thread between barriers.
+    shared: RwLock<&'env mut SharedLlc>,
+    /// Released by the main thread to start a cycle (or shut down).
+    begin: Barrier,
+    /// Reached by every worker once its cores finished the cycle.
+    done: Barrier,
+    /// The command workers execute after the `begin` barrier.
+    command: AtomicU8,
+    /// Fast-forward chunk broadcast alongside [`CMD_FF`].
+    chunk: AtomicU64,
+    /// Number of workers (the core partition stride).
+    workers: usize,
+    /// `true` when the shared level runs the legacy direct discipline (a
+    /// one-core chip): the single worker then steps its core against the
+    /// write-locked shared level itself instead of a frozen view.
+    legacy: bool,
+    /// First panic payload caught on a worker this cycle.
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+/// One worker: parks on `begin`, executes the broadcast command over its
+/// core partition against a frozen view of the shared level, and reports
+/// back through `done`.
+fn worker_loop(state: &PoolState<'_>, worker: usize) {
+    loop {
+        state.begin.wait();
+        let cmd = state.command.load(Ordering::SeqCst);
+        if cmd == CMD_EXIT {
+            break;
+        }
+        let chunk = state.chunk.load(Ordering::SeqCst);
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            if state.legacy {
+                // One-core chip: a single worker owns the single core and
+                // steps it directly against the shared level, preserving the
+                // legacy synchronous discipline bit-for-bit.
+                let mut shared = state.shared.write().unwrap_or_else(PoisonError::into_inner);
+                for cell in state.cells.iter().skip(worker).step_by(state.workers) {
+                    let mut cell = lock(cell);
+                    match cmd {
+                        CMD_STEP => cell.0.step_against(&mut **shared),
+                        _ => cell.0.fast_forward_against(&mut **shared, chunk),
+                    }
+                }
+            } else {
+                let shared = state.shared.read().unwrap_or_else(PoisonError::into_inner);
+                for cell in state.cells.iter().skip(worker).step_by(state.workers) {
+                    let mut cell = lock(cell);
+                    let (core, stage) = &mut *cell;
+                    let mut staged = StagedShared::new(shared.view(), stage);
+                    match cmd {
+                        CMD_STEP => core.step_against(&mut staged),
+                        _ => core.fast_forward_against(&mut staged, chunk),
+                    }
+                }
+            }
+        }));
+        if let Err(payload) = outcome {
+            lock(&state.panic).get_or_insert(payload);
+        }
+        state.done.wait();
+    }
+}
+
+/// Sends the shutdown command on drop, so workers exit (and the scope can
+/// join them) even when the session closure unwinds.
+struct ShutdownGuard<'pool, 'env>(&'pool PoolState<'env>);
+
+impl Drop for ShutdownGuard<'_, '_> {
+    fn drop(&mut self) {
+        self.0.command.store(CMD_EXIT, Ordering::SeqCst);
+        self.0.begin.wait();
+    }
+}
+
+/// A live pooled stepping session over a [`ChipSimulator`]: the worker
+/// threads are up, cores are partitioned, and each
+/// [`ChipSession::step_cycle`] runs one barrier-bracketed chip cycle.
+/// Obtained from [`ChipSimulator::with_parallel_session`] (or internally by
+/// the run loops); the simulator is whole again once the session closure
+/// returns.
+pub struct ChipSession<'pool, 'env> {
+    state: &'pool PoolState<'env>,
+    cycle: &'pool mut u64,
+}
+
+impl ChipSession<'_, '_> {
+    /// Runs one barrier-bracketed round: begin the shared-level cycle,
+    /// release the workers with `cmd`, wait for them, then merge the stages
+    /// in canonical core order and end the cycle.
+    fn run_round(&mut self, cmd: u8, chunk: u64) {
+        {
+            let mut shared = self
+                .state
+                .shared
+                .write()
+                .unwrap_or_else(PoisonError::into_inner);
+            shared.begin_cycle(*self.cycle);
+        }
+        self.state.chunk.store(chunk, Ordering::SeqCst);
+        self.state.command.store(cmd, Ordering::SeqCst);
+        self.state.begin.wait();
+        self.state.done.wait();
+        if let Some(payload) = lock(&self.state.panic).take() {
+            resume_unwind(payload);
+        }
+        let mut shared = self
+            .state
+            .shared
+            .write()
+            .unwrap_or_else(PoisonError::into_inner);
+        for cell in &self.state.cells {
+            let mut cell = lock(cell);
+            shared.merge_stage(cell.1);
+        }
+        shared.end_cycle();
+    }
+
+    /// Advances the chip by one cycle on the pool (bit-for-bit
+    /// [`ChipSimulator::step`]).
+    pub fn step_cycle(&mut self) {
+        self.run_round(CMD_STEP, 0);
+        *self.cycle += 1;
+    }
+
+    /// Current chip cycle.
+    pub fn session_cycle(&self) -> u64 {
+        *self.cycle
+    }
+}
+
+impl ChipExec for ChipSession<'_, '_> {
+    fn exec_cycle(&self) -> u64 {
+        *self.cycle
+    }
+
+    fn step_cycle(&mut self) {
+        ChipSession::step_cycle(self);
+    }
+
+    fn fast_forward_round(&mut self, chunk: u64) {
+        self.run_round(CMD_FF, chunk);
+    }
+
+    fn collect_committed(&self, out: &mut Vec<u64>) {
+        for cell in &self.state.cells {
+            let cell = lock(cell);
+            out.extend(cell.0.committed());
+        }
+    }
+
+    fn finalize_cores(&mut self) {
+        for cell in &self.state.cells {
+            lock(cell).0.finalize_cycles();
+        }
+    }
+
+    fn reset_core_stats(&mut self) {
+        for cell in &self.state.cells {
+            lock(cell).0.reset_stats();
+        }
+    }
+}
+
+/// Spins up `workers` threads over the simulator's cores, runs `f` against
+/// the pooled session, and tears the pool down again. The worker count is
+/// clamped to the core count; the pool machinery is used even at one worker
+/// (the session is then a slightly indirect serial loop).
+pub(crate) fn with_pool<R>(
+    sim: &mut ChipSimulator,
+    workers: usize,
+    f: impl FnOnce(&mut ChipSession<'_, '_>) -> R,
+) -> R {
+    let (cores, stages, shared, cycle) = sim.pool_parts();
+    let workers = workers.clamp(1, cores.len().max(1));
+    let legacy = !shared.chip_arbitration();
+    let state = PoolState {
+        cells: cores
+            .iter_mut()
+            .zip(stages.iter_mut())
+            .map(Mutex::new)
+            .collect(),
+        shared: RwLock::new(shared),
+        begin: Barrier::new(workers + 1),
+        done: Barrier::new(workers + 1),
+        command: AtomicU8::new(CMD_EXIT),
+        chunk: AtomicU64::new(0),
+        workers,
+        legacy,
+        panic: Mutex::new(None),
+    };
+    std::thread::scope(|scope| {
+        for worker in 0..workers {
+            let state = &state;
+            scope.spawn(move || worker_loop(state, worker));
+        }
+        let guard = ShutdownGuard(&state);
+        let mut session = ChipSession {
+            state: guard.0,
+            cycle,
+        };
+        f(&mut session)
+    })
+}

@@ -198,6 +198,7 @@ impl ExperimentRegistry {
                     allocations: vec![AllocationPolicyKind::RoundRobin],
                     bus_bytes_per_cycle: 16,
                     shared_llc: None,
+                chip_threads: None,
                 }),
             ),
             chip_grid(
@@ -269,6 +270,7 @@ fn chip_grid(
             allocations: AllocationPolicyKind::ALL.to_vec(),
             bus_bytes_per_cycle: 16,
             shared_llc: None,
+            chip_threads: None,
         }),
         adaptive: None,
         resilience: None,

@@ -215,6 +215,10 @@ pub struct ChipSpec {
     /// Shared LLC geometry; defaults to the Table IV L3 of the core
     /// configuration when absent.
     pub shared_llc: Option<CacheConfig>,
+    /// Worker threads stepping cores within a chip cycle (default 1 =
+    /// serial). Purely a host-side throughput knob: grid results are
+    /// bit-for-bit identical at any value.
+    pub chip_threads: Option<usize>,
 }
 
 /// Adaptive-engine parameters of an [`ExperimentKind::AdaptiveGrid`]
@@ -469,6 +473,7 @@ impl ExperimentSpec {
                 bytes_per_cycle: chip.bus_bytes_per_cycle,
             },
             core,
+            chip_threads: chip.chip_threads,
         }
     }
 
@@ -811,6 +816,7 @@ mod tests {
                 ],
                 bus_bytes_per_cycle: 16,
                 shared_llc: None,
+                chip_threads: None,
             }),
             adaptive: None,
             resilience: None,

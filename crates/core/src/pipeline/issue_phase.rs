@@ -4,7 +4,7 @@
 
 use std::cmp::Reverse;
 
-use smt_mem::{AccessLevel, SharedLlc};
+use smt_mem::{AccessLevel, SharedLevel};
 use smt_predictors::LongLatencyPredictor;
 use smt_types::{OpKind, SeqNum, ThreadId};
 
@@ -12,7 +12,7 @@ use super::writeback_phase::CompletionEvent;
 use super::Core;
 
 impl Core {
-    pub(super) fn issue_phase(&mut self, shared: &mut SharedLlc) {
+    pub(super) fn issue_phase<S: SharedLevel>(&mut self, shared: &mut S) {
         let cycle = self.cycle;
         let mut remaining = self.config.issue_width;
         let mut int_units = self.config.int_alus;

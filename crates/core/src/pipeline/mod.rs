@@ -43,7 +43,7 @@ use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
 use smt_fetch::{build_policy, FetchPolicy, FlushRequest, ResourceCaps};
-use smt_mem::{CoreMemory, SharedLlc, WriteBuffer};
+use smt_mem::{CoreMemory, SharedLevel, SharedLlc, WriteBuffer};
 use smt_trace::TraceSource;
 use smt_types::{AdaptiveConfig, MachineStats, SimError, SmtConfig, SmtSnapshot, ThreadId};
 
@@ -246,7 +246,7 @@ impl Core {
     }
 
     /// Advances the core by one cycle against the given shared level.
-    pub(crate) fn step_against(&mut self, shared: &mut SharedLlc) {
+    pub(crate) fn step_against<S: SharedLevel>(&mut self, shared: &mut S) {
         // Move the reusable buffers out of `self` for the duration of the cycle
         // (a pointer-sized swap, not an allocation) so the phases can borrow
         // them alongside `&mut self`.

@@ -66,6 +66,10 @@ pub struct BenchScenario {
     /// [`SAMPLED_BUDGET_MULTIPLIER`] times the exact rows' instruction
     /// budget, timing the fast-forward/measure interleaving.
     pub sampled: bool,
+    /// Chip rows: worker threads stepping the chip's cores (1 = serial
+    /// loop). Parallel rows exist to measure the pool's speedup on the same
+    /// workload as a serial row — simulated results are bit-for-bit equal.
+    pub chip_threads: usize,
 }
 
 /// The benchmark pool chip rows draw from (2 threads per core, core-major).
@@ -101,6 +105,7 @@ pub fn chip_scenario(cores: usize) -> Result<BenchScenario, SimError> {
         cores,
         selector: None,
         sampled: false,
+        chip_threads: 1,
     })
 }
 
@@ -118,6 +123,7 @@ pub fn adaptive_scenario(selector: Option<SelectorKind>) -> BenchScenario {
         cores: 1,
         selector: Some(selector.unwrap_or(SelectorKind::Sampling)),
         sampled: false,
+        chip_threads: 1,
     }
 }
 
@@ -133,6 +139,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "1t_mlp_icount",
@@ -141,6 +148,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "2t_ilp_icount",
@@ -149,6 +157,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "2t_mlp_icount",
@@ -157,6 +166,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "2t_mlp_mlpflush",
@@ -165,6 +175,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "4t_ilp_icount",
@@ -173,6 +184,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "4t_mix_icount",
@@ -181,6 +193,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "4t_mix_mlpflush",
@@ -189,6 +202,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         BenchScenario {
             name: "4t_mlp_mlpflush",
@@ -197,6 +211,7 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         },
         // The same workload as `4t_mlp_mlpflush` in sampled mode at ten
         // times the budget: its wall-clock and instrs/s columns sit next to
@@ -208,9 +223,22 @@ pub fn scenario_matrix() -> Vec<BenchScenario> {
             cores: 1,
             selector: None,
             sampled: true,
+            chip_threads: 1,
         },
     ];
     matrix.push(chip_scenario(2).expect("2-core chip scenario is always valid"));
+    // The serial 4-core chip row's workload stepped by a 2-worker pool: the
+    // wall-clock delta between this row and a serial `--cores 4` run is the
+    // standing measurement of what intra-chip parallelism buys.
+    matrix.push(BenchScenario {
+        name: "4c2t_mix_chipthreads",
+        benchmarks: &CHIP_MIX[..8],
+        policy: FetchPolicyKind::Icount,
+        cores: 4,
+        selector: None,
+        sampled: false,
+        chip_threads: 2,
+    });
     matrix.push(adaptive_scenario(None));
     matrix
 }
@@ -234,6 +262,9 @@ pub struct BenchOptions {
     /// Interval-length override in cycles for the adaptive matrix row
     /// (`smt-cli bench --interval`).
     pub adaptive_interval: Option<u64>,
+    /// Worker-thread override for every chip row (`smt-cli bench
+    /// --chip-threads`); `None` keeps each scenario's own setting.
+    pub chip_threads: Option<usize>,
 }
 
 impl BenchOptions {
@@ -246,6 +277,7 @@ impl BenchOptions {
             extra_chip_cores: None,
             adaptive_selector: None,
             adaptive_interval: None,
+            chip_threads: None,
         }
     }
 
@@ -258,6 +290,7 @@ impl BenchOptions {
             extra_chip_cores: None,
             adaptive_selector: None,
             adaptive_interval: None,
+            chip_threads: None,
         }
     }
 }
@@ -285,6 +318,9 @@ pub struct ScenarioResult {
     /// Adaptive rows: the policy selector used (`None` for static rows and
     /// pre-adaptive reports).
     pub selector: Option<SelectorKind>,
+    /// Chip rows: worker threads that stepped the cores (`None` for
+    /// single-core rows and pre-parallelism reports).
+    pub chip_threads: Option<usize>,
     /// Instruction budget per thread.
     pub instructions_per_thread: u64,
     /// Simulated cycles of one run (identical across repetitions).
@@ -461,12 +497,12 @@ impl ThroughputReport {
     pub fn format_text(&self) -> String {
         let mut out = String::new();
         out.push_str(&format!(
-            "{:<18} {:>2} {:<14} {:>12} {:>12} {:>10} {:>14} {:>14}\n",
+            "{:<20} {:>2} {:<14} {:>12} {:>12} {:>10} {:>14} {:>14}\n",
             "scenario", "T", "policy", "cycles", "instrs", "wall s", "cycles/s", "instrs/s"
         ));
         for s in &self.scenarios {
             out.push_str(&format!(
-                "{:<18} {:>2} {:<14} {:>12} {:>12} {:>10.4} {:>14.0} {:>14.0}\n",
+                "{:<20} {:>2} {:<14} {:>12} {:>12} {:>10.4} {:>14.0} {:>14.0}\n",
                 s.name,
                 s.threads,
                 s.policy.name(),
@@ -622,6 +658,13 @@ pub fn prepare_scenario(
     Ok((sim, options))
 }
 
+/// Worker threads a chip scenario will step its cores on: the
+/// `--chip-threads` override when given, the scenario's own setting
+/// otherwise (1 = serial loop). The simulator clamps to the core count.
+fn effective_chip_threads(scenario: &BenchScenario, opts: &BenchOptions) -> usize {
+    opts.chip_threads.unwrap_or(scenario.chip_threads).max(1)
+}
+
 /// Builds a ready-to-run chip simulator for a `cores > 1` scenario,
 /// dealing the benchmark list out over the cores core-major.
 fn prepare_chip_scenario(
@@ -635,7 +678,9 @@ fn prepare_chip_scenario(
         ));
     }
     let threads_per_core = scenario.benchmarks.len() / cores;
-    let config = ChipConfig::baseline(cores, threads_per_core).with_policy(scenario.policy);
+    let config = ChipConfig::baseline(cores, threads_per_core)
+        .with_policy(scenario.policy)
+        .with_chip_threads(effective_chip_threads(scenario, opts));
     let scale = RunScale::standard().with_instructions(opts.instructions_per_thread);
     let traces = scenario
         .benchmarks
@@ -710,6 +755,7 @@ pub fn run_scenario(
         policy: scenario.policy,
         cores: Some(scenario.cores),
         selector: scenario.selector,
+        chip_threads: (scenario.cores > 1).then(|| effective_chip_threads(scenario, opts)),
         instructions_per_thread: opts.instructions_per_thread,
         simulated_cycles: stats.cycles,
         committed_instructions: committed,
@@ -769,6 +815,7 @@ fn run_sampled_scenario(
         policy: scenario.policy,
         cores: Some(scenario.cores),
         selector: scenario.selector,
+        chip_threads: None,
         instructions_per_thread: budget,
         simulated_cycles: detailed_cycles,
         committed_instructions: committed,
@@ -864,6 +911,11 @@ mod tests {
             matrix.iter().any(|s| s.sampled),
             "matrix must contain a sampled row"
         );
+        let pooled = matrix
+            .iter()
+            .find(|s| s.chip_threads > 1)
+            .expect("matrix must contain a parallel chip row");
+        assert_eq!((pooled.name, pooled.cores), ("4c2t_mix_chipthreads", 4));
         let mut names: Vec<_> = matrix.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
@@ -879,6 +931,7 @@ mod tests {
             cores: 1,
             selector: None,
             sampled: false,
+            chip_threads: 1,
         };
         let result = run_scenario(&scenario, &tiny_opts()).unwrap();
         assert!(result.simulated_cycles > 0);
@@ -915,10 +968,28 @@ mod tests {
         let result = run_scenario(&scenario, &tiny_opts()).unwrap();
         assert_eq!(result.cores, Some(2));
         assert_eq!(result.threads, 4);
+        assert_eq!(result.chip_threads, Some(1));
         assert!(result.simulated_cycles > 0);
         assert!(result.cycles_per_second > 0.0);
         assert!(chip_scenario(1).is_err());
         assert!(chip_scenario(9).is_err());
+    }
+
+    /// The `--chip-threads` override reaches the simulator and the report,
+    /// and the pooled row simulates the exact machine the serial row does.
+    #[test]
+    fn chip_threads_override_is_recorded_and_bit_for_bit() {
+        let scenario = chip_scenario(2).unwrap();
+        let serial = run_scenario(&scenario, &tiny_opts()).unwrap();
+        let opts = BenchOptions {
+            chip_threads: Some(2),
+            ..tiny_opts()
+        };
+        let pooled = run_scenario(&scenario, &opts).unwrap();
+        assert_eq!(pooled.chip_threads, Some(2));
+        assert_eq!(pooled.simulated_cycles, serial.simulated_cycles);
+        assert_eq!(pooled.committed_instructions, serial.committed_instructions);
+        assert_eq!(pooled.total_ipc, serial.total_ipc);
     }
 
     #[test]
@@ -943,6 +1014,7 @@ mod tests {
                     cores: 1,
                     selector: None,
                     sampled: false,
+                    chip_threads: 1,
                 },
                 &opts,
             )
@@ -988,6 +1060,7 @@ mod tests {
                     cores: 1,
                     selector: None,
                     sampled: false,
+                    chip_threads: 1,
                 },
                 &opts,
             )

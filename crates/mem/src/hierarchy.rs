@@ -16,7 +16,7 @@ use smt_types::{SmtConfig, ThreadId};
 use crate::cache::{CacheState, SetAssocCache};
 use crate::mshr::MshrOutcome;
 use crate::prefetch::{PrefetcherState, StreamBufferPrefetcher};
-use crate::shared::SharedLlc;
+use crate::shared::{SharedLevel, SharedLlc};
 use crate::tlb::{TlbFile, TlbFileState};
 
 /// Deepest level that had to service a data access.
@@ -147,9 +147,9 @@ impl CoreMemory {
     /// Performs a data load issued by the static load at `pc` at `cycle` and
     /// returns its timing/classification. Misses below the private L2 are
     /// serviced by `shared`.
-    pub fn load_access(
+    pub fn load_access<S: SharedLevel>(
         &mut self,
-        shared: &mut SharedLlc,
+        shared: &mut S,
         thread: ThreadId,
         pc: u64,
         addr: u64,
@@ -265,9 +265,9 @@ impl CoreMemory {
 
     /// Performs a store for cache-content purposes (write-allocate, no timing: store
     /// latency is hidden behind the write buffer at commit).
-    pub fn store_access(
+    pub fn store_access<S: SharedLevel>(
         &mut self,
-        shared: &mut SharedLlc,
+        shared: &mut S,
         thread: ThreadId,
         addr: u64,
         _cycle: u64,
@@ -283,9 +283,9 @@ impl CoreMemory {
 
     /// Instruction fetch of the line containing `pc`; returns the fetch latency in
     /// cycles (1 on an L1 I-cache hit).
-    pub fn fetch_access(
+    pub fn fetch_access<S: SharedLevel>(
         &mut self,
-        shared: &mut SharedLlc,
+        shared: &mut S,
         thread: ThreadId,
         pc: u64,
         cycle: u64,
@@ -322,9 +322,9 @@ impl CoreMemory {
     ///
     /// `now` stamps stream-buffer availability times; fast-forward callers
     /// pass their frozen cycle.
-    pub fn warm_load(
+    pub fn warm_load<S: SharedLevel>(
         &mut self,
-        shared: &mut SharedLlc,
+        shared: &mut S,
         thread: ThreadId,
         pc: u64,
         addr: u64,
@@ -358,7 +358,7 @@ impl CoreMemory {
 
     /// Functional (fast-forward) store: identical to
     /// [`CoreMemory::store_access`], which is already timing-free.
-    pub fn warm_store(&mut self, shared: &mut SharedLlc, thread: ThreadId, addr: u64) {
+    pub fn warm_store<S: SharedLevel>(&mut self, shared: &mut S, thread: ThreadId, addr: u64) {
         self.store_access(shared, thread, addr, 0);
     }
 

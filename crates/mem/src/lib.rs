@@ -47,8 +47,10 @@ pub mod write_buffer;
 
 pub use cache::{CacheState, SetAssocCache, WayState};
 pub use hierarchy::{AccessLevel, CoreMemory, CoreMemoryState, LoadAccessResult, MemoryHierarchy};
-pub use mshr::MshrFile;
+pub use mshr::{MshrFile, MshrStage};
 pub use prefetch::{PrefetcherState, StreamBufferPrefetcher};
-pub use shared::{MemoryBus, SharedLlc, SharedLlcState};
+pub use shared::{
+    CoreStage, MemoryBus, SharedLevel, SharedLlc, SharedLlcState, SharedLlcView, StagedShared,
+};
 pub use tlb::{Tlb, TlbFile, TlbFileState};
 pub use write_buffer::WriteBuffer;

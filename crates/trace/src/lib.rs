@@ -46,7 +46,10 @@ use smt_types::TraceOp;
 /// deterministic for a given construction seed so that single-threaded and
 /// multi-threaded runs of the same benchmark see the same instruction stream
 /// (required for the STP/ANTT normalization).
-pub trait TraceSource {
+///
+/// Sources must be [`Send`]: on a chip, whole cores (and the trace sources
+/// they own) are stepped by worker threads under the staged discipline.
+pub trait TraceSource: Send {
     /// Produces the next dynamic instruction.
     fn next_op(&mut self) -> TraceOp;
 

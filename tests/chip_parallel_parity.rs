@@ -1,0 +1,261 @@
+//! Parallel-stepping parity: pooled chip runs are bit-for-bit serial.
+//!
+//! The worker pool (`crates/core/src/chip/parallel.rs`) must be a pure
+//! scheduling change: for any chip configuration, fetch policy, workload
+//! placement and run length, stepping the cores on 2 or 4 worker threads
+//! produces [`smt_types::ChipStats`] identical to the serial loop — for
+//! detailed runs, adaptive per-core policy selection, sampled-style
+//! fast-forward + measure alternation, chip experiment grids, and grids
+//! running under fault injection. Together with the golden chip fixture
+//! (generated serially, checked under `SMT_CHIP_THREADS=2` in CI) this pins
+//! the tentpole claim that parallelism never changes simulated behaviour.
+
+use proptest::prelude::*;
+use smt_core::chip::ChipSimulator;
+use smt_core::experiments::{
+    run_spec_with_policy, run_spec_with_threads, ExperimentRegistry, ExperimentReport,
+    ExperimentSpec, RunPolicy,
+};
+use smt_core::pipeline::SimOptions;
+use smt_core::runner::{build_trace, RunScale};
+use smt_resil::{FaultAction, FaultPlan, FaultSpec};
+use smt_trace::TraceSource;
+use smt_types::config::FetchPolicyKind;
+use smt_types::{AdaptiveConfig, ChipConfig, ChipStats, SelectorKind};
+
+const BENCHMARKS: [&str; 6] = ["mcf", "gcc", "swim", "twolf", "gap", "mesa"];
+
+/// The fetch policies most sensitive to timing perturbations: the baseline,
+/// both headline MLP-aware policies, and a resource-partitioning scheme.
+const POLICIES: [FetchPolicyKind; 4] = [
+    FetchPolicyKind::Icount,
+    FetchPolicyKind::MlpFlush,
+    FetchPolicyKind::MlpStall,
+    FetchPolicyKind::Dcra,
+];
+
+fn chip_traces(assignments: &[Vec<&str>], scale: RunScale) -> Vec<Vec<Box<dyn TraceSource>>> {
+    assignments
+        .iter()
+        .map(|core| {
+            core.iter()
+                .map(|b| build_trace(b, scale).expect("known benchmark"))
+                .collect()
+        })
+        .collect()
+}
+
+/// Round-robin placement of the benchmark pool over a `cores` x `threads`
+/// chip, rotated by `offset` so property cases see different mixes.
+fn assignments(cores: usize, threads: usize, offset: usize) -> Vec<Vec<&'static str>> {
+    (0..cores)
+        .map(|c| {
+            (0..threads)
+                .map(|t| BENCHMARKS[(offset + c * threads + t) % BENCHMARKS.len()])
+                .collect()
+        })
+        .collect()
+}
+
+fn run_chip(
+    config: ChipConfig,
+    placement: &[Vec<&'static str>],
+    scale: RunScale,
+    options: SimOptions,
+) -> ChipStats {
+    let mut chip = ChipSimulator::new(config, chip_traces(placement, scale)).expect("chip builds");
+    chip.run(options)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Detailed runs: serial vs 2-worker vs 4-worker (clamped to the core
+    /// count on smaller chips) across random geometry, policy, memory
+    /// latency, placement and run length.
+    #[test]
+    fn pooled_chip_runs_are_bit_for_bit_serial(
+        num_cores in 2usize..5,
+        threads_per_core in 1usize..3,
+        policy_index in 0usize..POLICIES.len(),
+        memory_latency in 150u64..500,
+        offset in 0usize..BENCHMARKS.len(),
+        instructions in 300u64..1_000,
+        seed in 1u64..10_000,
+    ) {
+        let scale = RunScale {
+            instructions_per_thread: instructions,
+            warmup_instructions: instructions / 4,
+            seed,
+            max_cycles: None,
+        };
+        let options = SimOptions {
+            max_instructions_per_thread: instructions,
+            warmup_instructions_per_thread: instructions / 4,
+            ..SimOptions::default()
+        };
+        let placement = assignments(num_cores, threads_per_core, offset);
+        let mut base = ChipConfig::baseline(num_cores, threads_per_core)
+            .with_policy(POLICIES[policy_index]);
+        base.core.memory_latency = memory_latency;
+
+        let serial = run_chip(base.clone(), &placement, scale, options);
+        for workers in [2usize, 4] {
+            let pooled = run_chip(
+                base.clone().with_chip_threads(workers),
+                &placement,
+                scale,
+                options,
+            );
+            prop_assert_eq!(
+                &pooled,
+                &serial,
+                "{} workers diverged from serial on {}c{}t",
+                workers,
+                num_cores,
+                threads_per_core
+            );
+        }
+    }
+}
+
+/// Adaptive chips: per-core selectors switching policies on interval
+/// telemetry must see identical telemetry under the pool, so residency and
+/// stats stay bit-for-bit.
+#[test]
+fn adaptive_chip_pooled_matches_serial() {
+    let scale = RunScale::tiny();
+    let placement = assignments(2, 2, 0);
+    let options = SimOptions {
+        max_instructions_per_thread: 4_000,
+        warmup_instructions_per_thread: 500,
+        ..SimOptions::default()
+    };
+    for selector in [SelectorKind::Sampling, SelectorKind::MlpThreshold] {
+        let adaptive = AdaptiveConfig::new(
+            selector,
+            vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+        )
+        .with_interval_cycles(256);
+        let build = |config: ChipConfig| {
+            ChipSimulator::new_adaptive(config, chip_traces(&placement, scale), adaptive.clone())
+                .expect("adaptive chip builds")
+        };
+        let mut serial = build(ChipConfig::baseline(2, 2));
+        let serial_stats = serial.run(options);
+        let mut pooled = build(ChipConfig::baseline(2, 2).with_chip_threads(2));
+        let pooled_stats = pooled.run(options);
+        assert_eq!(
+            pooled_stats, serial_stats,
+            "{selector:?}: pooled adaptive run diverged"
+        );
+        for core in 0..2 {
+            assert_eq!(
+                pooled.policy_residency(core),
+                serial.policy_residency(core),
+                "{selector:?}: core {core} residency diverged"
+            );
+        }
+    }
+}
+
+/// Sampled-style alternation: a functional fast-forward prefix followed by a
+/// detailed measure phase, both through the pool.
+#[test]
+fn pooled_fast_forward_and_measure_matches_serial() {
+    let scale = RunScale::tiny();
+    let placement = assignments(2, 2, 1);
+    let options = SimOptions {
+        max_instructions_per_thread: 2_000,
+        warmup_instructions_per_thread: 0,
+        ..SimOptions::default()
+    };
+    let run = |config: ChipConfig| {
+        let mut chip =
+            ChipSimulator::new(config, chip_traces(&placement, scale)).expect("chip builds");
+        chip.fast_forward(5_000);
+        chip.run(options)
+    };
+    let serial = run(ChipConfig::baseline(2, 2).with_policy(FetchPolicyKind::MlpFlush));
+    let pooled = run(ChipConfig::baseline(2, 2)
+        .with_policy(FetchPolicyKind::MlpFlush)
+        .with_chip_threads(2));
+    assert_eq!(pooled, serial, "pooled fast-forward + measure diverged");
+}
+
+/// A registry chip experiment at the tiny scale, optionally pooled.
+fn tiny_chip_spec(name: &str, chip_threads: Option<usize>) -> ExperimentSpec {
+    let mut spec = ExperimentRegistry::builtin()
+        .get(name)
+        .expect("registry entry exists")
+        .clone()
+        .with_scale(RunScale::tiny())
+        .with_workload_limit(1);
+    spec.policies.truncate(2);
+    spec.chip
+        .as_mut()
+        .expect("chip experiment has chip parameters")
+        .chip_threads = chip_threads;
+    spec
+}
+
+/// Zeroes the report fields that legitimately differ between runs (wall
+/// clock, engine thread count), leaving everything the results contract pins.
+fn comparable(mut report: ExperimentReport) -> ExperimentReport {
+    report.wall_ms = 0;
+    report.threads_used = 0;
+    report
+}
+
+/// Experiment grids: every cell of a chip grid (and an adaptive chip grid)
+/// is invariant to the spec's `chip_threads`.
+#[test]
+fn chip_grid_reports_are_chip_thread_invariant() {
+    for name in ["chip_2c2t_allocation_matrix", "chip_2c2t_adaptive"] {
+        let serial =
+            run_spec_with_threads(&tiny_chip_spec(name, None), 2).expect("serial grid runs");
+        let pooled =
+            run_spec_with_threads(&tiny_chip_spec(name, Some(2)), 2).expect("pooled grid runs");
+        assert_eq!(
+            comparable(pooled),
+            comparable(serial),
+            "{name}: chip_threads leaked into the report"
+        );
+    }
+}
+
+/// Resilience: a transient fault plan that recovers within the retry budget
+/// yields the same report whether the chip cells step serially or pooled —
+/// worker panics unwind through the pool like serial panics.
+#[test]
+fn chip_grid_chaos_recovers_identically_under_the_pool() {
+    let plan = FaultPlan {
+        seed: 7,
+        faults: vec![FaultSpec {
+            site: "cell-start".to_string(),
+            action: FaultAction::Panic,
+            cell: Some(1),
+            hits: Some(1),
+            delay_ms: None,
+            probability_pct: None,
+            detail: Some("chip parallel parity test".to_string()),
+        }],
+    };
+    let policy = RunPolicy {
+        max_retries: 2,
+        fault_plan: Some(plan.clone()),
+        ..RunPolicy::default()
+    };
+    assert!(plan.recovers_within(policy.max_attempts()));
+
+    let clean = run_spec_with_threads(&tiny_chip_spec("chip_2c2t_allocation_matrix", Some(2)), 2)
+        .expect("clean grid runs");
+    let chaotic = run_spec_with_policy(
+        &tiny_chip_spec("chip_2c2t_allocation_matrix", Some(2)),
+        2,
+        &policy,
+    )
+    .expect("chaotic grid runs");
+    assert!(chaotic.health.as_ref().unwrap().is_complete());
+    assert_eq!(comparable(chaotic), comparable(clean));
+}
