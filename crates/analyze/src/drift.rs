@@ -162,8 +162,8 @@ fn cited_experiment_names(line: &str) -> Vec<String> {
 
 /// Backticked tokens checked even off invocation lines. Deliberately narrow:
 /// underscore required after the `fig`/`table` ordinal, digit required after
-/// `chip_`/`adaptive_`, so kind names (`chip_grid`, `adaptive_grid`) and API
-/// names (`table1`) stay out of scope.
+/// `chip_`/`adaptive_`/`trace_`, so kind names (`chip_grid`, `adaptive_grid`)
+/// and API names (`table1`) stay out of scope.
 fn is_shaped_citation(token: &str) -> bool {
     if !is_experiment_name(token) {
         return false;
@@ -176,7 +176,7 @@ fn is_shaped_citation(token: &str) -> bool {
             }
         }
     }
-    for prefix in ["chip_", "adaptive_"] {
+    for prefix in ["chip_", "adaptive_", "trace_"] {
         if let Some(rest) = token.strip_prefix(prefix) {
             return rest.starts_with(|c: char| c.is_ascii_digit());
         }
@@ -228,6 +228,8 @@ mod tests {
         assert!(is_shaped_citation("fig09_two_thread_policies"));
         assert!(is_shaped_citation("chip_2c2t_adaptive"));
         assert!(is_shaped_citation("adaptive_4t"));
+        assert!(is_shaped_citation("trace_2t_replay"));
+        assert!(!is_shaped_citation("trace_replay_ingest"));
         assert!(!is_shaped_citation("chip_grid"));
         assert!(!is_shaped_citation("adaptive_grid"));
         assert!(!is_shaped_citation("table1"));

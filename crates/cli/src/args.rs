@@ -55,8 +55,47 @@ pub enum Command {
     Bench(BenchArgs),
     /// `smt-cli checkpoint <save|load> ...`
     Checkpoint(CheckpointCmd),
+    /// `smt-cli trace <record|inspect|stats> ...`
+    Trace(TraceCmd),
     /// `smt-cli help` / `--help`
     Help,
+}
+
+/// The `trace` subcommand: record, verify and summarize on-disk `.smtt`
+/// trace files.
+#[derive(Clone, PartialEq, Debug)]
+pub enum TraceCmd {
+    /// `smt-cli trace record <benchmark> --out <path> [flags]`
+    Record(TraceRecordArgs),
+    /// `smt-cli trace inspect <path>`
+    Inspect {
+        /// Trace file to verify (header, every record, digest).
+        path: String,
+    },
+    /// `smt-cli trace stats <path>`
+    Stats {
+        /// Trace file to summarize.
+        path: String,
+    },
+}
+
+/// Flags of `trace record`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct TraceRecordArgs {
+    /// Synthetic benchmark to record (a Table I name).
+    pub benchmark: String,
+    /// `--out <path>`: where to write the `.smtt` file (required).
+    pub out: String,
+    /// `--ops <n>`: ops to record (default: twice the scale's per-thread
+    /// instruction budget — enough that ICOUNT-style replay runs never wrap
+    /// the file; flush policies and sampled runs consume more, so size it
+    /// up for those).
+    pub ops: Option<u64>,
+    /// `--scale <name>`: scale whose seed (and default op count) to record
+    /// under (default `standard`).
+    pub scale: Option<RunScale>,
+    /// `--seed <n>`: overrides the scale's base seed.
+    pub seed: Option<u64>,
 }
 
 /// The `checkpoint` subcommand: capture or inspect serialized warm
@@ -474,6 +513,89 @@ pub fn parse(args: &[String]) -> Result<Command, String> {
                 )),
             }
         }
+        "trace" => {
+            let action = iter
+                .next()
+                .ok_or_else(|| "`trace` needs an action: record, inspect or stats".to_string())?;
+            match action.as_str() {
+                "record" => {
+                    let benchmark = iter
+                        .next()
+                        .ok_or_else(|| "`trace record` needs a benchmark name".to_string())?
+                        .clone();
+                    let mut record = TraceRecordArgs {
+                        benchmark,
+                        out: String::new(),
+                        ops: None,
+                        scale: None,
+                        seed: None,
+                    };
+                    while let Some(flag) = iter.next() {
+                        let mut value_for = |flag: &str| {
+                            iter.next()
+                                .cloned()
+                                .ok_or_else(|| format!("`{flag}` needs a value"))
+                        };
+                        match flag.as_str() {
+                            "--out" => record.out = value_for("--out")?,
+                            "--ops" => {
+                                let value = value_for("--ops")?;
+                                let ops: u64 = value
+                                    .parse()
+                                    .map_err(|_| format!("invalid op count `{value}`"))?;
+                                if ops == 0 {
+                                    return Err("`--ops` must be at least 1".to_string());
+                                }
+                                record.ops = Some(ops);
+                            }
+                            "--scale" => {
+                                let value = value_for("--scale")?;
+                                record.scale = Some(RunScale::named(&value).ok_or_else(|| {
+                                    format!(
+                                        "unknown scale `{value}`, expected one of: {}",
+                                        RunScale::NAMES.join(", ")
+                                    )
+                                })?);
+                            }
+                            "--seed" => {
+                                let value = value_for("--seed")?;
+                                record.seed = Some(
+                                    value
+                                        .parse()
+                                        .map_err(|_| format!("invalid seed `{value}`"))?,
+                                );
+                            }
+                            other => {
+                                return Err(format!("unknown flag `{other}` for `trace record`"))
+                            }
+                        }
+                    }
+                    if record.out.is_empty() {
+                        return Err("`trace record` needs `--out <path>`".to_string());
+                    }
+                    Ok(Command::Trace(TraceCmd::Record(record)))
+                }
+                "inspect" | "stats" => {
+                    let path = iter
+                        .next()
+                        .ok_or_else(|| format!("`trace {action}` needs a file path"))?
+                        .clone();
+                    if let Some(extra) = iter.next() {
+                        return Err(format!(
+                            "`trace {action}` takes one argument, got `{extra}`"
+                        ));
+                    }
+                    Ok(Command::Trace(if action == "inspect" {
+                        TraceCmd::Inspect { path }
+                    } else {
+                        TraceCmd::Stats { path }
+                    }))
+                }
+                other => Err(format!(
+                    "unknown trace action `{other}`, expected record, inspect or stats"
+                )),
+            }
+        }
         other => Err(format!("unknown command `{other}`; try `smt-cli help`")),
     }
 }
@@ -524,6 +646,18 @@ USAGE:
     smt-cli checkpoint load <path>
         Load a checkpoint file, validate its schema, and print its summary.
 
+    smt-cli trace record <benchmark> --out <path.smtt> [flags]
+        Record a benchmark's op stream into an on-disk `.smtt` binary trace.
+        The file can then be used anywhere a benchmark name is accepted via
+        the `trace:<path>` workload scheme.
+
+    smt-cli trace inspect <path.smtt>
+        Validate a trace file end to end (header, every record, digest) and
+        print its header summary.
+
+    smt-cli trace stats <path.smtt>
+        Print a trace file's op-kind mix, branch and dependency statistics.
+
 BENCH FLAGS:
     --quick             Reduced-size smoke run (CI)
     --instructions <n>  Instructions per thread (default 30000; 3000 with --quick)
@@ -563,6 +697,13 @@ CHECKPOINT SAVE FLAGS:
     --scale <name>      Scale whose warm-up prefix and seed to capture (default standard)
     --instructions <n>  Override the warm-up prefix length
 
+TRACE RECORD FLAGS:
+    --out <path>        Where to write the `.smtt` trace (required)
+    --ops <n>           Ops to record (default: twice the scale's per-thread budget;
+                        flush policies and sampled runs consume more - size it up)
+    --scale <name>      Scale whose seed and budget to record under (default standard)
+    --seed <n>          Override the scale's base seed
+
 EXIT CODES (run):
     0   every cell completed
     3   degraded: some cells failed, partial report written
@@ -582,6 +723,9 @@ EXAMPLES:
     smt-cli run fig09_two_thread_policies --sampled --scale test
     smt-cli checkpoint save mcf,gcc --scale test --out /tmp/warm.json
     smt-cli checkpoint load /tmp/warm.json
+    smt-cli trace record mcf --scale test --out /tmp/mcf.smtt
+    smt-cli trace inspect /tmp/mcf.smtt
+    smt-cli trace stats /tmp/mcf.smtt
 ";
 
 #[cfg(test)]
@@ -806,6 +950,55 @@ mod tests {
         );
         assert!(parse_err(&["checkpoint", "load"]).contains("file path"));
         assert!(parse_err(&["checkpoint", "load", "a", "b"]).contains("one argument"));
+    }
+
+    #[test]
+    fn trace_record_parses_and_validates() {
+        let command = parse_ok(&[
+            "trace",
+            "record",
+            "mcf",
+            "--scale",
+            "test",
+            "--ops",
+            "4096",
+            "--seed",
+            "7",
+            "--out",
+            "/tmp/mcf.smtt",
+        ]);
+        let Command::Trace(TraceCmd::Record(record)) = command else {
+            panic!("expected trace record");
+        };
+        assert_eq!(record.benchmark, "mcf");
+        assert_eq!(record.scale, Some(RunScale::test()));
+        assert_eq!(record.ops, Some(4_096));
+        assert_eq!(record.seed, Some(7));
+        assert_eq!(record.out, "/tmp/mcf.smtt");
+        assert!(parse_err(&["trace"]).contains("record, inspect or stats"));
+        assert!(parse_err(&["trace", "record"]).contains("benchmark name"));
+        assert!(parse_err(&["trace", "record", "mcf"]).contains("--out"));
+        assert!(parse_err(&["trace", "record", "mcf", "--ops", "0"]).contains("at least 1"));
+        assert!(parse_err(&["trace", "record", "mcf", "--warp"]).contains("--warp"));
+        assert!(parse_err(&["trace", "verify"]).contains("record, inspect or stats"));
+    }
+
+    #[test]
+    fn trace_inspect_and_stats_parse() {
+        assert_eq!(
+            parse_ok(&["trace", "inspect", "/tmp/mcf.smtt"]),
+            Command::Trace(TraceCmd::Inspect {
+                path: "/tmp/mcf.smtt".to_string()
+            })
+        );
+        assert_eq!(
+            parse_ok(&["trace", "stats", "/tmp/mcf.smtt"]),
+            Command::Trace(TraceCmd::Stats {
+                path: "/tmp/mcf.smtt".to_string()
+            })
+        );
+        assert!(parse_err(&["trace", "inspect"]).contains("file path"));
+        assert!(parse_err(&["trace", "stats", "a", "b"]).contains("one argument"));
     }
 
     #[test]

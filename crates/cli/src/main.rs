@@ -26,7 +26,10 @@ use smt_core::throughput::{
 use smt_core::SimCheckpoint;
 use smt_types::{RunHealthStatus, SimError, SmtConfig};
 
-use args::{BenchArgs, CheckpointCmd, CheckpointSaveArgs, Command, OutputFormat, RunArgs};
+use args::{
+    BenchArgs, CheckpointCmd, CheckpointSaveArgs, Command, OutputFormat, RunArgs, TraceCmd,
+    TraceRecordArgs,
+};
 
 fn main() -> ExitCode {
     let raw: Vec<String> = std::env::args().skip(1).collect();
@@ -59,7 +62,80 @@ fn dispatch(command: Command) -> Result<ExitCode, String> {
         Command::Checkpoint(checkpoint) => {
             execute_checkpoint(checkpoint).map(|()| ExitCode::SUCCESS)
         }
+        Command::Trace(trace) => execute_trace(trace).map(|()| ExitCode::SUCCESS),
     }
+}
+
+/// `trace record`: stream a benchmark's op stream into an on-disk `.smtt`
+/// file; `trace inspect`: validate a trace end to end; `trace stats`: print a
+/// trace's op mix.
+fn execute_trace(command: TraceCmd) -> Result<(), String> {
+    match command {
+        TraceCmd::Record(record) => execute_trace_record(record),
+        TraceCmd::Inspect { path } => {
+            let scan = smt_trace::inspect::scan_file(&path).map_err(|e| e.to_string())?;
+            let header = &scan.header;
+            println!(
+                "trace {path}\n  format version: {}\n  benchmark: {}\n  mlp-intensive: {}\n  \
+                 ops: {}\n  digest: {:#018x} (verified)",
+                header.version,
+                header.benchmark,
+                header.mlp_intensive,
+                header.op_count,
+                header.digest,
+            );
+            Ok(())
+        }
+        TraceCmd::Stats { path } => {
+            let scan = smt_trace::inspect::scan_file(&path).map_err(|e| e.to_string())?;
+            let total = scan.total_ops();
+            println!("trace {path}: {} ({} ops)", scan.header.benchmark, total);
+            for kind in smt_types::OpKind::ALL {
+                let count = scan.count(kind);
+                println!(
+                    "  {:<10} {:>12}  ({:.1}%)",
+                    format!("{kind:?}"),
+                    count,
+                    100.0 * count as f64 / total.max(1) as f64
+                );
+            }
+            println!(
+                "  taken branches: {}\n  ops with dependencies: {}",
+                scan.taken_branches, scan.ops_with_deps
+            );
+            Ok(())
+        }
+    }
+}
+
+fn execute_trace_record(record: TraceRecordArgs) -> Result<(), String> {
+    let mut scale = record.scale.unwrap_or_else(RunScale::standard);
+    if let Some(seed) = record.seed {
+        scale.seed = seed;
+    }
+    // Default op count: twice the scale's full per-thread budget (warm-up plus
+    // measurement), so an ICOUNT-style replay under the same scale never wraps
+    // the file. Flush policies permanently discard wrong-path fetches on every
+    // flush and sampled runs cover the whole sampled horizon; both consume far
+    // more ops than the budget, so recordings for them need explicit --ops.
+    let ops = record
+        .ops
+        .unwrap_or_else(|| 2 * (scale.warmup_instructions + scale.instructions_per_thread).max(1));
+    let mlp_intensive = smt_core::workloads::benchmark_is_mlp_intensive(&record.benchmark)
+        .map_err(|e| e.to_string())?;
+    let mut source =
+        smt_core::runner::build_trace(&record.benchmark, scale).map_err(|e| e.to_string())?;
+    eprintln!(
+        "recording {} ops of `{}` (seed {})...",
+        ops, record.benchmark, scale.seed
+    );
+    let summary = smt_trace::record_source(source.as_mut(), ops, &record.out, mlp_intensive)
+        .map_err(|e| e.to_string())?;
+    eprintln!(
+        "trace written to {}: {} ops, {} bytes, digest {:#018x}",
+        record.out, summary.op_count, summary.bytes, summary.digest
+    );
+    Ok(())
 }
 
 /// `checkpoint save`: functionally fast-forward the workload's warm-up prefix

@@ -201,6 +201,19 @@ impl ExperimentRegistry {
                 chip_threads: None,
                 }),
             ),
+            grid(
+                "trace_2t_replay",
+                "ICOUNT versus MLP-aware flush on a two-thread workload replayed from the \
+                 checked-in `.smtt` golden trace: the trace-driven ingestion path exercised \
+                 end to end from on-disk records",
+                "",
+                vec![FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush],
+                vec![vec_of(&[
+                    "trace:tests/golden/trace_2t_replay.smtt",
+                    "trace:tests/golden/trace_2t_replay.smtt",
+                ])],
+                None,
+            ),
             chip_grid(
                 "chip_4c2t_allocation_matrix",
                 "Fetch policy x thread-to-core allocation matrix on a 4-core x 2-thread chip with a shared LLC and contended memory bus",

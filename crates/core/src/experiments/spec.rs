@@ -635,7 +635,18 @@ impl ExperimentSpec {
                 ));
             }
             for benchmark in benchmarks {
-                if trace_spec::benchmark(benchmark).is_err() {
+                // `trace:<path>` workloads are validated lexically here; the
+                // file itself is opened (and its header checked) when the run
+                // builds its trace sources, so specs stay serializable and
+                // checkable without touching the filesystem.
+                if let Some(path) = smt_trace::trace_path(benchmark) {
+                    if path.is_empty() {
+                        return Err(invalid(
+                            name,
+                            format!("workloads[{i}]: `trace:` workload is missing a file path"),
+                        ));
+                    }
+                } else if trace_spec::benchmark(benchmark).is_err() {
                     return Err(invalid(
                         name,
                         format!("workloads[{i}]: unknown benchmark `{benchmark}`"),

@@ -130,15 +130,14 @@ impl Core {
             self.is_drained(),
             "skip-forward requires a drained pipeline"
         );
-        for _ in 0..instructions {
-            for ti in 0..self.threads.len() {
-                if !self.threads[ti].active {
-                    continue;
-                }
-                let ctx = &mut self.threads[ti];
-                let _ = ctx.pull_op();
-                ctx.committed += 1;
-            }
+        // Threads consume independent streams and nothing but per-thread
+        // cursors move, so the old one-instruction-round-robin interleaving
+        // and this per-thread bulk skip are observationally identical — and
+        // the bulk form lets seekable sources (`FileTraceSource`) take their
+        // O(1) `skip` instead of decoding every skipped op.
+        for ctx in self.threads.iter_mut().filter(|t| t.active) {
+            ctx.skip_ops(instructions);
+            ctx.committed += instructions;
         }
     }
 }

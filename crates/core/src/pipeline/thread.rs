@@ -184,13 +184,38 @@ impl ThreadContext {
                 // A `refill` override that under-delivers (trace sources are
                 // infinite by contract, but a custom impl may not honour
                 // that): fall back to the per-op path instead of indexing an
-                // empty buffer.
+                // empty buffer. Engine-facing sources must never take this
+                // path — it silently degrades every fetch to one virtual call
+                // per op, defeating the batched-refill design.
+                debug_assert!(
+                    false,
+                    "TraceSource::refill delivered no ops (source `{}`): engine-facing \
+                     sources must honour the infinite-stream batch contract",
+                    self.trace.name()
+                );
                 return (self.trace.next_op(), None);
             }
         }
         let op = self.refill_buf[self.refill_pos];
         self.refill_pos += 1;
         (op, None)
+    }
+
+    /// Discards the next `n` trace ops without touching any other state.
+    ///
+    /// Already-materialized ops — queued re-fetches and the unconsumed tail of
+    /// the refill buffer — are drained one at a time; the remainder is skipped
+    /// in bulk through [`TraceSource::skip`], which is an O(1) seek for
+    /// seekable sources (`FileTraceSource`) and a generate-and-discard loop
+    /// for synthetic ones.
+    pub(super) fn skip_ops(&mut self, n: u64) {
+        let mut remaining = n;
+        while remaining > 0 && (!self.refetch.is_empty() || self.refill_pos < self.refill_buf.len())
+        {
+            let _ = self.pull_op();
+            remaining -= 1;
+        }
+        self.trace.skip(remaining);
     }
 
     /// Trace ops pulled into the refill buffer but not yet consumed, in

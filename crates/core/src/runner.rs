@@ -13,7 +13,7 @@ use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 use serde::{Deserialize, Serialize};
 use smt_sched::{build_allocation_policy, AllocationPolicyKind, ThreadSpec};
-use smt_trace::{spec, SyntheticTraceGenerator, TraceSource};
+use smt_trace::{spec, FileTraceSource, SyntheticTraceGenerator, TraceSource};
 use smt_types::adaptive::{AdaptiveConfig, PolicyResidency, SelectorKind};
 use smt_types::config::FetchPolicyKind;
 use smt_types::{
@@ -159,10 +159,22 @@ fn benchmark_seed(name: &str, base: u64) -> u64 {
 
 /// Builds the trace source for one benchmark.
 ///
+/// `trace:<path>` names replay the `.smtt` file at `<path>` (relative paths
+/// resolve against the process working directory); every other name
+/// instantiates the synthetic generator for that SPEC CPU2000 benchmark,
+/// seeded from the benchmark name and `scale.seed`. This is the single
+/// construction hook every run path goes through — single-thread references,
+/// multiprogram and chip runs, sampled warm-up and checkpoint capture — so
+/// trace-backed workloads compose with all of them automatically.
+///
 /// # Errors
 ///
-/// Returns [`SimError::UnknownBenchmark`] for names outside Table I.
+/// Returns [`SimError::UnknownBenchmark`] for names outside Table I, or
+/// [`SimError::InvalidConfig`] when a `trace:` file is missing or malformed.
 pub fn build_trace(benchmark: &str, scale: RunScale) -> Result<Box<dyn TraceSource>, SimError> {
+    if let Some(path) = smt_trace::trace_path(benchmark) {
+        return Ok(Box::new(FileTraceSource::open(path)?));
+    }
     let profile = spec::benchmark(benchmark)?;
     Ok(Box::new(SyntheticTraceGenerator::new(
         profile,

@@ -25,6 +25,25 @@ impl WorkloadGroup {
     }
 }
 
+/// Resolves whether one benchmark name — synthetic (Table I) or an on-disk
+/// `trace:<path>` workload — is MLP-intensive.
+///
+/// Synthetic names answer from their [`spec`] profile; `trace:` names answer
+/// from the `.smtt` header's MLP flag, which the recorder stamped from the
+/// recorded workload's classification.
+///
+/// # Errors
+///
+/// Returns [`SimError::UnknownBenchmark`] for unknown synthetic names, or
+/// [`SimError::InvalidConfig`] for a `trace:` file that is missing or has a
+/// malformed header.
+pub fn benchmark_is_mlp_intensive(name: &str) -> Result<bool, SimError> {
+    if let Some(path) = smt_trace::trace_path(name) {
+        return Ok(smt_trace::inspect::peek_header(path)?.mlp_intensive);
+    }
+    Ok(spec::benchmark(name)?.is_mlp_intensive())
+}
+
 /// One multiprogram workload: a named set of benchmarks co-scheduled on the SMT
 /// processor.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -40,8 +59,9 @@ impl Workload {
     ///
     /// # Errors
     ///
-    /// Returns [`SimError::UnknownBenchmark`] if any name is not a Table I
-    /// benchmark, or [`SimError::InvalidWorkload`] if the list is empty.
+    /// Returns [`SimError::UnknownBenchmark`] if any name is neither a Table I
+    /// benchmark nor a readable `trace:<path>` workload, or
+    /// [`SimError::InvalidWorkload`] if the list is empty.
     pub fn new<S: Into<String>>(benchmarks: Vec<S>) -> Result<Self, SimError> {
         let benchmarks: Vec<String> = benchmarks.into_iter().map(Into::into).collect();
         if benchmarks.is_empty() {
@@ -51,8 +71,7 @@ impl Workload {
         }
         let mut mlp_count = 0;
         for name in &benchmarks {
-            let profile = spec::benchmark(name)?;
-            if profile.is_mlp_intensive() {
+            if benchmark_is_mlp_intensive(name)? {
                 mlp_count += 1;
             }
         }
@@ -80,11 +99,7 @@ impl Workload {
     pub fn mlp_count(&self) -> usize {
         self.benchmarks
             .iter()
-            .filter(|b| {
-                spec::benchmark(b)
-                    .map(|p| p.is_mlp_intensive())
-                    .unwrap_or(false)
-            })
+            .filter(|b| benchmark_is_mlp_intensive(b).unwrap_or(false))
             .count()
     }
 }

@@ -133,10 +133,44 @@ fn assert_zero_alloc_steady_state(label: &str, mut step: impl FnMut()) {
 
 #[test]
 fn steady_state_cycle_loop_performs_no_heap_allocations() {
+    // Recorded once up front (recording may allocate; it is not under test):
+    // a short `.smtt` the replay case below streams cyclically, so the
+    // measured window also covers the reader's wrap-and-reseek path.
+    let replay_path =
+        std::env::temp_dir().join(format!("smt-alloc-replay-{}.smtt", std::process::id()));
+    let mut recorder = smt_core::runner::build_trace("mcf", smt_core::runner::RunScale::tiny())
+        .expect("source builds");
+    smt_trace::record_source(recorder.as_mut(), 8192, &replay_path, true)
+        .expect("recording succeeds");
+
+    // The bulk-ingestion loop (the `trace_replay_ingest` bench path):
+    // zero-copy record iteration over a resident reader must be
+    // allocation-free in steady state, cyclic wraps included.
+    let mut resident =
+        smt_trace::FileTraceSource::open_resident(&replay_path).expect("trace loads resident");
+    let mut folded = 0u64;
+    assert_zero_alloc_steady_state("FileTraceSource/for_each_record", || {
+        resident.for_each_record(64, |record| {
+            folded = folded.rotate_left(7).wrapping_add(record.pc());
+        });
+    });
+    assert_ne!(folded, 0, "ingestion loop consumed records");
+
     for policy in [FetchPolicyKind::Icount, FetchPolicyKind::MlpFlush] {
         let config = SmtConfig::baseline(2).with_policy(policy);
         let mut sim = SmtSimulator::new(config, mixed_pair()).expect("machine builds");
         assert_zero_alloc_steady_state(&format!("SmtSimulator/{policy:?}"), || sim.step());
+
+        // Trace-driven replay: after construction, streaming a recorded
+        // `.smtt` through the pipeline — decode, refill batches, cyclic wrap
+        // — must be as allocation-free as the synthetic generator.
+        let config = SmtConfig::baseline(2).with_policy(policy);
+        let replay: Vec<Box<dyn TraceSource>> = vec![
+            Box::new(smt_trace::FileTraceSource::open(&replay_path).expect("trace opens")),
+            alu_trace(),
+        ];
+        let mut sim = SmtSimulator::new(config, replay).expect("machine builds");
+        assert_zero_alloc_steady_state(&format!("SmtSimulator/replay/{policy:?}"), || sim.step());
 
         let chip_config = ChipConfig::baseline(2, 2).with_policy(policy);
         let mut chip =
@@ -168,4 +202,5 @@ fn steady_state_cycle_loop_performs_no_heap_allocations() {
             });
         });
     }
+    std::fs::remove_file(&replay_path).ok();
 }

@@ -29,16 +29,40 @@
 #![deny(missing_docs)]
 #![deny(rustdoc::broken_intra_doc_links)]
 
+pub mod format;
 pub mod generator;
+pub mod inspect;
 pub mod profile;
+pub mod reader;
 pub mod scripted;
 pub mod spec;
+pub mod writer;
 
+pub use format::TraceHeader;
 pub use generator::SyntheticTraceGenerator;
 pub use profile::{BenchmarkProfile, WorkloadClass};
+pub use reader::FileTraceSource;
 pub use scripted::ScriptedTrace;
+pub use writer::{record_source, TraceWriter};
 
 use smt_types::TraceOp;
+
+/// The workload-name prefix marking an on-disk `.smtt` trace benchmark
+/// (`trace:<path>`), usable anywhere a synthetic benchmark name is.
+pub const TRACE_SCHEME: &str = "trace:";
+
+/// Splits a `trace:<path>` workload name into its file path, or `None` for
+/// ordinary (synthetic) benchmark names.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(smt_trace::trace_path("trace:traces/mcf.smtt"), Some("traces/mcf.smtt"));
+/// assert_eq!(smt_trace::trace_path("mcf"), None);
+/// ```
+pub fn trace_path(benchmark: &str) -> Option<&str> {
+    benchmark.strip_prefix(TRACE_SCHEME)
+}
 
 /// A source of dynamic instructions for one hardware thread.
 ///
@@ -67,6 +91,20 @@ pub trait TraceSource: Send {
         buf.reserve(n);
         for _ in 0..n {
             buf.push(self.next_op());
+        }
+    }
+
+    /// Discards the next `n` dynamic instructions, as if `n` successive
+    /// [`TraceSource::next_op`] calls ran and their results were dropped.
+    ///
+    /// The default implementation does exactly that — generative sources must
+    /// actually produce each op to advance their internal state. Sources with
+    /// random-access backing storage ([`FileTraceSource`]) override it with an
+    /// O(1) seek, which is what makes the skip phase of sampled simulation
+    /// free for trace-backed workloads.
+    fn skip(&mut self, n: u64) {
+        for _ in 0..n {
+            let _ = self.next_op();
         }
     }
 
@@ -137,6 +175,10 @@ impl<T: TraceSource + ?Sized> TraceSource for Box<T> {
 
     fn refill(&mut self, buf: &mut Vec<TraceOp>, n: usize) {
         (**self).refill(buf, n)
+    }
+
+    fn skip(&mut self, n: u64) {
+        (**self).skip(n)
     }
 
     fn name(&self) -> &str {

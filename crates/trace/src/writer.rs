@@ -1,0 +1,199 @@
+//! Recording [`TraceSource`] streams into `.smtt` files.
+//!
+//! [`TraceWriter`] is the low-level incremental encoder: open, append ops,
+//! finish (which patches the header with the final op count and digest).
+//! [`record_source`] is the converter on top: it drains any existing
+//! [`TraceSource`] — synthetic generators included — through the batched
+//! [`TraceSource::refill`] API and writes the stream out verbatim, so a
+//! replayed file reproduces the source's op stream bit for bit.
+
+use std::fs::File;
+use std::io::{BufWriter, Seek, SeekFrom, Write};
+use std::path::Path;
+
+use smt_types::{SimError, TraceOp};
+
+use crate::format::{
+    digest_update, encode_record, TraceHeader, DIGEST_SEED, FORMAT_VERSION, RECORD_LEN,
+};
+use crate::TraceSource;
+
+/// Ops pulled per [`TraceSource::refill`] batch while recording.
+const RECORD_BATCH: usize = 4096;
+
+/// Outcome of a finished recording.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct TraceSummary {
+    /// Records written.
+    pub op_count: u64,
+    /// FNV-1a 64 digest over all record bytes (as stored in the header).
+    pub digest: u64,
+    /// Total file size in bytes, header included.
+    pub bytes: u64,
+}
+
+/// Incremental `.smtt` encoder.
+///
+/// # Example
+///
+/// ```no_run
+/// use smt_trace::writer::TraceWriter;
+/// use smt_types::TraceOp;
+///
+/// let mut writer = TraceWriter::create("mcf.smtt", "mcf", true).unwrap();
+/// writer.write_op(&TraceOp::int_alu(0x1000)).unwrap();
+/// let summary = writer.finish().unwrap();
+/// assert_eq!(summary.op_count, 1);
+/// ```
+pub struct TraceWriter {
+    out: BufWriter<File>,
+    benchmark: String,
+    mlp_intensive: bool,
+    op_count: u64,
+    digest: u64,
+    scratch: [u8; RECORD_LEN],
+}
+
+impl TraceWriter {
+    /// Creates (or truncates) `path` and writes a placeholder header.
+    ///
+    /// `benchmark` is the workload name replay will report (at most
+    /// [`crate::format::MAX_NAME_LEN`] bytes); `mlp_intensive` records the
+    /// workload-group classification bit.
+    pub fn create(
+        path: impl AsRef<Path>,
+        benchmark: &str,
+        mlp_intensive: bool,
+    ) -> Result<TraceWriter, SimError> {
+        let path = path.as_ref();
+        // Validate the name before touching the filesystem.
+        let header = TraceHeader {
+            version: FORMAT_VERSION,
+            benchmark: benchmark.to_string(),
+            mlp_intensive,
+            op_count: 0,
+            digest: DIGEST_SEED,
+        };
+        let placeholder = header.encode()?;
+        let file = File::create(path).map_err(|e| {
+            SimError::invalid_config(format!("cannot create trace file {}: {e}", path.display()))
+        })?;
+        let mut out = BufWriter::new(file);
+        out.write_all(&placeholder)
+            .map_err(|e| write_error(path.display(), &e))?;
+        Ok(TraceWriter {
+            out,
+            benchmark: benchmark.to_string(),
+            mlp_intensive,
+            op_count: 0,
+            digest: DIGEST_SEED,
+            scratch: [0u8; RECORD_LEN],
+        })
+    }
+
+    /// Appends one op to the trace.
+    pub fn write_op(&mut self, op: &TraceOp) -> Result<(), SimError> {
+        encode_record(op, &mut self.scratch)?;
+        self.digest = digest_update(self.digest, &self.scratch);
+        self.out
+            .write_all(&self.scratch)
+            .map_err(|e| SimError::internal(format!("trace write failed: {e}")))?;
+        self.op_count += 1;
+        Ok(())
+    }
+
+    /// Flushes buffered records and patches the header with the final op
+    /// count and digest. The file is not a valid trace until this runs.
+    pub fn finish(mut self) -> Result<TraceSummary, SimError> {
+        let header = TraceHeader {
+            version: FORMAT_VERSION,
+            benchmark: self.benchmark.clone(),
+            mlp_intensive: self.mlp_intensive,
+            op_count: self.op_count,
+            digest: self.digest,
+        };
+        let bytes = header.encode()?;
+        self.out
+            .seek(SeekFrom::Start(0))
+            .and_then(|_| self.out.write_all(&bytes))
+            .and_then(|_| self.out.flush())
+            .map_err(|e| SimError::internal(format!("trace finalize failed: {e}")))?;
+        Ok(TraceSummary {
+            op_count: self.op_count,
+            digest: self.digest,
+            bytes: crate::format::HEADER_LEN as u64 + self.op_count * RECORD_LEN as u64,
+        })
+    }
+}
+
+fn write_error(path: impl std::fmt::Display, e: &std::io::Error) -> SimError {
+    SimError::internal(format!("cannot write trace file {path}: {e}"))
+}
+
+/// Records the next `ops` instructions of `source` into a `.smtt` file at
+/// `path`, pulling through the batched [`TraceSource::refill`] API.
+///
+/// The file's benchmark name is taken from [`TraceSource::name`];
+/// `mlp_intensive` is stored in the header flags. Replaying the file with
+/// [`crate::reader::FileTraceSource`] reproduces exactly the ops recorded
+/// here, in order.
+pub fn record_source<S: TraceSource + ?Sized>(
+    source: &mut S,
+    ops: u64,
+    path: impl AsRef<Path>,
+    mlp_intensive: bool,
+) -> Result<TraceSummary, SimError> {
+    let mut writer = TraceWriter::create(path, source.name(), mlp_intensive)?;
+    let mut batch: Vec<TraceOp> = Vec::with_capacity(RECORD_BATCH);
+    let mut remaining = ops;
+    while remaining > 0 {
+        let n = remaining.min(RECORD_BATCH as u64) as usize;
+        batch.clear();
+        source.refill(&mut batch, n);
+        for op in &batch {
+            writer.write_op(op)?;
+        }
+        remaining -= n as u64;
+    }
+    writer.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::format::HEADER_LEN;
+    use crate::ScriptedTrace;
+
+    fn temp_path(tag: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("smtt-writer-{tag}-{}.smtt", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn records_exactly_the_requested_op_count() {
+        let path = temp_path("count");
+        let ops: Vec<TraceOp> = (0..10).map(|i| TraceOp::int_alu(0x100 + 4 * i)).collect();
+        let mut source = ScriptedTrace::looping("count", ops);
+        let summary = record_source(&mut source, 25, &path, false).expect("records");
+        assert_eq!(summary.op_count, 25);
+        assert_eq!(
+            summary.bytes,
+            (HEADER_LEN + 25 * RECORD_LEN) as u64,
+            "fixed-width records"
+        );
+        assert_eq!(
+            std::fs::metadata(&path).expect("file exists").len(),
+            summary.bytes
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn create_rejects_over_long_names() {
+        let path = temp_path("longname");
+        let name = "x".repeat(64);
+        assert!(TraceWriter::create(&path, &name, false).is_err());
+        assert!(!path.exists(), "no file is left behind on a rejected name");
+    }
+}

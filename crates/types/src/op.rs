@@ -29,6 +29,18 @@ pub enum OpKind {
 }
 
 impl OpKind {
+    /// Every kind, in declaration order (the on-disk trace format's kind-code
+    /// order).
+    pub const ALL: [OpKind; 7] = [
+        OpKind::IntAlu,
+        OpKind::IntMul,
+        OpKind::FpOp,
+        OpKind::FpLong,
+        OpKind::Load,
+        OpKind::Store,
+        OpKind::Branch,
+    ];
+
     /// Returns `true` for loads and stores.
     pub fn is_mem(self) -> bool {
         matches!(self, OpKind::Load | OpKind::Store)
